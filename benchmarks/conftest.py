@@ -1,0 +1,58 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §4 and EXPERIMENTS.md) and *prints the rows the paper
+reports*, so running ``pytest benchmarks/ --benchmark-only -s`` shows
+the paper-vs-measured story directly.
+
+The expensive paper-scale case study is built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy.fnjv import FNJVCaseStudy
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.taxonomy.service import CatalogueService
+from repro.taxonomy.synonyms import generate_changes
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The paper-scale case study (seed 2013): 11 898 records."""
+    return FNJVCaseStudy()
+
+
+@pytest.fixture(scope="session")
+def study_results(study):
+    return study.run()
+
+
+@pytest.fixture(scope="session")
+def bench_catalogue():
+    backbone = build_backbone(BackboneConfig(seed=7, total_species=400))
+    registry = generate_changes(backbone, yearly_rate=0.01, seed=7)
+    return CatalogueOfLife(backbone, registry, as_of_year=2013)
+
+
+@pytest.fixture()
+def bench_collection(bench_catalogue):
+    """A fresh mid-size collection for per-bench mutation."""
+    config = CollectionConfig(seed=7, n_records=800,
+                              n_distinct_species=200,
+                              n_outdated_species=16,
+                              n_misidentified=6, n_anachronisms=10)
+    collection, truth = generate_collection(
+        bench_catalogue, Gazetteer(seed=7), ClimateArchive(), config)
+    return collection, truth
+
+
+@pytest.fixture()
+def bench_service(bench_catalogue):
+    return CatalogueService(bench_catalogue, availability=0.9,
+                            reputation=1.0, seed=7)

@@ -1,0 +1,44 @@
+"""E2 — §IV-C: the Data Quality Manager's report.
+
+Paper: "the original FNJV metadata, compared with an external
+authoritative source (reputation 1, availability 0.9) is 93% accurate."
+
+Times the assessment itself (provenance + annotations + workflow
+output -> quality attributes) and prints the report.
+"""
+
+import pytest
+
+from repro.casestudy.reporting import render_comparison
+
+
+@pytest.mark.benchmark(group="e2-quality-report")
+def test_e2_quality_assessment(benchmark, study, study_results):
+    run_id = study_results.check.run_id
+
+    report = benchmark(
+        lambda: study.quality_manager.assess_species_check_run(
+            run_id, collection=study.collection)
+    )
+
+    print()
+    print(report.render())
+    print()
+    print(render_comparison(
+        {"accuracy": 0.93, "reputation": 1.0, "availability": 0.9},
+        {
+            "accuracy": round(report.value("accuracy"), 3),
+            "reputation": report.value("reputation"),
+            "availability": report.value("availability"),
+        },
+        title="E2 / §IV-C — quality report",
+    ))
+
+    assert report.value("accuracy") == pytest.approx(0.93, abs=0.005)
+    assert report.value("reputation") == 1.0
+    assert report.value("availability") == 0.9
+    # the three sources of Fig. 1's Data Quality Manager:
+    assert report.quality_value("accuracy").source == "computed"
+    assert report.quality_value("reputation").source == "annotation"
+    assert report.quality_value("observed_availability").source == (
+        "provenance")

@@ -1,0 +1,84 @@
+"""E4 — Table I: the four preservation models.
+
+Paper: "level 1 is the least complex to achieve, and level 4 the most
+complex" — with matching use cases per level.
+
+We archive the collection at each level, measure storage cost and
+capability coverage, and print a Table-I-shaped comparison.  Shape to
+reproduce: cost and capability both grow monotonically with the level;
+each level answers exactly its use-case tier.
+"""
+
+import pytest
+
+from repro.core.preservation import (
+    CAPABILITIES,
+    PreservationLevel,
+    archive_collection,
+)
+from repro.curation.species_check import SpeciesNameChecker
+from repro.provenance.manager import ProvenanceManager
+from repro.workflow.repository import WorkflowRepository
+
+
+@pytest.mark.benchmark(group="e4-preservation")
+def test_e4_preservation_levels(benchmark, bench_collection,
+                                bench_service):
+    collection, __ = bench_collection
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, bench_service,
+                                 provenance=provenance)
+    checker.run()
+    workflows = WorkflowRepository()
+    workflows.save(checker.workflow)
+
+    def archive_all_levels():
+        return {
+            level: archive_collection(collection, level,
+                                      workflows=workflows,
+                                      provenance=provenance.repository)
+            for level in PreservationLevel
+        }
+
+    packages = benchmark(archive_all_levels)
+
+    print()
+    print("E4 / Table I — preservation models")
+    print("=" * 72)
+    print(f"{'level':<6}{'model / use case':<44}{'bytes':>12}{'caps':>6}")
+    for level in PreservationLevel:
+        package = packages[level]
+        capabilities = sum(package.capability_profile().values())
+        print(f"{int(level):<6}{level.use_case:<44}"
+              f"{package.size_bytes():>12,}{capabilities:>6}")
+
+    # long-term view: what keeping level 4 alive for 40 years costs
+    from repro.core.media import migration_plan, plan_cost
+    from repro.core.preservation import PreservationPolicy
+
+    policy = PreservationPolicy(PreservationLevel.FULL_REPRODUCTION,
+                                lifetime_years=40)
+    migrations = migration_plan(policy, start_year=2013)
+    cost = plan_cost(packages[PreservationLevel.FULL_REPRODUCTION],
+                     migrations)
+    print(f"level 4 over 40 years: {cost['migrations']} media "
+          f"migrations, {cost['bytes_moved']:,} bytes moved")
+
+    sizes = [packages[level].size_bytes() for level in PreservationLevel]
+    capability_counts = [
+        sum(packages[level].capability_profile().values())
+        for level in PreservationLevel
+    ]
+    # Table I's ordering: strictly costlier and strictly more capable
+    assert sizes == sorted(sizes) and len(set(sizes)) == 4
+    assert capability_counts == sorted(capability_counts)
+    assert capability_counts[-1] == len(CAPABILITIES)
+    # level-appropriate use cases
+    assert not packages[PreservationLevel.DOCUMENTATION].can_answer(
+        "browse_records")
+    assert packages[PreservationLevel.SIMPLIFIED_DATA].can_answer(
+        "teach_with_sample")
+    assert packages[PreservationLevel.ANALYSIS_LEVEL].can_answer(
+        "recompute_quality")
+    assert packages[PreservationLevel.FULL_REPRODUCTION].can_answer(
+        "rerun_curation_workflow")

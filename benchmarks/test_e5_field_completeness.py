@@ -1,0 +1,68 @@
+"""E5 — Table II: the metadata field groups, raw vs. curated.
+
+Table II organizes the fields into what / where-when-environment / how.
+The paper's stage-1 curation targets rows 1 and 2.  Shape to reproduce:
+
+* group 2 (pre-GPS places, unfilled environment) is the least complete
+  before curation;
+* curation (geocoding + enrichment, via the history's curated view)
+  raises completeness, most visibly for the fields stage 1 fills.
+"""
+
+import pytest
+
+from repro.curation.enrichment import EnvironmentalEnricher
+from repro.curation.geocoding import Geocoder
+from repro.curation.history import CurationHistory
+from repro.sounds.fields import GROUP_LABELS, field_names
+
+
+def group_completeness(records):
+    totals = {1: 0.0, 2: 0.0, 3: 0.0}
+    count = 0
+    for record in records:
+        count += 1
+        for group in totals:
+            totals[group] += record.completeness(group)
+    return {group: total / count for group, total in totals.items()}
+
+
+@pytest.mark.benchmark(group="e5-completeness")
+def test_e5_completeness_raw_vs_curated(benchmark, bench_collection):
+    collection, __ = bench_collection
+    raw = group_completeness(collection.records())
+
+    history = CurationHistory(collection)
+    Geocoder(history).run()
+    history.approve_step(Geocoder.STEP)
+    EnvironmentalEnricher(history).run()
+    history.approve_step(EnvironmentalEnricher.STEP)
+
+    curated = benchmark(
+        lambda: group_completeness(history.curated_records()))
+
+    print()
+    print("E5 / Table II — completeness by field group")
+    print("=" * 64)
+    print(f"{'group':<40}{'raw':>10}{'curated':>12}")
+    for group in (1, 2, 3):
+        print(f"{group}: {GROUP_LABELS[group]:<37}"
+              f"{raw[group]:>9.1%}{curated[group]:>12.1%}")
+
+    # coordinates are auxiliary fields; also report the curated lift there
+    filled_coords = sum(
+        1 for record in history.curated_records() if record.has_coordinates
+    )
+    raw_coords = sum(
+        1 for record in collection.records() if record.has_coordinates
+    )
+    print(f"records with coordinates: raw {raw_coords}, "
+          f"curated {filled_coords}")
+
+    # shape: group 2 worst before curation; curation lifts it most
+    assert raw[2] < raw[1]
+    assert raw[2] < raw[3] + 0.05
+    assert curated[2] > raw[2] + 0.05
+    assert curated[1] >= raw[1]  # untouched groups never degrade
+    assert curated[3] == pytest.approx(raw[3])
+    assert filled_coords > raw_coords * 2

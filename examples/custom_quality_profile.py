@@ -1,0 +1,92 @@
+"""The End User role: custom dimensions, metrics and profiles.
+
+The paper: "quality can be assessed differently by distinct sets of
+users, who tailor metrics according to their quality goals".  Here two
+users assess the *same* collection with different profiles:
+
+* a **data curator** cares about completeness, consistency and name
+  accuracy;
+* a **bioacoustics researcher** defines a custom dimension —
+  *recording usability* (located + dated + known equipment) — and
+  weighs it above everything else.
+
+Run with::
+
+    python examples/custom_quality_profile.py
+"""
+
+from repro.core.assessment import AssessmentContext
+from repro.core.manager import DataQualityManager
+from repro.core.metrics import (
+    MetricResult,
+    QualityMetric,
+    completeness_metric,
+    consistency_metric,
+    name_accuracy_metric,
+)
+from repro.core.profile import QualityProfile
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.taxonomy.synonyms import generate_changes
+
+
+def recording_usability_metric() -> QualityMetric:
+    """Custom measurement: fraction of records a bioacoustics study can
+    actually use — located, dated, and with known equipment."""
+
+    def method(context: AssessmentContext) -> MetricResult:
+        usable = 0
+        total = 0
+        for record in context.collection.records():
+            total += 1
+            if (record.has_coordinates
+                    and record.collect_date is not None
+                    and record.recording_device is not None):
+                usable += 1
+        return MetricResult(usable / total if total else 1.0,
+                            {"usable": usable, "total": total})
+
+    return QualityMetric("recording_usability", "usability", method,
+                         description="located + dated + known device")
+
+
+def main() -> None:
+    backbone = build_backbone(BackboneConfig(seed=9, total_species=400))
+    catalogue = CatalogueOfLife(
+        backbone, generate_changes(backbone, yearly_rate=0.01, seed=9))
+    collection, __ = generate_collection(
+        catalogue,
+        config=CollectionConfig(seed=9, n_records=800,
+                                n_distinct_species=200,
+                                n_outdated_species=14))
+
+    manager = DataQualityManager()
+    context = AssessmentContext(collection=collection,
+                                catalogue=catalogue)
+
+    # --- the curator's profile ------------------------------------------
+    curator = QualityProfile("data curator", owner="curation team")
+    curator.add_goal(name_accuracy_metric(), weight=3, threshold=0.9,
+                     required=True)
+    curator.add_goal(completeness_metric(), weight=2, threshold=0.5)
+    curator.add_goal(consistency_metric(), weight=2, threshold=0.9)
+    manager.register_profile(curator)
+
+    # --- the researcher's profile, with a custom dimension ----------------
+    researcher = QualityProfile("bioacoustics researcher")
+    researcher.add_goal(recording_usability_metric(), weight=5,
+                        threshold=0.25, required=True)
+    researcher.add_goal(name_accuracy_metric(), weight=1, threshold=0.8)
+    manager.register_profile(researcher)
+
+    for name in manager.profile_names():
+        evaluation = manager.evaluate_profile(name, context)
+        print(evaluation.render())
+        print()
+
+    print("Same data, different verdicts — quality is 'fitness for use'.")
+
+
+if __name__ == "__main__":
+    main()

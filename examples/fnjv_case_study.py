@@ -1,0 +1,53 @@
+"""The paper's case study, end to end, at paper scale.
+
+Reproduces §IV of the paper:
+
+* Figure 2 — 11 898 records, 1 929 distinct names, 134 outdated (7 %);
+* §IV-C — accuracy 93 %, reputation 1.0, availability 0.9;
+* the species_updates table referencing the (unchanged) originals.
+
+Run with::
+
+    python examples/fnjv_case_study.py
+
+Takes ~10 s: it generates the full collection and runs the workflow.
+"""
+
+from repro.casestudy.fnjv import FNJVCaseStudy, PAPER_FIGURES
+from repro.casestudy.reporting import render_comparison
+
+
+def main() -> None:
+    print("building the FNJV case study (seed 2013)...")
+    study = FNJVCaseStudy()
+    results = study.run()
+
+    print()
+    print(results.check.render())            # Figure 2
+    print()
+    print(results.quality.render())          # §IV-C report
+    print()
+    print(render_comparison(PAPER_FIGURES, results.measured_figures()))
+
+    # The separate updates table, flagged for biologist review — the
+    # original collection is never modified.
+    updates = study.pipeline.checker.updates(status="flagged")
+    print()
+    print(f"species_updates rows flagged for biologists: {len(updates)}")
+    example = next(u for u in updates
+                   if u["old_name"] == "Elachistocleis ovalis")
+    print(f"  e.g. record {example['record_id']}: "
+          f"{example['old_name']} -> {example['new_name']} "
+          f"({example['reference']})")
+
+    original = study.collection.record(example["record_id"])
+    print(f"  original record still reads: {original.species!r}")
+
+    # a biologist confirms it
+    study.pipeline.checker.confirm_update(example["update_id"])
+    confirmed = study.pipeline.checker.updates(status="confirmed")
+    print(f"  confirmed updates after review: {len(confirmed)}")
+
+
+if __name__ == "__main__":
+    main()

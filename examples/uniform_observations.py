@@ -1,0 +1,106 @@
+"""Heterogeneous biodiversity data, one query surface (ObsDB-style).
+
+"Data in observation databases can be very heterogeneous, and concern
+observations at multiple spatial and temporal scales."  The paper's
+group worked both with sound recordings and with "animals in museum
+collections"; this example puts both — plus a synthetic weather
+logger — into one observation store and asks uniform questions.
+
+Run with::
+
+    python examples/uniform_observations.py
+"""
+
+import datetime as dt
+
+from repro.observations import (
+    Entity,
+    ObservationStore,
+    observation_from_row,
+    observation_from_sound_record,
+)
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.sounds.museum import (
+    MUSEUM_TABLE,
+    generate_museum_collection,
+    museum_observation,
+)
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.taxonomy.synonyms import generate_changes
+
+
+def main() -> None:
+    backbone = build_backbone(BackboneConfig(seed=23, total_species=300))
+    catalogue = CatalogueOfLife(
+        backbone, generate_changes(backbone, yearly_rate=0.01, seed=23))
+
+    # three very different sources...
+    sounds, __ = generate_collection(
+        catalogue,
+        config=CollectionConfig(seed=23, n_records=500,
+                                n_distinct_species=120,
+                                n_outdated_species=8))
+    museum = generate_museum_collection(catalogue, n_specimens=300,
+                                        seed=23)
+    weather_rows = [
+        {"station": f"WS-{i % 3 + 1}", "temperature": 18 + i % 12,
+         "humidity": 55 + i % 30, "day": dt.date(1998, 1 + i % 12, 5)}
+        for i in range(60)
+    ]
+
+    # ...one store
+    store = ObservationStore()
+    store.add_all(
+        observation_from_sound_record(record)
+        for record in sounds.records() if record.species is not None
+    )
+    store.add_all(
+        museum_observation(row)
+        for row in museum.table(MUSEUM_TABLE).rows()
+    )
+    for index, row in enumerate(weather_rows):
+        store.add(observation_from_row(
+            row, obs_id=f"wx-{index}", entity_kind="device",
+            entity_column="station",
+            measurement_columns={"temperature": "degC",
+                                 "humidity": "%"},
+            source="weather", observed_at_column="day"))
+
+    print(f"one store, {len(store)} observations from "
+          f"{len(store.sources())} sources: {store.sources()}")
+
+    # uniform questions across sources
+    print()
+    print("Q: what do we measure, and how much of it?")
+    for characteristic in ("air_temperature", "temperature", "mass",
+                           "individuals", "humidity"):
+        stats = store.statistics(characteristic)
+        if stats["count"]:
+            print(f"  {characteristic:<18} n={stats['count']:<5} "
+                  f"range [{stats['min']:.1f}, {stats['max']:.1f}] "
+                  f"mean {stats['mean']:.1f}")
+
+    # a taxon seen by both the sound archive and the museum drawers
+    sound_species = set(sounds.distinct_species())
+    museum_species = {row["species"]
+                      for row in museum.table(MUSEUM_TABLE).rows()}
+    shared = sorted(sound_species & museum_species)
+    print()
+    print(f"Q: which taxa do both communities hold?  "
+          f"{len(shared)} shared; e.g.:")
+    for name in shared[:3]:
+        observations = store.observations_of(Entity("taxon", name))
+        kinds = sorted({obs.source for obs in observations})
+        print(f"  {name:<32} {len(observations)} observations "
+              f"from {kinds}")
+
+    # spatial cut across everything
+    box = store.within_box(-24.0, -20.0, -49.0, -44.0)
+    print()
+    print(f"Q: what was observed around Sao Paulo state?  "
+          f"{len(box)} observations (any source)")
+
+
+if __name__ == "__main__":
+    main()

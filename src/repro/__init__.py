@@ -1,0 +1,33 @@
+"""repro — provenance-based quality assessment for long-term preservation
+of scientific (meta)data.
+
+A full reproduction of Sousa, Cugler, Malaverri & Medeiros, *"A
+provenance-based approach to manage long term preservation of scientific
+data"* (ICDE 2014 workshops), built from scratch:
+
+* :mod:`repro.storage` — an embeddable relational engine (the DBMS box);
+* :mod:`repro.workflow` — a Taverna-like dataflow engine;
+* :mod:`repro.provenance` — OPM v1.1, Provenance Manager & repository;
+* :mod:`repro.taxonomy` — a simulated Catalogue of Life;
+* :mod:`repro.geo` — gazetteer, climate archive, spatial analysis;
+* :mod:`repro.sounds` — the synthetic FNJV-like sound collection;
+* :mod:`repro.core` — **the paper's contribution**: quality dimensions,
+  metrics, profiles, the Workflow Adapter and the Data Quality Manager;
+* :mod:`repro.curation` — the case study's curation pipelines;
+* :mod:`repro.casestudy` — the end-to-end FNJV reproduction.
+
+Quickstart::
+
+    from repro.casestudy import FNJVCaseStudy
+
+    study = FNJVCaseStudy()          # seeded; reproduces the paper
+    results = study.run()
+    print(results.check.render())    # Fig. 2
+    print(results.quality.render())  # §IV-C quality report
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,11 @@
+"""End-to-end reproduction of the paper's FNJV case study."""
+
+from repro.casestudy.fnjv import CaseStudyResults, FNJVCaseStudy
+from repro.casestudy.reporting import comparison_table, render_comparison
+
+__all__ = [
+    "CaseStudyResults",
+    "FNJVCaseStudy",
+    "comparison_table",
+    "render_comparison",
+]

@@ -1,0 +1,59 @@
+"""Paper-vs-measured reporting.
+
+Utilities shared by the benchmarks, the examples and EXPERIMENTS.md:
+line up the paper's published figures against what this reproduction
+measures, and render the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["comparison_table", "render_comparison", "relative_error"]
+
+
+def relative_error(expected: float, measured: float) -> float:
+    """|measured - expected| / |expected| (0 when both are 0)."""
+    if expected == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - expected) / abs(expected)
+
+
+def comparison_table(paper: Mapping[str, Any],
+                     measured: Mapping[str, Any]) -> list[dict[str, Any]]:
+    """Rows of {figure, paper, measured, relative_error} for the shared
+    keys, in paper-key order."""
+    rows = []
+    for key, expected in paper.items():
+        if key not in measured:
+            continue
+        actual = measured[key]
+        row: dict[str, Any] = {
+            "figure": key, "paper": expected, "measured": actual,
+        }
+        if isinstance(expected, (int, float)) and isinstance(
+            actual, (int, float)
+        ):
+            row["relative_error"] = round(
+                relative_error(float(expected), float(actual)), 4
+            )
+        rows.append(row)
+    return rows
+
+
+def render_comparison(paper: Mapping[str, Any],
+                      measured: Mapping[str, Any],
+                      title: str = "paper vs. measured") -> str:
+    """A fixed-width text table of the comparison."""
+    rows = comparison_table(paper, measured)
+    width = max((len(row["figure"]) for row in rows), default=10)
+    lines = [title, "=" * len(title),
+             f"{'figure':<{width}}  {'paper':>12}  {'measured':>12}  {'rel.err':>8}"]
+    for row in rows:
+        err = row.get("relative_error")
+        err_text = "-" if err is None else f"{err:8.2%}"
+        lines.append(
+            f"{row['figure']:<{width}}  {row['paper']!s:>12}  "
+            f"{row['measured']!s:>12}  {err_text:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,265 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro casestudy                 # the paper-scale reproduction
+    repro detect --records 1000     # detection on a synthetic collection
+    repro decay --start 1990 --end 2013 --period 2
+    repro archive --level 3 --output package.json
+    repro crossref --publications 60
+
+Every command is seeded and offline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Provenance-based quality assessment for long-term "
+            "preservation of scientific (meta)data (Sousa et al., "
+            "ICDE 2014)."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=2013,
+                        help="master seed (default: 2013, the paper run)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    casestudy = commands.add_parser(
+        "casestudy", help="run the full FNJV case study (paper scale)")
+    casestudy.add_argument("--full", action="store_true",
+                           help="also run geocoding/enrichment/stage 2")
+
+    detect = commands.add_parser(
+        "detect", help="outdated-name detection on a synthetic collection")
+    detect.add_argument("--records", type=int, default=1_000)
+    detect.add_argument("--species", type=int, default=250)
+    detect.add_argument("--outdated", type=int, default=20)
+    detect.add_argument("--availability", type=float, default=0.9)
+
+    decay = commands.add_parser(
+        "decay", help="compare curation policies over evolving taxonomy")
+    decay.add_argument("--start", type=int, default=1990)
+    decay.add_argument("--end", type=int, default=2013)
+    decay.add_argument("--period", type=int, default=2,
+                       help="periodic curation interval in years")
+
+    archive = commands.add_parser(
+        "archive", help="build a Table-I preservation package")
+    archive.add_argument("--level", type=int, choices=(1, 2, 3, 4),
+                         default=2)
+    archive.add_argument("--records", type=int, default=500)
+    archive.add_argument("--output", type=str, default=None,
+                         help="write the package JSON here")
+
+    crossref = commands.add_parser(
+        "crossref", help="Shadows-style cross-referencing demo")
+    crossref.add_argument("--publications", type=int, default=60)
+
+    commands.add_parser(
+        "experiments",
+        help="run the headline experiments and print pass/fail")
+
+    publish = commands.add_parser(
+        "publish", help="export a synthetic collection as Linked Data "
+        "triples and/or CSV")
+    publish.add_argument("--records", type=int, default=500)
+    publish.add_argument("--triples", type=str, default=None,
+                         help="write N-Triples here")
+    publish.add_argument("--csv", type=str, default=None,
+                         help="write the recordings table as CSV here")
+
+    return parser
+
+
+def _small_world(seed: int, records: int, species: int, outdated: int):
+    """A catalogue + collection sized for CLI experiments."""
+    from repro.sounds.generator import CollectionConfig, generate_collection
+    from repro.taxonomy.backbone import BackboneConfig, build_backbone
+    from repro.taxonomy.catalogue import CatalogueOfLife
+    from repro.taxonomy.synonyms import generate_changes
+
+    backbone = build_backbone(BackboneConfig(
+        seed=seed, total_species=max(400, species * 2)))
+    registry = generate_changes(backbone, yearly_rate=0.012, seed=seed)
+    catalogue = CatalogueOfLife(backbone, registry, as_of_year=2013)
+    collection, truth = generate_collection(catalogue, config=CollectionConfig(
+        seed=seed, n_records=records, n_distinct_species=species,
+        n_outdated_species=outdated))
+    return catalogue, collection, truth
+
+
+def _command_casestudy(args: argparse.Namespace) -> int:
+    from repro.casestudy.fnjv import FNJVCaseStudy, PAPER_FIGURES
+    from repro.casestudy.reporting import render_comparison
+
+    study = FNJVCaseStudy(seed=args.seed)
+    results = study.run(full_pipeline=args.full)
+    print(results.check.render())
+    print()
+    print(results.quality.render())
+    print()
+    print(render_comparison(PAPER_FIGURES, results.measured_figures()))
+    return 0
+
+
+def _command_detect(args: argparse.Namespace) -> int:
+    from repro.core.manager import DataQualityManager
+    from repro.curation.species_check import SpeciesNameChecker
+    from repro.provenance.manager import ProvenanceManager
+    from repro.taxonomy.service import CatalogueService
+
+    catalogue, collection, __ = _small_world(
+        args.seed, args.records, args.species, args.outdated)
+    service = CatalogueService(catalogue, availability=args.availability,
+                               seed=args.seed)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, service,
+                                 provenance=provenance)
+    result = checker.run()
+    print(result.render())
+    print()
+    manager = DataQualityManager(provenance=provenance.repository)
+    print(manager.assess_species_check_run(result.run_id).render())
+    return 0
+
+
+def _command_decay(args: argparse.Namespace) -> int:
+    from repro.core.decay import DecaySimulator
+    from repro.taxonomy.backbone import BackboneConfig, build_backbone
+    from repro.taxonomy.catalogue import CatalogueOfLife
+    from repro.taxonomy.synonyms import generate_changes
+
+    backbone = build_backbone(BackboneConfig(seed=args.seed,
+                                             total_species=600))
+    registry = generate_changes(backbone, start_year=args.start,
+                                end_year=args.end, yearly_rate=0.01,
+                                seed=args.seed)
+    catalogue = CatalogueOfLife(backbone, registry, as_of_year=args.end)
+    names = catalogue.as_of(args.start).species_names()
+    simulator = DecaySimulator(catalogue)
+    comparison = simulator.compare_policies(
+        names, args.start, args.end, period_years=args.period)
+    print(f"{'year':<6}{'none':>10}{'one-shot':>12}{'periodic':>12}")
+    none = comparison["none"]
+    for index, year in enumerate(none.years):
+        print(f"{year:<6}{none.accuracy[index]:>10.3f}"
+              f"{comparison['one_shot'].accuracy[index]:>12.3f}"
+              f"{comparison['periodic'].accuracy[index]:>12.3f}")
+    return 0
+
+
+def _command_archive(args: argparse.Namespace) -> int:
+    from repro.core.preservation import PreservationLevel, archive_collection
+
+    __, collection, __truth = _small_world(args.seed, args.records,
+                                           max(50, args.records // 5), 5)
+    package = archive_collection(collection,
+                                 PreservationLevel(args.level))
+    print(f"level {args.level} "
+          f"({PreservationLevel(args.level).use_case}): "
+          f"{package.size_bytes():,} bytes, components: "
+          f"{', '.join(package.component_names())}")
+    for question, answerable in package.capability_profile().items():
+        marker = "yes" if answerable else " no"
+        print(f"  [{marker}] {question}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(package.contents, handle, default=str)
+        print(f"package written to {args.output}")
+    return 0
+
+
+def _command_crossref(args: argparse.Namespace) -> int:
+    from repro.linkeddata.shadows import (
+        CrossReferencer,
+        generate_publications,
+    )
+    from repro.taxonomy.backbone import BackboneConfig, build_backbone
+    from repro.taxonomy.catalogue import CatalogueOfLife
+    from repro.taxonomy.synonyms import generate_changes
+
+    backbone = build_backbone(BackboneConfig(seed=args.seed,
+                                             total_species=400))
+    registry = generate_changes(backbone, yearly_rate=0.015,
+                                seed=args.seed)
+    catalogue = CatalogueOfLife(backbone, registry, as_of_year=2013)
+    publications = generate_publications(catalogue,
+                                         count=args.publications,
+                                         seed=args.seed)
+    referencer = CrossReferencer(catalogue)
+    dividend = referencer.curation_dividend(publications)
+    print("cross-referencing publications (Shadows prototype)")
+    for key, value in dividend.items():
+        print(f"  {key:<24} {value}")
+    for link in referencer.links(publications)[:5]:
+        if link.via == "synonym":
+            print(f"  e.g. {link.left.pub_id} ({link.left.year}, "
+                  f"{link.left.community}) <-> {link.right.pub_id} "
+                  f"({link.right.year}, {link.right.community}) "
+                  f"via {link.taxon!r}")
+            break
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from repro.casestudy.experiments import run_all
+
+    failures = 0
+    for result in run_all():
+        status = "PASS" if result["passed"] else "FAIL"
+        if not result["passed"]:
+            failures += 1
+        print(f"[{status}] {result['id']} — {result['reproduces']}")
+        print(f"       paper:    {result['paper']}")
+        print(f"       measured: {result['measured']}")
+    return 1 if failures else 0
+
+
+def _command_publish(args: argparse.Namespace) -> int:
+    from repro.linkeddata import publish_collection
+    from repro.storage.csvio import export_csv
+
+    __, collection, __truth = _small_world(
+        args.seed, args.records, max(50, args.records // 5), 5)
+    if not args.triples and not args.csv:
+        print("nothing to do: pass --triples and/or --csv")
+        return 1
+    if args.triples:
+        store = publish_collection(collection)
+        with open(args.triples, "w", encoding="utf-8") as handle:
+            handle.write(store.to_ntriples() + "\n")
+        print(f"{len(store):,} triples written to {args.triples}")
+    if args.csv:
+        rows = export_csv(collection.database, "recordings", args.csv)
+        print(f"{rows:,} rows written to {args.csv}")
+    return 0
+
+
+_COMMANDS = {
+    "casestudy": _command_casestudy,
+    "detect": _command_detect,
+    "decay": _command_decay,
+    "archive": _command_archive,
+    "crossref": _command_crossref,
+    "experiments": _command_experiments,
+    "publish": _command_publish,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""The paper's contribution: provenance-driven quality assessment.
+
+"The Data Quality Manager is responsible for assessing data quality,
+based on expert requirements.  This module generates quality information
+from: (a) the provenance information stored by the Provenance Manager,
+(b) the quality attributes added to workflows by the Workflow Adapter
+and (c) external data sources."
+
+* :mod:`repro.core.dimensions` — the quality-dimension registry
+  (accuracy, completeness, timeliness, consistency, reputation,
+  availability, ...), user-extensible;
+* :mod:`repro.core.metrics` — metric definitions and the standard
+  measurement methods;
+* :mod:`repro.core.profile` — user-defined quality profiles (goals +
+  weighted metrics), following Lemos' metamodel;
+* :mod:`repro.core.adapter` — the **Workflow Adapter**: attach
+  ``Q(dimension): value`` annotations without changing the workflow;
+* :mod:`repro.core.manager` — the **Data Quality Manager**;
+* :mod:`repro.core.assessment` — assessment contexts and reports
+  (workflow trace + computed quality attributes);
+* :mod:`repro.core.baseline` — the attribute-based assessor used as the
+  comparison baseline (quality without provenance);
+* :mod:`repro.core.decay` — quality decay under evolving knowledge;
+* :mod:`repro.core.preservation` — Table I's four preservation models.
+"""
+
+from repro.core.adapter import WorkflowAdapter
+from repro.core.assessment import AssessmentContext, AssessmentReport, QualityValue
+from repro.core.baseline import AttributeBasedAssessor
+from repro.core.decay import DecaySimulator, DecaySeries
+from repro.core.dimensions import DimensionRegistry, QualityDimension
+from repro.core.manager import DataQualityManager
+from repro.core.media import MediaType, MigrationEvent, migration_plan
+from repro.core.metrics import MetricResult, QualityMetric
+from repro.core.preservation import (
+    PreservationLevel,
+    PreservationPackage,
+    PreservationPolicy,
+    archive_collection,
+)
+from repro.core.profile import QualityGoal, QualityProfile
+from repro.core.tracking import QualityLedger
+
+__all__ = [
+    "MediaType",
+    "MigrationEvent",
+    "QualityLedger",
+    "migration_plan",
+    "AssessmentContext",
+    "AssessmentReport",
+    "AttributeBasedAssessor",
+    "DataQualityManager",
+    "DecaySeries",
+    "DecaySimulator",
+    "DimensionRegistry",
+    "MetricResult",
+    "PreservationLevel",
+    "PreservationPackage",
+    "PreservationPolicy",
+    "QualityDimension",
+    "QualityGoal",
+    "QualityMetric",
+    "QualityProfile",
+    "QualityValue",
+    "WorkflowAdapter",
+    "archive_collection",
+]

@@ -1,0 +1,89 @@
+"""The attribute-based assessor — the comparison baseline.
+
+"Related work either considers provenance to assess quality (which we
+call provenance-based) or disregards it, considering other attributes
+(a trend we call attribute based)."
+
+:class:`AttributeBasedAssessor` implements the attribute-based trend: it
+looks *only* at the data values themselves — completeness, domain
+consistency, syntactic well-formedness — and is blind to where the data
+came from, what process produced it, and how trustworthy or available
+the external sources were.  The A1 ablation shows what that blindness
+costs: degrade the source and the attribute-based score does not move.
+"""
+
+from __future__ import annotations
+
+from repro.core.assessment import AssessmentContext, AssessmentReport
+from repro.core.metrics import (
+    MetricResult,
+    QualityMetric,
+    completeness_metric,
+    consistency_metric,
+)
+from repro.errors import MetricError
+from repro.taxonomy.nomenclature import ScientificName
+
+__all__ = ["AttributeBasedAssessor", "syntax_validity_metric"]
+
+
+def syntax_validity_metric() -> QualityMetric:
+    """Fraction of species names that are well-formed binomials.
+
+    Purely syntactic — an attribute-based assessor can check the *shape*
+    of a name but not whether taxonomy moved on (that needs the external
+    source, reachable only through provenance-aware assessment here).
+    """
+
+    def method(context: AssessmentContext) -> MetricResult:
+        if context.collection is None:
+            raise MetricError("syntax validity needs a collection")
+        names = context.collection.distinct_species()
+        if not names:
+            return MetricResult(1.0, {"names": 0})
+        well_formed = sum(
+            1 for name in names
+            if (parsed := ScientificName.try_parse(name)) is not None
+            and parsed.is_binomial
+            and name == parsed.canonical
+        )
+        return MetricResult(well_formed / len(names), {
+            "names": len(names),
+            "malformed": len(names) - well_formed,
+        })
+
+    # its own dimension so reports can show it next to domain consistency
+    return QualityMetric(
+        "name_syntax_validity", "syntactic_validity", method,
+        description="fraction of species names that are clean binomials",
+    )
+
+
+class AttributeBasedAssessor:
+    """Quality from attributes only — no provenance, no external source."""
+
+    def __init__(self) -> None:
+        self._metrics = [
+            completeness_metric(),
+            consistency_metric(),
+            syntax_validity_metric(),
+        ]
+
+    def assess(self, collection) -> AssessmentReport:
+        """Assess ``collection`` from its values alone."""
+        context = AssessmentContext(collection=collection)
+        report = AssessmentReport(subject=f"{collection.name} (attribute-based)")
+        for metric in self._metrics:
+            value = metric.measure(context)
+            report.add(value)
+        report.note(
+            "attribute-based assessment: source reputation, availability "
+            "and name currency are invisible without provenance"
+        )
+        return report
+
+    def overall_score(self, collection) -> float:
+        """Unweighted mean of the attribute metrics."""
+        report = self.assess(collection)
+        values = [value.value for value in report]
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,127 @@
+"""Quality decay under evolving knowledge.
+
+"Curated (meta)data that in the past was reliable may have its content
+degraded with time.  Degradation is not only physical but new
+discoveries may invalidate (meta)data."
+
+:class:`DecaySimulator` plays a collection's species names forward
+through the synonym registry's timeline and measures name accuracy at
+every year, under three curation policies:
+
+* ``none`` — annotate once, never curate (accuracy decays);
+* ``one_shot`` — curate once in a chosen year (accuracy jumps to 1.0,
+  then decays again);
+* ``periodic`` — curate every *k* years (accuracy saw-tooths near 1.0).
+
+This quantifies the paper's core motivation for *periodic* quality
+assessment (ablation A2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.taxonomy.catalogue import CatalogueOfLife
+
+__all__ = ["DecaySeries", "DecaySimulator"]
+
+
+class DecaySeries:
+    """Accuracy per year for one policy."""
+
+    def __init__(self, policy: str, years: list[int],
+                 accuracy: list[float],
+                 curation_years: list[int]) -> None:
+        self.policy = policy
+        self.years = years
+        self.accuracy = accuracy
+        self.curation_years = curation_years
+
+    def __repr__(self) -> str:
+        return (
+            f"DecaySeries({self.policy}, {self.years[0]}-{self.years[-1]}, "
+            f"final={self.final_accuracy:.3f})"
+        )
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.accuracy[-1] if self.accuracy else 1.0
+
+    @property
+    def minimum_accuracy(self) -> float:
+        return min(self.accuracy) if self.accuracy else 1.0
+
+    def accuracy_at(self, year: int) -> float:
+        return self.accuracy[self.years.index(year)]
+
+    def as_rows(self) -> list[tuple[int, float]]:
+        return list(zip(self.years, self.accuracy))
+
+
+class DecaySimulator:
+    """Plays name sets forward through taxonomy evolution."""
+
+    def __init__(self, catalogue: CatalogueOfLife) -> None:
+        self.catalogue = catalogue
+
+    def _outdated_fraction(self, names: Iterable[str], year: int) -> float:
+        """Fraction of ``names`` with a published change by ``year``."""
+        names = list(names)
+        if not names:
+            return 0.0
+        changed = self.catalogue.registry.changed_names(year)
+        outdated = sum(1 for name in names if name in changed)
+        return outdated / len(names)
+
+    def _curate(self, names: Iterable[str], year: int) -> list[str]:
+        """Replace every outdated name by its accepted form as of
+        ``year`` (what the species-check workflow + biologists do)."""
+        curated = []
+        for name in names:
+            current, __ = self.catalogue.registry.current_name(name, year)
+            curated.append(current)
+        return curated
+
+    def run(self, names: Iterable[str], start_year: int, end_year: int,
+            policy: str = "none", period_years: int = 2,
+            one_shot_year: int | None = None) -> DecaySeries:
+        """Simulate ``policy`` over ``[start_year, end_year]``.
+
+        Accuracy in year *y* is the fraction of the (possibly curated)
+        names with no change published since their last curation.
+        """
+        if policy not in ("none", "one_shot", "periodic"):
+            raise ValueError(f"unknown curation policy {policy!r}")
+        current_names = list(names)
+        years: list[int] = []
+        accuracy: list[float] = []
+        curated_in: list[int] = []
+        for year in range(start_year, end_year + 1):
+            curate_now = (
+                (policy == "one_shot" and year == (one_shot_year or start_year))
+                or (policy == "periodic"
+                    and (year - start_year) % period_years == 0)
+            )
+            if curate_now:
+                current_names = self._curate(current_names, year)
+                curated_in.append(year)
+            years.append(year)
+            accuracy.append(1.0 - self._outdated_fraction(current_names, year))
+        return DecaySeries(policy, years, accuracy, curated_in)
+
+    def compare_policies(self, names: Iterable[str], start_year: int,
+                         end_year: int, period_years: int = 2,
+                         one_shot_year: int | None = None) -> dict[str, DecaySeries]:
+        """All three policies over the same window."""
+        names = list(names)
+        return {
+            "none": self.run(names, start_year, end_year, "none"),
+            "one_shot": self.run(
+                names, start_year, end_year, "one_shot",
+                one_shot_year=one_shot_year or start_year,
+            ),
+            "periodic": self.run(
+                names, start_year, end_year, "periodic",
+                period_years=period_years,
+            ),
+        }

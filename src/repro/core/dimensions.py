@@ -1,0 +1,149 @@
+"""Quality dimensions.
+
+"A *quality dimension* can be defined as a set of data quality attributes
+that allow to represent a particular characteristic of quality."
+
+The registry ships the dimensions the literature cites most (accuracy,
+completeness, timeliness, consistency) plus the provenance-borne ones
+the paper uses (reputation, availability) and the simulation-oriented
+ones it mentions (correctness, reliability, usability).  End users add
+their own — quality "depends on the users and context of use".
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import QualityError, UnknownDimensionError
+
+__all__ = ["QualityDimension", "DimensionRegistry", "standard_registry"]
+
+_CATEGORIES = ("intrinsic", "contextual", "representational",
+               "accessibility")
+
+
+class QualityDimension:
+    """One dimension of quality.
+
+    ``category`` follows the classic Wang & Strong grouping.  All
+    dimension values in this library live in ``[0, 1]`` with higher
+    being better; dimensions whose natural reading is inverse (e.g.
+    *staleness*) should be registered in their positive form
+    (*timeliness*).
+    """
+
+    __slots__ = ("name", "category", "description")
+
+    def __init__(self, name: str, category: str = "intrinsic",
+                 description: str = "") -> None:
+        if not name or not name.replace("_", "").isalnum():
+            raise QualityError(f"bad dimension name {name!r}")
+        if category not in _CATEGORIES:
+            raise QualityError(
+                f"dimension {name!r}: unknown category {category!r} "
+                f"(expected one of {_CATEGORIES})"
+            )
+        self.name = name
+        self.category = category
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"QualityDimension({self.name}, {self.category})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QualityDimension):
+            return self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+
+_STANDARD: tuple[QualityDimension, ...] = (
+    QualityDimension(
+        "accuracy", "intrinsic",
+        "degree to which values are correct with respect to an "
+        "authoritative reference (the paper: % of up-to-date names)"),
+    QualityDimension(
+        "completeness", "contextual",
+        "degree to which required metadata fields are filled"),
+    QualityDimension(
+        "consistency", "intrinsic",
+        "degree to which values respect domain rules and do not "
+        "contradict each other"),
+    QualityDimension(
+        "timeliness", "contextual",
+        "degree to which the metadata reflects current knowledge"),
+    QualityDimension(
+        "reputation", "intrinsic",
+        "trustworthiness of the data source, as judged by experts"),
+    QualityDimension(
+        "availability", "accessibility",
+        "fraction of the time the source can actually be reached"),
+    QualityDimension(
+        "reliability", "intrinsic",
+        "degree to which a process produces the same correct result"),
+    QualityDimension(
+        "correctness", "intrinsic",
+        "degree to which a process implements its specification"),
+    QualityDimension(
+        "usability", "representational",
+        "ease with which consumers can interpret and use the data"),
+    QualityDimension(
+        "believability", "intrinsic",
+        "degree to which the data is regarded as true and credible"),
+)
+
+
+class DimensionRegistry:
+    """The set of dimensions known to one deployment."""
+
+    def __init__(self, dimensions: Iterator[QualityDimension] | tuple = ()) -> None:
+        self._dimensions: dict[str, QualityDimension] = {}
+        for dimension in dimensions:
+            self.register(dimension)
+
+    def register(self, dimension: QualityDimension) -> QualityDimension:
+        """Add (or replace) a dimension."""
+        self._dimensions[dimension.name] = dimension
+        return dimension
+
+    def define(self, name: str, category: str = "intrinsic",
+               description: str = "") -> QualityDimension:
+        """Convenience: create and register in one step."""
+        return self.register(QualityDimension(name, category, description))
+
+    def get(self, name: str) -> QualityDimension:
+        try:
+            return self._dimensions[name]
+        except KeyError:
+            raise UnknownDimensionError(
+                f"dimension {name!r} is not registered; known: "
+                f"{sorted(self._dimensions)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._dimensions
+
+    def __iter__(self) -> Iterator[QualityDimension]:
+        for name in sorted(self._dimensions):
+            yield self._dimensions[name]
+
+    def __len__(self) -> int:
+        return len(self._dimensions)
+
+    def names(self) -> list[str]:
+        return sorted(self._dimensions)
+
+    def by_category(self, category: str) -> list[QualityDimension]:
+        return [d for d in self if d.category == category]
+
+    def copy(self) -> "DimensionRegistry":
+        clone = DimensionRegistry()
+        clone._dimensions = dict(self._dimensions)
+        return clone
+
+
+def standard_registry() -> DimensionRegistry:
+    """A fresh registry pre-loaded with the standard dimensions."""
+    return DimensionRegistry(_STANDARD)

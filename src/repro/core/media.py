@@ -1,0 +1,150 @@
+"""Storage media and migration planning.
+
+The paper's introduction lists "continuous backing up and porting of
+data (and software) to new media and devices" among the measures that
+keep a Domesday-style disaster at bay, and §II-C recalls that "earlier
+animal recordings were commonly stored in magnetic tapes, requiring
+special attention".
+
+This module makes that concern schedulable: each :class:`MediaType`
+has an introduction year and an expected service life;
+:func:`migration_plan` lays out, for a
+:class:`~repro.core.preservation.PreservationPolicy`, when the archived
+package must be refreshed or ported and onto which medium, and
+:func:`plan_cost` totals the bytes moved over the policy's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.preservation import PreservationPackage, PreservationPolicy
+from repro.errors import QualityError
+
+__all__ = ["MediaType", "MEDIA_TYPES", "MigrationEvent",
+           "migration_plan", "plan_cost", "media_available"]
+
+
+class MediaType:
+    """One storage medium generation."""
+
+    __slots__ = ("name", "introduced", "retired", "service_life_years")
+
+    def __init__(self, name: str, introduced: int,
+                 service_life_years: int, retired: int = 9999) -> None:
+        if service_life_years <= 0:
+            raise QualityError("service life must be positive")
+        self.name = name
+        self.introduced = introduced
+        self.retired = retired
+        self.service_life_years = service_life_years
+
+    def available_in(self, year: int) -> bool:
+        return self.introduced <= year <= self.retired
+
+    def __repr__(self) -> str:
+        return (
+            f"MediaType({self.name}, {self.introduced}-, "
+            f"life {self.service_life_years}y)"
+        )
+
+
+#: a plausible media timeline for a collection founded in the 1960s
+MEDIA_TYPES: tuple[MediaType, ...] = (
+    MediaType("magnetic tape", 1950, 12, retired=2005),
+    MediaType("CD-R", 1990, 10, retired=2015),
+    MediaType("DAT", 1992, 8, retired=2010),
+    MediaType("HDD array", 2000, 5),
+    MediaType("LTO tape", 2002, 9),
+    MediaType("cloud object store", 2010, 7),
+)
+
+
+def media_available(year: int,
+                    media: Iterable[MediaType] = MEDIA_TYPES) -> list[MediaType]:
+    """Media one could buy in ``year``, by *effective* life descending.
+
+    Effective life caps the nominal service life at the medium's
+    remaining market window — buying a medium the year before it is
+    discontinued buys one year, not twelve.
+    """
+    def effective_life(medium: MediaType) -> int:
+        return min(medium.service_life_years,
+                   medium.retired - year + 1)
+
+    candidates = [m for m in media if m.available_in(year)]
+    return sorted(candidates, key=lambda m: (-effective_life(m), m.name))
+
+
+class MigrationEvent:
+    """One scheduled refresh/port."""
+
+    __slots__ = ("year", "from_medium", "to_medium", "reason")
+
+    def __init__(self, year: int, from_medium: str, to_medium: str,
+                 reason: str) -> None:
+        self.year = year
+        self.from_medium = from_medium
+        self.to_medium = to_medium
+        self.reason = reason
+
+    def __repr__(self) -> str:
+        return (
+            f"MigrationEvent({self.year}: {self.from_medium} -> "
+            f"{self.to_medium} [{self.reason}])"
+        )
+
+
+def migration_plan(policy: PreservationPolicy, start_year: int,
+                   media: Iterable[MediaType] = MEDIA_TYPES) -> list[MigrationEvent]:
+    """The refresh schedule keeping an archive alive over the policy's
+    lifetime.
+
+    Strategy: always archive onto the longest-lived medium currently on
+    the market; migrate when the medium reaches end of service life or
+    leaves the market (whichever is sooner), onto the then-best medium.
+    """
+    media = list(media)
+    end_year = start_year + policy.lifetime_years
+    available = media_available(start_year, media)
+    if not available:
+        raise QualityError(f"no storage media available in {start_year}")
+    current = available[0]
+    year = start_year
+    events: list[MigrationEvent] = []
+    while True:
+        wear_out = year + current.service_life_years
+        market_exit = current.retired + 1
+        next_migration = min(wear_out, market_exit)
+        if next_migration >= end_year:
+            break
+        reason = ("media end of service life"
+                  if wear_out <= market_exit else "media discontinued")
+        candidates = media_available(next_migration, media)
+        if not candidates:
+            raise QualityError(
+                f"no storage media available in {next_migration}"
+            )
+        successor = candidates[0]
+        events.append(MigrationEvent(next_migration, current.name,
+                                     successor.name, reason))
+        current = successor
+        year = next_migration
+    return events
+
+
+def plan_cost(package: PreservationPackage,
+              events: list[MigrationEvent]) -> dict[str, float]:
+    """Total bytes moved and mean interval of the plan."""
+    moved = package.size_bytes() * len(events)
+    intervals = [
+        later.year - earlier.year
+        for earlier, later in zip(events, events[1:])
+    ]
+    return {
+        "migrations": len(events),
+        "bytes_moved": moved,
+        "mean_interval_years": (
+            sum(intervals) / len(intervals) if intervals else 0.0
+        ),
+    }

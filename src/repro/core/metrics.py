@@ -1,0 +1,272 @@
+"""Quality metrics and the standard measurement methods.
+
+A :class:`QualityMetric` binds a dimension to a *measurement method* — a
+callable ``AssessmentContext -> MetricResult``.  "Quality metrics are
+computed as defined by end users (scientists)": users may register any
+callable; this module ships the methods the case study and the
+benchmarks need.
+
+Standard factories
+------------------
+* :func:`name_accuracy_metric` — % of distinct species names that are
+  up to date (the paper's headline 93 %);
+* :func:`completeness_metric` — fraction of filled fields, optionally
+  restricted to one Table II group;
+* :func:`consistency_metric` — fraction of records with no domain
+  violations;
+* :func:`annotated_metric` — read a dimension straight from the
+  provenance-carried workflow annotations (reputation, availability);
+* :func:`measured_availability_metric` — observed success rate of the
+  external service, from the workflow output;
+* :func:`timeliness_metric` — recency of the last curation relative to
+  a staleness horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.assessment import AssessmentContext, QualityValue
+from repro.errors import MetricError
+from repro.taxonomy.nomenclature import normalize_name
+
+__all__ = [
+    "MetricResult",
+    "QualityMetric",
+    "name_accuracy_metric",
+    "completeness_metric",
+    "consistency_metric",
+    "annotated_metric",
+    "measured_availability_metric",
+    "timeliness_metric",
+]
+
+MeasurementMethod = Callable[[AssessmentContext], "MetricResult"]
+
+
+class MetricResult:
+    """The outcome of one measurement: a [0, 1] value plus evidence."""
+
+    __slots__ = ("value", "details")
+
+    def __init__(self, value: float, details: Mapping[str, Any] | None = None) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise MetricError(f"metric value {value} outside [0, 1]")
+        self.value = float(value)
+        self.details = dict(details or {})
+
+    def __repr__(self) -> str:
+        return f"MetricResult({self.value:.3f})"
+
+
+class QualityMetric:
+    """A named measurement bound to a dimension."""
+
+    def __init__(self, name: str, dimension: str,
+                 method: MeasurementMethod,
+                 source: str = "computed",
+                 description: str = "") -> None:
+        self.name = name
+        self.dimension = dimension
+        self.method = method
+        self.source = source
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"QualityMetric({self.name} -> {self.dimension})"
+
+    def measure(self, context: AssessmentContext) -> QualityValue:
+        """Run the method; wrap the result as a :class:`QualityValue`."""
+        result = self.method(context)
+        return QualityValue(self.dimension, result.value, self.source,
+                            method=self.name, details=result.details)
+
+
+# ---------------------------------------------------------------------------
+# standard measurement methods
+# ---------------------------------------------------------------------------
+
+def name_accuracy_metric() -> QualityMetric:
+    """Accuracy of species names: up-to-date distinct names / distinct
+    names analyzed.
+
+    Prefers the species-check workflow's summary (the paper computes it
+    from the workflow output + provenance); falls back to resolving the
+    collection's names against the catalogue directly.
+    """
+
+    def method(context: AssessmentContext) -> MetricResult:
+        summary = context.workflow_output.get("summary")
+        if isinstance(summary, Mapping) and "distinct_names" in summary:
+            total = int(summary["distinct_names"])
+            outdated = int(summary.get("outdated_names", 0))
+            unresolved = int(summary.get("unresolved_names", 0))
+            if total <= 0:
+                raise MetricError("summary reports no analyzed names")
+            accurate = total - outdated
+            return MetricResult(accurate / total, {
+                "distinct_names": total,
+                "outdated_names": outdated,
+                "unresolved_names": unresolved,
+                "basis": "workflow output",
+            })
+        if context.collection is None or context.catalogue is None:
+            raise MetricError(
+                "name accuracy needs a workflow summary, or a collection "
+                "plus a catalogue"
+            )
+        names = {
+            normalize_name(name)
+            for name in context.collection.distinct_species()
+        }
+        outdated = sum(
+            1 for name in names
+            if context.catalogue.resolve(name, fuzzy=False).is_outdated
+        )
+        return MetricResult(1 - outdated / len(names), {
+            "distinct_names": len(names),
+            "outdated_names": outdated,
+            "basis": "direct catalogue resolution",
+        })
+
+    return QualityMetric(
+        "species_name_accuracy", "accuracy", method,
+        description="fraction of distinct species names that are current",
+    )
+
+
+def completeness_metric(group: int | None = None,
+                        fields: list[str] | None = None) -> QualityMetric:
+    """Mean filled-fraction over the collection's records."""
+
+    def method(context: AssessmentContext) -> MetricResult:
+        if context.collection is None:
+            raise MetricError("completeness needs a collection")
+        total = 0.0
+        count = 0
+        for record in context.collection.records():
+            count += 1
+            if fields is not None:
+                filled = sum(
+                    1 for field in fields
+                    if record.get(field) is not None
+                )
+                total += filled / len(fields) if fields else 1.0
+            else:
+                total += record.completeness(group)
+        if count == 0:
+            return MetricResult(1.0, {"records": 0})
+        return MetricResult(total / count, {
+            "records": count, "group": group, "fields": fields,
+        })
+
+    suffix = f"_group{group}" if group else ""
+    return QualityMetric(
+        f"field_completeness{suffix}", "completeness", method,
+        description="mean fraction of filled metadata fields",
+    )
+
+
+def consistency_metric() -> QualityMetric:
+    """Fraction of records with zero domain violations."""
+
+    def method(context: AssessmentContext) -> MetricResult:
+        if context.collection is None:
+            raise MetricError("consistency needs a collection")
+        clean = 0
+        count = 0
+        violations_total = 0
+        for record in context.collection.records():
+            count += 1
+            violations = record.domain_violations()
+            if not violations:
+                clean += 1
+            violations_total += len(violations)
+        if count == 0:
+            return MetricResult(1.0, {"records": 0})
+        return MetricResult(clean / count, {
+            "records": count,
+            "records_with_violations": count - clean,
+            "total_violations": violations_total,
+        })
+
+    return QualityMetric(
+        "domain_consistency", "consistency", method,
+        description="fraction of records respecting every field domain",
+    )
+
+
+def annotated_metric(dimension: str) -> QualityMetric:
+    """Read ``dimension`` from the run's provenance-carried annotations
+    (minimum across annotating processes)."""
+
+    def method(context: AssessmentContext) -> MetricResult:
+        value = context.annotated_value(dimension)
+        if value is None:
+            raise MetricError(
+                f"no process in the run annotates Q({dimension})"
+            )
+        return MetricResult(value, {
+            "basis": "workflow annotation via provenance",
+            "processes": {
+                process: quality[dimension]
+                for process, quality in context.process_annotations().items()
+                if dimension in quality
+            },
+        })
+
+    return QualityMetric(
+        f"annotated_{dimension}", dimension, method, source="annotation",
+        description=f"Q({dimension}) as asserted by the process designer",
+    )
+
+
+def measured_availability_metric() -> QualityMetric:
+    """Observed availability of the external source during the run,
+    from the workflow's service statistics output."""
+
+    def method(context: AssessmentContext) -> MetricResult:
+        stats = context.workflow_output.get("service_stats")
+        if not isinstance(stats, Mapping) or "calls" not in stats:
+            raise MetricError(
+                "run output carries no service statistics"
+            )
+        calls = int(stats["calls"])
+        failures = int(stats.get("failures", 0))
+        value = 1.0 if calls == 0 else (calls - failures) / calls
+        return MetricResult(value, {
+            "calls": calls, "failures": failures,
+            "basis": "observed during workflow execution",
+        })
+
+    return QualityMetric(
+        "measured_availability", "availability", method,
+        source="provenance",
+        description="success rate of external-service calls in the run",
+    )
+
+
+def timeliness_metric(current_year: int, horizon_years: float = 10.0) -> QualityMetric:
+    """Linear staleness: 1.0 right after curation, 0.0 at the horizon.
+
+    The last curation year is read from ``context.extras
+    ['last_curated_year']`` (set by the curation pipeline).
+    """
+
+    def method(context: AssessmentContext) -> MetricResult:
+        last = context.extras.get("last_curated_year")
+        if last is None:
+            raise MetricError(
+                "context.extras lacks 'last_curated_year'"
+            )
+        age = max(0.0, current_year - float(last))
+        value = max(0.0, 1.0 - age / horizon_years)
+        return MetricResult(value, {
+            "last_curated_year": last, "age_years": age,
+            "horizon_years": horizon_years,
+        })
+
+    return QualityMetric(
+        "curation_timeliness", "timeliness", method,
+        description="recency of the last curation pass",
+    )

@@ -1,0 +1,219 @@
+"""User-defined quality profiles (Lemos-style metamodel).
+
+"The input is based on the definition of quality goals and a set [of]
+quality metrics, and a set of services that compute these metrics ...
+quality can be assessed differently by distinct sets of users, who
+tailor metrics according to their quality goals."
+
+A :class:`QualityProfile` is a named set of :class:`QualityGoal` items.
+Each goal binds a metric to a weight and an acceptance threshold.
+Evaluating a profile against an :class:`AssessmentContext` yields a
+:class:`ProfileEvaluation`: per-goal values, pass/fail against the
+thresholds and the weighted overall score.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.assessment import AssessmentContext, QualityValue
+from repro.core.metrics import QualityMetric
+from repro.errors import MetricError, ProfileError
+
+__all__ = ["QualityGoal", "QualityProfile", "ProfileEvaluation", "GoalOutcome"]
+
+
+class QualityGoal:
+    """One goal: a metric, its importance and its acceptance bar."""
+
+    __slots__ = ("metric", "weight", "threshold", "required")
+
+    def __init__(self, metric: QualityMetric, weight: float = 1.0,
+                 threshold: float = 0.0, required: bool = False) -> None:
+        if weight <= 0:
+            raise ProfileError(f"goal {metric.name!r}: weight must be > 0")
+        if not 0.0 <= threshold <= 1.0:
+            raise ProfileError(
+                f"goal {metric.name!r}: threshold outside [0, 1]"
+            )
+        self.metric = metric
+        self.weight = weight
+        self.threshold = threshold
+        self.required = required
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityGoal({self.metric.name}, weight={self.weight}, "
+            f"threshold={self.threshold})"
+        )
+
+
+class GoalOutcome:
+    """One goal's evaluated result."""
+
+    __slots__ = ("goal", "value", "passed", "error")
+
+    def __init__(self, goal: QualityGoal, value: QualityValue | None,
+                 error: str | None = None) -> None:
+        self.goal = goal
+        self.value = value
+        self.error = error
+        if value is None:
+            self.passed = False
+        else:
+            self.passed = value.value >= goal.threshold
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            return f"GoalOutcome({self.goal.metric.name}: ERROR {self.error})"
+        flag = "pass" if self.passed else "FAIL"
+        return (
+            f"GoalOutcome({self.goal.metric.name}: "
+            f"{self.value.value:.3f} {flag})"
+        )
+
+
+class ProfileEvaluation:
+    """The result of evaluating one profile."""
+
+    def __init__(self, profile_name: str,
+                 outcomes: list[GoalOutcome]) -> None:
+        self.profile_name = profile_name
+        self.outcomes = outcomes
+
+    def __iter__(self) -> Iterator[GoalOutcome]:
+        return iter(self.outcomes)
+
+    @property
+    def overall_score(self) -> float:
+        """Weighted mean over goals that produced a value."""
+        weighted = 0.0
+        total_weight = 0.0
+        for outcome in self.outcomes:
+            if outcome.value is not None:
+                weighted += outcome.goal.weight * outcome.value.value
+                total_weight += outcome.goal.weight
+        if total_weight == 0:
+            return 0.0
+        return weighted / total_weight
+
+    @property
+    def acceptable(self) -> bool:
+        """All required goals measured and above their thresholds."""
+        for outcome in self.outcomes:
+            if outcome.goal.required and not outcome.passed:
+                return False
+        return True
+
+    @property
+    def unmeasured(self) -> list[str]:
+        """Metric names that could not be computed (with the reason kept
+        on the outcome) — "not all quality dimensions requested by the
+        end user may be available"."""
+        return [
+            outcome.goal.metric.name for outcome in self.outcomes
+            if outcome.value is None
+        ]
+
+    def outcome_for(self, metric_name: str) -> GoalOutcome:
+        for outcome in self.outcomes:
+            if outcome.goal.metric.name == metric_name:
+                return outcome
+        raise ProfileError(f"no goal for metric {metric_name!r}")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "profile": self.profile_name,
+            "overall_score": self.overall_score,
+            "acceptable": self.acceptable,
+            "goals": [
+                {
+                    "metric": outcome.goal.metric.name,
+                    "dimension": outcome.goal.metric.dimension,
+                    "weight": outcome.goal.weight,
+                    "threshold": outcome.goal.threshold,
+                    "value": None if outcome.value is None
+                    else outcome.value.value,
+                    "passed": outcome.passed,
+                    "error": outcome.error,
+                }
+                for outcome in self.outcomes
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"Profile {self.profile_name!r}: "
+            f"score {self.overall_score:.1%} "
+            f"({'acceptable' if self.acceptable else 'NOT acceptable'})"
+        ]
+        for outcome in self.outcomes:
+            if outcome.value is None:
+                lines.append(
+                    f"  {outcome.goal.metric.name:<28} unavailable "
+                    f"({outcome.error})"
+                )
+            else:
+                flag = "ok" if outcome.passed else "BELOW THRESHOLD"
+                lines.append(
+                    f"  {outcome.goal.metric.name:<28} "
+                    f"{outcome.value.value:6.1%}  {flag}"
+                )
+        return "\n".join(lines)
+
+
+class QualityProfile:
+    """A named, ordered set of goals belonging to one user/role."""
+
+    def __init__(self, name: str, goals: list[QualityGoal] | None = None,
+                 owner: str = "") -> None:
+        if not name:
+            raise ProfileError("profile needs a name")
+        self.name = name
+        self.owner = owner
+        self._goals: list[QualityGoal] = list(goals or [])
+        self._check_unique()
+
+    def _check_unique(self) -> None:
+        seen: set[str] = set()
+        for goal in self._goals:
+            if goal.metric.name in seen:
+                raise ProfileError(
+                    f"profile {self.name!r}: duplicate metric "
+                    f"{goal.metric.name!r}"
+                )
+            seen.add(goal.metric.name)
+
+    def add_goal(self, metric: QualityMetric, weight: float = 1.0,
+                 threshold: float = 0.0,
+                 required: bool = False) -> QualityGoal:
+        goal = QualityGoal(metric, weight, threshold, required)
+        self._goals.append(goal)
+        self._check_unique()
+        return goal
+
+    @property
+    def goals(self) -> tuple[QualityGoal, ...]:
+        return tuple(self._goals)
+
+    def dimensions(self) -> list[str]:
+        return sorted({goal.metric.dimension for goal in self._goals})
+
+    def evaluate(self, context: AssessmentContext) -> ProfileEvaluation:
+        """Measure every goal; metrics that cannot run yield an outcome
+        with an error instead of aborting the evaluation."""
+        outcomes: list[GoalOutcome] = []
+        for goal in self._goals:
+            try:
+                value = goal.metric.measure(context)
+            except MetricError as exc:
+                outcomes.append(GoalOutcome(goal, None, error=str(exc)))
+            else:
+                outcomes.append(GoalOutcome(goal, value))
+        return ProfileEvaluation(self.name, outcomes)
+
+    def __repr__(self) -> str:
+        return f"QualityProfile({self.name}, {len(self._goals)} goals)"
+
+    def __len__(self) -> int:
+        return len(self._goals)

@@ -1,0 +1,98 @@
+"""Markdown rendering for reports.
+
+The FNJV prototype published its results "in the FNJV web site
+environment" (Fig. 2 is a screenshot).  This module is the publishing
+half: assessment reports, detection summaries and pipeline reports as
+Markdown, ready for a site generator or a notebook.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.assessment import AssessmentReport
+from repro.curation.pipeline import PipelineReport
+from repro.curation.species_check import SpeciesCheckResult
+
+__all__ = ["report_to_markdown", "check_to_markdown",
+           "pipeline_to_markdown", "comparison_to_markdown"]
+
+
+def report_to_markdown(report: AssessmentReport) -> str:
+    """An assessment report as a Markdown section."""
+    lines = [f"## Quality assessment — {report.subject}", ""]
+    if report.run_id:
+        lines.append(f"*Workflow trace: `{report.run_id}`*")
+        lines.append("")
+    lines.append("| dimension | value | source | method |")
+    lines.append("|-----------|-------|--------|--------|")
+    for value in report:
+        lines.append(
+            f"| {value.dimension} | {value.value:.1%} | {value.source} "
+            f"| {value.method or '—'} |"
+        )
+    if report.notes:
+        lines.append("")
+        for note in report.notes:
+            lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def check_to_markdown(result: SpeciesCheckResult,
+                      max_names: int = 10) -> str:
+    """A Fig. 2-style detection panel as Markdown."""
+    lines = [
+        "## Detection of outdated species names", "",
+        "| quantity | value |",
+        "|----------|-------|",
+        f"| records processed | {result.records_processed:,} |",
+        f"| distinct species names | {result.distinct_names:,} |",
+        f"| outdated species names | {result.outdated_names:,} "
+        f"({result.outdated_fraction:.0%}) |",
+        f"| unresolved (service down) | {result.unresolved_names:,} |",
+    ]
+    updated = sorted(result.updated_names.items())
+    if updated:
+        lines += ["", "### Updated names", "",
+                  "| outdated name | up-to-date name |",
+                  "|---------------|-----------------|"]
+        for old, new in updated[:max_names]:
+            lines.append(f"| *{old}* | *{new}* |")
+        if len(updated) > max_names:
+            lines.append(f"| … | {len(updated) - max_names} more |")
+    return "\n".join(lines)
+
+
+def pipeline_to_markdown(report: PipelineReport) -> str:
+    """Every executed stage's summary as Markdown."""
+    lines = ["## Curation pipeline report", ""]
+    for stage, summary in report.summary().items():
+        lines.append(f"### {stage.replace('_', ' ')}")
+        lines.append("")
+        lines.append("| key | value |")
+        lines.append("|-----|-------|")
+        for key, value in summary.items():
+            if isinstance(value, Mapping):
+                value = f"{len(value)} entries"
+            lines.append(f"| {key.replace('_', ' ')} | {value} |")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def comparison_to_markdown(paper: Mapping[str, Any],
+                           measured: Mapping[str, Any],
+                           title: str = "paper vs. measured") -> str:
+    """The paper-vs-measured rows as a Markdown table."""
+    from repro.casestudy.reporting import comparison_table
+
+    lines = [f"## {title}", "",
+             "| figure | paper | measured | rel. error |",
+             "|--------|-------|----------|------------|"]
+    for row in comparison_table(paper, measured):
+        error = row.get("relative_error")
+        error_text = "—" if error is None else f"{error:.2%}"
+        lines.append(
+            f"| {row['figure'].replace('_', ' ')} | {row['paper']} "
+            f"| {row['measured']} | {error_text} |"
+        )
+    return "\n".join(lines)

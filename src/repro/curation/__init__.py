@@ -1,0 +1,47 @@
+"""Curation processes for the sound-collection case study.
+
+Stage 1 (paper §IV-B): basic cleaning (domain checks, syntactic
+corrections), geocoding, environmental gap-filling, and the Outdated
+Species Name Detection Workflow.  Stage 2: spatial error detection.
+
+The original collection is **never mutated**: every proposed change goes
+to the curation-history log (:mod:`repro.curation.history`) and species
+name updates go to a separate table referencing the original record,
+flagged for biologist review — exactly the paper's persistence strategy.
+"""
+
+from repro.curation.cleaning import CleaningReport, MetadataCleaner
+from repro.curation.enrichment import EnrichmentReport, EnvironmentalEnricher
+from repro.curation.geocoding import Geocoder, GeocodingReport
+from repro.curation.history import CurationHistory, ProposedChange
+from repro.curation.name_repair import NameRepairer, NameRepairReport
+from repro.curation.pipeline import CurationPipeline, PipelineReport
+from repro.curation.review import ReviewQueue, ReviewSession
+from repro.curation.spatial_audit import SpatialAuditor, SpatialAuditReport
+from repro.curation.species_check import (
+    SpeciesCheckResult,
+    SpeciesNameChecker,
+    build_species_check_workflow,
+)
+
+__all__ = [
+    "CleaningReport",
+    "CurationHistory",
+    "CurationPipeline",
+    "EnrichmentReport",
+    "EnvironmentalEnricher",
+    "Geocoder",
+    "GeocodingReport",
+    "MetadataCleaner",
+    "NameRepairReport",
+    "NameRepairer",
+    "PipelineReport",
+    "ProposedChange",
+    "ReviewQueue",
+    "ReviewSession",
+    "SpatialAuditReport",
+    "SpatialAuditor",
+    "SpeciesCheckResult",
+    "SpeciesNameChecker",
+    "build_species_check_workflow",
+]

@@ -1,0 +1,140 @@
+"""The full curation pipeline.
+
+Orchestrates the paper's two stages over one collection:
+
+* **stage 1** — cleaning, geocoding (with auto-approval of the
+  unambiguous results so stage 1.3 can use them), environmental
+  enrichment, and the Outdated Species Name Detection Workflow;
+* **stage 2** — the spatial audit.
+
+"These are not, moreover, isolated activities that are performed only
+once" — the pipeline object is reusable; re-running it against an
+advanced catalogue models the periodic re-curation of 2011 -> 2013.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.curation.cleaning import CleaningReport, MetadataCleaner
+from repro.curation.enrichment import EnrichmentReport, EnvironmentalEnricher
+from repro.curation.geocoding import Geocoder, GeocodingReport
+from repro.curation.history import CurationHistory
+from repro.curation.name_repair import NameRepairer, NameRepairReport
+from repro.curation.spatial_audit import SpatialAuditor, SpatialAuditReport
+from repro.curation.species_check import SpeciesCheckResult, SpeciesNameChecker
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.provenance.manager import ProvenanceManager
+from repro.sounds.collection import SoundCollection
+from repro.taxonomy.service import CatalogueService
+from repro.workflow.engine import WorkflowEngine
+
+__all__ = ["PipelineReport", "CurationPipeline"]
+
+
+class PipelineReport:
+    """Everything one pipeline pass produced."""
+
+    def __init__(self) -> None:
+        self.cleaning: CleaningReport | None = None
+        self.name_repair: NameRepairReport | None = None
+        self.geocoding: GeocodingReport | None = None
+        self.enrichment: EnrichmentReport | None = None
+        self.species_check: SpeciesCheckResult | None = None
+        self.spatial_audit: SpatialAuditReport | None = None
+
+    def summary(self) -> dict[str, Any]:
+        parts: dict[str, Any] = {}
+        if self.cleaning is not None:
+            parts["cleaning"] = self.cleaning.summary()
+        if self.name_repair is not None:
+            parts["name_repair"] = self.name_repair.summary()
+        if self.geocoding is not None:
+            parts["geocoding"] = self.geocoding.summary()
+        if self.enrichment is not None:
+            parts["enrichment"] = self.enrichment.summary()
+        if self.species_check is not None:
+            parts["species_check"] = dict(self.species_check.summary)
+        if self.spatial_audit is not None:
+            parts["spatial_audit"] = self.spatial_audit.summary()
+        return parts
+
+    def __repr__(self) -> str:
+        done = [name for name, value in (
+            ("cleaning", self.cleaning), ("geocoding", self.geocoding),
+            ("enrichment", self.enrichment),
+            ("species_check", self.species_check),
+            ("spatial_audit", self.spatial_audit),
+        ) if value is not None]
+        return f"PipelineReport(stages={done})"
+
+
+class CurationPipeline:
+    """Stage orchestration for one collection."""
+
+    def __init__(self, collection: SoundCollection,
+                 service: CatalogueService,
+                 gazetteer: Gazetteer | None = None,
+                 climate: ClimateArchive | None = None,
+                 engine: WorkflowEngine | None = None,
+                 provenance: ProvenanceManager | None = None) -> None:
+        self.collection = collection
+        self.service = service
+        self.gazetteer = gazetteer or Gazetteer()
+        self.climate = climate or ClimateArchive()
+        self.engine = engine or WorkflowEngine()
+        self.provenance = provenance or ProvenanceManager()
+        self.history = CurationHistory(collection)
+        self.checker = SpeciesNameChecker(
+            collection, service, engine=self.engine,
+            provenance=self.provenance, history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+
+    def run_stage1(self, auto_approve_geocoding: bool = True,
+                   run_species_check: bool = True,
+                   repair_names: bool = False) -> PipelineReport:
+        """Cleaning -> (fuzzy name repair) -> geocoding -> enrichment ->
+        name check."""
+        report = PipelineReport()
+        report.cleaning = MetadataCleaner(self.history).run()
+        if repair_names:
+            report.name_repair = NameRepairer(
+                self.history, self.service.catalogue).run()
+        geocoder = Geocoder(self.history, self.gazetteer)
+        report.geocoding = geocoder.run()
+        if auto_approve_geocoding:
+            # Unambiguous gazetteer hits are validated in bulk (the
+            # paper's curators validated each step); ambiguous ones stay
+            # in the disambiguation queue.
+            self.history.approve_step(Geocoder.STEP,
+                                      curator="curator (bulk validation)")
+        report.enrichment = EnvironmentalEnricher(
+            self.history, self.climate
+        ).run()
+        if run_species_check:
+            report.species_check = self.checker.run()
+        return report
+
+    def run_stage2(self) -> SpatialAuditReport:
+        """The spatial audit over the curated view."""
+        return SpatialAuditor(self.collection, history=self.history).run()
+
+    def run_all(self) -> PipelineReport:
+        report = self.run_stage1()
+        report.spatial_audit = self.run_stage2()
+        return report
+
+    # ------------------------------------------------------------------
+    # periodic re-curation
+    # ------------------------------------------------------------------
+
+    def recheck_names(self, as_of_year: int) -> SpeciesCheckResult:
+        """Re-run only the name check against the catalogue as known in
+        ``as_of_year`` (the 2011 -> 2013 re-initiation of stage 1)."""
+        self.service.catalogue.advance_to(as_of_year)
+        return self.checker.run()

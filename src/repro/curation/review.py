@@ -1,0 +1,141 @@
+"""The curators' review queue.
+
+"Every step was validated by human curators, who also helped in
+disambiguating information whenever our algorithms found problems."
+
+:class:`ReviewQueue` is the organizing layer over the history log's
+flagged proposals: priority ordering (changes that alter *meaning* come
+before mechanical fills), per-step batches, a reviewer session that
+tracks throughput, and queue statistics for planning curation
+campaigns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.curation.history import CurationHistory, ProposedChange
+from repro.errors import CurationError
+
+__all__ = ["ReviewQueue", "ReviewSession"]
+
+#: lower number = reviewed first; meaning-changing steps lead
+_STEP_PRIORITY = {
+    "stage1.1-name-repair": 0,
+    "stage2-spatial-audit": 1,
+    "stage1.1-cleaning": 2,
+    "stage1.2-geocoding": 3,
+    "stage1.3-enrichment": 4,
+}
+_DEFAULT_PRIORITY = 5
+
+
+def _priority(change: ProposedChange) -> tuple[int, int]:
+    return (_STEP_PRIORITY.get(change.step, _DEFAULT_PRIORITY),
+            change.change_id)
+
+
+class ReviewSession:
+    """One reviewer's sitting: decisions counted and attributed."""
+
+    def __init__(self, queue: "ReviewQueue", curator: str) -> None:
+        self.queue = queue
+        self.curator = curator
+        self.approved = 0
+        self.rejected = 0
+        self.skipped = 0
+
+    @property
+    def decisions(self) -> int:
+        return self.approved + self.rejected
+
+    def approve(self, change: ProposedChange) -> None:
+        self.queue.history.approve(change.change_id, curator=self.curator)
+        self.approved += 1
+
+    def reject(self, change: ProposedChange) -> None:
+        self.queue.history.reject(change.change_id, curator=self.curator)
+        self.rejected += 1
+
+    def skip(self, change: ProposedChange) -> None:
+        self.skipped += 1
+
+    def work(self, decide: Callable[[ProposedChange], str],
+             limit: int | None = None) -> int:
+        """Pull changes in priority order; ``decide`` returns
+        ``"approve"`` / ``"reject"`` / ``"skip"``.  Returns decisions
+        made."""
+        done = 0
+        for change in self.queue.pending():
+            if limit is not None and done >= limit:
+                break
+            verdict = decide(change)
+            if verdict == "approve":
+                self.approve(change)
+            elif verdict == "reject":
+                self.reject(change)
+            elif verdict == "skip":
+                self.skip(change)
+                continue
+            else:
+                raise CurationError(f"unknown verdict {verdict!r}")
+            done += 1
+        return done
+
+    def __repr__(self) -> str:
+        return (
+            f"ReviewSession({self.curator}: {self.approved} approved, "
+            f"{self.rejected} rejected, {self.skipped} skipped)"
+        )
+
+
+class ReviewQueue:
+    """Priority view over the history log's flagged changes."""
+
+    def __init__(self, history: CurationHistory) -> None:
+        self.history = history
+
+    def pending(self, step: str | None = None) -> Iterator[ProposedChange]:
+        """Flagged changes, meaning-changing steps first.
+
+        Re-reads the log each call, so decisions made mid-iteration are
+        reflected (already-reviewed changes do not reappear)."""
+        changes = sorted(self.history.pending(step=step), key=_priority)
+        for change in changes:
+            # a decision may have landed since the snapshot
+            current = [
+                c for c in self.history.changes(record_id=change.record_id,
+                                                status="flagged")
+                if c.change_id == change.change_id
+            ]
+            if current:
+                yield change
+
+    def __len__(self) -> int:
+        return len(self.history.pending())
+
+    def next_change(self) -> ProposedChange | None:
+        for change in self.pending():
+            return change
+        return None
+
+    def session(self, curator: str) -> ReviewSession:
+        return ReviewSession(self, curator)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def backlog_by_step(self) -> dict[str, int]:
+        backlog: dict[str, int] = {}
+        for change in self.history.pending():
+            backlog[change.step] = backlog.get(change.step, 0) + 1
+        return dict(sorted(backlog.items()))
+
+    def estimated_effort_minutes(self,
+                                 minutes_per_change: float = 1.5) -> float:
+        """Planning aid: how long the backlog takes one curator."""
+        return len(self) * minutes_per_change
+
+    def records_awaiting_review(self) -> set[int]:
+        return {change.record_id for change in self.history.pending()}

@@ -1,0 +1,164 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Each subsystem has its own branch:
+
+* :class:`StorageError` — the embeddable relational engine.
+* :class:`WorkflowError` — the dataflow engine.
+* :class:`ProvenanceError` — OPM graphs and the provenance manager.
+* :class:`TaxonomyError` — the simulated Catalogue of Life.
+* :class:`QualityError` — quality dimensions, metrics and assessment.
+* :class:`CurationError` — curation pipelines.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage engine
+# ---------------------------------------------------------------------------
+
+class StorageError(ReproError):
+    """Base class for errors raised by :mod:`repro.storage`."""
+
+
+class SchemaError(StorageError):
+    """A table schema is invalid (duplicate column, bad type, missing key)."""
+
+
+class ConstraintViolation(StorageError):
+    """A row violates a declared constraint (NOT NULL, UNIQUE, CHECK, FK)."""
+
+    def __init__(self, constraint: str, detail: str) -> None:
+        super().__init__(f"{constraint}: {detail}")
+        self.constraint = constraint
+        self.detail = detail
+
+
+class UnknownTableError(StorageError):
+    """A statement referenced a table that does not exist."""
+
+
+class UnknownColumnError(StorageError):
+    """A statement referenced a column absent from the table schema."""
+
+
+class DuplicateTableError(StorageError):
+    """``create_table`` was called with a name that is already in use."""
+
+
+class RowNotFoundError(StorageError):
+    """A lookup by primary key matched no row."""
+
+
+class TransactionError(StorageError):
+    """Misuse of the transaction API (nested begin, commit w/o begin...)."""
+
+
+class JournalError(StorageError):
+    """The write-ahead journal is corrupt or cannot be replayed."""
+
+
+# ---------------------------------------------------------------------------
+# Workflow engine
+# ---------------------------------------------------------------------------
+
+class WorkflowError(ReproError):
+    """Base class for errors raised by :mod:`repro.workflow`."""
+
+
+class WorkflowValidationError(WorkflowError):
+    """A workflow definition is structurally invalid (cycle, dangling link)."""
+
+
+class UnknownProcessorError(WorkflowError):
+    """A link or run referenced a processor that is not in the workflow."""
+
+
+class UnknownPortError(WorkflowError):
+    """A link referenced a port a processor does not declare."""
+
+
+class WorkflowExecutionError(WorkflowError):
+    """A processor failed while the workflow was running."""
+
+    def __init__(self, processor: str, cause: BaseException) -> None:
+        super().__init__(f"processor {processor!r} failed: {cause}")
+        self.processor = processor
+        self.cause = cause
+
+
+class SerializationError(WorkflowError):
+    """A workflow document could not be parsed or emitted."""
+
+
+# ---------------------------------------------------------------------------
+# Provenance
+# ---------------------------------------------------------------------------
+
+class ProvenanceError(ReproError):
+    """Base class for errors raised by :mod:`repro.provenance`."""
+
+
+class UnknownNodeError(ProvenanceError):
+    """An OPM edge referenced a node missing from the graph."""
+
+
+class InvalidEdgeError(ProvenanceError):
+    """An OPM edge connects node kinds the spec does not allow."""
+
+
+# ---------------------------------------------------------------------------
+# Taxonomy / external services
+# ---------------------------------------------------------------------------
+
+class TaxonomyError(ReproError):
+    """Base class for errors raised by :mod:`repro.taxonomy`."""
+
+
+class NameNotFoundError(TaxonomyError):
+    """A scientific name is absent from the catalogue."""
+
+
+class InvalidNameError(TaxonomyError):
+    """A string is not a well-formed scientific name."""
+
+
+class ServiceUnavailableError(TaxonomyError):
+    """The (simulated) external web service refused the call."""
+
+
+# ---------------------------------------------------------------------------
+# Quality core
+# ---------------------------------------------------------------------------
+
+class QualityError(ReproError):
+    """Base class for errors raised by :mod:`repro.core`."""
+
+
+class UnknownDimensionError(QualityError):
+    """A profile or report referenced an unregistered quality dimension."""
+
+
+class MetricError(QualityError):
+    """A quality metric could not be computed."""
+
+
+class ProfileError(QualityError):
+    """A quality profile definition is inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Curation
+# ---------------------------------------------------------------------------
+
+class CurationError(ReproError):
+    """Base class for errors raised by :mod:`repro.curation`."""
+
+
+class GeocodingError(CurationError):
+    """A location string could not be resolved to coordinates."""

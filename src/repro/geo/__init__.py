@@ -1,0 +1,32 @@
+"""Geographic substrates for metadata curation.
+
+Stage 1 of the paper's curation adds geographic coordinates to records
+made before GPS and fills in environmental conditions from authoritative
+sources; stage 2 uses spatial analysis to detect errors.  This package
+provides the three oracles those steps need:
+
+* :mod:`repro.geo.gazetteer` — a seeded synthetic Neotropical gazetteer
+  mapping (country, state, city/location) to coordinates;
+* :mod:`repro.geo.climate` — a deterministic historical climate model
+  answering (coordinates, date) -> temperature / humidity / conditions;
+* :mod:`repro.geo.spatial` — great-circle distances, centroids and the
+  spatial outlier detection behind the stage-2 audit.
+"""
+
+from repro.geo.climate import ClimateArchive, ClimateReading
+from repro.geo.gazetteer import Gazetteer, Place
+from repro.geo.spatial import (
+    geographic_centroid,
+    haversine_km,
+    spatial_outliers,
+)
+
+__all__ = [
+    "ClimateArchive",
+    "ClimateReading",
+    "Gazetteer",
+    "Place",
+    "geographic_centroid",
+    "haversine_km",
+    "spatial_outliers",
+]

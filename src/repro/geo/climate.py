@@ -1,0 +1,109 @@
+"""A deterministic historical climate archive.
+
+Stage 1.3 of the paper's curation fills missing environmental fields
+(air temperature, atmospheric conditions) "obtained from authoritative
+sources, once location and date were defined".  This module is that
+authoritative source: a physically plausible, fully deterministic model
+
+``(latitude, longitude, date, hour) -> ClimateReading``
+
+Temperature combines a latitude-dependent annual mean, a seasonal
+sinusoid (phase-flipped across the equator), a diurnal cycle and
+coordinate-hashed noise, so the same query always returns the same
+answer — which is exactly what a historical archive does.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import hashlib
+import math
+
+__all__ = ["ClimateReading", "ClimateArchive"]
+
+_CONDITIONS = ("clear", "partly cloudy", "cloudy", "light rain", "rain",
+               "storm")
+
+
+class ClimateReading:
+    """One archive answer."""
+
+    __slots__ = ("temperature_c", "humidity_pct", "conditions")
+
+    def __init__(self, temperature_c: float, humidity_pct: float,
+                 conditions: str) -> None:
+        self.temperature_c = temperature_c
+        self.humidity_pct = humidity_pct
+        self.conditions = conditions
+
+    def __repr__(self) -> str:
+        return (
+            f"ClimateReading({self.temperature_c:.1f}C, "
+            f"{self.humidity_pct:.0f}%, {self.conditions})"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "temperature_c": round(self.temperature_c, 1),
+            "humidity_pct": round(self.humidity_pct, 0),
+            "conditions": self.conditions,
+        }
+
+
+def _stable_noise(*parts: object) -> float:
+    """Deterministic noise in [0, 1) derived from the query itself."""
+    digest = hashlib.sha256("|".join(map(str, parts)).encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class ClimateArchive:
+    """The deterministic climate oracle."""
+
+    def __init__(self, noise_amplitude_c: float = 3.0) -> None:
+        self.noise_amplitude_c = noise_amplitude_c
+
+    def reading(self, latitude: float, longitude: float,
+                date: _dt.date, hour: int = 12) -> ClimateReading:
+        """The archive's answer for one place-time."""
+        if not -90 <= latitude <= 90:
+            raise ValueError(f"bad latitude {latitude}")
+        if not -180 <= longitude <= 180:
+            raise ValueError(f"bad longitude {longitude}")
+        if not 0 <= hour <= 23:
+            raise ValueError(f"bad hour {hour}")
+
+        day_of_year = date.timetuple().tm_yday
+        # Annual mean falls off with distance from the equator.
+        annual_mean = 27.0 - 0.35 * abs(latitude)
+        # Seasonal swing grows with |latitude|.  cos(phase) peaks in
+        # mid-January: that is winter in the north (negative contribution)
+        # and summer in the south (positive contribution).
+        swing = 1.5 + 0.25 * abs(latitude)
+        phase = (day_of_year - 15) / 365.25 * 2 * math.pi
+        seasonal = swing * math.cos(phase) * (-1 if latitude >= 0 else 1)
+        # Diurnal cycle: coolest ~05h, warmest ~14h.
+        diurnal = 4.0 * math.sin((hour - 8) / 24 * 2 * math.pi)
+        noise = (
+            _stable_noise(round(latitude, 2), round(longitude, 2),
+                          date.isoformat(), hour) - 0.5
+        ) * 2 * self.noise_amplitude_c
+        temperature = annual_mean + seasonal + diurnal + noise
+
+        wet_noise = _stable_noise("humidity", round(latitude, 2),
+                                  round(longitude, 2), date.isoformat())
+        # Wet season roughly opposite the cool season in the tropics.
+        wet_season = 0.5 + 0.3 * math.sin(phase + math.pi)
+        humidity = max(20.0, min(100.0, 45 + 40 * wet_season
+                                 + 20 * (wet_noise - 0.5)))
+        condition_score = wet_season * 0.6 + wet_noise * 0.4
+        index = min(len(_CONDITIONS) - 1,
+                    int(condition_score * len(_CONDITIONS)))
+        return ClimateReading(temperature, humidity, _CONDITIONS[index])
+
+    def temperature(self, latitude: float, longitude: float,
+                    date: _dt.date, hour: int = 12) -> float:
+        return self.reading(latitude, longitude, date, hour).temperature_c
+
+    def conditions(self, latitude: float, longitude: float,
+                   date: _dt.date, hour: int = 12) -> str:
+        return self.reading(latitude, longitude, date, hour).conditions

@@ -1,0 +1,223 @@
+"""A synthetic Neotropical gazetteer.
+
+Most FNJV recordings predate GPS; stage 1.2 of the paper's curation adds
+coordinates by resolving textual place fields (country / state / city /
+location) against a gazetteer, with human curators disambiguating vague
+names.  This module generates a deterministic gazetteer:
+
+* real country and (for Brazil) state names with plausible bounding
+  boxes;
+* seeded synthetic city names placed inside their state's box;
+* resolution that degrades gracefully — city hit (small uncertainty),
+  state centroid (medium), country centroid (large) — and reports
+  ambiguity when several places share a name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import GeocodingError
+
+__all__ = ["Place", "Gazetteer"]
+
+# name -> (lat_min, lat_max, lon_min, lon_max) rough bounding boxes
+_COUNTRIES: dict[str, tuple[float, float, float, float]] = {
+    "Brasil": (-33.0, 4.0, -73.0, -35.0),
+    "Argentina": (-45.0, -22.0, -70.0, -55.0),
+    "Peru": (-18.0, 0.0, -81.0, -69.0),
+    "Colombia": (-4.0, 12.0, -79.0, -67.0),
+    "Venezuela": (1.0, 12.0, -73.0, -60.0),
+    "Ecuador": (-5.0, 1.5, -81.0, -75.0),
+    "Bolivia": (-22.5, -10.0, -69.0, -58.0),
+    "Paraguay": (-27.5, -19.5, -62.5, -54.5),
+    "Uruguay": (-35.0, -30.0, -58.5, -53.5),
+    "Mexico": (14.5, 23.0, -105.0, -87.0),
+}
+
+# Brazilian states (the collection's core) with rough boxes
+_BR_STATES: dict[str, tuple[float, float, float, float]] = {
+    "Sao Paulo": (-25.3, -19.8, -53.1, -44.2),
+    "Minas Gerais": (-22.9, -14.2, -51.0, -39.9),
+    "Rio de Janeiro": (-23.4, -20.8, -44.9, -41.0),
+    "Bahia": (-18.3, -8.5, -46.6, -37.3),
+    "Amazonas": (-9.8, 2.2, -73.8, -56.1),
+    "Mato Grosso": (-18.0, -7.3, -61.6, -50.2),
+    "Parana": (-26.7, -22.5, -54.6, -48.0),
+    "Santa Catarina": (-29.4, -25.9, -53.8, -48.3),
+    "Rio Grande do Sul": (-33.8, -27.1, -57.6, -49.7),
+    "Goias": (-19.5, -12.4, -53.2, -45.9),
+    "Para": (-9.9, 2.6, -58.9, -46.0),
+    "Pernambuco": (-9.5, -7.3, -41.4, -34.8),
+}
+
+_CITY_PREFIXES = ["Sao", "Santa", "Santo", "Nova", "Porto", "Vila",
+                  "Campo", "Ribeirao", "Monte", "Serra", "Lagoa", "Boa"]
+_CITY_CORES = ["Joao", "Maria", "Antonio", "Pedra", "Verde", "Alegre",
+               "Grande", "Preto", "Claro", "Bonito", "Alto", "Azul",
+               "Branco", "das Flores", "do Sul", "do Norte", "da Mata",
+               "dos Campos", "Esperanca", "Aurora"]
+
+
+class Place:
+    """One gazetteer entry."""
+
+    __slots__ = ("name", "kind", "country", "state", "latitude",
+                 "longitude", "uncertainty_km")
+
+    def __init__(self, name: str, kind: str, country: str,
+                 state: str | None, latitude: float, longitude: float,
+                 uncertainty_km: float) -> None:
+        self.name = name
+        self.kind = kind  # "city" | "state" | "country"
+        self.country = country
+        self.state = state
+        self.latitude = latitude
+        self.longitude = longitude
+        self.uncertainty_km = uncertainty_km
+
+    def __repr__(self) -> str:
+        return (
+            f"Place({self.name}, {self.kind}, "
+            f"{self.latitude:.3f},{self.longitude:.3f} "
+            f"±{self.uncertainty_km:.0f}km)"
+        )
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        return (self.latitude, self.longitude)
+
+
+def _centroid(box: tuple[float, float, float, float]) -> tuple[float, float]:
+    lat_min, lat_max, lon_min, lon_max = box
+    return ((lat_min + lat_max) / 2, (lon_min + lon_max) / 2)
+
+
+def _box_radius_km(box: tuple[float, float, float, float]) -> float:
+    lat_min, lat_max, lon_min, lon_max = box
+    # ~111 km per degree of latitude; a crude but honest uncertainty
+    return max(lat_max - lat_min, lon_max - lon_min) * 111 / 2
+
+
+class Gazetteer:
+    """Seeded synthetic place index with hierarchical resolution."""
+
+    def __init__(self, seed: int = 2013, cities_per_state: int = 24,
+                 cities_per_country: int = 10,
+                 ambiguous_fraction: float = 0.04) -> None:
+        self.seed = seed
+        self._cities: dict[str, list[Place]] = {}
+        rng = random.Random(seed)
+
+        def add_city(name: str, country: str, state: str | None,
+                     box: tuple[float, float, float, float]) -> None:
+            lat_min, lat_max, lon_min, lon_max = box
+            place = Place(
+                name, "city", country, state,
+                rng.uniform(lat_min, lat_max),
+                rng.uniform(lon_min, lon_max),
+                uncertainty_km=rng.uniform(2.0, 12.0),
+            )
+            self._cities.setdefault(name, []).append(place)
+
+        # Brazilian cities, state by state.
+        names_pool = [
+            f"{prefix} {core}"
+            for prefix in _CITY_PREFIXES for core in _CITY_CORES
+        ]
+        rng.shuffle(names_pool)
+        pool = iter(names_pool)
+        duplicated: list[str] = []
+        for state, box in _BR_STATES.items():
+            for __ in range(cities_per_state):
+                try:
+                    name = next(pool)
+                except StopIteration:
+                    name = f"Cidade {rng.randint(1, 9999)}"
+                add_city(name, "Brasil", state, box)
+                if rng.random() < ambiguous_fraction:
+                    duplicated.append(name)
+        # Deliberate homonyms: the same city name in another state —
+        # the disambiguation cases human curators handle in the paper.
+        states = list(_BR_STATES)
+        for name in duplicated:
+            other_state = rng.choice(states)
+            add_city(name, "Brasil", other_state, _BR_STATES[other_state])
+        # A few cities for the other countries.
+        for country, box in _COUNTRIES.items():
+            if country == "Brasil":
+                continue
+            for index in range(cities_per_country):
+                add_city(f"{country} City {index + 1}", country, None, box)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def countries(self) -> list[str]:
+        return sorted(_COUNTRIES)
+
+    def states(self, country: str = "Brasil") -> list[str]:
+        return sorted(_BR_STATES) if country == "Brasil" else []
+
+    def cities(self, country: str | None = None,
+               state: str | None = None) -> Iterator[Place]:
+        for places in self._cities.values():
+            for place in places:
+                if country is not None and place.country != country:
+                    continue
+                if state is not None and place.state != state:
+                    continue
+                yield place
+
+    def city_names(self, country: str | None = None,
+                   state: str | None = None) -> list[str]:
+        return sorted({
+            place.name for place in self.cities(country, state)
+        })
+
+    def resolve(self, country: str | None = None, state: str | None = None,
+                city: str | None = None) -> Place:
+        """Resolve the most specific level available.
+
+        Raises :class:`~repro.errors.GeocodingError` on unknown or
+        irreducibly ambiguous input (city name in two states with no
+        state given) — those go to the human-curation queue.
+        """
+        if city:
+            candidates = self._cities.get(city, [])
+            if country:
+                candidates = [p for p in candidates if p.country == country]
+            if state:
+                candidates = [p for p in candidates if p.state == state]
+            if len(candidates) == 1:
+                return candidates[0]
+            if len(candidates) > 1:
+                raise GeocodingError(
+                    f"ambiguous city {city!r}: "
+                    + ", ".join(sorted(str(p.state) for p in candidates))
+                )
+            if not country and not state:
+                raise GeocodingError(f"unknown city {city!r}")
+            # fall through to state/country resolution
+        if state and state in _BR_STATES and (country in (None, "Brasil")):
+            lat, lon = _centroid(_BR_STATES[state])
+            return Place(state, "state", "Brasil", state, lat, lon,
+                         uncertainty_km=_box_radius_km(_BR_STATES[state]))
+        if country and country in _COUNTRIES:
+            lat, lon = _centroid(_COUNTRIES[country])
+            return Place(country, "country", country, None, lat, lon,
+                         uncertainty_km=_box_radius_km(_COUNTRIES[country]))
+        raise GeocodingError(
+            f"cannot resolve (country={country!r}, state={state!r}, "
+            f"city={city!r})"
+        )
+
+    def try_resolve(self, country: str | None = None,
+                    state: str | None = None,
+                    city: str | None = None) -> Place | None:
+        try:
+            return self.resolve(country, state, city)
+        except GeocodingError:
+            return None

@@ -1,0 +1,131 @@
+"""Spatial analysis: distances, centroids, outlier detection.
+
+Stage 2 of the paper ("a geographical approach for metadata quality
+improvement") checks errors through spatial analysis — e.g. a recording
+of a species thousands of kilometres from every other recording of that
+species is either a misidentification or a discovery.  The detector here
+implements the robust-distance formulation:
+
+1. compute the geographic centroid of a species' occurrence points,
+2. compute each point's great-circle distance to the centroid,
+3. flag points whose distance exceeds
+   ``median + mad_multiplier * MAD`` (median absolute deviation) and an
+   absolute floor ``min_distance_km``.
+
+MAD rather than the standard deviation keeps a single wild point from
+masking itself.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["haversine_km", "geographic_centroid", "pairwise_distances_km",
+           "spatial_outliers", "SpatialOutlier"]
+
+_EARTH_RADIUS_KM = 6371.0088
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (degree) coordinates."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    d_phi = phi2 - phi1
+    d_lambda = math.radians(lon2 - lon1)
+    a = (
+        math.sin(d_phi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(d_lambda / 2) ** 2
+    )
+    return 2 * _EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(a)))
+
+
+def geographic_centroid(points: Sequence[tuple[float, float]]) -> tuple[float, float]:
+    """Centroid on the sphere (mean of unit vectors), in degrees."""
+    if not points:
+        raise ValueError("centroid of no points")
+    xs = ys = zs = 0.0
+    for lat, lon in points:
+        phi, lam = math.radians(lat), math.radians(lon)
+        xs += math.cos(phi) * math.cos(lam)
+        ys += math.cos(phi) * math.sin(lam)
+        zs += math.sin(phi)
+    n = len(points)
+    xs, ys, zs = xs / n, ys / n, zs / n
+    hyp = math.hypot(xs, ys)
+    return (math.degrees(math.atan2(zs, hyp)),
+            math.degrees(math.atan2(ys, xs)))
+
+
+def pairwise_distances_km(points: Sequence[tuple[float, float]]) -> np.ndarray:
+    """Full symmetric distance matrix (km)."""
+    n = len(points)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = haversine_km(*points[i], *points[j])
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+class SpatialOutlier:
+    """One flagged occurrence."""
+
+    __slots__ = ("index", "latitude", "longitude", "distance_km",
+                 "threshold_km")
+
+    def __init__(self, index: int, latitude: float, longitude: float,
+                 distance_km: float, threshold_km: float) -> None:
+        self.index = index
+        self.latitude = latitude
+        self.longitude = longitude
+        self.distance_km = distance_km
+        self.threshold_km = threshold_km
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialOutlier(#{self.index} at {self.distance_km:.0f}km, "
+            f"threshold {self.threshold_km:.0f}km)"
+        )
+
+
+def spatial_outliers(points: Sequence[tuple[float, float]],
+                     mad_multiplier: float = 6.0,
+                     min_distance_km: float = 500.0,
+                     min_points: int = 5) -> list[SpatialOutlier]:
+    """Flag occurrence points far outside the species' core range.
+
+    Returns an empty list when fewer than ``min_points`` points exist —
+    too little data to call anything an outlier.
+    """
+    if len(points) < min_points:
+        return []
+    centroid = geographic_centroid(points)
+    distances = np.array([
+        haversine_km(lat, lon, *centroid) for lat, lon in points
+    ])
+    median = float(np.median(distances))
+    mad = float(np.median(np.abs(distances - median)))
+    threshold = max(median + mad_multiplier * max(mad, 1.0),
+                    min_distance_km)
+    outliers = []
+    for index, distance in enumerate(distances):
+        if distance > threshold:
+            lat, lon = points[index]
+            outliers.append(SpatialOutlier(index, lat, lon,
+                                           float(distance), threshold))
+    return outliers
+
+
+def bounding_box(points: Iterable[tuple[float, float]]) -> tuple[float, float, float, float]:
+    """(lat_min, lat_max, lon_min, lon_max) of the points."""
+    lats, lons = zip(*points)
+    return (min(lats), max(lats), min(lons), max(lons))
+
+
+def range_span_km(points: Sequence[tuple[float, float]]) -> float:
+    """Diameter of the occurrence set (max pairwise distance)."""
+    if len(points) < 2:
+        return 0.0
+    return float(pairwise_distances_km(points).max())

@@ -1,0 +1,49 @@
+"""Linked Data support: triples, publishing, cross-referencing, ROs.
+
+The paper's conclusions point at two follow-ups that this package
+implements:
+
+* "provide support to connect curated metadata with Linked Data
+  initiatives ... allow cross-referencing scientific papers across
+  distinct research communities" (the Shadows prototype, ref. [37]) —
+  :mod:`repro.linkeddata.shadows`;
+* Research Objects, "semantically rich aggregations of resources that
+  bring together the data, methods and people involved in
+  investigations" (Bechhofer et al., ref. [9]) —
+  :mod:`repro.linkeddata.research_object`.
+
+The substrate is a small in-process triple store with SPO/POS/OSP
+indexes (:mod:`repro.linkeddata.triples`) plus publishers that map the
+collection, the provenance graphs and the curation history into
+Darwin-Core/PROV-flavoured triples (:mod:`repro.linkeddata.publisher`).
+"""
+
+from repro.linkeddata.publisher import (
+    publish_collection,
+    publish_curation_history,
+    publish_provenance,
+)
+from repro.linkeddata.research_object import ResearchObject
+from repro.linkeddata.shadows import CrossReferencer, Publication, Shadow
+from repro.linkeddata.triples import IRI, Literal, Triple, TripleStore
+from repro.linkeddata.vocab import DC, DWC, PROV, RDF, RDFS, REPRO
+
+__all__ = [
+    "CrossReferencer",
+    "DC",
+    "DWC",
+    "IRI",
+    "Literal",
+    "PROV",
+    "Publication",
+    "RDF",
+    "RDFS",
+    "REPRO",
+    "ResearchObject",
+    "Shadow",
+    "Triple",
+    "TripleStore",
+    "publish_collection",
+    "publish_curation_history",
+    "publish_provenance",
+]

@@ -1,0 +1,128 @@
+"""Publishers: collection / provenance / curation history -> triples.
+
+``publish_collection`` maps sound records to Darwin Core occurrence
+triples; ``publish_provenance`` maps an OPM graph to PROV-flavoured
+triples (OPM's edge kinds have direct PROV counterparts);
+``publish_curation_history`` exposes the modification log as
+``prov:wasRevisionOf`` chains — the "historical log of metadata
+modifications" made queryable.
+"""
+
+from __future__ import annotations
+
+from repro.curation.history import CurationHistory
+from repro.linkeddata.triples import IRI, Literal, TripleStore
+from repro.linkeddata.vocab import DC, DWC, PROV, RDF, RDFS, REPRO
+from repro.provenance.opm import OPMGraph
+from repro.sounds.collection import SoundCollection
+
+__all__ = ["record_iri", "species_iri", "publish_collection",
+           "publish_provenance", "publish_curation_history"]
+
+#: OPM edge kind -> PROV property
+_OPM_TO_PROV = {
+    "used": PROV.used,
+    "wasGeneratedBy": PROV.wasGeneratedBy,
+    "wasControlledBy": PROV.wasAssociatedWith,
+    "wasTriggeredBy": PROV.wasInformedBy,
+    "wasDerivedFrom": PROV.wasDerivedFrom,
+}
+
+_OPM_KIND_TO_CLASS = {
+    "artifact": PROV.Entity,
+    "process": PROV.Activity,
+    "agent": PROV.Agent,
+}
+
+
+def record_iri(collection_name: str, record_id: int) -> IRI:
+    return REPRO[f"collection/{collection_name}/record/{record_id}"]
+
+
+def species_iri(name: str) -> IRI:
+    return REPRO[f"taxon/{name.replace(' ', '_')}"]
+
+
+def publish_collection(collection: SoundCollection,
+                       store: TripleStore | None = None) -> TripleStore:
+    """Darwin Core occurrence triples for every record."""
+    store = store if store is not None else TripleStore()
+    for row in collection.rows():
+        subject = record_iri(collection.name, row["record_id"])
+        store.add(subject, RDF.type, DWC.Occurrence)
+        store.add(subject, DC.identifier, Literal(row["record_id"]))
+        if row.get("species"):
+            store.add(subject, DWC.scientificName,
+                      Literal(row["species"]))
+            store.add(subject, REPRO.taxon, species_iri(row["species"]))
+        if row.get("genus"):
+            store.add(subject, DWC.genus, Literal(row["genus"]))
+        if row.get("collect_date"):
+            store.add(subject, DWC.eventDate,
+                      Literal(row["collect_date"].isoformat()))
+        if row.get("country"):
+            store.add(subject, DWC.country, Literal(row["country"]))
+        if row.get("state"):
+            store.add(subject, DWC.stateProvince, Literal(row["state"]))
+        if row.get("city"):
+            store.add(subject, DWC.municipality, Literal(row["city"]))
+        if row.get("latitude") is not None:
+            store.add(subject, DWC.decimalLatitude,
+                      Literal(row["latitude"]))
+        if row.get("longitude") is not None:
+            store.add(subject, DWC.decimalLongitude,
+                      Literal(row["longitude"]))
+        if row.get("habitat"):
+            store.add(subject, DWC.habitat, Literal(row["habitat"]))
+        if row.get("recordist"):
+            store.add(subject, DWC.recordedBy, Literal(row["recordist"]))
+    return store
+
+
+def publish_provenance(graph: OPMGraph,
+                       store: TripleStore | None = None) -> TripleStore:
+    """PROV triples for one OPM graph."""
+    store = store if store is not None else TripleStore()
+    for node in graph.nodes():
+        subject = REPRO[f"prov/{node.id}"]
+        store.add(subject, RDF.type, _OPM_KIND_TO_CLASS[node.kind])
+        store.add(subject, RDFS.label, Literal(node.label))
+        quality = node.annotations.get("quality")
+        if quality:
+            for dimension, value in sorted(quality.items()):
+                store.add(subject, REPRO[f"quality/{dimension}"],
+                          Literal(value))
+    for edge in graph.edges():
+        store.add(REPRO[f"prov/{edge.effect}"],
+                  _OPM_TO_PROV[edge.kind],
+                  REPRO[f"prov/{edge.cause}"])
+    return store
+
+
+def publish_curation_history(history: CurationHistory,
+                             store: TripleStore | None = None) -> TripleStore:
+    """Revision chains for curated records.
+
+    Each *approved* change becomes a revision resource linked to the
+    record it revises — the paper's ongoing work of "remodelling [the]
+    metadata database to reflect the history of curation processes".
+    """
+    store = store if store is not None else TripleStore()
+    collection_name = history.collection.name
+    for change in history.changes(status="approved"):
+        revision = REPRO[
+            f"collection/{collection_name}/revision/{change.change_id}"
+        ]
+        record = record_iri(collection_name, change.record_id)
+        store.add(revision, RDF.type, REPRO.Revision)
+        store.add(revision, PROV.wasRevisionOf, record)
+        store.add(revision, REPRO.field, Literal(change.field))
+        if change.old_value is not None:
+            store.add(revision, REPRO.oldValue, Literal(change.old_value))
+        if change.new_value is not None:
+            store.add(revision, REPRO.newValue, Literal(change.new_value))
+        store.add(revision, REPRO.step, Literal(change.step))
+        if change.curator:
+            store.add(revision, PROV.wasAttributedTo,
+                      Literal(change.curator))
+    return store

@@ -1,0 +1,264 @@
+"""A small in-process triple store.
+
+Terms are :class:`IRI` or :class:`Literal`.  The store keeps three
+permutation indexes (SPO, POS, OSP) so any single-wildcard pattern is
+answered from an index; :meth:`TripleStore.match` takes ``None`` as a
+wildcard on any position.
+
+This is deliberately *not* a full RDF engine — no blank-node scoping,
+no datatypes beyond Python values, no SPARQL — but it is enough to
+publish the collection, cross-reference publications and aggregate
+Research Objects, which is all the paper's conclusions call for.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["IRI", "Literal", "Triple", "TripleStore", "Namespace"]
+
+
+class IRI:
+    """A resource identifier."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        if not value:
+            raise ValueError("empty IRI")
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<{self.value}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IRI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("iri", self.value))
+
+    @property
+    def local_name(self) -> str:
+        for separator in ("#", "/"):
+            if separator in self.value:
+                return self.value.rsplit(separator, 1)[1]
+        return self.value
+
+
+class Literal:
+    """A literal value (string, number, date...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("literal", str(self.value)))
+
+
+Term = IRI | Literal
+
+
+class Triple:
+    """One (subject, predicate, object) statement."""
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(self, subject: IRI, predicate: IRI, object: Term) -> None:
+        if not isinstance(subject, IRI):
+            raise TypeError("triple subject must be an IRI")
+        if not isinstance(predicate, IRI):
+            raise TypeError("triple predicate must be an IRI")
+        if not isinstance(object, (IRI, Literal)):
+            raise TypeError("triple object must be an IRI or Literal")
+        self.subject = subject
+        self.predicate = predicate
+        self.object = object
+
+    def __repr__(self) -> str:
+        return f"({self.subject!r} {self.predicate!r} {self.object!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Triple):
+            return NotImplemented
+        return (self.subject, self.predicate, self.object) == (
+            other.subject, other.predicate, other.object)
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+
+class Namespace:
+    """Prefix helper: ``DWC = Namespace("http://rs.tdwg.org/dwc/terms/")``
+    then ``DWC.scientificName`` is the full IRI."""
+
+    def __init__(self, base: str) -> None:
+        self._base = base
+
+    def __getattr__(self, local: str) -> IRI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return IRI(self._base + local)
+
+    def __getitem__(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    def term(self, local: str) -> IRI:
+        return IRI(self._base + local)
+
+    @property
+    def base(self) -> str:
+        return self._base
+
+    def __repr__(self) -> str:
+        return f"Namespace({self._base})"
+
+
+class TripleStore:
+    """The indexed store."""
+
+    def __init__(self) -> None:
+        self._triples: set[Triple] = set()
+        self._spo: dict[IRI, dict[IRI, set[Term]]] = {}
+        self._pos: dict[IRI, dict[Term, set[IRI]]] = {}
+        self._osp: dict[Term, dict[IRI, set[IRI]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, subject: IRI, predicate: IRI, object: Term) -> Triple:
+        """Add one statement (idempotent)."""
+        triple = Triple(subject, predicate, object)
+        if triple in self._triples:
+            return triple
+        self._triples.add(triple)
+        self._spo.setdefault(subject, {}).setdefault(
+            predicate, set()).add(object)
+        self._pos.setdefault(predicate, {}).setdefault(
+            object, set()).add(subject)
+        self._osp.setdefault(object, {}).setdefault(
+            subject, set()).add(predicate)
+        return triple
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        count = 0
+        for triple in triples:
+            if triple not in self._triples:
+                self.add(triple.subject, triple.predicate, triple.object)
+                count += 1
+        return count
+
+    def remove(self, triple: Triple) -> bool:
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        self._spo[triple.subject][triple.predicate].discard(triple.object)
+        self._pos[triple.predicate][triple.object].discard(triple.subject)
+        self._osp[triple.object][triple.subject].discard(triple.predicate)
+        return True
+
+    def merge(self, other: "TripleStore") -> int:
+        return self.add_all(other)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def match(self, subject: IRI | None = None,
+              predicate: IRI | None = None,
+              object: Term | None = None) -> Iterator[Triple]:
+        """All triples matching the pattern (``None`` = wildcard)."""
+        if subject is not None and predicate is not None:
+            objects = self._spo.get(subject, {}).get(predicate, ())
+            for candidate in objects:
+                if object is None or candidate == object:
+                    yield Triple(subject, predicate, candidate)
+            return
+        if predicate is not None and object is not None:
+            for candidate in self._pos.get(predicate, {}).get(object, ()):
+                yield Triple(candidate, predicate, object)
+            return
+        if subject is not None and object is not None:
+            for candidate in self._osp.get(object, {}).get(subject, ()):
+                yield Triple(subject, candidate, object)
+            return
+        if subject is not None:
+            for predicate_key, objects in self._spo.get(subject, {}).items():
+                for candidate in objects:
+                    yield Triple(subject, predicate_key, candidate)
+            return
+        if predicate is not None:
+            for object_key, subjects in self._pos.get(predicate, {}).items():
+                for candidate in subjects:
+                    yield Triple(candidate, predicate, object_key)
+            return
+        if object is not None:
+            for subject_key, predicates in self._osp.get(object, {}).items():
+                for candidate in predicates:
+                    yield Triple(subject_key, candidate, object)
+            return
+        yield from self._triples
+
+    def objects(self, subject: IRI, predicate: IRI) -> list[Term]:
+        return sorted(self._spo.get(subject, {}).get(predicate, ()),
+                      key=_term_key)
+
+    def subjects(self, predicate: IRI, object: Term) -> list[IRI]:
+        return sorted(self._pos.get(predicate, {}).get(object, ()),
+                      key=_term_key)
+
+    def value(self, subject: IRI, predicate: IRI) -> Term | None:
+        """The single object, or ``None``; raises on ambiguity."""
+        objects = self.objects(subject, predicate)
+        if not objects:
+            return None
+        if len(objects) > 1:
+            raise ValueError(
+                f"{subject!r} has {len(objects)} values for {predicate!r}"
+            )
+        return objects[0]
+
+    def resources_of_type(self, type_iri: IRI) -> list[IRI]:
+        from repro.linkeddata.vocab import RDF
+
+        return self.subjects(RDF.type, type_iri)
+
+    # ------------------------------------------------------------------
+    # serialization (N-Triples-ish lines)
+    # ------------------------------------------------------------------
+
+    def to_ntriples(self) -> str:
+        def render(term: Term) -> str:
+            if isinstance(term, IRI):
+                return f"<{term.value}>"
+            escaped = str(term.value).replace("\\", "\\\\").replace(
+                '"', '\\"')
+            return f'"{escaped}"'
+
+        lines = sorted(
+            f"{render(t.subject)} {render(t.predicate)} "
+            f"{render(t.object)} ."
+            for t in self._triples
+        )
+        return "\n".join(lines)
+
+
+def _term_key(term: Term) -> tuple[int, str]:
+    return (0, term.value) if isinstance(term, IRI) else (1, str(term.value))

@@ -1,0 +1,20 @@
+"""Vocabularies used by the publishers.
+
+* ``RDF`` / ``RDFS`` — the usual structural terms;
+* ``DC`` — Dublin Core, for publications (title, creator, date);
+* ``DWC`` — Darwin Core, the biodiversity community's standard for
+  occurrence records (scientificName, eventDate, decimalLatitude, ...);
+* ``PROV`` — provenance terms, aligned with our OPM edges;
+* ``REPRO`` — this library's own namespace for everything else.
+"""
+
+from repro.linkeddata.triples import Namespace
+
+__all__ = ["RDF", "RDFS", "DC", "DWC", "PROV", "REPRO"]
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+DC = Namespace("http://purl.org/dc/terms/")
+DWC = Namespace("http://rs.tdwg.org/dwc/terms/")
+PROV = Namespace("http://www.w3.org/ns/prov#")
+REPRO = Namespace("https://repro.example.org/ns#")

@@ -1,0 +1,32 @@
+"""A uniform observation model (ObsDB-style; the paper's ref. [20]).
+
+"An observation represents an assertion that a particular entity was
+observed and that the corresponding set of measurements were recorded
+(as part of the observation).  Data in observation databases can be
+very heterogeneous, and concern observations at multiple spatial and
+temporal scales."
+
+* :mod:`repro.observations.model` — Entity / Measurement / Observation
+  with observation-context links;
+* :mod:`repro.observations.store` — the observation store on the
+  storage engine, queryable across heterogeneous sources;
+* :mod:`repro.observations.adapter` — adapters mapping sound-recording
+  metadata (and arbitrary tabular rows) into observations, so a sound
+  archive and a weather logger share one query surface.
+"""
+
+from repro.observations.adapter import (
+    observation_from_row,
+    observation_from_sound_record,
+)
+from repro.observations.model import Entity, Measurement, Observation
+from repro.observations.store import ObservationStore
+
+__all__ = [
+    "Entity",
+    "Measurement",
+    "Observation",
+    "ObservationStore",
+    "observation_from_row",
+    "observation_from_sound_record",
+]

@@ -1,0 +1,144 @@
+"""The Data Provenance Repository (Fig. 1).
+
+Persists, per workflow run:
+
+* the raw execution trace (JSON),
+* the OPM graph (JSON),
+* the workflow description it ran against (JSON, optional),
+
+on the storage engine, and offers the queries the Data Quality Manager
+needs: the graph for a run, the runs of a workflow, and the quality
+annotations of the processes involved in producing an output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterator
+
+from repro.errors import ProvenanceError
+from repro.provenance.opm import OPMGraph
+from repro.provenance.serialization import graph_from_json, graph_to_json
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+from repro.workflow.model import Workflow
+from repro.workflow.serialization import workflow_from_json, workflow_to_json
+from repro.workflow.trace import WorkflowTrace
+
+__all__ = ["ProvenanceRepository"]
+
+_RUNS = "provenance_runs"
+
+
+class ProvenanceRepository:
+    """Run-indexed provenance storage on a :class:`~repro.storage.Database`."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database or Database("provenance_repository")
+        if not self.database.has_table(_RUNS):
+            self.database.create_table(TableSchema(_RUNS, [
+                Column("run_id", ct.TEXT),
+                Column("workflow_name", ct.TEXT, nullable=False),
+                Column("status", ct.TEXT, nullable=False),
+                Column("started", ct.DATETIME),
+                Column("finished", ct.DATETIME),
+                Column("trace", ct.TEXT, nullable=False),
+                Column("graph", ct.TEXT, nullable=False),
+                Column("workflow", ct.TEXT),
+            ], primary_key="run_id"))
+            self.database.create_index(_RUNS, "workflow_name", "hash")
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def store_run(self, trace: WorkflowTrace, graph: OPMGraph,
+                  workflow: Workflow | None = None) -> None:
+        """Persist one run.  Storing the same run id twice replaces it
+        (re-capture after a retry)."""
+        row = {
+            "run_id": trace.run_id,
+            "workflow_name": trace.workflow_name,
+            "status": trace.status,
+            "started": trace.started,
+            "finished": trace.finished,
+            "trace": json.dumps(trace.to_dict(), sort_keys=True,
+                                default=str),
+            "graph": graph_to_json(graph),
+            "workflow": None if workflow is None
+            else workflow_to_json(workflow, indent=None),
+        }
+        existing = self.database.query(_RUNS).where(
+            col("run_id") == trace.run_id
+        ).first()
+        if existing is None:
+            self.database.insert(_RUNS, row)
+        else:
+            rowid = self.database.rowid_for(_RUNS, trace.run_id)
+            self.database.update(_RUNS, rowid, row)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def run_ids(self, workflow_name: str | None = None) -> list[str]:
+        query = self.database.query(_RUNS)
+        if workflow_name is not None:
+            query = query.where(col("workflow_name") == workflow_name)
+        return sorted(query.values("run_id"))
+
+    def latest_run_id(self, workflow_name: str) -> str | None:
+        ids = self.run_ids(workflow_name)
+        return ids[-1] if ids else None
+
+    def _row(self, run_id: str) -> dict[str, Any]:
+        row = self.database.query(_RUNS).where(
+            col("run_id") == run_id
+        ).first()
+        if row is None:
+            raise ProvenanceError(f"no provenance for run {run_id!r}")
+        return row
+
+    def graph_for(self, run_id: str) -> OPMGraph:
+        return graph_from_json(self._row(run_id)["graph"])
+
+    def trace_for(self, run_id: str) -> WorkflowTrace:
+        return WorkflowTrace.from_dict(json.loads(self._row(run_id)["trace"]))
+
+    def workflow_for(self, run_id: str) -> Workflow | None:
+        document = self._row(run_id)["workflow"]
+        if document is None:
+            return None
+        return workflow_from_json(document)
+
+    def runs(self, workflow_name: str | None = None) -> Iterator[dict[str, Any]]:
+        """Run metadata rows (no heavy payloads)."""
+        query = self.database.query(_RUNS).select(
+            "run_id", "workflow_name", "status", "started", "finished"
+        )
+        if workflow_name is not None:
+            query = query.where(col("workflow_name") == workflow_name)
+        yield from query.order_by("run_id").all()
+
+    # ------------------------------------------------------------------
+    # quality-oriented queries
+    # ------------------------------------------------------------------
+
+    def process_annotations(self, run_id: str) -> dict[str, dict[str, Any]]:
+        """``{processor label: quality annotation dict}`` for a run.
+
+        Only processes that actually carry a ``quality`` annotation appear.
+        This is the provenance-side half of the paper's quality assessment:
+        the reputation/availability the Workflow Adapter attached travel
+        with the provenance, not with the data.
+        """
+        graph = self.graph_for(run_id)
+        result: dict[str, dict[str, Any]] = {}
+        for process in graph.nodes("process"):
+            quality = process.annotations.get("quality")
+            if quality:
+                result[process.label] = dict(quality)
+        return result
+
+    def __len__(self) -> int:
+        return self.database.count(_RUNS)

@@ -1,0 +1,38 @@
+"""OPM graph serialization (JSON).
+
+The storage layout follows the OPM XML schema's structure — a node list
+plus per-kind edge lists — but rendered as JSON for the repository.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ProvenanceError
+from repro.provenance.opm import OPMGraph
+
+__all__ = ["graph_to_json", "graph_from_json"]
+
+
+def graph_to_json(graph: OPMGraph, indent: int | None = None) -> str:
+    """Serialize an OPM graph to a JSON document."""
+    return json.dumps(graph.to_dict(), indent=indent, sort_keys=True,
+                      default=_encode_value)
+
+
+def _encode_value(value: object) -> object:
+    # Artifact values can be arbitrary Python objects; fall back to repr
+    # so serialization never fails (the value is informational).
+    try:
+        return {"__repr__": repr(value)}
+    except Exception:  # pragma: no cover - repr() failing is pathological
+        return {"__repr__": "<unrepresentable>"}
+
+
+def graph_from_json(document: str) -> OPMGraph:
+    """Parse a graph from :func:`graph_to_json` output."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise ProvenanceError(f"invalid OPM JSON: {exc}") from None
+    return OPMGraph.from_dict(data)

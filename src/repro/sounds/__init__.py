@@ -1,0 +1,48 @@
+"""The animal-sound collection (FNJV-like).
+
+The Fonoteca Neotropical Jacques Vielliard collection cannot be
+redistributed, so this package reconstructs a synthetic collection with
+the paper's published shape: 11 898 records, 1 929 distinct species
+names, the 22 metadata fields of Table II, and realistic dirtiness
+(pre-GPS records without coordinates, missing environmental fields,
+typos, outdated species names).
+
+* :mod:`repro.sounds.fields` — Table II field definitions and groups;
+* :mod:`repro.sounds.formats` — recording devices, microphones and audio
+  formats with their production eras (anachronisms are detectable
+  metadata errors);
+* :mod:`repro.sounds.record` — the :class:`SoundRecord` value object;
+* :mod:`repro.sounds.collection` — the collection on the storage engine;
+* :mod:`repro.sounds.generator` — the seeded generator plus the ground
+  truth of every planted defect.
+"""
+
+from repro.sounds.collection import SoundCollection
+from repro.sounds.fields import (
+    FIELD_GROUPS,
+    FieldSpec,
+    field_names,
+    field_spec,
+    recordings_schema,
+)
+from repro.sounds.acoustic import AcousticIndex, extract_features
+from repro.sounds.generator import CollectionConfig, GroundTruth, generate_collection
+from repro.sounds.museum import generate_museum_collection, museum_observation
+from repro.sounds.record import SoundRecord
+
+__all__ = [
+    "AcousticIndex",
+    "extract_features",
+    "generate_museum_collection",
+    "museum_observation",
+    "CollectionConfig",
+    "FIELD_GROUPS",
+    "FieldSpec",
+    "GroundTruth",
+    "SoundCollection",
+    "SoundRecord",
+    "field_names",
+    "field_spec",
+    "generate_collection",
+    "recordings_schema",
+]

@@ -1,0 +1,146 @@
+"""The sound collection on the storage engine.
+
+One :class:`SoundCollection` owns a :class:`~repro.storage.Database`
+with the ``recordings`` table (the *original*, never mutated by
+curation) and offers the access paths the case study needs: species
+enumeration, per-species record sets, and completeness statistics per
+Table II group.
+
+Curation artifacts (the species-name update table, the curation history
+log) live in *additional* tables created by :mod:`repro.curation` on the
+same database — keeping originals and curation outputs side by side, as
+the paper requires.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.sounds.fields import field_names, recordings_schema
+from repro.sounds.record import SoundRecord
+from repro.storage import Database, col
+from repro.storage.query import Aggregate
+
+__all__ = ["SoundCollection"]
+
+RECORDINGS = "recordings"
+
+
+class SoundCollection:
+    """An animal-sound metadata collection."""
+
+    def __init__(self, name: str = "fnjv",
+                 database: Database | None = None,
+                 journal_path: str | Path | None = None) -> None:
+        self.name = name
+        self.database = database or Database(name, journal_path=journal_path)
+        if not self.database.has_table(RECORDINGS):
+            self.database.create_table(recordings_schema(RECORDINGS))
+            self.database.create_index(RECORDINGS, "species", "hash")
+            self.database.create_index(RECORDINGS, "genus", "hash")
+            self.database.create_index(RECORDINGS, "collect_date", "sorted")
+
+    def __repr__(self) -> str:
+        return f"SoundCollection({self.name}, {len(self)} records)"
+
+    def __len__(self) -> int:
+        return self.database.count(RECORDINGS)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def add(self, record: SoundRecord) -> int:
+        """Insert one record; returns its ``record_id``."""
+        row = record.to_row()
+        if row.get("record_id") is None:
+            row["record_id"] = len(self) + 1
+        self.database.insert(RECORDINGS, row)
+        return row["record_id"]
+
+    def add_many(self, records: list[SoundRecord]) -> int:
+        for record in records:
+            self.add(record)
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def record(self, record_id: int) -> SoundRecord:
+        return SoundRecord.from_row(self.database.get(RECORDINGS, record_id))
+
+    def records(self) -> Iterator[SoundRecord]:
+        for row in self.database.table(RECORDINGS).rows():
+            yield SoundRecord.from_row(row)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        yield from self.database.table(RECORDINGS).rows()
+
+    def records_for_species(self, species: str) -> list[SoundRecord]:
+        rows = self.database.query(RECORDINGS).where(
+            col("species") == species
+        ).order_by("record_id").all()
+        return [SoundRecord.from_row(row) for row in rows]
+
+    def distinct_species(self) -> list[str]:
+        """The distinct non-null species names, sorted."""
+        names = {
+            row["species"]
+            for row in self.database.query(RECORDINGS)
+            .where(col("species").is_not_null()).select("species").all()
+        }
+        return sorted(names)
+
+    def species_record_counts(self) -> dict[str, int]:
+        grouped = self.database.query(RECORDINGS).where(
+            col("species").is_not_null()
+        ).group_by("species", aggregates=[Aggregate("count")])
+        return {row["species"]: row["count"] for row in grouped}
+
+    def occurrences(self, species: str) -> list[tuple[float, float]]:
+        """Coordinates of all located records of ``species``."""
+        rows = self.database.query(RECORDINGS).where(
+            (col("species") == species)
+            & col("latitude").is_not_null()
+            & col("longitude").is_not_null()
+        ).select("latitude", "longitude").all()
+        return [(row["latitude"], row["longitude"]) for row in rows]
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    def completeness_by_group(self) -> dict[int, float]:
+        """Mean completeness per Table II group across all records."""
+        totals = {1: 0.0, 2: 0.0, 3: 0.0}
+        count = 0
+        for record in self.records():
+            count += 1
+            for group in totals:
+                totals[group] += record.completeness(group)
+        if count == 0:
+            return {group: 1.0 for group in totals}
+        return {group: total / count for group, total in totals.items()}
+
+    def field_completeness(self) -> dict[str, float]:
+        """Fraction filled, per field."""
+        names = field_names()
+        filled = dict.fromkeys(names, 0)
+        count = 0
+        for row in self.rows():
+            count += 1
+            for name in names:
+                if row.get(name) is not None:
+                    filled[name] += 1
+        if count == 0:
+            return dict.fromkeys(names, 1.0)
+        return {name: filled[name] / count for name in names}
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "records": len(self),
+            "distinct_species": len(self.distinct_species()),
+            "completeness_by_group": self.completeness_by_group(),
+        }

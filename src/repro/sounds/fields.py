@@ -1,0 +1,195 @@
+"""Table II: the FNJV metadata fields.
+
+The paper publishes 22 of the collection's 51 fields, in three groups:
+
+1. *what was observed* — taxonomy and individuals;
+2. *when / where / environment* — observation conditions;
+3. *how* — recording features and devices.
+
+Each field gets a :class:`FieldSpec` with its group, storage type and an
+optional domain validator (the "checking attribute domains" of stage
+1.1).  :func:`recordings_schema` turns the specs into the storage
+engine's table schema.  A few auxiliary fields (id, recordist,
+coordinates) represent the unpublished remainder of the 51.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Callable
+
+from repro.storage import Column, TableSchema
+from repro.storage import column_types as ct
+from repro.storage.types import ColumnType
+
+__all__ = ["FieldSpec", "FIELD_GROUPS", "FIELDS", "field_spec",
+           "field_names", "recordings_schema", "GROUP_LABELS"]
+
+GROUP_LABELS = {
+    1: "what was observed",
+    2: "when / where / environment",
+    3: "how it was recorded",
+    0: "auxiliary",
+}
+
+_GENDERS = {"male", "female", "undetermined", "mixed"}
+_TIME_PATTERN = re.compile(r"^([01]\d|2[0-3]):[0-5]\d$")
+
+HABITATS = (
+    "tropical rainforest", "atlantic forest", "cerrado", "caatinga",
+    "pantanal wetland", "gallery forest", "grassland", "mangrove",
+    "urban area", "agricultural field",
+)
+MICRO_HABITATS = (
+    "canopy", "understory", "forest floor", "pond margin", "stream",
+    "bromeliad", "tree trunk", "leaf litter", "open ground", "marsh",
+)
+ATMOSPHERIC_CONDITIONS = (
+    "clear", "partly cloudy", "cloudy", "light rain", "rain", "storm",
+    "fog", "windy",
+)
+
+
+def _is_capitalized_word(value: Any) -> bool:
+    return (
+        isinstance(value, str) and len(value) >= 2
+        and value[0].isupper()
+        and value.replace("-", "").replace(" ", "").isalpha()
+    )
+
+
+def _valid_time(value: Any) -> bool:
+    return isinstance(value, str) and bool(_TIME_PATTERN.match(value))
+
+
+def _positive_int(value: Any) -> bool:
+    return isinstance(value, int) and value >= 1
+
+
+def _plausible_temperature(value: Any) -> bool:
+    return isinstance(value, (int, float)) and -10.0 <= value <= 50.0
+
+
+def _plausible_frequency(value: Any) -> bool:
+    return isinstance(value, (int, float)) and 8.0 <= value <= 200.0
+
+
+def _valid_latitude(value: Any) -> bool:
+    return isinstance(value, (int, float)) and -90.0 <= value <= 90.0
+
+
+def _valid_longitude(value: Any) -> bool:
+    return isinstance(value, (int, float)) and -180.0 <= value <= 180.0
+
+
+class FieldSpec:
+    """One metadata field: group, type and domain rule.
+
+    ``domain`` returns ``True`` for values inside the field's domain;
+    it is *advisory* (cleaning reports violations) rather than a hard
+    CHECK constraint, because the original collection must be loadable
+    dirty — that is the whole point.
+    """
+
+    __slots__ = ("name", "group", "type", "domain", "description")
+
+    def __init__(self, name: str, group: int, type: ColumnType,
+                 domain: Callable[[Any], bool] | None = None,
+                 description: str = "") -> None:
+        self.name = name
+        self.group = group
+        self.type = type
+        self.domain = domain
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"FieldSpec({self.name}, group={self.group})"
+
+    def in_domain(self, value: Any) -> bool:
+        """Domain check; ``None`` (missing) is never a domain violation —
+        missingness is measured by completeness instead."""
+        if value is None:
+            return True
+        if not self.type.validate(value):
+            return False
+        if self.domain is None:
+            return True
+        return self.domain(value)
+
+
+FIELDS: tuple[FieldSpec, ...] = (
+    # group 1 — what was observed
+    FieldSpec("phylum", 1, ct.TEXT, _is_capitalized_word),
+    FieldSpec("class_", 1, ct.TEXT, _is_capitalized_word,
+              description="taxonomic class ('class' is reserved in Python)"),
+    FieldSpec("order_", 1, ct.TEXT, _is_capitalized_word),
+    FieldSpec("family", 1, ct.TEXT, _is_capitalized_word),
+    FieldSpec("genus", 1, ct.TEXT, _is_capitalized_word),
+    FieldSpec("species", 1, ct.TEXT,
+              description="the binomial scientific name as annotated"),
+    FieldSpec("gender", 1, ct.TEXT, lambda v: v in _GENDERS),
+    FieldSpec("number_of_individuals", 1, ct.INTEGER, _positive_int),
+    # group 2 — when / where / environment
+    FieldSpec("collect_time", 2, ct.TEXT, _valid_time),
+    FieldSpec("collect_date", 2, ct.DATE),
+    FieldSpec("country", 2, ct.TEXT, _is_capitalized_word),
+    FieldSpec("state", 2, ct.TEXT),
+    FieldSpec("city", 2, ct.TEXT),
+    FieldSpec("location", 2, ct.TEXT),
+    FieldSpec("habitat", 2, ct.TEXT, lambda v: v in HABITATS),
+    FieldSpec("micro_habitat", 2, ct.TEXT, lambda v: v in MICRO_HABITATS),
+    FieldSpec("air_temperature_c", 2, ct.REAL, _plausible_temperature),
+    FieldSpec("atmospheric_conditions", 2, ct.TEXT,
+              lambda v: v in ATMOSPHERIC_CONDITIONS),
+    # group 3 — how it was recorded
+    FieldSpec("recording_device", 3, ct.TEXT),
+    FieldSpec("microphone_model", 3, ct.TEXT),
+    FieldSpec("sound_file_format", 3, ct.TEXT),
+    FieldSpec("frequency_khz", 3, ct.REAL, _plausible_frequency),
+    # auxiliary (part of the unpublished 51)
+    FieldSpec("record_id", 0, ct.INTEGER),
+    FieldSpec("recordist", 0, ct.TEXT),
+    FieldSpec("latitude", 0, ct.REAL, _valid_latitude),
+    FieldSpec("longitude", 0, ct.REAL, _valid_longitude),
+    FieldSpec("duration_s", 0, ct.REAL,
+              lambda v: isinstance(v, (int, float)) and 0 < v <= 7200),
+    FieldSpec("notes", 0, ct.TEXT),
+)
+
+_BY_NAME = {spec.name: spec for spec in FIELDS}
+
+#: group number -> field names, matching Table II's three rows
+FIELD_GROUPS: dict[int, tuple[str, ...]] = {
+    group: tuple(spec.name for spec in FIELDS if spec.group == group)
+    for group in (1, 2, 3, 0)
+}
+
+
+def field_spec(name: str) -> FieldSpec:
+    """The :class:`FieldSpec` called ``name`` (KeyError when absent)."""
+    return _BY_NAME[name]
+
+
+def field_names(group: int | None = None) -> list[str]:
+    """All field names, or those of one Table II group."""
+    if group is None:
+        return [spec.name for spec in FIELDS]
+    return list(FIELD_GROUPS.get(group, ()))
+
+
+def recordings_schema(table_name: str = "recordings") -> TableSchema:
+    """The storage schema for the collection table.
+
+    Only ``record_id`` and ``species`` are constrained; everything else
+    is nullable because legacy metadata arrives incomplete.
+    """
+    columns = []
+    for spec in FIELDS:
+        if spec.name == "record_id":
+            columns.append(Column(spec.name, spec.type))
+        elif spec.name == "species":
+            columns.append(Column(spec.name, spec.type, nullable=True))
+        else:
+            columns.append(Column(spec.name, spec.type))
+    return TableSchema(table_name, columns, primary_key="record_id")

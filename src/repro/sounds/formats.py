@@ -1,0 +1,111 @@
+"""Recording equipment and audio formats, with production eras.
+
+"Earlier animal recordings were commonly stored in magnetic tapes ...
+More recently, recordings use devices that save data in a variety of
+digital formats, such as ATRAC, AIFF, WAV and MP3."
+
+Each device, microphone and format carries the year range in which it
+plausibly appears in field metadata.  The cleaning step uses these eras
+as CHECK-style domain rules: a 1965 recording claiming MP3 format is a
+metadata error, not a time machine.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Era", "RECORDING_DEVICES", "MICROPHONE_MODELS", "SOUND_FORMATS",
+           "devices_available", "formats_available", "microphones_available",
+           "era_consistent"]
+
+
+class Era:
+    """A named item with its plausible year range (inclusive)."""
+
+    __slots__ = ("name", "first_year", "last_year")
+
+    def __init__(self, name: str, first_year: int,
+                 last_year: int = 2100) -> None:
+        self.name = name
+        self.first_year = first_year
+        self.last_year = last_year
+
+    def available_in(self, year: int) -> bool:
+        return self.first_year <= year <= self.last_year
+
+    def __repr__(self) -> str:
+        return f"Era({self.name}, {self.first_year}-{self.last_year})"
+
+
+RECORDING_DEVICES: tuple[Era, ...] = (
+    Era("Nagra III", 1958, 1985),
+    Era("Uher 4000 Report", 1961, 1990),
+    Era("Sony TC-D5M", 1980, 2005),
+    Era("Sony TCD-D8 DAT", 1992, 2008),
+    Era("Sony MZ-R50 MiniDisc", 1997, 2010),
+    Era("Marantz PMD660", 2004),
+    Era("Marantz PMD661", 2009),
+    Era("Zoom H4n", 2009),
+    Era("Tascam DR-40", 2011),
+)
+
+MICROPHONE_MODELS: tuple[Era, ...] = (
+    Era("Sennheiser MKH 815", 1970, 2000),
+    Era("Sennheiser ME66", 1990),
+    Era("Sennheiser ME67", 1990),
+    Era("Audio-Technica AT815b", 1995),
+    Era("Telinga Pro parabolic", 1985),
+    Era("Sony ECM-Z200", 1992, 2010),
+)
+
+SOUND_FORMATS: tuple[Era, ...] = (
+    Era("magnetic tape", 1950, 2000),
+    Era("WAV", 1992),
+    Era("AIFF", 1988),
+    Era("MP3", 1995),
+    Era("ATRAC", 1992, 2013),
+)
+
+#: recording frequency (sampling rate) options in kHz
+FREQUENCIES_KHZ: tuple[float, ...] = (22.05, 32.0, 44.1, 48.0, 96.0)
+
+
+def _available(items: tuple[Era, ...], year: int) -> list[Era]:
+    return [item for item in items if item.available_in(year)]
+
+
+def devices_available(year: int) -> list[Era]:
+    """Recording devices plausibly in use in ``year``."""
+    return _available(RECORDING_DEVICES, year)
+
+
+def microphones_available(year: int) -> list[Era]:
+    return _available(MICROPHONE_MODELS, year)
+
+
+def formats_available(year: int) -> list[Era]:
+    return _available(SOUND_FORMATS, year)
+
+
+def _era_for(items: tuple[Era, ...], name: str) -> Era | None:
+    for item in items:
+        if item.name == name:
+            return item
+    return None
+
+
+def era_consistent(kind: str, name: str, year: int) -> bool | None:
+    """Is ``name`` a plausible ``kind`` for a recording made in ``year``?
+
+    ``kind`` is ``"device"``, ``"microphone"`` or ``"format"``.  Returns
+    ``None`` for names we have no era data for (unknown is not wrong).
+    """
+    table = {
+        "device": RECORDING_DEVICES,
+        "microphone": MICROPHONE_MODELS,
+        "format": SOUND_FORMATS,
+    }.get(kind)
+    if table is None:
+        raise ValueError(f"unknown era kind {kind!r}")
+    era = _era_for(table, name)
+    if era is None:
+        return None
+    return era.available_in(year)

@@ -1,0 +1,129 @@
+"""The :class:`SoundRecord` value object.
+
+A thin, validated wrapper over one recording's metadata row.  Rows come
+in and out as plain dicts (the storage engine's currency); the wrapper
+adds typed access, domain checking and derived values (recording year,
+coordinates tuple).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Iterator, Mapping
+
+from repro.sounds.fields import FIELDS, field_names, field_spec
+
+__all__ = ["SoundRecord"]
+
+
+class SoundRecord:
+    """One recording's metadata.
+
+    The constructor accepts any subset of the known fields; unknown keys
+    raise immediately (catching schema drift early).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, **values: Any) -> None:
+        known = set(field_names())
+        unknown = set(values) - known
+        if unknown:
+            raise KeyError(f"unknown metadata fields: {sorted(unknown)}")
+        object.__setattr__(self, "_values",
+                           {name: values.get(name) for name in known})
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("SoundRecord is immutable; use replace()")
+
+    # -- access ------------------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        values = object.__getattribute__(self, "_values")
+        if name in values:
+            return values[name]
+        raise AttributeError(name)
+
+    def get(self, name: str, default: Any = None) -> Any:
+        value = self._values.get(name)
+        return default if value is None else value
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        for name in field_names():
+            yield name, self._values.get(name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SoundRecord):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        return (
+            f"SoundRecord(#{self._values.get('record_id')}, "
+            f"{self._values.get('species')!r})"
+        )
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def recording_year(self) -> int | None:
+        date = self._values.get("collect_date")
+        return date.year if isinstance(date, _dt.date) else None
+
+    @property
+    def coordinates(self) -> tuple[float, float] | None:
+        lat = self._values.get("latitude")
+        lon = self._values.get("longitude")
+        if lat is None or lon is None:
+            return None
+        return (float(lat), float(lon))
+
+    @property
+    def has_coordinates(self) -> bool:
+        return self.coordinates is not None
+
+    # -- quality-oriented views ----------------------------------------------
+
+    def missing_fields(self, group: int | None = None) -> list[str]:
+        """Fields with no value (optionally within one Table II group)."""
+        names = field_names(group)
+        return [name for name in names if self._values.get(name) is None]
+
+    def domain_violations(self) -> dict[str, Any]:
+        """``{field: offending value}`` for out-of-domain values."""
+        violations: dict[str, Any] = {}
+        for spec in FIELDS:
+            value = self._values.get(spec.name)
+            if value is not None and not spec.in_domain(value):
+                violations[spec.name] = value
+        return violations
+
+    def completeness(self, group: int | None = None) -> float:
+        """Fraction of (group) fields that are filled."""
+        names = field_names(group)
+        if not names:
+            return 1.0
+        filled = sum(
+            1 for name in names if self._values.get(name) is not None
+        )
+        return filled / len(names)
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_row(self) -> dict[str, Any]:
+        """The plain dict the storage engine stores."""
+        return dict(self._values)
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, Any]) -> "SoundRecord":
+        known = set(field_names())
+        return cls(**{k: v for k, v in row.items() if k in known})
+
+    def replace(self, **changes: Any) -> "SoundRecord":
+        """A copy with ``changes`` applied."""
+        merged = dict(self._values)
+        for key, value in changes.items():
+            if key not in merged:
+                raise KeyError(f"unknown metadata field {key!r}")
+            merged[key] = value
+        return SoundRecord(**merged)

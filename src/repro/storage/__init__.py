@@ -1,0 +1,57 @@
+"""An embeddable relational storage engine.
+
+This package is the "DBMS" box of the paper's architecture (Fig. 1): it
+provides access to the data, workflow and provenance repositories.  It is a
+small but real engine:
+
+* typed schemas with NOT NULL / UNIQUE / CHECK / FOREIGN KEY constraints
+  (:mod:`repro.storage.schema`),
+* hash and sorted secondary indexes (:mod:`repro.storage.index`),
+* a composable predicate algebra and query builder
+  (:mod:`repro.storage.predicate`, :mod:`repro.storage.query`),
+* transactions with rollback (:mod:`repro.storage.transactions`),
+* durability via a JSON-lines write-ahead journal
+  (:mod:`repro.storage.journal`).
+
+Quick tour::
+
+    from repro.storage import Database, TableSchema, Column, column_types as ct
+
+    db = Database("fnjv")
+    db.create_table(TableSchema(
+        "species", [
+            Column("id", ct.INTEGER),
+            Column("name", ct.TEXT, nullable=False, unique=True),
+        ], primary_key="id"))
+    db.insert("species", {"id": 1, "name": "Elachistocleis ovalis"})
+    rows = db.query("species").where(col("name").like("Elachistocleis%")).all()
+"""
+
+from repro.storage import types as column_types
+from repro.storage.csvio import export_csv, import_csv
+from repro.storage.database import Database
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.journal import Journal
+from repro.storage.predicate import Predicate, col
+from repro.storage.query import Query
+from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.table import Table
+from repro.storage.types import ColumnType
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "ForeignKey",
+    "HashIndex",
+    "Journal",
+    "Predicate",
+    "Query",
+    "SortedIndex",
+    "Table",
+    "TableSchema",
+    "col",
+    "column_types",
+    "export_csv",
+    "import_csv",
+]

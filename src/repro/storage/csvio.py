@@ -1,0 +1,90 @@
+"""CSV import/export for tables.
+
+Biodiversity collections exchange data as CSV before anything else;
+level-2 preservation packages and curator spreadsheets both want it.
+Values are rendered through each column type's JSON hooks, so dates
+round-trip; ``None`` is an empty cell.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.schema import TableSchema
+
+__all__ = ["export_csv", "import_csv"]
+
+
+def export_csv(database: Database, table_name: str,
+               path: str | Path,
+               columns: list[str] | None = None) -> int:
+    """Write the table to ``path``; returns rows written."""
+    table = database.table(table_name)
+    schema = table.schema
+    if columns is None:
+        columns = list(schema.column_names)
+    for column in columns:
+        schema.column(column)  # raises on unknown names
+    path = Path(path)
+    written = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for row in table.rows():
+            rendered = []
+            for column in columns:
+                value = schema.column(column).type.to_json(
+                    row.get(column))
+                if value is None:
+                    rendered.append("")
+                elif isinstance(value, (dict, list)):
+                    rendered.append(json.dumps(value, sort_keys=True))
+                else:
+                    rendered.append(str(value))
+            writer.writerow(rendered)
+            written += 1
+    return written
+
+
+def import_csv(database: Database, table_name: str,
+               path: str | Path) -> int:
+    """Load rows from ``path`` into an existing table; returns rows
+    inserted.  Cells are coerced through the column types; empty cells
+    become ``None``."""
+    table = database.table(table_name)
+    schema = table.schema
+    path = Path(path)
+    inserted = 0
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise StorageError(f"{path}: empty CSV") from None
+        for column in header:
+            schema.column(column)
+        for line_number, cells in enumerate(reader, start=2):
+            if len(cells) != len(header):
+                raise StorageError(
+                    f"{path}:{line_number}: expected {len(header)} "
+                    f"cells, found {len(cells)}"
+                )
+            row: dict[str, Any] = {}
+            for column, cell in zip(header, cells):
+                if cell == "":
+                    row[column] = None
+                    continue
+                column_type = schema.column(column).type
+                if column_type.name == "JSON":
+                    row[column] = json.loads(cell)
+                else:
+                    row[column] = column_type.coerce(
+                        column_type.from_json(cell))
+            database.insert(table_name, row)
+            inserted += 1
+    return inserted

@@ -1,0 +1,319 @@
+"""The database: named tables, transactions, journaling, queries.
+
+This is the "DBMS" of the paper's architecture — the access layer shared
+by the data repository, the workflow repository and the provenance
+repository.  A :class:`Database` can be purely in-memory (default) or
+durable when constructed with a journal path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.errors import (
+    DuplicateTableError,
+    RowNotFoundError,
+    TransactionError,
+    UnknownTableError,
+)
+from repro.storage.journal import Journal, encode_row
+from repro.storage.predicate import Predicate
+from repro.storage.query import Query
+from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.table import Table
+from repro.storage.transactions import Transaction
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A collection of tables with optional durability.
+
+    Parameters
+    ----------
+    name:
+        Purely informational label.
+    journal_path:
+        When given, every committed mutation is appended to a JSON-lines
+        journal there, and :meth:`recover` can rebuild the database.
+    """
+
+    def __init__(self, name: str = "db",
+                 journal_path: str | Path | None = None) -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._transaction: Transaction | None = None
+        self._journal = Journal(journal_path) if journal_path else None
+        self._journal_buffer: list[dict[str, Any]] = []
+
+    def __repr__(self) -> str:
+        return f"Database({self.name}, tables={sorted(self._tables)})"
+
+    # ------------------------------------------------------------------
+    # schema operations
+    # ------------------------------------------------------------------
+
+    def create_table(self, schema: TableSchema, *, _journal: bool = True) -> Table:
+        """Create a table from ``schema``; returns it."""
+        if schema.name in self._tables:
+            raise DuplicateTableError(f"table {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            if fk.parent_table not in self._tables and fk.parent_table != schema.name:
+                raise UnknownTableError(
+                    f"foreign key references missing table {fk.parent_table!r}"
+                )
+        table = Table(schema)
+        self._tables[schema.name] = table
+        if _journal:
+            self._journal_write(
+                {"op": "create_table", "schema": schema.to_dict()}
+            )
+        return table
+
+    def drop_table(self, name: str, *, _journal: bool = True) -> None:
+        if name not in self._tables:
+            raise UnknownTableError(f"no table {name!r}")
+        del self._tables[name]
+        if _journal:
+            self._journal_write({"op": "drop_table", "table": name})
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table {name!r}") from None
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def create_index(self, table: str, column: str, kind: str = "hash") -> None:
+        """Create a secondary index; journaled so recovery keeps it."""
+        self.table(table).create_index(column, kind)
+        self._journal_write(
+            {"op": "create_index", "table": table, "column": column,
+             "kind": kind}
+        )
+
+    # ------------------------------------------------------------------
+    # row operations
+    # ------------------------------------------------------------------
+
+    def insert(self, table_name: str, values: Mapping[str, Any]) -> int:
+        """Insert one row; returns its row id."""
+        from repro.errors import ConstraintViolation
+
+        table = self.table(table_name)
+        rowid = table.insert(values)
+        row = table.row_by_id(rowid)
+        try:
+            self._check_foreign_keys(table, row)
+        except ConstraintViolation:
+            table.restore_delete(rowid)
+            raise
+        self._record_mutation(table_name, "insert", rowid, None, row)
+        self._journal_write({
+            "op": "insert", "table": table_name, "rowid": rowid,
+            "row": encode_row(table.schema, row),
+        })
+        return rowid
+
+    def insert_many(self, table_name: str,
+                    rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        return [self.insert(table_name, row) for row in rows]
+
+    def update(self, table_name: str, rowid: int,
+               changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Update one row by id; returns the new row."""
+        from repro.errors import ConstraintViolation
+
+        table = self.table(table_name)
+        before = table.row_by_id(rowid)
+        after = table.update_row(rowid, changes)
+        try:
+            self._check_foreign_keys(table, after)
+        except ConstraintViolation:
+            table.restore_update(rowid, before)
+            raise
+        self._record_mutation(table_name, "update", rowid, before, after)
+        self._journal_write({
+            "op": "update", "table": table_name, "rowid": rowid,
+            "row": encode_row(table.schema, after),
+        })
+        return after
+
+    def delete(self, table_name: str, rowid: int) -> dict[str, Any]:
+        """Delete one row by id; returns the deleted row."""
+        table = self.table(table_name)
+        row = table.delete_row(rowid)
+        self._record_mutation(table_name, "delete", rowid, row, None)
+        self._journal_write(
+            {"op": "delete", "table": table_name, "rowid": rowid}
+        )
+        return row
+
+    def update_where(self, table_name: str, predicate: Predicate,
+                     changes: Mapping[str, Any]) -> int:
+        """Update every matching row; returns the number updated."""
+        table = self.table(table_name)
+        matching = [
+            rowid for rowid, row in table.rows_with_ids() if predicate(row)
+        ]
+        for rowid in matching:
+            self.update(table_name, rowid, changes)
+        return len(matching)
+
+    def delete_where(self, table_name: str, predicate: Predicate) -> int:
+        """Delete every matching row; returns the number deleted."""
+        table = self.table(table_name)
+        matching = [
+            rowid for rowid, row in table.rows_with_ids() if predicate(row)
+        ]
+        for rowid in matching:
+            self.delete(table_name, rowid)
+        return len(matching)
+
+    def get(self, table_name: str, key: Any) -> dict[str, Any]:
+        """Fetch one row by primary-key value."""
+        table = self.table(table_name)
+        pk = table.schema.primary_key
+        if pk is None:
+            return table.row_by_id(int(key))
+        index = table.index_on(pk)
+        assert index is not None  # primary keys always have a hash index
+        hits = index.lookup(key)
+        if not hits:
+            raise RowNotFoundError(
+                f"{table_name}: no row with {pk}={key!r}"
+            )
+        return table.row_by_id(next(iter(hits)))
+
+    def rowid_for(self, table_name: str, key: Any) -> int:
+        """Row id of the row whose primary key equals ``key``."""
+        table = self.table(table_name)
+        pk = table.schema.primary_key
+        if pk is None:
+            return int(key)
+        index = table.index_on(pk)
+        assert index is not None
+        hits = index.lookup(key)
+        if not hits:
+            raise RowNotFoundError(
+                f"{table_name}: no row with {pk}={key!r}"
+            )
+        return next(iter(hits))
+
+    def _check_foreign_keys(self, table: Table, row: Mapping[str, Any]) -> None:
+        from repro.errors import ConstraintViolation
+
+        for fk in table.schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                continue
+            parent = self.table(fk.parent_table)
+            index = parent.index_on(fk.parent_column)
+            if index is not None:
+                found = bool(index.lookup(value))
+            else:
+                found = any(
+                    parent_row.get(fk.parent_column) == value
+                    for parent_row in parent.rows()
+                )
+            if not found:
+                raise ConstraintViolation(
+                    "FOREIGN KEY",
+                    f"{table.name}.{fk.column}={value!r} has no parent in "
+                    f"{fk.parent_table}.{fk.parent_column}",
+                )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def query(self, table_name: str) -> Query:
+        """Start a fluent :class:`~repro.storage.query.Query`."""
+        return Query(self.table(table_name), resolve_table=self.table)
+
+    def count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> Transaction:
+        """Open a transaction (usable as a context manager)."""
+        if self._transaction is not None:
+            raise TransactionError("a transaction is already open")
+        self._transaction = Transaction(self)
+        return self._transaction
+
+    def in_transaction(self) -> bool:
+        return self._transaction is not None
+
+    def _record_mutation(self, table: str, op: str, rowid: int,
+                         before: dict[str, Any] | None,
+                         after: dict[str, Any] | None) -> None:
+        if self._transaction is not None:
+            self._transaction.record(table, op, rowid, before, after)
+
+    def _finish_transaction(self, transaction: Transaction) -> None:
+        if self._transaction is not transaction:
+            raise TransactionError("finishing a transaction that is not open")
+        self._transaction = None
+        if transaction.state == "committed":
+            if self._journal is not None and self._journal_buffer:
+                self._journal.append_many(self._journal_buffer)
+        self._journal_buffer = []
+
+    def _journal_write(self, entry: dict[str, Any]) -> None:
+        if self._journal is None:
+            return
+        if self._transaction is not None:
+            # Buffer until commit: rolled-back work must never hit disk.
+            self._journal_buffer.append(entry)
+        else:
+            self._journal.append(entry)
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+
+    @property
+    def journal(self) -> Journal | None:
+        return self._journal
+
+    def checkpoint(self) -> Path | None:
+        """Write a snapshot and truncate the journal (no-op in memory)."""
+        if self._journal is None:
+            return None
+        return self._journal.write_snapshot(self)
+
+    @classmethod
+    def recover(cls, name: str, journal_path: str | Path) -> "Database":
+        """Rebuild a database from its snapshot + journal."""
+        database = cls(name)
+        journal = Journal(journal_path)
+        journal.load_snapshot(database)
+        journal.replay(database)
+        database._journal = journal
+        return database
+
+    def dump_state(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "tables": {
+                name: table.dump_state()
+                for name, table in self._tables.items()
+            },
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        self.name = state.get("name", self.name)
+        self._tables = {
+            name: Table.load_state(table_state)
+            for name, table_state in state.get("tables", {}).items()
+        }

@@ -1,0 +1,160 @@
+"""Secondary indexes.
+
+Two implementations:
+
+* :class:`HashIndex` — dict from value to the set of row ids; O(1) point
+  lookups, used automatically for UNIQUE columns and equality predicates.
+* :class:`SortedIndex` — bisect-maintained sorted list of ``(value, rowid)``
+  pairs; supports inclusive range scans for BETWEEN / ``<`` / ``>``.
+
+Indexes store *row ids*, never rows.  ``None`` values are not indexed
+(matching SQL semantics where NULL never equals anything).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Index", "HashIndex", "SortedIndex"]
+
+
+class Index:
+    """Abstract secondary index over one column."""
+
+    kind = "abstract"
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+
+    def add(self, rowid: int, value: Any) -> None:
+        raise NotImplementedError
+
+    def remove(self, rowid: int, value: Any) -> None:
+        raise NotImplementedError
+
+    def lookup(self, value: Any) -> set[int]:
+        """Row ids whose column equals ``value`` exactly."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.column})"
+
+
+class HashIndex(Index):
+    """Equality index: value -> set of row ids."""
+
+    kind = "hash"
+
+    def __init__(self, column: str) -> None:
+        super().__init__(column)
+        self._buckets: dict[Any, set[int]] = {}
+
+    def add(self, rowid: int, value: Any) -> None:
+        if value is None:
+            return
+        self._buckets.setdefault(value, set()).add(rowid)
+
+    def remove(self, rowid: int, value: Any) -> None:
+        if value is None:
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> set[int]:
+        if value is None:
+            return set()
+        return set(self._buckets.get(value, ()))
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def distinct_values(self) -> Iterator[Any]:
+        return iter(self._buckets)
+
+    def cardinality(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._buckets)
+
+
+class SortedIndex(Index):
+    """Ordered index supporting inclusive range scans.
+
+    Values must be mutually comparable; mixing incomparable types in one
+    indexed column raises ``TypeError`` at insert time, which surfaces the
+    schema problem early instead of at query time.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, column: str) -> None:
+        super().__init__(column)
+        self._entries: list[tuple[Any, int]] = []
+
+    def add(self, rowid: int, value: Any) -> None:
+        if value is None:
+            return
+        insort(self._entries, (value, rowid))
+
+    def remove(self, rowid: int, value: Any) -> None:
+        if value is None:
+            return
+        index = bisect_left(self._entries, (value, rowid))
+        if index < len(self._entries) and self._entries[index] == (value, rowid):
+            del self._entries[index]
+
+    def lookup(self, value: Any) -> set[int]:
+        if value is None:
+            return set()
+        return set(self.range(value, value))
+
+    def range(self, low: Any, high: Any) -> Iterator[int]:
+        """Yield row ids with ``low <= value <= high`` (``None`` = open end),
+        in ascending value order."""
+        if low is None:
+            start = 0
+        else:
+            start = bisect_left(self._entries, (low,))
+        if high is None:
+            stop = len(self._entries)
+        else:
+            # (high, +inf) — use a tuple longer than any entry key.
+            stop = bisect_right(self._entries, (high, float("inf")))
+        for position in range(start, stop):
+            yield self._entries[position][1]
+
+    def min_value(self) -> Any:
+        return self._entries[0][0] if self._entries else None
+
+    def max_value(self) -> Any:
+        return self._entries[-1][0] if self._entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_index(kind: str, column: str) -> Index:
+    """Factory used by the table layer and journal replay."""
+    if kind == "hash":
+        return HashIndex(column)
+    if kind == "sorted":
+        return SortedIndex(column)
+    raise ValueError(f"unknown index kind {kind!r}")
+
+
+def bulk_load(index: Index, rows: Iterable[tuple[int, Any]]) -> None:
+    """Populate ``index`` from ``(rowid, value)`` pairs."""
+    for rowid, value in rows:
+        index.add(rowid, value)

@@ -1,0 +1,176 @@
+"""Durability: a JSON-lines write-ahead journal plus snapshots.
+
+Every committed mutation is appended to the journal as one JSON object per
+line::
+
+    {"op": "create_table", "schema": {...}}
+    {"op": "insert", "table": "recordings", "rowid": 17, "row": {...}}
+
+:func:`Journal.replay` rebuilds a :class:`~repro.storage.database.Database`
+from an empty state.  Snapshots (:meth:`Journal.write_snapshot`) compact
+the journal: a snapshot file plus a truncated journal replaces the full
+history.
+
+The journal encodes values through each column type's ``to_json`` hook so
+dates and datetimes survive the round trip.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.errors import JournalError
+from repro.storage.schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.database import Database
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """Append-only journal bound to a file path."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries_written = 0
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, entry: dict[str, Any]) -> None:
+        """Append one entry and fsync-lite (flush) it."""
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._entries_written += 1
+
+    def append_many(self, entries: list[dict[str, Any]]) -> None:
+        if not entries:
+            return
+        with self.path.open("a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._entries_written += len(entries)
+
+    @property
+    def entries_written(self) -> int:
+        return self._entries_written
+
+    # ------------------------------------------------------------------
+    # reading / replay
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[dict[str, Any]]:
+        """Yield journal entries in order; tolerate a torn final line
+        (interrupted write) but raise on corruption in the middle."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    # torn tail from an interrupted append: ignore
+                    return
+                raise JournalError(
+                    f"{self.path}: corrupt journal line {number}: {exc}"
+                ) from None
+
+    def replay(self, database: "Database") -> int:
+        """Apply every journal entry to ``database``; returns the count."""
+        applied = 0
+        for entry in self.entries():
+            self._apply(database, entry)
+            applied += 1
+        return applied
+
+    @staticmethod
+    def _apply(database: "Database", entry: dict[str, Any]) -> None:
+        op = entry.get("op")
+        if op == "create_table":
+            schema = TableSchema.from_dict(entry["schema"])
+            if schema.name not in database.table_names():
+                database.create_table(schema, _journal=False)
+        elif op == "drop_table":
+            if entry["table"] in database.table_names():
+                database.drop_table(entry["table"], _journal=False)
+        elif op == "insert":
+            table = database.table(entry["table"])
+            row = _decode_row(table.schema, entry["row"])
+            table.restore_insert(entry["rowid"], row)
+        elif op == "update":
+            table = database.table(entry["table"])
+            row = _decode_row(table.schema, entry["row"])
+            table.restore_update(entry["rowid"], row)
+        elif op == "delete":
+            table = database.table(entry["table"])
+            table.restore_delete(entry["rowid"])
+        elif op == "create_index":
+            table = database.table(entry["table"])
+            table.create_index(entry["column"], entry.get("kind", "hash"))
+        else:
+            raise JournalError(f"unknown journal op {op!r}")
+
+    # ------------------------------------------------------------------
+    # snapshot compaction
+    # ------------------------------------------------------------------
+
+    def snapshot_path(self) -> Path:
+        return self.path.with_suffix(self.path.suffix + ".snapshot")
+
+    def write_snapshot(self, database: "Database") -> Path:
+        """Write a full snapshot of ``database`` and truncate the journal."""
+        snapshot = database.dump_state()
+        target = self.snapshot_path()
+        tmp = target.with_suffix(target.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, sort_keys=True)
+        os.replace(tmp, target)
+        # Truncate the journal now that its effects live in the snapshot.
+        with self.path.open("w", encoding="utf-8"):
+            pass
+        self._entries_written = 0
+        return target
+
+    def load_snapshot(self, database: "Database") -> bool:
+        """Load the snapshot (if any) into ``database``; returns whether a
+        snapshot existed.  Call before :meth:`replay`."""
+        target = self.snapshot_path()
+        if not target.exists():
+            return False
+        with target.open("r", encoding="utf-8") as handle:
+            try:
+                state = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise JournalError(
+                    f"{target}: corrupt snapshot: {exc}"
+                ) from None
+        database.load_state(state)
+        return True
+
+
+def _decode_row(schema: TableSchema, encoded: dict[str, Any]) -> dict[str, Any]:
+    decoded: dict[str, Any] = {}
+    for column in schema.columns:
+        if column.name in encoded:
+            decoded[column.name] = column.type.from_json(encoded[column.name])
+    return decoded
+
+
+def encode_row(schema: TableSchema, row: dict[str, Any]) -> dict[str, Any]:
+    """Encode ``row`` for the journal using the schema's type hooks."""
+    encoded: dict[str, Any] = {}
+    for column in schema.columns:
+        if column.name in row:
+            encoded[column.name] = column.type.to_json(row[column.name])
+    return encoded

@@ -1,0 +1,322 @@
+"""Composable row predicates for queries.
+
+Predicates are built from column references::
+
+    from repro.storage import col
+
+    pred = (col("genus") == "Elachistocleis") & col("year").between(1960, 1990)
+    pred = col("species").like("Elachistocleis %") | col("species").is_null()
+
+Each predicate is a small immutable tree evaluated against plain ``dict``
+rows.  The query planner (:mod:`repro.storage.query`) inspects the tree to
+find index-friendly equality/range conditions.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = ["Predicate", "ColumnRef", "col"]
+
+Row = Mapping[str, Any]
+
+
+def _null_safe_compare(op: Callable[[Any, Any], bool], left: Any, right: Any) -> bool:
+    """SQL-style comparison: any comparison with NULL is false."""
+    if left is None or right is None:
+        return False
+    try:
+        return op(left, right)
+    except TypeError:
+        return False
+
+
+class Predicate:
+    """Base class of the predicate tree.  Supports ``&``, ``|`` and ``~``."""
+
+    def __call__(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+    # -- planner hooks ------------------------------------------------------
+
+    def equality_conditions(self) -> dict[str, Any]:
+        """Return ``{column: value}`` pairs that *must* hold for the
+        predicate to be true — i.e. equality conditions reachable through
+        conjunctions only.  Used for index selection."""
+        return {}
+
+    def range_conditions(self) -> dict[str, tuple[Any, Any]]:
+        """Return ``{column: (low, high)}`` inclusive bounds that must hold
+        (``None`` meaning unbounded on that side)."""
+        return {}
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the implicit predicate of an unfiltered query."""
+
+    def __call__(self, row: Row) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+class Comparison(Predicate):
+    """column <op> literal"""
+
+    _OPS: dict[str, Callable[[Any, Any], bool]] = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+    }
+
+    def __init__(self, column: str, op: str, value: Any) -> None:
+        if op not in self._OPS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def __call__(self, row: Row) -> bool:
+        actual = row.get(self.column)
+        if self.op == "=" and self.value is None:
+            # Explicit equality against None behaves as IS NULL for
+            # ergonomic reasons (col("x") == None is common in tests).
+            return actual is None
+        if self.op == "!=" and self.value is None:
+            return actual is not None
+        if self.op in ("=", "!="):
+            if actual is None:
+                return False
+            return self._OPS[self.op](actual, self.value)
+        return _null_safe_compare(self._OPS[self.op], actual, self.value)
+
+    def __repr__(self) -> str:
+        return f"({self.column} {self.op} {self.value!r})"
+
+    def equality_conditions(self) -> dict[str, Any]:
+        if self.op == "=" and self.value is not None:
+            return {self.column: self.value}
+        return {}
+
+    def range_conditions(self) -> dict[str, tuple[Any, Any]]:
+        if self.value is None:
+            return {}
+        if self.op in ("<", "<="):
+            return {self.column: (None, self.value)}
+        if self.op in (">", ">="):
+            return {self.column: (self.value, None)}
+        if self.op == "=":
+            return {self.column: (self.value, self.value)}
+        return {}
+
+
+class Between(Predicate):
+    """low <= column <= high (inclusive both sides)."""
+
+    def __init__(self, column: str, low: Any, high: Any) -> None:
+        self.column = column
+        self.low = low
+        self.high = high
+
+    def __call__(self, row: Row) -> bool:
+        value = row.get(self.column)
+        if value is None:
+            return False
+        return _null_safe_compare(lambda a, b: a >= b, value, self.low) and (
+            _null_safe_compare(lambda a, b: a <= b, value, self.high)
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.column} BETWEEN {self.low!r} AND {self.high!r})"
+
+    def range_conditions(self) -> dict[str, tuple[Any, Any]]:
+        return {self.column: (self.low, self.high)}
+
+
+class InSet(Predicate):
+    """column IN (v1, v2, ...)"""
+
+    def __init__(self, column: str, values: Iterable[Any]) -> None:
+        self.column = column
+        self.values = frozenset(values)
+
+    def __call__(self, row: Row) -> bool:
+        value = row.get(self.column)
+        return value is not None and value in self.values
+
+    def __repr__(self) -> str:
+        return f"({self.column} IN {sorted(map(repr, self.values))})"
+
+
+class Like(Predicate):
+    """SQL-ish LIKE with ``%`` (any run) and ``_`` (one char) wildcards."""
+
+    def __init__(self, column: str, pattern: str, case_sensitive: bool = True) -> None:
+        self.column = column
+        self.pattern = pattern
+        self.case_sensitive = case_sensitive
+        translated = fnmatch.translate(
+            pattern.replace("%", "*").replace("_", "?")
+        )
+        flags = 0 if case_sensitive else re.IGNORECASE
+        self._regex = re.compile(translated, flags)
+
+    def __call__(self, row: Row) -> bool:
+        value = row.get(self.column)
+        return isinstance(value, str) and bool(self._regex.match(value))
+
+    def __repr__(self) -> str:
+        return f"({self.column} LIKE {self.pattern!r})"
+
+
+class IsNull(Predicate):
+    def __init__(self, column: str, negate: bool = False) -> None:
+        self.column = column
+        self.negate = negate
+
+    def __call__(self, row: Row) -> bool:
+        is_null = row.get(self.column) is None
+        return not is_null if self.negate else is_null
+
+    def __repr__(self) -> str:
+        suffix = "IS NOT NULL" if self.negate else "IS NULL"
+        return f"({self.column} {suffix})"
+
+
+class Matches(Predicate):
+    """Arbitrary user predicate on a single column value."""
+
+    def __init__(self, column: str, func: Callable[[Any], bool]) -> None:
+        self.column = column
+        self.func = func
+
+    def __call__(self, row: Row) -> bool:
+        return bool(self.func(row.get(self.column)))
+
+    def __repr__(self) -> str:
+        return f"({self.column} MATCHES {self.func!r})"
+
+
+class And(Predicate):
+    def __init__(self, *parts: Predicate) -> None:
+        self.parts = parts
+
+    def __call__(self, row: Row) -> bool:
+        return all(part(row) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(map(repr, self.parts)) + ")"
+
+    def equality_conditions(self) -> dict[str, Any]:
+        merged: dict[str, Any] = {}
+        for part in self.parts:
+            merged.update(part.equality_conditions())
+        return merged
+
+    def range_conditions(self) -> dict[str, tuple[Any, Any]]:
+        merged: dict[str, tuple[Any, Any]] = {}
+        for part in self.parts:
+            for column, (low, high) in part.range_conditions().items():
+                if column in merged:
+                    old_low, old_high = merged[column]
+                    low = old_low if low is None else (
+                        low if old_low is None else max(low, old_low)
+                    )
+                    high = old_high if high is None else (
+                        high if old_high is None else min(high, old_high)
+                    )
+                merged[column] = (low, high)
+        return merged
+
+
+class Or(Predicate):
+    def __init__(self, *parts: Predicate) -> None:
+        self.parts = parts
+
+    def __call__(self, row: Row) -> bool:
+        return any(part(row) for part in self.parts)
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(map(repr, self.parts)) + ")"
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate) -> None:
+        self.inner = inner
+
+    def __call__(self, row: Row) -> bool:
+        return not self.inner(row)
+
+    def __repr__(self) -> str:
+        return f"(NOT {self.inner!r})"
+
+
+class ColumnRef:
+    """A fluent builder for predicates on one column; created by :func:`col`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __eq__(self, value: Any) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "=", value)
+
+    def __ne__(self, value: Any) -> Comparison:  # type: ignore[override]
+        return Comparison(self.name, "!=", value)
+
+    def __lt__(self, value: Any) -> Comparison:
+        return Comparison(self.name, "<", value)
+
+    def __le__(self, value: Any) -> Comparison:
+        return Comparison(self.name, "<=", value)
+
+    def __gt__(self, value: Any) -> Comparison:
+        return Comparison(self.name, ">", value)
+
+    def __ge__(self, value: Any) -> Comparison:
+        return Comparison(self.name, ">=", value)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def between(self, low: Any, high: Any) -> Between:
+        return Between(self.name, low, high)
+
+    def in_(self, values: Iterable[Any]) -> InSet:
+        return InSet(self.name, values)
+
+    def like(self, pattern: str) -> Like:
+        return Like(self.name, pattern)
+
+    def ilike(self, pattern: str) -> Like:
+        return Like(self.name, pattern, case_sensitive=False)
+
+    def is_null(self) -> IsNull:
+        return IsNull(self.name)
+
+    def is_not_null(self) -> IsNull:
+        return IsNull(self.name, negate=True)
+
+    def matches(self, func: Callable[[Any], bool]) -> Matches:
+        return Matches(self.name, func)
+
+
+def col(name: str) -> ColumnRef:
+    """Return a :class:`ColumnRef` used to build predicates fluently."""
+    return ColumnRef(name)

@@ -1,0 +1,322 @@
+"""Query builder and a minimal planner.
+
+A :class:`Query` is an immutable-ish fluent pipeline over one table (plus
+optional equi-joins).  Terminal methods (:meth:`Query.all`,
+:meth:`Query.first`, :meth:`Query.count`, :meth:`Query.aggregate`, ...)
+execute it.
+
+The planner is deliberately simple: it asks the predicate tree for the
+equality and range conditions that must hold, and intersects the row-id
+sets from any matching indexes before falling back to a filtered scan.
+
+Example::
+
+    (db.query("recordings")
+       .where((col("genus") == "Scinax") & col("collect_date").is_not_null())
+       .order_by("collect_date", descending=True)
+       .limit(10)
+       .all())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import StorageError, UnknownColumnError
+from repro.storage.predicate import Predicate, TruePredicate
+from repro.storage.table import Row, Table
+
+__all__ = ["Query", "Aggregate"]
+
+
+class Aggregate:
+    """Named aggregate over a column: ``Aggregate("avg", "frequency_khz")``.
+
+    Supported functions: ``count`` (``column=None`` counts rows), ``sum``,
+    ``avg``, ``min``, ``max``, ``count_distinct``.
+    """
+
+    FUNCTIONS = ("count", "sum", "avg", "min", "max", "count_distinct")
+
+    def __init__(self, function: str, column: str | None = None,
+                 alias: str | None = None) -> None:
+        if function not in self.FUNCTIONS:
+            raise StorageError(f"unknown aggregate function {function!r}")
+        if function != "count" and column is None:
+            raise StorageError(f"aggregate {function!r} requires a column")
+        self.function = function
+        self.column = column
+        self.alias = alias or (
+            function if column is None else f"{function}_{column}"
+        )
+
+    def compute(self, rows: Sequence[Row]) -> Any:
+        if self.function == "count":
+            if self.column is None:
+                return len(rows)
+            return sum(1 for row in rows if row.get(self.column) is not None)
+        values = [
+            row[self.column]
+            for row in rows
+            if row.get(self.column) is not None
+        ]
+        if self.function == "count_distinct":
+            return len(set(values))
+        if not values:
+            return None
+        if self.function == "sum":
+            return sum(values)
+        if self.function == "avg":
+            return sum(values) / len(values)
+        if self.function == "min":
+            return min(values)
+        return max(values)
+
+
+class Query:
+    """A fluent query over ``table``.  Built by ``Database.query(name)``."""
+
+    def __init__(self, table: Table, resolve_table: Callable[[str], Table] | None = None) -> None:
+        self._table = table
+        self._resolve_table = resolve_table
+        self._predicate: Predicate = TruePredicate()
+        self._projection: tuple[str, ...] | None = None
+        self._order: list[tuple[str, bool]] = []
+        self._limit: int | None = None
+        self._offset: int = 0
+        self._joins: list[tuple[Table, str, str, str]] = []
+        self._distinct = False
+
+    # ------------------------------------------------------------------
+    # builders (each returns self for chaining)
+    # ------------------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """AND another predicate into the filter."""
+        if isinstance(self._predicate, TruePredicate):
+            self._predicate = predicate
+        else:
+            self._predicate = self._predicate & predicate
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        """Project the result rows to ``columns`` (post-join names)."""
+        self._projection = columns
+        return self
+
+    def distinct(self) -> "Query":
+        """Drop duplicate result rows (after projection)."""
+        self._distinct = True
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        """Add a sort key; call repeatedly for secondary keys."""
+        self._order.append((column, descending))
+        return self
+
+    def limit(self, count: int) -> "Query":
+        self._limit = count
+        return self
+
+    def offset(self, count: int) -> "Query":
+        self._offset = count
+        return self
+
+    def join(self, other: str | Table, left_column: str, right_column: str,
+             prefix: str | None = None) -> "Query":
+        """Nested-loop equi-join with ``other``.
+
+        Joined columns are exposed as ``{prefix}.{column}`` where ``prefix``
+        defaults to the joined table's name.  Inner-join semantics: rows
+        without a partner are dropped.
+        """
+        if isinstance(other, str):
+            if self._resolve_table is None:
+                raise StorageError(
+                    "cannot join by table name without a database context"
+                )
+            other = self._resolve_table(other)
+        self._joins.append(
+            (other, left_column, right_column, prefix or other.name)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _base_rows(self, filtered: bool = True) -> Iterator[Row]:
+        equalities = self._predicate.equality_conditions()
+        ranges = self._predicate.range_conditions()
+        candidates = self._table.candidate_rowids(equalities, ranges)
+        for row in self._table.scan(candidates):
+            if not filtered or self._predicate(row):
+                yield row
+
+    def _joined_rows(self) -> Iterator[Row]:
+        if not self._joins:
+            return self._base_rows()
+        # With joins, the predicate may reference joined columns
+        # (``prefix.column``), so filtering happens after the joins.  The
+        # index-derived candidate set is still used: equality/range
+        # conditions reachable through conjunctions are necessary, and
+        # candidate_rowids ignores conditions on columns the base table
+        # has no index for (which covers all prefixed names).
+        rows: Iterable[Row] = self._base_rows(filtered=False)
+        for other, left_column, right_column, prefix in self._joins:
+            rows = self._apply_join(rows, other, left_column, right_column,
+                                    prefix)
+        return (row for row in rows if self._predicate(row))
+
+    @staticmethod
+    def _apply_join(rows: Iterable[Row], other: Table, left_column: str,
+                    right_column: str, prefix: str) -> Iterator[Row]:
+        # Hash the smaller (right) side once; use its index when present.
+        index = other.index_on(right_column)
+        if index is None:
+            partners: dict[Any, list[Row]] = {}
+            for partner in other.rows():
+                key = partner.get(right_column)
+                if key is not None:
+                    partners.setdefault(key, []).append(partner)
+            lookup = lambda key: partners.get(key, ())  # noqa: E731
+        else:
+            lookup = lambda key: [  # noqa: E731
+                other.row_by_id(rowid) for rowid in sorted(index.lookup(key))
+            ]
+        for row in rows:
+            key = row.get(left_column)
+            if key is None:
+                continue
+            for partner in lookup(key):
+                merged = dict(row)
+                for column, value in partner.items():
+                    merged[f"{prefix}.{column}"] = value
+                yield merged
+
+    def _finalize(self, rows: list[Row]) -> list[Row]:
+        for column, descending in reversed(self._order):
+            rows.sort(
+                key=lambda row: (row.get(column) is None, row.get(column)),
+                reverse=descending,
+            )
+        if self._offset:
+            rows = rows[self._offset:]
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [
+                {column: row.get(column) for column in self._projection}
+                for row in rows
+            ]
+        if self._distinct:
+            seen: set[tuple] = set()
+            unique: list[Row] = []
+            for row in rows:
+                key = tuple(sorted((k, _hashable(v)) for k, v in row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(row)
+            rows = unique
+        return rows
+
+    def explain(self) -> dict[str, Any]:
+        """Describe how this query would execute (planner introspection).
+
+        Returns the equality/range conditions the planner extracted,
+        which of them an index can serve, the candidate row count the
+        indexes narrow to (``None`` = full scan), and whether filtering
+        happens after joins.
+        """
+        from repro.storage.index import SortedIndex
+
+        equalities = self._predicate.equality_conditions()
+        ranges = self._predicate.range_conditions()
+        usable_equalities = sorted(
+            column for column in equalities
+            if self._table.index_on(column) is not None
+        )
+        usable_ranges = sorted(
+            column for column in ranges
+            if isinstance(self._table.index_on(column), SortedIndex)
+        )
+        candidates = self._table.candidate_rowids(equalities, ranges)
+        return {
+            "table": self._table.name,
+            "equality_conditions": dict(equalities),
+            "range_conditions": dict(ranges),
+            "indexed_equalities": usable_equalities,
+            "indexed_ranges": usable_ranges,
+            "candidate_rows": None if candidates is None
+            else len(candidates),
+            "full_scan": candidates is None,
+            "joins": len(self._joins),
+            "filter_after_joins": bool(self._joins),
+        }
+
+    def all(self) -> list[Row]:
+        """Execute and return every matching row."""
+        return self._finalize(list(self._joined_rows()))
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.all())
+
+    def first(self) -> Row | None:
+        """Execute and return the first row or ``None``."""
+        rows = self.all()
+        return rows[0] if rows else None
+
+    def exists(self) -> bool:
+        return self.first() is not None
+
+    def count(self) -> int:
+        """Number of matching rows (ignores limit/offset/projection)."""
+        return sum(1 for __ in self._joined_rows())
+
+    def values(self, column: str) -> list[Any]:
+        """The (non-projected) values of one column, in result order."""
+        return [row.get(column) for row in self.all()]
+
+    def aggregate(self, *aggregates: Aggregate) -> dict[str, Any]:
+        """Compute aggregates over the matching rows."""
+        rows = list(self._joined_rows())
+        return {agg.alias: agg.compute(rows) for agg in aggregates}
+
+    def group_by(self, *columns: str,
+                 aggregates: Sequence[Aggregate] = ()) -> list[Row]:
+        """Group matching rows and compute ``aggregates`` per group.
+
+        Returns one row per group carrying the grouping columns plus one
+        key per aggregate alias, ordered by group key.
+        """
+        groups: dict[tuple, list[Row]] = {}
+        for row in self._joined_rows():
+            key = tuple(_hashable(row.get(column)) for column in columns)
+            groups.setdefault(key, []).append(row)
+        results: list[Row] = []
+        for key in sorted(groups, key=_group_sort_key):
+            rows = groups[key]
+            result: Row = {
+                column: rows[0].get(column) for column in columns
+            }
+            for agg in aggregates:
+                result[agg.alias] = agg.compute(rows)
+            results.append(result)
+        return results
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def _group_sort_key(key: tuple) -> tuple:
+    # None sorts first, and mixed types fall back to type-name ordering so
+    # sorting never raises.
+    return tuple(
+        (value is None, type(value).__name__, value if value is not None else 0)
+        for value in key
+    )

@@ -1,0 +1,226 @@
+"""Table schemas: columns, constraints and foreign keys.
+
+A :class:`TableSchema` is a pure description — it owns no rows.  The
+:class:`~repro.storage.table.Table` class enforces it at write time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage.types import ColumnType, type_by_name
+
+__all__ = ["Column", "ForeignKey", "TableSchema"]
+
+
+def _check_identifier(kind: str, name: str) -> None:
+    if not name or not name.replace("_", "a").isalnum():
+        raise SchemaError(f"invalid {kind} name {name!r}")
+    if name[0].isdigit():
+        raise SchemaError(f"{kind} name {name!r} must not start with a digit")
+
+
+class Column:
+    """One column of a table.
+
+    Parameters
+    ----------
+    name:
+        Column identifier (letters, digits, underscores).
+    type:
+        A :class:`~repro.storage.types.ColumnType` singleton.
+    nullable:
+        When ``False``, inserts and updates must provide a non-``None``
+        value (after the default is applied).
+    unique:
+        When ``True``, no two rows may share a non-``None`` value.
+    default:
+        Value (or zero-argument callable) used when an insert omits the
+        column.
+    check:
+        Optional predicate ``value -> bool`` evaluated on every non-``None``
+        write; ``False`` raises a CHECK constraint violation.
+    """
+
+    __slots__ = ("name", "type", "nullable", "unique", "default", "check")
+
+    def __init__(
+        self,
+        name: str,
+        type: ColumnType,
+        nullable: bool = True,
+        unique: bool = False,
+        default: Any = None,
+        check: Callable[[Any], bool] | None = None,
+    ) -> None:
+        _check_identifier("column", name)
+        if not isinstance(type, ColumnType):
+            raise SchemaError(f"column {name!r}: type must be a ColumnType")
+        self.name = name
+        self.type = type
+        self.nullable = nullable
+        self.unique = unique
+        self.default = default
+        self.check = check
+
+    def __repr__(self) -> str:
+        flags = []
+        if not self.nullable:
+            flags.append("NOT NULL")
+        if self.unique:
+            flags.append("UNIQUE")
+        suffix = (" " + " ".join(flags)) if flags else ""
+        return f"Column({self.name} {self.type.name}{suffix})"
+
+    def resolve_default(self) -> Any:
+        """Return the default value, calling it if it is a callable."""
+        if callable(self.default):
+            return self.default()
+        return self.default
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialize for the journal.  ``check`` and callable defaults are
+        not serializable and are dropped (they are re-attached by the code
+        that recreates the schema)."""
+        return {
+            "name": self.name,
+            "type": self.type.name,
+            "nullable": self.nullable,
+            "unique": self.unique,
+            "default": None if callable(self.default) else self.default,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Column":
+        return cls(
+            data["name"],
+            type_by_name(data["type"]),
+            nullable=data.get("nullable", True),
+            unique=data.get("unique", False),
+            default=data.get("default"),
+        )
+
+
+class ForeignKey:
+    """A referential constraint: ``column`` must match an existing value of
+    ``parent_table.parent_column`` (or be ``None``)."""
+
+    __slots__ = ("column", "parent_table", "parent_column")
+
+    def __init__(self, column: str, parent_table: str, parent_column: str) -> None:
+        self.column = column
+        self.parent_table = parent_table
+        self.parent_column = parent_column
+
+    def __repr__(self) -> str:
+        return (
+            f"ForeignKey({self.column} -> "
+            f"{self.parent_table}.{self.parent_column})"
+        )
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "column": self.column,
+            "parent_table": self.parent_table,
+            "parent_column": self.parent_column,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "ForeignKey":
+        return cls(data["column"], data["parent_table"], data["parent_column"])
+
+
+class TableSchema:
+    """The full description of one table.
+
+    Parameters
+    ----------
+    name:
+        Table identifier.
+    columns:
+        Ordered columns.  Names must be unique.
+    primary_key:
+        Name of the primary-key column.  The column is implicitly
+        ``NOT NULL UNIQUE``.  When omitted, the engine assigns hidden
+        monotonically increasing row ids.
+    foreign_keys:
+        Referential constraints enforced on insert/update.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: str | None = None,
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        _check_identifier("table", name)
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        self._by_name: dict[str, Column] = {}
+        for column in self.columns:
+            if column.name in self._by_name:
+                raise SchemaError(
+                    f"table {name!r}: duplicate column {column.name!r}"
+                )
+            self._by_name[column.name] = column
+        if primary_key is not None and primary_key not in self._by_name:
+            raise SchemaError(
+                f"table {name!r}: primary key {primary_key!r} is not a column"
+            )
+        self.primary_key = primary_key
+        if primary_key is not None:
+            pk = self._by_name[primary_key]
+            pk.nullable = False
+            pk.unique = True
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            if fk.column not in self._by_name:
+                raise SchemaError(
+                    f"table {name!r}: foreign key on unknown column "
+                    f"{fk.column!r}"
+                )
+
+    def __repr__(self) -> str:
+        return f"TableSchema({self.name}, {len(self.columns)} columns)"
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``.
+
+        Raises :class:`~repro.errors.UnknownColumnError` when absent.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise UnknownColumnError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "columns": [column.to_dict() for column in self.columns],
+            "primary_key": self.primary_key,
+            "foreign_keys": [fk.to_dict() for fk in self.foreign_keys],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TableSchema":
+        return cls(
+            data["name"],
+            [Column.from_dict(c) for c in data["columns"]],
+            primary_key=data.get("primary_key"),
+            foreign_keys=[
+                ForeignKey.from_dict(fk) for fk in data.get("foreign_keys", ())
+            ],
+        )

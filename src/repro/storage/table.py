@@ -1,0 +1,348 @@
+"""The table: row storage, constraint enforcement and index maintenance.
+
+Rows are stored as plain dicts keyed by a hidden monotonically increasing
+row id.  All mutation goes through :meth:`Table.insert`,
+:meth:`Table.update` and :meth:`Table.delete`, which
+
+* apply column defaults and type coercion,
+* enforce NOT NULL / UNIQUE / CHECK constraints,
+* keep secondary indexes in sync,
+* report undo records so the transaction layer can roll back.
+
+Rows handed back to callers are *copies*; mutating them never corrupts the
+table (the paper's "original collection unchanged" requirement depends on
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import (
+    ConstraintViolation,
+    RowNotFoundError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.storage.index import HashIndex, Index, SortedIndex, build_index
+from repro.storage.schema import TableSchema
+
+__all__ = ["Table"]
+
+Row = dict[str, Any]
+UndoCallback = Callable[[str, int, Row | None, Row | None], None]
+
+
+class Table:
+    """One table: rows + indexes + constraints.
+
+    Not usually constructed directly — use
+    :meth:`repro.storage.database.Database.create_table`.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_rowid = 1
+        self._indexes: dict[str, Index] = {}
+        self._undo_hook: UndoCallback | None = None
+        # UNIQUE columns (incl. the primary key) get a hash index up front
+        # so uniqueness checks stay O(1).
+        for column in schema.columns:
+            if column.unique:
+                self._indexes[column.name] = HashIndex(column.name)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return self.rows()
+
+    def __repr__(self) -> str:
+        return f"Table({self.name}, {len(self)} rows)"
+
+    def rows(self) -> Iterator[Row]:
+        """Yield a *copy* of every row, in insertion (rowid) order."""
+        for rowid in sorted(self._rows):
+            yield dict(self._rows[rowid])
+
+    def rows_with_ids(self) -> Iterator[tuple[int, Row]]:
+        for rowid in sorted(self._rows):
+            yield rowid, dict(self._rows[rowid])
+
+    def row_by_id(self, rowid: int) -> Row:
+        try:
+            return dict(self._rows[rowid])
+        except KeyError:
+            raise RowNotFoundError(
+                f"table {self.name!r} has no row id {rowid}"
+            ) from None
+
+    def set_undo_hook(self, hook: UndoCallback | None) -> None:
+        """Install a callback ``(op, rowid, before, after)`` used by the
+        transaction layer to record undo information."""
+        self._undo_hook = hook
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+
+    def _normalize(self, values: Mapping[str, Any], partial: bool = False) -> Row:
+        """Validate and coerce ``values`` against the schema.
+
+        ``partial=True`` (updates) skips defaulting and allows a subset of
+        columns; ``partial=False`` (inserts) applies defaults and requires
+        all NOT NULL columns to end up non-``None``.
+        """
+        for key in values:
+            if not self.schema.has_column(key):
+                raise UnknownColumnError(
+                    f"table {self.name!r} has no column {key!r}"
+                )
+        normalized: Row = {}
+        columns = (
+            [self.schema.column(k) for k in values] if partial else self.schema.columns
+        )
+        for column in columns:
+            if column.name in values:
+                raw = values[column.name]
+            elif partial:
+                continue
+            else:
+                raw = column.resolve_default()
+            if raw is not None:
+                try:
+                    raw = column.type.coerce(raw)
+                except (ValueError, TypeError) as exc:
+                    raise ConstraintViolation(
+                        "TYPE",
+                        f"{self.name}.{column.name}: {exc}",
+                    ) from None
+            if raw is None and not column.nullable:
+                raise ConstraintViolation(
+                    "NOT NULL", f"{self.name}.{column.name} must not be null"
+                )
+            if raw is not None and column.check is not None and not column.check(raw):
+                raise ConstraintViolation(
+                    "CHECK",
+                    f"{self.name}.{column.name} rejected value {raw!r}",
+                )
+            normalized[column.name] = raw
+        return normalized
+
+    def _check_unique(self, row: Row, exclude_rowid: int | None = None) -> None:
+        for column in self.schema.columns:
+            if not column.unique:
+                continue
+            value = row.get(column.name)
+            if value is None:
+                continue
+            hits = self._indexes[column.name].lookup(value)
+            hits.discard(exclude_rowid if exclude_rowid is not None else -1)
+            if hits:
+                raise ConstraintViolation(
+                    "UNIQUE",
+                    f"{self.name}.{column.name} already contains {value!r}",
+                )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, values: Mapping[str, Any]) -> int:
+        """Insert one row; returns its row id."""
+        row = self._normalize(values)
+        self._check_unique(row)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        for index in self._indexes.values():
+            index.add(rowid, row.get(index.column))
+        if self._undo_hook is not None:
+            self._undo_hook("insert", rowid, None, dict(row))
+        return rowid
+
+    def update_row(self, rowid: int, changes: Mapping[str, Any]) -> Row:
+        """Apply ``changes`` to the row ``rowid``; returns the new row."""
+        if rowid not in self._rows:
+            raise RowNotFoundError(
+                f"table {self.name!r} has no row id {rowid}"
+            )
+        normalized = self._normalize(changes, partial=True)
+        before = dict(self._rows[rowid])
+        after = dict(before)
+        after.update(normalized)
+        self._check_unique(after, exclude_rowid=rowid)
+        for index in self._indexes.values():
+            old = before.get(index.column)
+            new = after.get(index.column)
+            if old != new:
+                index.remove(rowid, old)
+                index.add(rowid, new)
+        self._rows[rowid] = after
+        if self._undo_hook is not None:
+            self._undo_hook("update", rowid, before, dict(after))
+        return dict(after)
+
+    def delete_row(self, rowid: int) -> Row:
+        """Delete row ``rowid``; returns the deleted row."""
+        if rowid not in self._rows:
+            raise RowNotFoundError(
+                f"table {self.name!r} has no row id {rowid}"
+            )
+        row = self._rows.pop(rowid)
+        for index in self._indexes.values():
+            index.remove(rowid, row.get(index.column))
+        if self._undo_hook is not None:
+            self._undo_hook("delete", rowid, dict(row), None)
+        return dict(row)
+
+    # ------------------------------------------------------------------
+    # raw restore (transaction rollback / journal replay)
+    # ------------------------------------------------------------------
+
+    def restore_insert(self, rowid: int, row: Row) -> None:
+        """Re-insert an exact row at an exact id, bypassing defaults (the
+        row was already validated when first written)."""
+        if rowid in self._rows:
+            raise ConstraintViolation(
+                "ROWID", f"{self.name}: row id {rowid} already present"
+            )
+        self._rows[rowid] = dict(row)
+        self._next_rowid = max(self._next_rowid, rowid + 1)
+        for index in self._indexes.values():
+            index.add(rowid, row.get(index.column))
+
+    def restore_delete(self, rowid: int) -> None:
+        row = self._rows.pop(rowid, None)
+        if row is not None:
+            for index in self._indexes.values():
+                index.remove(rowid, row.get(index.column))
+
+    def restore_update(self, rowid: int, row: Row) -> None:
+        before = self._rows.get(rowid)
+        if before is None:
+            self.restore_insert(rowid, row)
+            return
+        for index in self._indexes.values():
+            old = before.get(index.column)
+            new = row.get(index.column)
+            if old != new:
+                index.remove(rowid, old)
+                index.add(rowid, new)
+        self._rows[rowid] = dict(row)
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, column: str, kind: str = "hash") -> Index:
+        """Create (or return the existing) secondary index on ``column``.
+
+        ``kind`` is ``"hash"`` for equality or ``"sorted"`` for ranges.
+        An existing index of a different kind is replaced only when
+        upgrading hash -> sorted would lose nothing; otherwise kept.
+        """
+        self.schema.column(column)  # raises on unknown column
+        existing = self._indexes.get(column)
+        if existing is not None and existing.kind == kind:
+            return existing
+        index = build_index(kind, column)
+        for rowid, row in self._rows.items():
+            index.add(rowid, row.get(column))
+        self._indexes[column] = index
+        return index
+
+    def index_on(self, column: str) -> Index | None:
+        return self._indexes.get(column)
+
+    def indexes(self) -> dict[str, Index]:
+        return dict(self._indexes)
+
+    # ------------------------------------------------------------------
+    # scanning helpers used by the query layer
+    # ------------------------------------------------------------------
+
+    def candidate_rowids(
+        self,
+        equalities: Mapping[str, Any],
+        ranges: Mapping[str, tuple[Any, Any]],
+    ) -> set[int] | None:
+        """Return a candidate row-id set using available indexes, or
+        ``None`` when no index applies (full scan needed)."""
+        candidate: set[int] | None = None
+        for column, value in equalities.items():
+            index = self._indexes.get(column)
+            if index is None:
+                continue
+            hits = index.lookup(value)
+            candidate = hits if candidate is None else candidate & hits
+            if not candidate:
+                return set()
+        for column, (low, high) in ranges.items():
+            index = self._indexes.get(column)
+            if not isinstance(index, SortedIndex):
+                continue
+            hits = set(index.range(low, high))
+            candidate = hits if candidate is None else candidate & hits
+            if not candidate:
+                return set()
+        return candidate
+
+    def scan(self, rowids: Iterable[int] | None = None) -> Iterator[Row]:
+        """Yield copies of rows; restricted to ``rowids`` when given."""
+        if rowids is None:
+            yield from self.rows()
+            return
+        for rowid in sorted(rowids):
+            row = self._rows.get(rowid)
+            if row is not None:
+                yield dict(row)
+
+    # ------------------------------------------------------------------
+    # bulk state (snapshots)
+    # ------------------------------------------------------------------
+
+    def dump_state(self) -> dict[str, Any]:
+        """Serialize rows + index descriptors for a snapshot."""
+        json_rows = {}
+        for rowid, row in self._rows.items():
+            encoded = {}
+            for column in self.schema.columns:
+                encoded[column.name] = column.type.to_json(row.get(column.name))
+            json_rows[str(rowid)] = encoded
+        return {
+            "schema": self.schema.to_dict(),
+            "next_rowid": self._next_rowid,
+            "rows": json_rows,
+            "indexes": [
+                {"column": index.column, "kind": index.kind}
+                for index in self._indexes.values()
+            ],
+        }
+
+    @classmethod
+    def load_state(cls, state: Mapping[str, Any]) -> "Table":
+        schema = TableSchema.from_dict(state["schema"])
+        table = cls(schema)
+        for descriptor in state.get("indexes", ()):
+            table.create_index(descriptor["column"], descriptor["kind"])
+        for rowid_text, encoded in state.get("rows", {}).items():
+            decoded = {}
+            for column in schema.columns:
+                decoded[column.name] = column.type.from_json(
+                    encoded.get(column.name)
+                )
+            table.restore_insert(int(rowid_text), decoded)
+        table._next_rowid = max(
+            table._next_rowid, int(state.get("next_rowid", 1))
+        )
+        return table

@@ -1,0 +1,107 @@
+"""Transactions with rollback.
+
+The engine supports one open transaction at a time per database (the
+paper's workloads are single-writer).  While a transaction is open, every
+table mutation appends an undo record; :meth:`Transaction.rollback`
+replays them in reverse.  Databases expose the ergonomic form::
+
+    with db.transaction():
+        db.insert("species_updates", {...})
+        db.update("recordings", rid, {...})
+    # committed; an exception inside the block rolls everything back
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.database import Database
+
+__all__ = ["Transaction", "UndoRecord"]
+
+
+class UndoRecord:
+    """One reversible mutation: table, op and before/after images."""
+
+    __slots__ = ("table", "op", "rowid", "before", "after")
+
+    def __init__(self, table: str, op: str, rowid: int,
+                 before: dict[str, Any] | None,
+                 after: dict[str, Any] | None) -> None:
+        self.table = table
+        self.op = op
+        self.rowid = rowid
+        self.before = before
+        self.after = after
+
+    def __repr__(self) -> str:
+        return f"UndoRecord({self.op} {self.table}#{self.rowid})"
+
+
+class Transaction:
+    """An open transaction; create via ``Database.transaction()``."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._undo: list[UndoRecord] = []
+        self._state = "open"
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, table: str, op: str, rowid: int,
+               before: dict[str, Any] | None,
+               after: dict[str, Any] | None) -> None:
+        if self._state != "open":
+            raise TransactionError(f"transaction is {self._state}")
+        self._undo.append(UndoRecord(table, op, rowid, before, after))
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def pending_operations(self) -> int:
+        return len(self._undo)
+
+    # -- terminal operations ---------------------------------------------
+
+    def commit(self) -> None:
+        if self._state != "open":
+            raise TransactionError(f"cannot commit a {self._state} transaction")
+        self._state = "committed"
+        self._database._finish_transaction(self)
+
+    def rollback(self) -> None:
+        if self._state != "open":
+            raise TransactionError(
+                f"cannot roll back a {self._state} transaction"
+            )
+        for record in reversed(self._undo):
+            table = self._database.table(record.table)
+            if record.op == "insert":
+                table.restore_delete(record.rowid)
+            elif record.op == "delete":
+                assert record.before is not None
+                table.restore_insert(record.rowid, record.before)
+            else:  # update
+                assert record.before is not None
+                table.restore_update(record.rowid, record.before)
+        self._state = "rolled_back"
+        self._database._finish_transaction(self)
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._state != "open":
+            return False
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return False

@@ -1,0 +1,186 @@
+"""Column types for the storage engine.
+
+Each type knows how to *validate* a Python value, how to *coerce* loosely
+typed input (e.g. ``"42"`` for an INTEGER column), and how to round-trip
+through the JSON journal (:meth:`ColumnType.to_json` /
+:meth:`ColumnType.from_json`).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "ColumnType",
+    "INTEGER",
+    "REAL",
+    "TEXT",
+    "BOOLEAN",
+    "DATE",
+    "DATETIME",
+    "JSON",
+    "type_by_name",
+]
+
+
+class ColumnType:
+    """A column type: validation, coercion and JSON round-tripping.
+
+    Instances are immutable singletons (``INTEGER``, ``TEXT``...); equality
+    is by :attr:`name`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        python_types: tuple[type, ...],
+        coerce: Callable[[Any], Any],
+        to_json: Callable[[Any], Any] | None = None,
+        from_json: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.python_types = python_types
+        self._coerce = coerce
+        self._to_json = to_json or (lambda value: value)
+        self._from_json = from_json or (lambda value: value)
+
+    def __repr__(self) -> str:
+        return f"ColumnType({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ColumnType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def validate(self, value: Any) -> bool:
+        """Return ``True`` when ``value`` is already of this type.
+
+        ``None`` is always valid here; nullability is enforced by the
+        schema layer, not the type layer.
+        """
+        if value is None:
+            return True
+        if self.name == "BOOLEAN":
+            # bool is a subclass of int; be strict both ways.
+            return isinstance(value, bool)
+        if isinstance(value, bool) and self.name in ("INTEGER", "REAL"):
+            return False
+        if self.name == "DATE" and isinstance(value, _dt.datetime):
+            # datetime subclasses date; DATE columns hold plain dates only.
+            return False
+        return isinstance(value, self.python_types)
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type, raising ``ValueError`` on failure."""
+        if value is None or self.validate(value):
+            return value
+        return self._coerce(value)
+
+    def to_json(self, value: Any) -> Any:
+        """Encode a validated value into a JSON-representable one."""
+        if value is None:
+            return None
+        return self._to_json(value)
+
+    def from_json(self, value: Any) -> Any:
+        """Decode a value previously produced by :meth:`to_json`."""
+        if value is None:
+            return None
+        return self._from_json(value)
+
+
+def _coerce_integer(value: Any) -> int:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not INTEGER values")
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError(f"non-integral float {value!r} for INTEGER column")
+        return int(value)
+    return int(str(value).strip())
+
+
+def _coerce_real(value: Any) -> float:
+    if isinstance(value, bool):
+        raise ValueError("booleans are not REAL values")
+    return float(value)
+
+
+def _coerce_text(value: Any) -> str:
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise ValueError(f"cannot coerce {type(value).__name__} to TEXT")
+
+
+def _coerce_boolean(value: Any) -> bool:
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "yes", "1"):
+            return True
+        if lowered in ("false", "f", "no", "0"):
+            return False
+    raise ValueError(f"cannot coerce {value!r} to BOOLEAN")
+
+
+def _coerce_date(value: Any) -> _dt.date:
+    if isinstance(value, _dt.datetime):
+        return value.date()
+    if isinstance(value, str):
+        return _dt.date.fromisoformat(value.strip())
+    raise ValueError(f"cannot coerce {value!r} to DATE")
+
+
+def _coerce_datetime(value: Any) -> _dt.datetime:
+    if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+        return _dt.datetime(value.year, value.month, value.day)
+    if isinstance(value, str):
+        return _dt.datetime.fromisoformat(value.strip())
+    raise ValueError(f"cannot coerce {value!r} to DATETIME")
+
+
+def _coerce_json(value: Any) -> Any:
+    if isinstance(value, (dict, list, str, int, float, bool)):
+        return value
+    raise ValueError(f"cannot store {type(value).__name__} in a JSON column")
+
+
+INTEGER = ColumnType("INTEGER", (int,), _coerce_integer)
+REAL = ColumnType("REAL", (int, float), _coerce_real)
+TEXT = ColumnType("TEXT", (str,), _coerce_text)
+BOOLEAN = ColumnType("BOOLEAN", (bool,), _coerce_boolean)
+DATE = ColumnType(
+    "DATE",
+    (_dt.date,),
+    _coerce_date,
+    to_json=lambda d: d.isoformat(),
+    from_json=lambda s: _dt.date.fromisoformat(s),
+)
+DATETIME = ColumnType(
+    "DATETIME",
+    (_dt.datetime,),
+    _coerce_datetime,
+    to_json=lambda d: d.isoformat(),
+    from_json=lambda s: _dt.datetime.fromisoformat(s),
+)
+JSON = ColumnType("JSON", (dict, list, str, int, float, bool), _coerce_json)
+
+_BY_NAME = {
+    t.name: t for t in (INTEGER, REAL, TEXT, BOOLEAN, DATE, DATETIME, JSON)
+}
+
+
+def type_by_name(name: str) -> ColumnType:
+    """Return the singleton :class:`ColumnType` called ``name``.
+
+    Raises :class:`~repro.errors.SchemaError` for unknown names; this is
+    used when deserializing schemas from the journal.
+    """
+    try:
+        return _BY_NAME[name.upper()]
+    except KeyError:
+        raise SchemaError(f"unknown column type {name!r}") from None

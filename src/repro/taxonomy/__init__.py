@@ -1,0 +1,44 @@
+"""A simulated Catalogue of Life.
+
+The paper contrasts FNJV species names against the Catalogue of Life web
+service.  We cannot call the real service offline, so this package builds
+the closest synthetic equivalent:
+
+* a nomenclature toolkit for scientific (binomial) names
+  (:mod:`repro.taxonomy.nomenclature`),
+* a seeded synthetic Neotropical taxonomic backbone — phylum down to
+  species, calibrated to the paper's scale
+  (:mod:`repro.taxonomy.backbone`),
+* a registry of dated name changes (synonymization, genus transfers,
+  *nomen inquirendum* flags — including the paper's real example,
+  *Elachistocleis ovalis* → *Nomen inquirenda*)
+  (:mod:`repro.taxonomy.synonyms`),
+* the catalogue itself — name resolution as of a given year, with exact
+  and fuzzy lookup (:mod:`repro.taxonomy.catalogue`),
+* a web-service wrapper simulating latency and availability faults, the
+  source of the paper's ``Q(availability): 0.9`` annotation
+  (:mod:`repro.taxonomy.service`).
+"""
+
+from repro.taxonomy.backbone import BackboneConfig, TaxonomicBackbone, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife, NameResolution
+from repro.taxonomy.model import Rank, Taxon
+from repro.taxonomy.nomenclature import ScientificName, levenshtein
+from repro.taxonomy.service import CatalogueService, ServiceStats
+from repro.taxonomy.synonyms import NameChange, SynonymRegistry
+
+__all__ = [
+    "BackboneConfig",
+    "CatalogueOfLife",
+    "CatalogueService",
+    "NameChange",
+    "NameResolution",
+    "Rank",
+    "ScientificName",
+    "ServiceStats",
+    "SynonymRegistry",
+    "TaxonomicBackbone",
+    "Taxon",
+    "build_backbone",
+    "levenshtein",
+]

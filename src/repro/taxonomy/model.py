@@ -1,0 +1,98 @@
+"""Taxa and ranks.
+
+A :class:`Taxon` is one node of the taxonomic tree; ranks follow the
+Linnaean hierarchy used by the FNJV metadata (Table II row 1): phylum,
+class, order, family, genus, species.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator
+
+from repro.errors import TaxonomyError
+
+__all__ = ["Rank", "Taxon"]
+
+
+class Rank(enum.IntEnum):
+    """Linnaean ranks, ordered from broadest to narrowest."""
+
+    KINGDOM = 1
+    PHYLUM = 2
+    CLASS = 3
+    ORDER = 4
+    FAMILY = 5
+    GENUS = 6
+    SPECIES = 7
+
+    @property
+    def child_rank(self) -> "Rank | None":
+        if self is Rank.SPECIES:
+            return None
+        return Rank(self.value + 1)
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+class Taxon:
+    """One node of the taxonomy.
+
+    ``name`` is the rank-appropriate name: a single capitalized word for
+    ranks above species, the canonical binomial for species.
+    """
+
+    __slots__ = ("taxon_id", "name", "rank", "parent", "_children")
+
+    def __init__(self, taxon_id: int, name: str, rank: Rank,
+                 parent: "Taxon | None" = None) -> None:
+        self.taxon_id = taxon_id
+        self.name = name
+        self.rank = rank
+        self.parent = parent
+        self._children: list["Taxon"] = []
+        if parent is not None:
+            if parent.rank >= rank:
+                raise TaxonomyError(
+                    f"{rank} taxon {name!r} cannot sit under {parent.rank} "
+                    f"taxon {parent.name!r}"
+                )
+            parent._children.append(self)
+
+    def __repr__(self) -> str:
+        return f"Taxon({self.rank}: {self.name})"
+
+    @property
+    def children(self) -> tuple["Taxon", ...]:
+        return tuple(self._children)
+
+    def ancestor(self, rank: Rank) -> "Taxon | None":
+        """The ancestor (or self) at ``rank``."""
+        node: Taxon | None = self
+        while node is not None:
+            if node.rank == rank:
+                return node
+            node = node.parent
+        return None
+
+    def lineage(self) -> dict[str, str]:
+        """``{rank name: taxon name}`` from kingdom down to this node."""
+        chain: list[Taxon] = []
+        node: Taxon | None = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return {str(node.rank): node.name for node in reversed(chain)}
+
+    def walk(self) -> Iterator["Taxon"]:
+        """This node and every descendant, depth-first."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def species(self) -> Iterator["Taxon"]:
+        """Every species under (or equal to) this node."""
+        for node in self.walk():
+            if node.rank is Rank.SPECIES:
+                yield node

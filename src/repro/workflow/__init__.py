@@ -1,0 +1,47 @@
+"""A Taverna-like scientific dataflow engine.
+
+The paper runs its curation processes on the Taverna workflow management
+system; this package is the from-scratch substitute.  It provides:
+
+* a workflow model — processors with typed ports wired by data links into
+  a DAG (:mod:`repro.workflow.model`, :mod:`repro.workflow.ports`),
+* annotation assertions carrying ``Q(dimension): value`` quality
+  annotations, mirroring the paper's Listing 1
+  (:mod:`repro.workflow.annotations`),
+* a deterministic execution engine with a simulated clock and a full run
+  trace (:mod:`repro.workflow.engine`, :mod:`repro.workflow.trace`),
+* serialization to JSON and to a t2flow-style XML document
+  (:mod:`repro.workflow.serialization`),
+* a workflow repository persisted on the storage engine
+  (:mod:`repro.workflow.repository`),
+* reusable builtin processors (:mod:`repro.workflow.builtins`).
+"""
+
+from repro.workflow.annotations import AnnotationAssertion, QualityAnnotation
+from repro.workflow.decay import DecayReport, DecayScanner
+from repro.workflow.engine import SimulatedClock, WorkflowEngine
+from repro.workflow.model import DataLink, Processor, Workflow
+from repro.workflow.ports import InputPort, OutputPort
+from repro.workflow.repository import WorkflowRepository
+from repro.workflow.trace import ProcessorRun, WorkflowTrace
+
+from repro.workflow.visualize import opm_to_dot, workflow_to_dot
+
+__all__ = [
+    "AnnotationAssertion",
+    "DataLink",
+    "DecayReport",
+    "DecayScanner",
+    "InputPort",
+    "OutputPort",
+    "Processor",
+    "ProcessorRun",
+    "QualityAnnotation",
+    "SimulatedClock",
+    "Workflow",
+    "WorkflowEngine",
+    "WorkflowRepository",
+    "WorkflowTrace",
+    "opm_to_dot",
+    "workflow_to_dot",
+]

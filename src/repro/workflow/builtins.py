@@ -1,0 +1,164 @@
+"""Builtin processor kinds.
+
+These are the reusable "local modules" of the architecture.  Each kind is
+a factory registered on the shared builtin registry; workflows reference
+them by name so they stay serializable.
+
+Kinds
+-----
+``constant``
+    Emits ``config["value"]`` on the ``value`` output port.
+``identity``
+    Copies each input port to the output port of the same name.
+``rename``
+    Copies inputs to outputs following ``config["mapping"]``.
+``python``
+    Runs a named function from :data:`FUNCTION_TABLE` (safe, explicit
+    allow-list — no eval).  ``config["function"]`` picks it.
+``select_field``
+    Extracts ``config["field"]`` from each dict in the ``records`` input,
+    emitting the list on ``values``.
+``distinct``
+    Deduplicates the ``values`` input preserving first-seen order.
+``length``
+    Emits ``len(values)`` on ``count``.
+``merge_dicts``
+    Shallow-merges every input port's dict value into one dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import WorkflowError
+from repro.workflow.model import Processor, ProcessorRegistry, RunFunction
+
+__all__ = ["builtin_registry", "register_function", "FUNCTION_TABLE"]
+
+#: Named functions usable by ``python`` processors.  Extend via
+#: :func:`register_function`.
+FUNCTION_TABLE: dict[str, Callable[..., Any]] = {}
+
+
+def register_function(name: str, function: Callable[..., Any]) -> None:
+    """Expose ``function`` to ``python`` processors under ``name``."""
+    FUNCTION_TABLE[name] = function
+
+
+def _constant(processor: Processor) -> RunFunction:
+    value = processor.config.get("value")
+
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        return {"value": value}
+
+    return run
+
+
+def _identity(processor: Processor) -> RunFunction:
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        return dict(inputs)
+
+    return run
+
+
+def _rename(processor: Processor) -> RunFunction:
+    mapping: dict[str, str] = dict(processor.config.get("mapping", {}))
+
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        return {
+            target: inputs.get(source) for source, target in mapping.items()
+        }
+
+    return run
+
+
+def _python(processor: Processor) -> RunFunction:
+    function_name = processor.config.get("function")
+    if function_name not in FUNCTION_TABLE:
+        raise WorkflowError(
+            f"processor {processor.name!r}: unknown python function "
+            f"{function_name!r}"
+        )
+    function = FUNCTION_TABLE[function_name]
+    output_port = processor.config.get("output", "result")
+
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        result = function(**dict(inputs))
+        if isinstance(result, Mapping):
+            return dict(result)
+        return {output_port: result}
+
+    return run
+
+
+def _select_field(processor: Processor) -> RunFunction:
+    field = processor.config.get("field")
+    if not field:
+        raise WorkflowError(
+            f"processor {processor.name!r}: select_field needs a 'field'"
+        )
+
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        records = inputs.get("records") or []
+        return {"values": [record.get(field) for record in records]}
+
+    return run
+
+
+def _distinct(processor: Processor) -> RunFunction:
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        seen: set[Any] = set()
+        unique: list[Any] = []
+        for value in inputs.get("values") or []:
+            if value not in seen:
+                seen.add(value)
+                unique.append(value)
+        return {"values": unique}
+
+    return run
+
+
+def _length(processor: Processor) -> RunFunction:
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        values = inputs.get("values")
+        return {"count": 0 if values is None else len(values)}
+
+    return run
+
+
+def _merge_dicts(processor: Processor) -> RunFunction:
+    def run(inputs: Mapping[str, Any]) -> dict[str, Any]:
+        merged: dict[str, Any] = {}
+        for port in sorted(inputs):
+            value = inputs[port]
+            if isinstance(value, Mapping):
+                merged.update(value)
+        return {"merged": merged}
+
+    return run
+
+
+_BUILTINS: dict[str, Callable[[Processor], RunFunction]] = {
+    "constant": _constant,
+    "identity": _identity,
+    "rename": _rename,
+    "python": _python,
+    "select_field": _select_field,
+    "distinct": _distinct,
+    "length": _length,
+    "merge_dicts": _merge_dicts,
+}
+
+_SHARED: ProcessorRegistry | None = None
+
+
+def builtin_registry() -> ProcessorRegistry:
+    """The shared registry holding every builtin kind.
+
+    Engines copy it (so their extra registrations stay local)."""
+    global _SHARED
+    if _SHARED is None:
+        _SHARED = ProcessorRegistry()
+        for kind, factory in _BUILTINS.items():
+            _SHARED.register(kind, factory)
+    return _SHARED

@@ -1,0 +1,173 @@
+"""Workflow decay detection.
+
+The paper's conclusion: "we point out that workflows may also decay —
+e.g., see Zhao et al. [38].  This reinforces the notion that quality
+assessment must be a continuous task."
+
+Zhao et al. classify why Taverna workflows break; the causes that apply
+to our engine are implemented as checks:
+
+* **missing implementation** — the workflow references a processor
+  ``kind`` no longer present in the registry (third-party component
+  gone);
+* **missing function** — a ``python`` processor whose named function
+  has disappeared from the function table;
+* **dead external service** — an external-source processor whose
+  declared/observed availability has collapsed;
+* **structural rot** — the stored specification no longer validates
+  (dangling links, unfed required ports) after partial edits.
+
+:class:`DecayScanner` runs the checks over a workflow (or a whole
+repository) and produces :class:`DecayReport` objects that curators can
+act on — the same review-queue pattern the metadata side uses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import WorkflowError
+from repro.workflow.builtins import FUNCTION_TABLE
+from repro.workflow.model import ProcessorRegistry, Workflow
+from repro.workflow.repository import WorkflowRepository
+
+__all__ = ["DecayCause", "DecayReport", "DecayScanner"]
+
+#: availability below this marks an external service as effectively dead
+DEAD_SERVICE_THRESHOLD = 0.2
+
+
+class DecayCause:
+    """One detected decay cause in one workflow."""
+
+    __slots__ = ("kind", "processor", "detail")
+
+    CAUSES = ("missing_implementation", "missing_function",
+              "dead_service", "structural")
+
+    def __init__(self, kind: str, processor: str | None,
+                 detail: str) -> None:
+        if kind not in self.CAUSES:
+            raise WorkflowError(f"unknown decay cause {kind!r}")
+        self.kind = kind
+        self.processor = processor
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        where = f" @{self.processor}" if self.processor else ""
+        return f"DecayCause({self.kind}{where}: {self.detail})"
+
+
+class DecayReport:
+    """All decay found in one workflow."""
+
+    def __init__(self, workflow_name: str) -> None:
+        self.workflow_name = workflow_name
+        self.causes: list[DecayCause] = []
+
+    def add(self, kind: str, processor: str | None, detail: str) -> None:
+        self.causes.append(DecayCause(kind, processor, detail))
+
+    @property
+    def decayed(self) -> bool:
+        return bool(self.causes)
+
+    @property
+    def runnable(self) -> bool:
+        """Dead services degrade results but do not stop execution; the
+        other causes do."""
+        return all(cause.kind == "dead_service" for cause in self.causes)
+
+    def causes_of(self, kind: str) -> list[DecayCause]:
+        return [cause for cause in self.causes if cause.kind == kind]
+
+    def summary(self) -> dict[str, int]:
+        counts = dict.fromkeys(DecayCause.CAUSES, 0)
+        for cause in self.causes:
+            counts[cause.kind] += 1
+        counts["total"] = len(self.causes)
+        return counts
+
+    def render(self) -> str:
+        if not self.decayed:
+            return f"workflow {self.workflow_name!r}: healthy"
+        lines = [f"workflow {self.workflow_name!r}: "
+                 f"{len(self.causes)} decay cause(s)"
+                 + ("" if self.runnable else " (NOT RUNNABLE)")]
+        for cause in self.causes:
+            where = f" [{cause.processor}]" if cause.processor else ""
+            lines.append(f"  - {cause.kind}{where}: {cause.detail}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecayReport({self.workflow_name}, "
+            f"{len(self.causes)} causes)"
+        )
+
+
+class DecayScanner:
+    """Checks workflows against the current execution environment.
+
+    Parameters
+    ----------
+    registry:
+        The processor registry the workflow would run against.
+    service_availability:
+        ``processor kind -> availability`` callable (or mapping via
+        ``dict.get``) reporting the *current* health of external
+        services backing that kind.  ``None`` means unknown (no check).
+    function_table:
+        The ``python``-kind function table (defaults to the global one).
+    """
+
+    def __init__(self, registry: ProcessorRegistry,
+                 service_availability: Callable[[str], float | None] | None = None,
+                 function_table: dict | None = None) -> None:
+        self.registry = registry
+        self._service_availability = service_availability or (
+            lambda kind: None)
+        self.function_table = (FUNCTION_TABLE if function_table is None
+                               else function_table)
+
+    def scan(self, workflow: Workflow) -> DecayReport:
+        report = DecayReport(workflow.name)
+        known_kinds = set(self.registry.kinds())
+        for processor in workflow.processors.values():
+            if processor.kind not in known_kinds:
+                report.add(
+                    "missing_implementation", processor.name,
+                    f"kind {processor.kind!r} is not registered",
+                )
+            elif processor.kind == "python":
+                function = processor.config.get("function")
+                if function not in self.function_table:
+                    report.add(
+                        "missing_function", processor.name,
+                        f"python function {function!r} has disappeared",
+                    )
+            availability = self._service_availability(processor.kind)
+            if (availability is not None
+                    and availability < DEAD_SERVICE_THRESHOLD):
+                report.add(
+                    "dead_service", processor.name,
+                    f"backing service availability is {availability:.0%}",
+                )
+        try:
+            workflow.validate()
+        except WorkflowError as exc:
+            report.add("structural", None, str(exc))
+        return report
+
+    def scan_repository(self, repository: WorkflowRepository) -> dict[str, DecayReport]:
+        """Latest version of every stored workflow."""
+        return {
+            name: self.scan(repository.load(name))
+            for name in repository.names()
+        }
+
+    def decayed_workflows(self, repository: WorkflowRepository) -> list[str]:
+        return sorted(
+            name for name, report in self.scan_repository(repository).items()
+            if report.decayed
+        )

@@ -1,0 +1,265 @@
+"""The workflow execution engine.
+
+Deterministic by construction: time comes from a :class:`SimulatedClock`
+(the paper's Listing 1 timestamp, 2013-11-12 19:58:09 UTC, is the default
+epoch) and run ids from a per-engine counter.  Processors execute in
+topological order; every port value is recorded in the
+:class:`~repro.workflow.trace.WorkflowTrace` so the Provenance Manager
+can later reconstruct full OPM provenance.
+
+Failure semantics: a processor exception aborts the run (status
+``failed``) unless the processor's config sets ``"allow_failure": True``,
+in which case downstream ports fed by it see ``None`` and the run
+continues — mirroring how Taverna pipelines tolerate flaky services.
+
+Implicit iteration (Taverna's signature behaviour): a processor whose
+config names an input port in ``"iterate_over"`` is invoked once per
+item when that port receives a list; the other inputs broadcast, each
+output port collects its per-item values into a list, and simulated
+durations accumulate.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Callable, Mapping
+
+from repro.errors import WorkflowExecutionError, WorkflowValidationError
+from repro.workflow.model import ProcessorRegistry, Workflow
+from repro.workflow.trace import ProcessorRun, WorkflowTrace
+
+__all__ = ["SimulatedClock", "RunResult", "WorkflowEngine"]
+
+#: Listing 1's annotation timestamp — a natural epoch for the simulation.
+DEFAULT_EPOCH = _dt.datetime(2013, 11, 12, 19, 58, 9)
+
+
+class SimulatedClock:
+    """A deterministic clock.
+
+    ``now()`` returns the current simulated instant; ``advance(seconds)``
+    moves it forward.  Processors that model expensive work (e.g. the
+    simulated Catalogue of Life's network latency) advance the clock via
+    the engine's run context.
+    """
+
+    def __init__(self, epoch: _dt.datetime = DEFAULT_EPOCH) -> None:
+        self._now = epoch
+
+    def now(self) -> _dt.datetime:
+        return self._now
+
+    def advance(self, seconds: float) -> _dt.datetime:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += _dt.timedelta(seconds=seconds)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock({self._now.isoformat()})"
+
+
+class RunResult:
+    """What a run returns: outputs plus the full trace."""
+
+    def __init__(self, outputs: dict[str, Any], trace: WorkflowTrace) -> None:
+        self.outputs = outputs
+        self.trace = trace
+
+    @property
+    def run_id(self) -> str:
+        return self.trace.run_id
+
+    @property
+    def succeeded(self) -> bool:
+        return self.trace.status == "completed"
+
+    def __getitem__(self, port: str) -> Any:
+        return self.outputs[port]
+
+    def __repr__(self) -> str:
+        return f"RunResult({self.run_id}, {self.trace.status})"
+
+
+class WorkflowEngine:
+    """Executes workflows against a processor registry.
+
+    Parameters
+    ----------
+    registry:
+        Maps processor kinds to implementations.  Defaults to a copy of
+        the builtin registry (:mod:`repro.workflow.builtins`).
+    clock:
+        Simulated time source shared by all runs of this engine.
+    default_step_seconds:
+        Simulated duration charged to a processor that does not report
+        its own duration.
+    """
+
+    def __init__(self, registry: ProcessorRegistry | None = None,
+                 clock: SimulatedClock | None = None,
+                 default_step_seconds: float = 0.1) -> None:
+        if registry is None:
+            from repro.workflow.builtins import builtin_registry
+            registry = builtin_registry().copy()
+        self.registry = registry
+        self.clock = clock or SimulatedClock()
+        self.default_step_seconds = default_step_seconds
+        self._run_counter = 0
+        self._listeners: list[Callable[[str, dict[str, Any]], None]] = []
+
+    # ------------------------------------------------------------------
+    # listeners (the Provenance Manager subscribes here)
+    # ------------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[str, dict[str, Any]], None]) -> None:
+        """Subscribe to run events.  The listener receives
+        ``(event_name, payload)`` where event names are ``run_started``,
+        ``processor_finished``, ``run_finished``."""
+        self._listeners.append(listener)
+
+    def _emit(self, event: str, payload: dict[str, Any]) -> None:
+        for listener in self._listeners:
+            listener(event, payload)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, workflow: Workflow,
+            inputs: Mapping[str, Any] | None = None) -> RunResult:
+        """Execute ``workflow`` with the given workflow-level inputs."""
+        workflow.validate()
+        inputs = dict(inputs or {})
+        expected = set(workflow.input_names())
+        unexpected = set(inputs) - expected
+        if unexpected:
+            raise WorkflowValidationError(
+                f"unknown workflow inputs: {sorted(unexpected)}"
+            )
+        missing = expected - set(inputs)
+        if missing:
+            raise WorkflowValidationError(
+                f"missing workflow inputs: {sorted(missing)}"
+            )
+
+        self._run_counter += 1
+        run_id = f"run-{self._run_counter:04d}"
+        trace = WorkflowTrace(run_id, workflow.name, self.clock.now())
+        trace.inputs = dict(inputs)
+        self._emit("run_started", {"run_id": run_id, "workflow": workflow,
+                                   "inputs": dict(inputs)})
+
+        # port value store: (processor, port) -> (value, artifact_id)
+        values: dict[tuple[str, str], tuple[Any, str]] = {}
+        for name, value in inputs.items():
+            artifact = trace.record_binding(Workflow.IO, name, "input", value)
+            values[(Workflow.IO, name)] = (value, artifact.artifact_id)
+
+        status = "completed"
+        for processor_name in workflow.execution_order():
+            processor = workflow.processor(processor_name)
+            bound = self._bind_inputs(workflow, processor_name, values, trace)
+            started = self.clock.now()
+            run_status = "completed"
+            error_text: str | None = None
+            outputs: Mapping[str, Any] = {}
+            try:
+                implementation = self.registry.resolve(processor)
+                outputs = self._invoke(processor, implementation, bound)
+            except Exception as exc:  # noqa: BLE001 - boundary by design
+                run_status = "failed"
+                error_text = f"{type(exc).__name__}: {exc}"
+                if not processor.config.get("allow_failure", False):
+                    finished = self.clock.advance(self.default_step_seconds)
+                    trace.record_run(ProcessorRun(
+                        processor_name, processor.kind, started, finished,
+                        status="failed", error=error_text,
+                    ))
+                    trace.finish(finished, "failed")
+                    self._emit("run_finished", {"run_id": run_id,
+                                                "trace": trace})
+                    raise WorkflowExecutionError(processor_name, exc) from exc
+            duration = float(
+                outputs.get("__duration__", self.default_step_seconds)
+            ) if isinstance(outputs, Mapping) else self.default_step_seconds
+            outputs = {
+                port: value for port, value in dict(outputs).items()
+                if port != "__duration__"
+            }
+            finished = self.clock.advance(max(duration, 0.0))
+            record = ProcessorRun(processor_name, processor.kind,
+                                  started, finished,
+                                  status=run_status, error=error_text)
+            trace.record_run(record)
+            for port in processor.output_ports:
+                value = outputs.get(port)
+                binding = trace.record_binding(
+                    processor_name, port, "output", value
+                )
+                values[(processor_name, port)] = (value, binding.artifact_id)
+            self._emit("processor_finished", {
+                "run_id": run_id, "processor": processor,
+                "run": record, "outputs": dict(outputs),
+            })
+
+        # workflow outputs
+        outputs: dict[str, Any] = {}
+        for link in workflow.links:
+            if link.sink != Workflow.IO:
+                continue
+            value, artifact_id = values.get(
+                (link.source, link.source_port), (None, None)
+            )
+            outputs[link.sink_port] = value
+            trace.record_binding(Workflow.IO, link.sink_port, "output",
+                                 value, artifact_id=artifact_id)
+        trace.outputs = dict(outputs)
+        trace.finish(self.clock.now(), status)
+        self._emit("run_finished", {"run_id": run_id, "trace": trace})
+        return RunResult(outputs, trace)
+
+    def _invoke(self, processor, implementation,
+                bound: dict[str, Any]) -> Mapping[str, Any]:
+        """Run one processor, applying implicit iteration when asked."""
+        iterate_over = processor.config.get("iterate_over")
+        if not iterate_over:
+            return implementation(bound) or {}
+        items = bound.get(iterate_over)
+        if not isinstance(items, (list, tuple)):
+            # scalar input: plain invocation, as Taverna does
+            return implementation(bound) or {}
+        collected: dict[str, list[Any]] = {
+            port: [] for port in processor.output_ports
+        }
+        total_duration = 0.0
+        for item in items:
+            per_item = dict(bound)
+            per_item[iterate_over] = item
+            outputs = dict(implementation(per_item) or {})
+            total_duration += float(outputs.pop("__duration__", 0.0))
+            for port in collected:
+                collected[port].append(outputs.get(port))
+        result: dict[str, Any] = dict(collected)
+        if total_duration > 0:
+            result["__duration__"] = total_duration
+        return result
+
+    def _bind_inputs(self, workflow: Workflow, processor_name: str,
+                     values: Mapping[tuple[str, str], tuple[Any, str]],
+                     trace: WorkflowTrace) -> dict[str, Any]:
+        processor = workflow.processor(processor_name)
+        bound: dict[str, Any] = {}
+        for link in workflow.incoming_links(processor_name):
+            value, artifact_id = values.get(
+                (link.source, link.source_port), (None, None)
+            )
+            bound[link.sink_port] = value
+            trace.record_binding(processor_name, link.sink_port, "input",
+                                 value, artifact_id=artifact_id)
+        for port in processor.input_ports.values():
+            if port.name not in bound and not port.required:
+                bound[port.name] = port.default
+                trace.record_binding(processor_name, port.name, "input",
+                                     port.default)
+        return bound

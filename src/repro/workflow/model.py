@@ -1,0 +1,432 @@
+"""The workflow model: processors, data links, workflows.
+
+A :class:`Workflow` is a DAG of :class:`Processor` nodes wired by
+:class:`DataLink` edges.  Workflow-level inputs and outputs are modelled
+as links whose processor end is the pseudo-node ``Workflow.IO`` — the
+same trick Taverna's t2flow format uses.
+
+Processors are *descriptions*: a ``kind`` (a key into a processor
+registry that maps to an implementation) plus a ``config`` dict.  This
+keeps workflows serializable; the behaviour lives in the registry
+(:mod:`repro.workflow.builtins` registers the standard kinds).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import (
+    UnknownPortError,
+    UnknownProcessorError,
+    WorkflowValidationError,
+)
+from repro.workflow.annotations import AnnotationAssertion, QualityAnnotation
+from repro.workflow.ports import InputPort, OutputPort
+
+__all__ = ["Processor", "DataLink", "Workflow", "ProcessorRegistry"]
+
+RunFunction = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+
+
+class Processor:
+    """One step of a workflow.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the workflow.
+    kind:
+        Registry key of the implementation (e.g. ``"python"``,
+        ``"catalogue_lookup"``).
+    inputs / outputs:
+        The ports.  Strings are accepted as shorthand for required ports.
+    config:
+        Implementation parameters; must be JSON-serializable.
+    annotations:
+        :class:`AnnotationAssertion` list — including quality annotations
+        added by the Workflow Adapter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        inputs: Iterable[InputPort | str] = (),
+        outputs: Iterable[OutputPort | str] = (),
+        config: Mapping[str, Any] | None = None,
+        annotations: Iterable[AnnotationAssertion] = (),
+    ) -> None:
+        if not name:
+            raise WorkflowValidationError("processor needs a name")
+        self.name = name
+        self.kind = kind
+        self.input_ports: dict[str, InputPort] = {}
+        for port in inputs:
+            if isinstance(port, str):
+                port = InputPort(port)
+            if port.name in self.input_ports:
+                raise WorkflowValidationError(
+                    f"processor {name!r}: duplicate input port {port.name!r}"
+                )
+            self.input_ports[port.name] = port
+        self.output_ports: dict[str, OutputPort] = {}
+        for port in outputs:
+            if isinstance(port, str):
+                port = OutputPort(port)
+            if port.name in self.output_ports:
+                raise WorkflowValidationError(
+                    f"processor {name!r}: duplicate output port {port.name!r}"
+                )
+            self.output_ports[port.name] = port
+        self.config: dict[str, Any] = dict(config or {})
+        self.annotations: list[AnnotationAssertion] = list(annotations)
+
+    def __repr__(self) -> str:
+        return f"Processor({self.name}, kind={self.kind})"
+
+    def annotate(self, assertion: AnnotationAssertion) -> None:
+        self.annotations.append(assertion)
+
+    @property
+    def quality(self) -> QualityAnnotation:
+        """Union of the quality statements across all annotations (later
+        assertions override earlier ones on the same dimension)."""
+        merged = QualityAnnotation({})
+        for assertion in self.annotations:
+            merged = merged.merged_with(assertion.quality)
+        return merged
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "inputs": [
+                {"name": port.name, "required": port.required,
+                 "default": None if port.required else port.default,
+                 "description": port.description}
+                for port in self.input_ports.values()
+            ],
+            "outputs": [
+                {"name": port.name, "description": port.description}
+                for port in self.output_ports.values()
+            ],
+            "config": dict(self.config),
+            "annotations": [a.to_dict() for a in self.annotations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Processor":
+        inputs = []
+        for port in data.get("inputs", ()):
+            if port.get("required", True):
+                inputs.append(InputPort(port["name"],
+                                        description=port.get("description", "")))
+            else:
+                inputs.append(InputPort(port["name"], default=port.get("default"),
+                                        description=port.get("description", "")))
+        outputs = [
+            OutputPort(port["name"], description=port.get("description", ""))
+            for port in data.get("outputs", ())
+        ]
+        return cls(
+            data["name"],
+            data["kind"],
+            inputs=inputs,
+            outputs=outputs,
+            config=data.get("config", {}),
+            annotations=[
+                AnnotationAssertion.from_dict(a)
+                for a in data.get("annotations", ())
+            ],
+        )
+
+
+class DataLink:
+    """A dataflow edge: ``source.source_port -> sink.sink_port``.
+
+    ``Workflow.IO`` as the source means a workflow input; as the sink, a
+    workflow output.
+    """
+
+    __slots__ = ("source", "source_port", "sink", "sink_port")
+
+    def __init__(self, source: str, source_port: str,
+                 sink: str, sink_port: str) -> None:
+        self.source = source
+        self.source_port = source_port
+        self.sink = sink
+        self.sink_port = sink_port
+
+    def __repr__(self) -> str:
+        return (
+            f"DataLink({self.source}.{self.source_port} -> "
+            f"{self.sink}.{self.sink_port})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DataLink):
+            return NotImplemented
+        return (
+            self.source, self.source_port, self.sink, self.sink_port
+        ) == (other.source, other.source_port, other.sink, other.sink_port)
+
+    def __hash__(self) -> int:
+        return hash((self.source, self.source_port, self.sink, self.sink_port))
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "source": self.source, "source_port": self.source_port,
+            "sink": self.sink, "sink_port": self.sink_port,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "DataLink":
+        return cls(data["source"], data["source_port"],
+                   data["sink"], data["sink_port"])
+
+
+class Workflow:
+    """A named DAG of processors.
+
+    Build incrementally::
+
+        wf = Workflow("outdated_species_name_detection")
+        wf.add_processor(reader)
+        wf.add_processor(checker)
+        wf.link("reader", "names", "checker", "names")
+        wf.map_input("metadata", "reader", "records")
+        wf.map_output("summary", "checker", "summary")
+        wf.validate()
+    """
+
+    #: pseudo-processor name representing the workflow boundary
+    IO = "__workflow__"
+
+    def __init__(self, name: str, description: str = "",
+                 annotations: Iterable[AnnotationAssertion] = ()) -> None:
+        if not name:
+            raise WorkflowValidationError("workflow needs a name")
+        self.name = name
+        self.description = description
+        self.processors: dict[str, Processor] = {}
+        self.links: list[DataLink] = []
+        self.annotations: list[AnnotationAssertion] = list(annotations)
+
+    def __repr__(self) -> str:
+        return (
+            f"Workflow({self.name}, {len(self.processors)} processors, "
+            f"{len(self.links)} links)"
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_processor(self, processor: Processor) -> Processor:
+        if processor.name == self.IO:
+            raise WorkflowValidationError(
+                f"{self.IO!r} is reserved for the workflow boundary"
+            )
+        if processor.name in self.processors:
+            raise WorkflowValidationError(
+                f"duplicate processor {processor.name!r}"
+            )
+        self.processors[processor.name] = processor
+        return processor
+
+    def link(self, source: str, source_port: str,
+             sink: str, sink_port: str) -> DataLink:
+        """Wire ``source.source_port`` into ``sink.sink_port``."""
+        data_link = DataLink(source, source_port, sink, sink_port)
+        self.links.append(data_link)
+        return data_link
+
+    def map_input(self, workflow_port: str, sink: str, sink_port: str) -> DataLink:
+        """Expose a workflow-level input feeding ``sink.sink_port``."""
+        return self.link(self.IO, workflow_port, sink, sink_port)
+
+    def map_output(self, workflow_port: str, source: str,
+                   source_port: str) -> DataLink:
+        """Expose ``source.source_port`` as a workflow-level output."""
+        return self.link(source, source_port, self.IO, workflow_port)
+
+    def annotate(self, assertion: AnnotationAssertion) -> None:
+        self.annotations.append(assertion)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def processor(self, name: str) -> Processor:
+        try:
+            return self.processors[name]
+        except KeyError:
+            raise UnknownProcessorError(
+                f"workflow {self.name!r} has no processor {name!r}"
+            ) from None
+
+    def input_names(self) -> list[str]:
+        """Workflow-level input port names, in declaration order."""
+        seen: list[str] = []
+        for link in self.links:
+            if link.source == self.IO and link.source_port not in seen:
+                seen.append(link.source_port)
+        return seen
+
+    def output_names(self) -> list[str]:
+        seen: list[str] = []
+        for link in self.links:
+            if link.sink == self.IO and link.sink_port not in seen:
+                seen.append(link.sink_port)
+        return seen
+
+    def incoming_links(self, processor: str) -> list[DataLink]:
+        return [link for link in self.links if link.sink == processor]
+
+    def outgoing_links(self, processor: str) -> list[DataLink]:
+        return [link for link in self.links if link.source == processor]
+
+    @property
+    def quality(self) -> QualityAnnotation:
+        merged = QualityAnnotation({})
+        for assertion in self.annotations:
+            merged = merged.merged_with(assertion.quality)
+        return merged
+
+    # ------------------------------------------------------------------
+    # validation & ordering
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raises WorkflowValidationError."""
+        for link in self.links:
+            if link.source != self.IO:
+                source = self.processor(link.source)
+                if link.source_port not in source.output_ports:
+                    raise UnknownPortError(
+                        f"{link.source!r} has no output port "
+                        f"{link.source_port!r}"
+                    )
+            if link.sink != self.IO:
+                sink = self.processor(link.sink)
+                if link.sink_port not in sink.input_ports:
+                    raise UnknownPortError(
+                        f"{link.sink!r} has no input port {link.sink_port!r}"
+                    )
+        # one feeder per input port
+        fed: set[tuple[str, str]] = set()
+        for link in self.links:
+            if link.sink == self.IO:
+                continue
+            key = (link.sink, link.sink_port)
+            if key in fed:
+                raise WorkflowValidationError(
+                    f"input port {link.sink}.{link.sink_port} is fed by "
+                    "more than one link"
+                )
+            fed.add(key)
+        # every required input port must be fed
+        for processor in self.processors.values():
+            for port in processor.input_ports.values():
+                if port.required and (processor.name, port.name) not in fed:
+                    raise WorkflowValidationError(
+                        f"required input port {processor.name}.{port.name} "
+                        "is not connected"
+                    )
+        self.execution_order()  # raises on cycles
+
+    def execution_order(self) -> list[str]:
+        """Topological order of processor names (Kahn's algorithm;
+        deterministic — ties broken alphabetically)."""
+        indegree: dict[str, int] = {name: 0 for name in self.processors}
+        dependents: dict[str, set[str]] = {name: set() for name in self.processors}
+        for link in self.links:
+            if link.source == self.IO or link.sink == self.IO:
+                continue
+            if link.sink not in dependents.get(link.source, set()):
+                dependents[link.source].add(link.sink)
+                indegree[link.sink] += 1
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for dependent in sorted(dependents[name]):
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+            ready.sort()
+        if len(order) != len(self.processors):
+            cyclic = sorted(set(self.processors) - set(order))
+            raise WorkflowValidationError(
+                f"workflow {self.name!r} has a cycle involving {cyclic}"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "processors": [p.to_dict() for p in self.processors.values()],
+            "links": [link.to_dict() for link in self.links],
+            "annotations": [a.to_dict() for a in self.annotations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Workflow":
+        workflow = cls(
+            data["name"],
+            description=data.get("description", ""),
+            annotations=[
+                AnnotationAssertion.from_dict(a)
+                for a in data.get("annotations", ())
+            ],
+        )
+        for processor_data in data.get("processors", ()):
+            workflow.add_processor(Processor.from_dict(processor_data))
+        for link_data in data.get("links", ()):
+            workflow.links.append(DataLink.from_dict(link_data))
+        return workflow
+
+
+class ProcessorRegistry:
+    """Maps processor ``kind`` strings to implementations.
+
+    An implementation is a factory ``(processor) -> RunFunction`` — given
+    the :class:`Processor` description it returns the callable executed by
+    the engine.  The indirection lets one kind serve many configured
+    processors.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[Processor], RunFunction]] = {}
+
+    def register(self, kind: str,
+                 factory: Callable[[Processor], RunFunction]) -> None:
+        self._factories[kind] = factory
+
+    def register_function(self, kind: str, function: RunFunction) -> None:
+        """Register a kind whose behaviour ignores the config."""
+        self._factories[kind] = lambda processor: function
+
+    def resolve(self, processor: Processor) -> RunFunction:
+        try:
+            factory = self._factories[processor.kind]
+        except KeyError:
+            raise UnknownProcessorError(
+                f"no implementation registered for kind "
+                f"{processor.kind!r} (processor {processor.name!r})"
+            ) from None
+        return factory(processor)
+
+    def kinds(self) -> list[str]:
+        return sorted(self._factories)
+
+    def copy(self) -> "ProcessorRegistry":
+        clone = ProcessorRegistry()
+        clone._factories = dict(self._factories)
+        return clone

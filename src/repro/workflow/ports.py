@@ -1,0 +1,73 @@
+"""Processor ports.
+
+Ports are the named connection points of a processor.  An
+:class:`InputPort` may declare a default value (making the link optional);
+an :class:`OutputPort` is just a named output slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import WorkflowValidationError
+
+__all__ = ["InputPort", "OutputPort"]
+
+_MISSING = object()
+
+
+class InputPort:
+    """A named input of a processor.
+
+    Parameters
+    ----------
+    name:
+        Port identifier, unique within the processor.
+    default:
+        Value used when nothing is linked to the port.  Omitting it makes
+        the port *required*: validation fails if no link and no workflow
+        input feeds it.
+    description:
+        Human-readable documentation.
+    """
+
+    __slots__ = ("name", "_default", "description")
+
+    def __init__(self, name: str, default: Any = _MISSING,
+                 description: str = "") -> None:
+        if not name:
+            raise WorkflowValidationError("input port needs a name")
+        self.name = name
+        self._default = default
+        self.description = description
+
+    @property
+    def required(self) -> bool:
+        return self._default is _MISSING
+
+    @property
+    def default(self) -> Any:
+        if self.required:
+            raise WorkflowValidationError(
+                f"port {self.name!r} has no default"
+            )
+        return self._default
+
+    def __repr__(self) -> str:
+        suffix = "" if self.required else f"={self._default!r}"
+        return f"InputPort({self.name}{suffix})"
+
+
+class OutputPort:
+    """A named output of a processor."""
+
+    __slots__ = ("name", "description")
+
+    def __init__(self, name: str, description: str = "") -> None:
+        if not name:
+            raise WorkflowValidationError("output port needs a name")
+        self.name = name
+        self.description = description
+
+    def __repr__(self) -> str:
+        return f"OutputPort({self.name})"

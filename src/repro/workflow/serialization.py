@@ -1,0 +1,170 @@
+"""Workflow serialization: JSON and a t2flow-style XML dialect.
+
+The XML dialect mirrors the shape of the paper's Listing 1 — processors
+carry ``<annotations>`` blocks whose ``<text>`` bodies hold
+``Q(dimension): value;`` statements::
+
+    <workflow name="outdated_species_name_detection">
+      <processor>
+        <name>Catalog_of_life</name>
+        <annotations>
+          <annotationAssertion>
+            <text>Q(reputation): 1;
+    Q(availability): 0.9;</text>
+            <date>2013-11-12T19:58:09</date>
+          </annotationAssertion>
+        </annotations>
+        ...
+      </processor>
+      <datalink source="..." sourcePort="..." sink="..." sinkPort="..."/>
+    </workflow>
+
+Both directions are supported so annotated workflows survive storage in
+the workflow repository.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import xml.etree.ElementTree as ET
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.model import DataLink, Processor, Workflow
+from repro.workflow.ports import InputPort, OutputPort
+
+__all__ = [
+    "workflow_to_json",
+    "workflow_from_json",
+    "workflow_to_xml",
+    "workflow_from_xml",
+]
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def workflow_to_json(workflow: Workflow, indent: int | None = 2) -> str:
+    """Serialize ``workflow`` to a JSON document."""
+    return json.dumps(workflow.to_dict(), indent=indent, sort_keys=True)
+
+
+def workflow_from_json(document: str) -> Workflow:
+    """Parse a workflow from :func:`workflow_to_json` output."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid workflow JSON: {exc}") from None
+    return Workflow.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# XML (t2flow-style)
+# ---------------------------------------------------------------------------
+
+def _annotations_element(annotations: list[AnnotationAssertion]) -> ET.Element:
+    container = ET.Element("annotations")
+    for assertion in annotations:
+        element = ET.SubElement(container, "annotationAssertion")
+        ET.SubElement(element, "text").text = assertion.text
+        ET.SubElement(element, "date").text = assertion.date.isoformat()
+        ET.SubElement(element, "creator").text = assertion.creator
+    return container
+
+
+def _parse_annotations(container: ET.Element | None) -> list[AnnotationAssertion]:
+    if container is None:
+        return []
+    assertions = []
+    for element in container.findall("annotationAssertion"):
+        text = element.findtext("text") or ""
+        date_text = element.findtext("date")
+        creator = element.findtext("creator") or ""
+        date = _dt.datetime.fromisoformat(date_text) if date_text else None
+        assertions.append(AnnotationAssertion(text, date=date, creator=creator))
+    return assertions
+
+
+def workflow_to_xml(workflow: Workflow) -> str:
+    """Serialize to the t2flow-style XML dialect (Listing 1 shape)."""
+    root = ET.Element("workflow", name=workflow.name)
+    if workflow.description:
+        ET.SubElement(root, "description").text = workflow.description
+    if workflow.annotations:
+        root.append(_annotations_element(workflow.annotations))
+    for processor in workflow.processors.values():
+        element = ET.SubElement(root, "processor")
+        ET.SubElement(element, "name").text = processor.name
+        ET.SubElement(element, "kind").text = processor.kind
+        for port in processor.input_ports.values():
+            attrs: dict[str, str] = {"name": port.name}
+            if not port.required:
+                attrs["default"] = json.dumps(port.default)
+            ET.SubElement(element, "inputPort", **attrs)
+        for port in processor.output_ports.values():
+            ET.SubElement(element, "outputPort", name=port.name)
+        if processor.config:
+            ET.SubElement(element, "config").text = json.dumps(
+                processor.config, sort_keys=True
+            )
+        if processor.annotations:
+            element.append(_annotations_element(processor.annotations))
+    for link in workflow.links:
+        ET.SubElement(
+            root, "datalink",
+            source=link.source, sourcePort=link.source_port,
+            sink=link.sink, sinkPort=link.sink_port,
+        )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def workflow_from_xml(document: str) -> Workflow:
+    """Parse a workflow from :func:`workflow_to_xml` output."""
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise SerializationError(f"invalid workflow XML: {exc}") from None
+    if root.tag != "workflow":
+        raise SerializationError(
+            f"expected <workflow> root, found <{root.tag}>"
+        )
+    workflow = Workflow(
+        root.get("name", "unnamed"),
+        description=root.findtext("description") or "",
+        annotations=_parse_annotations(root.find("annotations")),
+    )
+    for element in root.findall("processor"):
+        name = element.findtext("name")
+        kind = element.findtext("kind") or "identity"
+        if not name:
+            raise SerializationError("processor without a <name>")
+        inputs: list[InputPort] = []
+        for port in element.findall("inputPort"):
+            port_name = port.get("name", "")
+            if "default" in port.attrib:
+                inputs.append(
+                    InputPort(port_name,
+                              default=json.loads(port.attrib["default"]))
+                )
+            else:
+                inputs.append(InputPort(port_name))
+        outputs = [
+            OutputPort(port.get("name", ""))
+            for port in element.findall("outputPort")
+        ]
+        config_text = element.findtext("config")
+        config = json.loads(config_text) if config_text else {}
+        workflow.add_processor(Processor(
+            name, kind, inputs=inputs, outputs=outputs, config=config,
+            annotations=_parse_annotations(element.find("annotations")),
+        ))
+    for element in root.findall("datalink"):
+        workflow.links.append(DataLink(
+            element.get("source", ""), element.get("sourcePort", ""),
+            element.get("sink", ""), element.get("sinkPort", ""),
+        ))
+    return workflow

@@ -1,0 +1,208 @@
+"""Run traces: what the Provenance Manager consumes.
+
+A :class:`WorkflowTrace` records one execution of one workflow:
+
+* the values that crossed every port, as :class:`DataBinding` entries
+  with stable artifact ids,
+* one :class:`ProcessorRun` per processor invocation with simulated
+  start/end times and status,
+* the workflow-level inputs and outputs.
+
+Traces are plain data — they can be stored, serialized and mapped into
+OPM graphs long after the run (the paper stores "workflow description and
+execution logs" in the provenance repository).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Iterator, Mapping
+
+__all__ = ["DataBinding", "ProcessorRun", "WorkflowTrace"]
+
+
+class DataBinding:
+    """One value observed on one port during a run."""
+
+    __slots__ = ("artifact_id", "processor", "port", "direction", "value")
+
+    def __init__(self, artifact_id: str, processor: str, port: str,
+                 direction: str, value: Any) -> None:
+        if direction not in ("input", "output"):
+            raise ValueError(f"bad binding direction {direction!r}")
+        self.artifact_id = artifact_id
+        self.processor = processor
+        self.port = port
+        self.direction = direction
+        self.value = value
+
+    def __repr__(self) -> str:
+        return (
+            f"DataBinding({self.artifact_id}: {self.processor}.{self.port} "
+            f"{self.direction})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "artifact_id": self.artifact_id,
+            "processor": self.processor,
+            "port": self.port,
+            "direction": self.direction,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DataBinding":
+        return cls(data["artifact_id"], data["processor"], data["port"],
+                   data["direction"], data.get("value"))
+
+
+class ProcessorRun:
+    """One processor invocation inside a run."""
+
+    def __init__(self, processor: str, kind: str,
+                 started: _dt.datetime, finished: _dt.datetime,
+                 status: str = "completed", error: str | None = None) -> None:
+        self.processor = processor
+        self.kind = kind
+        self.started = started
+        self.finished = finished
+        self.status = status  # "completed" | "failed" | "skipped"
+        self.error = error
+
+    @property
+    def duration(self) -> _dt.timedelta:
+        return self.finished - self.started
+
+    def __repr__(self) -> str:
+        return f"ProcessorRun({self.processor}, {self.status})"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "processor": self.processor,
+            "kind": self.kind,
+            "started": self.started.isoformat(),
+            "finished": self.finished.isoformat(),
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorRun":
+        return cls(
+            data["processor"],
+            data.get("kind", ""),
+            _dt.datetime.fromisoformat(data["started"]),
+            _dt.datetime.fromisoformat(data["finished"]),
+            status=data.get("status", "completed"),
+            error=data.get("error"),
+        )
+
+
+class WorkflowTrace:
+    """The complete execution log of one workflow run."""
+
+    def __init__(self, run_id: str, workflow_name: str,
+                 started: _dt.datetime) -> None:
+        self.run_id = run_id
+        self.workflow_name = workflow_name
+        self.started = started
+        self.finished: _dt.datetime | None = None
+        self.status = "running"  # -> "completed" | "failed"
+        self.inputs: dict[str, Any] = {}
+        self.outputs: dict[str, Any] = {}
+        self.processor_runs: list[ProcessorRun] = []
+        self.bindings: list[DataBinding] = []
+        self._artifact_counter = 0
+
+    def __repr__(self) -> str:
+        return f"WorkflowTrace({self.run_id}, {self.status})"
+
+    # -- recording (used by the engine) ------------------------------------
+
+    def new_artifact_id(self) -> str:
+        self._artifact_counter += 1
+        return f"{self.run_id}/a{self._artifact_counter}"
+
+    def record_binding(self, processor: str, port: str, direction: str,
+                       value: Any, artifact_id: str | None = None) -> DataBinding:
+        binding = DataBinding(
+            artifact_id or self.new_artifact_id(),
+            processor, port, direction, value,
+        )
+        self.bindings.append(binding)
+        return binding
+
+    def record_run(self, run: ProcessorRun) -> None:
+        self.processor_runs.append(run)
+
+    def finish(self, finished: _dt.datetime, status: str) -> None:
+        self.finished = finished
+        self.status = status
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def duration(self) -> _dt.timedelta | None:
+        if self.finished is None:
+            return None
+        return self.finished - self.started
+
+    def run_for(self, processor: str) -> ProcessorRun | None:
+        for run in self.processor_runs:
+            if run.processor == processor:
+                return run
+        return None
+
+    def bindings_for(self, processor: str,
+                     direction: str | None = None) -> Iterator[DataBinding]:
+        for binding in self.bindings:
+            if binding.processor != processor:
+                continue
+            if direction is not None and binding.direction != direction:
+                continue
+            yield binding
+
+    def failed_processors(self) -> list[str]:
+        return [
+            run.processor for run in self.processor_runs
+            if run.status == "failed"
+        ]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "workflow_name": self.workflow_name,
+            "started": self.started.isoformat(),
+            "finished": None if self.finished is None
+            else self.finished.isoformat(),
+            "status": self.status,
+            "inputs": dict(self.inputs),
+            "outputs": dict(self.outputs),
+            "processor_runs": [r.to_dict() for r in self.processor_runs],
+            "bindings": [b.to_dict() for b in self.bindings],
+            "artifact_counter": self._artifact_counter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkflowTrace":
+        trace = cls(
+            data["run_id"],
+            data["workflow_name"],
+            _dt.datetime.fromisoformat(data["started"]),
+        )
+        if data.get("finished"):
+            trace.finished = _dt.datetime.fromisoformat(data["finished"])
+        trace.status = data.get("status", "completed")
+        trace.inputs = dict(data.get("inputs", {}))
+        trace.outputs = dict(data.get("outputs", {}))
+        trace.processor_runs = [
+            ProcessorRun.from_dict(r) for r in data.get("processor_runs", ())
+        ]
+        trace.bindings = [
+            DataBinding.from_dict(b) for b in data.get("bindings", ())
+        ]
+        trace._artifact_counter = int(data.get("artifact_counter", 0))
+        return trace

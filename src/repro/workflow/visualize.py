@@ -1,0 +1,94 @@
+"""Graphviz DOT rendering for workflows and OPM graphs.
+
+Pure string generation — nothing here imports graphviz; the output is
+pasteable into any DOT renderer.  Workflows render as the Fig. 3 boxes
+(processors + dataflow edges, quality-annotated processors marked);
+OPM graphs render with the spec's conventional shapes: ellipses for
+artifacts, rectangles for processes, octagons for agents.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.opm import OPMGraph
+from repro.workflow.model import Workflow
+
+__all__ = ["workflow_to_dot", "opm_to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def workflow_to_dot(workflow: Workflow) -> str:
+    """The workflow as a DOT digraph."""
+    lines = [
+        f"digraph {_quote(workflow.name)} {{",
+        "  rankdir=LR;",
+        "  node [fontname=Helvetica];",
+        f"  label={_quote(workflow.name)};",
+    ]
+    io_nodes: set[str] = set()
+    for processor in workflow.processors.values():
+        annotated = len(processor.quality) > 0
+        style = 'style=filled, fillcolor="#ffe9b3"' if annotated else (
+            'style=filled, fillcolor="#e8eef7"')
+        quality = ""
+        if annotated:
+            statements = "\\n".join(
+                f"Q({dim})={processor.quality[dim]:g}"
+                for dim in processor.quality
+            )
+            quality = f"\\n{statements}"
+        lines.append(
+            f"  {_quote(processor.name)} [shape=box, {style}, "
+            f"label={_quote(processor.name + quality)}];"
+        )
+    for link in workflow.links:
+        source, sink = link.source, link.sink
+        if source == Workflow.IO:
+            source = f"in:{link.source_port}"
+            io_nodes.add(source)
+        if sink == Workflow.IO:
+            sink = f"out:{link.sink_port}"
+            io_nodes.add(sink)
+        label = _quote(f"{link.source_port}->{link.sink_port}")
+        lines.append(
+            f"  {_quote(source)} -> {_quote(sink)} "
+            f"[label={label}, fontsize=9];"
+        )
+    for io_node in sorted(io_nodes):
+        lines.append(
+            f"  {_quote(io_node)} [shape=plaintext];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_OPM_SHAPES = {"artifact": "ellipse", "process": "box",
+               "agent": "octagon"}
+_OPM_COLORS = {"artifact": "#e4f2e4", "process": "#e8eef7",
+               "agent": "#f7e8e8"}
+
+
+def opm_to_dot(graph: OPMGraph) -> str:
+    """An OPM graph as a DOT digraph (edges point effect -> cause)."""
+    lines = [
+        f"digraph {_quote(graph.id)} {{",
+        "  rankdir=BT;",
+        "  node [fontname=Helvetica];",
+    ]
+    for node in graph.nodes():
+        shape = _OPM_SHAPES[node.kind]
+        color = _OPM_COLORS[node.kind]
+        lines.append(
+            f"  {_quote(node.id)} [shape={shape}, style=filled, "
+            f'fillcolor="{color}", label={_quote(node.label)}];'
+        )
+    for edge in graph.edges():
+        label = edge.kind + (f" ({edge.role})" if edge.role else "")
+        lines.append(
+            f"  {_quote(edge.effect)} -> {_quote(edge.cause)} "
+            f"[label={_quote(label)}, fontsize=9];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

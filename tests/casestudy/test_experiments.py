@@ -1,0 +1,52 @@
+"""The programmatic experiment runner (library surface of the benches).
+
+E1/E2 at paper scale are covered by the session-wide integration tests;
+here the cheap experiments run for real and the expensive ones are
+checked through their shared plumbing.
+"""
+
+import pytest
+
+from repro.casestudy.experiments import (
+    EXPERIMENTS,
+    run_a2_decay,
+    run_a4_crossref,
+    run_e2_quality,
+)
+
+
+class TestRegistry:
+    def test_experiment_ids(self):
+        assert set(EXPERIMENTS) == {"E1", "E2", "A2", "A4"}
+
+
+class TestCheapExperiments:
+    def test_a2_decay_passes(self):
+        result = run_a2_decay(seed=7)
+        assert result["passed"], result
+        assert result["measured"]["final_accuracy_none"] < (
+            result["measured"]["final_accuracy_periodic"])
+
+    def test_a4_crossref_passes(self):
+        result = run_a4_crossref(seed=7)
+        assert result["passed"], result
+        assert result["measured"]["recovered_by_curation"] > 0
+
+    def test_results_are_json_safe(self):
+        import json
+
+        result = run_a4_crossref(seed=7)
+        json.dumps(result)  # must not raise
+
+
+class TestPaperScaleExperiments:
+    def test_e1_e2_via_shared_study(self, paper_study, paper_results):
+        """Rebuild E1/E2's verdicts from the session's shared study so
+        the paper-scale path is exercised without a second 10s build."""
+        from repro.casestudy.experiments import run_e1_fig2
+
+        e1 = run_e1_fig2(study=paper_study)
+        assert e1["passed"], e1
+        e2 = run_e2_quality(e1)
+        assert e2["passed"], e2
+        assert e2["measured"]["reputation"] == 1.0

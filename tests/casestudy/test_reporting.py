@@ -1,0 +1,48 @@
+"""Paper-vs-measured reporting utilities."""
+
+import math
+
+import pytest
+
+from repro.casestudy.reporting import (
+    comparison_table,
+    relative_error,
+    render_comparison,
+)
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(100, 100) == 0.0
+
+    def test_off_by_ten_percent(self):
+        assert relative_error(100, 110) == pytest.approx(0.1)
+
+    def test_zero_expected_zero_measured(self):
+        assert relative_error(0, 0) == 0.0
+
+    def test_zero_expected_nonzero_measured(self):
+        assert math.isinf(relative_error(0, 5))
+
+
+class TestComparisonTable:
+    def test_rows_follow_paper_keys(self):
+        paper = {"a": 1, "b": 2}
+        measured = {"b": 2, "a": 1, "c": 3}
+        rows = comparison_table(paper, measured)
+        assert [row["figure"] for row in rows] == ["a", "b"]
+
+    def test_missing_measured_keys_skipped(self):
+        rows = comparison_table({"a": 1, "z": 9}, {"a": 1})
+        assert len(rows) == 1
+
+    def test_relative_error_only_for_numbers(self):
+        rows = comparison_table({"a": "text"}, {"a": "text"})
+        assert "relative_error" not in rows[0]
+
+    def test_render(self):
+        text = render_comparison({"records": 11898}, {"records": 11898},
+                                 title="check")
+        assert "check" in text
+        assert "11898" in text
+        assert "0.00%" in text

@@ -1,0 +1,92 @@
+"""Shared fixtures.
+
+Two scales:
+
+* ``small_*`` — fast fixtures for unit tests (hundreds of records,
+  hundreds of species).
+* ``paper_study`` — the full paper-scale case study, built once per
+  session and shared by the integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.casestudy.fnjv import FNJVCaseStudy
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.taxonomy.service import CatalogueService
+from repro.taxonomy.synonyms import generate_changes
+
+
+@pytest.fixture(scope="session")
+def small_backbone():
+    return build_backbone(BackboneConfig(seed=7, total_species=400))
+
+
+@pytest.fixture(scope="session")
+def small_catalogue(small_backbone):
+    registry = generate_changes(small_backbone, yearly_rate=0.01, seed=7)
+    return CatalogueOfLife(small_backbone, registry, as_of_year=2013)
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return CollectionConfig(
+        seed=7, n_records=600, n_distinct_species=150,
+        n_outdated_species=12, n_misidentified=5, n_anachronisms=8,
+    )
+
+
+@pytest.fixture(scope="session")
+def _small_collection_truth(small_catalogue, small_config):
+    gazetteer = Gazetteer(seed=7)
+    climate = ClimateArchive()
+    return generate_collection(small_catalogue, gazetteer, climate,
+                               small_config)
+
+
+@pytest.fixture()
+def small_collection(small_catalogue, small_config):
+    """A *fresh* small collection per test (mutable fixtures must not be
+    shared)."""
+    gazetteer = Gazetteer(seed=7)
+    climate = ClimateArchive()
+    collection, __ = generate_collection(small_catalogue, gazetteer,
+                                         climate, small_config)
+    return collection
+
+
+@pytest.fixture()
+def small_collection_and_truth(small_catalogue, small_config):
+    gazetteer = Gazetteer(seed=7)
+    climate = ClimateArchive()
+    return generate_collection(small_catalogue, gazetteer, climate,
+                               small_config)
+
+
+@pytest.fixture()
+def small_service(small_catalogue):
+    return CatalogueService(small_catalogue, availability=0.9,
+                            reputation=1.0, seed=7)
+
+
+@pytest.fixture()
+def reliable_service(small_catalogue):
+    """availability=1.0 — for tests that must not see random failures."""
+    return CatalogueService(small_catalogue, availability=1.0,
+                            reputation=1.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def paper_study():
+    """The full paper-scale case study (expensive; read-only use)."""
+    return FNJVCaseStudy()
+
+
+@pytest.fixture(scope="session")
+def paper_results(paper_study):
+    return paper_study.run()

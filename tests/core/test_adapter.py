@@ -1,0 +1,119 @@
+"""The Workflow Adapter: annotations without structural change."""
+
+import pytest
+
+from repro.core.adapter import WorkflowAdapter, structure_fingerprint
+from repro.errors import UnknownProcessorError, WorkflowError
+from repro.workflow.model import Processor, Workflow
+
+
+@pytest.fixture()
+def workflow():
+    wf = Workflow("w")
+    wf.add_processor(Processor("Catalog_of_life", "catalogue_lookup",
+                               inputs=["names"], outputs=["resolutions"]))
+    wf.map_input("names", "Catalog_of_life", "names")
+    wf.map_output("resolutions", "Catalog_of_life", "resolutions")
+    return wf
+
+
+@pytest.fixture()
+def adapter():
+    return WorkflowAdapter(creator="expert")
+
+
+class TestAnnotation:
+    def test_processor_annotation(self, workflow, adapter):
+        adapter.add_quality_annotation(workflow, "Catalog_of_life",
+                                       {"reputation": 1.0})
+        assert workflow.processor("Catalog_of_life").quality == {
+            "reputation": 1.0}
+
+    def test_workflow_level_annotation(self, workflow, adapter):
+        adapter.add_quality_annotation(workflow, None, {"usability": 0.8})
+        assert workflow.quality == {"usability": 0.8}
+
+    def test_listing_1_pattern(self, workflow, adapter):
+        assertion = adapter.annotate_source(workflow, "Catalog_of_life",
+                                            reputation=1.0,
+                                            availability=0.9)
+        assert "Q(reputation): 1;" in assertion.text
+        assert "Q(availability): 0.9;" in assertion.text
+        assert assertion.creator == "expert"
+
+    def test_empty_annotation_rejected(self, workflow, adapter):
+        with pytest.raises(WorkflowError):
+            adapter.add_quality_annotation(workflow, "Catalog_of_life", {})
+
+    def test_unknown_processor(self, workflow, adapter):
+        with pytest.raises(UnknownProcessorError):
+            adapter.add_quality_annotation(workflow, "ghost",
+                                           {"reputation": 1.0})
+
+    def test_note_prepended(self, workflow, adapter):
+        assertion = adapter.add_quality_annotation(
+            workflow, "Catalog_of_life", {"reputation": 1.0},
+            note="the authoritative source")
+        assert assertion.text.startswith("the authoritative source")
+        assert assertion.quality["reputation"] == 1.0
+
+
+class TestStructurePreservation:
+    def test_fingerprint_stable_under_annotation(self, workflow, adapter):
+        before = structure_fingerprint(workflow)
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        assert structure_fingerprint(workflow) == before
+
+    def test_fingerprint_changes_on_structure_edit(self, workflow):
+        before = structure_fingerprint(workflow)
+        workflow.add_processor(Processor("extra", "identity"))
+        assert structure_fingerprint(workflow) != before
+
+    def test_fingerprint_changes_on_config_edit(self, workflow):
+        before = structure_fingerprint(workflow)
+        workflow.processor("Catalog_of_life").config["retries"] = 5
+        assert structure_fingerprint(workflow) != before
+
+    def test_workflow_still_valid_after_annotation(self, workflow, adapter):
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        workflow.validate()
+
+
+class TestReads:
+    def test_quality_of(self, workflow, adapter):
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        quality = adapter.quality_of(workflow, "Catalog_of_life")
+        assert quality == {"reputation": 1.0, "availability": 0.9}
+
+    def test_annotated_processors(self, workflow, adapter):
+        assert adapter.annotated_processors(workflow) == {}
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        annotated = adapter.annotated_processors(workflow)
+        assert list(annotated) == ["Catalog_of_life"]
+
+    def test_ensure_quality_aware(self, workflow, adapter):
+        with pytest.raises(WorkflowError, match="no quality annotations"):
+            adapter.ensure_quality_aware(workflow, "Catalog_of_life")
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        adapter.ensure_quality_aware(workflow, "Catalog_of_life")
+
+    def test_strip_annotations(self, workflow, adapter):
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        adapter.add_quality_annotation(workflow, None, {"usability": 0.5})
+        removed = adapter.strip_annotations(workflow)
+        assert removed == 2
+        assert len(workflow.quality) == 0
+        assert len(workflow.processor("Catalog_of_life").quality) == 0
+
+
+class TestSerialization:
+    def test_annotation_survives_xml_round_trip(self, workflow, adapter):
+        from repro.workflow.serialization import (
+            workflow_from_xml,
+            workflow_to_xml,
+        )
+
+        adapter.annotate_source(workflow, "Catalog_of_life", 1.0, 0.9)
+        restored = workflow_from_xml(workflow_to_xml(workflow))
+        assert restored.processor("Catalog_of_life").quality == {
+            "reputation": 1.0, "availability": 0.9}

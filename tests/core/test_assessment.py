@@ -1,0 +1,98 @@
+"""Assessment values, contexts and reports."""
+
+import pytest
+
+from repro.core.assessment import (
+    AssessmentContext,
+    AssessmentReport,
+    QualityValue,
+)
+from repro.errors import QualityError
+
+
+class TestQualityValue:
+    def test_basic(self):
+        value = QualityValue("accuracy", 0.93, "computed", method="m")
+        assert value.value == 0.93
+
+    def test_out_of_range(self):
+        with pytest.raises(QualityError):
+            QualityValue("accuracy", 1.2, "computed")
+
+    def test_unknown_source(self):
+        with pytest.raises(QualityError):
+            QualityValue("accuracy", 0.5, "hearsay")
+
+    def test_to_dict(self):
+        value = QualityValue("a", 0.5, "annotation", details={"k": 1})
+        data = value.to_dict()
+        assert data["source"] == "annotation"
+        assert data["details"] == {"k": 1}
+
+
+class TestAssessmentContext:
+    def test_empty_context_has_no_annotations(self):
+        context = AssessmentContext()
+        assert context.process_annotations() == {}
+        assert context.annotated_value("reputation") is None
+
+    def test_trace_requires_provenance(self):
+        with pytest.raises(QualityError):
+            AssessmentContext().trace()
+
+    def test_minimum_wins_across_processes(self, monkeypatch):
+        context = AssessmentContext()
+        monkeypatch.setattr(
+            context, "process_annotations",
+            lambda: {"p1": {"availability": 0.9},
+                     "p2": {"availability": 0.7}},
+        )
+        assert context.annotated_value("availability") == 0.7
+
+    def test_extras_passthrough(self):
+        context = AssessmentContext(extras={"last_curated_year": 2011})
+        assert context.extras["last_curated_year"] == 2011
+
+
+class TestAssessmentReport:
+    def make_report(self):
+        report = AssessmentReport("fnjv", run_id="run-1")
+        report.add(QualityValue("accuracy", 0.93, "computed"))
+        report.add(QualityValue("reputation", 1.0, "annotation"))
+        return report
+
+    def test_value_access(self):
+        report = self.make_report()
+        assert report.value("accuracy") == 0.93
+        assert "reputation" in report
+        assert len(report) == 2
+
+    def test_missing_dimension(self):
+        with pytest.raises(QualityError):
+            self.make_report().value("sparkle")
+
+    def test_add_replaces_same_dimension(self):
+        report = self.make_report()
+        report.add(QualityValue("accuracy", 0.5, "computed"))
+        assert report.value("accuracy") == 0.5
+        assert len(report) == 2
+
+    def test_iteration_sorted_by_dimension(self):
+        dims = [value.dimension for value in self.make_report()]
+        assert dims == sorted(dims)
+
+    def test_render_mentions_values(self):
+        text = self.make_report().render()
+        assert "accuracy" in text
+        assert "93.0%" in text
+        assert "run-1" in text
+
+    def test_notes_rendered(self):
+        report = self.make_report()
+        report.note("134 outdated")
+        assert "134 outdated" in report.render()
+
+    def test_as_dict(self):
+        data = self.make_report().as_dict()
+        assert data["subject"] == "fnjv"
+        assert len(data["values"]) == 2

@@ -1,0 +1,50 @@
+"""The attribute-based baseline and its blindness to provenance."""
+
+import pytest
+
+from repro.core.baseline import AttributeBasedAssessor, syntax_validity_metric
+from repro.core.assessment import AssessmentContext
+from repro.errors import MetricError
+
+
+class TestSyntaxValidity:
+    def test_counts_malformed_names(self, small_collection,
+                                    small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        context = AssessmentContext(collection=collection)
+        value = syntax_validity_metric().measure(context)
+        # planted case slips make some raw strings non-canonical
+        raw_names = collection.distinct_species()
+        slipped = {stored for stored, __ in truth.case_errors.values()}
+        expected = 1 - len(slipped & set(raw_names)) / len(raw_names)
+        assert value.value == pytest.approx(expected, abs=0.02)
+
+    def test_requires_collection(self):
+        with pytest.raises(MetricError):
+            syntax_validity_metric().measure(AssessmentContext())
+
+
+class TestAttributeBasedAssessor:
+    def test_reports_three_metrics(self, small_collection):
+        report = AttributeBasedAssessor().assess(small_collection)
+        assert len(report) == 3
+        assert "completeness" in report
+        assert "consistency" in report
+
+    def test_overall_score(self, small_collection):
+        score = AttributeBasedAssessor().overall_score(small_collection)
+        assert 0 < score <= 1
+
+    def test_blind_to_source_quality(self, small_collection):
+        """The ablation's core fact: the attribute-based score cannot
+        react to source reputation/availability — it has no input that
+        encodes them."""
+        assessor = AttributeBasedAssessor()
+        report = assessor.assess(small_collection)
+        assert "reputation" not in report
+        assert "availability" not in report
+        assert "accuracy" not in report  # needs the external source
+
+    def test_note_explains_blindness(self, small_collection):
+        report = AttributeBasedAssessor().assess(small_collection)
+        assert any("provenance" in note for note in report.notes)

@@ -1,0 +1,84 @@
+"""Quality decay under evolving knowledge (A2's engine)."""
+
+import pytest
+
+from repro.core.decay import DecaySimulator
+
+
+@pytest.fixture()
+def simulator(small_catalogue):
+    return DecaySimulator(small_catalogue)
+
+
+@pytest.fixture()
+def names(small_catalogue):
+    """Names as they were accepted in 1990 (pre-evolution)."""
+    return small_catalogue.as_of(1990).species_names()[:200]
+
+
+class TestNoCuration:
+    def test_accuracy_monotonically_decreases(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="none")
+        for earlier, later in zip(series.accuracy, series.accuracy[1:]):
+            assert later <= earlier + 1e-12
+
+    def test_final_accuracy_below_one(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="none")
+        assert series.final_accuracy < 1.0
+
+    def test_no_curation_years(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="none")
+        assert series.curation_years == []
+
+
+class TestOneShot:
+    def test_jump_at_curation_year(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="one_shot",
+                               one_shot_year=2000)
+        assert series.accuracy_at(2000) == 1.0
+
+    def test_decays_again_afterwards(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="one_shot",
+                               one_shot_year=2000)
+        assert series.final_accuracy < 1.0
+        assert series.curation_years == [2000]
+
+
+class TestPeriodic:
+    def test_periodic_beats_one_shot_and_none(self, simulator, names):
+        comparison = simulator.compare_policies(names, 1990, 2013,
+                                                period_years=2,
+                                                one_shot_year=1990)
+        periodic = comparison["periodic"]
+        one_shot = comparison["one_shot"]
+        none = comparison["none"]
+        assert periodic.final_accuracy >= one_shot.final_accuracy
+        assert periodic.final_accuracy >= none.final_accuracy
+        assert periodic.minimum_accuracy >= none.minimum_accuracy
+
+    def test_periodic_minimum_stays_high(self, simulator, names):
+        series = simulator.run(names, 1990, 2013, policy="periodic",
+                               period_years=2)
+        assert series.minimum_accuracy > 0.95
+
+    def test_curation_every_period(self, simulator, names):
+        series = simulator.run(names, 1990, 2000, policy="periodic",
+                               period_years=5)
+        assert series.curation_years == [1990, 1995, 2000]
+
+
+class TestValidation:
+    def test_unknown_policy(self, simulator, names):
+        with pytest.raises(ValueError):
+            simulator.run(names, 1990, 2000, policy="sometimes")
+
+    def test_empty_names_is_perfect(self, simulator):
+        series = simulator.run([], 1990, 2000, policy="none")
+        assert all(a == 1.0 for a in series.accuracy)
+
+    def test_series_rows(self, simulator, names):
+        series = simulator.run(names, 1990, 1995, policy="none")
+        rows = series.as_rows()
+        assert rows[0][0] == 1990
+        assert rows[-1][0] == 1995
+        assert len(rows) == 6

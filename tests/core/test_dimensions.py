@@ -1,0 +1,83 @@
+"""Quality dimensions and the registry."""
+
+import pytest
+
+from repro.core.dimensions import (
+    DimensionRegistry,
+    QualityDimension,
+    standard_registry,
+)
+from repro.errors import QualityError, UnknownDimensionError
+
+
+class TestQualityDimension:
+    def test_basic(self):
+        dimension = QualityDimension("accuracy", "intrinsic", "desc")
+        assert dimension.name == "accuracy"
+
+    def test_bad_name(self):
+        with pytest.raises(QualityError):
+            QualityDimension("not a name!")
+
+    def test_bad_category(self):
+        with pytest.raises(QualityError):
+            QualityDimension("x", "magical")
+
+    def test_equality_by_name(self):
+        assert QualityDimension("a") == QualityDimension("a", "contextual")
+        assert QualityDimension("a") != QualityDimension("b")
+
+
+class TestStandardRegistry:
+    def test_paper_dimensions_present(self):
+        registry = standard_registry()
+        for name in ("accuracy", "completeness", "timeliness",
+                     "consistency", "reputation", "availability",
+                     "reliability", "correctness", "usability"):
+            assert name in registry
+
+    def test_get(self):
+        registry = standard_registry()
+        assert registry.get("accuracy").category == "intrinsic"
+
+    def test_get_unknown(self):
+        with pytest.raises(UnknownDimensionError):
+            standard_registry().get("sparkle")
+
+    def test_iteration_sorted(self):
+        names = [d.name for d in standard_registry()]
+        assert names == sorted(names)
+
+    def test_by_category(self):
+        registry = standard_registry()
+        accessibility = registry.by_category("accessibility")
+        assert [d.name for d in accessibility] == ["availability"]
+
+
+class TestCustomization:
+    def test_define_new_dimension(self):
+        registry = standard_registry()
+        registry.define("sound_clarity", "contextual",
+                        "audibility of the vocalization")
+        assert "sound_clarity" in registry
+
+    def test_replace_existing(self):
+        registry = standard_registry()
+        registry.define("accuracy", "contextual", "redefined")
+        assert registry.get("accuracy").category == "contextual"
+
+    def test_copy_isolation(self):
+        base = standard_registry()
+        clone = base.copy()
+        clone.define("only_in_clone")
+        assert "only_in_clone" in clone
+        assert "only_in_clone" not in base
+
+    def test_fresh_registries_independent(self):
+        first = standard_registry()
+        first.define("custom")
+        second = standard_registry()
+        assert "custom" not in second
+
+    def test_len(self):
+        assert len(standard_registry()) == 10

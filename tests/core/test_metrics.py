@@ -1,0 +1,127 @@
+"""Standard measurement methods."""
+
+import pytest
+
+from repro.core.assessment import AssessmentContext
+from repro.core.metrics import (
+    MetricResult,
+    completeness_metric,
+    consistency_metric,
+    measured_availability_metric,
+    name_accuracy_metric,
+    timeliness_metric,
+)
+from repro.errors import MetricError
+
+
+class TestMetricResult:
+    def test_bounds(self):
+        with pytest.raises(MetricError):
+            MetricResult(1.5)
+        MetricResult(0.0)
+        MetricResult(1.0)
+
+
+class TestNameAccuracy:
+    def test_from_workflow_summary(self):
+        context = AssessmentContext(workflow_output={
+            "summary": {"distinct_names": 1929, "outdated_names": 134},
+        })
+        value = name_accuracy_metric().measure(context)
+        assert value.value == pytest.approx(1 - 134 / 1929)
+        assert value.details["basis"] == "workflow output"
+
+    def test_direct_resolution_fallback(self, small_collection,
+                                        small_catalogue):
+        context = AssessmentContext(collection=small_collection,
+                                    catalogue=small_catalogue)
+        value = name_accuracy_metric().measure(context)
+        # truth: 12 outdated / 150 names
+        assert value.value == pytest.approx(1 - 12 / 150, abs=0.01)
+
+    def test_requires_inputs(self):
+        with pytest.raises(MetricError):
+            name_accuracy_metric().measure(AssessmentContext())
+
+    def test_empty_summary_rejected(self):
+        context = AssessmentContext(workflow_output={
+            "summary": {"distinct_names": 0, "outdated_names": 0},
+        })
+        with pytest.raises(MetricError):
+            name_accuracy_metric().measure(context)
+
+
+class TestCompleteness:
+    def test_all_fields(self, small_collection):
+        value = completeness_metric().measure(
+            AssessmentContext(collection=small_collection))
+        assert 0.3 < value.value < 1.0
+
+    def test_group_restriction(self, small_collection):
+        group1 = completeness_metric(group=1).measure(
+            AssessmentContext(collection=small_collection))
+        group2 = completeness_metric(group=2).measure(
+            AssessmentContext(collection=small_collection))
+        # taxonomy fields are better filled than environment fields
+        assert group1.value > group2.value
+
+    def test_explicit_fields(self, small_collection):
+        value = completeness_metric(fields=["species"]).measure(
+            AssessmentContext(collection=small_collection))
+        assert value.value == 1.0
+
+    def test_requires_collection(self):
+        with pytest.raises(MetricError):
+            completeness_metric().measure(AssessmentContext())
+
+
+class TestConsistency:
+    def test_counts_violating_records(self, small_collection):
+        value = consistency_metric().measure(
+            AssessmentContext(collection=small_collection))
+        assert 0.9 < value.value <= 1.0
+        assert value.details["records"] == len(small_collection)
+
+    def test_requires_collection(self):
+        with pytest.raises(MetricError):
+            consistency_metric().measure(AssessmentContext())
+
+
+class TestMeasuredAvailability:
+    def test_from_service_stats(self):
+        context = AssessmentContext(workflow_output={
+            "service_stats": {"calls": 100, "failures": 9},
+        })
+        value = measured_availability_metric().measure(context)
+        assert value.value == pytest.approx(0.91)
+
+    def test_zero_calls_is_perfect(self):
+        context = AssessmentContext(workflow_output={
+            "service_stats": {"calls": 0, "failures": 0},
+        })
+        assert measured_availability_metric().measure(context).value == 1.0
+
+    def test_requires_stats(self):
+        with pytest.raises(MetricError):
+            measured_availability_metric().measure(AssessmentContext())
+
+
+class TestTimeliness:
+    def test_fresh_curation(self):
+        metric = timeliness_metric(current_year=2013)
+        context = AssessmentContext(extras={"last_curated_year": 2013})
+        assert metric.measure(context).value == 1.0
+
+    def test_linear_decay(self):
+        metric = timeliness_metric(current_year=2013, horizon_years=10)
+        context = AssessmentContext(extras={"last_curated_year": 2008})
+        assert metric.measure(context).value == pytest.approx(0.5)
+
+    def test_floor_at_zero(self):
+        metric = timeliness_metric(current_year=2013, horizon_years=10)
+        context = AssessmentContext(extras={"last_curated_year": 1990})
+        assert metric.measure(context).value == 0.0
+
+    def test_requires_extras(self):
+        with pytest.raises(MetricError):
+            timeliness_metric(2013).measure(AssessmentContext())

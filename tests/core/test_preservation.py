@@ -1,0 +1,101 @@
+"""Table I's preservation levels as executable policy."""
+
+import pytest
+
+from repro.core.preservation import (
+    CAPABILITIES,
+    PreservationLevel,
+    PreservationPolicy,
+    archive_collection,
+)
+from repro.errors import QualityError
+
+
+class TestLevels:
+    def test_four_levels(self):
+        assert [int(level) for level in PreservationLevel] == [1, 2, 3, 4]
+
+    def test_use_cases_match_table_i(self):
+        assert "publication" in PreservationLevel.DOCUMENTATION.use_case
+        assert "outreach" in PreservationLevel.SIMPLIFIED_DATA.use_case
+        assert "full scientific analysis" in (
+            PreservationLevel.ANALYSIS_LEVEL.use_case)
+        assert "full potential" in (
+            PreservationLevel.FULL_REPRODUCTION.use_case)
+
+    def test_policy_validation(self):
+        PreservationPolicy(PreservationLevel.DOCUMENTATION, 30)
+        with pytest.raises(QualityError):
+            PreservationPolicy(PreservationLevel.DOCUMENTATION, 0)
+
+
+class TestPackages:
+    @pytest.fixture()
+    def packages(self, small_collection):
+        return {
+            level: archive_collection(small_collection, level)
+            for level in PreservationLevel
+        }
+
+    def test_size_monotonically_increases(self, packages):
+        sizes = [packages[level].size_bytes() for level in PreservationLevel]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[1] < sizes[2]
+
+    def test_level1_contents(self, packages):
+        package = packages[PreservationLevel.DOCUMENTATION]
+        assert package.component_names() == ["documentation", "schema"]
+
+    def test_level2_adds_simplified_records(self, packages,
+                                            small_collection):
+        package = packages[PreservationLevel.SIMPLIFIED_DATA]
+        records = package.contents["simplified_records"]
+        assert len(records) == len(small_collection)
+        assert set(records[0]) == {"record_id", "species", "country",
+                                   "state", "collect_date", "habitat"}
+
+    def test_level3_adds_full_records(self, packages, small_collection):
+        package = packages[PreservationLevel.ANALYSIS_LEVEL]
+        assert len(package.contents["records"]) == len(small_collection)
+
+    def test_capability_ladder(self, packages):
+        for question, needed in CAPABILITIES.items():
+            for level in PreservationLevel:
+                assert packages[level].can_answer(question) == (
+                    level >= needed)
+
+    def test_unknown_question(self, packages):
+        with pytest.raises(QualityError):
+            packages[PreservationLevel.DOCUMENTATION].can_answer(
+                "simulate the universe")
+
+    def test_capability_profile_shape(self, packages):
+        profile = packages[PreservationLevel.FULL_REPRODUCTION].capability_profile()
+        assert all(profile.values())
+        profile1 = packages[PreservationLevel.DOCUMENTATION].capability_profile()
+        assert not all(profile1.values())
+        assert profile1["cite_the_dataset"]
+
+
+class TestFullReproductionLevel:
+    def test_workflows_and_provenance_included(self, small_collection,
+                                               reliable_service):
+        from repro.curation.species_check import SpeciesNameChecker
+        from repro.provenance.manager import ProvenanceManager
+        from repro.workflow.repository import WorkflowRepository
+
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        workflows = WorkflowRepository()
+        workflows.save(checker.workflow)
+        package = archive_collection(
+            small_collection, PreservationLevel.FULL_REPRODUCTION,
+            workflows=workflows, provenance=provenance.repository,
+        )
+        assert "provenance" in package.contents
+        assert result.run_id in package.contents["provenance"]
+        assert "outdated_species_name_detection" in (
+            package.contents["workflows"])
+        assert package.can_answer("audit_provenance")

@@ -1,0 +1,131 @@
+"""User-defined quality profiles and their evaluation."""
+
+import pytest
+
+from repro.core.assessment import AssessmentContext
+from repro.core.metrics import (
+    MetricResult,
+    QualityMetric,
+    completeness_metric,
+    consistency_metric,
+)
+from repro.core.profile import QualityGoal, QualityProfile
+from repro.errors import MetricError, ProfileError
+
+
+def constant_metric(name, value, dimension="accuracy"):
+    return QualityMetric(name, dimension,
+                         lambda context: MetricResult(value))
+
+
+def failing_metric(name="broken"):
+    def method(context):
+        raise MetricError("no data")
+
+    return QualityMetric(name, "accuracy", method)
+
+
+class TestGoalValidation:
+    def test_weight_positive(self):
+        with pytest.raises(ProfileError):
+            QualityGoal(constant_metric("m", 0.5), weight=0)
+
+    def test_threshold_bounds(self):
+        with pytest.raises(ProfileError):
+            QualityGoal(constant_metric("m", 0.5), threshold=1.5)
+
+    def test_duplicate_metric_rejected(self):
+        metric = constant_metric("m", 0.5)
+        with pytest.raises(ProfileError):
+            QualityProfile("p", [QualityGoal(metric), QualityGoal(metric)])
+
+    def test_profile_needs_name(self):
+        with pytest.raises(ProfileError):
+            QualityProfile("")
+
+
+class TestEvaluation:
+    def test_weighted_overall_score(self):
+        profile = QualityProfile("p", [
+            QualityGoal(constant_metric("a", 1.0), weight=3),
+            QualityGoal(constant_metric("b", 0.0), weight=1),
+        ])
+        evaluation = profile.evaluate(AssessmentContext())
+        assert evaluation.overall_score == pytest.approx(0.75)
+
+    def test_thresholds(self):
+        profile = QualityProfile("p", [
+            QualityGoal(constant_metric("a", 0.8), threshold=0.9),
+            QualityGoal(constant_metric("b", 0.95), threshold=0.9),
+        ])
+        evaluation = profile.evaluate(AssessmentContext())
+        assert not evaluation.outcome_for("a").passed
+        assert evaluation.outcome_for("b").passed
+
+    def test_required_goal_gates_acceptability(self):
+        profile = QualityProfile("p", [
+            QualityGoal(constant_metric("a", 0.5), threshold=0.9,
+                        required=True),
+        ])
+        assert not profile.evaluate(AssessmentContext()).acceptable
+
+    def test_optional_failure_still_acceptable(self):
+        profile = QualityProfile("p", [
+            QualityGoal(constant_metric("a", 0.5), threshold=0.9),
+        ])
+        assert profile.evaluate(AssessmentContext()).acceptable
+
+    def test_unavailable_metric_reported_not_raised(self):
+        profile = QualityProfile("p", [
+            QualityGoal(failing_metric()),
+            QualityGoal(constant_metric("ok", 0.7)),
+        ])
+        evaluation = profile.evaluate(AssessmentContext())
+        assert evaluation.unmeasured == ["broken"]
+        assert evaluation.outcome_for("broken").error == "no data"
+        assert evaluation.overall_score == pytest.approx(0.7)
+
+    def test_unavailable_required_metric_not_acceptable(self):
+        profile = QualityProfile("p", [
+            QualityGoal(failing_metric(), required=True),
+        ])
+        assert not profile.evaluate(AssessmentContext()).acceptable
+
+    def test_all_unavailable_scores_zero(self):
+        profile = QualityProfile("p", [QualityGoal(failing_metric())])
+        assert profile.evaluate(AssessmentContext()).overall_score == 0.0
+
+    def test_unknown_outcome_lookup(self):
+        profile = QualityProfile("p", [QualityGoal(constant_metric("a", 1))])
+        evaluation = profile.evaluate(AssessmentContext())
+        with pytest.raises(ProfileError):
+            evaluation.outcome_for("ghost")
+
+
+class TestRendering:
+    def test_render_and_dict(self):
+        profile = QualityProfile("biologist", [
+            QualityGoal(constant_metric("a", 0.8), threshold=0.9),
+            QualityGoal(failing_metric()),
+        ])
+        evaluation = profile.evaluate(AssessmentContext())
+        text = evaluation.render()
+        assert "biologist" in text
+        assert "BELOW THRESHOLD" in text
+        assert "unavailable" in text
+        data = evaluation.as_dict()
+        assert data["profile"] == "biologist"
+        assert len(data["goals"]) == 2
+
+
+class TestWithRealMetrics:
+    def test_collection_profile(self, small_collection):
+        profile = QualityProfile("curator")
+        profile.add_goal(completeness_metric(), weight=1, threshold=0.3)
+        profile.add_goal(consistency_metric(), weight=2, threshold=0.8,
+                         required=True)
+        evaluation = profile.evaluate(
+            AssessmentContext(collection=small_collection))
+        assert evaluation.acceptable
+        assert 0 < evaluation.overall_score <= 1
+        assert profile.dimensions() == ["completeness", "consistency"]

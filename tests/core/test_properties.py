@@ -1,0 +1,93 @@
+"""Property-based tests on the quality core's invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.assessment import AssessmentContext
+from repro.core.metrics import MetricResult, QualityMetric
+from repro.core.profile import QualityGoal, QualityProfile
+
+values_01 = st.floats(min_value=0.0, max_value=1.0)
+weights = st.floats(min_value=0.01, max_value=100.0)
+
+
+def constant_metric(name, value):
+    return QualityMetric(name, "accuracy",
+                         lambda context: MetricResult(value))
+
+
+@given(st.lists(st.tuples(values_01, weights), min_size=1, max_size=8))
+def test_overall_score_is_bounded_convex_combination(goal_specs):
+    """The weighted profile score always lies within the measured
+    values' hull."""
+    goals = [
+        QualityGoal(constant_metric(f"m{i}", value), weight=weight)
+        for i, (value, weight) in enumerate(goal_specs)
+    ]
+    evaluation = QualityProfile("p", goals).evaluate(AssessmentContext())
+    measured = [value for value, __ in goal_specs]
+    assert min(measured) - 1e-9 <= evaluation.overall_score <= (
+        max(measured) + 1e-9)
+
+
+@given(st.lists(st.tuples(values_01, weights), min_size=1, max_size=6),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_thresholds_partition_goals(goal_specs, threshold):
+    goals = [
+        QualityGoal(constant_metric(f"m{i}", value), weight=weight,
+                    threshold=threshold)
+        for i, (value, weight) in enumerate(goal_specs)
+    ]
+    evaluation = QualityProfile("p", goals).evaluate(AssessmentContext())
+    for outcome, (value, __) in zip(evaluation.outcomes, goal_specs):
+        assert outcome.passed == (value >= threshold)
+
+
+@given(st.lists(values_01, min_size=2, max_size=6))
+def test_equal_weights_give_plain_mean(measured):
+    goals = [
+        QualityGoal(constant_metric(f"m{i}", value), weight=1.0)
+        for i, value in enumerate(measured)
+    ]
+    evaluation = QualityProfile("p", goals).evaluate(AssessmentContext())
+    assert evaluation.overall_score == pytest.approx(
+        sum(measured) / len(measured))
+
+
+class TestDecayProperties:
+    @given(period=st.integers(min_value=1, max_value=6))
+    def test_periodic_dominates_none_everywhere(self, small_catalogue,
+                                                period):
+        from repro.core.decay import DecaySimulator
+
+        names = small_catalogue.as_of(1995).species_names()[:80]
+        simulator = DecaySimulator(small_catalogue)
+        none = simulator.run(names, 1995, 2010, "none")
+        periodic = simulator.run(names, 1995, 2010, "periodic",
+                                 period_years=period)
+        for lazy, diligent in zip(none.accuracy, periodic.accuracy):
+            assert diligent >= lazy - 1e-12
+
+    @given(year=st.integers(min_value=1995, max_value=2010))
+    def test_one_shot_perfect_at_curation_year(self, small_catalogue,
+                                               year):
+        from repro.core.decay import DecaySimulator
+
+        names = small_catalogue.as_of(1995).species_names()[:60]
+        simulator = DecaySimulator(small_catalogue)
+        series = simulator.run(names, 1995, 2010, "one_shot",
+                               one_shot_year=year)
+        assert series.accuracy_at(year) == 1.0
+
+
+class TestAnnotationProperties:
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefg_", min_size=1, max_size=10).filter(
+            lambda s: s[0].isalpha()),
+        values_01, min_size=0, max_size=6))
+    def test_quality_annotation_text_round_trip(self, values):
+        from repro.workflow.annotations import QualityAnnotation
+
+        original = QualityAnnotation(values)
+        parsed = QualityAnnotation.parse(original.to_text())
+        assert dict(parsed) == pytest.approx(dict(original))

@@ -1,0 +1,75 @@
+"""Markdown rendering of reports."""
+
+import pytest
+
+from repro.core.assessment import AssessmentReport, QualityValue
+from repro.core.render import (
+    check_to_markdown,
+    comparison_to_markdown,
+    pipeline_to_markdown,
+    report_to_markdown,
+)
+
+
+@pytest.fixture()
+def report():
+    report = AssessmentReport("fnjv", run_id="run-1")
+    report.add(QualityValue("accuracy", 0.931, "computed",
+                            method="species_name_accuracy"))
+    report.add(QualityValue("reputation", 1.0, "annotation"))
+    report.note("1929 names analyzed")
+    return report
+
+
+class TestReportMarkdown:
+    def test_table_structure(self, report):
+        markdown = report_to_markdown(report)
+        assert "## Quality assessment — fnjv" in markdown
+        assert "| dimension | value | source | method |" in markdown
+        assert "| accuracy | 93.1% | computed |" in markdown
+        assert "`run-1`" in markdown
+
+    def test_notes_as_blockquotes(self, report):
+        assert "> 1929 names analyzed" in report_to_markdown(report)
+
+    def test_missing_method_rendered_as_dash(self, report):
+        markdown = report_to_markdown(report)
+        assert "| reputation | 100.0% | annotation | — |" in markdown
+
+
+class TestCheckMarkdown:
+    def test_fig2_panel(self, small_collection, reliable_service):
+        from repro.curation.species_check import SpeciesNameChecker
+
+        result = SpeciesNameChecker(small_collection,
+                                    reliable_service).run()
+        markdown = check_to_markdown(result, max_names=3)
+        assert "## Detection of outdated species names" in markdown
+        assert f"| records processed | {result.records_processed:,} |" in (
+            markdown)
+        assert "### Updated names" in markdown
+        assert "more |" in markdown  # truncation marker
+
+
+class TestPipelineMarkdown:
+    def test_stage_sections(self, small_collection, reliable_service):
+        from repro.curation.pipeline import CurationPipeline
+
+        pipeline = CurationPipeline(small_collection, reliable_service)
+        report = pipeline.run_stage1(run_species_check=False)
+        markdown = pipeline_to_markdown(report)
+        assert "### cleaning" in markdown
+        assert "### geocoding" in markdown
+        assert "### enrichment" in markdown
+        assert "| records scanned |" in markdown
+
+
+class TestComparisonMarkdown:
+    def test_rows(self):
+        markdown = comparison_to_markdown(
+            {"records_processed": 11898, "accuracy": 0.93},
+            {"records_processed": 11898, "accuracy": 0.931},
+            title="E1")
+        assert "## E1" in markdown
+        assert "| records processed | 11898 | 11898 | 0.00% |" in markdown
+        assert "| accuracy | 0.93 | 0.931 |" in markdown

@@ -1,0 +1,124 @@
+"""The quality ledger: continuous assessment over time."""
+
+import pytest
+
+from repro.core.assessment import AssessmentReport, QualityValue
+from repro.core.tracking import QualityLedger
+from repro.errors import QualityError
+
+
+def report_with(subject, run_id=None, **values):
+    report = AssessmentReport(subject, run_id=run_id)
+    for dimension, value in values.items():
+        report.add(QualityValue(dimension, value, "computed"))
+    return report
+
+
+@pytest.fixture()
+def ledger():
+    return QualityLedger()
+
+
+class TestRecording:
+    def test_record_full_report(self, ledger):
+        written = ledger.record(
+            report_with("fnjv", accuracy=0.93, completeness=0.7), 2013)
+        assert written == 2
+        assert len(ledger) == 2
+
+    def test_subjects_and_dimensions(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.93), 2013)
+        ledger.record(report_with("museum", accuracy=0.8), 2013)
+        assert ledger.subjects() == ["fnjv", "museum"]
+        assert ledger.dimensions("fnjv") == ["accuracy"]
+
+    def test_record_single_value(self, ledger):
+        ledger.record_value("fnjv",
+                            QualityValue("accuracy", 0.9, "computed"),
+                            2011, run_id="run-1")
+        point = ledger.latest("fnjv", "accuracy")
+        assert point.run_id == "run-1"
+
+
+class TestSeries:
+    def test_chronological_order(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.95), 2011)
+        ledger.record(report_with("fnjv", accuracy=0.93), 2013)
+        ledger.record(report_with("fnjv", accuracy=0.94), 2012)
+        series = ledger.series("fnjv", "accuracy")
+        assert [point.year for point in series] == [2011, 2012, 2013]
+        assert series[-1].value == pytest.approx(0.93)
+
+    def test_latest(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.95), 2011)
+        ledger.record(report_with("fnjv", accuracy=0.93), 2013)
+        assert ledger.latest("fnjv", "accuracy").year == 2013
+
+    def test_latest_missing_raises(self, ledger):
+        with pytest.raises(QualityError):
+            ledger.latest("fnjv", "accuracy")
+
+    def test_series_isolated_by_subject(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.9), 2013)
+        ledger.record(report_with("museum", accuracy=0.5), 2013)
+        assert len(ledger.series("fnjv", "accuracy")) == 1
+
+
+class TestTrends:
+    def test_degrading(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.98), 2011)
+        ledger.record(report_with("fnjv", accuracy=0.93), 2013)
+        assert ledger.trend("fnjv", "accuracy") == "degrading"
+
+    def test_improving(self, ledger):
+        ledger.record(report_with("fnjv", completeness=0.6), 2011)
+        ledger.record(report_with("fnjv", completeness=0.8), 2013)
+        assert ledger.trend("fnjv", "completeness") == "improving"
+
+    def test_stable_within_tolerance(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.930), 2011)
+        ledger.record(report_with("fnjv", accuracy=0.931), 2013)
+        assert ledger.trend("fnjv", "accuracy") == "stable"
+
+    def test_insufficient_data(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.93), 2013)
+        assert ledger.trend("fnjv", "accuracy") == "insufficient_data"
+
+    def test_degrading_dimensions_alarm_list(self, ledger):
+        ledger.record(report_with("fnjv", accuracy=0.99,
+                                  completeness=0.6), 2011)
+        ledger.record(report_with("fnjv", accuracy=0.93,
+                                  completeness=0.8), 2013)
+        assert ledger.degrading_dimensions("fnjv") == ["accuracy"]
+
+
+class TestIntegrationWithCaseStudy:
+    def test_recuration_story(self, small_collection, reliable_service,
+                              small_catalogue):
+        """The 2011 -> 2013 story of §IV-B, as ledger data: the names
+        were accurate when curated in 2011; by 2013 more changes had
+        been published and accuracy (against the 2013 catalogue) is
+        lower — which the ledger flags as degrading."""
+        from repro.core.manager import DataQualityManager
+        from repro.curation.species_check import SpeciesNameChecker
+        from repro.provenance.manager import ProvenanceManager
+
+        ledger = QualityLedger()
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        manager = DataQualityManager(provenance=provenance.repository)
+
+        for year in (2005, 2013):
+            reliable_service.catalogue.advance_to(year)
+            result = checker.run()
+            report = manager.assess_species_check_run(result.run_id)
+            ledger.record(report, year)
+        reliable_service.catalogue.advance_to(2013)
+
+        series = ledger.series("outdated_species_name_detection",
+                               "accuracy")
+        assert len(series) == 2
+        assert series[0].value > series[1].value
+        assert "accuracy" in ledger.degrading_dimensions(
+            "outdated_species_name_detection")

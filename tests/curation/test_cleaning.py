@@ -1,0 +1,123 @@
+"""Stage 1.1 — cleaning: syntax, domains, eras."""
+
+import datetime as dt
+
+import pytest
+
+from repro.curation.cleaning import MetadataCleaner
+from repro.curation.history import CurationHistory
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+def collection_with(*records):
+    collection = SoundCollection("c")
+    for index, record in enumerate(records, start=1):
+        collection.add(record.replace(record_id=index))
+    return collection
+
+
+def run_cleaner(collection):
+    history = CurationHistory(collection)
+    report = MetadataCleaner(history).run()
+    return history, report
+
+
+class TestSyntacticCorrections:
+    def test_case_slip_fixed(self):
+        collection = collection_with(
+            SoundRecord(record_id=0, species="SCINAX fuscomarginatus"))
+        history, report = run_cleaner(collection)
+        assert report.syntactic_fixes[1] == (
+            "SCINAX fuscomarginatus", "Scinax fuscomarginatus")
+        # auto-approved: the curated view is already fixed
+        assert history.curated_record(1).species == "Scinax fuscomarginatus"
+
+    def test_clean_name_untouched(self):
+        collection = collection_with(
+            SoundRecord(record_id=0, species="Scinax fuscomarginatus"))
+        __, report = run_cleaner(collection)
+        assert report.syntactic_fixes == {}
+
+    def test_malformed_name_flagged_not_fixed(self):
+        collection = collection_with(
+            SoundRecord(record_id=0, species="??? 123"))
+        history, report = run_cleaner(collection)
+        assert report.malformed_names == {1: "??? 123"}
+        assert history.curated_record(1).species == "??? 123"
+        assert len(history.pending()) == 1
+
+    def test_null_species_skipped(self):
+        collection = collection_with(SoundRecord(record_id=0))
+        __, report = run_cleaner(collection)
+        assert report.records_scanned == 1
+        assert report.records_with_issues == 0
+
+
+class TestDomainChecks:
+    def test_violations_reported_and_flagged(self):
+        collection = collection_with(SoundRecord(
+            record_id=0, species="Hyla alba",
+            air_temperature_c=99.0, gender="robot"))
+        history, report = run_cleaner(collection)
+        assert set(report.domain_violations[1]) == {
+            "air_temperature_c", "gender"}
+        pending_fields = {c.field for c in history.pending()}
+        assert {"air_temperature_c", "gender"} <= pending_fields
+
+    def test_in_domain_values_pass(self):
+        collection = collection_with(SoundRecord(
+            record_id=0, species="Hyla alba", air_temperature_c=22.0,
+            gender="female", collect_time="06:30"))
+        __, report = run_cleaner(collection)
+        assert report.domain_violations == {}
+
+
+class TestEraChecks:
+    def test_anachronism_flagged(self):
+        collection = collection_with(SoundRecord(
+            record_id=0, species="Hyla alba",
+            collect_date=dt.date(1965, 5, 1), sound_file_format="MP3"))
+        __, report = run_cleaner(collection)
+        assert report.anachronisms[1] == {"sound_file_format": "MP3"}
+
+    def test_era_consistent_passes(self):
+        collection = collection_with(SoundRecord(
+            record_id=0, species="Hyla alba",
+            collect_date=dt.date(1965, 5, 1),
+            sound_file_format="magnetic tape",
+            recording_device="Nagra III"))
+        __, report = run_cleaner(collection)
+        assert report.anachronisms == {}
+
+    def test_no_date_no_era_check(self):
+        collection = collection_with(SoundRecord(
+            record_id=0, species="Hyla alba", sound_file_format="MP3"))
+        __, report = run_cleaner(collection)
+        assert report.anachronisms == {}
+
+
+class TestAgainstGroundTruth:
+    def test_finds_every_planted_case_error(self,
+                                            small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        __, report = run_cleaner(collection)
+        for record_id, (stored, canonical) in truth.case_errors.items():
+            assert report.syntactic_fixes.get(record_id) == (
+                stored, canonical), record_id
+
+    def test_finds_every_planted_anachronism(self,
+                                             small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        __, report = run_cleaner(collection)
+        assert truth.anachronisms <= set(report.anachronisms)
+
+    def test_summary_counts(self, small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        __, report = run_cleaner(collection)
+        summary = report.summary()
+        assert summary["records_scanned"] == len(collection)
+        assert summary["syntactic_fixes"] == len(truth.case_errors)
+
+    def test_checked_fields_listing(self):
+        assert "air_temperature_c" in MetadataCleaner.checked_fields()

@@ -1,0 +1,103 @@
+"""Stage 1.3 — environmental gap filling."""
+
+import datetime as dt
+
+import pytest
+
+from repro.curation.enrichment import EnvironmentalEnricher, _hour_of
+from repro.curation.geocoding import Geocoder
+from repro.curation.history import CurationHistory
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+def enrich(collection):
+    history = CurationHistory(collection)
+    enricher = EnvironmentalEnricher(history, ClimateArchive())
+    return history, enricher.run()
+
+
+class TestFilling:
+    def test_fills_missing_temperature_and_conditions(self):
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(
+            record_id=1, latitude=-22.9, longitude=-47.0,
+            collect_date=dt.date(1980, 2, 10), collect_time="06:00"))
+        history, report = enrich(collection)
+        assert 1 in report.temperature_fills
+        assert 1 in report.conditions_fills
+        assert report.fills == 2
+
+    def test_fill_matches_archive(self):
+        archive = ClimateArchive()
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(
+            record_id=1, latitude=-22.9, longitude=-47.0,
+            collect_date=dt.date(1980, 2, 10), collect_time="06:00"))
+        __, report = enrich(collection)
+        expected = archive.reading(-22.9, -47.0, dt.date(1980, 2, 10),
+                                   hour=6)
+        assert report.temperature_fills[1] == pytest.approx(
+            round(expected.temperature_c, 1))
+
+    def test_existing_values_untouched(self):
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(
+            record_id=1, latitude=-22.9, longitude=-47.0,
+            collect_date=dt.date(1980, 2, 10),
+            air_temperature_c=25.0, atmospheric_conditions="clear"))
+        __, report = enrich(collection)
+        assert report.fills == 0
+
+    def test_unlocated_skipped(self):
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(record_id=1,
+                                   collect_date=dt.date(1980, 2, 10)))
+        __, report = enrich(collection)
+        assert report.not_located == 1
+        assert report.fills == 0
+
+    def test_no_date_skipped(self):
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(record_id=1, latitude=-22.9,
+                                   longitude=-47.0))
+        __, report = enrich(collection)
+        assert report.no_date == 1
+
+    def test_fills_are_flagged_for_review(self):
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(
+            record_id=1, latitude=-22.9, longitude=-47.0,
+            collect_date=dt.date(1980, 2, 10)))
+        history, __ = enrich(collection)
+        assert history.curated_record(1).air_temperature_c is None
+        history.approve_step(EnvironmentalEnricher.STEP)
+        assert history.curated_record(1).air_temperature_c is not None
+
+
+class TestUsesCuratedCoordinates:
+    def test_geocoded_records_become_enrichable(self):
+        gazetteer = Gazetteer(seed=7)
+        city = gazetteer.city_names(state="Sao Paulo")[0]
+        collection = SoundCollection("e")
+        collection.add(SoundRecord(
+            record_id=1, country="Brasil", state="Sao Paulo", city=city,
+            collect_date=dt.date(1975, 6, 1)))
+        history = CurationHistory(collection)
+        Geocoder(history, gazetteer).run()
+        history.approve_step(Geocoder.STEP)
+        report = EnvironmentalEnricher(history, ClimateArchive()).run()
+        assert 1 in report.temperature_fills
+
+
+class TestHourParsing:
+    def test_valid(self):
+        assert _hour_of("06:30") == 6
+        assert _hour_of("23:00") == 23
+
+    def test_invalid_defaults_to_noon(self):
+        assert _hour_of(None) == 12
+        assert _hour_of("xx:30") == 12
+        assert _hour_of("99:00") == 12

@@ -1,0 +1,119 @@
+"""Stage 1.2 — geocoding and disambiguation."""
+
+import pytest
+
+from repro.curation.geocoding import Geocoder
+from repro.curation.history import CurationHistory
+from repro.geo.gazetteer import Gazetteer
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def gazetteer():
+    return Gazetteer(seed=7)
+
+
+def geocode(collection, gazetteer):
+    history = CurationHistory(collection)
+    geocoder = Geocoder(history, gazetteer)
+    return history, geocoder, geocoder.run()
+
+
+class TestResolution:
+    def test_resolves_from_city(self, gazetteer):
+        city = gazetteer.city_names(state="Sao Paulo")[0]
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   state="Sao Paulo", city=city))
+        history, __, report = geocode(collection, gazetteer)
+        assert 1 in report.resolved
+        lat, lon, uncertainty = report.resolved[1]
+        assert uncertainty < 15
+        fields = {c.field for c in history.history_for(1)}
+        assert fields == {"latitude", "longitude"}
+
+    def test_already_located_skipped(self, gazetteer):
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, latitude=-23.0,
+                                   longitude=-47.0))
+        __, __, report = geocode(collection, gazetteer)
+        assert report.already_located == 1
+        assert report.resolved == {}
+
+    def test_state_fallback(self, gazetteer):
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   state="Bahia", city="Nowhere At All"))
+        __, __, report = geocode(collection, gazetteer)
+        assert 1 in report.resolved
+        assert report.resolved[1][2] > 50  # state-level uncertainty
+
+    def test_unresolvable_reported(self, gazetteer):
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Atlantis"))
+        __, __, report = geocode(collection, gazetteer)
+        assert 1 in report.unresolvable
+
+    def test_geocoded_view_flagged_until_approved(self, gazetteer):
+        city = gazetteer.city_names(state="Parana")[0]
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   state="Parana", city=city))
+        history, __, report = geocode(collection, gazetteer)
+        assert history.curated_record(1).coordinates is None
+        history.approve_step(Geocoder.STEP)
+        assert history.curated_record(1).coordinates is not None
+
+
+class TestAmbiguity:
+    def find_homonym(self, gazetteer):
+        names = [p.name for p in gazetteer.cities(country="Brasil")]
+        return next(name for name in names if names.count(name) > 1)
+
+    def test_ambiguous_city_queued(self, gazetteer):
+        duplicate = self.find_homonym(gazetteer)
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   city=duplicate))
+        __, __, report = geocode(collection, gazetteer)
+        assert report.needs_disambiguation == [1]
+
+    def test_human_disambiguation(self, gazetteer):
+        duplicate = self.find_homonym(gazetteer)
+        states = sorted({
+            p.state for p in gazetteer.cities(country="Brasil")
+            if p.name == duplicate
+        })
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   city=duplicate))
+        history, geocoder, report = geocode(collection, gazetteer)
+        assert geocoder.disambiguate(1, states[0])
+        history.approve_step(Geocoder.STEP)
+        assert history.curated_record(1).coordinates is not None
+
+    def test_disambiguate_wrong_state_fails(self, gazetteer):
+        duplicate = self.find_homonym(gazetteer)
+        wrong_state = next(
+            s for s in gazetteer.states()
+            if s not in {p.state for p in gazetteer.cities(country="Brasil")
+                         if p.name == duplicate}
+        )
+        collection = SoundCollection("g")
+        collection.add(SoundRecord(record_id=1, country="Brasil",
+                                   city=duplicate))
+        __, geocoder, __ = geocode(collection, gazetteer)
+        assert not geocoder.disambiguate(1, wrong_state)
+
+
+class TestAgainstGroundTruth:
+    def test_most_unlocated_records_resolve(self,
+                                            small_collection_and_truth,
+                                            gazetteer):
+        collection, truth = small_collection_and_truth
+        __, __, report = geocode(collection, gazetteer)
+        unlocated = report.records_scanned - report.already_located
+        assert unlocated > 0
+        # nearly everything has usable place fields in the generator
+        assert len(report.resolved) / unlocated > 0.85

@@ -1,0 +1,130 @@
+"""The curation-history log and the curated view."""
+
+import datetime as dt
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.errors import CurationError
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def setup():
+    collection = SoundCollection("h")
+    collection.add(SoundRecord(record_id=1, species="HYLA alba",
+                               collect_date=dt.date(1975, 1, 1)))
+    collection.add(SoundRecord(record_id=2, species="Scinax ruber"))
+    return collection, CurationHistory(collection)
+
+
+class TestPropose:
+    def test_flagged_by_default(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Hyla alba",
+                                 "stage1.1-cleaning")
+        assert change.status == "flagged"
+        assert len(history) == 1
+
+    def test_auto_approve(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Hyla alba",
+                                 "stage1.1-cleaning", auto_approve=True)
+        assert change.status == "approved"
+
+    def test_unknown_record_rejected(self, setup):
+        from repro.errors import ConstraintViolation
+
+        __, history = setup
+        with pytest.raises(ConstraintViolation, match="FOREIGN KEY"):
+            history.propose(999, "species", None, "x", "step")
+
+
+class TestReviewWorkflow:
+    def test_approve(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Hyla alba",
+                                 "s")
+        history.approve(change.change_id, curator="dr. toledo")
+        changes = history.history_for(1)
+        assert changes[0].status == "approved"
+        assert changes[0].curator == "dr. toledo"
+
+    def test_reject(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Wrong name",
+                                 "s")
+        history.reject(change.change_id)
+        assert history.history_for(1)[0].status == "rejected"
+
+    def test_double_review_rejected(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "a", "b", "s")
+        history.approve(change.change_id)
+        with pytest.raises(CurationError):
+            history.reject(change.change_id)
+
+    def test_approve_step_bulk(self, setup):
+        __, history = setup
+        history.propose(1, "latitude", None, -23.0, "geo")
+        history.propose(1, "longitude", None, -47.0, "geo")
+        history.propose(2, "species", "a", "b", "names")
+        assert history.approve_step("geo") == 2
+        assert len(history.pending()) == 1
+
+    def test_pending_filter_by_step(self, setup):
+        __, history = setup
+        history.propose(1, "latitude", None, -23.0, "geo")
+        history.propose(2, "species", "a", "b", "names")
+        assert len(history.pending(step="geo")) == 1
+
+
+class TestCuratedView:
+    def test_original_never_mutated(self, setup):
+        collection, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Hyla alba", "s")
+        history.approve(change.change_id)
+        assert collection.record(1).species == "HYLA alba"  # original
+        assert history.curated_record(1).species == "Hyla alba"  # view
+
+    def test_flagged_changes_not_applied(self, setup):
+        __, history = setup
+        history.propose(1, "species", "HYLA alba", "Hyla alba", "s")
+        assert history.curated_record(1).species == "HYLA alba"
+
+    def test_rejected_changes_not_applied(self, setup):
+        __, history = setup
+        change = history.propose(1, "species", "HYLA alba", "Bad", "s")
+        history.reject(change.change_id)
+        assert history.curated_record(1).species == "HYLA alba"
+
+    def test_latest_approved_wins(self, setup):
+        __, history = setup
+        first = history.propose(1, "species", "HYLA alba", "Hyla alba", "s")
+        second = history.propose(1, "species", "Hyla alba", "Hyla albata",
+                                 "s2")
+        history.approve(first.change_id)
+        history.approve(second.change_id)
+        assert history.curated_record(1).species == "Hyla albata"
+
+    def test_numeric_values_coerced_back(self, setup):
+        __, history = setup
+        change = history.propose(1, "latitude", None, -23.55, "geo")
+        history.approve(change.change_id)
+        assert history.curated_record(1).latitude == pytest.approx(-23.55)
+
+    def test_curated_records_iterates_all(self, setup):
+        collection, history = setup
+        records = list(history.curated_records())
+        assert len(records) == len(collection)
+
+    def test_summary(self, setup):
+        __, history = setup
+        history.propose(1, "species", "a", "b", "s")
+        change = history.propose(2, "species", "a", "b", "s")
+        history.approve(change.change_id)
+        summary = history.summary()
+        assert summary["flagged"] == 1
+        assert summary["approved"] == 1
+        assert summary["total"] == 2

@@ -1,0 +1,101 @@
+"""Fuzzy repair of misspelled species names."""
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.curation.name_repair import NameRepairer
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.sounds.collection import SoundCollection
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def typo_collection(small_catalogue):
+    config = CollectionConfig(
+        seed=7, n_records=600, n_distinct_species=150,
+        n_outdated_species=12, typo_rate=0.05, case_error_rate=0.0,
+        n_misidentified=0, n_anachronisms=0,
+    )
+    return generate_collection(small_catalogue, Gazetteer(seed=7),
+                               ClimateArchive(), config)
+
+
+class TestGeneratorTypos:
+    def test_typos_planted(self, typo_collection):
+        __, truth = typo_collection
+        assert truth.typos, "typo_rate must plant misspellings"
+
+    def test_typos_are_one_edit_away(self, typo_collection):
+        from repro.taxonomy.nomenclature import levenshtein
+
+        __, truth = typo_collection
+        for record_id, (misspelled, true_name) in truth.typos.items():
+            assert misspelled != true_name
+            assert levenshtein(misspelled, true_name) <= 2
+
+    def test_default_config_plants_none(self, small_collection_and_truth):
+        __, truth = small_collection_and_truth
+        assert truth.typos == {}
+
+
+class TestRepair:
+    def test_repairs_match_truth(self, typo_collection, small_catalogue):
+        collection, truth = typo_collection
+        history = CurationHistory(collection)
+        repairer = NameRepairer(history, small_catalogue)
+        report = repairer.run()
+        # a large majority of planted typos get the right suggestion
+        correct = sum(
+            1 for record_id, (__, suggested) in report.repairs.items()
+            if record_id in truth.typos
+            and suggested == truth.typos[record_id][1]
+        )
+        assert correct / max(1, len(truth.typos)) > 0.7
+
+    def test_known_names_untouched(self, typo_collection,
+                                   small_catalogue):
+        collection, truth = typo_collection
+        history = CurationHistory(collection)
+        report = NameRepairer(history, small_catalogue).run()
+        clean_records = (len(collection) - len(truth.typos))
+        assert report.known_names >= clean_records * 0.95
+
+    def test_proposals_flagged_not_applied(self, typo_collection,
+                                           small_catalogue):
+        collection, truth = typo_collection
+        history = CurationHistory(collection)
+        report = NameRepairer(history, small_catalogue).run()
+        record_id = next(iter(report.repairs))
+        # original unchanged, curated view unchanged until approval
+        misspelled = report.repairs[record_id][0]
+        assert history.curated_record(record_id).species is not None
+        pending = history.pending(step=NameRepairer.STEP)
+        assert any(c.record_id == record_id for c in pending)
+
+    def test_approval_applies_repair(self, typo_collection,
+                                     small_catalogue):
+        collection, __ = typo_collection
+        history = CurationHistory(collection)
+        report = NameRepairer(history, small_catalogue).run()
+        record_id, (__, suggested) = next(iter(report.repairs.items()))
+        history.approve_step(NameRepairer.STEP)
+        assert history.curated_record(record_id).species == suggested
+
+    def test_fabricated_name_unrepairable(self, small_catalogue):
+        collection = SoundCollection("u")
+        collection.add(SoundRecord(
+            record_id=1, species="Zyxomorphus qwertyuiopis"))
+        history = CurationHistory(collection)
+        report = NameRepairer(history, small_catalogue).run()
+        assert report.unrepairable == {1: "Zyxomorphus qwertyuiopis"}
+        assert report.repairs == {}
+
+    def test_summary(self, typo_collection, small_catalogue):
+        collection, __ = typo_collection
+        history = CurationHistory(collection)
+        report = NameRepairer(history, small_catalogue).run()
+        summary = report.summary()
+        assert summary["records_scanned"] == len(collection)
+        assert summary["repairs_proposed"] == len(report.repairs)

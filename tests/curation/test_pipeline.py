@@ -1,0 +1,104 @@
+"""The full curation pipeline."""
+
+import pytest
+
+from repro.curation.pipeline import CurationPipeline
+
+
+@pytest.fixture()
+def pipeline(small_collection, reliable_service):
+    return CurationPipeline(small_collection, reliable_service)
+
+
+class TestStage1:
+    def test_all_stage1_steps_run(self, pipeline, small_config):
+        report = pipeline.run_stage1()
+        assert report.cleaning is not None
+        assert report.geocoding is not None
+        assert report.enrichment is not None
+        assert report.species_check is not None
+        assert report.species_check.distinct_names == (
+            small_config.n_distinct_species)
+
+    def test_geocoding_enables_enrichment(self, pipeline):
+        report = pipeline.run_stage1()
+        # enrichment must have found more located records than the raw
+        # collection had, thanks to approved geocoding
+        raw_located = sum(
+            1 for record in pipeline.collection.records()
+            if record.has_coordinates
+        )
+        assert report.enrichment.not_located < (
+            len(pipeline.collection) - raw_located)
+
+    def test_enrichment_fills_fields(self, pipeline):
+        report = pipeline.run_stage1()
+        assert report.enrichment.fills > 0
+
+    def test_skip_species_check(self, pipeline):
+        report = pipeline.run_stage1(run_species_check=False)
+        assert report.species_check is None
+
+    def test_summary_structure(self, pipeline):
+        report = pipeline.run_stage1()
+        summary = report.summary()
+        assert set(summary) == {"cleaning", "geocoding", "enrichment",
+                                "species_check"}
+
+
+class TestNameRepairIntegration:
+    def test_repair_step_runs_when_enabled(self, small_catalogue,
+                                           reliable_service):
+        from repro.geo.climate import ClimateArchive
+        from repro.geo.gazetteer import Gazetteer
+        from repro.sounds.generator import (
+            CollectionConfig,
+            generate_collection,
+        )
+
+        config = CollectionConfig(seed=7, n_records=300,
+                                  n_distinct_species=80,
+                                  n_outdated_species=6,
+                                  typo_rate=0.05, case_error_rate=0.0,
+                                  n_misidentified=0, n_anachronisms=0)
+        collection, truth = generate_collection(
+            small_catalogue, Gazetteer(seed=7), ClimateArchive(), config)
+        pipeline = CurationPipeline(collection, reliable_service)
+        report = pipeline.run_stage1(repair_names=True,
+                                     run_species_check=False)
+        assert report.name_repair is not None
+        assert report.name_repair.repairs
+        assert "name_repair" in report.summary()
+
+    def test_repair_skipped_by_default(self, pipeline):
+        report = pipeline.run_stage1(run_species_check=False)
+        assert report.name_repair is None
+
+
+class TestStage2:
+    def test_spatial_audit_runs(self, pipeline):
+        pipeline.run_stage1(run_species_check=False)
+        report = pipeline.run_stage2()
+        assert report.species_audited > 0
+
+    def test_run_all(self, pipeline):
+        report = pipeline.run_all()
+        assert report.spatial_audit is not None
+        assert "spatial_audit" in report.summary()
+
+
+class TestPeriodicRecuration:
+    def test_recheck_against_older_catalogue_finds_fewer(
+            self, small_collection, reliable_service, small_config):
+        pipeline = CurationPipeline(small_collection, reliable_service)
+        pipeline.run_stage1(run_species_check=False)
+        result_2005 = pipeline.recheck_names(as_of_year=2005)
+        result_2013 = pipeline.recheck_names(as_of_year=2013)
+        assert result_2005.outdated_names < result_2013.outdated_names
+        assert result_2013.outdated_names == (
+            small_config.n_outdated_species)
+
+    def test_provenance_accumulates_runs(self, pipeline):
+        pipeline.run_stage1()
+        pipeline.recheck_names(as_of_year=2013)
+        assert len(pipeline.provenance.repository) >= 2

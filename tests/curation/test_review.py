@@ -1,0 +1,101 @@
+"""The curators' review queue."""
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.curation.review import ReviewQueue
+from repro.errors import CurationError
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def queue():
+    collection = SoundCollection("q")
+    for i in range(1, 5):
+        collection.add(SoundRecord(record_id=i, species="Hyla alba"))
+    history = CurationHistory(collection)
+    history.propose(1, "air_temperature_c", None, 21.0,
+                    "stage1.3-enrichment")
+    history.propose(2, "latitude", None, -23.0, "stage1.2-geocoding")
+    history.propose(3, "species", "Hyla alva", "Hyla alba",
+                    "stage1.1-name-repair")
+    history.propose(4, "species", "Hyla alba", None,
+                    "stage2-spatial-audit")
+    return ReviewQueue(history)
+
+
+class TestOrdering:
+    def test_meaning_changing_steps_first(self, queue):
+        steps = [change.step for change in queue.pending()]
+        assert steps == [
+            "stage1.1-name-repair", "stage2-spatial-audit",
+            "stage1.2-geocoding", "stage1.3-enrichment",
+        ]
+
+    def test_step_filter(self, queue):
+        changes = list(queue.pending(step="stage1.2-geocoding"))
+        assert len(changes) == 1
+        assert changes[0].record_id == 2
+
+    def test_next_change(self, queue):
+        assert queue.next_change().step == "stage1.1-name-repair"
+
+    def test_unknown_step_gets_default_priority(self, queue):
+        queue.history.propose(1, "notes", None, "x", "exotic-step")
+        steps = [change.step for change in queue.pending()]
+        assert steps[-1] == "exotic-step"
+
+
+class TestSessions:
+    def test_session_decisions_recorded(self, queue):
+        session = queue.session("dr. toledo")
+        first = queue.next_change()
+        session.approve(first)
+        second = queue.next_change()
+        session.reject(second)
+        assert session.approved == 1
+        assert session.rejected == 1
+        assert len(queue) == 2
+        reviewed = queue.history.history_for(first.record_id)[0]
+        assert reviewed.curator == "dr. toledo"
+
+    def test_work_loop(self, queue):
+        session = queue.session("c")
+        decided = session.work(
+            lambda change: "approve"
+            if change.step == "stage1.2-geocoding" else "skip")
+        assert decided == 1
+        assert session.skipped == 3
+        assert len(queue) == 3
+
+    def test_work_with_limit(self, queue):
+        session = queue.session("c")
+        assert session.work(lambda change: "approve", limit=2) == 2
+        assert len(queue) == 2
+
+    def test_bad_verdict(self, queue):
+        session = queue.session("c")
+        with pytest.raises(CurationError):
+            session.work(lambda change: "maybe")
+
+    def test_decided_changes_leave_the_queue(self, queue):
+        session = queue.session("c")
+        session.work(lambda change: "approve")
+        assert len(queue) == 0
+        assert queue.next_change() is None
+
+
+class TestStatistics:
+    def test_backlog_by_step(self, queue):
+        backlog = queue.backlog_by_step()
+        assert backlog == {
+            "stage1.1-name-repair": 1, "stage1.2-geocoding": 1,
+            "stage1.3-enrichment": 1, "stage2-spatial-audit": 1,
+        }
+
+    def test_effort_estimate(self, queue):
+        assert queue.estimated_effort_minutes(2.0) == 8.0
+
+    def test_records_awaiting_review(self, queue):
+        assert queue.records_awaiting_review() == {1, 2, 3, 4}

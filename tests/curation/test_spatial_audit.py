@@ -1,0 +1,122 @@
+"""Stage 2 — the spatial audit."""
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.curation.spatial_audit import SpatialAuditor
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+def cluster_collection(outlier=True):
+    """One species clustered near Campinas, optionally one point in
+    Amazonas."""
+    collection = SoundCollection("s")
+    record_id = 0
+    for i in range(12):
+        record_id += 1
+        collection.add(SoundRecord(
+            record_id=record_id, species="Hyla alba",
+            latitude=-22.9 + i * 0.02, longitude=-47.0 + i * 0.02))
+    if outlier:
+        record_id += 1
+        collection.add(SoundRecord(
+            record_id=record_id, species="Hyla alba",
+            latitude=-3.1, longitude=-60.0))
+    return collection, record_id
+
+
+class TestDetection:
+    def test_outlier_flagged(self):
+        collection, outlier_id = cluster_collection()
+        report = SpatialAuditor(collection).run()
+        assert report.flagged_record_ids() == {outlier_id}
+        flag = report.flags[0]
+        assert flag.species == "Hyla alba"
+        assert flag.distance_km > 2000
+
+    def test_tight_cluster_clean(self):
+        collection, __ = cluster_collection(outlier=False)
+        report = SpatialAuditor(collection).run()
+        assert report.flags == []
+        assert report.species_audited == 1
+
+    def test_too_few_points_skipped(self):
+        collection = SoundCollection("s")
+        for i in range(3):
+            collection.add(SoundRecord(
+                record_id=i + 1, species="Hyla alba",
+                latitude=-22.9, longitude=-47.0))
+        report = SpatialAuditor(collection, min_points=5).run()
+        assert report.species_skipped == 1
+        assert report.species_audited == 0
+
+    def test_unlocated_records_ignored(self):
+        collection, outlier_id = cluster_collection()
+        collection.add(SoundRecord(record_id=99, species="Hyla alba"))
+        report = SpatialAuditor(collection).run()
+        assert report.flagged_record_ids() == {outlier_id}
+
+
+class TestHistoryIntegration:
+    def test_flags_proposed_to_history(self):
+        collection, outlier_id = cluster_collection()
+        history = CurationHistory(collection)
+        report = SpatialAuditor(collection, history=history).run()
+        pending = history.pending(step=SpatialAuditor.STEP)
+        assert len(pending) == 1
+        assert pending[0].record_id == outlier_id
+        assert "misidentification" in pending[0].note
+
+    def test_curated_coordinates_used(self):
+        """An approved geocoding change must be visible to the audit."""
+        collection = SoundCollection("s")
+        for i in range(12):
+            collection.add(SoundRecord(
+                record_id=i + 1, species="Hyla alba",
+                latitude=-22.9 + i * 0.02, longitude=-47.0 + i * 0.02))
+        collection.add(SoundRecord(record_id=13, species="Hyla alba"))
+        history = CurationHistory(collection)
+        for field, value in (("latitude", -3.1), ("longitude", -60.0)):
+            change = history.propose(13, field, None, value, "geo")
+            history.approve(change.change_id)
+        report = SpatialAuditor(collection, history=history).run()
+        assert 13 in report.flagged_record_ids()
+
+
+class TestAgainstGroundTruth:
+    def test_finds_planted_misidentifications(self,
+                                              small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        report = SpatialAuditor(collection, min_points=4,
+                                min_distance_km=300).run()
+        flagged = report.flagged_record_ids()
+        planted = set(truth.misidentified)
+        found = planted & flagged
+        # most records are unlocated pre-GPS, so only plants whose species
+        # has enough located partners are detectable; require a majority
+        # of the detectable ones
+        detectable = {
+            record_id for record_id in planted
+            if len(collection.occurrences(
+                collection.record(record_id).species)) >= 4
+        }
+        if detectable:
+            assert len(found & detectable) / len(detectable) >= 0.5
+
+    def test_flag_volume_bounded(self, small_collection_and_truth):
+        """The audit must not drown curators: flags stay a small
+        fraction of the collection.  (Some non-planted flags are
+        expected — a species homing in a large state, e.g. Amazonas,
+        can legitimately span > 300 km.)"""
+        collection, truth = small_collection_and_truth
+        report = SpatialAuditor(collection, min_points=4,
+                                min_distance_km=300).run()
+        assert len(report.flags) <= len(collection) * 0.02
+
+    def test_summary(self, small_collection_and_truth):
+        collection, __ = small_collection_and_truth
+        report = SpatialAuditor(collection).run()
+        summary = report.summary()
+        assert summary["species_audited"] >= 0
+        assert summary["records_flagged"] == len(report.flags)

@@ -1,0 +1,169 @@
+"""The Outdated Species Name Detection Workflow."""
+
+import pytest
+
+from repro.curation.cleaning import MetadataCleaner
+from repro.curation.history import CurationHistory
+from repro.curation.species_check import (
+    CATALOGUE,
+    UPDATES_TABLE,
+    SpeciesNameChecker,
+    build_species_check_workflow,
+)
+from repro.provenance.manager import ProvenanceManager
+
+
+class TestWorkflowStructure:
+    def test_validates(self):
+        build_species_check_workflow().validate()
+
+    def test_fig3_processors(self):
+        workflow = build_species_check_workflow()
+        assert set(workflow.processors) == {
+            "FNJV_metadata_reader", "Catalog_of_life", "Update_persister"}
+
+    def test_io_ports(self):
+        workflow = build_species_check_workflow()
+        assert workflow.input_names() == ["metadata"]
+        assert set(workflow.output_names()) == {"summary", "service_stats"}
+
+
+@pytest.fixture()
+def checker(small_collection, reliable_service):
+    return SpeciesNameChecker(small_collection, reliable_service)
+
+
+class TestDetection:
+    def test_fig2_numbers_small_scale(self, checker, small_config):
+        result = checker.run()
+        assert result.records_processed == small_config.n_records
+        assert result.distinct_names == small_config.n_distinct_species
+        assert result.outdated_names == small_config.n_outdated_species
+        assert result.unresolved_names == 0
+
+    def test_updated_names_match_truth(self, small_collection_and_truth,
+                                       reliable_service):
+        collection, truth = small_collection_and_truth
+        checker = SpeciesNameChecker(collection, reliable_service)
+        result = checker.run()
+        assert result.updated_names == truth.outdated_species
+
+    def test_normalization_inside_reader(self, checker, small_config):
+        """Raw distinct strings exceed canonical names because of case
+        slips; the reader normalizes, so the count is exact."""
+        raw = len(checker.collection.distinct_species())
+        result = checker.run()
+        assert raw > result.distinct_names or raw == result.distinct_names
+        assert result.distinct_names == small_config.n_distinct_species
+
+    def test_render_fig2_panel(self, checker):
+        result = checker.run()
+        panel = result.render()
+        assert "records processed" in panel
+        assert "outdated species names" in panel
+        assert "->" in panel
+
+    def test_outdated_fraction(self, checker, small_config):
+        result = checker.run()
+        expected = (small_config.n_outdated_species
+                    / small_config.n_distinct_species)
+        assert result.outdated_fraction == pytest.approx(expected)
+
+
+class TestUpdatesTable:
+    def test_updates_reference_original_records(
+            self, small_collection_and_truth, reliable_service):
+        collection, truth = small_collection_and_truth
+        checker = SpeciesNameChecker(collection, reliable_service)
+        checker.run()
+        updates = checker.updates()
+        assert updates, "outdated names must produce update rows"
+        for update in updates[:20]:
+            original = collection.record(update["record_id"])
+            from repro.taxonomy.nomenclature import normalize_name
+
+            assert normalize_name(original.species) == update["old_name"]
+            assert update["status"] == "flagged"
+
+    def test_original_collection_unchanged(self,
+                                           small_collection_and_truth,
+                                           reliable_service):
+        collection, truth = small_collection_and_truth
+        before = {r["record_id"]: r.get("species")
+                  for r in collection.rows()}
+        SpeciesNameChecker(collection, reliable_service).run()
+        after = {r["record_id"]: r.get("species")
+                 for r in collection.rows()}
+        assert before == after
+
+    def test_biologist_confirmation(self, checker):
+        checker.run()
+        update = checker.updates()[0]
+        checker.confirm_update(update["update_id"])
+        assert checker.updates(status="confirmed")[0]["update_id"] == (
+            update["update_id"])
+
+    def test_rerun_appends_new_rows(self, checker):
+        first = checker.run()
+        count_after_first = len(checker.updates())
+        checker.run()
+        assert len(checker.updates()) == 2 * count_after_first
+
+
+class TestProvenanceIntegration:
+    def test_run_captured(self, small_collection, reliable_service):
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        assert result.run_id in provenance.repository.run_ids()
+
+    def test_adapter_annotation_reaches_provenance(self, small_collection,
+                                                   reliable_service):
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        annotations = provenance.repository.process_annotations(
+            result.run_id)
+        assert annotations[CATALOGUE] == {
+            "reputation": 1.0, "availability": 1.0}
+
+    def test_workflow_annotated_before_run(self, checker):
+        quality = checker.workflow.processor(CATALOGUE).quality
+        assert quality["reputation"] == 1.0
+
+
+class TestCuratedViewInput:
+    def test_history_cleaned_names_are_used(self,
+                                            small_collection_and_truth,
+                                            reliable_service,
+                                            small_config):
+        collection, truth = small_collection_and_truth
+        history = CurationHistory(collection)
+        MetadataCleaner(history).run()
+        checker = SpeciesNameChecker(collection, reliable_service,
+                                     history=history)
+        result = checker.run()
+        assert result.distinct_names == small_config.n_distinct_species
+
+
+class TestFlakyService:
+    def test_unresolved_names_counted(self, small_collection,
+                                      small_catalogue):
+        from repro.taxonomy.service import CatalogueService
+
+        flaky = CatalogueService(small_catalogue, availability=0.4,
+                                 seed=11)
+        checker = SpeciesNameChecker(small_collection, flaky,
+                                     max_attempts=1)
+        result = checker.run()
+        assert result.unresolved_names > 0
+        assert (result.outdated_names + result.unresolved_names
+                <= result.distinct_names)
+
+    def test_service_stats_in_output(self, checker):
+        result = checker.run()
+        stats = result.trace.outputs["service_stats"]
+        assert stats["calls"] >= result.distinct_names
+        assert stats["failures"] == 0

@@ -1,0 +1,90 @@
+"""The deterministic climate archive."""
+
+import datetime as dt
+
+import pytest
+
+from repro.geo.climate import ClimateArchive
+
+
+@pytest.fixture(scope="module")
+def archive():
+    return ClimateArchive()
+
+
+CAMPINAS = (-22.9, -47.06)
+
+
+class TestDeterminism:
+    def test_same_query_same_answer(self, archive):
+        a = archive.reading(*CAMPINAS, dt.date(1975, 3, 10), hour=6)
+        b = archive.reading(*CAMPINAS, dt.date(1975, 3, 10), hour=6)
+        assert a.temperature_c == b.temperature_c
+        assert a.humidity_pct == b.humidity_pct
+        assert a.conditions == b.conditions
+
+    def test_different_days_differ(self, archive):
+        a = archive.reading(*CAMPINAS, dt.date(1975, 3, 10))
+        b = archive.reading(*CAMPINAS, dt.date(1975, 3, 11))
+        assert (a.temperature_c, a.humidity_pct) != (
+            b.temperature_c, b.humidity_pct)
+
+
+class TestPhysicalPlausibility:
+    def test_southern_summer_warmer_than_winter(self, archive):
+        january = [
+            archive.temperature(*CAMPINAS, dt.date(1980, 1, d))
+            for d in range(1, 28)
+        ]
+        july = [
+            archive.temperature(*CAMPINAS, dt.date(1980, 7, d))
+            for d in range(1, 28)
+        ]
+        assert sum(january) / len(january) > sum(july) / len(july)
+
+    def test_northern_seasons_flipped(self, archive):
+        mexico = (20.0, -99.0)
+        january = archive.temperature(*mexico, dt.date(1980, 1, 15))
+        july = archive.temperature(*mexico, dt.date(1980, 7, 15))
+        assert july > january
+
+    def test_afternoon_warmer_than_dawn(self, archive):
+        dawn = archive.temperature(*CAMPINAS, dt.date(1980, 6, 1), hour=5)
+        afternoon = archive.temperature(*CAMPINAS, dt.date(1980, 6, 1),
+                                        hour=14)
+        assert afternoon > dawn
+
+    def test_tropics_warmer_than_high_latitudes(self, archive):
+        equator = archive.temperature(0.0, -60.0, dt.date(1980, 4, 1))
+        south = archive.temperature(-33.0, -56.0, dt.date(1980, 4, 1))
+        assert equator > south
+
+    def test_humidity_bounds(self, archive):
+        for month in range(1, 13):
+            reading = archive.reading(*CAMPINAS, dt.date(1990, month, 10))
+            assert 20 <= reading.humidity_pct <= 100
+
+    def test_conditions_vocabulary(self, archive):
+        allowed = {"clear", "partly cloudy", "cloudy", "light rain",
+                   "rain", "storm"}
+        for day in range(1, 20):
+            assert archive.conditions(*CAMPINAS,
+                                      dt.date(2000, 5, day)) in allowed
+
+
+class TestValidation:
+    def test_bad_latitude(self, archive):
+        with pytest.raises(ValueError):
+            archive.reading(91, 0, dt.date(2000, 1, 1))
+
+    def test_bad_longitude(self, archive):
+        with pytest.raises(ValueError):
+            archive.reading(0, 181, dt.date(2000, 1, 1))
+
+    def test_bad_hour(self, archive):
+        with pytest.raises(ValueError):
+            archive.reading(0, 0, dt.date(2000, 1, 1), hour=24)
+
+    def test_reading_to_dict(self, archive):
+        data = archive.reading(*CAMPINAS, dt.date(2000, 1, 1)).to_dict()
+        assert set(data) == {"temperature_c", "humidity_pct", "conditions"}

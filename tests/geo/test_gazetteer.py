@@ -1,0 +1,96 @@
+"""The synthetic gazetteer: resolution levels and ambiguity."""
+
+import pytest
+
+from repro.errors import GeocodingError
+from repro.geo.gazetteer import Gazetteer
+
+
+@pytest.fixture(scope="module")
+def gazetteer():
+    return Gazetteer(seed=7)
+
+
+class TestResolution:
+    def test_city_resolution(self, gazetteer):
+        city = gazetteer.city_names(country="Brasil", state="Sao Paulo")[0]
+        place = gazetteer.resolve(country="Brasil", state="Sao Paulo",
+                                  city=city)
+        assert place.kind == "city"
+        assert place.uncertainty_km < 15
+
+    def test_state_fallback(self, gazetteer):
+        place = gazetteer.resolve(country="Brasil", state="Minas Gerais")
+        assert place.kind == "state"
+        assert place.uncertainty_km > 50
+
+    def test_country_fallback(self, gazetteer):
+        place = gazetteer.resolve(country="Peru")
+        assert place.kind == "country"
+
+    def test_most_specific_wins(self, gazetteer):
+        city = gazetteer.city_names(state="Bahia")[0]
+        place = gazetteer.resolve(country="Brasil", state="Bahia", city=city)
+        assert place.kind == "city"
+
+    def test_unknown_city_with_state_falls_back(self, gazetteer):
+        place = gazetteer.resolve(country="Brasil", state="Parana",
+                                  city="No Such Place")
+        assert place.kind == "state"
+
+    def test_unknown_everything(self, gazetteer):
+        with pytest.raises(GeocodingError):
+            gazetteer.resolve(country="Atlantis")
+
+    def test_unknown_city_alone(self, gazetteer):
+        with pytest.raises(GeocodingError, match="unknown city"):
+            gazetteer.resolve(city="No Such Place")
+
+    def test_try_resolve_swallows(self, gazetteer):
+        assert gazetteer.try_resolve(country="Atlantis") is None
+
+    def test_coordinates_inside_state_box(self, gazetteer):
+        for place in list(gazetteer.cities(state="Sao Paulo"))[:10]:
+            assert -25.3 <= place.latitude <= -19.8
+            assert -53.1 <= place.longitude <= -44.2
+
+
+class TestAmbiguity:
+    def test_homonyms_exist(self, gazetteer):
+        names = [place.name for place in gazetteer.cities(country="Brasil")]
+        duplicates = {name for name in names if names.count(name) > 1}
+        assert duplicates, "the generator must plant homonym cities"
+
+    def test_ambiguous_without_state_raises(self, gazetteer):
+        names = [place.name for place in gazetteer.cities(country="Brasil")]
+        duplicate = next(name for name in names if names.count(name) > 1)
+        with pytest.raises(GeocodingError, match="ambiguous"):
+            gazetteer.resolve(country="Brasil", city=duplicate)
+
+    def test_ambiguity_resolved_by_state(self, gazetteer):
+        names = [place.name for place in gazetteer.cities(country="Brasil")]
+        duplicate = next(name for name in names if names.count(name) > 1)
+        states = sorted({
+            place.state for place in gazetteer.cities(country="Brasil")
+            if place.name == duplicate
+        })
+        place = gazetteer.resolve(country="Brasil", state=states[0],
+                                  city=duplicate)
+        assert place.kind == "city"
+        assert place.state == states[0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_places(self):
+        a = Gazetteer(seed=3)
+        b = Gazetteer(seed=3)
+        assert a.city_names() == b.city_names()
+        city = a.city_names(state="Amazonas")[0]
+        pa = a.resolve(country="Brasil", state="Amazonas", city=city)
+        pb = b.resolve(country="Brasil", state="Amazonas", city=city)
+        assert (pa.latitude, pa.longitude) == (pb.latitude, pb.longitude)
+
+    def test_catalog_listing(self, gazetteer):
+        assert "Brasil" in gazetteer.countries()
+        assert "Sao Paulo" in gazetteer.states()
+        assert gazetteer.states("Peru") == []

@@ -1,0 +1,111 @@
+"""Spatial analysis: distances, centroids, outliers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geo.spatial import (
+    bounding_box,
+    geographic_centroid,
+    haversine_km,
+    pairwise_distances_km,
+    range_span_km,
+    spatial_outliers,
+)
+
+
+SP = (-23.55, -46.63)   # Sao Paulo
+RIO = (-22.91, -43.17)  # Rio de Janeiro
+MANAUS = (-3.12, -60.02)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(*SP, *SP) == 0.0
+
+    def test_known_distance_sp_rio(self):
+        assert haversine_km(*SP, *RIO) == pytest.approx(357, abs=15)
+
+    def test_symmetry(self):
+        assert haversine_km(*SP, *RIO) == pytest.approx(
+            haversine_km(*RIO, *SP))
+
+    def test_antipodal_near_half_circumference(self):
+        assert haversine_km(0, 0, 0, 180) == pytest.approx(20015, abs=30)
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert geographic_centroid([SP]) == pytest.approx(SP, abs=1e-9)
+
+    def test_centroid_between_points(self):
+        lat, lon = geographic_centroid([SP, RIO])
+        assert min(SP[0], RIO[0]) <= lat <= max(SP[0], RIO[0])
+        assert min(SP[1], RIO[1]) <= lon <= max(SP[1], RIO[1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            geographic_centroid([])
+
+
+class TestOutliers:
+    def make_cluster(self, n=20):
+        return [(SP[0] + i * 0.01, SP[1] + i * 0.01) for i in range(n)]
+
+    def test_no_outlier_in_tight_cluster(self):
+        assert spatial_outliers(self.make_cluster()) == []
+
+    def test_distant_point_flagged(self):
+        points = self.make_cluster() + [MANAUS]
+        outliers = spatial_outliers(points)
+        assert len(outliers) == 1
+        assert outliers[0].index == len(points) - 1
+        assert outliers[0].distance_km > 2000
+
+    def test_too_few_points_returns_nothing(self):
+        points = [SP, MANAUS]
+        assert spatial_outliers(points, min_points=5) == []
+
+    def test_min_distance_floor_respected(self):
+        # a point 300 km away must not be flagged with a 500 km floor
+        points = self.make_cluster() + [(SP[0] + 2.7, SP[1])]
+        assert spatial_outliers(points, min_distance_km=500) == []
+
+    def test_wide_legitimate_range_not_flagged(self):
+        # points spread evenly over ~800 km: high MAD, nothing flagged
+        points = [(SP[0] + i * 0.35, SP[1] + i * 0.35) for i in range(21)]
+        outliers = spatial_outliers(points, mad_multiplier=6.0,
+                                    min_distance_km=400)
+        assert outliers == []
+
+
+class TestAggregates:
+    def test_bounding_box(self):
+        box = bounding_box([SP, RIO, MANAUS])
+        assert box[0] == SP[0] and box[1] == MANAUS[0]
+
+    def test_range_span(self):
+        assert range_span_km([SP]) == 0.0
+        assert range_span_km([SP, RIO]) == pytest.approx(
+            haversine_km(*SP, *RIO))
+
+    def test_pairwise_matrix_symmetric(self):
+        matrix = pairwise_distances_km([SP, RIO, MANAUS])
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == matrix[1, 0]
+        assert matrix[0, 0] == 0.0
+
+
+@given(st.floats(-89, 89), st.floats(-179, 179),
+       st.floats(-89, 89), st.floats(-179, 179))
+def test_haversine_is_a_metric(lat1, lon1, lat2, lon2):
+    d = haversine_km(lat1, lon1, lat2, lon2)
+    assert d >= 0
+    assert haversine_km(lat2, lon2, lat1, lon1) == pytest.approx(d, rel=1e-9)
+
+
+@given(st.lists(st.tuples(st.floats(-60, 10), st.floats(-80, -35)),
+                min_size=1, max_size=15))
+def test_centroid_within_hemisphere_of_points(points):
+    lat, lon = geographic_centroid(points)
+    assert -90 <= lat <= 90
+    assert -180 <= lon <= 180

@@ -1,0 +1,78 @@
+"""End-to-end determinism: two independent builds agree bit for bit.
+
+Everything in the reproduction is seeded; a reviewer rebuilding the
+world from the same seeds must observe identical results — detection
+summaries, provenance graph shapes and quality values alike.
+"""
+
+import pytest
+
+from repro.core.manager import DataQualityManager
+from repro.curation.species_check import SpeciesNameChecker
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.provenance.graph import summarize
+from repro.provenance.manager import ProvenanceManager
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.taxonomy.service import CatalogueService
+from repro.taxonomy.synonyms import generate_changes
+
+
+def build_world(seed=17):
+    backbone = build_backbone(BackboneConfig(seed=seed,
+                                             total_species=400))
+    registry = generate_changes(backbone, yearly_rate=0.01, seed=seed)
+    catalogue = CatalogueOfLife(backbone, registry, as_of_year=2013)
+    collection, truth = generate_collection(
+        catalogue, Gazetteer(seed=seed), ClimateArchive(),
+        CollectionConfig(seed=seed, n_records=400,
+                         n_distinct_species=100, n_outdated_species=8))
+    service = CatalogueService(catalogue, availability=0.9, seed=seed)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, service,
+                                 provenance=provenance)
+    result = checker.run()
+    manager = DataQualityManager(provenance=provenance.repository)
+    report = manager.assess_species_check_run(result.run_id)
+    return collection, truth, result, report, provenance
+
+
+class TestDeterminism:
+    @pytest.fixture(scope="class")
+    def worlds(self):
+        return build_world(), build_world()
+
+    def test_detection_summaries_identical(self, worlds):
+        (__, __, first, *_), (__, __t, second, *_) = worlds
+        assert first.summary == second.summary
+
+    def test_quality_reports_identical(self, worlds):
+        (*_, first_report, __), (*_, second_report, __p) = worlds
+        assert first_report.as_dict() == second_report.as_dict()
+
+    def test_collections_identical(self, worlds):
+        (first_coll, *_), (second_coll, *_) = worlds
+        assert list(first_coll.rows()) == list(second_coll.rows())
+
+    def test_ground_truths_identical(self, worlds):
+        (__, first_truth, *_), (__c, second_truth, *_) = worlds
+        assert first_truth.outdated_species == (
+            second_truth.outdated_species)
+        assert first_truth.case_errors == second_truth.case_errors
+        assert first_truth.misidentified == second_truth.misidentified
+
+    def test_provenance_graphs_identical(self, worlds):
+        (*_, first_res, __, first_prov), (*_,
+                                          second_res, __r,
+                                          second_prov) = worlds
+        g1 = first_prov.repository.graph_for(first_res.run_id)
+        g2 = second_prov.repository.graph_for(second_res.run_id)
+        assert summarize(g1) == summarize(g2)
+        assert g1.to_dict() == g2.to_dict()
+
+    def test_different_seed_differs(self, worlds):
+        (__, __t, result, *_), __world = worlds
+        other = build_world(seed=18)
+        assert other[2].updated_names != result.updated_names

@@ -1,0 +1,71 @@
+"""Durability across the full workload: the collection database (with
+curation artifacts) survives a journal recovery."""
+
+import pytest
+
+from repro.curation.pipeline import CurationPipeline
+from repro.sounds.collection import SoundCollection
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.storage import Database
+
+
+@pytest.fixture()
+def durable_setup(tmp_path, small_catalogue, reliable_service):
+    from repro.geo.climate import ClimateArchive
+    from repro.geo.gazetteer import Gazetteer
+
+    journal = tmp_path / "fnjv.journal"
+    config = CollectionConfig(seed=7, n_records=150,
+                              n_distinct_species=60,
+                              n_outdated_species=6, n_misidentified=2,
+                              n_anachronisms=3)
+    # generate into a throwaway, then replay into a durable collection
+    source, truth = generate_collection(
+        small_catalogue, Gazetteer(seed=7), ClimateArchive(), config)
+    durable = SoundCollection("fnjv", journal_path=journal)
+    for record in source.records():
+        durable.add(record)
+    return durable, truth, journal, reliable_service
+
+
+class TestRecovery:
+    def test_collection_survives_recovery(self, durable_setup):
+        durable, truth, journal, __ = durable_setup
+        recovered_db = Database.recover("fnjv", journal)
+        recovered = SoundCollection("fnjv", database=recovered_db)
+        assert len(recovered) == len(durable)
+        assert recovered.distinct_species() == durable.distinct_species()
+
+    def test_curation_artifacts_survive_recovery(self, durable_setup):
+        durable, truth, journal, service = durable_setup
+        pipeline = CurationPipeline(durable, service)
+        report = pipeline.run_stage1()
+        assert report.species_check is not None
+
+        recovered_db = Database.recover("fnjv", journal)
+        # the separate tables exist with the same content
+        assert recovered_db.has_table("species_updates")
+        assert recovered_db.has_table("curation_history")
+        assert recovered_db.count("species_updates") == (
+            durable.database.count("species_updates"))
+        assert recovered_db.count("curation_history") == (
+            durable.database.count("curation_history"))
+
+    def test_recovery_preserves_original_rows_bitwise(self, durable_setup):
+        durable, __, journal, service = durable_setup
+        CurationPipeline(durable, service).run_stage1()
+        recovered_db = Database.recover("fnjv", journal)
+        original = sorted(durable.database.table("recordings").rows(),
+                          key=lambda r: r["record_id"])
+        recovered = sorted(recovered_db.table("recordings").rows(),
+                           key=lambda r: r["record_id"])
+        assert original == recovered
+
+    def test_checkpoint_then_more_work(self, durable_setup):
+        durable, __, journal, service = durable_setup
+        durable.database.checkpoint()
+        pipeline = CurationPipeline(durable, service)
+        pipeline.run_stage1(run_species_check=False)
+        recovered_db = Database.recover("fnjv", journal)
+        assert recovered_db.count("curation_history") == (
+            durable.database.count("curation_history"))

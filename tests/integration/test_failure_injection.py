@@ -1,0 +1,123 @@
+"""Failure injection across the architecture.
+
+The paper's pipeline must degrade gracefully, not silently: flaky
+services lower coverage but are reported; a crashing processor fails
+the run *and* leaves provenance; a half-reviewed history never leaks
+unapproved values into curated views.
+"""
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.curation.species_check import SpeciesNameChecker
+from repro.provenance.manager import ProvenanceManager
+from repro.taxonomy.service import CatalogueService
+
+
+class TestFlakyServiceDegradation:
+    def test_zero_availability_still_completes(self, small_collection,
+                                               small_catalogue):
+        dead = CatalogueService(small_catalogue, availability=0.0, seed=1)
+        checker = SpeciesNameChecker(small_collection, dead,
+                                     max_attempts=2)
+        result = checker.run()
+        # nothing classified, everything reported unresolved
+        assert result.outdated_names == 0
+        assert result.unresolved_names == result.distinct_names
+        # the quality layer sees the catastrophe
+        stats = result.trace.outputs["service_stats"]
+        assert stats["failures"] == stats["calls"]
+
+    def test_no_spurious_updates_under_failures(self, small_collection,
+                                                small_catalogue):
+        dead = CatalogueService(small_catalogue, availability=0.0, seed=1)
+        checker = SpeciesNameChecker(small_collection, dead,
+                                     max_attempts=1)
+        checker.run()
+        assert checker.updates() == []
+
+    def test_partial_failures_never_misclassify(self, small_collection,
+                                                small_collection_and_truth,
+                                                small_catalogue):
+        collection, truth = small_collection_and_truth
+        flaky = CatalogueService(small_catalogue, availability=0.5,
+                                 seed=5)
+        checker = SpeciesNameChecker(collection, flaky, max_attempts=1)
+        result = checker.run()
+        # every name the run *did* classify as outdated is truly outdated
+        assert set(result.updated_names) <= set(truth.outdated_species)
+
+
+class TestCrashingProcessor:
+    def test_failed_run_is_still_captured(self, small_collection,
+                                          reliable_service, monkeypatch):
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+
+        def explode(name):
+            raise RuntimeError("catalogue parser broke")
+
+        monkeypatch.setattr(checker.service, "lookup_with_retry",
+                            lambda name, max_attempts=3: explode(name))
+        from repro.errors import WorkflowExecutionError
+
+        with pytest.raises(WorkflowExecutionError) as excinfo:
+            checker.run()
+        assert excinfo.value.processor == "Catalog_of_life"
+        run_id = provenance.repository.run_ids()[-1]
+        trace = provenance.repository.trace_for(run_id)
+        assert trace.status == "failed"
+        assert trace.failed_processors() == ["Catalog_of_life"]
+
+
+class TestReviewDiscipline:
+    def test_unreviewed_values_never_reach_curated_views(
+            self, small_collection):
+        history = CurationHistory(small_collection)
+        record = next(iter(small_collection.records()))
+        history.propose(record.record_id, "species", record.species,
+                        "Totally different", "test-step")
+        curated = history.curated_record(record.record_id)
+        assert curated.species == record.species
+
+    def test_rejection_is_permanent(self, small_collection):
+        from repro.errors import CurationError
+
+        history = CurationHistory(small_collection)
+        record = next(iter(small_collection.records()))
+        change = history.propose(record.record_id, "species",
+                                 record.species, "Wrong", "test-step")
+        history.reject(change.change_id)
+        with pytest.raises(CurationError):
+            history.approve(change.change_id)
+        assert history.curated_record(
+            record.record_id).species == record.species
+
+
+class TestEmptyWorld:
+    def test_species_check_on_empty_collection(self, reliable_service):
+        from repro.sounds.collection import SoundCollection
+
+        empty = SoundCollection("empty")
+        checker = SpeciesNameChecker(empty, reliable_service)
+        result = checker.run()
+        assert result.records_processed == 0
+        assert result.distinct_names == 0
+        assert result.outdated_names == 0
+
+    def test_assessment_of_empty_run(self, reliable_service):
+        from repro.core.manager import DataQualityManager
+        from repro.errors import MetricError
+        from repro.sounds.collection import SoundCollection
+
+        empty = SoundCollection("empty")
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(empty, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        manager = DataQualityManager(provenance=provenance.repository)
+        # zero names analyzed -> accuracy undefined, surfaced as an error
+        with pytest.raises(MetricError):
+            manager.metric("species_name_accuracy").measure(
+                manager.context_for_run(result.run_id))

@@ -1,0 +1,152 @@
+"""The full preservation life cycle, end to end (kitchen sink).
+
+One scenario that exercises every subsystem together:
+
+collection (with typos) -> stage-1 curation incl. fuzzy repair ->
+species check with provenance -> quality assessment -> ledger ->
+Research Object -> preservation package -> media migration plan ->
+triple-store publication -> journal recovery of everything.
+"""
+
+import pytest
+
+from repro.core.manager import DataQualityManager
+from repro.core.media import migration_plan, plan_cost
+from repro.core.preservation import (
+    PreservationLevel,
+    PreservationPolicy,
+    archive_collection,
+)
+from repro.core.tracking import QualityLedger
+from repro.curation.pipeline import CurationPipeline
+from repro.geo.climate import ClimateArchive
+from repro.geo.gazetteer import Gazetteer
+from repro.linkeddata import (
+    ResearchObject,
+    TripleStore,
+    publish_collection,
+    publish_curation_history,
+    publish_provenance,
+)
+from repro.provenance.manager import ProvenanceManager
+from repro.sounds.generator import CollectionConfig, generate_collection
+from repro.taxonomy.service import CatalogueService
+from repro.workflow.repository import WorkflowRepository
+
+
+@pytest.fixture(scope="module")
+def life_cycle(small_catalogue, tmp_path_factory):
+    journal = tmp_path_factory.mktemp("lc") / "lc.journal"
+    config = CollectionConfig(seed=11, n_records=400,
+                              n_distinct_species=100,
+                              n_outdated_species=8, typo_rate=0.03,
+                              case_error_rate=0.01)
+    source, truth = generate_collection(
+        small_catalogue, Gazetteer(seed=11), ClimateArchive(), config)
+    from repro.sounds.collection import SoundCollection
+
+    collection = SoundCollection("lc", journal_path=journal)
+    for record in source.records():
+        collection.add(record)
+
+    service = CatalogueService(small_catalogue, availability=0.95,
+                               seed=11)
+    provenance = ProvenanceManager()
+    pipeline = CurationPipeline(collection, service,
+                                provenance=provenance)
+    pipeline_report = pipeline.run_stage1(repair_names=True)
+    check = pipeline_report.species_check
+
+    manager = DataQualityManager(provenance=provenance.repository)
+    quality = manager.assess_species_check_run(check.run_id,
+                                               collection=collection)
+    ledger = QualityLedger()
+    ledger.record(quality, 2013)
+
+    workflows = WorkflowRepository()
+    workflows.save(pipeline.checker.workflow)
+
+    ro = ResearchObject("lc-ro", "life-cycle investigation", "tester")
+    ro.aggregate_dataset(collection)
+    ro.aggregate_method(pipeline.checker.workflow)
+    ro.aggregate_run(provenance.repository, check.run_id)
+    ro.aggregate_quality(quality)
+
+    package = archive_collection(collection,
+                                 PreservationLevel.FULL_REPRODUCTION,
+                                 workflows=workflows,
+                                 provenance=provenance.repository)
+    policy = PreservationPolicy(PreservationLevel.FULL_REPRODUCTION,
+                                lifetime_years=40)
+    migrations = migration_plan(policy, start_year=2013)
+
+    store = TripleStore()
+    publish_collection(collection, store)
+    publish_provenance(provenance.repository.graph_for(check.run_id),
+                       store)
+    publish_curation_history(pipeline.history, store)
+
+    return {
+        "collection": collection, "truth": truth, "journal": journal,
+        "pipeline": pipeline, "pipeline_report": pipeline_report,
+        "check": check, "quality": quality, "ledger": ledger,
+        "ro": ro, "package": package, "migrations": migrations,
+        "store": store, "provenance": provenance,
+    }
+
+
+class TestCuration:
+    def test_typos_repaired(self, life_cycle):
+        report = life_cycle["pipeline_report"].name_repair
+        assert report is not None and report.repairs
+
+    def test_detection_found_planted_names(self, life_cycle):
+        check = life_cycle["check"]
+        truth = life_cycle["truth"]
+        assert set(check.updated_names) <= set(truth.outdated_species)
+        assert len(check.updated_names) >= len(
+            truth.outdated_species) - 1  # tolerate one flaky miss
+
+    def test_quality_close_to_truth(self, life_cycle):
+        measured = life_cycle["quality"].value("accuracy")
+        expected = life_cycle["truth"].expected_name_accuracy
+        assert measured == pytest.approx(expected, abs=0.03)
+
+
+class TestArtifacts:
+    def test_ro_is_reproducible_and_sound(self, life_cycle):
+        assert life_cycle["ro"].verify() == []
+
+    def test_ledger_holds_the_assessment(self, life_cycle):
+        ledger = life_cycle["ledger"]
+        subject = life_cycle["quality"].subject
+        assert ledger.latest(subject, "accuracy").year == 2013
+
+    def test_package_answers_everything(self, life_cycle):
+        package = life_cycle["package"]
+        assert all(package.capability_profile().values())
+
+    def test_migration_plan_spans_lifetime(self, life_cycle):
+        migrations = life_cycle["migrations"]
+        cost = plan_cost(life_cycle["package"], migrations)
+        assert cost["migrations"] == len(migrations)
+        assert all(2013 < event.year < 2053 for event in migrations)
+
+    def test_triples_cover_all_layers(self, life_cycle):
+        from repro.linkeddata.vocab import DWC, PROV, REPRO
+
+        store = life_cycle["store"]
+        assert store.resources_of_type(DWC.Occurrence)
+        assert store.resources_of_type(PROV.Activity)
+        assert store.resources_of_type(REPRO.Revision)
+
+
+class TestDurability:
+    def test_whole_world_recovers(self, life_cycle):
+        from repro.storage import Database
+
+        recovered = Database.recover("lc", life_cycle["journal"])
+        original = life_cycle["collection"].database
+        for table in ("recordings", "curation_history",
+                      "species_updates"):
+            assert recovered.count(table) == original.count(table), table

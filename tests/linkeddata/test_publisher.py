@@ -1,0 +1,105 @@
+"""Publishers: collection / provenance / history -> triples."""
+
+import datetime as dt
+
+import pytest
+
+from repro.curation.history import CurationHistory
+from repro.linkeddata.publisher import (
+    publish_collection,
+    publish_curation_history,
+    publish_provenance,
+    record_iri,
+    species_iri,
+)
+from repro.linkeddata.triples import Literal, TripleStore
+from repro.linkeddata.vocab import DWC, PROV, RDF, REPRO
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def tiny_collection():
+    collection = SoundCollection("tiny")
+    collection.add(SoundRecord(
+        record_id=1, species="Hyla alba", genus="Hyla",
+        collect_date=dt.date(1975, 6, 1), country="Brasil",
+        state="Sao Paulo", latitude=-23.0, longitude=-47.0,
+        habitat="cerrado", recordist="J. Vielliard"))
+    collection.add(SoundRecord(record_id=2))  # nearly empty record
+    return collection
+
+
+class TestCollectionPublishing:
+    def test_occurrence_typing(self, tiny_collection):
+        store = publish_collection(tiny_collection)
+        occurrences = store.resources_of_type(DWC.Occurrence)
+        assert len(occurrences) == 2
+
+    def test_darwin_core_terms(self, tiny_collection):
+        store = publish_collection(tiny_collection)
+        subject = record_iri("tiny", 1)
+        assert store.value(subject, DWC.scientificName) == Literal(
+            "Hyla alba")
+        assert store.value(subject, DWC.eventDate) == Literal("1975-06-01")
+        assert store.value(subject, DWC.decimalLatitude) == Literal(-23.0)
+        assert store.value(subject, DWC.recordedBy) == Literal(
+            "J. Vielliard")
+
+    def test_missing_fields_produce_no_triples(self, tiny_collection):
+        store = publish_collection(tiny_collection)
+        subject = record_iri("tiny", 2)
+        assert store.value(subject, DWC.scientificName) is None
+
+    def test_taxon_link(self, tiny_collection):
+        store = publish_collection(tiny_collection)
+        taxon = store.value(record_iri("tiny", 1), REPRO.taxon)
+        assert taxon == species_iri("Hyla alba")
+
+    def test_into_existing_store(self, tiny_collection):
+        store = TripleStore()
+        result = publish_collection(tiny_collection, store)
+        assert result is store
+        assert len(store) > 0
+
+
+class TestProvenancePublishing:
+    def test_opm_to_prov_mapping(self, small_collection, reliable_service):
+        from repro.curation.species_check import SpeciesNameChecker
+        from repro.provenance.manager import ProvenanceManager
+
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        graph = provenance.repository.graph_for(result.run_id)
+        store = publish_provenance(graph)
+        activities = store.resources_of_type(PROV.Activity)
+        assert len(activities) == 3
+        assert len(store.resources_of_type(PROV.Agent)) == 1
+        # quality annotations become quality triples
+        catalogue_node = REPRO[f"prov/{result.run_id}/Catalog_of_life"]
+        assert store.value(catalogue_node,
+                           REPRO["quality/reputation"]) == Literal(1.0)
+        # edges mapped
+        assert any(store.match(None, PROV.used, None))
+        assert any(store.match(None, PROV.wasGeneratedBy, None))
+
+
+class TestHistoryPublishing:
+    def test_approved_changes_become_revisions(self, tiny_collection):
+        history = CurationHistory(tiny_collection)
+        change = history.propose(1, "species", "Hyla alba", "Hyla albata",
+                                 "test", auto_approve=True,
+                                 curator="dr. toledo")
+        history.propose(2, "species", None, "ignored", "test")  # flagged
+        store = publish_curation_history(history)
+        revisions = store.resources_of_type(REPRO.Revision)
+        assert len(revisions) == 1
+        revision = revisions[0]
+        assert store.value(revision, PROV.wasRevisionOf) == record_iri(
+            "tiny", 1)
+        assert store.value(revision, REPRO.newValue) == Literal(
+            "Hyla albata")
+        assert store.value(revision, PROV.wasAttributedTo) == Literal(
+            "dr. toledo")

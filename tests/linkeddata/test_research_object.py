@@ -1,0 +1,107 @@
+"""Research Objects: aggregation, completeness, integrity."""
+
+import pytest
+
+from repro.core.manager import DataQualityManager
+from repro.curation.species_check import SpeciesNameChecker
+from repro.errors import ReproError
+from repro.linkeddata.research_object import ResearchObject
+from repro.linkeddata.vocab import DC, PROV, RDF, REPRO
+from repro.provenance.manager import ProvenanceManager
+
+
+@pytest.fixture()
+def investigation(small_collection, reliable_service):
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(small_collection, reliable_service,
+                                 provenance=provenance)
+    result = checker.run()
+    manager = DataQualityManager(provenance=provenance.repository)
+    report = manager.assess_species_check_run(result.run_id)
+    return small_collection, checker, provenance, result, report
+
+
+def build_ro(investigation, complete=True):
+    collection, checker, provenance, result, report = investigation
+    ro = ResearchObject("fnjv-2013", "FNJV name curation 2013",
+                        creator="C. Medeiros")
+    ro.aggregate_dataset(collection)
+    ro.aggregate_method(checker.workflow)
+    ro.aggregate_run(provenance.repository, result.run_id)
+    if complete:
+        ro.aggregate_quality(report)
+    return ro
+
+
+class TestCompleteness:
+    def test_empty_ro_lists_everything(self):
+        ro = ResearchObject("x", "t", "c")
+        assert set(ro.missing_components()) == {
+            "dataset", "method (workflow)", "execution provenance",
+            "quality assessment"}
+        assert not ro.reproducible
+
+    def test_complete_ro(self, investigation):
+        ro = build_ro(investigation)
+        assert ro.missing_components() == []
+        assert ro.reproducible
+
+    def test_partially_aggregated(self, investigation):
+        ro = build_ro(investigation, complete=False)
+        assert ro.missing_components() == ["quality assessment"]
+
+
+class TestIntegrity:
+    def test_sound_ro_verifies(self, investigation):
+        assert build_ro(investigation).verify() == []
+
+    def test_unknown_run_rejected_at_aggregation(self, investigation):
+        __, __, provenance, __, __report = investigation
+        ro = ResearchObject("x", "t", "c")
+        with pytest.raises(ReproError):
+            ro.aggregate_run(provenance.repository, "run-9999")
+
+    def test_wrong_workflow_detected(self, investigation):
+        from repro.workflow.model import Processor, Workflow
+
+        ro = build_ro(investigation)
+        other = Workflow("some_other_workflow")
+        other.add_processor(Processor("p", "identity"))
+        ro.aggregate_method(other)
+        problems = ro.verify()
+        assert any("some_other_workflow" in p for p in problems)
+
+    def test_report_for_foreign_run_detected(self, investigation):
+        from repro.core.assessment import AssessmentReport
+
+        ro = build_ro(investigation)
+        foreign = AssessmentReport("other", run_id="run-7777")
+        ro.aggregate_quality(foreign)
+        problems = ro.verify()
+        assert any("run-7777" in p for p in problems)
+
+
+class TestManifestAndTriples:
+    def test_manifest_shape(self, investigation):
+        collection, checker, __, result, __report = investigation
+        ro = build_ro(investigation)
+        ro.add_contributor("R. Sousa")
+        manifest = ro.manifest()
+        assert manifest["reproducible"] is True
+        assert manifest["dataset"]["records"] == len(collection)
+        assert manifest["method"]["workflow"] == checker.workflow.name
+        assert manifest["runs"] == [result.run_id]
+        assert manifest["contributors"] == ["R. Sousa"]
+        assert manifest["quality"]["values"]
+
+    def test_triples(self, investigation):
+        ro = build_ro(investigation)
+        store = ro.to_triples()
+        assert store.resources_of_type(REPRO.ResearchObject) == [ro.iri]
+        assert store.value(ro.iri, DC.creator) is not None
+        assert store.objects(ro.iri, PROV.hadPrimarySource)
+
+    def test_repr_shows_status(self, investigation):
+        ro = ResearchObject("x", "t", "c")
+        assert "missing" in repr(ro)
+        assert "reproducible" in repr(build_ro(investigation))

@@ -1,0 +1,116 @@
+"""Shadows: publications, projections, cross-referencing."""
+
+import pytest
+
+from repro.linkeddata.shadows import (
+    CrossReferencer,
+    Publication,
+    Shadow,
+    generate_publications,
+)
+from repro.linkeddata.triples import Literal, TripleStore
+from repro.linkeddata.vocab import DC, REPRO
+
+
+def make_pub(pub_id, community, year, species):
+    return Publication(pub_id, f"Title {pub_id}", ["Author"],
+                       community, year, species)
+
+
+class TestPublication:
+    def test_unknown_community_rejected(self):
+        with pytest.raises(ValueError):
+            make_pub("p1", "astrology", 2000, ["Hyla alba"])
+
+    def test_shadow_triples(self):
+        publication = make_pub("p1", "ecology", 2001, ["Hyla alba"])
+        store = Shadow(publication).to_triples()
+        assert store.value(publication.iri, DC.title) == Literal(
+            "Title p1")
+        assert store.value(publication.iri, REPRO.community) == Literal(
+            "ecology")
+        taxa = store.objects(publication.iri, REPRO.mentionsTaxon)
+        assert len(taxa) == 1
+
+
+class TestCrossReferencer:
+    def test_exact_link(self, small_catalogue):
+        left = make_pub("p1", "ecology", 2012, ["Scinax fuscomarginatus"])
+        right = make_pub("p2", "bioacoustics", 2013,
+                         ["Scinax fuscomarginatus"])
+        links = CrossReferencer(small_catalogue).links([left, right])
+        assert len(links) == 1
+        assert links[0].via == "exact"
+        assert links[0].crosses_communities
+
+    def test_synonym_link_found_only_when_curated(self, small_catalogue):
+        # "Elachistocleis ovalis" became "Nomen inquirenda" in 2010:
+        # a 2005 paper uses the old name, a 2012 paper the new one
+        old_paper = make_pub("p1", "ecology", 2005,
+                             ["Elachistocleis ovalis"])
+        new_paper = make_pub("p2", "taxonomy", 2012, ["Nomen inquirenda"])
+        referencer = CrossReferencer(small_catalogue)
+        raw = referencer.links([old_paper, new_paper], curated=False)
+        curated = referencer.links([old_paper, new_paper], curated=True)
+        assert raw == []
+        assert len(curated) == 1
+        assert curated[0].via == "synonym"
+        assert curated[0].taxon == "Nomen inquirenda"
+
+    def test_same_publication_not_self_linked(self, small_catalogue):
+        paper = make_pub("p1", "ecology", 2000,
+                         ["Hyla alba", "Hyla alba"])
+        assert CrossReferencer(small_catalogue).links([paper]) == []
+
+    def test_same_community_excluded_from_cross_links(self,
+                                                      small_catalogue):
+        a = make_pub("p1", "ecology", 2000, ["Scinax fuscomarginatus"])
+        b = make_pub("p2", "ecology", 2001, ["Scinax fuscomarginatus"])
+        referencer = CrossReferencer(small_catalogue)
+        assert len(referencer.links([a, b])) == 1
+        assert referencer.cross_community_links([a, b]) == []
+
+    def test_curation_dividend_counts(self, small_catalogue):
+        publications = generate_publications(small_catalogue, count=50,
+                                             seed=7)
+        dividend = CrossReferencer(small_catalogue).curation_dividend(
+            publications)
+        assert dividend["curated_links"] >= dividend["raw_links"]
+        assert dividend["recovered_by_curation"] == (
+            dividend["curated_links"] - dividend["raw_links"])
+        assert dividend["recovered_by_curation"] > 0
+
+
+class TestGenerator:
+    def test_deterministic(self, small_catalogue):
+        a = generate_publications(small_catalogue, count=10, seed=3)
+        b = generate_publications(small_catalogue, count=10, seed=3)
+        assert [(p.title, p.species_mentioned) for p in a] == [
+            (p.title, p.species_mentioned) for p in b]
+
+    def test_era_correct_names(self, small_catalogue):
+        """Every cited name must be the accepted form as of the paper's
+        year."""
+        publications = generate_publications(small_catalogue, count=30,
+                                             seed=4)
+        for publication in publications:
+            for name in publication.species_mentioned:
+                current, applied = (
+                    small_catalogue.registry.current_name(
+                        name, publication.year))
+                assert current == name, (
+                    f"{publication.pub_id} ({publication.year}) cites "
+                    f"{name!r} but it was already {current!r}")
+
+    def test_old_papers_carry_outdated_names(self, small_catalogue):
+        publications = generate_publications(small_catalogue, count=80,
+                                             first_year=1985,
+                                             last_year=1995, seed=5)
+        outdated_as_of_2013 = small_catalogue.registry.changed_names(2013)
+        cited = {
+            name for publication in publications
+            for name in publication.species_mentioned
+        }
+        assert cited & outdated_as_of_2013, (
+            "old publications should cite at least one name that later "
+            "changed")

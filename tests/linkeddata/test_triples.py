@@ -1,0 +1,166 @@
+"""The triple store: terms, indexing, pattern matching."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkeddata.triples import (
+    IRI,
+    Literal,
+    Namespace,
+    Triple,
+    TripleStore,
+)
+from repro.linkeddata.vocab import DC, RDF, REPRO
+
+
+@pytest.fixture()
+def store():
+    s = TripleStore()
+    s.add(REPRO["a"], RDF.type, REPRO.Publication)
+    s.add(REPRO["a"], DC.title, Literal("Paper A"))
+    s.add(REPRO["b"], RDF.type, REPRO.Publication)
+    s.add(REPRO["a"], REPRO.cites, REPRO["b"])
+    return s
+
+
+class TestTerms:
+    def test_iri_equality(self):
+        assert IRI("x") == IRI("x")
+        assert IRI("x") != IRI("y")
+        assert IRI("x") != Literal("x")
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_local_name(self):
+        assert IRI("http://ex.org/ns#thing").local_name == "thing"
+        assert IRI("http://ex.org/path/thing").local_name == "thing"
+        assert IRI("bare").local_name == "bare"
+
+    def test_literal_equality(self):
+        assert Literal(5) == Literal(5)
+        assert Literal(5) != Literal("5")
+
+    def test_namespace(self):
+        ns = Namespace("http://ex.org/")
+        assert ns.thing == IRI("http://ex.org/thing")
+        assert ns["odd name"] == IRI("http://ex.org/odd name")
+        assert ns.term("x") == ns.x
+
+    def test_triple_type_checks(self):
+        with pytest.raises(TypeError):
+            Triple(Literal("x"), RDF.type, REPRO.y)
+        with pytest.raises(TypeError):
+            Triple(REPRO.x, Literal("p"), REPRO.y)
+        with pytest.raises(TypeError):
+            Triple(REPRO.x, RDF.type, "plain string")
+
+
+class TestStoreMutation:
+    def test_add_idempotent(self, store):
+        count = len(store)
+        store.add(REPRO["a"], RDF.type, REPRO.Publication)
+        assert len(store) == count
+
+    def test_contains(self, store):
+        assert Triple(REPRO["a"], DC.title, Literal("Paper A")) in store
+        assert Triple(REPRO["a"], DC.title, Literal("Other")) not in store
+
+    def test_remove(self, store):
+        triple = Triple(REPRO["a"], REPRO.cites, REPRO["b"])
+        assert store.remove(triple)
+        assert triple not in store
+        assert not store.remove(triple)
+        # the indexes forget it too
+        assert list(store.match(REPRO["a"], REPRO.cites, None)) == []
+
+    def test_merge(self, store):
+        other = TripleStore()
+        other.add(REPRO["c"], RDF.type, REPRO.Publication)
+        other.add(REPRO["a"], RDF.type, REPRO.Publication)  # duplicate
+        added = store.merge(other)
+        assert added == 1
+
+
+class TestPatternMatching:
+    def test_sp_pattern(self, store):
+        triples = list(store.match(REPRO["a"], RDF.type, None))
+        assert len(triples) == 1
+        assert triples[0].object == REPRO.Publication
+
+    def test_po_pattern(self, store):
+        subjects = {t.subject for t in store.match(
+            None, RDF.type, REPRO.Publication)}
+        assert subjects == {REPRO["a"], REPRO["b"]}
+
+    def test_so_pattern(self, store):
+        triples = list(store.match(REPRO["a"], None, REPRO["b"]))
+        assert [t.predicate for t in triples] == [REPRO.cites]
+
+    def test_s_only(self, store):
+        assert len(list(store.match(REPRO["a"], None, None))) == 3
+
+    def test_p_only(self, store):
+        assert len(list(store.match(None, DC.title, None))) == 1
+
+    def test_o_only(self, store):
+        assert len(list(store.match(None, None, REPRO.Publication))) == 2
+
+    def test_full_wildcard(self, store):
+        assert len(list(store.match())) == len(store)
+
+    def test_fully_bound(self, store):
+        assert len(list(store.match(REPRO["a"], RDF.type,
+                                    REPRO.Publication))) == 1
+        assert list(store.match(REPRO["a"], RDF.type, REPRO.Nothing)) == []
+
+
+class TestAccessors:
+    def test_objects_sorted(self, store):
+        store.add(REPRO["a"], REPRO.cites, REPRO["c"])
+        objects = store.objects(REPRO["a"], REPRO.cites)
+        assert objects == sorted(objects, key=lambda t: t.value)
+
+    def test_value_single(self, store):
+        assert store.value(REPRO["a"], DC.title) == Literal("Paper A")
+        assert store.value(REPRO["b"], DC.title) is None
+
+    def test_value_ambiguous_raises(self, store):
+        store.add(REPRO["a"], DC.title, Literal("Second title"))
+        with pytest.raises(ValueError):
+            store.value(REPRO["a"], DC.title)
+
+    def test_resources_of_type(self, store):
+        assert store.resources_of_type(REPRO.Publication) == [
+            REPRO["a"], REPRO["b"]]
+
+
+class TestNTriples:
+    def test_rendering(self, store):
+        text = store.to_ntriples()
+        assert '"Paper A"' in text
+        assert text.count(" .") == len(store)
+        assert all(line.endswith(" .") for line in text.splitlines())
+
+    def test_escaping(self):
+        s = TripleStore()
+        s.add(REPRO.x, DC.title, Literal('say "hi" \\ there'))
+        assert '\\"hi\\"' in s.to_ntriples()
+
+
+@given(st.lists(st.tuples(st.sampled_from("abcd"), st.sampled_from("pq"),
+                          st.integers(0, 5)), max_size=30))
+def test_match_agrees_with_linear_scan(entries):
+    store = TripleStore()
+    reference = set()
+    for s, p, o in entries:
+        store.add(REPRO[s], REPRO[p], Literal(o))
+        reference.add((s, p, o))
+    assert len(store) == len(reference)
+    for s in "abcd":
+        expected = {(x, y, z) for (x, y, z) in reference if x == s}
+        got = {(t.subject.local_name, t.predicate.local_name,
+                t.object.value)
+               for t in store.match(REPRO[s], None, None)}
+        assert got == expected

@@ -1,0 +1,75 @@
+"""Entities, measurements, observations."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observations.model import Entity, Measurement, Observation
+
+
+class TestEntity:
+    def test_basic(self):
+        entity = Entity("taxon", "Hyla alba")
+        assert entity.key == "taxon:Hyla alba"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ReproError):
+            Entity("vibe", "x")
+
+    def test_needs_name(self):
+        with pytest.raises(ReproError):
+            Entity("taxon", "")
+
+    def test_equality_and_hash(self):
+        assert Entity("taxon", "A") == Entity("taxon", "A")
+        assert Entity("taxon", "A") != Entity("location", "A")
+        assert len({Entity("taxon", "A"), Entity("taxon", "A")}) == 1
+
+
+class TestMeasurement:
+    def test_numeric_detection(self):
+        assert Measurement("t", 21.5).is_numeric
+        assert Measurement("n", 3).is_numeric
+        assert not Measurement("h", "cerrado").is_numeric
+        assert not Measurement("b", True).is_numeric
+
+    def test_needs_characteristic(self):
+        with pytest.raises(ReproError):
+            Measurement("", 1)
+
+
+class TestObservation:
+    def make(self):
+        return Observation(
+            "obs-1", Entity("taxon", "Hyla alba"),
+            measurements=[Measurement("air_temperature", 21.5, "degC"),
+                          Measurement("habitat", "cerrado")],
+            observed_at=dt.datetime(1975, 6, 1, 6, 30),
+            latitude=-23.0, longitude=-47.0, observer="JV",
+        )
+
+    def test_needs_id(self):
+        with pytest.raises(ReproError):
+            Observation("", Entity("taxon", "X y"))
+
+    def test_measurement_lookup(self):
+        observation = self.make()
+        assert observation.value_of("air_temperature") == 21.5
+        assert observation.value_of("missing", default=-1) == -1
+        assert observation.measurement("habitat").value == "cerrado"
+
+    def test_characteristics(self):
+        assert self.make().characteristics() == [
+            "air_temperature", "habitat"]
+
+    def test_context_links(self):
+        observation = self.make()
+        observation.add_context("weather-7")
+        observation.add_context("weather-7")  # idempotent
+        assert observation.context == ["weather-7"]
+
+    def test_self_context_rejected(self):
+        observation = self.make()
+        with pytest.raises(ReproError):
+            observation.add_context("obs-1")

@@ -1,0 +1,163 @@
+"""The observation store: heterogeneous sources, one query surface."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observations.adapter import (
+    observation_from_row,
+    observation_from_sound_record,
+)
+from repro.observations.model import Entity, Measurement, Observation
+from repro.observations.store import ObservationStore
+
+
+@pytest.fixture()
+def store():
+    return ObservationStore()
+
+
+def taxon_obs(obs_id, species, temp=None, lat=None, lon=None, context=()):
+    measurements = []
+    if temp is not None:
+        measurements.append(Measurement("air_temperature", temp, "degC"))
+    return Observation(obs_id, Entity("taxon", species),
+                       measurements=measurements, latitude=lat,
+                       longitude=lon, source="sounds", context=context)
+
+
+class TestRoundTrip:
+    def test_add_and_get(self, store):
+        store.add(Observation(
+            "o1", Entity("taxon", "Hyla alba"),
+            measurements=[Measurement("air_temperature", 21.5, "degC"),
+                          Measurement("habitat", "cerrado")],
+            observed_at=dt.datetime(1975, 6, 1, 6, 30),
+            latitude=-23.0, longitude=-47.0,
+            observer="JV", source="sounds"))
+        restored = store.get("o1")
+        assert restored.entity == Entity("taxon", "Hyla alba")
+        assert restored.value_of("air_temperature") == 21.5
+        assert restored.value_of("habitat") == "cerrado"
+        assert restored.observed_at == dt.datetime(1975, 6, 1, 6, 30)
+        assert restored.observer == "JV"
+
+    def test_get_missing(self, store):
+        with pytest.raises(ReproError):
+            store.get("nope")
+
+    def test_context_must_exist(self, store):
+        with pytest.raises(ReproError):
+            store.add(taxon_obs("o1", "Hyla alba", context=["ghost"]))
+
+    def test_context_chain(self, store):
+        store.add(taxon_obs("weather", "Hyla alba"))
+        store.add(taxon_obs("site", "Hyla alba", context=["weather"]))
+        store.add(taxon_obs("call", "Hyla alba", context=["site"]))
+        assert store.context_chain("call") == ["site", "weather"]
+
+
+class TestHeterogeneousSources:
+    @pytest.fixture()
+    def mixed(self, store):
+        # a sound archive source
+        for i, temp in enumerate([20.0, 24.0, 28.0], start=1):
+            store.add(taxon_obs(f"snd-{i}", "Hyla alba", temp=temp,
+                                lat=-23.0 - i * 0.1, lon=-47.0))
+        # a weather-logger source
+        for i, temp in enumerate([18.0, 31.0], start=1):
+            store.add(observation_from_row(
+                {"station": "S1", "temp": temp,
+                 "when": dt.date(1990, 1, i)},
+                obs_id=f"wx-{i}", entity_kind="device",
+                entity_column="station",
+                measurement_columns={"temp": "degC"},
+                source="weather", observed_at_column="when"))
+        return store
+
+    def test_sources_listed(self, mixed):
+        assert mixed.sources() == ["sounds", "weather"]
+
+    def test_cross_source_values(self, mixed):
+        # 'temp' vs 'air_temperature' are different characteristics;
+        # each queries cleanly
+        assert sorted(mixed.values_of("air_temperature")) == [
+            20.0, 24.0, 28.0]
+        assert sorted(mixed.values_of("temp")) == [18.0, 31.0]
+
+    def test_range_query(self, mixed):
+        assert mixed.observations_where("air_temperature", 22, 30) == [
+            "snd-2", "snd-3"]
+
+    def test_statistics(self, mixed):
+        stats = mixed.statistics("air_temperature")
+        assert stats["count"] == 3
+        assert stats["min"] == 20.0
+        assert stats["max"] == 28.0
+        assert stats["mean"] == pytest.approx(24.0)
+
+    def test_bounding_box(self, mixed):
+        hits = mixed.within_box(-23.25, -23.05, -48, -46)
+        assert hits == ["snd-1", "snd-2"]
+
+    def test_entities_by_kind(self, mixed):
+        assert mixed.entity_names("taxon") == ["Hyla alba"]
+        assert mixed.entity_names("device") == ["S1"]
+
+    def test_observations_of_entity(self, mixed):
+        observations = mixed.observations_of(Entity("taxon", "Hyla alba"))
+        assert len(observations) == 3
+
+
+class TestSoundRecordAdapter:
+    def test_full_record(self, small_collection):
+        record = next(r for r in small_collection.records()
+                      if r.species and r.air_temperature_c is not None)
+        observation = observation_from_sound_record(record)
+        assert observation.entity.kind == "taxon"
+        assert observation.entity.name == record.species
+        assert observation.value_of("air_temperature") == (
+            record.air_temperature_c)
+        assert observation.value_of("vocalization_recorded") is True
+
+    def test_speciesless_record_rejected(self):
+        from repro.sounds.record import SoundRecord
+
+        with pytest.raises(ReproError):
+            observation_from_sound_record(SoundRecord(record_id=1))
+
+    def test_collection_scale_ingest(self, small_collection):
+        store = ObservationStore()
+        count = store.add_all(
+            observation_from_sound_record(record)
+            for record in small_collection.records()
+            if record.species is not None
+        )
+        assert count == len(small_collection)
+        assert len(store) == count
+        # cross-collection query works immediately
+        stats = store.statistics("individuals")
+        assert stats["count"] > 0
+
+    def test_observed_at_uses_collect_time(self):
+        import datetime as dt
+
+        from repro.sounds.record import SoundRecord
+
+        record = SoundRecord(record_id=1, species="Hyla alba",
+                             collect_date=dt.date(1980, 3, 2),
+                             collect_time="05:45")
+        observation = observation_from_sound_record(record)
+        assert observation.observed_at == dt.datetime(1980, 3, 2, 5, 45)
+
+    def test_garbled_time_defaults_to_noon(self):
+        import datetime as dt
+
+        from repro.sounds.record import SoundRecord
+
+        record = SoundRecord(record_id=1, species="Hyla alba",
+                             collect_date=dt.date(1980, 3, 2),
+                             collect_time="99:99")
+        observation = observation_from_sound_record(record)
+        assert observation.observed_at.hour == 12

@@ -1,0 +1,66 @@
+"""OPM accounts across runs: view isolation and merge/split."""
+
+import pytest
+
+from repro.provenance.graph import summarize
+from repro.provenance.manager import ProvenanceManager
+from repro.provenance.opm import OPMGraph
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+
+@pytest.fixture()
+def two_runs():
+    wf = Workflow("acc_demo")
+    wf.add_processor(Processor("d", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.map_input("v", "d", "values")
+    wf.map_output("o", "d", "values")
+    engine = WorkflowEngine()
+    manager = ProvenanceManager()
+    manager.attach(engine)
+    first = engine.run(wf, {"v": [1, 2]})
+    second = engine.run(wf, {"v": [3]})
+    return manager, first, second
+
+
+class TestAccountsPerRun:
+    def test_nodes_carry_run_account(self, two_runs):
+        manager, first, __ = two_runs
+        graph = manager.repository.graph_for(first.run_id)
+        for node in graph.nodes():
+            assert first.run_id in node.accounts
+
+    def test_view_isolates_runs_after_merge(self, two_runs):
+        manager, first, second = two_runs
+        merged = OPMGraph("merged")
+        merged.merge(manager.repository.graph_for(first.run_id))
+        merged.merge(manager.repository.graph_for(second.run_id))
+        # the shared agent node belongs to both accounts
+        agents = list(merged.nodes("agent"))
+        assert len(agents) == 1
+        assert {first.run_id, second.run_id} <= agents[0].accounts
+
+        first_view = merged.view(first.run_id)
+        # processes of the other run are invisible in this account
+        process_ids = {p.id for p in first_view.nodes("process")}
+        assert process_ids == {f"{first.run_id}/d"}
+
+    def test_merged_summary_is_additive_minus_shared_agent(self, two_runs):
+        manager, first, second = two_runs
+        g1 = manager.repository.graph_for(first.run_id)
+        g2 = manager.repository.graph_for(second.run_id)
+        merged = OPMGraph("merged")
+        merged.merge(g1)
+        merged.merge(g2)
+        s1, s2, sm = summarize(g1), summarize(g2), summarize(merged)
+        assert sm["processes"] == s1["processes"] + s2["processes"]
+        assert sm["agents"] == 1  # shared operator
+        assert sm["artifacts"] == s1["artifacts"] + s2["artifacts"]
+
+    def test_accounts_listed(self, two_runs):
+        manager, first, second = two_runs
+        merged = OPMGraph("merged")
+        merged.merge(manager.repository.graph_for(first.run_id))
+        merged.merge(manager.repository.graph_for(second.run_id))
+        assert {first.run_id, second.run_id} <= merged.accounts()

@@ -1,0 +1,132 @@
+"""The Provenance Manager: trace -> OPM mapping and capture."""
+
+import pytest
+
+from repro.provenance.graph import (
+    ancestors,
+    derivation_sources,
+    is_acyclic,
+    summarize,
+)
+from repro.provenance.manager import ProvenanceManager
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.builtins import register_function
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+register_function("pm_double", lambda values: [v * 2 for v in values])
+
+
+@pytest.fixture()
+def setup():
+    wf = Workflow("pm_demo")
+    wf.add_processor(Processor("dedup", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.add_processor(Processor("dbl", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "pm_double"}))
+    wf.map_input("names", "dedup", "values")
+    wf.link("dedup", "values", "dbl", "values")
+    wf.map_output("out", "dbl", "result")
+    wf.processor("dbl").annotate(
+        AnnotationAssertion("Q(reliability): 0.8;"))
+    engine = WorkflowEngine()
+    manager = ProvenanceManager()
+    manager.attach(engine)
+    result = engine.run(wf, {"names": [1, 2, 2]})
+    return wf, engine, manager, result
+
+
+class TestCapture:
+    def test_run_is_persisted(self, setup):
+        __, __, manager, result = setup
+        assert result.run_id in manager.repository.run_ids()
+
+    def test_graph_shape(self, setup):
+        __, __, manager, result = setup
+        graph = manager.repository.graph_for(result.run_id)
+        summary = summarize(graph)
+        assert summary["processes"] == 2
+        assert summary["agents"] == 1
+        assert summary["used"] == 2
+        assert summary["wasGeneratedBy"] == 2
+        assert summary["wasTriggeredBy"] == 1
+        assert summary["wasControlledBy"] == 2
+
+    def test_graph_acyclic(self, setup):
+        __, __, manager, result = setup
+        assert is_acyclic(manager.repository.graph_for(result.run_id))
+
+    def test_quality_annotations_travel_with_provenance(self, setup):
+        __, __, manager, result = setup
+        annotations = manager.repository.process_annotations(result.run_id)
+        assert annotations == {"dbl": {"reliability": 0.8}}
+
+    def test_output_lineage_reaches_workflow_input(self, setup):
+        __, __, manager, result = setup
+        graph = manager.repository.graph_for(result.run_id)
+        output_binding = [
+            b for b in result.trace.bindings
+            if b.processor == Workflow.IO and b.direction == "output"
+        ][0]
+        sources = derivation_sources(graph, output_binding.artifact_id)
+        input_binding = [
+            b for b in result.trace.bindings
+            if b.processor == Workflow.IO and b.direction == "input"
+        ][0]
+        assert sources == {input_binding.artifact_id}
+
+    def test_agent_controls_every_process(self, setup):
+        __, __, manager, result = setup
+        graph = manager.repository.graph_for(result.run_id)
+        controlled = {e.effect for e in graph.edges("wasControlledBy")}
+        processes = {p.id for p in graph.nodes("process")}
+        assert controlled == processes
+
+    def test_ancestors_of_output_include_both_processes(self, setup):
+        __, __, manager, result = setup
+        graph = manager.repository.graph_for(result.run_id)
+        output_binding = [
+            b for b in result.trace.bindings
+            if b.processor == Workflow.IO and b.direction == "output"
+        ][0]
+        upstream = ancestors(graph, output_binding.artifact_id)
+        assert f"{result.run_id}/dedup" in upstream
+        assert f"{result.run_id}/dbl" in upstream
+
+
+class TestValueSummaries:
+    def test_large_values_summarized(self):
+        from repro.provenance.manager import _safe_value
+
+        assert _safe_value(list(range(1000))) == "<list of 1000 items>"
+        assert _safe_value({"a": 1}) == "<mapping of 1 entries>"
+        assert _safe_value("x" * 300).endswith("...")
+        assert _safe_value(42) == 42
+        assert _safe_value(None) is None
+
+
+class TestMultipleRuns:
+    def test_each_run_captured_separately(self, setup):
+        wf, engine, manager, first = setup
+        second = engine.run(wf, {"names": [9]})
+        assert len(manager.repository) == 2
+        assert manager.repository.trace_for(second.run_id).inputs == {
+            "names": [9]}
+
+    def test_failed_runs_also_captured(self):
+        register_function("pm_boom", lambda **kw: (_ for _ in ()).throw(
+            RuntimeError("x")))
+        wf = Workflow("failing")
+        wf.add_processor(Processor("b", "python", inputs=["x"],
+                                   outputs=["y"],
+                                   config={"function": "pm_boom"}))
+        wf.map_input("x", "b", "x")
+        wf.map_output("y", "b", "y")
+        engine = WorkflowEngine()
+        manager = ProvenanceManager()
+        manager.attach(engine)
+        with pytest.raises(Exception):
+            engine.run(wf, {"x": 1})
+        run_id = manager.repository.run_ids()[0]
+        assert manager.repository.trace_for(run_id).status == "failed"

@@ -1,0 +1,168 @@
+"""OPM model conformance: node kinds, edge typing, accounts."""
+
+import pytest
+
+from repro.errors import InvalidEdgeError, ProvenanceError, UnknownNodeError
+from repro.provenance.opm import (
+    Agent,
+    Artifact,
+    Edge,
+    OPMGraph,
+    Process,
+)
+
+
+@pytest.fixture()
+def graph():
+    g = OPMGraph("g")
+    g.add_artifact("a1", label="input")
+    g.add_artifact("a2", label="output")
+    g.add_process("p1", label="transform")
+    g.add_agent("ag1", label="operator")
+    return g
+
+
+class TestNodes:
+    def test_kinds(self):
+        assert Artifact("a").kind == "artifact"
+        assert Process("p").kind == "process"
+        assert Agent("g").kind == "agent"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ProvenanceError):
+            Artifact("")
+
+    def test_label_defaults_to_id(self):
+        assert Artifact("a1").label == "a1"
+
+    def test_re_add_merges_accounts_and_annotations(self, graph):
+        graph.add_artifact("a1", accounts=["run2"],
+                           annotations={"extra": 1})
+        node = graph.node("a1")
+        assert "run2" in node.accounts
+        assert node.annotations["extra"] == 1
+
+    def test_id_reuse_across_kinds_rejected(self, graph):
+        with pytest.raises(ProvenanceError):
+            graph.add_process("a1")
+
+    def test_unknown_node(self, graph):
+        with pytest.raises(UnknownNodeError):
+            graph.node("ghost")
+
+    def test_node_iterators(self, graph):
+        assert {n.id for n in graph.artifacts()} == {"a1", "a2"}
+        assert {n.id for n in graph.processes()} == {"p1"}
+        assert {n.id for n in graph.agents()} == {"ag1"}
+
+
+class TestEdges:
+    def test_used(self, graph):
+        edge = graph.used("p1", "a1", role="names")
+        assert edge.kind == "used"
+        assert edge.role == "names"
+
+    def test_was_generated_by(self, graph):
+        graph.was_generated_by("a2", "p1", role="summary")
+
+    def test_was_controlled_by(self, graph):
+        graph.was_controlled_by("p1", "ag1", role="operator")
+
+    def test_was_triggered_by(self, graph):
+        graph.add_process("p2")
+        graph.was_triggered_by("p2", "p1")
+
+    def test_was_derived_from(self, graph):
+        graph.was_derived_from("a2", "a1")
+
+    def test_used_requires_process_effect(self, graph):
+        with pytest.raises(InvalidEdgeError):
+            graph.used("a1", "a2")
+
+    def test_generated_requires_artifact_effect(self, graph):
+        with pytest.raises(InvalidEdgeError):
+            graph.was_generated_by("p1", "p1")
+
+    def test_controlled_requires_agent_cause(self, graph):
+        with pytest.raises(InvalidEdgeError):
+            graph.was_controlled_by("p1", "a1")
+
+    def test_edge_to_missing_node(self, graph):
+        with pytest.raises(UnknownNodeError):
+            graph.used("p1", "ghost")
+
+    def test_unknown_edge_kind(self):
+        with pytest.raises(InvalidEdgeError):
+            Edge("causedBy", "a", "b")
+
+    def test_edges_filter_by_kind(self, graph):
+        graph.used("p1", "a1")
+        graph.was_generated_by("a2", "p1")
+        assert len(list(graph.edges("used"))) == 1
+        assert len(list(graph.edges())) == 2
+
+    def test_edges_from_and_to(self, graph):
+        graph.used("p1", "a1")
+        assert [e.cause for e in graph.edges_from("p1")] == ["a1"]
+        assert [e.effect for e in graph.edges_to("a1")] == ["p1"]
+
+
+class TestAccounts:
+    def test_account_collection(self, graph):
+        graph.add_artifact("a3", accounts=["alpha"])
+        edge = graph.used("p1", "a1")
+        edge.accounts.add("beta")
+        assert {"alpha", "beta"} <= graph.accounts()
+
+    def test_view_restricts(self):
+        g = OPMGraph()
+        g.add_artifact("a", accounts=["x"])
+        g.add_artifact("b", accounts=["y"])
+        g.add_process("p", accounts=["x", "y"])
+        g.add_edge(Edge("used", "p", "a", accounts=["x"]))
+        view = g.view("x")
+        assert view.has_node("a")
+        assert not view.has_node("b")
+        assert len(list(view.edges())) == 1
+
+
+class TestMergeAndSerialization:
+    def test_merge_unions(self, graph):
+        other = OPMGraph("other")
+        other.add_artifact("a9")
+        other.add_process("p9")
+        other.used("p9", "a9")
+        graph.merge(other)
+        assert graph.has_node("a9")
+        assert any(e.effect == "p9" for e in graph.edges("used"))
+
+    def test_merge_deduplicates_edges(self, graph):
+        graph.used("p1", "a1")
+        clone = OPMGraph.from_dict(graph.to_dict())
+        graph.merge(clone)
+        assert len(list(graph.edges("used"))) == 1
+
+    def test_dict_round_trip(self, graph):
+        graph.used("p1", "a1", role="r")
+        graph.was_generated_by("a2", "p1")
+        restored = OPMGraph.from_dict(graph.to_dict())
+        assert {n.id for n in restored.nodes()} == {"a1", "a2", "p1", "ag1"}
+        assert len(list(restored.edges())) == 2
+        assert next(restored.edges("used")).role == "r"
+
+    def test_json_round_trip(self, graph):
+        from repro.provenance.serialization import (
+            graph_from_json,
+            graph_to_json,
+        )
+
+        graph.used("p1", "a1")
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored.has_node("p1")
+
+    def test_json_rejects_garbage(self):
+        from repro.errors import ProvenanceError
+        from repro.provenance.serialization import graph_from_json
+
+        with pytest.raises(ProvenanceError):
+            graph_from_json("{broken")

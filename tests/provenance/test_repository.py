@@ -1,0 +1,80 @@
+"""The Data Provenance Repository."""
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.manager import ProvenanceManager
+from repro.provenance.repository import ProvenanceRepository
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+
+def run_once(engine=None, manager=None, name="repo_demo"):
+    wf = Workflow(name)
+    wf.add_processor(Processor("d", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.map_input("v", "d", "values")
+    wf.map_output("o", "d", "values")
+    engine = engine or WorkflowEngine()
+    manager = manager or ProvenanceManager()
+    manager.attach(engine)
+    result = engine.run(wf, {"v": [1, 1, 2]})
+    return manager.repository, result, wf, engine, manager
+
+
+class TestStorage:
+    def test_store_and_fetch_graph(self):
+        repo, result, *_ = run_once()
+        graph = repo.graph_for(result.run_id)
+        assert graph.has_node(f"{result.run_id}/d")
+
+    def test_store_and_fetch_trace(self):
+        repo, result, *_ = run_once()
+        trace = repo.trace_for(result.run_id)
+        assert trace.outputs == {"o": [1, 2]}
+
+    def test_workflow_stored_alongside(self):
+        repo, result, wf, *_ = run_once()
+        stored = repo.workflow_for(result.run_id)
+        assert stored is not None
+        assert stored.name == wf.name
+
+    def test_missing_run_raises(self):
+        repo = ProvenanceRepository()
+        with pytest.raises(ProvenanceError):
+            repo.graph_for("run-9999")
+
+    def test_restore_replaces_same_run_id(self):
+        repo, result, wf, engine, manager = run_once()
+        # capture the same trace again: must replace, not duplicate
+        manager.capture(result.trace, wf)
+        assert len(repo) == 1
+
+
+class TestQueries:
+    def test_run_ids_filtered_by_workflow(self):
+        engine = WorkflowEngine()
+        manager = ProvenanceManager()
+        repo, result, *_ = run_once(engine, manager, name="alpha")
+        run_once(engine, manager, name="beta")
+        assert len(repo.run_ids()) == 2
+        assert repo.run_ids("alpha") == [result.run_id]
+
+    def test_latest_run_id(self):
+        engine = WorkflowEngine()
+        manager = ProvenanceManager()
+        repo, first, *_ = run_once(engine, manager, name="alpha")
+        __, second, *_ = run_once(engine, manager, name="alpha")
+        assert repo.latest_run_id("alpha") == second.run_id
+        assert repo.latest_run_id("ghost") is None
+
+    def test_runs_metadata(self):
+        repo, result, *_ = run_once()
+        rows = list(repo.runs())
+        assert len(rows) == 1
+        assert rows[0]["status"] == "completed"
+        assert "trace" not in rows[0]  # heavy payloads excluded
+
+    def test_process_annotations_empty_without_quality(self):
+        repo, result, *_ = run_once()
+        assert repo.process_annotations(result.run_id) == {}

@@ -1,0 +1,118 @@
+"""Synthetic acoustic features and k-NN retrieval."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.sounds.acoustic import (
+    FEATURE_NAMES,
+    AcousticIndex,
+    extract_features,
+    species_prototype,
+)
+from repro.sounds.record import SoundRecord
+
+
+def record(record_id, species, month=6, habitat=None):
+    return SoundRecord(record_id=record_id, species=species,
+                       collect_date=dt.date(1990, month, 10),
+                       habitat=habitat)
+
+
+class TestFeatureExtraction:
+    def test_deterministic(self):
+        a = extract_features(record(1, "Hyla alba"))
+        b = extract_features(record(1, "Hyla alba"))
+        assert np.allclose(a, b)
+
+    def test_vector_shape(self):
+        features = extract_features(record(1, "Hyla alba"))
+        assert features.shape == (len(FEATURE_NAMES),)
+
+    def test_no_species_no_features(self):
+        assert extract_features(SoundRecord(record_id=1)) is None
+
+    def test_prototype_deterministic_in_name(self):
+        assert np.allclose(species_prototype("Hyla alba"),
+                           species_prototype("Hyla alba"))
+        assert not np.allclose(species_prototype("Hyla alba"),
+                               species_prototype("Scinax ruber"))
+
+    def test_within_species_variation(self):
+        """Different recordings of one species differ (the paper's
+        'vary widely'), but stay closer to their prototype than random
+        other species on average."""
+        vectors = [
+            extract_features(record(i, "Hyla alba", month=(i % 12) + 1))
+            for i in range(1, 21)
+        ]
+        stacked = np.vstack(vectors)
+        assert np.any(stacked.std(axis=0) > 0)
+
+    def test_context_shifts_features(self):
+        june = extract_features(record(1, "Hyla alba", month=6))
+        december = extract_features(record(1, "Hyla alba", month=12))
+        assert not np.allclose(june, december)
+
+    def test_habitat_coloration(self):
+        forest = extract_features(
+            record(1, "Hyla alba", habitat="atlantic forest"))
+        open_land = extract_features(
+            record(1, "Hyla alba", habitat="grassland"))
+        assert forest[0] != open_land[0]
+
+
+class TestAcousticIndex:
+    @pytest.fixture()
+    def index(self):
+        index = AcousticIndex()
+        for i in range(1, 16):
+            index.add(record(i, "Hyla alba", month=(i % 12) + 1))
+        for i in range(16, 31):
+            index.add(record(i, "Scinax ruber", month=(i % 12) + 1))
+        return index
+
+    def test_add_all_counts_indexable(self):
+        index = AcousticIndex()
+        added = index.add_all([record(1, "Hyla alba"),
+                               SoundRecord(record_id=2)])
+        assert added == 1
+        assert len(index) == 1
+
+    def test_similar_recordings_exclude_self(self, index):
+        results = index.similar_recordings(record(1, "Hyla alba"), k=5)
+        assert all(record_id != 1 for record_id, __, __d in results)
+        assert len(results) == 5
+
+    def test_distances_sorted(self, index):
+        results = index.similar_recordings(record(1, "Hyla alba"), k=10)
+        distances = [d for __, __s, d in results]
+        assert distances == sorted(distances)
+
+    def test_retrieval_accuracy_bounds(self, index):
+        accuracy = index.retrieval_accuracy()
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_retrieval_beats_chance_but_imperfect(self, small_collection):
+        """The §II-C shape: retrieval works far better than chance yet
+        is hampered by contextual variation."""
+        index = AcousticIndex()
+        index.add_all(small_collection.records())
+        accuracy = index.retrieval_accuracy(sample=250)
+        n_species = len(small_collection.distinct_species())
+        chance = 1 / n_species
+        assert accuracy > 10 * chance
+        assert accuracy < 0.95
+
+    def test_confusions_reported(self, small_collection):
+        index = AcousticIndex()
+        index.add_all(small_collection.records())
+        confusions = index.species_confusions(sample=200)
+        assert confusions, "imperfect retrieval must confuse some taxa"
+        for (true, retrieved), count in confusions.items():
+            assert true != retrieved
+            assert count >= 1
+
+    def test_empty_index_accuracy(self):
+        assert AcousticIndex().retrieval_accuracy() == 0.0

@@ -1,0 +1,103 @@
+"""The sound collection on the storage engine."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def tiny():
+    collection = SoundCollection("tiny")
+    rows = [
+        ("Hyla alba", -23.0, -47.0, dt.date(1970, 1, 1)),
+        ("Hyla alba", -23.1, -47.1, dt.date(1972, 5, 1)),
+        ("Scinax ruber", None, None, dt.date(1980, 3, 1)),
+        (None, -10.0, -60.0, None),
+    ]
+    for index, (species, lat, lon, date) in enumerate(rows, start=1):
+        collection.add(SoundRecord(
+            record_id=index, species=species, latitude=lat,
+            longitude=lon, collect_date=date,
+        ))
+    return collection
+
+
+class TestIngest:
+    def test_len(self, tiny):
+        assert len(tiny) == 4
+
+    def test_auto_record_id(self):
+        collection = SoundCollection()
+        rid = collection.add(SoundRecord(species="Hyla alba"))
+        assert rid == 1
+        assert collection.record(1).species == "Hyla alba"
+
+    def test_add_many(self):
+        collection = SoundCollection()
+        records = [SoundRecord(record_id=i) for i in range(1, 6)]
+        assert collection.add_many(records) == 5
+        assert len(collection) == 5
+
+    def test_duplicate_record_id_rejected(self, tiny):
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            tiny.add(SoundRecord(record_id=1))
+
+
+class TestAccess:
+    def test_record_round_trip(self, tiny):
+        record = tiny.record(1)
+        assert record.species == "Hyla alba"
+        assert record.collect_date == dt.date(1970, 1, 1)
+
+    def test_records_iteration(self, tiny):
+        assert sum(1 for __ in tiny.records()) == 4
+
+    def test_records_for_species(self, tiny):
+        records = tiny.records_for_species("Hyla alba")
+        assert [r.record_id for r in records] == [1, 2]
+
+    def test_distinct_species_excludes_null(self, tiny):
+        assert tiny.distinct_species() == ["Hyla alba", "Scinax ruber"]
+
+    def test_species_record_counts(self, tiny):
+        assert tiny.species_record_counts() == {
+            "Hyla alba": 2, "Scinax ruber": 1}
+
+    def test_occurrences_requires_coordinates(self, tiny):
+        assert len(tiny.occurrences("Hyla alba")) == 2
+        assert tiny.occurrences("Scinax ruber") == []
+
+
+class TestStatistics:
+    def test_completeness_by_group(self, tiny):
+        by_group = tiny.completeness_by_group()
+        assert set(by_group) == {1, 2, 3}
+        assert all(0 <= v <= 1 for v in by_group.values())
+
+    def test_field_completeness(self, tiny):
+        per_field = tiny.field_completeness()
+        assert per_field["record_id"] == 1.0
+        assert per_field["species"] == 0.75
+        assert per_field["habitat"] == 0.0
+
+    def test_empty_collection_statistics(self):
+        collection = SoundCollection("empty")
+        assert collection.completeness_by_group() == {1: 1.0, 2: 1.0, 3: 1.0}
+        assert collection.field_completeness()["species"] == 1.0
+
+    def test_summary(self, tiny):
+        summary = tiny.summary()
+        assert summary["records"] == 4
+        assert summary["distinct_species"] == 2
+
+
+class TestOriginalNeverMutated:
+    def test_returned_records_are_detached(self, tiny):
+        row = tiny.record(1).to_row()
+        row["species"] = "Mutated mutata"
+        assert tiny.record(1).species == "Hyla alba"

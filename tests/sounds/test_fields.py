@@ -1,0 +1,108 @@
+"""Table II field specs and groups."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sounds.fields import (
+    FIELD_GROUPS,
+    FIELDS,
+    field_names,
+    field_spec,
+    recordings_schema,
+)
+from repro.storage import column_types as ct
+
+
+class TestGroups:
+    def test_table_ii_groups_complete(self):
+        # row 1: what was observed
+        assert set(FIELD_GROUPS[1]) == {
+            "phylum", "class_", "order_", "family", "genus", "species",
+            "gender", "number_of_individuals",
+        }
+        # row 2: when/where/environment
+        assert {"collect_time", "collect_date", "country", "state",
+                "city", "location", "habitat", "micro_habitat",
+                "air_temperature_c",
+                "atmospheric_conditions"} == set(FIELD_GROUPS[2])
+        # row 3: how
+        assert {"recording_device", "microphone_model",
+                "sound_file_format", "frequency_khz"} == set(FIELD_GROUPS[3])
+
+    def test_twenty_two_published_fields(self):
+        published = sum(len(FIELD_GROUPS[g]) for g in (1, 2, 3))
+        assert published == 22
+
+    def test_group_filter(self):
+        assert field_names(1) == list(FIELD_GROUPS[1])
+        assert "record_id" in field_names(0)
+        assert len(field_names()) == len(FIELDS)
+
+
+class TestDomains:
+    def test_gender_domain(self):
+        spec = field_spec("gender")
+        assert spec.in_domain("male")
+        assert not spec.in_domain("unknown-token")
+
+    def test_none_never_violates(self):
+        for spec in FIELDS:
+            assert spec.in_domain(None)
+
+    def test_temperature_domain(self):
+        spec = field_spec("air_temperature_c")
+        assert spec.in_domain(25.0)
+        assert not spec.in_domain(80.0)
+        assert not spec.in_domain(-40.0)
+
+    def test_time_domain(self):
+        spec = field_spec("collect_time")
+        assert spec.in_domain("06:30")
+        assert spec.in_domain("23:59")
+        assert not spec.in_domain("24:00")
+        assert not spec.in_domain("6:30pm")
+
+    def test_wrong_type_is_violation(self):
+        spec = field_spec("number_of_individuals")
+        assert not spec.in_domain("three")
+
+    def test_latitude_longitude_domains(self):
+        assert field_spec("latitude").in_domain(-23.5)
+        assert not field_spec("latitude").in_domain(-99.0)
+        assert field_spec("longitude").in_domain(-46.6)
+        assert not field_spec("longitude").in_domain(200.0)
+
+    def test_frequency_domain(self):
+        assert field_spec("frequency_khz").in_domain(44.1)
+        assert not field_spec("frequency_khz").in_domain(1.0)
+
+    def test_habitat_domain(self):
+        assert field_spec("habitat").in_domain("cerrado")
+        assert not field_spec("habitat").in_domain("the moon")
+
+
+class TestSchema:
+    def test_schema_covers_all_fields(self):
+        schema = recordings_schema()
+        assert set(schema.column_names) == set(field_names())
+
+    def test_primary_key(self):
+        schema = recordings_schema()
+        assert schema.primary_key == "record_id"
+
+    def test_types_align(self):
+        schema = recordings_schema()
+        assert schema.column("collect_date").type is ct.DATE
+        assert schema.column("air_temperature_c").type is ct.REAL
+        assert schema.column("species").type is ct.TEXT
+
+    def test_dirty_data_loadable(self):
+        """Legacy metadata must be storable with everything but the key
+        missing — the collection arrives dirty by definition."""
+        from repro.storage import Database
+
+        db = Database("t")
+        db.create_table(recordings_schema())
+        db.insert("recordings", {"record_id": 1})
+        assert db.get("recordings", 1)["species"] is None

@@ -1,0 +1,55 @@
+"""Recording equipment eras and anachronism detection."""
+
+import pytest
+
+from repro.sounds.formats import (
+    devices_available,
+    era_consistent,
+    formats_available,
+    microphones_available,
+)
+
+
+class TestAvailability:
+    def test_sixties_field_kit(self):
+        devices = {era.name for era in devices_available(1965)}
+        assert "Nagra III" in devices
+        assert "Zoom H4n" not in devices
+
+    def test_modern_kit(self):
+        devices = {era.name for era in devices_available(2012)}
+        assert "Zoom H4n" in devices
+        assert "Nagra III" not in devices
+
+    def test_formats_by_era(self):
+        assert {e.name for e in formats_available(1970)} == {"magnetic tape"}
+        modern = {e.name for e in formats_available(2010)}
+        assert {"WAV", "MP3", "AIFF", "ATRAC"} <= modern
+
+    def test_microphones_by_era(self):
+        mics = {e.name for e in microphones_available(1975)}
+        assert "Sennheiser MKH 815" in mics
+        assert "Sennheiser ME66" not in mics
+
+
+class TestEraConsistency:
+    def test_mp3_in_1965_is_anachronism(self):
+        assert era_consistent("format", "MP3", 1965) is False
+
+    def test_tape_in_1965_is_fine(self):
+        assert era_consistent("format", "magnetic tape", 1965) is True
+
+    def test_discontinued_device_after_window(self):
+        assert era_consistent("device", "Nagra III", 1999) is False
+
+    def test_unknown_name_is_indeterminate(self):
+        assert era_consistent("format", "8-track", 1980) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            era_consistent("codec", "MP3", 2000)
+
+    def test_boundary_years_inclusive(self):
+        assert era_consistent("device", "Nagra III", 1958) is True
+        assert era_consistent("device", "Nagra III", 1985) is True
+        assert era_consistent("device", "Nagra III", 1957) is False

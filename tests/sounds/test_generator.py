@@ -1,0 +1,145 @@
+"""The collection generator and its ground truth."""
+
+import pytest
+
+from repro.sounds.generator import CollectionConfig
+from repro.taxonomy.nomenclature import normalize_name
+
+
+class TestCalibration:
+    def test_record_count(self, small_collection_and_truth, small_config):
+        collection, __ = small_collection_and_truth
+        assert len(collection) == small_config.n_records
+
+    def test_distinct_canonical_names(self, small_collection_and_truth,
+                                      small_config):
+        collection, truth = small_collection_and_truth
+        canonical = {
+            normalize_name(name) for name in collection.distinct_species()
+        }
+        assert len(canonical) == small_config.n_distinct_species
+        assert truth.distinct_names == small_config.n_distinct_species
+
+    def test_outdated_count(self, small_collection_and_truth, small_config):
+        __, truth = small_collection_and_truth
+        assert len(truth.outdated_species) == small_config.n_outdated_species
+
+    def test_expected_accuracy(self, small_collection_and_truth,
+                               small_config):
+        __, truth = small_collection_and_truth
+        expected = 1 - (small_config.n_outdated_species
+                        / small_config.n_distinct_species)
+        assert truth.expected_name_accuracy == pytest.approx(expected)
+
+    def test_every_name_used_at_least_once(self, small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        used = {
+            normalize_name(name) for name in collection.distinct_species()
+        }
+        planned = set(truth.outdated_species) | set(truth.accepted_species)
+        assert planned <= used
+
+
+class TestGroundTruthConsistency:
+    def test_outdated_names_resolve_against_catalogue(
+            self, small_collection_and_truth, small_catalogue):
+        __, truth = small_collection_and_truth
+        for old_name, new_name in truth.outdated_species.items():
+            resolution = small_catalogue.resolve(old_name, fuzzy=False)
+            assert resolution.is_outdated, old_name
+            assert resolution.accepted_name == new_name
+
+    def test_accepted_names_are_accepted(self, small_collection_and_truth,
+                                         small_catalogue):
+        __, truth = small_collection_and_truth
+        for name in truth.accepted_species[:30]:
+            assert small_catalogue.resolve(name, fuzzy=False).status == (
+                "accepted"), name
+
+    def test_case_errors_normalize_back(self, small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        assert truth.case_errors, "generator must plant case slips"
+        for record_id, (stored, canonical) in truth.case_errors.items():
+            record = collection.record(record_id)
+            assert record.species == stored
+            assert normalize_name(stored) == canonical
+
+    def test_misidentified_records_have_coordinates(
+            self, small_collection_and_truth, small_config):
+        collection, truth = small_collection_and_truth
+        assert len(truth.misidentified) == small_config.n_misidentified
+        for record_id in truth.misidentified:
+            assert collection.record(record_id).has_coordinates
+
+    def test_misidentified_coordinates_outside_home_state(
+            self, small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        for record_id, donor_species in truth.misidentified.items():
+            record = collection.record(record_id)
+            donor_state = truth.home_ranges[donor_species][0]
+            assert record.state == donor_state
+
+    def test_anachronisms_planted(self, small_collection_and_truth,
+                                  small_config):
+        from repro.sounds.formats import era_consistent
+
+        collection, truth = small_collection_and_truth
+        # n_anachronisms is an upper bound: plants need old-enough records
+        assert 0 < len(truth.anachronisms) <= small_config.n_anachronisms
+        for record_id in truth.anachronisms:
+            record = collection.record(record_id)
+            assert era_consistent(
+                "format", record.sound_file_format,
+                record.recording_year) is False
+
+    def test_missing_coordinates_tracked(self, small_collection_and_truth):
+        collection, truth = small_collection_and_truth
+        for record_id in list(truth.missing_coordinates)[:50]:
+            if record_id in truth.misidentified:
+                continue  # misidentification plants may add coordinates
+            assert not collection.record(record_id).has_coordinates
+
+    def test_anchor_species_outdated(self, small_collection_and_truth):
+        __, truth = small_collection_and_truth
+        assert "Elachistocleis ovalis" in truth.outdated_species
+
+
+class TestDirtinessModel:
+    def test_pre_gps_records_mostly_unlocated(self,
+                                              small_collection_and_truth,
+                                              small_config):
+        collection, __ = small_collection_and_truth
+        pre_gps = [r for r in collection.records()
+                   if r.recording_year and r.recording_year
+                   < small_config.gps_year]
+        unlocated = sum(1 for r in pre_gps if not r.has_coordinates)
+        assert unlocated / len(pre_gps) > 0.8
+
+    def test_environmental_fields_partially_missing(
+            self, small_collection_and_truth):
+        collection, __ = small_collection_and_truth
+        completeness = collection.field_completeness()
+        assert 0.2 < completeness["air_temperature_c"] < 0.8
+        assert 0.4 < completeness["collect_time"] < 0.9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CollectionConfig(n_distinct_species=10, n_outdated_species=20)
+        with pytest.raises(ValueError):
+            CollectionConfig(n_records=5, n_distinct_species=10)
+
+
+class TestDeterminism:
+    def test_same_seed_same_collection(self, small_catalogue, small_config):
+        from repro.geo.climate import ClimateArchive
+        from repro.geo.gazetteer import Gazetteer
+        from repro.sounds.generator import generate_collection
+
+        a, truth_a = generate_collection(
+            small_catalogue, Gazetteer(seed=7), ClimateArchive(),
+            small_config)
+        b, truth_b = generate_collection(
+            small_catalogue, Gazetteer(seed=7), ClimateArchive(),
+            small_config)
+        assert a.record(10).to_row() == b.record(10).to_row()
+        assert truth_a.outdated_species == truth_b.outdated_species

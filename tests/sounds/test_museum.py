@@ -1,0 +1,98 @@
+"""Museum specimens: the second observation kind, cross-queryable."""
+
+import pytest
+
+from repro.observations.adapter import observation_from_sound_record
+from repro.observations.model import Entity
+from repro.observations.store import ObservationStore
+from repro.sounds.museum import (
+    MUSEUM_TABLE,
+    generate_museum_collection,
+    museum_observation,
+)
+from repro.storage import col
+
+
+@pytest.fixture(scope="module")
+def museum(small_catalogue):
+    return generate_museum_collection(small_catalogue, n_specimens=200,
+                                      seed=7)
+
+
+class TestGeneration:
+    def test_specimen_count(self, museum):
+        assert museum.count(MUSEUM_TABLE) == 200
+
+    def test_catalog_numbers_unique(self, museum):
+        numbers = [row["catalog_number"]
+                   for row in museum.table(MUSEUM_TABLE).rows()]
+        assert len(numbers) == len(set(numbers))
+
+    def test_species_come_from_catalogue(self, museum, small_catalogue):
+        known = set(small_catalogue.species_names(include_outdated=True))
+        for row in list(museum.table(MUSEUM_TABLE).rows())[:50]:
+            assert row["species"] in known
+
+    def test_domain_constraints_enforced(self, museum):
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            museum.insert(MUSEUM_TABLE, {
+                "catalog_number": "BAD-1", "species": "X y",
+                "preparation": "cryogenic",
+            })
+
+    def test_deterministic(self, small_catalogue):
+        a = generate_museum_collection(small_catalogue, n_specimens=50,
+                                       seed=3)
+        b = generate_museum_collection(small_catalogue, n_specimens=50,
+                                       seed=3)
+        rows_a = sorted(a.table(MUSEUM_TABLE).rows(),
+                        key=lambda r: r["catalog_number"])
+        rows_b = sorted(b.table(MUSEUM_TABLE).rows(),
+                        key=lambda r: r["catalog_number"])
+        assert rows_a == rows_b
+
+    def test_outdated_names_present(self, museum, small_catalogue):
+        """Museum drawers hold old labels too — so the same name
+        curation applies."""
+        outdated = small_catalogue.registry.changed_names(2013)
+        species = {row["species"]
+                   for row in museum.table(MUSEUM_TABLE).rows()}
+        assert species & outdated
+
+
+class TestCrossCollectionQueries:
+    def test_sounds_and_specimens_share_the_store(self, museum,
+                                                  small_collection):
+        store = ObservationStore()
+        store.add_all(
+            observation_from_sound_record(record)
+            for record in small_collection.records()
+            if record.species is not None
+        )
+        store.add_all(
+            museum_observation(row)
+            for row in museum.table(MUSEUM_TABLE).rows()
+        )
+        assert store.sources() == ["fnjv", "museum"]
+
+        # one taxon observed by both communities?
+        sound_species = set(small_collection.distinct_species())
+        museum_species = {row["species"]
+                          for row in museum.table(MUSEUM_TABLE).rows()}
+        shared = sound_species & museum_species
+        if shared:
+            name = sorted(shared)[0]
+            observations = store.observations_of(Entity("taxon", name))
+            kinds = {obs.source for obs in observations}
+            assert kinds == {"fnjv", "museum"} or len(kinds) == 1
+
+        # uniform measurement statistics across sources
+        assert store.statistics("mass")["count"] == 200
+
+    def test_measurements_differ_by_kind(self, museum):
+        observation = museum_observation(
+            next(iter(museum.table(MUSEUM_TABLE).rows())))
+        assert observation.value_of("specimen_collected") is True
+        assert observation.value_of("vocalization_recorded") is None

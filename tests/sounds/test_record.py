@@ -1,0 +1,114 @@
+"""The SoundRecord value object."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sounds.record import SoundRecord
+
+
+@pytest.fixture()
+def record():
+    return SoundRecord(
+        record_id=1,
+        species="Scinax fuscomarginatus",
+        genus="Scinax",
+        collect_date=dt.date(1975, 6, 30),
+        collect_time="06:30",
+        country="Brasil",
+        state="Sao Paulo",
+        latitude=-22.9,
+        longitude=-47.1,
+        air_temperature_c=21.5,
+        gender="male",
+        number_of_individuals=2,
+    )
+
+
+class TestConstruction:
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            SoundRecord(record_id=1, bogus_field="x")
+
+    def test_missing_fields_default_none(self, record):
+        assert record.habitat is None
+
+    def test_immutable(self, record):
+        with pytest.raises(AttributeError):
+            record.species = "Other species"
+
+    def test_replace_returns_new(self, record):
+        updated = record.replace(species="Hyla alba")
+        assert updated.species == "Hyla alba"
+        assert record.species == "Scinax fuscomarginatus"
+        assert updated.record_id == record.record_id
+
+    def test_replace_unknown_field(self, record):
+        with pytest.raises(KeyError):
+            record.replace(bogus="x")
+
+    def test_equality(self, record):
+        clone = SoundRecord.from_row(record.to_row())
+        assert clone == record
+        assert clone != record.replace(gender="female")
+
+
+class TestDerived:
+    def test_recording_year(self, record):
+        assert record.recording_year == 1975
+        assert SoundRecord(record_id=2).recording_year is None
+
+    def test_coordinates(self, record):
+        assert record.coordinates == (-22.9, -47.1)
+        assert record.has_coordinates
+
+    def test_half_coordinates_is_none(self, record):
+        partial = record.replace(longitude=None)
+        assert partial.coordinates is None
+        assert not partial.has_coordinates
+
+
+class TestQualityViews:
+    def test_missing_fields_by_group(self, record):
+        missing = record.missing_fields(2)
+        assert "habitat" in missing
+        assert "collect_date" not in missing
+
+    def test_completeness(self, record):
+        assert 0 < record.completeness() < 1
+        assert record.completeness(1) > 0
+
+    def test_completeness_monotone_under_fill(self, record):
+        fuller = record.replace(habitat="cerrado")
+        assert fuller.completeness(2) > record.completeness(2)
+
+    def test_domain_violations_clean(self, record):
+        assert record.domain_violations() == {}
+
+    def test_domain_violations_detected(self, record):
+        dirty = record.replace(air_temperature_c=99.0, gender="robot")
+        violations = dirty.domain_violations()
+        assert set(violations) == {"air_temperature_c", "gender"}
+
+    def test_type_violation_detected(self, record):
+        dirty = record.replace(number_of_individuals="three")
+        assert "number_of_individuals" in dirty.domain_violations()
+
+
+class TestConversion:
+    def test_row_round_trip(self, record):
+        row = record.to_row()
+        assert row["species"] == "Scinax fuscomarginatus"
+        assert SoundRecord.from_row(row) == record
+
+    def test_from_row_ignores_extra_keys(self, record):
+        row = record.to_row()
+        row["not_a_field"] = 1
+        restored = SoundRecord.from_row(row)
+        assert restored == record
+
+    def test_iteration_covers_all_fields(self, record):
+        from repro.sounds.fields import field_names
+
+        pairs = dict(record)
+        assert set(pairs) == set(field_names())

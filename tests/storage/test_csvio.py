@@ -1,0 +1,112 @@
+"""CSV import/export round trips."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import StorageError, UnknownColumnError
+from repro.storage import Column, Database, TableSchema
+from repro.storage import column_types as ct
+from repro.storage.csvio import export_csv, import_csv
+
+
+@pytest.fixture()
+def db():
+    database = Database("csv")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("name", ct.TEXT),
+        Column("when", ct.DATE),
+        Column("score", ct.REAL),
+        Column("flag", ct.BOOLEAN),
+        Column("payload", ct.JSON),
+    ], primary_key="id"))
+    database.insert("t", {"id": 1, "name": "alpha",
+                          "when": dt.date(1975, 6, 30), "score": 0.5,
+                          "flag": True, "payload": {"a": [1, 2]}})
+    database.insert("t", {"id": 2, "name": None, "when": None,
+                          "score": None, "flag": False,
+                          "payload": None})
+    return database
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        assert export_csv(db, "t", path) == 2
+
+        target = Database("copy")
+        target.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER),
+            Column("name", ct.TEXT),
+            Column("when", ct.DATE),
+            Column("score", ct.REAL),
+            Column("flag", ct.BOOLEAN),
+            Column("payload", ct.JSON),
+        ], primary_key="id"))
+        assert import_csv(target, "t", path) == 2
+        original = sorted(db.table("t").rows(), key=lambda r: r["id"])
+        copied = sorted(target.table("t").rows(), key=lambda r: r["id"])
+        assert original == copied
+
+    def test_none_round_trips_as_empty_cell(self, db, tmp_path):
+        path = tmp_path / "t.csv"
+        export_csv(db, "t", path)
+        text = path.read_text()
+        assert ",,," in text  # the null-heavy row
+
+    def test_column_subset(self, db, tmp_path):
+        path = tmp_path / "subset.csv"
+        export_csv(db, "t", path, columns=["id", "name"])
+        header = path.read_text().splitlines()[0]
+        assert header == "id,name"
+
+    def test_unknown_column_rejected(self, db, tmp_path):
+        with pytest.raises(UnknownColumnError):
+            export_csv(db, "t", tmp_path / "x.csv", columns=["ghost"])
+
+
+class TestImportValidation:
+    def test_empty_file(self, db, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(StorageError, match="empty"):
+            import_csv(db, "t", path)
+
+    def test_ragged_row_rejected(self, db, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("id,name\n3,alpha,EXTRA\n")
+        with pytest.raises(StorageError, match="expected 2 cells"):
+            import_csv(db, "t", path)
+
+    def test_unknown_header_rejected(self, db, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,ghost\n3,x\n")
+        with pytest.raises(UnknownColumnError):
+            import_csv(db, "t", path)
+
+    def test_type_coercion_on_import(self, db, tmp_path):
+        path = tmp_path / "typed.csv"
+        path.write_text("id,score,flag,when\n7,0.25,True,2001-02-03\n")
+        import_csv(db, "t", path)
+        row = db.get("t", 7)
+        assert row["score"] == 0.25
+        assert row["flag"] is True
+        assert row["when"] == dt.date(2001, 2, 3)
+
+    def test_constraints_still_enforced(self, db, tmp_path):
+        from repro.errors import ConstraintViolation
+
+        path = tmp_path / "dup.csv"
+        path.write_text("id,name\n1,duplicate\n")
+        with pytest.raises(ConstraintViolation):
+            import_csv(db, "t", path)
+
+
+class TestCollectionExport:
+    def test_recordings_table_exports(self, small_collection, tmp_path):
+        path = tmp_path / "recordings.csv"
+        rows = export_csv(small_collection.database, "recordings", path)
+        assert rows == len(small_collection)
+        header = path.read_text().splitlines()[0]
+        assert "species" in header and "collect_date" in header

@@ -1,0 +1,167 @@
+"""Edge cases and failure injection for the storage engine."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import (
+    ConstraintViolation,
+    StorageError,
+    UnknownTableError,
+)
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+from repro.storage.query import Aggregate
+
+
+@pytest.fixture()
+def db():
+    database = Database("edge")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("tag", ct.TEXT),
+        Column("payload", ct.JSON),
+    ], primary_key="id"))
+    return database
+
+
+class TestJsonColumns:
+    def test_dict_round_trip(self, db):
+        db.insert("t", {"id": 1, "payload": {"a": [1, 2], "b": None}})
+        assert db.get("t", 1)["payload"] == {"a": [1, 2], "b": None}
+
+    def test_list_round_trip_through_journal(self, tmp_path):
+        database = Database("j", journal_path=tmp_path / "j.log")
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER), Column("payload", ct.JSON),
+        ], primary_key="id"))
+        database.insert("t", {"id": 1, "payload": [1, "two", {"x": 3}]})
+        recovered = Database.recover("j", tmp_path / "j.log")
+        assert recovered.get("t", 1)["payload"] == [1, "two", {"x": 3}]
+
+    def test_distinct_over_json_values(self, db):
+        db.insert("t", {"id": 1, "payload": {"a": 1}})
+        db.insert("t", {"id": 2, "payload": {"a": 1}})
+        rows = db.query("t").select("payload").distinct().all()
+        assert len(rows) == 1
+
+    def test_group_by_mixed_types_does_not_raise(self, db):
+        db.insert("t", {"id": 1, "tag": "x"})
+        db.insert("t", {"id": 2, "tag": None})
+        db.insert("t", {"id": 3, "tag": "y"})
+        groups = db.query("t").group_by("tag",
+                                        aggregates=[Aggregate("count")])
+        assert len(groups) == 3
+
+
+class TestTransactionsUnderBulkHelpers:
+    def test_update_where_rolls_back_atomically(self, db):
+        for i in range(5):
+            db.insert("t", {"id": i, "tag": "old"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update_where("t", col("tag") == "old", {"tag": "new"})
+                raise RuntimeError("boom")
+        assert db.query("t").where(col("tag") == "new").count() == 0
+
+    def test_delete_where_rolls_back_atomically(self, db):
+        for i in range(5):
+            db.insert("t", {"id": i})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete_where("t", col("id") >= 0)
+                raise RuntimeError("boom")
+        assert db.count("t") == 5
+
+    def test_mid_transaction_constraint_failure_keeps_prior_work(self, db):
+        """A constraint violation inside a transaction does not itself
+        roll back earlier statements (the caller decides)."""
+        tx = db.transaction()
+        db.insert("t", {"id": 1})
+        with pytest.raises(ConstraintViolation):
+            db.insert("t", {"id": 1})
+        tx.commit()
+        assert db.count("t") == 1
+
+
+class TestSnapshotEdge:
+    def test_snapshot_plus_tail_replay(self, tmp_path):
+        path = tmp_path / "j.log"
+        database = Database("s", journal_path=path)
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER)], primary_key="id"))
+        database.insert("t", {"id": 1})
+        database.checkpoint()
+        database.insert("t", {"id": 2})
+        database.delete("t", database.rowid_for("t", 1))
+        recovered = Database.recover("s", path)
+        assert sorted(r["id"] for r in recovered.table("t").rows()) == [2]
+
+    def test_double_checkpoint(self, tmp_path):
+        path = tmp_path / "j.log"
+        database = Database("s", journal_path=path)
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER)], primary_key="id"))
+        database.insert("t", {"id": 1})
+        database.checkpoint()
+        database.checkpoint()
+        recovered = Database.recover("s", path)
+        assert recovered.count("t") == 1
+
+    def test_recovered_database_continues_journaling(self, tmp_path):
+        path = tmp_path / "j.log"
+        database = Database("s", journal_path=path)
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER)], primary_key="id"))
+        database.insert("t", {"id": 1})
+        recovered = Database.recover("s", path)
+        recovered.insert("t", {"id": 2})
+        twice = Database.recover("s", path)
+        assert twice.count("t") == 2
+
+
+class TestDDLEdges:
+    def test_drop_then_recreate(self, db):
+        db.drop_table("t")
+        db.create_table(TableSchema("t", [
+            Column("other", ct.TEXT)]))
+        db.insert("t", {"other": "x"})
+        assert db.count("t") == 1
+
+    def test_query_on_dropped_table(self, db):
+        db.drop_table("t")
+        with pytest.raises(UnknownTableError):
+            db.query("t")
+
+    def test_index_on_missing_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.create_index("ghost", "x")
+
+
+class TestQueryShaping:
+    def test_offset_beyond_end(self, db):
+        db.insert("t", {"id": 1})
+        assert db.query("t").offset(10).all() == []
+
+    def test_limit_zero(self, db):
+        db.insert("t", {"id": 1})
+        assert db.query("t").limit(0).all() == []
+
+    def test_order_by_date_column(self, db):
+        database = Database("d")
+        database.create_table(TableSchema("e", [
+            Column("id", ct.INTEGER), Column("when", ct.DATE),
+        ], primary_key="id"))
+        database.insert("e", {"id": 1, "when": dt.date(2013, 5, 1)})
+        database.insert("e", {"id": 2, "when": dt.date(1975, 5, 1)})
+        database.insert("e", {"id": 3, "when": None})
+        ordered = database.query("e").order_by("when").values("id")
+        assert ordered == [2, 1, 3]  # None sorts last
+
+    def test_join_by_name_requires_database(self):
+        from repro.storage.query import Query
+        from repro.storage.table import Table
+
+        table = Table(TableSchema("x", [Column("a", ct.INTEGER)]))
+        with pytest.raises(StorageError):
+            Query(table).join("other", "a", "a")

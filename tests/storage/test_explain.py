@@ -1,0 +1,77 @@
+"""Planner introspection via Query.explain()."""
+
+import pytest
+
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+
+
+@pytest.fixture()
+def db():
+    database = Database("e")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("species", ct.TEXT),
+        Column("year", ct.INTEGER),
+    ], primary_key="id"))
+    for i in range(20):
+        database.insert("t", {"id": i, "species": f"sp{i % 4}",
+                              "year": 1990 + i})
+    return database
+
+
+class TestExplain:
+    def test_full_scan_without_predicate(self, db):
+        plan = db.query("t").explain()
+        assert plan["full_scan"]
+        assert plan["candidate_rows"] is None
+        assert plan["table"] == "t"
+
+    def test_primary_key_lookup_uses_index(self, db):
+        plan = db.query("t").where(col("id") == 7).explain()
+        assert plan["indexed_equalities"] == ["id"]
+        assert plan["candidate_rows"] == 1
+        assert not plan["full_scan"]
+
+    def test_unindexed_equality_scans(self, db):
+        plan = db.query("t").where(col("species") == "sp1").explain()
+        assert plan["equality_conditions"] == {"species": "sp1"}
+        assert plan["indexed_equalities"] == []
+        assert plan["full_scan"]
+
+    def test_index_creation_changes_plan(self, db):
+        before = db.query("t").where(col("species") == "sp1").explain()
+        db.create_index("t", "species", "hash")
+        after = db.query("t").where(col("species") == "sp1").explain()
+        assert before["full_scan"] and not after["full_scan"]
+        assert after["candidate_rows"] == 5
+
+    def test_sorted_index_serves_ranges(self, db):
+        db.create_index("t", "year", "sorted")
+        plan = db.query("t").where(
+            col("year").between(1995, 1999)).explain()
+        assert plan["indexed_ranges"] == ["year"]
+        assert plan["candidate_rows"] == 5
+
+    def test_hash_index_does_not_serve_ranges(self, db):
+        db.create_index("t", "year", "hash")
+        plan = db.query("t").where(col("year") > 2000).explain()
+        assert plan["indexed_ranges"] == []
+        assert plan["full_scan"]
+
+    def test_join_marks_post_join_filter(self, db):
+        db.create_table(TableSchema("u", [Column("species", ct.TEXT)]))
+        plan = db.query("t").join("u", "species", "species").explain()
+        assert plan["joins"] == 1
+        assert plan["filter_after_joins"]
+
+    def test_plan_matches_execution(self, db):
+        """Whatever the plan claims, execution must return the same rows
+        as a brute-force filter."""
+        db.create_index("t", "year", "sorted")
+        predicate = (col("year").between(1993, 2004)) & (
+            col("species") == "sp2")
+        planned = db.query("t").where(predicate).all()
+        brute = [row for row in db.table("t").rows() if predicate(row)]
+        assert sorted(r["id"] for r in planned) == sorted(
+            r["id"] for r in brute)

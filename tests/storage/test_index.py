@@ -1,0 +1,135 @@
+"""Hash and sorted indexes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.index import HashIndex, SortedIndex, build_index
+
+
+class TestHashIndex:
+    def test_add_lookup(self):
+        index = HashIndex("x")
+        index.add(1, "a")
+        index.add(2, "a")
+        index.add(3, "b")
+        assert index.lookup("a") == {1, 2}
+        assert index.lookup("b") == {3}
+        assert index.lookup("c") == set()
+
+    def test_none_not_indexed(self):
+        index = HashIndex("x")
+        index.add(1, None)
+        assert index.lookup(None) == set()
+        assert len(index) == 0
+
+    def test_remove(self):
+        index = HashIndex("x")
+        index.add(1, "a")
+        index.add(2, "a")
+        index.remove(1, "a")
+        assert index.lookup("a") == {2}
+        index.remove(2, "a")
+        assert index.lookup("a") == set()
+
+    def test_remove_missing_is_noop(self):
+        index = HashIndex("x")
+        index.remove(1, "never")
+        index.remove(1, None)
+
+    def test_cardinality(self):
+        index = HashIndex("x")
+        for i, v in enumerate(["a", "b", "a", "c"]):
+            index.add(i, v)
+        assert index.cardinality() == 3
+        assert len(index) == 4
+
+    def test_clear(self):
+        index = HashIndex("x")
+        index.add(1, "a")
+        index.clear()
+        assert index.lookup("a") == set()
+
+
+class TestSortedIndex:
+    def test_range_inclusive(self):
+        index = SortedIndex("x")
+        for rowid, value in enumerate([10, 20, 30, 40], start=1):
+            index.add(rowid, value)
+        assert set(index.range(20, 30)) == {2, 3}
+        assert set(index.range(None, 20)) == {1, 2}
+        assert set(index.range(35, None)) == {4}
+        assert set(index.range(None, None)) == {1, 2, 3, 4}
+
+    def test_range_order_is_ascending(self):
+        index = SortedIndex("x")
+        index.add(5, 3)
+        index.add(1, 1)
+        index.add(9, 2)
+        assert list(index.range(None, None)) == [1, 9, 5]
+
+    def test_lookup_duplicates(self):
+        index = SortedIndex("x")
+        index.add(1, 7)
+        index.add(2, 7)
+        index.add(3, 8)
+        assert index.lookup(7) == {1, 2}
+
+    def test_remove(self):
+        index = SortedIndex("x")
+        index.add(1, 7)
+        index.add(2, 7)
+        index.remove(1, 7)
+        assert index.lookup(7) == {2}
+        assert len(index) == 1
+
+    def test_none_not_indexed(self):
+        index = SortedIndex("x")
+        index.add(1, None)
+        assert len(index) == 0
+
+    def test_min_max(self):
+        index = SortedIndex("x")
+        assert index.min_value() is None
+        index.add(1, 5)
+        index.add(2, 2)
+        assert index.min_value() == 2
+        assert index.max_value() == 5
+
+
+class TestBuildIndex:
+    def test_kinds(self):
+        assert isinstance(build_index("hash", "x"), HashIndex)
+        assert isinstance(build_index("sorted", "x"), SortedIndex)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_index("btree", "x")
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=50),
+                          st.integers(-20, 20)), max_size=60))
+def test_sorted_index_range_equals_filter(pairs):
+    """Range scans must agree with brute-force filtering."""
+    index = SortedIndex("x")
+    rows = {}
+    for rowid, value in pairs:
+        if rowid not in rows:
+            rows[rowid] = value
+            index.add(rowid, value)
+    low, high = -5, 5
+    expected = {rowid for rowid, value in rows.items() if low <= value <= high}
+    assert set(index.range(low, high)) == expected
+
+
+@given(st.lists(st.tuples(st.integers(min_value=1, max_value=30),
+                          st.sampled_from("abcde")), max_size=50))
+def test_hash_index_lookup_equals_filter(pairs):
+    index = HashIndex("x")
+    rows = {}
+    for rowid, value in pairs:
+        if rowid not in rows:
+            rows[rowid] = value
+            index.add(rowid, value)
+    for letter in "abcde":
+        expected = {rowid for rowid, value in rows.items() if value == letter}
+        assert index.lookup(letter) == expected

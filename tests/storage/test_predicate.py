@@ -1,0 +1,144 @@
+"""Predicate algebra semantics (SQL-style NULL handling included)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.predicate import TruePredicate, col
+
+
+ROW = {"genus": "Scinax", "year": 1990, "temp": None, "name": "Scinax fuscus"}
+
+
+class TestComparisons:
+    def test_eq(self):
+        assert (col("genus") == "Scinax")(ROW)
+        assert not (col("genus") == "Hyla")(ROW)
+
+    def test_eq_none_behaves_as_is_null(self):
+        assert (col("temp") == None)(ROW)  # noqa: E711
+        assert not (col("year") == None)(ROW)  # noqa: E711
+
+    def test_ne(self):
+        assert (col("genus") != "Hyla")(ROW)
+        assert not (col("genus") != "Scinax")(ROW)
+
+    def test_ne_none(self):
+        assert (col("year") != None)(ROW)  # noqa: E711
+        assert not (col("temp") != None)(ROW)  # noqa: E711
+
+    def test_ordering(self):
+        assert (col("year") < 2000)(ROW)
+        assert (col("year") <= 1990)(ROW)
+        assert (col("year") > 1900)(ROW)
+        assert (col("year") >= 1990)(ROW)
+        assert not (col("year") > 1990)(ROW)
+
+    def test_null_comparisons_are_false(self):
+        assert not (col("temp") < 100)(ROW)
+        assert not (col("temp") > -100)(ROW)
+
+    def test_missing_column_is_null(self):
+        assert not (col("missing") == 5)({"a": 1})
+        assert (col("missing").is_null())({"a": 1})
+
+    def test_incomparable_types_are_false(self):
+        assert not (col("genus") < 5)(ROW)
+
+
+class TestBetweenInLike:
+    def test_between_inclusive(self):
+        assert (col("year").between(1990, 1990))(ROW)
+        assert (col("year").between(1980, 2000))(ROW)
+        assert not (col("year").between(1991, 2000))(ROW)
+
+    def test_between_null_false(self):
+        assert not (col("temp").between(0, 100))(ROW)
+
+    def test_in(self):
+        assert (col("genus").in_(["Hyla", "Scinax"]))(ROW)
+        assert not (col("genus").in_(["Hyla"]))(ROW)
+
+    def test_in_null_false(self):
+        assert not (col("temp").in_([None]))(ROW)
+
+    def test_like_percent(self):
+        assert (col("name").like("Scinax%"))(ROW)
+        assert not (col("name").like("Hyla%"))(ROW)
+
+    def test_like_underscore(self):
+        assert (col("genus").like("Scina_"))(ROW)
+
+    def test_like_non_string_false(self):
+        assert not (col("year").like("19%"))(ROW)
+
+    def test_ilike(self):
+        assert (col("genus").ilike("scinax"))(ROW)
+        assert not (col("genus").like("scinax"))(ROW)
+
+    def test_matches(self):
+        assert (col("year").matches(lambda y: y % 2 == 0))(ROW)
+
+
+class TestBooleanAlgebra:
+    def test_and(self):
+        pred = (col("genus") == "Scinax") & (col("year") > 1980)
+        assert pred(ROW)
+
+    def test_or(self):
+        pred = (col("genus") == "Hyla") | (col("year") == 1990)
+        assert pred(ROW)
+
+    def test_not(self):
+        assert (~(col("genus") == "Hyla"))(ROW)
+
+    def test_true_predicate(self):
+        assert TruePredicate()({})
+
+    def test_de_morgan_like_composition(self):
+        pred = ~((col("genus") == "Hyla") | (col("year") < 1900))
+        assert pred(ROW)
+
+
+class TestPlannerHooks:
+    def test_equality_conditions_from_eq(self):
+        assert (col("a") == 1).equality_conditions() == {"a": 1}
+
+    def test_equality_conditions_through_and(self):
+        pred = (col("a") == 1) & (col("b") == 2)
+        assert pred.equality_conditions() == {"a": 1, "b": 2}
+
+    def test_or_exposes_no_equalities(self):
+        pred = (col("a") == 1) | (col("b") == 2)
+        assert pred.equality_conditions() == {}
+
+    def test_range_from_between(self):
+        assert (col("a").between(1, 5)).range_conditions() == {"a": (1, 5)}
+
+    def test_range_from_comparisons(self):
+        assert (col("a") >= 3).range_conditions() == {"a": (3, None)}
+        assert (col("a") <= 9).range_conditions() == {"a": (None, 9)}
+
+    def test_ranges_intersect_through_and(self):
+        pred = (col("a") >= 3) & (col("a") <= 9) & (col("a").between(5, 20))
+        assert pred.range_conditions() == {"a": (5, 9)}
+
+    def test_ne_exposes_nothing(self):
+        assert (col("a") != 1).equality_conditions() == {}
+        assert (col("a") != 1).range_conditions() == {}
+
+
+@given(value=st.integers(), low=st.integers(), high=st.integers())
+def test_between_matches_manual_check(value, low, high):
+    row = {"x": value}
+    assert (col("x").between(low, high))(row) == (low <= value <= high)
+
+
+@given(value=st.one_of(st.none(), st.integers()),
+       threshold=st.integers())
+def test_null_never_satisfies_ordering(value, threshold):
+    row = {"x": value}
+    result = (col("x") < threshold)(row)
+    if value is None:
+        assert result is False
+    else:
+        assert result == (value < threshold)

@@ -1,0 +1,218 @@
+"""Query builder: filtering, ordering, projection, joins, aggregation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+from repro.storage.query import Aggregate
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def db():
+    database = Database("q")
+    database.create_table(TableSchema("recordings", [
+        Column("id", ct.INTEGER),
+        Column("species", ct.TEXT),
+        Column("year", ct.INTEGER),
+        Column("temp", ct.REAL),
+    ], primary_key="id"))
+    rows = [
+        (1, "Scinax fuscus", 1970, 21.5),
+        (2, "Scinax fuscus", 1980, None),
+        (3, "Hyla alba", 1975, 25.0),
+        (4, "Hyla alba", 1990, 19.0),
+        (5, "Elachistocleis ovalis", 1965, None),
+        (6, None, 2000, 30.0),
+    ]
+    for id_, species, year, temp in rows:
+        database.insert("recordings", {
+            "id": id_, "species": species, "year": year, "temp": temp,
+        })
+    database.create_table(TableSchema("taxa", [
+        Column("species", ct.TEXT),
+        Column("family", ct.TEXT),
+    ]))
+    database.insert("taxa", {"species": "Scinax fuscus", "family": "Hylidae"})
+    database.insert("taxa", {"species": "Hyla alba", "family": "Hylidae"})
+    database.insert("taxa", {"species": "Elachistocleis ovalis",
+                             "family": "Microhylidae"})
+    return database
+
+
+class TestFilters:
+    def test_all_unfiltered(self, db):
+        assert len(db.query("recordings").all()) == 6
+
+    def test_where(self, db):
+        rows = db.query("recordings").where(col("species") == "Hyla alba").all()
+        assert {row["id"] for row in rows} == {3, 4}
+
+    def test_chained_where_is_and(self, db):
+        rows = (db.query("recordings")
+                .where(col("species") == "Hyla alba")
+                .where(col("year") > 1980).all())
+        assert [row["id"] for row in rows] == [4]
+
+    def test_count(self, db):
+        assert db.query("recordings").where(col("temp").is_null()).count() == 2
+
+    def test_exists(self, db):
+        assert db.query("recordings").where(col("year") == 1965).exists()
+        assert not db.query("recordings").where(col("year") == 1900).exists()
+
+    def test_first_none_when_empty(self, db):
+        assert db.query("recordings").where(col("year") == 1900).first() is None
+
+    def test_values(self, db):
+        years = db.query("recordings").where(
+            col("species") == "Scinax fuscus"
+        ).order_by("year").values("year")
+        assert years == [1970, 1980]
+
+    def test_index_assisted_equality(self, db):
+        # species has no index: create one and verify same answer
+        no_index = db.query("recordings").where(
+            col("species") == "Scinax fuscus").count()
+        db.create_index("recordings", "species", "hash")
+        with_index = db.query("recordings").where(
+            col("species") == "Scinax fuscus").count()
+        assert no_index == with_index == 2
+
+    def test_index_assisted_range(self, db):
+        db.create_index("recordings", "year", "sorted")
+        rows = db.query("recordings").where(
+            col("year").between(1970, 1980)).all()
+        assert {row["id"] for row in rows} == {1, 2, 3}
+
+
+class TestShaping:
+    def test_order_by(self, db):
+        years = db.query("recordings").order_by("year").values("year")
+        assert years == sorted(years)
+
+    def test_order_by_descending(self, db):
+        years = db.query("recordings").order_by("year", descending=True).values("year")
+        assert years == sorted(years, reverse=True)
+
+    def test_order_by_secondary_key(self, db):
+        rows = (db.query("recordings")
+                .order_by("species").order_by("year").all())
+        hylas = [row["year"] for row in rows if row["species"] == "Hyla alba"]
+        assert hylas == [1975, 1990]
+
+    def test_nulls_sort_last(self, db):
+        species = db.query("recordings").order_by("species").values("species")
+        assert species[-1] is None
+
+    def test_limit_offset(self, db):
+        rows = db.query("recordings").order_by("id").offset(2).limit(2).all()
+        assert [row["id"] for row in rows] == [3, 4]
+
+    def test_select_projection(self, db):
+        row = db.query("recordings").select("id", "year").order_by("id").first()
+        assert set(row) == {"id", "year"}
+
+    def test_distinct(self, db):
+        rows = (db.query("recordings").select("species").distinct()
+                .where(col("species").is_not_null()).all())
+        assert len(rows) == 3
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        rows = (db.query("recordings")
+                .join("taxa", "species", "species")
+                .where(col("taxa.family") == "Microhylidae").all())
+        assert [row["id"] for row in rows] == [5]
+
+    def test_join_drops_unmatched(self, db):
+        rows = db.query("recordings").join("taxa", "species", "species").all()
+        # row 6 has NULL species -> dropped
+        assert {row["id"] for row in rows} == {1, 2, 3, 4, 5}
+
+    def test_join_prefix(self, db):
+        row = (db.query("recordings")
+               .join("taxa", "species", "species", prefix="t")
+               .order_by("id").first())
+        assert "t.family" in row
+
+    def test_join_uses_index_when_present(self, db):
+        db.create_index("taxa", "species", "hash")
+        rows = db.query("recordings").join("taxa", "species", "species").all()
+        assert len(rows) == 5
+
+
+class TestAggregates:
+    def test_count_rows(self, db):
+        result = db.query("recordings").aggregate(Aggregate("count"))
+        assert result["count"] == 6
+
+    def test_count_column_skips_null(self, db):
+        result = db.query("recordings").aggregate(Aggregate("count", "temp"))
+        assert result["count_temp"] == 4
+
+    def test_sum_avg_min_max(self, db):
+        result = db.query("recordings").aggregate(
+            Aggregate("sum", "year"), Aggregate("avg", "temp"),
+            Aggregate("min", "year"), Aggregate("max", "year"),
+        )
+        assert result["sum_year"] == 1970 + 1980 + 1975 + 1990 + 1965 + 2000
+        assert result["avg_temp"] == pytest.approx((21.5 + 25 + 19 + 30) / 4)
+        assert result["min_year"] == 1965
+        assert result["max_year"] == 2000
+
+    def test_count_distinct(self, db):
+        result = db.query("recordings").aggregate(
+            Aggregate("count_distinct", "species"))
+        assert result["count_distinct_species"] == 3
+
+    def test_avg_of_nothing_is_none(self, db):
+        result = (db.query("recordings").where(col("year") == 1900)
+                  .aggregate(Aggregate("avg", "temp")))
+        assert result["avg_temp"] is None
+
+    def test_alias(self, db):
+        result = db.query("recordings").aggregate(
+            Aggregate("count", alias="n"))
+        assert result["n"] == 6
+
+    def test_unknown_function(self):
+        with pytest.raises(StorageError):
+            Aggregate("median", "x")
+
+    def test_column_required(self):
+        with pytest.raises(StorageError):
+            Aggregate("sum")
+
+
+class TestGroupBy:
+    def test_group_counts(self, db):
+        groups = db.query("recordings").where(
+            col("species").is_not_null()
+        ).group_by("species", aggregates=[Aggregate("count")])
+        counts = {g["species"]: g["count"] for g in groups}
+        assert counts == {"Scinax fuscus": 2, "Hyla alba": 2,
+                          "Elachistocleis ovalis": 1}
+
+    def test_group_with_aggregate(self, db):
+        groups = db.query("recordings").group_by(
+            "species", aggregates=[Aggregate("max", "year")])
+        by_species = {g["species"]: g["max_year"] for g in groups}
+        assert by_species["Hyla alba"] == 1990
+
+    def test_group_includes_null_group(self, db):
+        groups = db.query("recordings").group_by(
+            "species", aggregates=[Aggregate("count")])
+        assert any(g["species"] is None for g in groups)
+
+
+@given(st.lists(st.integers(-50, 50), min_size=0, max_size=40))
+def test_order_limit_agree_with_python(sorted_input):
+    db = Database("prop")
+    db.create_table(TableSchema("t", [Column("v", ct.INTEGER)]))
+    for value in sorted_input:
+        db.insert("t", {"v": value})
+    got = db.query("t").order_by("v").limit(10).values("v")
+    assert got == sorted(sorted_input)[:10]

@@ -1,0 +1,116 @@
+"""Table schemas and constraints declarations."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.storage import Column, ForeignKey, TableSchema
+from repro.storage import column_types as ct
+
+
+def make_schema(**kwargs):
+    return TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("name", ct.TEXT, nullable=False),
+    ], **kwargs)
+
+
+class TestColumn:
+    def test_repr_shows_flags(self):
+        column = Column("name", ct.TEXT, nullable=False, unique=True)
+        assert "NOT NULL" in repr(column)
+        assert "UNIQUE" in repr(column)
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ct.TEXT)
+
+    def test_name_starting_with_digit(self):
+        with pytest.raises(SchemaError):
+            Column("1name", ct.TEXT)
+
+    def test_type_must_be_column_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", str)  # type: ignore[arg-type]
+
+    def test_static_default(self):
+        assert Column("x", ct.INTEGER, default=7).resolve_default() == 7
+
+    def test_callable_default(self):
+        counter = iter(range(10))
+        column = Column("x", ct.INTEGER, default=lambda: next(counter))
+        assert column.resolve_default() == 0
+        assert column.resolve_default() == 1
+
+    def test_dict_round_trip(self):
+        column = Column("x", ct.DATE, nullable=False, unique=True)
+        restored = Column.from_dict(column.to_dict())
+        assert restored.name == "x"
+        assert restored.type is ct.DATE
+        assert not restored.nullable
+        assert restored.unique
+
+    def test_callable_default_not_serialized(self):
+        column = Column("x", ct.INTEGER, default=lambda: 5)
+        assert column.to_dict()["default"] is None
+
+
+class TestTableSchema:
+    def test_basic(self):
+        schema = make_schema()
+        assert schema.column_names == ("id", "name")
+        assert schema.has_column("id")
+        assert not schema.has_column("missing")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("x", ct.TEXT), Column("x", ct.TEXT)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(primary_key="missing")
+
+    def test_primary_key_implies_not_null_unique(self):
+        schema = make_schema(primary_key="id")
+        pk = schema.column("id")
+        assert not pk.nullable
+        assert pk.unique
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(UnknownColumnError):
+            make_schema().column("missing")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema(foreign_keys=[ForeignKey("missing", "p", "id")])
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", [Column("x", ct.TEXT)])
+
+    def test_dict_round_trip(self):
+        schema = TableSchema("t", [
+            Column("id", ct.INTEGER),
+            Column("parent", ct.INTEGER),
+        ], primary_key="id",
+            foreign_keys=[ForeignKey("parent", "t", "id")])
+        restored = TableSchema.from_dict(schema.to_dict())
+        assert restored.name == "t"
+        assert restored.primary_key == "id"
+        assert restored.foreign_keys[0].parent_table == "t"
+        assert restored.column("id").unique
+
+
+class TestForeignKey:
+    def test_round_trip(self):
+        fk = ForeignKey("a", "parent", "id")
+        restored = ForeignKey.from_dict(fk.to_dict())
+        assert restored.column == "a"
+        assert restored.parent_table == "parent"
+        assert restored.parent_column == "id"
+
+    def test_repr(self):
+        assert "a -> parent.id" in repr(ForeignKey("a", "parent", "id"))

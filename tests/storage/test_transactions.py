@@ -1,0 +1,139 @@
+"""Transactions: commit, rollback, context-manager semantics."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+
+
+@pytest.fixture()
+def db():
+    database = Database("tx")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("v", ct.TEXT),
+    ], primary_key="id"))
+    database.insert("t", {"id": 1, "v": "original"})
+    return database
+
+
+class TestCommit:
+    def test_commit_keeps_changes(self, db):
+        with db.transaction():
+            db.insert("t", {"id": 2, "v": "new"})
+        assert db.count("t") == 2
+
+    def test_explicit_commit(self, db):
+        tx = db.transaction()
+        db.insert("t", {"id": 2, "v": "x"})
+        tx.commit()
+        assert db.count("t") == 2
+        assert not db.in_transaction()
+
+
+class TestRollback:
+    def test_exception_rolls_back_insert(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 2, "v": "x"})
+                raise RuntimeError("boom")
+        assert db.count("t") == 1
+
+    def test_rollback_restores_update(self, db):
+        rowid = db.rowid_for("t", 1)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("t", rowid, {"v": "changed"})
+                raise RuntimeError("boom")
+        assert db.get("t", 1)["v"] == "original"
+
+    def test_rollback_restores_delete(self, db):
+        rowid = db.rowid_for("t", 1)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.delete("t", rowid)
+                raise RuntimeError("boom")
+        assert db.get("t", 1)["v"] == "original"
+
+    def test_rollback_multi_operation_order(self, db):
+        rowid = db.rowid_for("t", 1)
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("t", rowid, {"v": "a"})
+                db.update("t", rowid, {"v": "b"})
+                db.insert("t", {"id": 2, "v": "x"})
+                db.delete("t", rowid)
+                raise RuntimeError("boom")
+        assert db.count("t") == 1
+        assert db.get("t", 1)["v"] == "original"
+
+    def test_rollback_restores_unique_index(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 2, "v": "x"})
+                raise RuntimeError("boom")
+        # id 2 must be free again
+        db.insert("t", {"id": 2, "v": "y"})
+
+    def test_explicit_rollback(self, db):
+        tx = db.transaction()
+        db.insert("t", {"id": 2, "v": "x"})
+        tx.rollback()
+        assert db.count("t") == 1
+
+
+class TestMisuse:
+    def test_nested_transaction_rejected(self, db):
+        with db.transaction():
+            with pytest.raises(TransactionError):
+                db.transaction()
+
+    def test_double_commit_rejected(self, db):
+        tx = db.transaction()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+
+    def test_rollback_after_commit_rejected(self, db):
+        tx = db.transaction()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.rollback()
+
+    def test_record_after_close_rejected(self, db):
+        tx = db.transaction()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.record("t", "insert", 1, None, {})
+
+    def test_pending_operations_counter(self, db):
+        with db.transaction() as tx:
+            assert tx.pending_operations == 0
+            db.insert("t", {"id": 2, "v": "x"})
+            assert tx.pending_operations == 1
+
+
+class TestJournalInteraction:
+    def test_rolled_back_work_not_journaled(self, tmp_path):
+        path = tmp_path / "j.log"
+        db = Database("tx", journal_path=path)
+        db.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER)], primary_key="id"))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", {"id": 1})
+                raise RuntimeError("boom")
+        recovered = Database.recover("tx", path)
+        assert recovered.count("t") == 0
+
+    def test_committed_work_journaled_atomically(self, tmp_path):
+        path = tmp_path / "j.log"
+        db = Database("tx", journal_path=path)
+        db.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER)], primary_key="id"))
+        with db.transaction():
+            db.insert("t", {"id": 1})
+            db.insert("t", {"id": 2})
+        recovered = Database.recover("tx", path)
+        assert recovered.count("t") == 2

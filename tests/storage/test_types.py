@@ -1,0 +1,139 @@
+"""Column type validation, coercion and JSON round-tripping."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage import column_types as ct
+from repro.storage.types import type_by_name
+
+
+class TestValidation:
+    def test_integer_accepts_int(self):
+        assert ct.INTEGER.validate(42)
+
+    def test_integer_rejects_bool(self):
+        assert not ct.INTEGER.validate(True)
+
+    def test_integer_rejects_float(self):
+        assert not ct.INTEGER.validate(4.2)
+
+    def test_real_accepts_int_and_float(self):
+        assert ct.REAL.validate(1)
+        assert ct.REAL.validate(1.5)
+
+    def test_real_rejects_bool(self):
+        assert not ct.REAL.validate(False)
+
+    def test_text_accepts_str(self):
+        assert ct.TEXT.validate("hello")
+
+    def test_text_rejects_bytes(self):
+        assert not ct.TEXT.validate(b"hello")
+
+    def test_boolean_strict(self):
+        assert ct.BOOLEAN.validate(True)
+        assert not ct.BOOLEAN.validate(1)
+
+    def test_date_accepts_date(self):
+        assert ct.DATE.validate(dt.date(2013, 10, 1))
+
+    def test_date_rejects_datetime(self):
+        assert not ct.DATE.validate(dt.datetime(2013, 10, 1, 12))
+
+    def test_datetime_accepts_datetime(self):
+        assert ct.DATETIME.validate(dt.datetime(2013, 10, 1, 12))
+
+    def test_none_is_always_valid(self):
+        for column_type in (ct.INTEGER, ct.REAL, ct.TEXT, ct.BOOLEAN,
+                            ct.DATE, ct.DATETIME, ct.JSON):
+            assert column_type.validate(None)
+
+    def test_json_accepts_containers(self):
+        assert ct.JSON.validate({"a": 1})
+        assert ct.JSON.validate([1, 2])
+
+
+class TestCoercion:
+    def test_integer_from_string(self):
+        assert ct.INTEGER.coerce(" 42 ") == 42
+
+    def test_integer_from_integral_float(self):
+        assert ct.INTEGER.coerce(42.0) == 42
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(ValueError):
+            ct.INTEGER.coerce(4.2)
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(ValueError):
+            ct.INTEGER.coerce(True)
+
+    def test_real_from_string(self):
+        assert ct.REAL.coerce("3.5") == 3.5
+
+    def test_text_from_number(self):
+        assert ct.TEXT.coerce(42) == "42"
+
+    def test_boolean_from_strings(self):
+        assert ct.BOOLEAN.coerce("yes") is True
+        assert ct.BOOLEAN.coerce("0") is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ct.BOOLEAN.coerce("maybe")
+
+    def test_date_from_iso_string(self):
+        assert ct.DATE.coerce("2013-10-01") == dt.date(2013, 10, 1)
+
+    def test_date_from_datetime(self):
+        assert ct.DATE.coerce(dt.datetime(2013, 10, 1, 9)) == dt.date(2013, 10, 1)
+
+    def test_datetime_from_iso_string(self):
+        assert ct.DATETIME.coerce("2013-11-12T19:58:09") == dt.datetime(
+            2013, 11, 12, 19, 58, 9
+        )
+
+    def test_datetime_from_date(self):
+        assert ct.DATETIME.coerce(dt.date(2013, 1, 1)) == dt.datetime(2013, 1, 1)
+
+    def test_none_passes_through(self):
+        assert ct.INTEGER.coerce(None) is None
+
+    def test_already_valid_passes_through(self):
+        value = dt.date(2000, 1, 1)
+        assert ct.DATE.coerce(value) is value
+
+
+class TestJsonRoundTrip:
+    def test_date(self):
+        original = dt.date(1975, 6, 30)
+        assert ct.DATE.from_json(ct.DATE.to_json(original)) == original
+
+    def test_datetime(self):
+        original = dt.datetime(2013, 11, 12, 19, 58, 9, 767000)
+        assert ct.DATETIME.from_json(ct.DATETIME.to_json(original)) == original
+
+    def test_none(self):
+        assert ct.DATE.to_json(None) is None
+        assert ct.DATE.from_json(None) is None
+
+    def test_scalars_unchanged(self):
+        assert ct.INTEGER.to_json(5) == 5
+        assert ct.TEXT.from_json("x") == "x"
+
+
+class TestTypeByName:
+    def test_lookup(self):
+        assert type_by_name("INTEGER") is ct.INTEGER
+        assert type_by_name("date") is ct.DATE
+
+    def test_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            type_by_name("BLOB")
+
+    def test_equality_and_hash(self):
+        assert ct.INTEGER == type_by_name("integer")
+        assert hash(ct.TEXT) == hash(type_by_name("TEXT"))
+        assert ct.INTEGER != ct.REAL

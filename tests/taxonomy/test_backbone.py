@@ -1,0 +1,93 @@
+"""The synthetic taxonomic backbone."""
+
+import pytest
+
+from repro.taxonomy.backbone import (
+    ANCHOR_SPECIES,
+    BackboneConfig,
+    build_backbone,
+)
+from repro.taxonomy.model import Rank
+from repro.taxonomy.nomenclature import ScientificName
+
+
+class TestGeneration:
+    def test_species_count_close_to_target(self):
+        # a fresh backbone: the session fixture accumulates renamed
+        # binomials registered by generate_changes
+        backbone = build_backbone(BackboneConfig(seed=9, total_species=400))
+        assert abs(backbone.species_count() - 400) <= 400 * 0.05
+
+    def test_deterministic(self):
+        config = BackboneConfig(seed=11, total_species=200)
+        first = build_backbone(config)
+        second = build_backbone(BackboneConfig(seed=11, total_species=200))
+        assert first.species_names() == second.species_names()
+
+    def test_different_seeds_differ(self):
+        a = build_backbone(BackboneConfig(seed=1, total_species=200))
+        b = build_backbone(BackboneConfig(seed=2, total_species=200))
+        assert a.species_names() != b.species_names()
+
+    def test_all_names_well_formed(self, small_backbone):
+        for name in small_backbone.species_names():
+            parsed = ScientificName.try_parse(name)
+            assert parsed is not None, name
+            assert parsed.is_binomial, name
+
+    def test_no_duplicate_names(self, small_backbone):
+        names = small_backbone.species_names()
+        assert len(names) == len(set(names))
+
+    def test_every_class_present(self, small_backbone):
+        classes = {
+            node.name for node in small_backbone.root.walk()
+            if node.rank is Rank.CLASS
+        }
+        assert {"Amphibia", "Aves", "Mammalia", "Reptilia",
+                "Actinopterygii", "Insecta", "Arachnida"} <= classes
+
+    def test_full_lineages(self, small_backbone):
+        name = small_backbone.species_names()[0]
+        lineage = small_backbone.lineage_of(name)
+        assert set(lineage) == {"kingdom", "phylum", "class", "order",
+                                "family", "genus", "species"}
+
+    def test_too_small_config_rejected(self):
+        with pytest.raises(Exception):
+            BackboneConfig(total_species=1)
+
+
+class TestAnchors:
+    def test_anchor_species_present(self, small_backbone):
+        for anchor in ANCHOR_SPECIES:
+            node = small_backbone.species(anchor["species"])
+            assert node is not None, anchor["species"]
+            lineage = node.lineage()
+            assert lineage["family"] == anchor["family"]
+            assert lineage["class"] == anchor["class"]
+
+    def test_anchors_can_be_disabled(self):
+        backbone = build_backbone(BackboneConfig(
+            seed=5, total_species=120, include_anchors=False))
+        assert backbone.species("Elachistocleis ovalis") is None
+
+
+class TestLookups:
+    def test_species_lookup(self, small_backbone):
+        name = small_backbone.species_names()[10]
+        node = small_backbone.species(name)
+        assert node.name == name
+        assert small_backbone.species("Notareal species") is None
+
+    def test_genus_lookup(self, small_backbone):
+        genus = small_backbone.genus_names()[0]
+        assert small_backbone.genus(genus).rank is Rank.GENUS
+
+    def test_register_species(self, small_backbone):
+        genus_node = small_backbone.genus(small_backbone.genus_names()[0])
+        new_name = f"{genus_node.name} novintroducta"
+        taxon = small_backbone.register_species(new_name, genus_node)
+        assert small_backbone.species(new_name) is taxon
+        # idempotent
+        assert small_backbone.register_species(new_name, genus_node) is taxon

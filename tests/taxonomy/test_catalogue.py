@@ -1,0 +1,109 @@
+"""The Catalogue of Life: resolution, time travel, browsing."""
+
+import pytest
+
+from repro.taxonomy.catalogue import CatalogueOfLife
+
+
+class TestResolution:
+    def test_accepted_name(self, small_catalogue):
+        name = small_catalogue.species_names()[0]
+        resolution = small_catalogue.resolve(name)
+        assert resolution.status == "accepted"
+        assert resolution.accepted_name == name
+        assert resolution.is_known
+
+    def test_outdated_name(self, small_catalogue):
+        resolution = small_catalogue.resolve("Elachistocleis ovalis")
+        assert resolution.is_outdated
+        assert resolution.accepted_name == "Nomen inquirenda"
+        assert resolution.chain[0].reason == "nomen_inquirendum"
+
+    def test_normalization_applied(self, small_catalogue):
+        resolution = small_catalogue.resolve("ELACHISTOCLEIS ovalis")
+        assert resolution.is_outdated
+
+    def test_fuzzy_typo(self, small_catalogue):
+        name = small_catalogue.species_names()[5]
+        resolution = small_catalogue.resolve(name[:-1])
+        assert resolution.status in ("fuzzy", "accepted")
+        if resolution.status == "fuzzy":
+            assert resolution.suggestion == name
+
+    def test_fuzzy_disabled(self, small_catalogue):
+        name = small_catalogue.species_names()[5]
+        resolution = small_catalogue.resolve(name + "xyz", fuzzy=False)
+        assert resolution.status == "not_found"
+
+    def test_unknown_name(self, small_catalogue):
+        resolution = small_catalogue.resolve(
+            "Totally fabricatedspeciesnamezzz", fuzzy=False)
+        assert resolution.status == "not_found"
+        assert not resolution.is_known
+
+    def test_garbage_input(self, small_catalogue):
+        assert small_catalogue.resolve("   ").status == "not_found"
+
+    def test_resolution_to_dict(self, small_catalogue):
+        data = small_catalogue.resolve("Elachistocleis ovalis").to_dict()
+        assert data["status"] == "outdated"
+        assert data["chain"][0]["new_name"] == "Nomen inquirenda"
+
+    def test_is_accepted_and_accepted_name(self, small_catalogue):
+        name = small_catalogue.species_names()[1]
+        assert small_catalogue.is_accepted(name)
+        assert small_catalogue.accepted_name(name) == name
+        assert small_catalogue.accepted_name("Zz zz") is None
+
+
+class TestTimeTravel:
+    def test_before_change_name_is_accepted(self, small_catalogue):
+        view = small_catalogue.as_of(2005)
+        assert view.resolve("Elachistocleis ovalis").status == "accepted"
+
+    def test_after_change_name_is_outdated(self, small_catalogue):
+        view = small_catalogue.as_of(2011)
+        assert view.resolve("Elachistocleis ovalis").is_outdated
+
+    def test_views_share_backbone(self, small_catalogue):
+        view = small_catalogue.as_of(2000)
+        assert view.backbone is small_catalogue.backbone
+
+    def test_advance_to(self, small_catalogue):
+        catalogue = CatalogueOfLife(small_catalogue.backbone,
+                                    small_catalogue.registry,
+                                    as_of_year=2000)
+        assert catalogue.resolve("Elachistocleis ovalis").status == "accepted"
+        catalogue.advance_to(2013)
+        assert catalogue.resolve("Elachistocleis ovalis").is_outdated
+
+    def test_outdated_names_grow_monotonically(self, small_catalogue):
+        counts = [
+            len(small_catalogue.as_of(year).outdated_names())
+            for year in (1995, 2000, 2005, 2010, 2013)
+        ]
+        assert counts == sorted(counts)
+
+
+class TestBrowsing:
+    def test_species_names_excludes_outdated(self, small_catalogue):
+        accepted = set(small_catalogue.species_names())
+        assert "Elachistocleis ovalis" not in accepted
+
+    def test_include_outdated(self, small_catalogue):
+        everything = set(small_catalogue.species_names(include_outdated=True))
+        assert "Elachistocleis ovalis" in everything
+
+    def test_lineage_of_follows_synonymy(self, small_catalogue):
+        # lineage of an outdated name = lineage of its accepted form
+        resolution = small_catalogue.resolve("Elachistocleis ovalis")
+        lineage = small_catalogue.lineage_of("Elachistocleis ovalis")
+        accepted_lineage = small_catalogue.backbone.lineage_of(
+            resolution.accepted_name)
+        assert lineage == accepted_lineage
+
+    def test_stats(self, small_catalogue):
+        stats = small_catalogue.stats()
+        assert stats["backbone_species"] >= 400
+        assert stats["outdated_names"] > 0
+        assert stats["as_of_year"] == 2013

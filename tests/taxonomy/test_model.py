@@ -1,0 +1,71 @@
+"""Taxa, ranks and tree traversal."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.model import Rank, Taxon
+
+
+@pytest.fixture()
+def tree():
+    kingdom = Taxon(1, "Animalia", Rank.KINGDOM)
+    phylum = Taxon(2, "Chordata", Rank.PHYLUM, parent=kingdom)
+    class_ = Taxon(3, "Amphibia", Rank.CLASS, parent=phylum)
+    order = Taxon(4, "Anura", Rank.ORDER, parent=class_)
+    family = Taxon(5, "Hylidae", Rank.FAMILY, parent=order)
+    genus = Taxon(6, "Scinax", Rank.GENUS, parent=family)
+    species = Taxon(7, "Scinax fuscomarginatus", Rank.SPECIES, parent=genus)
+    return kingdom, species
+
+
+class TestRank:
+    def test_ordering(self):
+        assert Rank.KINGDOM < Rank.SPECIES
+        assert Rank.GENUS < Rank.SPECIES
+
+    def test_child_rank(self):
+        assert Rank.GENUS.child_rank is Rank.SPECIES
+        assert Rank.SPECIES.child_rank is None
+
+    def test_str(self):
+        assert str(Rank.CLASS) == "class"
+
+
+class TestTaxon:
+    def test_rank_hierarchy_enforced(self, tree):
+        kingdom, __ = tree
+        with pytest.raises(TaxonomyError):
+            Taxon(99, "Bad", Rank.KINGDOM, parent=kingdom)
+
+    def test_children(self, tree):
+        kingdom, __ = tree
+        assert [c.name for c in kingdom.children] == ["Chordata"]
+
+    def test_ancestor(self, tree):
+        __, species = tree
+        assert species.ancestor(Rank.FAMILY).name == "Hylidae"
+        assert species.ancestor(Rank.SPECIES) is species
+
+    def test_ancestor_missing_rank(self):
+        lone = Taxon(1, "Animalia", Rank.KINGDOM)
+        assert lone.ancestor(Rank.GENUS) is None
+
+    def test_lineage(self, tree):
+        __, species = tree
+        lineage = species.lineage()
+        assert lineage == {
+            "kingdom": "Animalia", "phylum": "Chordata",
+            "class": "Amphibia", "order": "Anura", "family": "Hylidae",
+            "genus": "Scinax", "species": "Scinax fuscomarginatus",
+        }
+
+    def test_walk_depth_first(self, tree):
+        kingdom, __ = tree
+        names = [node.name for node in kingdom.walk()]
+        assert names[0] == "Animalia"
+        assert names[-1] == "Scinax fuscomarginatus"
+        assert len(names) == 7
+
+    def test_species_iterator(self, tree):
+        kingdom, species = tree
+        assert list(kingdom.species()) == [species]

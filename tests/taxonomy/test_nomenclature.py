@@ -1,0 +1,148 @@
+"""Scientific-name parsing, normalization and edit distance."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import InvalidNameError
+from repro.taxonomy.nomenclature import (
+    ScientificName,
+    closest_names,
+    levenshtein,
+    normalize_name,
+)
+
+
+class TestParsing:
+    def test_binomial(self):
+        name = ScientificName.parse("Elachistocleis ovalis")
+        assert name.genus == "Elachistocleis"
+        assert name.epithet == "ovalis"
+        assert name.is_binomial
+
+    def test_with_authorship(self):
+        name = ScientificName.parse("Elachistocleis ovalis (Schneider, 1799)")
+        assert name.canonical == "Elachistocleis ovalis"
+        assert "1799" in name.authorship
+
+    def test_genus_only(self):
+        name = ScientificName.parse("Scinax")
+        assert name.epithet is None
+        assert not name.is_binomial
+        assert name.canonical == "Scinax"
+
+    def test_garbage_rejected(self):
+        for bad in ("", "123", "x", "Genus 123", "not! a! name!"):
+            assert ScientificName.try_parse(bad) is None
+
+    def test_lowercase_genus_normalized_not_rejected(self):
+        # stage-1 cleaning depends on this: a lowercase genus is a
+        # recoverable slip, not garbage
+        assert ScientificName.try_parse("scinax").canonical == "Scinax"
+
+    def test_parse_raises(self):
+        with pytest.raises(InvalidNameError):
+            ScientificName.parse("not! a! name!")
+
+    def test_hyphenated_epithet(self):
+        name = ScientificName.parse("Hyla x-signata")
+        assert name.epithet == "x-signata"
+
+
+class TestNormalization:
+    def test_upper_genus(self):
+        assert normalize_name("SCINAX fuscomarginatus") == (
+            "Scinax fuscomarginatus")
+
+    def test_lower_genus(self):
+        assert normalize_name("scinax fuscomarginatus") == (
+            "Scinax fuscomarginatus")
+
+    def test_capitalized_epithet(self):
+        assert normalize_name("Scinax Fuscomarginatus") == (
+            "Scinax fuscomarginatus")
+
+    def test_whitespace_collapsed(self):
+        assert normalize_name("  Scinax   fuscomarginatus ") == (
+            "Scinax fuscomarginatus")
+
+    def test_clean_name_unchanged(self):
+        assert normalize_name("Scinax fuscomarginatus") == (
+            "Scinax fuscomarginatus")
+
+    def test_empty_raises(self):
+        with pytest.raises(InvalidNameError):
+            normalize_name("   ")
+
+    def test_authorship_untouched(self):
+        assert normalize_name("Hyla alba (Laurenti, 1768)") == (
+            "Hyla alba (Laurenti, 1768)")
+
+
+class TestImmutabilityAndEquality:
+    def test_immutable(self):
+        name = ScientificName.parse("Hyla alba")
+        with pytest.raises(AttributeError):
+            name.genus = "Other"
+
+    def test_equality_ignores_authorship(self):
+        a = ScientificName.parse("Hyla alba (Laurenti, 1768)")
+        b = ScientificName.parse("Hyla alba")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_equality_with_string(self):
+        assert ScientificName.parse("Hyla alba") == "Hyla alba"
+
+    def test_genus_transfer(self):
+        name = ScientificName.parse("Hyla alba")
+        moved = name.with_genus("Scinax")
+        assert moved.canonical == "Scinax alba"
+
+
+class TestLevenshtein:
+    def test_identity(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_known_distances(self):
+        assert levenshtein("kitten", "sitting") == 3
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("a", "b") == 1
+
+    def test_limit_short_circuits(self):
+        assert levenshtein("aaaa", "bbbbbbbbbb", limit=2) == 3
+
+    def test_limit_exact_when_within(self):
+        assert levenshtein("kitten", "sitting", limit=5) == 3
+
+    def test_closest_names(self):
+        candidates = ["Hyla alba", "Hyla albata", "Scinax ruber"]
+        hits = closest_names("Hyla alb", candidates, max_distance=2)
+        assert hits[0] == ("Hyla alba", 1)
+        assert all(d <= 2 for __, d in hits)
+
+
+@given(st.text(max_size=15), st.text(max_size=15))
+def test_levenshtein_symmetry(a, b):
+    assert levenshtein(a, b) == levenshtein(b, a)
+
+
+@given(st.text(max_size=12), st.text(max_size=12), st.text(max_size=12))
+def test_levenshtein_triangle_inequality(a, b, c):
+    assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+
+@given(st.text(max_size=15))
+def test_levenshtein_identity_property(a):
+    assert levenshtein(a, a) == 0
+
+
+@given(st.text(min_size=1, max_size=15), st.integers(0, 5))
+def test_levenshtein_limit_consistency(a, limit):
+    b = a[::-1]
+    full = levenshtein(a, b)
+    limited = levenshtein(a, b, limit=limit)
+    if full <= limit:
+        assert limited == full
+    else:
+        assert limited == limit + 1

@@ -1,0 +1,112 @@
+"""The simulated Catalogue of Life web service."""
+
+import pytest
+
+from repro.errors import ServiceUnavailableError
+from repro.taxonomy.service import CatalogueService
+
+
+class TestAvailability:
+    def test_perfect_service_never_fails(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=1.0, seed=1)
+        for name in small_catalogue.species_names()[:50]:
+            service.lookup(name)
+        assert service.stats.failures == 0
+        assert service.stats.measured_availability == 1.0
+
+    def test_dead_service_always_fails(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.0, seed=1)
+        with pytest.raises(ServiceUnavailableError):
+            service.lookup("Hyla alba")
+        assert service.stats.failures == 1
+
+    def test_failure_rate_tracks_availability(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.9,
+                                   seed=42)
+        names = small_catalogue.species_names()
+        for name in names[:300]:
+            try:
+                service.lookup(name)
+            except ServiceUnavailableError:
+                pass
+        assert service.stats.measured_availability == pytest.approx(
+            0.9, abs=0.06)
+
+    def test_deterministic_fault_sequence(self, small_catalogue):
+        def failures(seed):
+            service = CatalogueService(small_catalogue, availability=0.8,
+                                       seed=seed)
+            outcome = []
+            for name in small_catalogue.species_names()[:40]:
+                try:
+                    service.lookup(name)
+                    outcome.append(True)
+                except ServiceUnavailableError:
+                    outcome.append(False)
+            return outcome
+
+        assert failures(7) == failures(7)
+        assert failures(7) != failures(8)
+
+    def test_invalid_parameters(self, small_catalogue):
+        with pytest.raises(ValueError):
+            CatalogueService(small_catalogue, availability=1.5)
+        with pytest.raises(ValueError):
+            CatalogueService(small_catalogue, reputation=-0.1)
+
+
+class TestRetry:
+    def test_retry_recovers(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.5,
+                                   seed=3)
+        resolved = sum(
+            1 for name in small_catalogue.species_names()[:60]
+            if service.lookup_with_retry(name, max_attempts=5) is not None
+        )
+        # residual failure odds per name are 0.5^5 ~ 3%; allow sampling slack
+        assert resolved >= 52
+
+    def test_retries_counted(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.5,
+                                   seed=3)
+        service.lookup_many(small_catalogue.species_names()[:40],
+                            max_attempts=3)
+        assert service.stats.retries > 0
+
+    def test_exhausted_retries_return_none(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.0,
+                                   seed=1)
+        assert service.lookup_with_retry("Hyla alba") is None
+
+    def test_lookup_many_shape(self, reliable_service, small_catalogue):
+        names = small_catalogue.species_names()[:5]
+        results = reliable_service.lookup_many(names)
+        assert set(results) == set(names)
+        assert all(r.status == "accepted" for r in results.values())
+
+
+class TestQualityProfile:
+    def test_declared_quality(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.9,
+                                   reputation=1.0)
+        assert service.quality == {"reputation": 1.0, "availability": 0.9}
+
+    def test_simulated_time_accumulates(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=1.0,
+                                   latency_seconds=0.01, seed=1)
+        for name in small_catalogue.species_names()[:10]:
+            service.lookup(name)
+        assert service.stats.simulated_seconds == pytest.approx(0.1)
+
+    def test_failed_calls_cost_more_time(self, small_catalogue):
+        service = CatalogueService(small_catalogue, availability=0.0,
+                                   latency_seconds=0.01,
+                                   failure_latency_seconds=0.05, seed=1)
+        with pytest.raises(ServiceUnavailableError):
+            service.lookup("Hyla alba")
+        assert service.stats.simulated_seconds == pytest.approx(0.05)
+
+    def test_stats_reset(self, reliable_service, small_catalogue):
+        reliable_service.lookup(small_catalogue.species_names()[0])
+        reliable_service.stats.reset()
+        assert reliable_service.stats.calls == 0

@@ -1,0 +1,135 @@
+"""Name changes and the synonym registry."""
+
+import pytest
+
+from repro.errors import TaxonomyError
+from repro.taxonomy.backbone import BackboneConfig, build_backbone
+from repro.taxonomy.synonyms import (
+    NameChange,
+    SynonymRegistry,
+    generate_changes,
+)
+
+
+class TestNameChange:
+    def test_basic(self):
+        change = NameChange("Hyla alba", "Scinax albus", 2005,
+                            "genus_transfer")
+        assert change.year == 2005
+
+    def test_self_change_rejected(self):
+        with pytest.raises(TaxonomyError):
+            NameChange("Hyla alba", "Hyla alba", 2005)
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(TaxonomyError):
+            NameChange("A b", "C d", 2005, "because")
+
+
+class TestRegistry:
+    def test_current_name_simple(self):
+        registry = SynonymRegistry([
+            NameChange("A b", "C d", 2000),
+        ])
+        current, applied = registry.current_name("A b")
+        assert current == "C d"
+        assert len(applied) == 1
+
+    def test_chain_follows_in_year_order(self):
+        registry = SynonymRegistry([
+            NameChange("A b", "C d", 2000),
+            NameChange("C d", "E f", 2005),
+        ])
+        current, applied = registry.current_name("A b")
+        assert current == "E f"
+        assert [c.year for c in applied] == [2000, 2005]
+
+    def test_as_of_year_cuts_chain(self):
+        registry = SynonymRegistry([
+            NameChange("A b", "C d", 2000),
+            NameChange("C d", "E f", 2005),
+        ])
+        current, applied = registry.current_name("A b", as_of_year=2003)
+        assert current == "C d"
+        assert len(applied) == 1
+
+    def test_unchanged_name_returns_itself(self):
+        registry = SynonymRegistry()
+        current, applied = registry.current_name("A b")
+        assert current == "A b"
+        assert applied == []
+
+    def test_cycle_broken(self):
+        registry = SynonymRegistry([
+            NameChange("A b", "C d", 2000),
+            NameChange("C d", "A b", 2005),
+        ])
+        current, applied = registry.current_name("A b")
+        # stops before revisiting A b
+        assert current == "C d"
+
+    def test_duplicate_year_rejected(self):
+        registry = SynonymRegistry([NameChange("A b", "C d", 2000)])
+        with pytest.raises(TaxonomyError):
+            registry.add(NameChange("A b", "E f", 2000))
+
+    def test_changed_names_by_year(self):
+        registry = SynonymRegistry([
+            NameChange("A b", "C d", 2000),
+            NameChange("E f", "G h", 2010),
+        ])
+        assert registry.changed_names(2005) == {"A b"}
+        assert registry.changed_names() == {"A b", "E f"}
+
+    def test_iteration_sorted(self):
+        registry = SynonymRegistry([
+            NameChange("Z z", "A a", 2010),
+            NameChange("B b", "C c", 2000),
+        ])
+        years = [c.year for c in registry]
+        assert years == [2000, 2010]
+
+
+class TestGenerateChanges:
+    @pytest.fixture(scope="class")
+    def backbone_and_registry(self):
+        backbone = build_backbone(BackboneConfig(seed=3, total_species=500))
+        registry = generate_changes(backbone, start_year=1990,
+                                    end_year=2013, yearly_rate=0.01, seed=3)
+        return backbone, registry
+
+    def test_anchor_change_present(self, backbone_and_registry):
+        __, registry = backbone_and_registry
+        current, applied = registry.current_name("Elachistocleis ovalis")
+        assert current == "Nomen inquirenda"
+        assert applied[0].year == 2010
+        assert applied[0].reason == "nomen_inquirendum"
+
+    def test_volume_matches_rate(self, backbone_and_registry):
+        backbone, registry = backbone_and_registry
+        # ~24 years x 1%/year of ~500 species: order of magnitude check
+        assert 60 <= len(registry) <= 180
+
+    def test_changes_are_dated_in_window(self, backbone_and_registry):
+        __, registry = backbone_and_registry
+        for change in registry:
+            assert 1990 <= change.year <= 2013
+
+    def test_deterministic(self):
+        backbone1 = build_backbone(BackboneConfig(seed=4, total_species=300))
+        backbone2 = build_backbone(BackboneConfig(seed=4, total_species=300))
+        first = generate_changes(backbone1, seed=4, yearly_rate=0.01)
+        second = generate_changes(backbone2, seed=4, yearly_rate=0.01)
+        assert [c.to_dict() for c in first] == [c.to_dict() for c in second]
+
+    def test_new_binomials_registered_in_backbone(self, backbone_and_registry):
+        backbone, registry = backbone_and_registry
+        for change in registry:
+            if change.reason in ("genus_transfer", "spelling_emendation",
+                                 "new_species_split"):
+                assert backbone.species(change.new_name) is not None
+
+    def test_each_old_name_changed_once(self, backbone_and_registry):
+        __, registry = backbone_and_registry
+        old_names = [c.old_name for c in registry]
+        assert len(old_names) == len(set(old_names))

@@ -1,0 +1,90 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_detect_defaults(self):
+        args = build_parser().parse_args(["detect"])
+        assert args.records == 1_000
+        assert args.availability == 0.9
+
+    def test_seed_is_global(self):
+        args = build_parser().parse_args(["--seed", "7", "decay"])
+        assert args.seed == 7
+
+
+class TestDetect:
+    def test_runs_and_prints_summary(self, capsys):
+        code = main(["--seed", "7", "detect", "--records", "300",
+                     "--species", "80", "--outdated", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "records processed:" in out
+        assert "300" in out
+        assert "Quality assessment" in out
+        assert "reputation" in out
+
+
+class TestDecay:
+    def test_prints_policy_table(self, capsys):
+        code = main(["--seed", "7", "decay", "--start", "2000",
+                     "--end", "2005", "--period", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "periodic" in out
+        assert "2000" in out and "2005" in out
+
+
+class TestArchive:
+    def test_prints_capabilities(self, capsys):
+        code = main(["--seed", "7", "archive", "--level", "1",
+                     "--records", "200"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "level 1" in out
+        assert "cite_the_dataset" in out
+
+    def test_writes_package(self, tmp_path, capsys):
+        target = tmp_path / "package.json"
+        code = main(["--seed", "7", "archive", "--level", "2",
+                     "--records", "200", "--output", str(target)])
+        assert code == 0
+        with target.open() as handle:
+            package = json.load(handle)
+        assert "simplified_records" in package
+        assert "records" not in package  # level 2 stops there
+
+
+class TestPublish:
+    def test_requires_a_target(self, capsys):
+        code = main(["--seed", "7", "publish", "--records", "100"])
+        assert code == 1
+
+    def test_writes_triples_and_csv(self, tmp_path, capsys):
+        triples = tmp_path / "out.nt"
+        csv_path = tmp_path / "out.csv"
+        code = main(["--seed", "7", "publish", "--records", "100",
+                     "--triples", str(triples), "--csv", str(csv_path)])
+        assert code == 0
+        assert triples.read_text().strip().endswith(" .")
+        lines = csv_path.read_text().splitlines()
+        assert len(lines) == 101  # header + 100 rows
+        assert "species" in lines[0]
+
+
+class TestCrossref:
+    def test_prints_dividend(self, capsys):
+        code = main(["--seed", "7", "crossref", "--publications", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "raw_links" in out
+        assert "recovered_by_curation" in out

@@ -1,0 +1,104 @@
+"""Quality annotations: the Q(dimension) mini-language of Listing 1."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.annotations import AnnotationAssertion, QualityAnnotation
+
+
+LISTING_1_TEXT = """\
+Q(reputation): 1;
+Q(availability): 0.9;
+"""
+
+
+class TestParsing:
+    def test_listing_1(self):
+        quality = QualityAnnotation.parse(LISTING_1_TEXT)
+        assert quality["reputation"] == 1.0
+        assert quality["availability"] == 0.9
+
+    def test_parse_with_prose(self):
+        text = "Measured in October 2013.\nQ(reputation): 0.8; thanks"
+        quality = QualityAnnotation.parse(text)
+        assert dict(quality) == {"reputation": 0.8}
+
+    def test_parse_no_statements(self):
+        assert len(QualityAnnotation.parse("just a note")) == 0
+
+    def test_whitespace_tolerant(self):
+        quality = QualityAnnotation.parse("Q( reputation ) :  0.75 ;")
+        assert quality["reputation"] == 0.75
+
+    def test_scientific_notation(self):
+        quality = QualityAnnotation.parse("Q(x): 5e-1;")
+        assert quality["x"] == 0.5
+
+
+class TestValidation:
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkflowError):
+            QualityAnnotation({"reputation": 7})
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkflowError):
+            QualityAnnotation({"reputation": -0.1})
+
+    def test_bounds_inclusive(self):
+        QualityAnnotation({"a": 0.0, "b": 1.0})
+
+
+class TestMappingProtocol:
+    def test_iteration_sorted(self):
+        quality = QualityAnnotation({"b": 0.5, "a": 0.25})
+        assert list(quality) == ["a", "b"]
+
+    def test_len_and_contains(self):
+        quality = QualityAnnotation({"a": 1})
+        assert len(quality) == 1
+        assert "a" in quality
+
+    def test_equality_with_dict(self):
+        assert QualityAnnotation({"a": 0.5}) == {"a": 0.5}
+
+
+class TestRoundTrip:
+    def test_text_round_trip(self):
+        original = QualityAnnotation({"reputation": 1.0,
+                                      "availability": 0.9})
+        assert QualityAnnotation.parse(original.to_text()) == original
+
+    def test_to_text_format(self):
+        text = QualityAnnotation({"reputation": 1.0}).to_text()
+        assert text == "Q(reputation): 1;"
+
+    def test_merge_right_bias(self):
+        left = QualityAnnotation({"a": 0.1, "b": 0.2})
+        right = QualityAnnotation({"b": 0.9})
+        merged = left.merged_with(right)
+        assert merged["a"] == 0.1
+        assert merged["b"] == 0.9
+
+
+class TestAnnotationAssertion:
+    def test_default_date_is_listing_1(self):
+        assertion = AnnotationAssertion("x")
+        assert assertion.date == dt.datetime(2013, 11, 12, 19, 58, 9)
+
+    def test_quality_property(self):
+        assertion = AnnotationAssertion(LISTING_1_TEXT)
+        assert assertion.quality["availability"] == 0.9
+
+    def test_from_quality(self):
+        assertion = AnnotationAssertion.from_quality(
+            {"reputation": 1.0}, creator="expert")
+        assert assertion.creator == "expert"
+        assert assertion.quality["reputation"] == 1.0
+
+    def test_dict_round_trip(self):
+        assertion = AnnotationAssertion(
+            "Q(a): 0.5;", date=dt.datetime(2013, 1, 1), creator="c")
+        restored = AnnotationAssertion.from_dict(assertion.to_dict())
+        assert restored == assertion

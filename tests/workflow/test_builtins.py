@@ -1,0 +1,106 @@
+"""Builtin processor kinds."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.builtins import (
+    FUNCTION_TABLE,
+    builtin_registry,
+    register_function,
+)
+from repro.workflow.model import Processor
+
+
+def run_kind(kind, config=None, inputs=None):
+    registry = builtin_registry()
+    processor = Processor("p", kind, config=config or {})
+    return registry.resolve(processor)(inputs or {})
+
+
+class TestConstant:
+    def test_emits_value(self):
+        assert run_kind("constant", {"value": 42}) == {"value": 42}
+
+    def test_default_none(self):
+        assert run_kind("constant") == {"value": None}
+
+
+class TestIdentityRename:
+    def test_identity(self):
+        assert run_kind("identity", inputs={"a": 1, "b": 2}) == {"a": 1, "b": 2}
+
+    def test_rename(self):
+        out = run_kind("rename", {"mapping": {"a": "x"}}, {"a": 5, "b": 6})
+        assert out == {"x": 5}
+
+    def test_rename_missing_source_is_none(self):
+        assert run_kind("rename", {"mapping": {"a": "x"}}, {}) == {"x": None}
+
+
+class TestPython:
+    def test_named_function(self):
+        register_function("triple", lambda x: x * 3)
+        out = run_kind("python", {"function": "triple"}, {"x": 4})
+        assert out == {"result": 12}
+
+    def test_custom_output_port(self):
+        register_function("plus", lambda x: x + 1)
+        out = run_kind("python", {"function": "plus", "output": "y"}, {"x": 1})
+        assert out == {"y": 2}
+
+    def test_mapping_result_passes_through(self):
+        register_function("multi", lambda x: {"a": x, "b": x * 2})
+        out = run_kind("python", {"function": "multi"}, {"x": 3})
+        assert out == {"a": 3, "b": 6}
+
+    def test_unknown_function_rejected_at_resolve(self):
+        with pytest.raises(WorkflowError):
+            run_kind("python", {"function": "does_not_exist"})
+
+    def test_register_function_visible(self):
+        register_function("marker", lambda: None)
+        assert "marker" in FUNCTION_TABLE
+
+
+class TestListKinds:
+    def test_select_field(self):
+        records = [{"a": 1}, {"a": 2}, {"b": 3}]
+        out = run_kind("select_field", {"field": "a"}, {"records": records})
+        assert out == {"values": [1, 2, None]}
+
+    def test_select_field_requires_config(self):
+        with pytest.raises(WorkflowError):
+            run_kind("select_field", {})
+
+    def test_distinct_preserves_order(self):
+        out = run_kind("distinct", inputs={"values": [3, 1, 3, 2, 1]})
+        assert out == {"values": [3, 1, 2]}
+
+    def test_distinct_empty(self):
+        assert run_kind("distinct", inputs={"values": None}) == {"values": []}
+
+    def test_length(self):
+        assert run_kind("length", inputs={"values": [1, 2]}) == {"count": 2}
+        assert run_kind("length", inputs={}) == {"count": 0}
+
+    def test_merge_dicts(self):
+        out = run_kind("merge_dicts",
+                       inputs={"b": {"y": 2}, "a": {"x": 1, "y": 0}})
+        # sorted port order: a merged first, b overwrites shared keys
+        assert out == {"merged": {"x": 1, "y": 2}}
+
+    def test_merge_ignores_non_mappings(self):
+        out = run_kind("merge_dicts", inputs={"a": {"x": 1}, "b": 5})
+        assert out == {"merged": {"x": 1}}
+
+
+class TestRegistrySharing:
+    def test_builtin_registry_is_singleton(self):
+        assert builtin_registry() is builtin_registry()
+
+    def test_engine_copies_registry(self):
+        from repro.workflow.engine import WorkflowEngine
+
+        engine = WorkflowEngine()
+        engine.registry.register_function("engine_local", lambda i: {})
+        assert "engine_local" not in builtin_registry().kinds()

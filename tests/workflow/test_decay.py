@@ -1,0 +1,129 @@
+"""Workflow decay detection (Zhao et al. style)."""
+
+import pytest
+
+from repro.workflow.builtins import builtin_registry, register_function
+from repro.workflow.decay import (
+    DEAD_SERVICE_THRESHOLD,
+    DecayCause,
+    DecayReport,
+    DecayScanner,
+)
+from repro.workflow.model import Processor, ProcessorRegistry, Workflow
+from repro.workflow.repository import WorkflowRepository
+
+
+def healthy_workflow():
+    register_function("decay_fn", lambda values: values)
+    wf = Workflow("healthy")
+    wf.add_processor(Processor("step", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "decay_fn"}))
+    wf.map_input("v", "step", "values")
+    wf.map_output("o", "step", "result")
+    return wf
+
+
+@pytest.fixture()
+def scanner():
+    return DecayScanner(builtin_registry().copy())
+
+
+class TestHealthy:
+    def test_no_decay(self, scanner):
+        report = scanner.scan(healthy_workflow())
+        assert not report.decayed
+        assert report.runnable
+        assert "healthy" in report.render()
+
+
+class TestCauses:
+    def test_missing_implementation(self, scanner):
+        wf = Workflow("w")
+        wf.add_processor(Processor("gone", "vanished_kind"))
+        report = scanner.scan(wf)
+        assert report.decayed
+        assert not report.runnable
+        causes = report.causes_of("missing_implementation")
+        assert causes[0].processor == "gone"
+
+    def test_missing_function(self, scanner):
+        wf = Workflow("w")
+        wf.add_processor(Processor("step", "python",
+                                   config={"function": "never_registered"}))
+        report = scanner.scan(wf)
+        assert report.causes_of("missing_function")
+
+    def test_dead_service(self):
+        scanner = DecayScanner(
+            builtin_registry().copy(),
+            service_availability={"catalogue_lookup": 0.05}.get,
+        )
+        wf = Workflow("w")
+        registry = scanner.registry
+        registry.register_function("catalogue_lookup", lambda i: {})
+        wf.add_processor(Processor("cat", "catalogue_lookup"))
+        report = scanner.scan(wf)
+        causes = report.causes_of("dead_service")
+        assert len(causes) == 1
+        assert report.runnable  # degraded, but executable
+
+    def test_live_service_not_flagged(self):
+        scanner = DecayScanner(
+            builtin_registry().copy(),
+            service_availability={"identity": DEAD_SERVICE_THRESHOLD}.get,
+        )
+        wf = Workflow("w")
+        wf.add_processor(Processor("p", "identity"))
+        assert not scanner.scan(wf).causes_of("dead_service")
+
+    def test_structural_rot(self, scanner):
+        wf = healthy_workflow()
+        wf.link("step", "no_such_port", "step", "values")
+        report = scanner.scan(wf)
+        assert report.causes_of("structural")
+        assert not report.runnable
+
+    def test_summary_counts(self, scanner):
+        wf = Workflow("w")
+        wf.add_processor(Processor("a", "vanished"))
+        wf.add_processor(Processor("b", "python",
+                                   config={"function": "nope"}))
+        summary = scanner.scan(wf).summary()
+        assert summary["missing_implementation"] == 1
+        assert summary["missing_function"] == 1
+        assert summary["total"] == 2
+
+    def test_unknown_cause_kind_rejected(self):
+        with pytest.raises(Exception):
+            DecayCause("bit_rot", None, "x")
+
+
+class TestRepositoryScan:
+    def test_scan_repository(self, scanner):
+        repository = WorkflowRepository()
+        repository.save(healthy_workflow())
+        decayed = Workflow("rotten")
+        decayed.add_processor(Processor("gone", "vanished_kind"))
+        repository.save(decayed)
+        reports = scanner.scan_repository(repository)
+        assert set(reports) == {"healthy", "rotten"}
+        assert scanner.decayed_workflows(repository) == ["rotten"]
+
+    def test_decay_appears_over_time(self):
+        """The paper's point: a workflow fine today decays as its
+        environment changes — here, the registry loses a kind."""
+        repository = WorkflowRepository()
+        registry = ProcessorRegistry()
+        registry.register_function("python", lambda i: {})
+        registry.register_function("special_service", lambda i: {})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "special_service"))
+        repository.save(wf)
+        assert not DecayScanner(registry).scan(
+            repository.load("w")).decayed
+        # years later, the service's kind is no longer deployed
+        newer_registry = ProcessorRegistry()
+        newer_registry.register_function("python", lambda i: {})
+        assert DecayScanner(newer_registry).scan(
+            repository.load("w")).decayed

@@ -1,0 +1,196 @@
+"""The execution engine: dataflow, clock, traces, failure semantics."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import WorkflowExecutionError, WorkflowValidationError
+from repro.workflow.builtins import register_function
+from repro.workflow.engine import (
+    DEFAULT_EPOCH,
+    SimulatedClock,
+    WorkflowEngine,
+)
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.ports import InputPort
+
+
+register_function("add_one", lambda values: [v + 1 for v in values])
+register_function("explode", lambda **kwargs: (_ for _ in ()).throw(
+    ValueError("kaboom")))
+register_function("slow", lambda x: {"y": x, "__duration__": 60.0})
+
+
+def linear_workflow():
+    wf = Workflow("linear")
+    wf.add_processor(Processor("inc", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "add_one"}))
+    wf.map_input("values", "inc", "values")
+    wf.map_output("out", "inc", "result")
+    return wf
+
+
+class TestSimulatedClock:
+    def test_default_epoch_is_listing_1(self):
+        assert SimulatedClock().now() == dt.datetime(2013, 11, 12, 19, 58, 9)
+        assert DEFAULT_EPOCH.year == 2013
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        start = clock.now()
+        clock.advance(90)
+        assert (clock.now() - start).total_seconds() == 90
+
+    def test_no_backwards(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+
+class TestExecution:
+    def test_basic_run(self):
+        result = WorkflowEngine().run(linear_workflow(), {"values": [1, 2]})
+        assert result.outputs == {"out": [2, 3]}
+        assert result.succeeded
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="missing"):
+            WorkflowEngine().run(linear_workflow(), {})
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(WorkflowValidationError, match="unknown"):
+            WorkflowEngine().run(linear_workflow(),
+                                 {"values": [], "bogus": 1})
+
+    def test_run_ids_increment(self):
+        engine = WorkflowEngine()
+        first = engine.run(linear_workflow(), {"values": []})
+        second = engine.run(linear_workflow(), {"values": []})
+        assert first.run_id != second.run_id
+
+    def test_defaults_flow_to_unconnected_ports(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor(
+            "p", "identity",
+            inputs=[InputPort("x", default="fallback")], outputs=["x"]))
+        wf.map_output("out", "p", "x")
+        result = WorkflowEngine().run(wf, {})
+        assert result.outputs == {"out": "fallback"}
+
+    def test_dataflow_across_processors(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("first", "python", inputs=["values"],
+                                   outputs=["result"],
+                                   config={"function": "add_one"}))
+        wf.add_processor(Processor("second", "python", inputs=["values"],
+                                   outputs=["result"],
+                                   config={"function": "add_one"}))
+        wf.map_input("values", "first", "values")
+        wf.link("first", "result", "second", "values")
+        wf.map_output("out", "second", "result")
+        result = WorkflowEngine().run(wf, {"values": [0]})
+        assert result.outputs == {"out": [2]}
+
+
+class TestFailures:
+    def failing_workflow(self, allow_failure=False):
+        wf = Workflow("failing")
+        config = {"function": "explode"}
+        if allow_failure:
+            config["allow_failure"] = True
+        wf.add_processor(Processor("boom", "python",
+                                   inputs=[InputPort("x", default=None)],
+                                   outputs=["result"], config=config))
+        wf.map_output("out", "boom", "result")
+        return wf
+
+    def test_failure_raises_and_marks_trace(self):
+        engine = WorkflowEngine()
+        captured = {}
+        engine.add_listener(
+            lambda event, payload: captured.update({event: payload}))
+        with pytest.raises(WorkflowExecutionError) as excinfo:
+            engine.run(self.failing_workflow())
+        assert excinfo.value.processor == "boom"
+        trace = captured["run_finished"]["trace"]
+        assert trace.status == "failed"
+        assert trace.failed_processors() == ["boom"]
+
+    def test_allow_failure_continues(self):
+        result = WorkflowEngine().run(self.failing_workflow(allow_failure=True))
+        assert result.succeeded
+        assert result.outputs == {"out": None}
+        run = result.trace.run_for("boom")
+        assert run.status == "failed"
+        assert "kaboom" in run.error
+
+
+class TestClockAndDurations:
+    def test_duration_convention(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "python", inputs=["x"],
+                                   outputs=["y"],
+                                   config={"function": "slow"}))
+        wf.map_input("x", "s", "x")
+        wf.map_output("y", "s", "y")
+        engine = WorkflowEngine()
+        result = engine.run(wf, {"x": 5})
+        assert result.outputs == {"y": 5}
+        run = result.trace.run_for("s")
+        assert run.duration.total_seconds() == pytest.approx(60.0)
+        # __duration__ must not leak into outputs
+        assert "__duration__" not in result.outputs
+
+    def test_trace_times_monotone(self):
+        engine = WorkflowEngine()
+        result = engine.run(linear_workflow(), {"values": [1]})
+        trace = result.trace
+        assert trace.finished >= trace.started
+        for run in trace.processor_runs:
+            assert run.finished >= run.started
+
+
+class TestTraceContents:
+    def test_bindings_recorded(self):
+        result = WorkflowEngine().run(linear_workflow(), {"values": [1]})
+        trace = result.trace
+        inputs = list(trace.bindings_for("inc", "input"))
+        outputs = list(trace.bindings_for("inc", "output"))
+        assert len(inputs) == 1 and inputs[0].value == [1]
+        assert len(outputs) == 1 and outputs[0].value == [2]
+
+    def test_artifact_id_shared_along_link(self):
+        """The same value flowing through a link keeps its artifact id."""
+        result = WorkflowEngine().run(linear_workflow(), {"values": [1]})
+        trace = result.trace
+        workflow_input = [
+            b for b in trace.bindings
+            if b.processor == Workflow.IO and b.direction == "input"
+        ][0]
+        processor_input = list(trace.bindings_for("inc", "input"))[0]
+        assert workflow_input.artifact_id == processor_input.artifact_id
+
+    def test_trace_dict_round_trip(self):
+        from repro.workflow.trace import WorkflowTrace
+
+        result = WorkflowEngine().run(linear_workflow(), {"values": [1]})
+        restored = WorkflowTrace.from_dict(result.trace.to_dict())
+        assert restored.run_id == result.trace.run_id
+        assert restored.outputs == result.trace.outputs
+        assert len(restored.bindings) == len(result.trace.bindings)
+
+    def test_inputs_outputs_on_trace(self):
+        result = WorkflowEngine().run(linear_workflow(), {"values": [7]})
+        assert result.trace.inputs == {"values": [7]}
+        assert result.trace.outputs == {"out": [8]}
+
+
+class TestListeners:
+    def test_event_sequence(self):
+        events = []
+        engine = WorkflowEngine()
+        engine.add_listener(lambda event, payload: events.append(event))
+        engine.run(linear_workflow(), {"values": []})
+        assert events[0] == "run_started"
+        assert events[-1] == "run_finished"
+        assert "processor_finished" in events

@@ -1,0 +1,93 @@
+"""Implicit iteration (Taverna-style) in the engine."""
+
+import pytest
+
+from repro.workflow.builtins import register_function
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.ports import InputPort
+
+register_function("iter_square", lambda x, offset=0: x * x + offset)
+register_function("iter_slow", lambda x: {"y": x + 1, "__duration__": 2.0})
+
+
+def iterating_workflow(config_extra=None):
+    config = {"function": "iter_square", "output": "y",
+              "iterate_over": "x"}
+    config.update(config_extra or {})
+    wf = Workflow("iterating")
+    wf.add_processor(Processor(
+        "sq", "python",
+        inputs=["x", InputPort("offset", default=0)],
+        outputs=["y"], config=config))
+    wf.map_input("values", "sq", "x")
+    wf.map_output("squares", "sq", "y")
+    return wf
+
+
+class TestImplicitIteration:
+    def test_maps_over_list(self):
+        result = WorkflowEngine().run(iterating_workflow(),
+                                      {"values": [1, 2, 3]})
+        assert result.outputs == {"squares": [1, 4, 9]}
+
+    def test_scalar_input_runs_once(self):
+        result = WorkflowEngine().run(iterating_workflow(), {"values": 5})
+        assert result.outputs == {"squares": 25}
+
+    def test_empty_list(self):
+        result = WorkflowEngine().run(iterating_workflow(), {"values": []})
+        assert result.outputs == {"squares": []}
+
+    def test_other_ports_broadcast(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor(
+            "sq", "python",
+            inputs=["x", "offset"], outputs=["y"],
+            config={"function": "iter_square", "output": "y",
+                    "iterate_over": "x"}))
+        wf.map_input("values", "sq", "x")
+        wf.map_input("offset", "sq", "offset")
+        wf.map_output("out", "sq", "y")
+        result = WorkflowEngine().run(wf, {"values": [1, 2],
+                                           "offset": 100})
+        assert result.outputs == {"out": [101, 104]}
+
+    def test_durations_accumulate(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor(
+            "s", "python", inputs=["x"], outputs=["y"],
+            config={"function": "iter_slow", "iterate_over": "x"}))
+        wf.map_input("values", "s", "x")
+        wf.map_output("out", "s", "y")
+        engine = WorkflowEngine()
+        result = engine.run(wf, {"values": [1, 2, 3]})
+        run = result.trace.run_for("s")
+        assert run.duration.total_seconds() == pytest.approx(6.0)
+        assert result.outputs == {"out": [2, 3, 4]}
+
+    def test_item_failure_fails_processor(self):
+        register_function(
+            "iter_picky",
+            lambda x: 1 / 0 if x == 2 else x)
+        wf = Workflow("w")
+        wf.add_processor(Processor(
+            "p", "python", inputs=["x"], outputs=["result"],
+            config={"function": "iter_picky", "iterate_over": "x"}))
+        wf.map_input("values", "p", "x")
+        wf.map_output("out", "p", "result")
+        from repro.errors import WorkflowExecutionError
+
+        with pytest.raises(WorkflowExecutionError):
+            WorkflowEngine().run(wf, {"values": [1, 2, 3]})
+
+    def test_tuple_input_iterates(self):
+        result = WorkflowEngine().run(iterating_workflow(),
+                                      {"values": (2, 3)})
+        assert result.outputs == {"squares": [4, 9]}
+
+    def test_bindings_record_list_values(self):
+        result = WorkflowEngine().run(iterating_workflow(),
+                                      {"values": [1, 2]})
+        outputs = list(result.trace.bindings_for("sq", "output"))
+        assert outputs[0].value == [1, 4]

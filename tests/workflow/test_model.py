@@ -1,0 +1,220 @@
+"""Workflow model: processors, links, validation, topological order."""
+
+import pytest
+
+from repro.errors import (
+    UnknownPortError,
+    UnknownProcessorError,
+    WorkflowValidationError,
+)
+from repro.workflow.model import Processor, ProcessorRegistry, Workflow
+from repro.workflow.ports import InputPort, OutputPort
+
+
+def two_step_workflow():
+    wf = Workflow("demo")
+    wf.add_processor(Processor("a", "identity", inputs=["x"], outputs=["x"]))
+    wf.add_processor(Processor("b", "identity", inputs=["x"], outputs=["x"]))
+    wf.map_input("in", "a", "x")
+    wf.link("a", "x", "b", "x")
+    wf.map_output("out", "b", "x")
+    return wf
+
+
+class TestPorts:
+    def test_required_port(self):
+        port = InputPort("x")
+        assert port.required
+        with pytest.raises(WorkflowValidationError):
+            port.default
+
+    def test_port_with_default(self):
+        port = InputPort("x", default=5)
+        assert not port.required
+        assert port.default == 5
+
+    def test_none_is_a_valid_default(self):
+        port = InputPort("x", default=None)
+        assert not port.required
+        assert port.default is None
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            InputPort("")
+        with pytest.raises(WorkflowValidationError):
+            OutputPort("")
+
+
+class TestProcessor:
+    def test_string_shorthand_ports(self):
+        processor = Processor("p", "identity", inputs=["a"], outputs=["b"])
+        assert processor.input_ports["a"].required
+        assert "b" in processor.output_ports
+
+    def test_duplicate_input_port(self):
+        with pytest.raises(WorkflowValidationError):
+            Processor("p", "identity", inputs=["a", "a"])
+
+    def test_duplicate_output_port(self):
+        with pytest.raises(WorkflowValidationError):
+            Processor("p", "identity", outputs=["a", "a"])
+
+    def test_quality_merging(self):
+        from repro.workflow.annotations import AnnotationAssertion
+
+        processor = Processor("p", "identity")
+        processor.annotate(AnnotationAssertion("Q(a): 0.2;"))
+        processor.annotate(AnnotationAssertion("Q(a): 0.7;\nQ(b): 0.5;"))
+        quality = processor.quality
+        assert quality["a"] == 0.7  # later wins
+        assert quality["b"] == 0.5
+
+    def test_dict_round_trip(self):
+        processor = Processor("p", "python",
+                              inputs=[InputPort("a", default=1), "b"],
+                              outputs=["r"], config={"function": "f"})
+        restored = Processor.from_dict(processor.to_dict())
+        assert restored.name == "p"
+        assert restored.config == {"function": "f"}
+        assert not restored.input_ports["a"].required
+        assert restored.input_ports["b"].required
+
+
+class TestWorkflowConstruction:
+    def test_duplicate_processor_rejected(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("a", "identity"))
+        with pytest.raises(WorkflowValidationError):
+            wf.add_processor(Processor("a", "identity"))
+
+    def test_reserved_name_rejected(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowValidationError):
+            wf.add_processor(Processor(Workflow.IO, "identity"))
+
+    def test_unknown_processor_lookup(self):
+        with pytest.raises(UnknownProcessorError):
+            Workflow("w").processor("ghost")
+
+    def test_io_names(self):
+        wf = two_step_workflow()
+        assert wf.input_names() == ["in"]
+        assert wf.output_names() == ["out"]
+
+    def test_incoming_outgoing(self):
+        wf = two_step_workflow()
+        assert len(wf.incoming_links("b")) == 1
+        assert len(wf.outgoing_links("a")) == 1
+
+
+class TestValidation:
+    def test_valid_workflow(self):
+        two_step_workflow().validate()
+
+    def test_unknown_sink_port(self):
+        wf = two_step_workflow()
+        wf.link("a", "x", "b", "ghost")
+        with pytest.raises(UnknownPortError):
+            wf.validate()
+
+    def test_unknown_source_port(self):
+        wf = two_step_workflow()
+        wf.link("a", "ghost", "b", "x")
+        with pytest.raises(UnknownPortError):
+            wf.validate()
+
+    def test_doubly_fed_port(self):
+        wf = two_step_workflow()
+        wf.map_input("in2", "b", "x")
+        with pytest.raises(WorkflowValidationError, match="more than one"):
+            wf.validate()
+
+    def test_unconnected_required_port(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("a", "identity", inputs=["x"],
+                                   outputs=["x"]))
+        wf.map_output("out", "a", "x")
+        with pytest.raises(WorkflowValidationError, match="not connected"):
+            wf.validate()
+
+    def test_optional_port_may_be_unconnected(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("a", "identity",
+                                   inputs=[InputPort("x", default=1)],
+                                   outputs=["x"]))
+        wf.map_output("out", "a", "x")
+        wf.validate()
+
+    def test_cycle_detected(self):
+        wf = Workflow("w")
+        wf.add_processor(Processor("a", "identity", inputs=["x"],
+                                   outputs=["x"]))
+        wf.add_processor(Processor("b", "identity", inputs=["x"],
+                                   outputs=["x"]))
+        wf.link("a", "x", "b", "x")
+        wf.link("b", "x", "a", "x")
+        with pytest.raises(WorkflowValidationError, match="cycle"):
+            wf.validate()
+
+
+class TestExecutionOrder:
+    def test_linear(self):
+        assert two_step_workflow().execution_order() == ["a", "b"]
+
+    def test_diamond_deterministic(self):
+        wf = Workflow("w")
+        for name in ("src", "left", "right", "sink"):
+            wf.add_processor(Processor(name, "identity",
+                                       inputs=[InputPort("x", default=None)],
+                                       outputs=["x"]))
+        wf.link("src", "x", "left", "x")
+        wf.link("src", "x", "right", "x")
+        wf.link("left", "x", "sink", "x")
+        order = wf.execution_order()
+        assert order.index("src") < order.index("left")
+        assert order.index("left") < order.index("sink")
+        # deterministic tie-break: alphabetical among ready nodes
+        assert order == wf.execution_order()
+
+
+class TestWorkflowSerialization:
+    def test_dict_round_trip(self):
+        wf = two_step_workflow()
+        restored = Workflow.from_dict(wf.to_dict())
+        restored.validate()
+        assert restored.execution_order() == wf.execution_order()
+        assert [l.to_dict() for l in restored.links] == [
+            l.to_dict() for l in wf.links
+        ]
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        registry = ProcessorRegistry()
+        registry.register_function("echo", lambda inputs: dict(inputs))
+        processor = Processor("p", "echo")
+        run = registry.resolve(processor)
+        assert run({"a": 1}) == {"a": 1}
+
+    def test_unknown_kind(self):
+        registry = ProcessorRegistry()
+        with pytest.raises(UnknownProcessorError):
+            registry.resolve(Processor("p", "nothing"))
+
+    def test_copy_isolation(self):
+        registry = ProcessorRegistry()
+        clone = registry.copy()
+        clone.register_function("only_in_clone", lambda i: {})
+        assert "only_in_clone" in clone.kinds()
+        assert "only_in_clone" not in registry.kinds()
+
+    def test_factory_receives_processor(self):
+        registry = ProcessorRegistry()
+        registry.register(
+            "scaled",
+            lambda processor: (
+                lambda inputs: {"r": inputs["x"] * processor.config["k"]}
+            ),
+        )
+        run = registry.resolve(Processor("p", "scaled", config={"k": 3}))
+        assert run({"x": 2}) == {"r": 6}

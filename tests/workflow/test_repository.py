@@ -1,0 +1,103 @@
+"""The versioned workflow repository."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.repository import WorkflowRepository
+
+
+def make_workflow(name="w", description=""):
+    wf = Workflow(name, description=description)
+    wf.add_processor(Processor("d", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.map_input("v", "d", "values")
+    wf.map_output("o", "d", "values")
+    return wf
+
+
+@pytest.fixture()
+def repo():
+    return WorkflowRepository()
+
+
+class TestSaveLoad:
+    def test_save_returns_version(self, repo):
+        assert repo.save(make_workflow()) == 1
+        assert repo.save(make_workflow()) == 2
+
+    def test_load_latest(self, repo):
+        repo.save(make_workflow(description="v1"))
+        repo.save(make_workflow(description="v2"))
+        assert repo.load("w").description == "v2"
+
+    def test_load_specific_version(self, repo):
+        repo.save(make_workflow(description="v1"))
+        repo.save(make_workflow(description="v2"))
+        assert repo.load("w", version=1).description == "v1"
+
+    def test_load_missing(self, repo):
+        with pytest.raises(WorkflowError):
+            repo.load("ghost")
+
+    def test_load_missing_version(self, repo):
+        repo.save(make_workflow())
+        with pytest.raises(WorkflowError):
+            repo.load("w", version=9)
+
+    def test_invalid_workflow_rejected_at_save(self, repo):
+        wf = Workflow("broken")
+        wf.add_processor(Processor("a", "identity", inputs=["x"],
+                                   outputs=["x"]))
+        # required port never fed
+        with pytest.raises(Exception):
+            repo.save(wf)
+
+    def test_annotations_survive_storage(self, repo):
+        from repro.workflow.annotations import AnnotationAssertion
+
+        wf = make_workflow()
+        wf.processor("d").annotate(AnnotationAssertion("Q(reliability): 0.8;"))
+        repo.save(wf)
+        assert repo.load("w").processor("d").quality == {"reliability": 0.8}
+
+
+class TestCatalog:
+    def test_names(self, repo):
+        repo.save(make_workflow("alpha"))
+        repo.save(make_workflow("beta"))
+        repo.save(make_workflow("alpha"))
+        assert repo.names() == ["alpha", "beta"]
+
+    def test_versions(self, repo):
+        repo.save(make_workflow())
+        repo.save(make_workflow())
+        assert repo.versions("w") == [1, 2]
+        assert repo.versions("ghost") == []
+
+    def test_len(self, repo):
+        repo.save(make_workflow("a"))
+        repo.save(make_workflow("a"))
+        assert len(repo) == 2
+
+
+class TestDelete:
+    def test_delete_all_versions(self, repo):
+        repo.save(make_workflow())
+        repo.save(make_workflow())
+        assert repo.delete("w") == 2
+        assert repo.versions("w") == []
+
+    def test_delete_one_version(self, repo):
+        repo.save(make_workflow(description="v1"))
+        repo.save(make_workflow(description="v2"))
+        assert repo.delete("w", version=1) == 1
+        assert repo.versions("w") == [2]
+
+    def test_save_after_delete_does_not_collide(self, repo):
+        repo.save(make_workflow("a"))
+        repo.save(make_workflow("b"))
+        repo.delete("a")
+        version = repo.save(make_workflow("c"))
+        assert version == 1
+        assert repo.load("c").name == "c"

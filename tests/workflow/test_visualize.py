@@ -1,0 +1,83 @@
+"""DOT rendering for workflows and OPM graphs."""
+
+import pytest
+
+from repro.curation.species_check import build_species_check_workflow
+from repro.provenance.opm import OPMGraph
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.visualize import opm_to_dot, workflow_to_dot
+
+
+class TestWorkflowDot:
+    @pytest.fixture()
+    def dot(self):
+        workflow = build_species_check_workflow()
+        workflow.processor("Catalog_of_life").annotate(
+            AnnotationAssertion("Q(reputation): 1;"))
+        return workflow_to_dot(workflow)
+
+    def test_digraph_wrapper(self, dot):
+        assert dot.startswith('digraph "outdated_species_name_detection"')
+        assert dot.rstrip().endswith("}")
+
+    def test_processors_are_boxes(self, dot):
+        assert '"Catalog_of_life" [shape=box' in dot
+        assert '"FNJV_metadata_reader" [shape=box' in dot
+
+    def test_quality_annotated_processor_highlighted(self, dot):
+        assert "#ffe9b3" in dot
+        assert "Q(reputation)=1" in dot
+
+    def test_io_ports_rendered(self, dot):
+        assert '"in:metadata"' in dot
+        assert '"out:summary"' in dot
+        assert "shape=plaintext" in dot
+
+    def test_every_link_has_an_edge(self, dot):
+        workflow = build_species_check_workflow()
+        assert dot.count(" -> ") == len(workflow.links)
+
+    def test_label_escaping(self):
+        from repro.workflow.model import Processor, Workflow
+
+        workflow = Workflow("w")
+        workflow.add_processor(Processor("odd", "identity"))
+        dot = workflow_to_dot(workflow)
+        assert '"odd"' in dot
+
+
+class TestOpmDot:
+    @pytest.fixture()
+    def dot(self):
+        graph = OPMGraph("g")
+        graph.add_artifact("a", label="input data")
+        graph.add_process("p", label="transform")
+        graph.add_agent("ag", label="operator")
+        graph.used("p", "a", role="names")
+        graph.was_controlled_by("p", "ag")
+        return opm_to_dot(graph)
+
+    def test_shapes_by_kind(self, dot):
+        assert "shape=ellipse" in dot  # artifact
+        assert "shape=box" in dot      # process
+        assert "shape=octagon" in dot  # agent
+
+    def test_edge_labels_carry_kind_and_role(self, dot):
+        assert '"used (names)"' in dot
+        assert '"wasControlledBy"' in dot
+
+    def test_labels_use_node_labels(self, dot):
+        assert '"input data"' in dot
+        assert '"transform"' in dot
+
+    def test_renders_real_run(self, small_collection, reliable_service):
+        from repro.curation.species_check import SpeciesNameChecker
+        from repro.provenance.manager import ProvenanceManager
+
+        provenance = ProvenanceManager()
+        checker = SpeciesNameChecker(small_collection, reliable_service,
+                                     provenance=provenance)
+        result = checker.run()
+        dot = opm_to_dot(provenance.repository.graph_for(result.run_id))
+        assert "Catalog_of_life" in dot
+        assert dot.count(" -> ") > 10
