@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro decay --start 1990 --end 2013 --period 2
     repro archive --level 3 --output package.json
     repro crossref --publications 60
+    repro stats --records 1000      # run a workflow, print telemetry
 
 Every command is seeded and offline.
 """
@@ -77,6 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write N-Triples here")
     publish.add_argument("--csv", type=str, default=None,
                          help="write the recordings table as CSV here")
+
+    stats = commands.add_parser(
+        "stats", help="run the detection workflow with telemetry "
+        "enabled and print the observability report")
+    stats.add_argument("--records", type=int, default=1_000)
+    stats.add_argument("--species", type=int, default=250)
+    stats.add_argument("--outdated", type=int, default=20)
+    stats.add_argument("--availability", type=float, default=0.9)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the raw snapshot as JSON instead of "
+                       "the rendered panel")
 
     return parser
 
@@ -245,6 +257,40 @@ def _command_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.core.manager import DataQualityManager
+    from repro.curation.species_check import SpeciesNameChecker
+    from repro.provenance.manager import ProvenanceManager
+    from repro.taxonomy.service import CatalogueService
+    from repro.telemetry import get_telemetry
+
+    telemetry = get_telemetry()
+    telemetry.reset()
+    catalogue, collection, __ = _small_world(
+        args.seed, args.records, args.species, args.outdated)
+    service = CatalogueService(catalogue, availability=args.availability,
+                               seed=args.seed)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, service,
+                                 provenance=provenance)
+    result = checker.run()
+    flagged = checker.updates(status="flagged")  # exercises the query path
+    if args.json:
+        print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True,
+                         default=str))
+        return 0
+    print(f"run {result.run_id}: status={result.trace.status}, "
+          f"{result.records_processed:,} records, "
+          f"{result.outdated_names} outdated names, "
+          f"{len(flagged)} updates flagged for review")
+    print()
+    print(telemetry.render_report())
+    print()
+    manager = DataQualityManager(provenance=provenance.repository)
+    print(manager.assess_operations(telemetry.snapshot()).render())
+    return 0
+
+
 _COMMANDS = {
     "casestudy": _command_casestudy,
     "detect": _command_detect,
@@ -253,6 +299,7 @@ _COMMANDS = {
     "crossref": _command_crossref,
     "experiments": _command_experiments,
     "publish": _command_publish,
+    "stats": _command_stats,
 }
 
 

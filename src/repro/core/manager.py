@@ -164,6 +164,70 @@ class DataQualityManager:
             )
         return report
 
+    def assess_operations(self, snapshot: Mapping,
+                          as_of=None,
+                          horizon_seconds: float = 7 * 24 * 3600.0
+                          ) -> AssessmentReport:
+        """Quality information from the telemetry layer (an *external
+        source* in the paper's taxonomy).
+
+        ``snapshot`` is a :meth:`repro.telemetry.Telemetry.snapshot`
+        dict.  The report carries the availability each service
+        *measured* at runtime (vs. the annotated ``Q(availability)``),
+        run reliability (fraction of runs that finished clean — a
+        ``degraded`` run is not clean), and, when ``as_of`` is given, a
+        timeliness score that decays linearly from the last finished
+        run to zero at ``horizon_seconds``.
+        """
+        import datetime as _dt
+
+        from repro.telemetry import quality_signals
+
+        signals = quality_signals(snapshot)
+        report = AssessmentReport(subject="operations (telemetry)")
+        availability = signals.get("measured_availability", {})
+        for service, value in sorted(availability.items()):
+            dimension = ("observed_availability" if len(availability) == 1
+                         else f"observed_availability ({service})")
+            report.add(QualityValue(
+                dimension, value, "external",
+                method="telemetry: successes / calls",
+                details={"service": service},
+            ))
+        run_counts = signals.get("run_counts")
+        if run_counts:
+            total = sum(run_counts.values())
+            clean = run_counts.get("completed", 0)
+            report.add(QualityValue(
+                "reliability", clean / total if total else 1.0, "external",
+                method="telemetry: completed runs / all runs "
+                       "(degraded runs are not clean)",
+                details={"run_counts": dict(run_counts)},
+            ))
+        last_finished = signals.get("last_run_finished")
+        if as_of is not None and last_finished is not None:
+            finished = _dt.datetime.fromisoformat(last_finished)
+            age = max(0.0, (as_of - finished).total_seconds())
+            report.add(QualityValue(
+                "timeliness", max(0.0, 1.0 - age / horizon_seconds),
+                "external",
+                method="telemetry: linear decay since last finished run",
+                details={"last_run_finished": last_finished,
+                         "age_seconds": age,
+                         "horizon_seconds": horizon_seconds},
+            ))
+        if "processor_seconds" in signals:
+            slowest = max(signals["processor_seconds"].items(),
+                          key=lambda item: item[1]["sum"])
+            report.note(
+                f"slowest processor: {slowest[0]} "
+                f"({slowest[1]['sum']:.2f}s simulated over "
+                f"{slowest[1]['count']} run(s))"
+            )
+        if not len(report):
+            report.note("telemetry snapshot carried no quality signals")
+        return report
+
     def assess_collection(self, collection, catalogue=None,
                           extras: Mapping | None = None) -> AssessmentReport:
         """Direct (no-run) assessment of a collection: accuracy against

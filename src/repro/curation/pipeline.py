@@ -14,7 +14,8 @@ advanced catalogue models the periodic re-curation of 2011 -> 2013.
 
 from __future__ import annotations
 
-from typing import Any
+import time
+from typing import Any, Callable, TypeVar
 
 from repro.curation.cleaning import CleaningReport, MetadataCleaner
 from repro.curation.enrichment import EnrichmentReport, EnvironmentalEnricher
@@ -28,9 +29,12 @@ from repro.geo.gazetteer import Gazetteer
 from repro.provenance.manager import ProvenanceManager
 from repro.sounds.collection import SoundCollection
 from repro.taxonomy.service import CatalogueService
+from repro.telemetry import Telemetry, get_telemetry
 from repro.workflow.engine import WorkflowEngine
 
 __all__ = ["PipelineReport", "CurationPipeline"]
+
+_T = TypeVar("_T")
 
 
 class PipelineReport:
@@ -78,13 +82,15 @@ class CurationPipeline:
                  gazetteer: Gazetteer | None = None,
                  climate: ClimateArchive | None = None,
                  engine: WorkflowEngine | None = None,
-                 provenance: ProvenanceManager | None = None) -> None:
+                 provenance: ProvenanceManager | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         self.collection = collection
         self.service = service
         self.gazetteer = gazetteer or Gazetteer()
         self.climate = climate or ClimateArchive()
         self.engine = engine or WorkflowEngine()
         self.provenance = provenance or ProvenanceManager()
+        self.telemetry = telemetry or get_telemetry()
         self.history = CurationHistory(collection)
         self.checker = SpeciesNameChecker(
             collection, service, engine=self.engine,
@@ -95,34 +101,62 @@ class CurationPipeline:
     # stages
     # ------------------------------------------------------------------
 
+    def _timed_stage(self, stage: str, work: Callable[[], _T]) -> _T:
+        """Run one stage under a span, recording wall time + throughput.
+
+        Stage spans sit on the engine's simulated timeline (so the
+        species-check stage nests the workflow run); the histogram
+        records real wall seconds, which is what per-stage throughput
+        tuning needs.
+        """
+        metrics = self.telemetry.metrics
+        records = len(self.collection)
+        wall_start = time.perf_counter()
+        with self.telemetry.tracer.span(
+                "curation.stage", clock=self.engine.clock,
+                stage=stage, records=records):
+            result = work()
+        elapsed = time.perf_counter() - wall_start
+        metrics.histogram("curation_stage_seconds",
+                          stage=stage).observe(elapsed)
+        metrics.counter("curation_stage_records_total",
+                        stage=stage).inc(records)
+        metrics.counter("curation_stage_runs_total", stage=stage).inc()
+        return result
+
     def run_stage1(self, auto_approve_geocoding: bool = True,
                    run_species_check: bool = True,
                    repair_names: bool = False) -> PipelineReport:
         """Cleaning -> (fuzzy name repair) -> geocoding -> enrichment ->
         name check."""
         report = PipelineReport()
-        report.cleaning = MetadataCleaner(self.history).run()
+        report.cleaning = self._timed_stage(
+            "cleaning", MetadataCleaner(self.history).run)
         if repair_names:
-            report.name_repair = NameRepairer(
-                self.history, self.service.catalogue).run()
+            report.name_repair = self._timed_stage(
+                "name_repair",
+                NameRepairer(self.history, self.service.catalogue).run)
         geocoder = Geocoder(self.history, self.gazetteer)
-        report.geocoding = geocoder.run()
+        report.geocoding = self._timed_stage("geocoding", geocoder.run)
         if auto_approve_geocoding:
             # Unambiguous gazetteer hits are validated in bulk (the
             # paper's curators validated each step); ambiguous ones stay
             # in the disambiguation queue.
             self.history.approve_step(Geocoder.STEP,
                                       curator="curator (bulk validation)")
-        report.enrichment = EnvironmentalEnricher(
-            self.history, self.climate
-        ).run()
+        report.enrichment = self._timed_stage(
+            "enrichment",
+            EnvironmentalEnricher(self.history, self.climate).run)
         if run_species_check:
-            report.species_check = self.checker.run()
+            report.species_check = self._timed_stage(
+                "species_check", self.checker.run)
         return report
 
     def run_stage2(self) -> SpatialAuditReport:
         """The spatial audit over the curated view."""
-        return SpatialAuditor(self.collection, history=self.history).run()
+        return self._timed_stage(
+            "spatial_audit",
+            SpatialAuditor(self.collection, history=self.history).run)
 
     def run_all(self) -> PipelineReport:
         report = self.run_stage1()

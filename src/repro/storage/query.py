@@ -25,6 +25,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 from repro.errors import StorageError, UnknownColumnError
 from repro.storage.predicate import Predicate, TruePredicate
 from repro.storage.table import Row, Table
+from repro.telemetry import get_telemetry
 
 __all__ = ["Query", "Aggregate"]
 
@@ -149,9 +150,30 @@ class Query:
         equalities = self._predicate.equality_conditions()
         ranges = self._predicate.range_conditions()
         candidates = self._table.candidate_rowids(equalities, ranges)
-        for row in self._table.scan(candidates):
-            if not filtered or self._predicate(row):
-                yield row
+        metrics = get_telemetry().metrics
+        table_name = self._table.name
+        if candidates is None:
+            metrics.counter("storage_full_scans_total",
+                            table=table_name).inc()
+        else:
+            metrics.counter("storage_index_hits_total",
+                            table=table_name).inc(len(candidates))
+            total = len(self._table)
+            if total:
+                # Fraction of the table the indexes narrowed this query
+                # to — the signal a future query planner would act on.
+                metrics.gauge("storage_index_selectivity",
+                              table=table_name).set(
+                    len(candidates) / total)
+        scanned = 0
+        try:
+            for row in self._table.scan(candidates):
+                scanned += 1
+                if not filtered or self._predicate(row):
+                    yield row
+        finally:
+            metrics.counter("storage_rows_scanned_total",
+                            table=table_name).inc(scanned)
 
     def _joined_rows(self) -> Iterator[Row]:
         if not self._joins:

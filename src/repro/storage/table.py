@@ -26,6 +26,8 @@ from repro.errors import (
 )
 from repro.storage.index import HashIndex, Index, SortedIndex, build_index
 from repro.storage.schema import TableSchema
+from repro.telemetry import get_telemetry
+from repro.telemetry.metrics import Counter
 
 __all__ = ["Table"]
 
@@ -90,6 +92,11 @@ class Table:
         """Install a callback ``(op, rowid, before, after)`` used by the
         transaction layer to record undo information."""
         self._undo_hook = hook
+
+    def _metric(self, name: str, **labels: str) -> Counter:
+        """Counter in the process-wide registry, labeled by table."""
+        return get_telemetry().metrics.counter(name, table=self.name,
+                                               **labels)
 
     # ------------------------------------------------------------------
     # validation
@@ -166,6 +173,7 @@ class Table:
         self._rows[rowid] = row
         for index in self._indexes.values():
             index.add(rowid, row.get(index.column))
+        self._metric("storage_rows_inserted_total").inc()
         if self._undo_hook is not None:
             self._undo_hook("insert", rowid, None, dict(row))
         return rowid
@@ -188,6 +196,7 @@ class Table:
                 index.remove(rowid, old)
                 index.add(rowid, new)
         self._rows[rowid] = after
+        self._metric("storage_rows_updated_total").inc()
         if self._undo_hook is not None:
             self._undo_hook("update", rowid, before, dict(after))
         return dict(after)
@@ -201,6 +210,7 @@ class Table:
         row = self._rows.pop(rowid)
         for index in self._indexes.values():
             index.remove(rowid, row.get(index.column))
+        self._metric("storage_rows_deleted_total").inc()
         if self._undo_hook is not None:
             self._undo_hook("delete", rowid, dict(row), None)
         return dict(row)
@@ -250,15 +260,22 @@ class Table:
         ``kind`` is ``"hash"`` for equality or ``"sorted"`` for ranges.
         An existing index of a different kind is replaced only when
         upgrading hash -> sorted would lose nothing; otherwise kept.
+        Concretely: a sorted index already serves equality lookups, so a
+        ``"hash"`` request over it returns the sorted index unchanged
+        instead of silently dropping range-query support.
         """
         self.schema.column(column)  # raises on unknown column
         existing = self._indexes.get(column)
-        if existing is not None and existing.kind == kind:
-            return existing
+        if existing is not None:
+            if existing.kind == kind:
+                return existing
+            if existing.kind == "sorted" and kind == "hash":
+                return existing
         index = build_index(kind, column)
         for rowid, row in self._rows.items():
             index.add(rowid, row.get(column))
         self._indexes[column] = index
+        self._metric("storage_indexes_built_total", kind=kind).inc()
         return index
 
     def index_on(self, column: str) -> Index | None:

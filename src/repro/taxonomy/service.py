@@ -11,7 +11,11 @@ This wrapper simulates exactly that operational profile:
   ``__duration__`` convention so the workflow engine's simulated clock
   advances realistically;
 * call statistics are tracked in :class:`ServiceStats` (they feed the
-  measured-availability quality metric).
+  measured-availability quality metric) **and** mirrored into the
+  process-wide :class:`~repro.telemetry.MetricsRegistry`, where measured
+  availability is an ordinary gauge the Data Quality Manager can read
+  alongside every other runtime metric; each call also records a
+  ``service.call`` span under whatever workflow-processor span is open.
 
 ``lookup_with_retry`` is what well-behaved clients use: it retries a
 bounded number of times, which trades extra (simulated) time for
@@ -24,8 +28,12 @@ import random
 
 from repro.errors import ServiceUnavailableError
 from repro.taxonomy.catalogue import CatalogueOfLife, NameResolution
+from repro.telemetry import Telemetry, get_telemetry
 
-__all__ = ["ServiceStats", "CatalogueService"]
+__all__ = ["ServiceStats", "CatalogueService", "SERVICE_NAME"]
+
+#: Label value identifying this service in the metrics registry.
+SERVICE_NAME = "catalogue_of_life"
 
 
 class ServiceStats:
@@ -75,6 +83,8 @@ class CatalogueService:
         Simulated time lost to a failed call (timeouts are slower).
     seed:
         Seed for the fault process.
+    telemetry:
+        Observability sink; the process-wide default when omitted.
     """
 
     def __init__(self, catalogue: CatalogueOfLife | None = None,
@@ -82,7 +92,8 @@ class CatalogueService:
                  reputation: float = 1.0,
                  latency_seconds: float = 0.012,
                  failure_latency_seconds: float = 0.05,
-                 seed: int = 2013) -> None:
+                 seed: int = 2013,
+                 telemetry: Telemetry | None = None) -> None:
         if not 0.0 <= availability <= 1.0:
             raise ValueError("availability must be within [0, 1]")
         if not 0.0 <= reputation <= 1.0:
@@ -93,7 +104,22 @@ class CatalogueService:
         self.latency_seconds = latency_seconds
         self.failure_latency_seconds = failure_latency_seconds
         self.stats = ServiceStats()
+        self.telemetry = telemetry or get_telemetry()
         self._rng = random.Random(seed)
+
+    def _record_call(self, outcome: str, latency: float) -> None:
+        """Mirror one call into the metrics registry + span tree."""
+        metrics = self.telemetry.metrics
+        metrics.counter("service_calls_total", service=SERVICE_NAME,
+                        outcome=outcome).inc()
+        metrics.histogram("service_call_seconds", service=SERVICE_NAME,
+                          outcome=outcome).observe(latency)
+        metrics.gauge("service_measured_availability",
+                      service=SERVICE_NAME).set(
+            self.stats.measured_availability)
+        self.telemetry.tracer.record_span(
+            "service.call", latency, service=SERVICE_NAME,
+            outcome=outcome)
 
     def __repr__(self) -> str:
         return (
@@ -119,10 +145,12 @@ class CatalogueService:
         if self._rng.random() >= self.availability:
             self.stats.failures += 1
             self.stats.simulated_seconds += self.failure_latency_seconds
+            self._record_call("failure", self.failure_latency_seconds)
             raise ServiceUnavailableError(
                 f"Catalogue of Life: connection problem looking up {name!r}"
             )
         self.stats.simulated_seconds += self.latency_seconds
+        self._record_call("success", self.latency_seconds)
         return self.catalogue.resolve(name)
 
     def lookup_with_retry(self, name: str,
@@ -134,6 +162,9 @@ class CatalogueService:
             except ServiceUnavailableError:
                 if attempt + 1 < max_attempts:
                     self.stats.retries += 1
+                    self.telemetry.metrics.counter(
+                        "service_retries_total", service=SERVICE_NAME,
+                    ).inc()
         return None
 
     def lookup_many(self, names: list[str],

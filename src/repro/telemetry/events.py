@@ -1,0 +1,131 @@
+"""The event log: a bounded, structured record of runtime events.
+
+The :class:`EventLog` is the pluggable sink the workflow engine's
+listener protocol feeds (``run_started`` / ``processor_finished`` /
+``run_finished``); anything else may :meth:`EventLog.record` events
+directly.  Payloads are *summarized* on capture — the log stores run
+ids, statuses and counts, never full port values — so it stays light
+enough to keep for a whole session and can itself be preserved next to
+the provenance (the RO-Crate workflow-run profile treats exactly this
+kind of run-level record as a first-class preservation artifact).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Bounded structured event record.
+
+    Parameters
+    ----------
+    max_events:
+        Oldest events are dropped beyond this bound; the number dropped
+        is tracked and reported by :meth:`snapshot`.
+    """
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        self.max_events = max_events
+        self._events: deque[dict[str, Any]] = deque(maxlen=max_events)
+        self._sequence = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, event: str, payload: Mapping[str, Any] | None = None,
+               at: Any = None) -> dict[str, Any]:
+        """Append one event; returns the stored entry."""
+        if len(self._events) == self.max_events:
+            self._dropped += 1
+        self._sequence += 1
+        entry: dict[str, Any] = {
+            "seq": self._sequence,
+            "event": event,
+            **dict(payload or {}),
+        }
+        if at is not None:
+            entry["at"] = at.isoformat() if hasattr(at, "isoformat") else at
+        self._events.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # engine integration
+    # ------------------------------------------------------------------
+
+    def attach(self, engine: Any) -> None:
+        """Subscribe to a :class:`~repro.workflow.engine.WorkflowEngine`."""
+        engine.add_listener(self.on_engine_event)
+
+    def on_engine_event(self, event: str,
+                        payload: Mapping[str, Any]) -> None:
+        """Listener entry point: summarize the engine payload."""
+        summary: dict[str, Any] = {}
+        run_id = payload.get("run_id")
+        if run_id is not None:
+            summary["run_id"] = run_id
+        workflow = payload.get("workflow")
+        if workflow is not None:
+            summary["workflow"] = getattr(workflow, "name", str(workflow))
+        if event == "run_started":
+            summary["inputs"] = sorted(payload.get("inputs", {}))
+        elif event == "processor_finished":
+            run = payload.get("run")
+            if run is not None:
+                summary["processor"] = run.processor
+                summary["kind"] = run.kind
+                summary["status"] = run.status
+                summary["duration_seconds"] = run.duration.total_seconds()
+                if run.error:
+                    summary["error"] = run.error
+            summary["output_ports"] = sorted(payload.get("outputs", {}))
+        elif event == "run_finished":
+            trace = payload.get("trace")
+            if trace is not None:
+                summary["workflow"] = trace.workflow_name
+                summary["status"] = trace.status
+                summary["processors"] = len(trace.processor_runs)
+                summary["failed_processors"] = len(trace.failed_processors())
+                if trace.duration is not None:
+                    summary["duration_seconds"] = (
+                        trace.duration.total_seconds()
+                    )
+                summary["finished"] = (
+                    None if trace.finished is None
+                    else trace.finished.isoformat()
+                )
+        self.record(event, summary)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def events(self, event: str | None = None) -> list[dict[str, Any]]:
+        if event is None:
+            return [dict(entry) for entry in self._events]
+        return [dict(entry) for entry in self._events
+                if entry["event"] == event]
+
+    def last(self, event: str | None = None) -> dict[str, Any] | None:
+        matching = self.events(event)
+        return matching[-1] if matching else None
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "events": self.events(),
+            "recorded": self._sequence,
+            "dropped": self._dropped,
+        }
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._sequence = 0
+        self._dropped = 0

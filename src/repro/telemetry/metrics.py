@@ -1,0 +1,303 @@
+"""Metric instruments and their registry.
+
+Three instrument families, modelled on the OpenMetrics data model but
+dependency-free and deterministic:
+
+* :class:`Counter` — monotonically increasing totals (rows inserted,
+  service calls, processor failures);
+* :class:`Gauge` — point-in-time values that move both ways (measured
+  availability, index selectivity of the last planned query);
+* :class:`Histogram` — distributions (processor durations, iteration
+  fan-out), recorded as count/sum/min/max plus cumulative buckets.
+
+Every instrument belongs to a *family* (its name) and a *series* within
+the family (its sorted label set), so ``counter("service_calls_total",
+outcome="failure")`` and ``outcome="success"`` share a family but count
+independently.  Instrument handles are stable: callers may cache the
+object returned by :meth:`MetricsRegistry.counter` and keep using it
+after :meth:`MetricsRegistry.reset` (reset zeroes values in place, it
+never discards series).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "DEFAULT_BUCKETS", "format_series"]
+
+#: Default histogram bucket upper bounds, tuned for simulated seconds.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _normalize_labels(labels: Mapping[str, Any]) -> Labels:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def format_series(name: str, labels: Labels) -> str:
+    """Render ``name{key=value,...}`` (Prometheus exposition style)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+class _Instrument:
+    """Shared identity bits for one series of one family."""
+
+    __slots__ = ("name", "labels")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+
+    @property
+    def series(self) -> str:
+        return format_series(self.name, self.labels)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.series})"
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.series} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge(_Instrument):
+    """A value that can move in both directions."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        super().__init__(name, labels)
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> float:
+        self._value = float(value)
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        self._value += amount
+        return self._value
+
+    def dec(self, amount: float = 1.0) -> float:
+        self._value -= amount
+        return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram(_Instrument):
+    """A distribution: count/sum/min/max plus cumulative buckets."""
+
+    __slots__ = ("buckets", "_bucket_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, labels: Labels,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        super().__init__(name, labels)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._bucket_counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        for position, bound in enumerate(self.buckets):
+            if value <= bound:
+                self._bucket_counts[position] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float | None:
+        if self._count == 0:
+            return None
+        return self._sum / self._count
+
+    @property
+    def min(self) -> float | None:
+        return self._min
+
+    @property
+    def max(self) -> float | None:
+        return self._max
+
+    def _reset(self) -> None:
+        self._bucket_counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "buckets": {
+                f"le={bound}": count
+                for bound, count in zip(self.buckets, self._bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument series.
+
+    A family name is bound to one instrument type on first use; asking
+    for the same name as a different type is a programming error and
+    raises ``TypeError`` immediately rather than corrupting data.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, type] = {}
+        self._series: dict[tuple[str, Labels], _Instrument] = {}
+
+    # -- instrument accessors ----------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] | None = None,
+                  **labels: Any) -> Histogram:
+        key_labels = _normalize_labels(labels)
+        existing = self._series.get((name, key_labels))
+        if existing is not None:
+            self._check_family(Histogram, name)
+            return existing  # type: ignore[return-value]
+        self._check_family(Histogram, name, bind=True)
+        instrument = Histogram(name, key_labels,
+                               buckets=buckets or DEFAULT_BUCKETS)
+        self._series[(name, key_labels)] = instrument
+        return instrument
+
+    def _get_or_create(self, cls: type, name: str,
+                       labels: Mapping[str, Any]):
+        key_labels = _normalize_labels(labels)
+        existing = self._series.get((name, key_labels))
+        if existing is not None:
+            self._check_family(cls, name)
+            return existing
+        self._check_family(cls, name, bind=True)
+        instrument = cls(name, key_labels)
+        self._series[(name, key_labels)] = instrument
+        return instrument
+
+    def _check_family(self, cls: type, name: str, bind: bool = False) -> None:
+        bound = self._families.get(name)
+        if bound is None:
+            if bind:
+                self._families[name] = cls
+            return
+        if bound is not cls:
+            raise TypeError(
+                f"metric family {name!r} is a {bound.__name__}, "
+                f"requested as {cls.__name__}"
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    def __iter__(self) -> Iterator[_Instrument]:
+        for key in sorted(self._series):
+            yield self._series[key]
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def families(self) -> list[str]:
+        return sorted(self._families)
+
+    def series(self, name: str) -> list[_Instrument]:
+        """Every series of family ``name``, sorted by label set."""
+        return [
+            self._series[key] for key in sorted(self._series)
+            if key[0] == name
+        ]
+
+    def value(self, name: str, **labels: Any) -> float | None:
+        """Counter/gauge value of one series, or ``None`` if absent."""
+        instrument = self._series.get((name, _normalize_labels(labels)))
+        if instrument is None:
+            return None
+        if isinstance(instrument, (Counter, Gauge)):
+            return instrument.value
+        raise TypeError(f"{name!r} is a histogram; use series()/snapshot()")
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family across all its series."""
+        result = 0.0
+        for instrument in self.series(name):
+            if isinstance(instrument, (Counter, Gauge)):
+                result += instrument.value
+            else:
+                result += instrument.sum
+        return result
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Plain-data view: ``{series: {type, value | stats}}``, sorted."""
+        return {
+            instrument.series: instrument.to_dict() for instrument in self
+        }
+
+    def reset(self) -> None:
+        """Zero every series in place (handles stay valid)."""
+        for instrument in self._series.values():
+            instrument._reset()

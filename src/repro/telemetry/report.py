@@ -1,0 +1,178 @@
+"""Snapshot rendering and the quality-assessment bridge.
+
+:func:`render_report` turns a :meth:`Telemetry.snapshot` dict into the
+text panel behind ``repro stats``.  :func:`quality_signals` distills the
+same snapshot into the handful of numbers the Data Quality Manager
+consumes as an *external source* — the paper's loop between operations
+and quality assessment: the Catalogue processor is annotated
+``Q(availability): 0.9`` because real runs fail, and here the failures
+observed by the runtime feed straight back into the assessment.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["render_report", "quality_signals"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.4f}".rstrip("0").rstrip(".")
+    return f"{value:,}"
+
+
+def render_report(snapshot: Mapping[str, Any]) -> str:
+    """A human-readable observability panel from one snapshot."""
+    metrics: Mapping[str, Any] = snapshot.get("metrics", {})
+    lines: list[str] = ["Telemetry report", "=" * 64]
+
+    counters = {
+        series: data for series, data in metrics.items()
+        if data.get("type") == "counter" and data.get("value")
+    }
+    gauges = {
+        series: data for series, data in metrics.items()
+        if data.get("type") == "gauge"
+    }
+    histograms = {
+        series: data for series, data in metrics.items()
+        if data.get("type") == "histogram" and data.get("count")
+    }
+
+    if histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / max, seconds or items)")
+        lines.append("-" * 64)
+        for series in sorted(histograms):
+            data = histograms[series]
+            lines.append(
+                f"  {series:<48} {_fmt(data['count']):>6}"
+                f" {_fmt(data['mean']):>10} {_fmt(data['max']):>10}"
+            )
+    if counters:
+        lines.append("")
+        lines.append("counters")
+        lines.append("-" * 64)
+        for series in sorted(counters):
+            lines.append(
+                f"  {series:<54} {_fmt(counters[series]['value']):>8}"
+            )
+    if gauges:
+        lines.append("")
+        lines.append("gauges")
+        lines.append("-" * 64)
+        for series in sorted(gauges):
+            lines.append(
+                f"  {series:<54} {_fmt(gauges[series]['value']):>8}"
+            )
+
+    spans = snapshot.get("spans", {})
+    span_list = spans.get("spans", ())
+    if span_list:
+        by_name: dict[str, list[float]] = {}
+        for span in span_list:
+            duration = span.get("duration_seconds")
+            if duration is not None:
+                by_name.setdefault(span["name"], []).append(duration)
+        lines.append("")
+        lines.append("spans (count / total simulated seconds)")
+        lines.append("-" * 64)
+        for name in sorted(by_name):
+            durations = by_name[name]
+            lines.append(
+                f"  {name:<54} {len(durations):>4}"
+                f" {_fmt(sum(durations)):>8}"
+            )
+        if spans.get("dropped_spans"):
+            lines.append(f"  (dropped {spans['dropped_spans']} spans)")
+
+    events = snapshot.get("events", {})
+    if events.get("recorded"):
+        lines.append("")
+        lines.append(
+            f"events: {events['recorded']} recorded"
+            + (f", {events['dropped']} dropped" if events.get("dropped")
+               else "")
+        )
+        last_run = None
+        for entry in reversed(events.get("events", ())):
+            if entry.get("event") == "run_finished":
+                last_run = entry
+                break
+        if last_run is not None:
+            lines.append(
+                f"  last run: {last_run.get('run_id')} "
+                f"({last_run.get('workflow')}) -> {last_run.get('status')}"
+                f", {last_run.get('failed_processors', 0)} failed "
+                f"processor(s)"
+            )
+    return "\n".join(lines)
+
+
+def quality_signals(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Distill a snapshot into quality-manager inputs.
+
+    Returns (every key optional — absent when unobserved):
+
+    * ``measured_availability`` — per-service observed success fraction;
+    * ``run_counts`` — runs by final status;
+    * ``degraded_fraction`` / ``failure_fraction`` — of finished runs;
+    * ``processor_seconds`` — per-processor duration stats;
+    * ``last_run_finished`` — simulated finish time of the latest run
+      (the raw material for timeliness metrics).
+    """
+    metrics: Mapping[str, Any] = snapshot.get("metrics", {})
+    signals: dict[str, Any] = {}
+
+    availability: dict[str, float] = {}
+    for series, data in metrics.items():
+        if series.startswith("service_measured_availability{"):
+            label = series.split("{", 1)[1].rstrip("}")
+            service = dict(
+                part.split("=", 1) for part in label.split(",")
+            ).get("service", label)
+            availability[service] = data["value"]
+    if availability:
+        signals["measured_availability"] = availability
+
+    run_counts: dict[str, float] = {}
+    for series, data in metrics.items():
+        if series.startswith("workflow_runs_total{"):
+            label = series.split("{", 1)[1].rstrip("}")
+            labels = dict(part.split("=", 1) for part in label.split(","))
+            status = labels.get("status", "unknown")
+            run_counts[status] = run_counts.get(status, 0) + data["value"]
+    if run_counts:
+        signals["run_counts"] = run_counts
+        total = sum(run_counts.values())
+        if total:
+            signals["degraded_fraction"] = (
+                run_counts.get("degraded", 0) / total
+            )
+            signals["failure_fraction"] = run_counts.get("failed", 0) / total
+
+    processor_seconds: dict[str, dict[str, Any]] = {}
+    for series, data in metrics.items():
+        if (series.startswith("workflow_processor_seconds{")
+                and data.get("count")):
+            label = series.split("{", 1)[1].rstrip("}")
+            labels = dict(part.split("=", 1) for part in label.split(","))
+            processor = labels.get("processor", label)
+            processor_seconds[processor] = {
+                "count": data["count"],
+                "mean": data["mean"],
+                "max": data["max"],
+                "sum": data["sum"],
+            }
+    if processor_seconds:
+        signals["processor_seconds"] = processor_seconds
+
+    for entry in reversed(
+            snapshot.get("events", {}).get("events", ())):
+        if entry.get("event") == "run_finished" and entry.get("finished"):
+            signals["last_run_finished"] = entry["finished"]
+            break
+    return signals

@@ -11,6 +11,10 @@ Failure semantics: a processor exception aborts the run (status
 ``failed``) unless the processor's config sets ``"allow_failure": True``,
 in which case downstream ports fed by it see ``None`` and the run
 continues — mirroring how Taverna pipelines tolerate flaky services.
+Such a run finishes with status ``degraded`` (not ``completed``): the
+outputs exist but were produced with at least one processor down, and
+:class:`RunResult` exposes both the status and the failed-processor
+count so callers never mistake a partial result for a clean one.
 
 Implicit iteration (Taverna's signature behaviour): a processor whose
 config names an input port in ``"iterate_over"`` is invoked once per
@@ -31,7 +35,10 @@ from repro.workflow.trace import ProcessorRun, WorkflowTrace
 __all__ = ["SimulatedClock", "RunResult", "WorkflowEngine"]
 
 #: Listing 1's annotation timestamp — a natural epoch for the simulation.
-DEFAULT_EPOCH = _dt.datetime(2013, 11, 12, 19, 58, 9)
+#: Timezone-aware: the paper's timestamp is UTC, and keeping the epoch
+#: aware means every clock-derived instant serializes with its offset.
+DEFAULT_EPOCH = _dt.datetime(2013, 11, 12, 19, 58, 9,
+                             tzinfo=_dt.timezone.utc)
 
 
 class SimulatedClock:
@@ -71,8 +78,23 @@ class RunResult:
         return self.trace.run_id
 
     @property
+    def status(self) -> str:
+        """``completed`` | ``degraded`` | ``failed``."""
+        return self.trace.status
+
+    @property
     def succeeded(self) -> bool:
+        """True only for a fully clean run — degraded runs don't count."""
         return self.trace.status == "completed"
+
+    @property
+    def degraded(self) -> bool:
+        """True when an ``allow_failure`` processor failed mid-run."""
+        return self.trace.status == "degraded"
+
+    @property
+    def failed_processor_count(self) -> int:
+        return len(self.trace.failed_processors())
 
     def __getitem__(self, port: str) -> Any:
         return self.outputs[port]
@@ -94,19 +116,28 @@ class WorkflowEngine:
     default_step_seconds:
         Simulated duration charged to a processor that does not report
         its own duration.
+    telemetry:
+        Observability sink (metrics + spans + events).  Defaults to the
+        process-wide instance from
+        :func:`repro.telemetry.get_telemetry`; pass an isolated
+        :class:`~repro.telemetry.Telemetry` to keep runs separate.
     """
 
     def __init__(self, registry: ProcessorRegistry | None = None,
                  clock: SimulatedClock | None = None,
-                 default_step_seconds: float = 0.1) -> None:
+                 default_step_seconds: float = 0.1,
+                 telemetry: "Telemetry | None" = None) -> None:
         if registry is None:
             from repro.workflow.builtins import builtin_registry
             registry = builtin_registry().copy()
+        from repro.telemetry import get_telemetry
         self.registry = registry
         self.clock = clock or SimulatedClock()
         self.default_step_seconds = default_step_seconds
+        self.telemetry = telemetry or get_telemetry()
         self._run_counter = 0
         self._listeners: list[Callable[[str, dict[str, Any]], None]] = []
+        self.telemetry.events.attach(self)
 
     # ------------------------------------------------------------------
     # listeners (the Provenance Manager subscribes here)
@@ -156,68 +187,136 @@ class WorkflowEngine:
             artifact = trace.record_binding(Workflow.IO, name, "input", value)
             values[(Workflow.IO, name)] = (value, artifact.artifact_id)
 
+        metrics = self.telemetry.metrics
         status = "completed"
-        for processor_name in workflow.execution_order():
-            processor = workflow.processor(processor_name)
-            bound = self._bind_inputs(workflow, processor_name, values, trace)
-            started = self.clock.now()
-            run_status = "completed"
-            error_text: str | None = None
-            outputs: Mapping[str, Any] = {}
-            try:
-                implementation = self.registry.resolve(processor)
-                outputs = self._invoke(processor, implementation, bound)
-            except Exception as exc:  # noqa: BLE001 - boundary by design
-                run_status = "failed"
-                error_text = f"{type(exc).__name__}: {exc}"
-                if not processor.config.get("allow_failure", False):
-                    finished = self.clock.advance(self.default_step_seconds)
-                    trace.record_run(ProcessorRun(
-                        processor_name, processor.kind, started, finished,
-                        status="failed", error=error_text,
-                    ))
-                    trace.finish(finished, "failed")
-                    self._emit("run_finished", {"run_id": run_id,
-                                                "trace": trace})
-                    raise WorkflowExecutionError(processor_name, exc) from exc
-            duration = float(
-                outputs.get("__duration__", self.default_step_seconds)
-            ) if isinstance(outputs, Mapping) else self.default_step_seconds
-            outputs = {
-                port: value for port, value in dict(outputs).items()
-                if port != "__duration__"
-            }
-            finished = self.clock.advance(max(duration, 0.0))
-            record = ProcessorRun(processor_name, processor.kind,
-                                  started, finished,
-                                  status=run_status, error=error_text)
-            trace.record_run(record)
-            for port in processor.output_ports:
-                value = outputs.get(port)
-                binding = trace.record_binding(
-                    processor_name, port, "output", value
-                )
-                values[(processor_name, port)] = (value, binding.artifact_id)
-            self._emit("processor_finished", {
-                "run_id": run_id, "processor": processor,
-                "run": record, "outputs": dict(outputs),
-            })
+        with self.telemetry.tracer.span(
+                "workflow.run", clock=self.clock,
+                workflow=workflow.name, run_id=run_id) as run_span:
+            for processor_name in workflow.execution_order():
+                processor = workflow.processor(processor_name)
+                bound = self._bind_inputs(workflow, processor_name, values,
+                                          trace)
+                started = self.clock.now()
+                run_status = "completed"
+                error_text: str | None = None
+                outputs: dict[str, Any] = {}
+                duration = self.default_step_seconds
+                with self.telemetry.tracer.span(
+                        "workflow.processor", clock=self.clock,
+                        workflow=workflow.name, processor=processor_name,
+                        kind=processor.kind) as processor_span:
+                    try:
+                        implementation = self.registry.resolve(processor)
+                        raw = self._invoke(processor, implementation, bound)
+                        outputs, duration = self._normalize_outputs(
+                            processor_name, raw)
+                    except Exception as exc:  # noqa: BLE001 - boundary by design
+                        run_status = "failed"
+                        error_text = f"{type(exc).__name__}: {exc}"
+                        outputs = {}
+                        duration = self.default_step_seconds
+                        metrics.counter(
+                            "workflow_processor_failures_total",
+                            workflow=workflow.name,
+                            processor=processor_name,
+                        ).inc()
+                        if not processor.config.get("allow_failure", False):
+                            finished = self.clock.advance(
+                                self.default_step_seconds)
+                            trace.record_run(ProcessorRun(
+                                processor_name, processor.kind, started,
+                                finished, status="failed", error=error_text,
+                            ))
+                            trace.finish(finished, "failed")
+                            metrics.counter(
+                                "workflow_runs_total",
+                                workflow=workflow.name, status="failed",
+                            ).inc()
+                            self._emit("run_finished", {"run_id": run_id,
+                                                        "trace": trace})
+                            raise WorkflowExecutionError(
+                                processor_name, exc) from exc
+                        status = "degraded"
+                    finished = self.clock.advance(max(duration, 0.0))
+                    processor_span.set_attribute("status", run_status)
+                record = ProcessorRun(processor_name, processor.kind,
+                                      started, finished,
+                                      status=run_status, error=error_text)
+                trace.record_run(record)
+                metrics.histogram(
+                    "workflow_processor_seconds",
+                    workflow=workflow.name, processor=processor_name,
+                    kind=processor.kind,
+                ).observe(record.duration.total_seconds())
+                metrics.counter(
+                    "workflow_processor_runs_total",
+                    workflow=workflow.name, processor=processor_name,
+                    status=run_status,
+                ).inc()
+                for port in processor.output_ports:
+                    value = outputs.get(port)
+                    binding = trace.record_binding(
+                        processor_name, port, "output", value
+                    )
+                    values[(processor_name, port)] = (value,
+                                                      binding.artifact_id)
+                self._emit("processor_finished", {
+                    "run_id": run_id, "processor": processor,
+                    "run": record, "outputs": dict(outputs),
+                })
 
-        # workflow outputs
-        outputs: dict[str, Any] = {}
-        for link in workflow.links:
-            if link.sink != Workflow.IO:
-                continue
-            value, artifact_id = values.get(
-                (link.source, link.source_port), (None, None)
-            )
-            outputs[link.sink_port] = value
-            trace.record_binding(Workflow.IO, link.sink_port, "output",
-                                 value, artifact_id=artifact_id)
-        trace.outputs = dict(outputs)
-        trace.finish(self.clock.now(), status)
+            # workflow outputs
+            outputs: dict[str, Any] = {}
+            for link in workflow.links:
+                if link.sink != Workflow.IO:
+                    continue
+                value, artifact_id = values.get(
+                    (link.source, link.source_port), (None, None)
+                )
+                outputs[link.sink_port] = value
+                trace.record_binding(Workflow.IO, link.sink_port, "output",
+                                     value, artifact_id=artifact_id)
+            trace.outputs = dict(outputs)
+            trace.finish(self.clock.now(), status)
+            run_span.set_attribute("status", status)
+            run_span.set_attribute(
+                "failed_processors", len(trace.failed_processors()))
+        metrics.counter("workflow_runs_total",
+                        workflow=workflow.name, status=status).inc()
         self._emit("run_finished", {"run_id": run_id, "trace": trace})
         return RunResult(outputs, trace)
+
+    def _normalize_outputs(self, processor_name: str,
+                           raw: Any) -> tuple[dict[str, Any], float]:
+        """Split a processor's raw return into (ports, duration).
+
+        A non-mapping return stays tolerated (processors returning
+        ``None``), but a ``__duration__`` that is not a finite number is
+        a *processor failure*: the ``ValueError`` raised here is caught
+        by the run loop, recorded in the trace, and wrapped in
+        :class:`WorkflowExecutionError` (or tolerated under
+        ``allow_failure``) — never surfaced as a raw engine crash.
+        """
+        if not isinstance(raw, Mapping):
+            return {}, self.default_step_seconds
+        outputs = dict(raw)
+        declared = outputs.pop("__duration__", None)
+        if declared is None:
+            return outputs, self.default_step_seconds
+        try:
+            duration = float(declared)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"processor {processor_name!r} reported non-numeric "
+                f"__duration__ {declared!r}"
+            ) from None
+        if duration != duration or duration in (float("inf"),
+                                                float("-inf")):
+            raise ValueError(
+                f"processor {processor_name!r} reported non-finite "
+                f"__duration__ {declared!r}"
+            )
+        return outputs, duration
 
     def _invoke(self, processor, implementation,
                 bound: dict[str, Any]) -> Mapping[str, Any]:
@@ -229,6 +328,12 @@ class WorkflowEngine:
         if not isinstance(items, (list, tuple)):
             # scalar input: plain invocation, as Taverna does
             return implementation(bound) or {}
+        self.telemetry.metrics.counter(
+            "workflow_iteration_items_total", processor=processor.name,
+        ).inc(len(items))
+        self.telemetry.metrics.histogram(
+            "workflow_iteration_fanout", processor=processor.name,
+        ).observe(len(items))
         collected: dict[str, list[Any]] = {
             port: [] for port in processor.output_ports
         }

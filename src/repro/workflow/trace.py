@@ -108,7 +108,7 @@ class WorkflowTrace:
         self.workflow_name = workflow_name
         self.started = started
         self.finished: _dt.datetime | None = None
-        self.status = "running"  # -> "completed" | "failed"
+        self.status = "running"  # -> "completed" | "degraded" | "failed"
         self.inputs: dict[str, Any] = {}
         self.outputs: dict[str, Any] = {}
         self.processor_runs: list[ProcessorRun] = []
@@ -168,6 +168,10 @@ class WorkflowTrace:
             run.processor for run in self.processor_runs
             if run.status == "failed"
         ]
+
+    @property
+    def failed_processor_count(self) -> int:
+        return len(self.failed_processors())
 
     # -- serialization -------------------------------------------------------
 

@@ -22,6 +22,19 @@ from repro.taxonomy.service import CatalogueService
 from repro.taxonomy.synonyms import generate_changes
 
 
+@pytest.fixture()
+def isolated_telemetry():
+    """A fresh process-wide telemetry sink for tests that assert on
+    exact metric values; restored (and zeroed) afterwards."""
+    from repro import telemetry as _telemetry
+
+    previous = _telemetry.get_telemetry()
+    fresh = _telemetry.set_telemetry(_telemetry.Telemetry())
+    yield fresh
+    _telemetry.set_telemetry(previous)
+    previous.reset()
+
+
 @pytest.fixture(scope="session")
 def small_backbone():
     return build_backbone(BackboneConfig(seed=7, total_species=400))

@@ -1,0 +1,101 @@
+"""Smoke check: the FNJV quickstart flow with telemetry enabled.
+
+Runs the species-name check end to end (the quickstart scenario) against
+an isolated telemetry sink and asserts the observability layer saw the
+run: nonzero processor-duration histograms, storage scan/index counters,
+the Catalogue's measured availability, and a coherent span tree — i.e.
+`repro stats` has real data to show, and the quality manager can fold
+the snapshot in as an external source.
+"""
+
+import pytest
+
+from repro.core.manager import DataQualityManager
+from repro.curation.species_check import SpeciesNameChecker
+from repro.provenance.manager import ProvenanceManager
+from repro.taxonomy.service import CatalogueService
+
+pytestmark = pytest.mark.smoke
+
+
+@pytest.fixture()
+def quickstart_run(isolated_telemetry, small_collection, small_catalogue):
+    service = CatalogueService(small_catalogue, availability=0.9,
+                               reputation=1.0, seed=7)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(small_collection, service,
+                                 provenance=provenance)
+    result = checker.run()
+    checker.updates(status="flagged")  # exercise the query path
+    return isolated_telemetry, result
+
+
+class TestQuickstartTelemetry:
+    def test_processor_duration_histograms_are_nonzero(self, quickstart_run):
+        telemetry, result = quickstart_run
+        assert result.trace.status == "completed"
+        snapshot = telemetry.snapshot()
+        durations = {
+            series: data
+            for series, data in snapshot["metrics"].items()
+            if series.startswith("workflow_processor_seconds{")
+        }
+        assert durations, "no processor-duration series recorded"
+        for series, data in durations.items():
+            assert data["count"] > 0, series
+            assert data["sum"] > 0, series
+
+    def test_storage_counters_saw_the_run(self, quickstart_run):
+        telemetry, __ = quickstart_run
+        metrics = telemetry.metrics
+        assert metrics.total("storage_rows_inserted_total") > 0
+        assert metrics.total("storage_rows_scanned_total") > 0
+        assert (metrics.total("storage_full_scans_total")
+                + metrics.total("storage_index_hits_total")) > 0
+
+    def test_service_availability_is_measured(self, quickstart_run):
+        telemetry, __ = quickstart_run
+        measured = telemetry.metrics.value(
+            "service_measured_availability", service="catalogue_of_life")
+        assert measured is not None
+        assert 0.0 < measured <= 1.0
+        assert telemetry.metrics.total("service_calls_total") > 0
+
+    def test_span_tree_covers_run_processors_and_calls(self, quickstart_run):
+        telemetry, result = quickstart_run
+        tracer = telemetry.tracer
+        runs = tracer.finished_spans("workflow.run")
+        assert len(runs) == 1
+        assert runs[0].status == "ok"
+        assert runs[0].attributes["status"] == "completed"
+        processors = tracer.finished_spans("workflow.processor")
+        assert len(processors) == len(result.trace.processor_runs)
+        assert all(span.parent_id == runs[0].span_id
+                   for span in processors)
+        calls = tracer.finished_spans("service.call")
+        assert calls, "no service.call spans recorded"
+
+    def test_engine_events_reach_the_log(self, quickstart_run):
+        telemetry, result = quickstart_run
+        finished = telemetry.events.last("run_finished")
+        assert finished is not None
+        assert finished["status"] == "completed"
+        assert finished["processors"] == len(result.trace.processor_runs)
+
+    def test_report_renders_with_data(self, quickstart_run):
+        telemetry, __ = quickstart_run
+        report = telemetry.render_report()
+        assert "workflow_processor_seconds" in report
+        assert "service_measured_availability" in report
+
+    def test_quality_manager_consumes_the_snapshot(self, quickstart_run):
+        telemetry, __ = quickstart_run
+        manager = DataQualityManager()
+        assessment = manager.assess_operations(telemetry.snapshot())
+        rendered = assessment.render()
+        assert "observed_availability" in rendered
+        assert "reliability" in rendered
+        by_dimension = {value.dimension: value for value in assessment}
+        reliability = by_dimension["reliability"]
+        assert reliability.value == pytest.approx(1.0)
+        assert reliability.source == "external"

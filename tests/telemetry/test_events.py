@@ -1,0 +1,97 @@
+"""EventLog: engine subscription, payload summarization, bounds."""
+
+from repro.telemetry import Telemetry
+from repro.telemetry.events import EventLog
+from repro.workflow.builtins import register_function
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.ports import InputPort
+
+register_function("ev_double", lambda values: {"result": [
+    v * 2 for v in (values or [])]})
+register_function("ev_boom", lambda **kwargs: (_ for _ in ()).throw(
+    RuntimeError("down")))
+
+
+def doubling_workflow():
+    wf = Workflow("doubling")
+    wf.add_processor(Processor(
+        "double", "python",
+        inputs=[InputPort("values", default=None)], outputs=["result"],
+        config={"function": "ev_double"}))
+    wf.map_input("values", "double", "values")
+    wf.map_output("out", "double", "result")
+    return wf
+
+
+class TestEngineSubscription:
+    def test_run_events_are_summarized(self):
+        telemetry = Telemetry()
+        engine = WorkflowEngine(telemetry=telemetry)
+        engine.run(doubling_workflow(), {"values": [1, 2]})
+        log = telemetry.events
+        assert [e["event"] for e in log.events()] == [
+            "run_started", "processor_finished", "run_finished",
+        ]
+        started = log.events("run_started")[0]
+        assert started["workflow"] == "doubling"
+        assert started["inputs"] == ["values"]
+        finished = log.last("run_finished")
+        assert finished["status"] == "completed"
+        assert finished["failed_processors"] == 0
+        assert finished["duration_seconds"] > 0
+        # values never leak into the log, only port names and counts
+        assert "[1, 2]" not in str(log.events())
+
+    def test_degraded_run_is_visible_in_the_log(self):
+        telemetry = Telemetry()
+        engine = WorkflowEngine(telemetry=telemetry)
+        wf = Workflow("flaky")
+        wf.add_processor(Processor(
+            "boom", "python", inputs=[InputPort("x", default=None)],
+            outputs=["result"],
+            config={"function": "ev_boom", "allow_failure": True}))
+        wf.map_output("out", "boom", "result")
+        engine.run(wf)
+        finished = telemetry.events.last("run_finished")
+        assert finished["status"] == "degraded"
+        assert finished["failed_processors"] == 1
+        processor = telemetry.events.last("processor_finished")
+        assert processor["status"] == "failed"
+        assert "down" in processor["error"]
+
+
+class TestBoundsAndQueries:
+    def test_bounded_with_drop_count(self):
+        log = EventLog(max_events=3)
+        for index in range(5):
+            log.record("tick", {"i": index})
+        assert len(log) == 3
+        snapshot = log.snapshot()
+        assert snapshot["recorded"] == 5
+        assert snapshot["dropped"] == 2
+        assert [e["i"] for e in log.events()] == [2, 3, 4]
+
+    def test_filter_and_last(self):
+        log = EventLog()
+        log.record("a", {"n": 1})
+        log.record("b", {"n": 2})
+        log.record("a", {"n": 3})
+        assert [e["n"] for e in log.events("a")] == [1, 3]
+        assert log.last("b")["n"] == 2
+        assert log.last("missing") is None
+
+    def test_record_with_timestamp(self):
+        import datetime as dt
+
+        log = EventLog()
+        at = dt.datetime(2013, 11, 12, tzinfo=dt.timezone.utc)
+        entry = log.record("snap", at=at)
+        assert entry["at"] == "2013-11-12T00:00:00+00:00"
+
+    def test_reset(self):
+        log = EventLog()
+        log.record("x")
+        log.reset()
+        assert len(log) == 0
+        assert log.snapshot()["recorded"] == 0

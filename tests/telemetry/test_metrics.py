@@ -1,0 +1,148 @@
+"""MetricsRegistry: instruments, labeled series, snapshots, reset."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_series,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("calls_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_series(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", a="1") is registry.counter("x", a="1")
+        assert registry.counter("x", a="1") is not registry.counter("x",
+                                                                    a="2")
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        one = registry.counter("x", a="1", b="2")
+        other = registry.counter("x", b="2", a="1")
+        assert one is other
+        assert one.series == "x{a=1,b=2}"
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("selectivity", table="t")
+        gauge.set(0.5)
+        gauge.inc(0.25)
+        gauge.dec(0.5)
+        assert gauge.value == pytest.approx(0.25)
+
+
+class TestHistogram:
+    def test_stats(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds")
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(1.2)
+        assert histogram.mean == pytest.approx(0.4)
+        assert histogram.min == pytest.approx(0.2)
+        assert histogram.max == pytest.approx(0.6)
+
+    def test_cumulative_buckets(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        data = histogram.to_dict()
+        assert data["buckets"] == {"le=0.1": 1, "le=1.0": 2, "le=10.0": 3}
+        assert data["count"] == 4  # the 50.0 only lives in the +Inf count
+
+    def test_empty_histogram_has_no_mean(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.mean is None
+        assert histogram.min is None
+
+
+class TestRegistry:
+    def test_family_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TypeError):
+            registry.gauge("n")
+        with pytest.raises(TypeError):
+            registry.histogram("n")
+
+    def test_snapshot_is_sorted_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc(2)
+        registry.counter("a_total", k="v").inc(1)
+        registry.gauge("g").set(3.5)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a_total{k=v}"] == {"type": "counter", "value": 1.0}
+        assert snapshot["g"]["value"] == 3.5
+
+    def test_snapshot_deterministic_across_identical_runs(self):
+        def build():
+            registry = MetricsRegistry()
+            for index in range(10):
+                registry.counter("ops_total",
+                                 worker=str(index % 3)).inc(index)
+                registry.histogram("dur").observe(index * 0.1)
+            return registry.snapshot()
+
+        assert build() == build()
+
+    def test_reset_zeroes_in_place_and_keeps_handles(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n")
+        histogram = registry.histogram("h")
+        counter.inc(7)
+        histogram.observe(1.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0
+        # the cached handle still feeds the same registry
+        counter.inc()
+        assert registry.value("n") == 1
+
+    def test_value_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("n", a="1").inc(2)
+        registry.counter("n", a="2").inc(3)
+        assert registry.value("n", a="1") == 2
+        assert registry.value("n", a="missing") is None
+        assert registry.total("n") == 5
+
+    def test_value_on_histogram_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("h").observe(1)
+        with pytest.raises(TypeError):
+            registry.value("h")
+
+
+def test_format_series_plain_and_labeled():
+    assert format_series("n", ()) == "n"
+    assert format_series("n", (("a", "1"),)) == "n{a=1}"
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def test_instrument_types_exported():
+    registry = MetricsRegistry()
+    assert isinstance(registry.counter("c"), Counter)
+    assert isinstance(registry.gauge("g"), Gauge)
+    assert isinstance(registry.histogram("h"), Histogram)

@@ -1,0 +1,106 @@
+"""Tracer: hierarchy, simulated-clock determinism, failure capture."""
+
+import datetime as dt
+
+import pytest
+
+from repro.telemetry.spans import Tracer
+from repro.workflow.engine import DEFAULT_EPOCH, SimulatedClock
+
+
+class TestHierarchy:
+    def test_nesting_records_parent_ids(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock)
+        with tracer.span("run") as run:
+            clock.advance(1)
+            with tracer.span("processor") as processor:
+                clock.advance(2)
+            assert processor.parent_id == run.span_id
+        assert run.parent_id is None
+        assert run.duration_seconds == pytest.approx(3.0)
+        assert processor.duration_seconds == pytest.approx(2.0)
+
+    def test_record_span_attaches_to_active_span(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock)
+        with tracer.span("processor") as processor:
+            clock.advance(5)
+            leaf = tracer.record_span("service.call", 0.012,
+                                      outcome="success")
+        assert leaf.parent_id == processor.span_id
+        assert leaf.duration_seconds == pytest.approx(0.012)
+        assert leaf.attributes["outcome"] == "success"
+
+    def test_record_span_inherits_active_spans_clock(self):
+        """A leaf recorded inside an engine-driven span must land on the
+        simulated timeline, not wall time."""
+        clock = SimulatedClock()
+        tracer = Tracer()  # default tracer clock is wall time
+        with tracer.span("processor", clock=clock):
+            leaf = tracer.record_span("service.call", 1.0)
+        assert leaf.finished == clock.now()
+        assert leaf.started == clock.now() - dt.timedelta(seconds=1)
+
+    def test_children_of(self):
+        tracer = Tracer(SimulatedClock())
+        with tracer.span("parent") as parent:
+            tracer.record_span("a", 0.1)
+            tracer.record_span("b", 0.2)
+        names = sorted(span.name for span in tracer.children_of(parent))
+        assert names == ["a", "b"]
+
+
+class TestDeterminism:
+    def build(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock)
+        with tracer.span("run", workflow="w"):
+            for index in range(3):
+                with tracer.span("processor", step=index):
+                    clock.advance(0.5)
+                    tracer.record_span("service.call", 0.012)
+        return tracer.snapshot()
+
+    def test_identical_runs_identical_snapshots(self):
+        assert self.build() == self.build()
+
+    def test_timestamps_come_from_the_simulation(self):
+        snapshot = self.build()
+        run = next(s for s in snapshot["spans"] if s["name"] == "run")
+        assert run["started"] == DEFAULT_EPOCH.isoformat()
+
+    def test_span_ids_are_sequential(self):
+        snapshot = self.build()
+        ids = [span["span_id"] for span in snapshot["spans"]]
+        assert len(ids) == len(set(ids)) == 7  # 1 run + 3 proc + 3 calls
+
+
+class TestFailures:
+    def test_exception_marks_span_failed_and_propagates(self):
+        tracer = Tracer(SimulatedClock())
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        span = tracer.finished_spans("doomed")[0]
+        assert span.status == "failed"
+        assert "boom" in span.error
+
+
+class TestBounds:
+    def test_max_spans_drops_oldest(self):
+        clock = SimulatedClock()
+        tracer = Tracer(clock, max_spans=3)
+        for index in range(5):
+            tracer.record_span(f"s{index}", 0.1)
+        snapshot = tracer.snapshot()
+        assert len(snapshot["spans"]) == 3
+        assert snapshot["dropped_spans"] == 2
+        assert snapshot["spans"][0]["name"] == "s2"
+
+    def test_reset(self):
+        tracer = Tracer(SimulatedClock())
+        tracer.record_span("x", 1.0)
+        tracer.reset()
+        assert tracer.finished_spans() == []
+        assert tracer.active_span is None

@@ -33,8 +33,14 @@ def linear_workflow():
 
 class TestSimulatedClock:
     def test_default_epoch_is_listing_1(self):
-        assert SimulatedClock().now() == dt.datetime(2013, 11, 12, 19, 58, 9)
+        assert SimulatedClock().now() == dt.datetime(
+            2013, 11, 12, 19, 58, 9, tzinfo=dt.timezone.utc)
         assert DEFAULT_EPOCH.year == 2013
+
+    def test_default_epoch_is_utc(self):
+        """The docstring promises UTC; the epoch must be tz-aware."""
+        assert DEFAULT_EPOCH.tzinfo is dt.timezone.utc
+        assert SimulatedClock().now().utcoffset() == dt.timedelta(0)
 
     def test_advance(self):
         clock = SimulatedClock()
@@ -116,10 +122,15 @@ class TestFailures:
         assert trace.status == "failed"
         assert trace.failed_processors() == ["boom"]
 
-    def test_allow_failure_continues(self):
+    def test_allow_failure_continues_but_degrades(self):
         result = WorkflowEngine().run(self.failing_workflow(allow_failure=True))
-        assert result.succeeded
+        # the run finishes and yields outputs, but it is NOT a clean run
         assert result.outputs == {"out": None}
+        assert result.trace.status == "degraded"
+        assert result.status == "degraded"
+        assert result.degraded
+        assert not result.succeeded
+        assert result.failed_processor_count == 1
         run = result.trace.run_for("boom")
         assert run.status == "failed"
         assert "kaboom" in run.error
@@ -140,6 +151,53 @@ class TestClockAndDurations:
         assert run.duration.total_seconds() == pytest.approx(60.0)
         # __duration__ must not leak into outputs
         assert "__duration__" not in result.outputs
+
+    def test_non_numeric_duration_is_a_processor_failure(self):
+        """A bad ``__duration__`` must surface as WorkflowExecutionError,
+        not as a raw ValueError escaping the engine."""
+        register_function("bad_duration",
+                          lambda x: {"y": x, "__duration__": "soon"})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "python", inputs=["x"],
+                                   outputs=["y"],
+                                   config={"function": "bad_duration"}))
+        wf.map_input("x", "s", "x")
+        wf.map_output("y", "s", "y")
+        engine = WorkflowEngine()
+        with pytest.raises(WorkflowExecutionError) as excinfo:
+            engine.run(wf, {"x": 1})
+        assert excinfo.value.processor == "s"
+        assert "__duration__" in str(excinfo.value)
+
+    def test_non_finite_duration_is_a_processor_failure(self):
+        register_function("nan_duration",
+                          lambda x: {"y": x, "__duration__": float("nan")})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "python", inputs=["x"],
+                                   outputs=["y"],
+                                   config={"function": "nan_duration"}))
+        wf.map_input("x", "s", "x")
+        wf.map_output("y", "s", "y")
+        with pytest.raises(WorkflowExecutionError):
+            WorkflowEngine().run(wf, {"x": 1})
+
+    def test_bad_duration_tolerated_under_allow_failure(self):
+        """allow_failure applies uniformly — including to duration
+        validation errors — and the run degrades instead of raising."""
+        register_function("bad_duration_2",
+                          lambda x: {"y": x, "__duration__": object()})
+        wf = Workflow("w")
+        wf.add_processor(Processor(
+            "s", "python", inputs=[InputPort("x", default=None)],
+            outputs=["y"],
+            config={"function": "bad_duration_2", "allow_failure": True}))
+        wf.map_output("y", "s", "y")
+        result = WorkflowEngine().run(wf)
+        assert result.degraded
+        assert result.outputs == {"y": None}
+        run = result.trace.run_for("s")
+        assert run.status == "failed"
+        assert "__duration__" in run.error
 
     def test_trace_times_monotone(self):
         engine = WorkflowEngine()
