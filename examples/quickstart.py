@@ -25,7 +25,9 @@ def main() -> None:
     registry = generate_changes(backbone, yearly_rate=0.01, seed=42)
     catalogue = CatalogueOfLife(backbone, registry, as_of_year=2013)
 
-    # 2. a small animal-sound collection with known defects
+    # 2. a small animal-sound collection with known defects — the
+    #    generator hands all records to Database.bulk_load in one batch
+    #    (single unique-check pass, one index rebuild, one journal entry)
     config = CollectionConfig(seed=42, n_records=1_000,
                               n_distinct_species=250,
                               n_outdated_species=20)
@@ -33,6 +35,16 @@ def main() -> None:
     print(f"collection: {len(collection)} records, "
           f"{truth.distinct_names} species names "
           f"({len(truth.outdated_species)} secretly outdated)")
+
+    # 2b. the storage engine plans each query by cost; explain() shows
+    #     the chosen access path (see also: `repro explain` on the CLI)
+    from repro.storage import col
+
+    plan = collection.database.query("recordings").where(
+        col("species").is_not_null()
+    ).order_by("collect_date").limit(3).explain()
+    print(f"planner: {plan['access_path']}/{plan['strategy']} — "
+          f"{plan['reason']}")
 
     # 3. run the detection workflow; provenance is captured automatically
     service = CatalogueService(catalogue, availability=0.9,

@@ -79,6 +79,31 @@ def build_parser() -> argparse.ArgumentParser:
     publish.add_argument("--csv", type=str, default=None,
                          help="write the recordings table as CSV here")
 
+    explain = commands.add_parser(
+        "explain", help="show the cost-based query plan for a query "
+        "over a synthetic collection")
+    explain.add_argument("--records", type=int, default=2_000)
+    explain.add_argument("--species", type=int, default=300)
+    explain.add_argument("--eq", action="append", default=[],
+                         metavar="COLUMN=VALUE",
+                         help="equality condition (repeatable)")
+    explain.add_argument("--between", action="append", default=[],
+                         metavar="COLUMN:LOW:HIGH",
+                         help="inclusive range condition (repeatable)")
+    explain.add_argument("--in", action="append", default=[],
+                         dest="in_lists", metavar="COLUMN:V1,V2,...",
+                         help="IN-list condition (repeatable)")
+    explain.add_argument("--order-by", type=str, default=None)
+    explain.add_argument("--desc", action="store_true",
+                         help="order descending")
+    explain.add_argument("--limit", type=int, default=None)
+    explain.add_argument("--analyze", action="store_true",
+                         help="also execute the query and report "
+                         "actual_rows")
+    explain.add_argument("--table-stats", action="store_true",
+                         help="include the table's index cardinality "
+                         "statistics")
+
     stats = commands.add_parser(
         "stats", help="run the detection workflow with telemetry "
         "enabled and print the observability report")
@@ -257,6 +282,53 @@ def _command_publish(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_explain(args: argparse.Namespace) -> int:
+    from repro.errors import StorageError
+    from repro.storage.predicate import col
+
+    __, collection, __truth = _small_world(
+        args.seed, args.records, args.species, 10)
+    database = collection.database
+    table = database.table("recordings")
+
+    def coerce(column: str, raw: str):
+        column_type = table.schema.column(column).type
+        try:
+            return column_type.coerce(column_type.from_json(raw))
+        except (TypeError, ValueError):
+            return raw
+
+    query = database.query("recordings")
+    for spec in args.eq:
+        column, sep, raw = spec.partition("=")
+        if not sep:
+            raise StorageError(f"--eq wants COLUMN=VALUE, got {spec!r}")
+        query.where(col(column) == coerce(column, raw))
+    for spec in args.between:
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise StorageError(
+                f"--between wants COLUMN:LOW:HIGH, got {spec!r}")
+        column, low, high = parts
+        query.where(col(column).between(coerce(column, low),
+                                        coerce(column, high)))
+    for spec in args.in_lists:
+        column, sep, raw = spec.partition(":")
+        if not sep:
+            raise StorageError(f"--in wants COLUMN:V1,V2, got {spec!r}")
+        query.where(col(column).in_(
+            [coerce(column, value) for value in raw.split(",")]))
+    if args.order_by:
+        query.order_by(args.order_by, descending=args.desc)
+    if args.limit is not None:
+        query.limit(args.limit)
+    plan = query.explain(analyze=args.analyze)
+    if args.table_stats:
+        plan["table_stats"] = table.stats()
+    print(json.dumps(plan, indent=2, sort_keys=True, default=str))
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.core.manager import DataQualityManager
     from repro.curation.species_check import SpeciesNameChecker
@@ -298,6 +370,7 @@ _COMMANDS = {
     "archive": _command_archive,
     "crossref": _command_crossref,
     "experiments": _command_experiments,
+    "explain": _command_explain,
     "publish": _command_publish,
     "stats": _command_stats,
 }

@@ -60,8 +60,19 @@ class SoundCollection:
         return row["record_id"]
 
     def add_many(self, records: list[SoundRecord]) -> int:
+        """Bulk-ingest ``records`` through the storage engine's batched
+        write path (one unique-check pass, deferred index maintenance,
+        one journal entry) — the generator hands over ~12 000 records at
+        once, so this is the collection's hot ingest path."""
+        next_id = len(self) + 1
+        rows = []
         for record in records:
-            self.add(record)
+            row = record.to_row()
+            if row.get("record_id") is None:
+                row["record_id"] = next_id
+            next_id = max(next_id, row["record_id"]) + 1
+            rows.append(row)
+        self.database.bulk_load(RECORDINGS, rows)
         return len(records)
 
     # ------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.storage.csvio import export_csv, import_csv
 from repro.storage.database import Database
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.journal import Journal
+from repro.storage.planner import QueryPlan, plan_query
 from repro.storage.predicate import Predicate, col
 from repro.storage.query import Query
 from repro.storage.schema import Column, ForeignKey, TableSchema
@@ -47,7 +48,9 @@ __all__ = [
     "Journal",
     "Predicate",
     "Query",
+    "QueryPlan",
     "SortedIndex",
+    "plan_query",
     "Table",
     "TableSchema",
     "col",

@@ -55,11 +55,18 @@ def import_csv(database: Database, table_name: str,
                path: str | Path) -> int:
     """Load rows from ``path`` into an existing table; returns rows
     inserted.  Cells are coerced through the column types; empty cells
-    become ``None``."""
+    become ``None``.
+
+    Rows are parsed first and then written through the database's bulk
+    write path (:meth:`~repro.storage.database.Database.bulk_load`): one
+    batched unique-check, deferred index maintenance and a single
+    batched journal entry — and a file that fails validation part-way
+    leaves the table untouched instead of half-loaded.
+    """
     table = database.table(table_name)
     schema = table.schema
     path = Path(path)
-    inserted = 0
+    parsed: list[dict[str, Any]] = []
     with path.open("r", encoding="utf-8", newline="") as handle:
         reader = csv.reader(handle)
         try:
@@ -85,6 +92,6 @@ def import_csv(database: Database, table_name: str,
                 else:
                     row[column] = column_type.coerce(
                         column_type.from_json(cell))
-            database.insert(table_name, row)
-            inserted += 1
-    return inserted
+            parsed.append(row)
+    database.bulk_load(table_name, parsed)
+    return len(parsed)

@@ -125,6 +125,43 @@ class Database:
                     rows: Iterable[Mapping[str, Any]]) -> list[int]:
         return [self.insert(table_name, row) for row in rows]
 
+    def bulk_load(self, table_name: str,
+                  rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Insert a batch of rows through the bulk write path.
+
+        Compared to :meth:`insert_many` this validates the whole batch
+        up front (a failing row leaves the table untouched), defers index
+        maintenance to one bulk rebuild per index, and appends a single
+        batched journal entry instead of one per row.  Foreign keys are
+        checked after the batch lands so rows may reference each other
+        (and themselves), mirroring :meth:`insert`; a violation rolls the
+        whole batch back.
+        """
+        from repro.errors import ConstraintViolation
+
+        table = self.table(table_name)
+        prepared = table.prepare_rows(rows)
+        rowids = table.apply_prepared(prepared)
+        try:
+            for row in prepared:
+                self._check_foreign_keys(table, row)
+        except ConstraintViolation:
+            for rowid in reversed(rowids):
+                table.restore_delete(rowid)
+            raise
+        encoded = []
+        for rowid, row in zip(rowids, prepared):
+            self._record_mutation(table_name, "insert", rowid, None,
+                                  dict(row))
+            encoded.append(
+                {"rowid": rowid, "row": encode_row(table.schema, row)}
+            )
+        if encoded:
+            self._journal_write({
+                "op": "bulk_insert", "table": table_name, "rows": encoded,
+            })
+        return rowids
+
     def update(self, table_name: str, rowid: int,
                changes: Mapping[str, Any]) -> dict[str, Any]:
         """Update one row by id; returns the new row."""

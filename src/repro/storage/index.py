@@ -18,6 +18,8 @@ from typing import Any, Iterable, Iterator
 
 __all__ = ["Index", "HashIndex", "SortedIndex"]
 
+_SENTINEL = object()
+
 
 class Index:
     """Abstract secondary index over one column."""
@@ -35,6 +37,24 @@ class Index:
 
     def lookup(self, value: Any) -> set[int]:
         """Row ids whose column equals ``value`` exactly."""
+        raise NotImplementedError
+
+    def count(self, value: Any) -> int:
+        """Number of row ids equal to ``value`` without materializing the
+        hit set — the planner's cost probe."""
+        return len(self.lookup(value))
+
+    def bulk_add(self, pairs: Iterable[tuple[int, Any]]) -> None:
+        """Add many ``(rowid, value)`` pairs at once (bulk ingest path).
+
+        Subclasses may override with something cheaper than repeated
+        :meth:`add` calls.
+        """
+        for rowid, value in pairs:
+            self.add(rowid, value)
+
+    def cardinality(self) -> int:
+        """Number of distinct indexed (non-``None``) values."""
         raise NotImplementedError
 
     def clear(self) -> None:
@@ -72,6 +92,11 @@ class HashIndex(Index):
             return set()
         return set(self._buckets.get(value, ()))
 
+    def count(self, value: Any) -> int:
+        if value is None:
+            return 0
+        return len(self._buckets.get(value, ()))
+
     def clear(self) -> None:
         self._buckets.clear()
 
@@ -105,6 +130,15 @@ class SortedIndex(Index):
             return
         insort(self._entries, (value, rowid))
 
+    def bulk_add(self, pairs: Iterable[tuple[int, Any]]) -> None:
+        # One extend + sort beats n binary-insertions (O((n+m) log(n+m))
+        # vs O(n·m)); this is what makes deferred index maintenance on the
+        # bulk ingest path worthwhile.
+        self._entries.extend(
+            (value, rowid) for rowid, value in pairs if value is not None
+        )
+        self._entries.sort()
+
     def remove(self, rowid: int, value: Any) -> None:
         if value is None:
             return
@@ -120,6 +154,11 @@ class SortedIndex(Index):
     def range(self, low: Any, high: Any) -> Iterator[int]:
         """Yield row ids with ``low <= value <= high`` (``None`` = open end),
         in ascending value order."""
+        start, stop = self._range_bounds(low, high)
+        for position in range(start, stop):
+            yield self._entries[position][1]
+
+    def _range_bounds(self, low: Any, high: Any) -> tuple[int, int]:
         if low is None:
             start = 0
         else:
@@ -129,8 +168,45 @@ class SortedIndex(Index):
         else:
             # (high, +inf) — use a tuple longer than any entry key.
             stop = bisect_right(self._entries, (high, float("inf")))
-        for position in range(start, stop):
-            yield self._entries[position][1]
+        return start, stop
+
+    def count_range(self, low: Any, high: Any) -> int:
+        """Number of entries in the inclusive range, in O(log n) — the
+        planner's cost probe for range conditions."""
+        start, stop = self._range_bounds(low, high)
+        return max(0, stop - start)
+
+    def count(self, value: Any) -> int:
+        if value is None:
+            return 0
+        return self.count_range(value, value)
+
+    def iter_ascending(self) -> Iterator[int]:
+        """Row ids in ascending value order (ties: ascending rowid)."""
+        for __, rowid in self._entries:
+            yield rowid
+
+    def iter_descending(self) -> Iterator[int]:
+        """Row ids in descending value order, but *ascending* rowid within
+        runs of equal values — the order a stable reverse sort produces,
+        which the ordered-scan access path must reproduce exactly."""
+        entries = self._entries
+        stop = len(entries)
+        while stop > 0:
+            value = entries[stop - 1][0]
+            start = bisect_left(entries, (value,), 0, stop)
+            for position in range(start, stop):
+                yield entries[position][1]
+            stop = start
+
+    def cardinality(self) -> int:
+        distinct = 0
+        previous: Any = _SENTINEL
+        for value, __ in self._entries:
+            if previous is _SENTINEL or value != previous:
+                distinct += 1
+                previous = value
+        return distinct
 
     def min_value(self) -> Any:
         return self._entries[0][0] if self._entries else None

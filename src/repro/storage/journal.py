@@ -108,6 +108,13 @@ class Journal:
             table = database.table(entry["table"])
             row = _decode_row(table.schema, entry["row"])
             table.restore_insert(entry["rowid"], row)
+        elif op == "bulk_insert":
+            # one batched entry from Database.bulk_load: {"rows":
+            # [{"rowid": ..., "row": {...}}, ...]}
+            table = database.table(entry["table"])
+            for item in entry["rows"]:
+                row = _decode_row(table.schema, item["row"])
+                table.restore_insert(item["rowid"], row)
         elif op == "update":
             table = database.table(entry["table"])
             row = _decode_row(table.schema, entry["row"])

@@ -61,6 +61,13 @@ class Predicate:
         (``None`` meaning unbounded on that side)."""
         return {}
 
+    def membership_conditions(self) -> dict[str, tuple[Any, ...]]:
+        """Return ``{column: (v1, v2, ...)}`` finite value sets the column
+        must fall in (IN-lists reachable through conjunctions).  Only
+        reported when every value is hashable, so the planner can serve
+        the condition as a union of index lookups."""
+        return {}
+
 
 class TruePredicate(Predicate):
     """Matches every row; the implicit predicate of an unfiltered query."""
@@ -149,18 +156,55 @@ class Between(Predicate):
 
 
 class InSet(Predicate):
-    """column IN (v1, v2, ...)"""
+    """column IN (v1, v2, ...)
+
+    Hashable value lists get a frozenset for O(1) membership; lists with
+    unhashable members (``InSet("a", [[1, 2]])``) fall back to sequential
+    ``==`` comparison instead of crashing at construction time.
+    """
 
     def __init__(self, column: str, values: Iterable[Any]) -> None:
         self.column = column
-        self.values = frozenset(values)
+        materialized = tuple(values)
+        try:
+            self.values: frozenset[Any] | tuple[Any, ...] = frozenset(
+                materialized
+            )
+            self._hashable = True
+        except TypeError:
+            self.values = materialized
+            self._hashable = False
 
     def __call__(self, row: Row) -> bool:
         value = row.get(self.column)
-        return value is not None and value in self.values
+        if value is None:
+            return False
+        if self._hashable:
+            try:
+                return value in self.values
+            except TypeError:
+                # the *row* value is unhashable (e.g. a JSON list);
+                # fall through to sequential comparison
+                pass
+        return any(value == candidate for candidate in self.values)
 
     def __repr__(self) -> str:
         return f"({self.column} IN {sorted(map(repr, self.values))})"
+
+    def equality_conditions(self) -> dict[str, Any]:
+        # A one-element IN-list is an equality; anything else (or an
+        # unhashable singleton) must not be reported, or the planner would
+        # wrongly narrow the candidate set.
+        if self._hashable and len(self.values) == 1:
+            value = next(iter(self.values))
+            if value is not None:
+                return {self.column: value}
+        return {}
+
+    def membership_conditions(self) -> dict[str, tuple[Any, ...]]:
+        if not self._hashable or not self.values:
+            return {}
+        return {self.column: tuple(self.values)}
 
 
 class Like(Predicate):
@@ -241,6 +285,17 @@ class And(Predicate):
                         high if old_high is None else min(high, old_high)
                     )
                 merged[column] = (low, high)
+        return merged
+
+    def membership_conditions(self) -> dict[str, tuple[Any, ...]]:
+        merged: dict[str, tuple[Any, ...]] = {}
+        for part in self.parts:
+            for column, values in part.membership_conditions().items():
+                if column in merged:
+                    keep = frozenset(merged[column]) & frozenset(values)
+                    merged[column] = tuple(keep)
+                else:
+                    merged[column] = values
         return merged
 
 

@@ -20,12 +20,17 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+import heapq
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import StorageError, UnknownColumnError
+from repro.storage.index import SortedIndex
 from repro.storage.predicate import Predicate, TruePredicate
 from repro.storage.table import Row, Table
 from repro.telemetry import get_telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.planner import QueryPlan
 
 __all__ = ["Query", "Aggregate"]
 
@@ -65,13 +70,19 @@ class Aggregate:
             return len(set(values))
         if not values:
             return None
-        if self.function == "sum":
-            return sum(values)
-        if self.function == "avg":
-            return sum(values) / len(values)
-        if self.function == "min":
-            return min(values)
-        return max(values)
+        try:
+            if self.function == "sum":
+                return sum(values)
+            if self.function == "avg":
+                return sum(values) / len(values)
+            if self.function == "min":
+                return min(values)
+            return max(values)
+        except TypeError as exc:
+            raise StorageError(
+                f"aggregate {self.function!r} over column {self.column!r} "
+                f"hit mixed or non-numeric values: {exc}"
+            ) from None
 
 
 class Query:
@@ -146,10 +157,34 @@ class Query:
     # execution
     # ------------------------------------------------------------------
 
-    def _base_rows(self, filtered: bool = True) -> Iterator[Row]:
-        equalities = self._predicate.equality_conditions()
-        ranges = self._predicate.range_conditions()
-        candidates = self._table.candidate_rowids(equalities, ranges)
+    def _plan(self, include_order: bool = True) -> "QueryPlan":
+        """Ask the cost-based planner for this query's access path.
+
+        ``include_order=False`` (count/aggregate paths) suppresses the
+        order/limit strategies — they would change nothing and the
+        streaming executors assume a limit exists.
+        """
+        from repro.storage.planner import plan_query
+
+        return plan_query(
+            self._table, self._predicate,
+            self._order if include_order else (),
+            self._limit if include_order else None,
+            self._offset,
+            has_joins=bool(self._joins),
+        )
+
+    def _record_plan(self, plan: "QueryPlan") -> None:
+        get_telemetry().metrics.counter(
+            "storage_planner_decisions_total",
+            table=self._table.name,
+            path=plan.access_path,
+            strategy=plan.strategy,
+        ).inc()
+
+    def _base_rows(self, plan: "QueryPlan",
+                   filtered: bool = True) -> Iterator[Row]:
+        candidates = plan.rowids()
         metrics = get_telemetry().metrics
         table_name = self._table.name
         if candidates is None:
@@ -160,8 +195,8 @@ class Query:
                             table=table_name).inc(len(candidates))
             total = len(self._table)
             if total:
-                # Fraction of the table the indexes narrowed this query
-                # to — the signal a future query planner would act on.
+                # Fraction of the table the chosen access path narrowed
+                # this query to.
                 metrics.gauge("storage_index_selectivity",
                               table=table_name).set(
                     len(candidates) / total)
@@ -175,20 +210,82 @@ class Query:
             metrics.counter("storage_rows_scanned_total",
                             table=table_name).inc(scanned)
 
-    def _joined_rows(self) -> Iterator[Row]:
+    def _joined_rows(self, plan: "QueryPlan") -> Iterator[Row]:
         if not self._joins:
-            return self._base_rows()
+            return self._base_rows(plan)
         # With joins, the predicate may reference joined columns
         # (``prefix.column``), so filtering happens after the joins.  The
         # index-derived candidate set is still used: equality/range
         # conditions reachable through conjunctions are necessary, and
-        # candidate_rowids ignores conditions on columns the base table
-        # has no index for (which covers all prefixed names).
-        rows: Iterable[Row] = self._base_rows(filtered=False)
+        # the planner ignores conditions on columns the base table has no
+        # index for (which covers all prefixed names).
+        rows: Iterable[Row] = self._base_rows(plan, filtered=False)
         for other, left_column, right_column, prefix in self._joins:
             rows = self._apply_join(rows, other, left_column, right_column,
                                     prefix)
         return (row for row in rows if self._predicate(row))
+
+    def _stream_ordered(self, plan: "QueryPlan") -> list[Row]:
+        """Serve ``order_by`` + ``limit`` straight off the sorted index.
+
+        Rows come out already sorted (ties in ascending rowid order —
+        exactly what the stable sort in :meth:`_finalize` would produce),
+        so execution stops as soon as ``offset + limit`` matches exist.
+        Rows whose order column is NULL are not indexed; ascending order
+        puts them last, so they are only scanned for when the index runs
+        dry before the limit is reached.
+        """
+        table = self._table
+        column = plan.order_column
+        index = table.index_on(column)
+        assert isinstance(index, SortedIndex)
+        needed = max(0, self._limit or 0) + max(0, self._offset)
+        rows: list[Row] = []
+        scanned = 0
+        if needed:
+            iterator = (index.iter_descending() if plan.descending
+                        else index.iter_ascending())
+            for rowid in iterator:
+                row = table.row_by_id(rowid)
+                scanned += 1
+                if self._predicate(row):
+                    rows.append(row)
+                    if len(rows) == needed:
+                        break
+            if len(rows) < needed and not plan.descending and (
+                    len(index) < len(table)):
+                for row in table.scan():
+                    scanned += 1
+                    if row.get(column) is None and self._predicate(row):
+                        rows.append(row)
+                        if len(rows) == needed:
+                            break
+        get_telemetry().metrics.counter(
+            "storage_rows_scanned_total", table=table.name).inc(scanned)
+        return rows[self._offset:]
+
+    def _heap_topk(self, plan: "QueryPlan") -> list[Row]:
+        """Bounded top-k via a heap instead of sorting every match.
+
+        ``heapq.nsmallest``/``nlargest`` are documented equivalents of
+        ``sorted(...)[:k]`` / ``sorted(..., reverse=True)[:k]`` including
+        stability, so the result is byte-identical to the full sort.
+        """
+        column = plan.order_column
+        needed = max(0, self._limit or 0) + max(0, self._offset)
+        if not needed:
+            return []
+        rows = self._base_rows(plan)
+
+        def key(row: Row) -> tuple:
+            value = row.get(column)
+            return (value is None, value)
+
+        if plan.descending:
+            top = heapq.nlargest(needed, rows, key=key)
+        else:
+            top = heapq.nsmallest(needed, rows, key=key)
+        return top[self._offset:]
 
     @staticmethod
     def _apply_join(rows: Iterable[Row], other: Table, left_column: str,
@@ -216,16 +313,25 @@ class Query:
                     merged[f"{prefix}.{column}"] = value
                 yield merged
 
-    def _finalize(self, rows: list[Row]) -> list[Row]:
-        for column, descending in reversed(self._order):
-            rows.sort(
-                key=lambda row: (row.get(column) is None, row.get(column)),
-                reverse=descending,
-            )
-        if self._offset:
-            rows = rows[self._offset:]
-        if self._limit is not None:
-            rows = rows[: self._limit]
+    def _finalize(self, rows: list[Row], ordered: bool = False,
+                  limited: bool = False) -> list[Row]:
+        """Apply order/offset/limit/projection/distinct.
+
+        ``ordered``/``limited`` mark steps a streaming access path already
+        performed, so they are not repeated here.
+        """
+        if not ordered:
+            for column, descending in reversed(self._order):
+                rows.sort(
+                    key=lambda row: (row.get(column) is None,
+                                     row.get(column)),
+                    reverse=descending,
+                )
+        if not limited:
+            if self._offset:
+                rows = rows[self._offset:]
+            if self._limit is not None:
+                rows = rows[: self._limit]
         if self._projection is not None:
             rows = [
                 {column: row.get(column) for column in self._projection}
@@ -242,18 +348,21 @@ class Query:
             rows = unique
         return rows
 
-    def explain(self) -> dict[str, Any]:
+    def explain(self, analyze: bool = False) -> dict[str, Any]:
         """Describe how this query would execute (planner introspection).
 
-        Returns the equality/range conditions the planner extracted,
-        which of them an index can serve, the candidate row count the
-        indexes narrow to (``None`` = full scan), and whether filtering
-        happens after joins.
+        Reports the conditions the planner extracted, which of them an
+        index can serve, and the chosen plan: ``access_path`` (full scan,
+        single index lookup, index intersection or ordered index scan),
+        ``strategy`` (materialize, streaming ordered scan or heap top-k),
+        ``estimated_rows``, and the planner's one-line ``reason``.
+        ``analyze=True`` additionally executes the query and records
+        ``actual_rows``.
         """
-        from repro.storage.index import SortedIndex
-
+        plan = self._plan()
         equalities = self._predicate.equality_conditions()
         ranges = self._predicate.range_conditions()
+        memberships = self._predicate.membership_conditions()
         usable_equalities = sorted(
             column for column in equalities
             if self._table.index_on(column) is not None
@@ -262,23 +371,47 @@ class Query:
             column for column in ranges
             if isinstance(self._table.index_on(column), SortedIndex)
         )
-        candidates = self._table.candidate_rowids(equalities, ranges)
-        return {
+        result: dict[str, Any] = {
             "table": self._table.name,
             "equality_conditions": dict(equalities),
             "range_conditions": dict(ranges),
+            "membership_conditions": {
+                column: list(values)
+                for column, values in memberships.items()
+            },
             "indexed_equalities": usable_equalities,
             "indexed_ranges": usable_ranges,
-            "candidate_rows": None if candidates is None
-            else len(candidates),
-            "full_scan": candidates is None,
+            "candidate_rows": plan.candidate_count,
+            "full_scan": plan.access_path == "full_scan",
             "joins": len(self._joins),
             "filter_after_joins": bool(self._joins),
+            "access_path": plan.access_path,
+            "strategy": plan.strategy,
+            "index_columns": plan.index_columns,
+            "estimated_rows": plan.estimated_rows,
+            "order_by": [list(pair) for pair in self._order],
+            "limit": self._limit,
+            "offset": self._offset,
+            "reason": plan.reason,
         }
+        if analyze:
+            result["actual_rows"] = len(self.all())
+        return result
+
+    def _execute(self) -> list[Row]:
+        plan = self._plan()
+        self._record_plan(plan)
+        if plan.strategy == "stream_ordered":
+            return self._finalize(self._stream_ordered(plan),
+                                  ordered=True, limited=True)
+        if plan.strategy == "topk_heap":
+            return self._finalize(self._heap_topk(plan),
+                                  ordered=True, limited=True)
+        return self._finalize(list(self._joined_rows(plan)))
 
     def all(self) -> list[Row]:
         """Execute and return every matching row."""
-        return self._finalize(list(self._joined_rows()))
+        return self._execute()
 
     def __iter__(self) -> Iterator[Row]:
         return iter(self.all())
@@ -293,7 +426,9 @@ class Query:
 
     def count(self) -> int:
         """Number of matching rows (ignores limit/offset/projection)."""
-        return sum(1 for __ in self._joined_rows())
+        plan = self._plan(include_order=False)
+        self._record_plan(plan)
+        return sum(1 for __ in self._joined_rows(plan))
 
     def values(self, column: str) -> list[Any]:
         """The (non-projected) values of one column, in result order."""
@@ -301,7 +436,9 @@ class Query:
 
     def aggregate(self, *aggregates: Aggregate) -> dict[str, Any]:
         """Compute aggregates over the matching rows."""
-        rows = list(self._joined_rows())
+        plan = self._plan(include_order=False)
+        self._record_plan(plan)
+        rows = list(self._joined_rows(plan))
         return {agg.alias: agg.compute(rows) for agg in aggregates}
 
     def group_by(self, *columns: str,
@@ -311,8 +448,10 @@ class Query:
         Returns one row per group carrying the grouping columns plus one
         key per aggregate alias, ordered by group key.
         """
+        plan = self._plan(include_order=False)
+        self._record_plan(plan)
         groups: dict[tuple, list[Row]] = {}
-        for row in self._joined_rows():
+        for row in self._joined_rows(plan):
             key = tuple(_hashable(row.get(column)) for column in columns)
             groups.setdefault(key, []).append(row)
         results: list[Row] = []

@@ -1,0 +1,92 @@
+"""Golden-file test for the OPM provenance export.
+
+The serialized OPM graph is the unit of *exchange* in the paper's
+architecture — preservation packages, the CLI export and the provenance
+repository all speak it — so its byte layout is pinned here against a
+checked-in golden document.  The workflow engine is deterministic by
+construction (simulated clock, sequential run ids), which makes an exact
+byte comparison possible.
+
+To regenerate after an intentional format change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/provenance/test_opm_golden.py
+
+then review the diff of ``tests/provenance/golden/opm_run.json`` like any
+other code change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.provenance.manager import ProvenanceManager
+from repro.provenance.serialization import graph_from_json, graph_to_json
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.builtins import register_function
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+GOLDEN = Path(__file__).parent / "golden" / "opm_run.json"
+
+register_function("golden_double", lambda values: [v * 2 for v in values])
+
+
+def _capture_graph():
+    wf = Workflow("golden_demo")
+    wf.add_processor(Processor("dedup", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.add_processor(Processor("dbl", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "golden_double"}))
+    wf.map_input("names", "dedup", "values")
+    wf.link("dedup", "values", "dbl", "values")
+    wf.map_output("out", "dbl", "result")
+    wf.processor("dbl").annotate(AnnotationAssertion("Q(reliability): 0.8;"))
+    engine = WorkflowEngine()
+    manager = ProvenanceManager()
+    manager.attach(engine)
+    result = engine.run(wf, {"names": [1, 2, 2]})
+    return manager.repository.graph_for(result.run_id)
+
+
+def _render() -> str:
+    return graph_to_json(_capture_graph(), indent=2) + "\n"
+
+
+def test_opm_export_matches_golden_file():
+    rendered = _render()
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN.write_text(rendered, encoding="utf-8")
+        pytest.skip("golden file regenerated; review the diff and rerun")
+    assert GOLDEN.exists(), (
+        f"missing golden file {GOLDEN}; run with REPRO_REGEN_GOLDEN=1 to "
+        "create it"
+    )
+    assert rendered == GOLDEN.read_text(encoding="utf-8"), (
+        "OPM export drifted from the golden document; if the change is "
+        "intentional, regenerate with REPRO_REGEN_GOLDEN=1 and commit the "
+        "diff"
+    )
+
+
+def test_export_is_run_to_run_deterministic():
+    assert _render() == _render()
+
+
+def test_golden_document_round_trips():
+    document = GOLDEN.read_text(encoding="utf-8")
+    graph = graph_from_json(document)
+    assert graph_to_json(graph, indent=2) + "\n" == document
+
+
+def test_golden_document_is_valid_json_with_expected_shape():
+    data = json.loads(GOLDEN.read_text(encoding="utf-8"))
+    node_kinds = {node["kind"] for node in data["nodes"]}
+    assert node_kinds == {"artifact", "process", "agent"}
+    edge_kinds = {edge["kind"] for edge in data["edges"]}
+    assert edge_kinds >= {"used", "wasGeneratedBy", "wasTriggeredBy",
+                          "wasControlledBy"}

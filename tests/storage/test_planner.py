@@ -1,0 +1,340 @@
+"""The cost-based planner: access-path choice, streaming strategies,
+statistics, and the bulk write path."""
+
+import pytest
+
+from repro.errors import ConstraintViolation
+from repro.storage import (
+    Column,
+    Database,
+    ForeignKey,
+    TableSchema,
+    col,
+    plan_query,
+)
+from repro.storage import column_types as ct
+from repro.storage.planner import SCAN_FRACTION
+
+
+def make_db(rows=200, indexes=("species", "year")):
+    database = Database("planner")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("species", ct.TEXT),
+        Column("year", ct.INTEGER),
+        Column("score", ct.REAL),
+    ], primary_key="id"))
+    payload = []
+    for i in range(rows):
+        payload.append({
+            "id": i,
+            "species": f"sp{i % 10}",
+            "year": 1960 + i % 50,
+            "score": None if i % 5 == 0 else float(i % 17),
+        })
+    database.bulk_load("t", payload)
+    if "species" in indexes:
+        database.create_index("t", "species", "hash")
+    if "year" in indexes:
+        database.create_index("t", "year", "sorted")
+    if "score" in indexes:
+        database.create_index("t", "score", "sorted")
+    return database
+
+
+class TestAccessPathChoice:
+    def test_no_conditions_full_scan(self):
+        db = make_db()
+        plan = plan_query(db.table("t"), col("score").is_not_null())
+        assert plan.access_path == "full_scan"
+        assert plan.index_columns == []
+
+    def test_single_best_index(self):
+        db = make_db()
+        predicate = col("species") == "sp3"
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.access_path == "index_lookup"
+        assert plan.index_columns == ["species"]
+        assert plan.estimated_rows == 20
+
+    def test_most_selective_index_wins(self):
+        db = make_db()
+        # id is unique (1 row); species matches 20 rows
+        predicate = (col("species") == "sp3") & (col("id") == 33)
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.probes[0].column == "id"
+        assert plan.estimated_rows in (0, 1)
+
+    def test_unselective_index_loses_to_scan(self):
+        db = make_db()
+        db.create_index("t", "score", "sorted")
+        # score >= 0 matches every non-null score (~80% of the table)
+        plan = plan_query(db.table("t"), col("score") >= 0.0)
+        assert plan.access_path == "full_scan"
+        assert "scan is cheaper" in plan.reason
+
+    def test_scan_threshold_is_fractional(self):
+        db = make_db()
+        table = db.table("t")
+        probe_count = table.index_on("species").count("sp3")
+        assert probe_count / len(table) < SCAN_FRACTION
+
+    def test_empty_proof_short_circuits(self):
+        db = make_db()
+        plan = plan_query(db.table("t"), col("species") == "missing")
+        assert plan.estimated_rows == 0
+        assert plan.rowids() == set()
+        assert db.query("t").where(col("species") == "missing").all() == []
+
+    def test_intersection_only_when_worth_it(self):
+        db = make_db(rows=1000)
+        # species and the year range each match ~100 of 1000 rows —
+        # comparable selectivity on both sides is where intersecting pays
+        predicate = (col("species") == "sp3") & col("year").between(
+            1971, 1975)
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.access_path == "index_intersection"
+        assert set(plan.index_columns) == {"species", "year"}
+        rows = db.query("t").where(predicate).all()
+        assert rows == [r for r in db.table("t").rows() if predicate(r)]
+
+    def test_intersection_skipped_when_one_side_dominates(self):
+        db = make_db(rows=1000)
+        # year=1971 matches 20 rows; intersecting with the 100-row
+        # species set costs more set-building than the ≤20 fetches saved
+        predicate = (col("species") == "sp3") & (col("year") == 1971)
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.access_path == "index_lookup"
+        assert plan.index_columns == ["year"]
+
+    def test_intersection_skipped_for_expensive_second_set(self):
+        db = make_db(rows=1000)
+        # year >= 1960 matches everything — building that giant set can
+        # never pay for itself next to the 100-row species probe
+        predicate = (col("species") == "sp3") & (col("year") >= 1960)
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.access_path == "index_lookup"
+        assert plan.index_columns == ["species"]
+
+    def test_membership_served_by_index_union(self):
+        db = make_db()
+        predicate = col("species").in_(["sp1", "sp2"])
+        plan = plan_query(db.table("t"), predicate)
+        assert plan.access_path == "index_lookup"
+        assert plan.probes[0].kind == "in"
+        assert plan.estimated_rows == 40
+        rows = db.query("t").where(predicate).all()
+        assert len(rows) == 40
+
+    def test_results_match_brute_force(self):
+        db = make_db(rows=500)
+        predicate = (col("species") == "sp7") & col("year").between(
+            1970, 1990)
+        planned = db.query("t").where(predicate).all()
+        brute = [r for r in db.table("t").rows() if predicate(r)]
+        assert planned == brute
+
+
+class TestOrderedStrategies:
+    def test_ordered_index_streams_topk(self):
+        db = make_db()
+        query = db.query("t").order_by("year").limit(7)
+        plan = query.explain()
+        assert plan["access_path"] == "ordered_index"
+        assert plan["strategy"] == "stream_ordered"
+        rows = query.all()
+        expected = sorted(db.table("t").rows(),
+                          key=lambda r: (r["year"] is None, r["year"]))[:7]
+        assert rows == expected
+
+    def test_ordered_descending(self):
+        db = make_db()
+        rows = db.query("t").order_by("year", descending=True).limit(5).all()
+        expected = sorted(db.table("t").rows(), key=lambda r: r["year"],
+                          reverse=True)[:5]
+        assert [r["year"] for r in rows] == [r["year"] for r in expected]
+
+    def test_ordered_tie_order_matches_stable_sort(self):
+        db = make_db()
+        fast = db.query("t").order_by("year", descending=True).limit(30).all()
+        slow = sorted(db.table("t").rows(),
+                      key=lambda r: (r["year"] is None, r["year"]),
+                      reverse=True)[:30]
+        assert fast == slow
+
+    def test_ordered_ascending_nulls_last(self):
+        db = make_db(indexes=("score",))
+        fast = db.query("t").order_by("score").limit(len(db.table("t"))).all()
+        slow = sorted(db.table("t").rows(),
+                      key=lambda r: (r["score"] is None, r["score"]))
+        assert fast == slow
+        assert fast[-1]["score"] is None  # nulls really reached the tail
+
+    def test_descending_with_nulls_avoids_ordered_path(self):
+        db = make_db(indexes=("score",))
+        query = db.query("t").order_by("score", descending=True).limit(9)
+        plan = query.explain()
+        # score has NULLs, which sort first under descending order — the
+        # ordered path would need a scan for them, so the planner says no
+        assert plan["access_path"] != "ordered_index"
+        fast = query.all()
+        slow = sorted(db.table("t").rows(),
+                      key=lambda r: (r["score"] is None, r["score"]),
+                      reverse=True)[:9]
+        assert fast == slow
+
+    def test_heap_topk_without_sorted_index(self):
+        db = make_db(indexes=())
+        query = db.query("t").order_by("year").limit(11)
+        plan = query.explain()
+        assert plan["strategy"] == "topk_heap"
+        fast = query.all()
+        slow = sorted(db.table("t").rows(),
+                      key=lambda r: (r["year"] is None, r["year"]))[:11]
+        assert fast == slow
+
+    def test_offset_respected_by_streaming_paths(self):
+        db = make_db()
+        fast = db.query("t").order_by("year").offset(13).limit(4).all()
+        slow = sorted(db.table("t").rows(),
+                      key=lambda r: (r["year"] is None, r["year"]))[13:17]
+        assert fast == slow
+
+    def test_small_candidate_set_prefers_fetch_and_sort(self):
+        db = make_db()
+        query = (db.query("t").where(col("id") == 7)
+                 .order_by("year").limit(3))
+        plan = query.explain()
+        assert plan["access_path"] == "index_lookup"
+        assert plan["strategy"] == "materialize"
+
+    def test_multi_column_order_falls_back(self):
+        db = make_db()
+        query = (db.query("t").order_by("species").order_by("year")
+                 .limit(6))
+        assert query.explain()["strategy"] == "materialize"
+        fast = query.all()
+        rows = list(db.table("t").rows())
+        rows.sort(key=lambda r: (r["year"] is None, r["year"]))
+        rows.sort(key=lambda r: (r["species"] is None, r["species"]))
+        assert fast == rows[:6]
+
+
+class TestExplainAnalyze:
+    def test_estimated_and_actual_rows(self):
+        db = make_db()
+        plan = db.query("t").where(col("species") == "sp3").explain(
+            analyze=True)
+        assert plan["estimated_rows"] == 20
+        assert plan["actual_rows"] == 20
+        assert plan["reason"]
+
+    def test_plan_reported_in_telemetry(self, isolated_telemetry):
+        metrics = isolated_telemetry.metrics
+        db = make_db()
+        db.query("t").where(col("species") == "sp1").all()
+        db.query("t").order_by("year").limit(2).all()
+        assert metrics.total("storage_planner_decisions_total") >= 2
+
+
+class TestTableStats:
+    def test_stats_shape(self):
+        db = make_db()
+        stats = db.table("t").stats()
+        assert stats["rows"] == 200
+        assert stats["indexes"]["species"]["kind"] == "hash"
+        assert stats["indexes"]["species"]["cardinality"] == 10
+        assert stats["indexes"]["year"]["kind"] == "sorted"
+        assert stats["indexes"]["year"]["cardinality"] == 50
+        assert stats["indexes"]["id"]["entries"] == 200
+
+
+class TestBulkWritePath:
+    def make_empty(self):
+        database = Database("bulk")
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER),
+            Column("name", ct.TEXT),
+        ], primary_key="id"))
+        return database
+
+    def test_bulk_load_inserts_and_indexes(self):
+        db = self.make_empty()
+        ids = db.bulk_load("t", [{"id": i, "name": f"n{i}"}
+                                 for i in range(50)])
+        assert len(ids) == 50
+        assert db.count("t") == 50
+        # the unique index is in sync after deferred maintenance
+        assert db.get("t", 17)["name"] == "n17"
+
+    def test_bulk_rowids_continue_sequence(self):
+        db = self.make_empty()
+        first = db.insert("t", {"id": 0, "name": "a"})
+        ids = db.bulk_load("t", [{"id": 1, "name": "b"},
+                                 {"id": 2, "name": "c"}])
+        assert ids == [first + 1, first + 2]
+
+    def test_batch_unique_violation_is_atomic(self):
+        db = self.make_empty()
+        with pytest.raises(ConstraintViolation, match="UNIQUE"):
+            db.bulk_load("t", [{"id": 1, "name": "a"},
+                               {"id": 1, "name": "b"}])
+        assert db.count("t") == 0
+
+    def test_unique_violation_against_existing_rows(self):
+        db = self.make_empty()
+        db.insert("t", {"id": 5, "name": "a"})
+        with pytest.raises(ConstraintViolation, match="UNIQUE"):
+            db.bulk_load("t", [{"id": 6, "name": "b"},
+                               {"id": 5, "name": "c"}])
+        assert db.count("t") == 1
+
+    def test_foreign_key_violation_rolls_back_batch(self):
+        db = self.make_empty()
+        db.create_table(TableSchema("child", [
+            Column("id", ct.INTEGER),
+            Column("parent_id", ct.INTEGER),
+        ], primary_key="id",
+            foreign_keys=[ForeignKey("parent_id", "t", "id")]))
+        db.insert("t", {"id": 1, "name": "root"})
+        with pytest.raises(ConstraintViolation, match="FOREIGN KEY"):
+            db.bulk_load("child", [{"id": 10, "parent_id": 1},
+                                   {"id": 11, "parent_id": 99}])
+        assert db.count("child") == 0
+
+    def test_bulk_load_inside_transaction_rolls_back(self):
+        db = self.make_empty()
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.bulk_load("t", [{"id": i, "name": "x"}
+                                   for i in range(10)])
+                raise RuntimeError("boom")
+        assert db.count("t") == 0
+
+    def test_bulk_load_journal_roundtrip(self, tmp_path):
+        journal = tmp_path / "t.journal"
+        db = Database("bulk", journal_path=journal)
+        db.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER),
+            Column("name", ct.TEXT),
+        ], primary_key="id"))
+        db.bulk_load("t", [{"id": i, "name": f"n{i}"} for i in range(25)])
+        # a batched load is one journal line, not 25
+        lines = [line for line in journal.read_text().splitlines() if line]
+        ops = [line for line in lines if '"bulk_insert"' in line]
+        assert len(ops) == 1
+        recovered = Database.recover("bulk", journal)
+        assert recovered.count("t") == 25
+        assert recovered.get("t", 13)["name"] == "n13"
+
+    def test_sorted_index_consistent_after_bulk(self):
+        db = self.make_empty()
+        db.create_index("t", "id", "hash")  # pk already hash; no-op
+        db.create_table(TableSchema("s", [
+            Column("k", ct.INTEGER),
+            Column("v", ct.INTEGER),
+        ], primary_key="k"))
+        db.create_index("s", "v", "sorted")
+        db.bulk_load("s", [{"k": i, "v": 100 - i} for i in range(100)])
+        rows = db.query("s").where(col("v").between(10, 20)).all()
+        assert sorted(r["v"] for r in rows) == list(range(10, 21))

@@ -1,0 +1,101 @@
+"""Regression tests for bugs surfaced while hardening the query layer.
+
+Both fixes landed with the planner work:
+
+* :meth:`Aggregate.compute` used to leak a bare ``TypeError`` when a
+  sum/avg/min/max ran over a column holding mixed types; it now raises a
+  :class:`~repro.errors.StorageError` naming the column.
+* :class:`InSet` used to crash at *construction* time when the IN-list
+  contained an unhashable value (``frozenset([[1, 2]])``), and again at
+  *match* time when the row value was unhashable.
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+from repro.storage.predicate import InSet
+from repro.storage.query import Aggregate
+
+
+@pytest.fixture()
+def mixed_db():
+    database = Database("mixed")
+    database.create_table(TableSchema("t", [
+        Column("id", ct.INTEGER),
+        Column("grp", ct.TEXT),
+        Column("payload", ct.JSON),
+    ], primary_key="id"))
+    database.insert_many("t", [
+        {"id": 1, "grp": "a", "payload": 3},
+        {"id": 2, "grp": "a", "payload": "not a number"},
+        {"id": 3, "grp": "a", "payload": [1, 2]},
+    ])
+    return database
+
+
+class TestAggregateMixedTypes:
+    @pytest.mark.parametrize("function", ["sum", "avg", "min", "max"])
+    def test_mixed_type_column_raises_storage_error(self, mixed_db,
+                                                    function):
+        with pytest.raises(StorageError, match="payload"):
+            mixed_db.query("t").aggregate(Aggregate(function, "payload"))
+
+    def test_error_names_the_function(self, mixed_db):
+        with pytest.raises(StorageError, match="sum"):
+            mixed_db.query("t").aggregate(Aggregate("sum", "payload"))
+
+    def test_group_by_surfaces_the_same_error(self, mixed_db):
+        with pytest.raises(StorageError, match="payload"):
+            mixed_db.query("t").group_by(
+                "grp", aggregates=[Aggregate("min", "payload")])
+
+    def test_count_is_unaffected(self, mixed_db):
+        result = mixed_db.query("t").aggregate(Aggregate("count"))
+        assert result["count"] == 3
+
+    def test_homogeneous_columns_still_aggregate(self, mixed_db):
+        result = mixed_db.query("t").aggregate(Aggregate("sum", "id"))
+        assert result["sum_id"] == 6
+
+
+class TestInSetUnhashable:
+    def test_construction_with_unhashable_values(self):
+        predicate = InSet("payload", [[1, 2], {"k": "v"}])
+        assert predicate({"payload": [1, 2]})
+        assert predicate({"payload": {"k": "v"}})
+        assert not predicate({"payload": [3]})
+        assert not predicate({"payload": None})
+
+    def test_unhashable_row_value_with_hashable_inlist(self):
+        predicate = InSet("payload", ["a", "b"])
+        # the ROW value is the unhashable side here
+        assert not predicate({"payload": [1, 2]})
+        assert predicate({"payload": "a"})
+
+    def test_unhashable_inlist_reports_no_index_conditions(self):
+        predicate = InSet("payload", [[1, 2]])
+        assert predicate.equality_conditions() == {}
+        assert predicate.membership_conditions() == {}
+
+    def test_singleton_unhashable_is_not_an_equality(self):
+        assert InSet("payload", [[9]]).equality_conditions() == {}
+
+    def test_in_query_over_json_column(self, mixed_db):
+        rows = mixed_db.query("t").where(
+            col("payload").in_([[1, 2], 3])).all()
+        assert sorted(r["id"] for r in rows) == [1, 3]
+
+    def test_planner_survives_unhashable_inlist_on_indexed_column(self):
+        database = Database("u")
+        database.create_table(TableSchema("t", [
+            Column("id", ct.INTEGER),
+            Column("tag", ct.JSON),
+        ], primary_key="id"))
+        database.create_index("t", "tag", "hash")
+        database.insert("t", {"id": 1, "tag": "x"})
+        query = database.query("t").where(col("tag").in_([["u"], "x"]))
+        # unhashable IN-list → no membership probe → full scan, no crash
+        assert query.explain()["access_path"] == "full_scan"
+        assert [r["id"] for r in query.all()] == [1]
