@@ -1,0 +1,49 @@
+"""The preservation vault — durable storage for Table I's promises.
+
+The paper's preservation levels (:mod:`repro.core.preservation`) decide
+*what* to keep; this package keeps it for the long term:
+
+* :mod:`repro.archive.cas` — a sha256-keyed, deduplicating
+  content-addressed object store on the storage engine;
+* :mod:`repro.archive.replicas` — N-way replica groups with quorum
+  reads and retry/backoff repair;
+* :mod:`repro.archive.fixity` — scheduled digest re-verification,
+  every sweep recorded as an OPM provenance run;
+* :mod:`repro.archive.migration` — era-driven format migration with
+  ``wasDerivedFrom`` provenance between CAS digests;
+* :mod:`repro.archive.vault` — the :class:`PreservationVault` facade
+  (``ingest / verify / repair / migrate / status``), instrumented via
+  :mod:`repro.telemetry` and exposed as the ``repro vault`` CLI.
+"""
+
+from repro.archive.cas import ContentAddressedStore, ObjectStat
+from repro.archive.clock import TickClock
+from repro.archive.fixity import AuditReport, FixityAuditor
+from repro.archive.migration import (
+    FormatMigrationPlanner,
+    MigrationPlan,
+    MigrationReport,
+    MigrationStep,
+    at_risk_formats,
+)
+from repro.archive.replicas import RepairAction, ReplicaGroup, ReplicaStatus
+from repro.archive.vault import IngestReport, PreservationVault, RepairReport
+
+__all__ = [
+    "AuditReport",
+    "ContentAddressedStore",
+    "FixityAuditor",
+    "FormatMigrationPlanner",
+    "IngestReport",
+    "MigrationPlan",
+    "MigrationReport",
+    "MigrationStep",
+    "ObjectStat",
+    "PreservationVault",
+    "RepairAction",
+    "RepairReport",
+    "ReplicaGroup",
+    "ReplicaStatus",
+    "TickClock",
+    "at_risk_formats",
+]

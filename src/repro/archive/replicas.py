@@ -1,0 +1,255 @@
+"""Replica groups: N-way redundancy over named CAS stores.
+
+The vault never trusts a single copy.  A :class:`ReplicaGroup` fans
+every write out to all member stores, reads through a **verified
+quorum** (at least ``quorum`` replicas whose bytes still hash to the
+digest), and can rebuild a failed or corrupt replica from any healthy
+one — the repair path the fixity auditor feeds.
+
+Transient store failures are retried with exponential backoff.  The
+backoff is *simulated*: the schedule is computed deterministically and
+reported (attempt count, total backoff seconds) rather than slept, the
+same convention the workflow engine uses for service-call latency — so
+tests stay fast and byte-for-byte reproducible while the retry logic is
+still genuinely exercised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.errors import ArchiveError, ObjectMissingError, QuorumError
+from repro.archive.cas import ContentAddressedStore
+
+__all__ = ["ReplicaGroup", "ReplicaStatus", "RepairAction"]
+
+#: replica states reported by :meth:`ReplicaGroup.replica_status`
+OK, CORRUPT, MISSING = "ok", "corrupt", "missing"
+
+
+class ReplicaStatus:
+    """One object's health across every member store."""
+
+    __slots__ = ("digest", "states")
+
+    def __init__(self, digest: str, states: dict[str, str]) -> None:
+        self.digest = digest
+        self.states = states  # store name -> "ok" | "corrupt" | "missing"
+
+    @property
+    def healthy_stores(self) -> list[str]:
+        return sorted(s for s, state in self.states.items() if state == OK)
+
+    @property
+    def corrupt_stores(self) -> list[str]:
+        return sorted(s for s, state in self.states.items()
+                      if state == CORRUPT)
+
+    @property
+    def missing_stores(self) -> list[str]:
+        return sorted(s for s, state in self.states.items()
+                      if state == MISSING)
+
+    @property
+    def intact(self) -> bool:
+        return all(state == OK for state in self.states.values())
+
+    def __repr__(self) -> str:
+        return f"ReplicaStatus({self.digest[:12]}…, {self.states})"
+
+
+class RepairAction:
+    """One replica rebuilt from a healthy source."""
+
+    __slots__ = ("digest", "store", "source", "reason", "attempts",
+                 "backoff_seconds")
+
+    def __init__(self, digest: str, store: str, source: str, reason: str,
+                 attempts: int, backoff_seconds: float) -> None:
+        self.digest = digest
+        self.store = store
+        self.source = source
+        self.reason = reason  # the pre-repair state: "corrupt" | "missing"
+        self.attempts = attempts
+        self.backoff_seconds = backoff_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"RepairAction({self.digest[:12]}… on {self.store} "
+            f"from {self.source}, was {self.reason})"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "digest": self.digest,
+            "store": self.store,
+            "source": self.source,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "backoff_seconds": self.backoff_seconds,
+        }
+
+
+class ReplicaGroup:
+    """N named stores behaving as one logical object store.
+
+    Parameters
+    ----------
+    stores:
+        The member :class:`ContentAddressedStore`\\ s (at least one).
+    quorum:
+        Verified copies a read needs; defaults to a majority
+        (``n // 2 + 1``).
+    max_attempts:
+        Per-store write attempts before the group gives up.
+    backoff_base_seconds:
+        First retry's simulated backoff; doubles per attempt.
+    """
+
+    def __init__(self, stores: Sequence[ContentAddressedStore],
+                 quorum: int | None = None, max_attempts: int = 3,
+                 backoff_base_seconds: float = 0.05) -> None:
+        if not stores:
+            raise ArchiveError("a replica group needs at least one store")
+        names = [store.name for store in stores]
+        if len(set(names)) != len(names):
+            raise ArchiveError(f"duplicate store names: {names}")
+        self.stores = list(stores)
+        self.quorum = quorum if quorum is not None else len(stores) // 2 + 1
+        if not 1 <= self.quorum <= len(stores):
+            raise ArchiveError(
+                f"quorum {self.quorum} out of range for "
+                f"{len(stores)} stores"
+            )
+        self.max_attempts = max_attempts
+        self.backoff_base_seconds = backoff_base_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicaGroup({[s.name for s in self.stores]}, "
+            f"quorum={self.quorum})"
+        )
+
+    def store(self, name: str) -> ContentAddressedStore:
+        for member in self.stores:
+            if member.name == name:
+                return member
+        raise ArchiveError(f"no store {name!r} in this group")
+
+    # ------------------------------------------------------------------
+    # retry/backoff
+    # ------------------------------------------------------------------
+
+    def _with_retry(self, action: Callable[[], Any],
+                    what: str) -> tuple[Any, int, float]:
+        """Run ``action`` up to ``max_attempts`` times; returns
+        ``(result, attempts, simulated backoff seconds)``."""
+        backoff = 0.0
+        last: Exception | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return action(), attempt, backoff
+            except ArchiveError as exc:
+                last = exc
+                if attempt < self.max_attempts:
+                    backoff += self.backoff_base_seconds * 2 ** (attempt - 1)
+        raise ArchiveError(
+            f"{what} failed after {self.max_attempts} attempts: {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def put(self, payload: str,
+            media_type: str = "application/json") -> str:
+        """Write ``payload`` to every member store; returns the digest."""
+        digest = ""
+        for member in self.stores:
+            result, __, __ = self._with_retry(
+                lambda m=member: m.put(payload, media_type=media_type),
+                f"put on {member.name}",
+            )
+            digest = result
+        return digest
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read(self, digest: str) -> str:
+        """Quorum read: the payload, provided at least ``quorum``
+        replicas hold bytes that verify against ``digest``."""
+        payload: str | None = None
+        verified = 0
+        for member in self.stores:
+            if member.verify(digest):
+                verified += 1
+                if payload is None:
+                    payload = member.get(digest)
+        if payload is None or verified < self.quorum:
+            raise QuorumError(
+                f"object {digest[:12]}…: {verified} verified replicas, "
+                f"quorum is {self.quorum}"
+            )
+        return payload
+
+    def digests(self) -> list[str]:
+        """Union of object digests across all member stores."""
+        union: set[str] = set()
+        for member in self.stores:
+            union.update(member.digests())
+        return sorted(union)
+
+    def replica_status(self, digest: str) -> ReplicaStatus:
+        states: dict[str, str] = {}
+        for member in self.stores:
+            if not member.exists(digest):
+                states[member.name] = MISSING
+            elif member.verify(digest):
+                states[member.name] = OK
+            else:
+                states[member.name] = CORRUPT
+        return ReplicaStatus(digest, states)
+
+    def replica_lag(self) -> dict[str, int]:
+        """Per store: objects in the group the store lacks a *healthy*
+        copy of (the repair backlog)."""
+        catalog = self.digests()
+        lag: dict[str, int] = {}
+        for member in self.stores:
+            lag[member.name] = sum(
+                1 for digest in catalog if not member.verify(digest)
+            )
+        return lag
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+
+    def repair(self, digest: str) -> list[RepairAction]:
+        """Rebuild every corrupt/missing replica of ``digest`` from a
+        healthy one.  Returns the actions taken (empty if intact)."""
+        status = self.replica_status(digest)
+        if status.intact:
+            return []
+        if not status.healthy_stores:
+            raise QuorumError(
+                f"object {digest[:12]}…: no healthy replica to repair from"
+            )
+        source = self.store(status.healthy_stores[0])
+        payload = source.get_verified(digest)
+        media_type = source.stat(digest).media_type
+        actions: list[RepairAction] = []
+        for name, state in sorted(status.states.items()):
+            if state == OK:
+                continue
+            target = self.store(name)
+            __, attempts, backoff = self._with_retry(
+                lambda t=target: t.restore(digest, payload,
+                                           media_type=media_type),
+                f"restore on {name}",
+            )
+            actions.append(RepairAction(digest, name, source.name, state,
+                                        attempts, backoff))
+        return actions

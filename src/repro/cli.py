@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro archive --level 3 --output package.json
     repro crossref --publications 60
     repro stats --records 1000      # run a workflow, print telemetry
+    repro vault status --records 300 --level 3   # archive lifecycle
 
 Every command is seeded and offline.
 """
@@ -111,9 +112,50 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--species", type=int, default=250)
     stats.add_argument("--outdated", type=int, default=20)
     stats.add_argument("--availability", type=float, default=0.9)
+    stats.add_argument("--vault", action="store_true",
+                       help="also exercise the preservation vault "
+                       "(ingest, corrupt, audit, repair) so its "
+                       "counters appear in the report")
     stats.add_argument("--json", action="store_true",
                        help="emit the raw snapshot as JSON instead of "
                        "the rendered panel")
+
+    vault = commands.add_parser(
+        "vault", help="preservation vault: content-addressed, "
+        "replicated, fixity-audited archive with format migration")
+    vault_commands = vault.add_subparsers(dest="vault_command",
+                                          required=True)
+
+    def _vault_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--records", type=int, default=300)
+        sub.add_argument("--level", type=int, choices=(1, 2, 3, 4),
+                         default=3, help="Table I preservation level")
+        sub.add_argument("--replicas", type=int, default=3)
+
+    v_ingest = vault_commands.add_parser(
+        "ingest", help="archive a synthetic collection at one level")
+    _vault_common(v_ingest)
+
+    v_audit = vault_commands.add_parser(
+        "audit", help="ingest, optionally inject corruption, run a "
+        "fixity sweep and auto-repair")
+    _vault_common(v_audit)
+    v_audit.add_argument("--corrupt", type=int, default=1,
+                         help="replicas to corrupt before the sweep")
+    v_audit.add_argument("--no-repair", action="store_true",
+                         help="detect only; skip the repair pass")
+
+    v_migrate = vault_commands.add_parser(
+        "migrate", help="flag at-risk formats by era and migrate them")
+    _vault_common(v_migrate)
+    v_migrate.add_argument("--horizon", type=int, default=2014,
+                           help="planning horizon year")
+    v_migrate.add_argument("--target", type=str, default="WAV")
+
+    v_status = vault_commands.add_parser(
+        "status", help="run the full lifecycle (ingest, corrupt, "
+        "audit, repair, migrate) and print vault status + telemetry")
+    _vault_common(v_status)
 
     return parser
 
@@ -347,6 +389,15 @@ def _command_stats(args: argparse.Namespace) -> int:
                                  provenance=provenance)
     result = checker.run()
     flagged = checker.updates(status="flagged")  # exercises the query path
+    if args.vault:
+        from repro.archive import PreservationVault
+        from repro.core.preservation import PreservationLevel
+
+        vault = PreservationVault(provenance=provenance.repository,
+                                  telemetry=telemetry)
+        vault.ingest(collection, PreservationLevel.ANALYSIS_LEVEL)
+        vault.inject_corruption()
+        vault.repair(vault.verify())
     if args.json:
         print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True,
                          default=str))
@@ -363,6 +414,77 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_vault(args: argparse.Namespace) -> int:
+    from repro.archive import PreservationVault
+    from repro.core.preservation import PreservationLevel, PreservationPolicy
+    from repro.telemetry import get_telemetry
+
+    telemetry = get_telemetry()
+    telemetry.reset()
+    level = PreservationLevel(args.level)
+    species = min(max(5, args.records // 5), args.records)
+    __, collection, __truth = _small_world(
+        args.seed, args.records, species, min(5, species))
+    vault = PreservationVault(replicas=args.replicas, telemetry=telemetry)
+
+    ingest = vault.ingest(collection, level)
+    print(f"ingested {ingest.records:,} records at level {int(level)} "
+          f"({level.use_case}): {ingest.new_objects:,} objects, "
+          f"{ingest.logical_bytes:,} bytes x{args.replicas} replicas, "
+          f"package {ingest.package_digest[:12]}…")
+    command = args.vault_command
+
+    if command == "ingest":
+        return 0
+
+    if command in ("audit", "status"):
+        corruptions = args.corrupt if command == "audit" else 1
+        rows = vault.manifest(kind="record") or vault.manifest()
+        for index in range(min(corruptions, len(rows))):
+            vault.group.stores[index % args.replicas].corrupt(
+                rows[index]["digest"])
+        report = vault.verify()
+        print(f"audit {report.run_id}: {report.objects_checked:,} objects, "
+              f"{report.replicas_checked:,} replicas, "
+              f"{report.bytes_audited:,} bytes; "
+              f"{len(report.corrupt)} corrupt, "
+              f"{len(report.missing)} missing")
+        if not report.healthy and not getattr(args, "no_repair", False):
+            repair = vault.repair(report)
+            print(f"repair {repair.run_id}: "
+                  f"{len(repair.actions)} replicas restored")
+            verdict = vault.verify()
+            print(f"re-audit {verdict.run_id}: "
+                  f"{'healthy' if verdict.healthy else 'STILL DAMAGED'}")
+
+    if command in ("migrate", "status"):
+        horizon = getattr(args, "horizon", 2014)
+        target = getattr(args, "target", "WAV")
+        at_risk = vault.at_risk(horizon)
+        print(f"{len(at_risk)} record objects in at-risk formats "
+              f"(horizon {horizon})")
+        report = vault.migrate(PreservationPolicy(level),
+                               horizon_year=horizon, target_format=target)
+        print(f"migration {report.run_id}: {len(report.migrations)} "
+              f"payloads re-encoded to {target}")
+        for migration in report.migrations[:3]:
+            print(f"  {migration['object_id']}: "
+                  f"{migration['from_format']} -> {migration['to_format']}"
+                  f" ({migration['source_digest'][:12]}… -> "
+                  f"{migration['derived_digest'][:12]}…)")
+
+    if command == "status":
+        print()
+        print(json.dumps(vault.status(), indent=2, sort_keys=True,
+                         default=str))
+        print()
+        print(telemetry.render_report())
+    else:
+        print(f"provenance runs recorded: "
+              f"{', '.join(vault.provenance.run_ids()) or 'none'}")
+    return 0
+
+
 _COMMANDS = {
     "casestudy": _command_casestudy,
     "detect": _command_detect,
@@ -373,6 +495,7 @@ _COMMANDS = {
     "explain": _command_explain,
     "publish": _command_publish,
     "stats": _command_stats,
+    "vault": _command_vault,
 }
 
 

@@ -14,11 +14,10 @@ Designer's tool.
 from __future__ import annotations
 
 import datetime as _dt
-import hashlib
-import json
 from typing import Mapping
 
 from repro.errors import UnknownProcessorError, WorkflowError
+from repro.hashing import canonical_digest
 from repro.workflow.annotations import AnnotationAssertion, QualityAnnotation
 from repro.workflow.model import Workflow
 
@@ -46,8 +45,7 @@ def structure_fingerprint(workflow: Workflow) -> str:
             for link in workflow.links
         ),
     }
-    payload = json.dumps(structure, sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode()).hexdigest()
+    return canonical_digest(structure)
 
 
 class WorkflowAdapter:

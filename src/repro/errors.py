@@ -9,6 +9,8 @@ callers can catch one base class.  Each subsystem has its own branch:
 * :class:`TaxonomyError` — the simulated Catalogue of Life.
 * :class:`QualityError` — quality dimensions, metrics and assessment.
 * :class:`CurationError` — curation pipelines.
+* :class:`ArchiveError` — the preservation vault (CAS, replicas,
+  fixity, migration).
 """
 
 from __future__ import annotations
@@ -162,3 +164,27 @@ class CurationError(ReproError):
 
 class GeocodingError(CurationError):
     """A location string could not be resolved to coordinates."""
+
+
+# ---------------------------------------------------------------------------
+# Preservation vault
+# ---------------------------------------------------------------------------
+
+class ArchiveError(ReproError):
+    """Base class for errors raised by :mod:`repro.archive`."""
+
+
+class ObjectMissingError(ArchiveError):
+    """A content-addressed object is absent from a store."""
+
+
+class FixityError(ArchiveError):
+    """A stored payload no longer matches its content digest."""
+
+
+class QuorumError(ArchiveError):
+    """Fewer verified replicas than the replica group's read quorum."""
+
+
+class MigrationError(ArchiveError):
+    """A format migration could not be planned or executed."""

@@ -16,8 +16,9 @@ answer — which is exactly what a historical archive does.
 from __future__ import annotations
 
 import datetime as _dt
-import hashlib
 import math
+
+from repro.hashing import stable_unit
 
 __all__ = ["ClimateReading", "ClimateArchive"]
 
@@ -52,8 +53,7 @@ class ClimateReading:
 
 def _stable_noise(*parts: object) -> float:
     """Deterministic noise in [0, 1) derived from the query itself."""
-    digest = hashlib.sha256("|".join(map(str, parts)).encode()).digest()
-    return int.from_bytes(digest[:8], "big") / 2**64
+    return stable_unit(*parts)
 
 
 class ClimateArchive:

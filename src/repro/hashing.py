@@ -1,0 +1,66 @@
+"""Deterministic digests, shared by every subsystem that hashes.
+
+The library hashes for three distinct reasons, and all of them must be
+reproducible run over run and machine over machine:
+
+* **seeding** — the climate oracle and the acoustic-feature synthesizer
+  derive pseudo-random values *from the query itself*
+  (:func:`stable_seed`, :func:`stable_unit`), so the same place-time or
+  the same species always answers the same;
+* **fingerprinting** — the Workflow Adapter proves it changed nothing
+  but annotations by hashing a canonical JSON projection of the
+  dataflow structure (:func:`canonical_digest`);
+* **content addressing** — the preservation vault keys every archived
+  payload by its SHA-256 (:func:`sha256_hex`), which is also the fixity
+  baseline each audit sweep re-verifies.
+
+Before this module each caller hand-rolled its own ``hashlib.sha256``
+recipe; keeping them here means the recipes cannot drift apart and the
+vault's CAS keys agree with every other digest in the system.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["stable_digest", "stable_seed", "stable_unit",
+           "sha256_hex", "canonical_json", "canonical_digest"]
+
+
+def stable_digest(*parts: object) -> bytes:
+    """SHA-256 of ``parts`` joined by ``|`` (each through ``str``)."""
+    return hashlib.sha256("|".join(map(str, parts)).encode()).digest()
+
+
+def stable_seed(*parts: object) -> int:
+    """A 64-bit seed derived from ``parts`` (for ``default_rng`` etc.)."""
+    return int.from_bytes(stable_digest(*parts)[:8], "big")
+
+
+def stable_unit(*parts: object) -> float:
+    """Deterministic noise in ``[0, 1)`` derived from ``parts``."""
+    return stable_seed(*parts) / 2**64
+
+
+def sha256_hex(payload: bytes | str) -> str:
+    """Hex SHA-256 of a payload (text is hashed as UTF-8)."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialization: sorted keys, ``str`` fallback.
+
+    Equal values always serialize identically, so digests of the result
+    are stable across processes — the property both the structure
+    fingerprint and the vault's content addressing rely on.
+    """
+    return json.dumps(value, sort_keys=True, default=str)
+
+
+def canonical_digest(value: Any) -> str:
+    """Hex SHA-256 of :func:`canonical_json` of ``value``."""
+    return sha256_hex(canonical_json(value))

@@ -48,7 +48,10 @@ class ProvenanceManager:
 
     def __init__(self, repository: ProvenanceRepository | None = None,
                  agent_id: str = "agent/workflow-engine") -> None:
-        self.repository = repository or ProvenanceRepository()
+        # `is not None`, not `or`: an *empty* repository is falsy
+        # (it has __len__) but must still be used, not replaced.
+        self.repository = (repository if repository is not None
+                           else ProvenanceRepository())
         self.agent_id = agent_id
         self._workflows: dict[str, Workflow] = {}
 

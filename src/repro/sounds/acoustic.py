@@ -25,11 +25,11 @@ metadata-based retrieval.
 
 from __future__ import annotations
 
-import hashlib
 from typing import Iterable
 
 import numpy as np
 
+from repro.hashing import stable_seed
 from repro.sounds.record import SoundRecord
 
 __all__ = ["FEATURE_NAMES", "extract_features", "AcousticIndex"]
@@ -65,13 +65,11 @@ _NOISE_SIGMA = 0.05
 
 
 def _species_generator(species: str) -> np.random.Generator:
-    digest = hashlib.sha256(f"proto|{species}".encode()).digest()
-    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+    return np.random.default_rng(stable_seed("proto", species))
 
 
 def _record_generator(species: str, record_id: int) -> np.random.Generator:
-    digest = hashlib.sha256(f"rec|{species}|{record_id}".encode()).digest()
-    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+    return np.random.default_rng(stable_seed("rec", species, record_id))
 
 
 def species_prototype(species: str) -> np.ndarray:

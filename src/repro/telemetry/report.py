@@ -109,7 +109,51 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
                 f", {last_run.get('failed_processors', 0)} failed "
                 f"processor(s)"
             )
+
+    vault_lines = _vault_panel(metrics)
+    if vault_lines:
+        lines.append("")
+        lines.append("preservation vault")
+        lines.append("-" * 64)
+        lines.extend(vault_lines)
     return "\n".join(lines)
+
+
+def _family_total(metrics: Mapping[str, Any], family: str) -> float:
+    """Sum of a counter family's values across all label series."""
+    total = 0.0
+    for series, data in metrics.items():
+        if series.split("{", 1)[0] == family \
+                and data.get("type") == "counter":
+            total += data["value"]
+    return total
+
+
+def _vault_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """The vault activity summary for :func:`render_report` (empty when
+    no ``vault_*`` series have been recorded)."""
+    if not any(series.split("{", 1)[0].startswith("vault_")
+               for series in metrics):
+        return []
+    lines = [
+        f"  objects ingested {_fmt(_family_total(metrics, 'vault_objects_ingested_total'))}"
+        f" ({_fmt(_family_total(metrics, 'vault_bytes_ingested_total'))} bytes,"
+        f" {_fmt(_family_total(metrics, 'vault_objects_deduplicated_total'))} deduplicated)",
+        f"  audit sweeps {_fmt(_family_total(metrics, 'vault_audit_sweeps_total'))}:"
+        f" {_fmt(_family_total(metrics, 'vault_objects_audited_total'))} objects,"
+        f" {_fmt(_family_total(metrics, 'vault_bytes_audited_total'))} bytes audited",
+        f"  corruptions found {_fmt(_family_total(metrics, 'vault_corruptions_found_total'))},"
+        f" repaired {_fmt(_family_total(metrics, 'vault_corruptions_repaired_total'))}",
+        f"  format migrations {_fmt(_family_total(metrics, 'vault_migrations_total'))}",
+    ]
+    lags = [
+        data["value"] for series, data in metrics.items()
+        if series.split("{", 1)[0] == "vault_replica_lag"
+        and data.get("type") == "gauge"
+    ]
+    if lags:
+        lines.append(f"  replica lag max {_fmt(max(lags))} object(s)")
+    return lines
 
 
 def quality_signals(snapshot: Mapping[str, Any]) -> dict[str, Any]:

@@ -1,0 +1,61 @@
+"""Fixtures for the preservation-vault tests.
+
+``tiny_collection`` is a hand-built six-record collection spanning the
+format eras the migration planner cares about (magnetic tape, ATRAC,
+WAV, MP3) — small enough that every archive test stays fast, explicit
+enough that at-risk counts are knowable by inspection.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.provenance.repository import ProvenanceRepository
+from repro.sounds.collection import SoundCollection
+from repro.sounds.record import SoundRecord
+from repro.telemetry import Telemetry
+
+#: (record_id, species, sound_file_format, collect year)
+_TINY_RECORDS = (
+    (1, "Aplastodiscus arildae", "magnetic tape", 1975),
+    (2, "Boana albomarginata", "magnetic tape", 1988),
+    (3, "Dendropsophus minutus", "ATRAC", 1999),
+    (4, "Physalaemus cuvieri", "WAV", 2005),
+    (5, "Scinax fuscovarius", "WAV", 2011),
+    (6, "Leptodactylus latrans", "MP3", 2009),
+)
+
+
+def build_tiny_collection(name: str = "tiny") -> SoundCollection:
+    collection = SoundCollection(name)
+    for record_id, species, fmt, year in _TINY_RECORDS:
+        collection.add(SoundRecord(
+            record_id=record_id,
+            species=species,
+            genus=species.split()[0],
+            country="Brazil",
+            state="SP",
+            habitat="Forest",
+            collect_date=dt.date(year, 3, 15),
+            sound_file_format=fmt,
+        ))
+    return collection
+
+
+@pytest.fixture()
+def tiny_collection():
+    return build_tiny_collection()
+
+
+@pytest.fixture()
+def provenance():
+    return ProvenanceRepository()
+
+
+@pytest.fixture()
+def vault_telemetry():
+    """A private telemetry sink (not the process-wide default) so
+    counter assertions cannot see other tests' metrics."""
+    return Telemetry()

@@ -1,0 +1,113 @@
+"""Fixity audits and repairs recorded as OPM provenance."""
+
+import pytest
+
+from repro.archive.cas import ContentAddressedStore
+from repro.archive.fixity import (
+    AUDIT_WORKFLOW,
+    REPAIR_WORKFLOW,
+    FixityAuditor,
+)
+from repro.archive.replicas import ReplicaGroup
+
+
+@pytest.fixture()
+def group():
+    return ReplicaGroup([ContentAddressedStore(f"r{i}") for i in range(3)])
+
+
+@pytest.fixture()
+def auditor(group, provenance):
+    return FixityAuditor(group, provenance)
+
+
+class TestSweep:
+    def test_healthy_sweep(self, group, auditor, provenance):
+        a = group.put("alpha")
+        b = group.put("beta")
+        report = auditor.sweep()
+        assert report.healthy
+        assert report.objects_checked == 2
+        assert report.replicas_checked == 6
+        assert report.bytes_audited == 3 * (len("alpha") + len("beta"))
+        assert report.damaged_digests == []
+        assert provenance.run_ids(AUDIT_WORKFLOW) == [report.run_id]
+        assert {a, b} == {
+            s.digest for s in report.statuses}
+
+    def test_sweep_detects_corruption_and_loss(self, group, auditor):
+        a = group.put("alpha")
+        b = group.put("beta")
+        group.stores[0].corrupt(a)
+        group.stores[2].drop(b)
+        report = auditor.sweep()
+        assert not report.healthy
+        assert report.corrupt == [(a, "r0")]
+        assert report.missing == [(b, "r2")]
+        assert report.damaged_digests == sorted({a, b})
+
+    def test_sweep_restricted_to_given_digests(self, group, auditor):
+        a = group.put("alpha")
+        group.put("beta")
+        report = auditor.sweep(digests=[a])
+        assert report.objects_checked == 1
+        assert report.statuses[0].digest == a
+
+    def test_sweep_trace_status_tracks_health(self, group, auditor,
+                                              provenance):
+        digest = group.put("alpha")
+        healthy = auditor.sweep()
+        group.stores[1].corrupt(digest)
+        damaged = auditor.sweep()
+        runs = {run["run_id"]: run["status"]
+                for run in provenance.runs(AUDIT_WORKFLOW)}
+        assert runs[healthy.run_id] == "completed"
+        assert runs[damaged.run_id] == "degraded"
+
+
+class TestAuditProvenance:
+    def test_sweep_graph_structure(self, group, auditor, provenance):
+        good = group.put("good")
+        bad = group.put("bad")
+        group.stores[0].corrupt(bad)
+        report = auditor.sweep()
+        graph = provenance.graph_for(report.run_id)
+
+        process_id = f"{report.run_id}/sweep"
+        process = graph.node(process_id)
+        assert process.annotations["objects_checked"] == 2
+        assert process.annotations["corrupt_found"] == 1
+        controlled = list(graph.edges("wasControlledBy"))
+        assert [(e.effect, e.cause) for e in controlled] == [
+            (process_id, auditor.agent_id)]
+
+        roles = {e.cause: e.role for e in graph.edges("used")}
+        assert roles[f"cas:{good}"] == "verified"
+        assert roles[f"cas:{bad}"] == "flagged"
+        flagged = graph.node(f"cas:{bad}")
+        assert flagged.annotations["fixity"]["r0"] == "corrupt"
+
+
+class TestRepairProvenance:
+    def test_nothing_to_record(self, auditor):
+        assert auditor.record_repair([]) is None
+
+    def test_repair_run_links_replica_to_source_digest(
+            self, group, auditor, provenance):
+        digest = group.put("fix me")
+        group.stores[2].corrupt(digest)
+        actions = group.repair(digest)
+        run_id = auditor.record_repair(actions)
+        assert provenance.run_ids(REPAIR_WORKFLOW) == [run_id]
+
+        graph = provenance.graph_for(run_id)
+        copy_id = f"replica:r2/{digest}"
+        derivations = [(e.effect, e.cause)
+                       for e in graph.edges("wasDerivedFrom")]
+        assert (copy_id, f"cas:{digest}") in derivations
+        generated = {e.effect: e.cause
+                     for e in graph.edges("wasGeneratedBy")}
+        assert generated[copy_id] == f"{run_id}/repair"
+        used = {e.cause: e.role for e in graph.edges("used")}
+        assert used[f"cas:{digest}"] == "healthy-source:r0"
+        assert graph.node(copy_id).annotations["was"] == "corrupt"

@@ -1,0 +1,112 @@
+"""Era-driven format migration with wasDerivedFrom provenance."""
+
+import json
+
+import pytest
+
+from repro.archive.cas import ContentAddressedStore
+from repro.archive.migration import (
+    MIGRATION_WORKFLOW,
+    FormatMigrationPlanner,
+    at_risk_formats,
+)
+from repro.archive.replicas import ReplicaGroup
+from repro.core.preservation import PreservationLevel, PreservationPolicy
+from repro.errors import MigrationError
+from repro.hashing import canonical_json
+
+
+@pytest.fixture()
+def group():
+    return ReplicaGroup([ContentAddressedStore(f"r{i}") for i in range(3)])
+
+
+@pytest.fixture()
+def planner(group, provenance):
+    return FormatMigrationPlanner(group, provenance)
+
+
+def archive_record(group, record_id, fmt):
+    payload = canonical_json({"record_id": record_id,
+                              "species": "Boana albomarginata",
+                              "sound_file_format": fmt})
+    digest = group.put(payload)
+    return {"object_id": f"record/tiny/{record_id}", "digest": digest,
+            "format": fmt, "level": 3}
+
+
+class TestAtRiskFormats:
+    def test_2014_horizon_flags_closed_eras(self):
+        assert {era.name for era in at_risk_formats(2014)} == {
+            "magnetic tape", "ATRAC"}
+
+    def test_horizon_at_era_close_is_not_at_risk(self):
+        # magnetic tape's era ends in 2000: still decodable that year
+        assert "magnetic tape" not in {
+            era.name for era in at_risk_formats(2000)}
+        assert "magnetic tape" in {
+            era.name for era in at_risk_formats(2001)}
+
+    def test_open_ended_formats_never_flagged(self):
+        assert {era.name for era in at_risk_formats(2099)} == {
+            "magnetic tape", "ATRAC"}
+
+
+class TestPlanning:
+    def test_plan_selects_only_at_risk_entries(self, group, planner):
+        entries = [archive_record(group, 1, "magnetic tape"),
+                   archive_record(group, 2, "WAV"),
+                   archive_record(group, 3, "ATRAC")]
+        plan = planner.plan(entries, PreservationPolicy(
+            PreservationLevel.ANALYSIS_LEVEL))
+        assert len(plan) == 2
+        assert {step.from_format for step in plan.steps} == {
+            "magnetic tape", "ATRAC"}
+        assert all(step.to_format == "WAV" for step in plan.steps)
+        assert all(step.level == 3 for step in plan.steps)
+
+    def test_unknown_target_rejected(self, planner):
+        with pytest.raises(MigrationError, match="unknown target"):
+            planner.plan([], PreservationPolicy(
+                PreservationLevel.ANALYSIS_LEVEL), target_format="FLAC")
+
+    def test_at_risk_target_rejected(self, planner):
+        # ATRAC's own era closes in 2013 — migrating onto it is futile
+        with pytest.raises(MigrationError, match="itself at risk"):
+            planner.plan([], PreservationPolicy(
+                PreservationLevel.ANALYSIS_LEVEL), horizon_year=2014,
+                target_format="ATRAC")
+
+
+class TestExecution:
+    def test_empty_plan_records_nothing(self, planner, provenance):
+        plan = planner.plan([], PreservationPolicy(
+            PreservationLevel.ANALYSIS_LEVEL))
+        report = planner.execute(plan)
+        assert report.run_id is None
+        assert len(report) == 0
+        assert provenance.run_ids(MIGRATION_WORKFLOW) == []
+
+    def test_execute_reencodes_and_links_provenance(self, group, planner,
+                                                    provenance):
+        entry = archive_record(group, 1, "magnetic tape")
+        plan = planner.plan([entry], PreservationPolicy(
+            PreservationLevel.ANALYSIS_LEVEL, lifetime_years=50))
+        report = planner.execute(plan)
+        assert report.run_id == "migration/run-0001"
+        (migration,) = report.migrations
+        assert migration["source_digest"] == entry["digest"]
+        assert migration["derived_digest"] != entry["digest"]
+
+        derived = json.loads(group.read(migration["derived_digest"]))
+        assert derived["sound_file_format"] == "WAV"
+        assert derived["record_id"] == 1
+
+        graph = provenance.graph_for(report.run_id)
+        derivations = [(e.effect, e.cause)
+                       for e in graph.edges("wasDerivedFrom")]
+        assert derivations == [(f"cas:{migration['derived_digest']}",
+                                f"cas:{entry['digest']}")]
+        (process,) = graph.processes()
+        assert process.annotations["from_format"] == "magnetic tape"
+        assert process.annotations["lifetime_years"] == 50

@@ -1,0 +1,158 @@
+"""Replica groups: quorum reads, health reporting, repair, backoff."""
+
+import pytest
+
+from repro.archive.cas import ContentAddressedStore
+from repro.archive.replicas import ReplicaGroup
+from repro.errors import ArchiveError, QuorumError
+
+
+def make_group(n=3, **kwargs):
+    return ReplicaGroup(
+        [ContentAddressedStore(f"r{i}") for i in range(n)], **kwargs)
+
+
+class TestConstruction:
+    def test_needs_stores(self):
+        with pytest.raises(ArchiveError):
+            ReplicaGroup([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ArchiveError):
+            ReplicaGroup([ContentAddressedStore("same"),
+                          ContentAddressedStore("same")])
+
+    def test_default_quorum_is_majority(self):
+        assert make_group(1).quorum == 1
+        assert make_group(3).quorum == 2
+        assert make_group(5).quorum == 3
+
+    def test_quorum_out_of_range(self):
+        with pytest.raises(ArchiveError):
+            make_group(3, quorum=4)
+        with pytest.raises(ArchiveError):
+            make_group(3, quorum=0)
+
+    def test_store_lookup(self):
+        group = make_group(2)
+        assert group.store("r1").name == "r1"
+        with pytest.raises(ArchiveError):
+            group.store("r9")
+
+
+class TestReadWrite:
+    def test_put_fans_out_to_every_store(self):
+        group = make_group(3)
+        digest = group.put("replicated")
+        for member in group.stores:
+            assert member.verify(digest)
+        assert group.digests() == [digest]
+
+    def test_quorum_read_survives_minority_corruption(self):
+        group = make_group(3)
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        assert group.read(digest) == "precious"
+
+    def test_read_fails_below_quorum(self):
+        group = make_group(3)
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        group.stores[1].drop(digest)
+        with pytest.raises(QuorumError):
+            group.read(digest)
+
+    def test_read_never_serves_corrupt_bytes(self):
+        # the only verified replica is r2; the payload must come from it
+        group = make_group(3, quorum=1)
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        group.stores[1].corrupt(digest)
+        assert group.read(digest) == "precious"
+
+
+class TestHealth:
+    def test_replica_status_classifies_all_three_states(self):
+        group = make_group(3)
+        digest = group.put("x")
+        group.stores[1].corrupt(digest)
+        group.stores[2].drop(digest)
+        status = group.replica_status(digest)
+        assert status.states == {"r0": "ok", "r1": "corrupt",
+                                 "r2": "missing"}
+        assert status.healthy_stores == ["r0"]
+        assert status.corrupt_stores == ["r1"]
+        assert status.missing_stores == ["r2"]
+        assert not status.intact
+
+    def test_replica_lag_counts_unhealthy_copies(self):
+        group = make_group(3)
+        a = group.put("a")
+        group.put("b")
+        group.stores[2].corrupt(a)
+        assert group.replica_lag() == {"r0": 0, "r1": 0, "r2": 1}
+
+
+class TestRepair:
+    def test_repair_restores_corrupt_and_missing(self):
+        group = make_group(3)
+        digest = group.put("rebuild me")
+        group.stores[0].corrupt(digest)
+        group.stores[2].drop(digest)
+        actions = group.repair(digest)
+        assert {(a.store, a.reason) for a in actions} == {
+            ("r0", "corrupt"), ("r2", "missing")}
+        assert all(a.source == "r1" for a in actions)
+        assert group.replica_status(digest).intact
+
+    def test_repair_intact_object_is_a_noop(self):
+        group = make_group(3)
+        digest = group.put("fine")
+        assert group.repair(digest) == []
+
+    def test_repair_without_healthy_source_fails(self):
+        group = make_group(2)
+        digest = group.put("doomed")
+        group.stores[0].corrupt(digest)
+        group.stores[1].corrupt(digest)
+        with pytest.raises(QuorumError):
+            group.repair(digest)
+
+
+class FlakyStore(ContentAddressedStore):
+    """Fails the first ``failures`` restores with a transient error."""
+
+    def __init__(self, name, failures):
+        super().__init__(name)
+        self.failures = failures
+
+    def restore(self, digest, payload, media_type="application/json"):
+        if self.failures > 0:
+            self.failures -= 1
+            raise ArchiveError(f"{self.name}: transient I/O error")
+        super().restore(digest, payload, media_type=media_type)
+
+
+class TestRetryBackoff:
+    def test_transient_failures_are_retried_with_backoff(self):
+        flaky = FlakyStore("r1", failures=2)
+        group = ReplicaGroup([ContentAddressedStore("r0"), flaky],
+                             backoff_base_seconds=0.05)
+        digest = group.put("persist")
+        flaky.failures = 2  # next two restores fail
+        group.stores[1].corrupt(digest)
+        (action,) = group.repair(digest)
+        assert action.attempts == 3
+        # simulated schedule: 0.05 after attempt 1, 0.10 after attempt 2
+        assert action.backoff_seconds == pytest.approx(0.15)
+        assert group.replica_status(digest).intact
+
+    def test_permanent_failure_exhausts_attempts(self):
+        flaky = FlakyStore("r1", failures=99)
+        group = ReplicaGroup([ContentAddressedStore("r0"), flaky],
+                             max_attempts=3)
+        digest = group.put("persist")
+        flaky.failures = 99
+        group.stores[1].corrupt(digest)
+        with pytest.raises(ArchiveError, match="after 3 attempts"):
+            group.repair(digest)

@@ -77,6 +77,67 @@ class TestPackages:
         assert profile1["cite_the_dataset"]
 
 
+class TestCostCapabilityTrade:
+    """Table I as a trade: each level buys strictly more answerable
+    questions for monotonically more bytes."""
+
+    @pytest.fixture()
+    def packages(self, small_collection):
+        return {
+            level: archive_collection(small_collection, level)
+            for level in PreservationLevel
+        }
+
+    def test_capabilities_grow_monotonically(self, packages):
+        answered = {
+            level: {question for question in CAPABILITIES
+                    if packages[level].can_answer(question)}
+            for level in PreservationLevel
+        }
+        levels = list(PreservationLevel)
+        for lower, higher in zip(levels, levels[1:]):
+            assert answered[lower] < answered[higher]
+
+    def test_each_capability_costs_bytes(self, packages):
+        """Every step up the ladder that unlocks new questions also
+        grows the package — capability is never free.  (Level 4's
+        extra cost is the provenance payload, absent here; with a
+        populated repository it grows too — see
+        ``TestFullReproductionLevel``.)"""
+        levels = list(PreservationLevel)
+        for lower, higher in zip(levels, levels[1:]):
+            gained = [q for q, needed in CAPABILITIES.items()
+                      if needed == higher]
+            assert gained  # every level unlocks something
+            assert packages[higher].size_bytes() >= (
+                packages[lower].size_bytes())
+        assert packages[PreservationLevel.ANALYSIS_LEVEL].size_bytes() > (
+            packages[PreservationLevel.SIMPLIFIED_DATA].size_bytes() >
+            packages[PreservationLevel.DOCUMENTATION].size_bytes())
+
+    def test_bytes_per_level_ordering(self, packages):
+        costs = {level: packages[level].size_bytes()
+                 for level in PreservationLevel}
+        # level 2 duplicates a projection of every record; level 3 the
+        # full rows — the big jumps Table I's use cases pay for
+        assert costs[PreservationLevel.SIMPLIFIED_DATA] > (
+            2 * costs[PreservationLevel.DOCUMENTATION])
+        assert costs[PreservationLevel.ANALYSIS_LEVEL] > (
+            costs[PreservationLevel.SIMPLIFIED_DATA])
+
+    def test_can_answer_across_all_level_and_question_pairs(self,
+                                                            packages):
+        for level in PreservationLevel:
+            for question, needed in CAPABILITIES.items():
+                expected = int(level) >= int(needed)
+                assert packages[level].can_answer(question) is expected
+
+    def test_archive_collection_coerces_plain_ints(self, small_collection):
+        package = archive_collection(small_collection, 2)
+        assert package.level is PreservationLevel.SIMPLIFIED_DATA
+        assert "simplified_records" in package.contents
+
+
 class TestFullReproductionLevel:
     def test_workflows_and_provenance_included(self, small_collection,
                                                reliable_service):

@@ -53,3 +53,35 @@ class TestEraConsistency:
         assert era_consistent("device", "Nagra III", 1958) is True
         assert era_consistent("device", "Nagra III", 1985) is True
         assert era_consistent("device", "Nagra III", 1957) is False
+
+
+class TestEraBoundaries:
+    """Both edge years of an era are inside it, and an omitted
+    ``last_year`` means "still current" (the implicit 2100 default)."""
+
+    def test_magnetic_tape_first_year_edges(self):
+        assert era_consistent("format", "magnetic tape", 1949) is False
+        assert era_consistent("format", "magnetic tape", 1950) is True
+
+    def test_magnetic_tape_last_year_edges(self):
+        assert era_consistent("format", "magnetic tape", 2000) is True
+        assert era_consistent("format", "magnetic tape", 2001) is False
+
+    def test_atrac_closes_after_2013(self):
+        assert era_consistent("format", "ATRAC", 2013) is True
+        assert era_consistent("format", "ATRAC", 2014) is False
+
+    def test_open_ended_format_defaults_to_2100(self):
+        from repro.sounds.formats import Era
+
+        assert Era("anything", 1990).last_year == 2100
+        assert era_consistent("format", "WAV", 1991) is False
+        assert era_consistent("format", "WAV", 1992) is True
+        assert era_consistent("format", "WAV", 2100) is True
+        assert era_consistent("format", "WAV", 2101) is False
+
+    def test_availability_agrees_with_edges(self):
+        assert "magnetic tape" in {
+            e.name for e in formats_available(2000)}
+        assert "magnetic tape" not in {
+            e.name for e in formats_available(2001)}

@@ -88,3 +88,83 @@ class TestCrossref:
         out = capsys.readouterr().out
         assert "raw_links" in out
         assert "recovered_by_curation" in out
+
+
+class TestVault:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["vault", "audit"])
+        assert args.records == 300
+        assert args.level == 3
+        assert args.replicas == 3
+        assert args.corrupt == 1
+        assert not args.no_repair
+
+    def test_vault_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["vault"])
+
+    def test_ingest_prints_summary(self, capsys, isolated_telemetry):
+        code = main(["--seed", "7", "vault", "ingest", "--records", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 40 records at level 3" in out
+        assert "x3 replicas" in out
+
+    def test_audit_detects_and_repairs(self, capsys, isolated_telemetry):
+        code = main(["--seed", "7", "vault", "audit", "--records", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "1 replicas restored" in out
+        assert "re-audit" in out and "healthy" in out
+        assert "fixity/sweep-0001" in out
+        assert "fixity/repair-0001" in out
+
+    def test_audit_no_repair_detects_only(self, capsys,
+                                          isolated_telemetry):
+        code = main(["--seed", "7", "vault", "audit", "--records", "40",
+                     "--no-repair"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "repair" not in out.split("provenance")[0].replace(
+            "no-repair", "")
+        assert "fixity/repair" not in out
+
+    def test_audit_level1_has_no_records_to_corrupt(self, capsys,
+                                                    isolated_telemetry):
+        # level 1 archives the package alone; the drill corrupts it
+        code = main(["--seed", "7", "vault", "audit", "--records", "40",
+                     "--level", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested 0 records at level 1" in out
+        assert "1 corrupt" in out
+
+    def test_migrate_reencodes_at_risk_payloads(self, capsys,
+                                                isolated_telemetry):
+        code = main(["--seed", "7", "vault", "migrate",
+                     "--records", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "at-risk formats (horizon 2014)" in out
+        assert "migration/run-0001" in out
+        assert "-> WAV" in out
+
+    def test_status_prints_json_and_telemetry(self, capsys,
+                                              isolated_telemetry):
+        code = main(["--seed", "7", "vault", "status", "--records", "40"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert '"provenance_runs"' in out
+        assert "preservation vault" in out
+        assert "Telemetry report" in out
+
+    def test_stats_vault_flag_adds_vault_panel(self, capsys,
+                                               isolated_telemetry):
+        code = main(["--seed", "7", "stats", "--records", "200",
+                     "--species", "60", "--outdated", "5", "--vault"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "preservation vault" in out
+        assert "corruptions found 1, repaired 1" in out

@@ -1,0 +1,55 @@
+"""The shared digest utility every hashing subsystem now rides on."""
+
+import datetime as dt
+import hashlib
+
+from repro.hashing import (
+    canonical_digest,
+    canonical_json,
+    sha256_hex,
+    stable_digest,
+    stable_seed,
+    stable_unit,
+)
+
+
+class TestStableFamily:
+    def test_digest_matches_hand_rolled_recipe(self):
+        assert stable_digest("a", 1, 2.5) == hashlib.sha256(
+            b"a|1|2.5").digest()
+
+    def test_seed_is_deterministic_and_part_sensitive(self):
+        assert stable_seed("x", 1) == stable_seed("x", 1)
+        assert stable_seed("x", 1) != stable_seed("x", 2)
+        assert 0 <= stable_seed("x") < 2 ** 64
+
+    def test_unit_in_half_open_interval(self):
+        values = [stable_unit("p", i) for i in range(50)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 1
+
+
+class TestSha256Hex:
+    def test_text_hashes_as_utf8(self):
+        assert sha256_hex("héllo") == sha256_hex("héllo".encode("utf-8"))
+        assert sha256_hex("x") == hashlib.sha256(b"x").hexdigest()
+
+    def test_bytes_pass_through(self):
+        assert sha256_hex(b"\x00\x01") == hashlib.sha256(
+            b"\x00\x01").hexdigest()
+
+
+class TestCanonicalJson:
+    def test_key_order_never_matters(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+        assert canonical_digest({"b": 1, "a": 2}) == \
+            canonical_digest({"a": 2, "b": 1})
+
+    def test_non_json_values_stringify(self):
+        document = canonical_json({"when": dt.date(2014, 1, 1)})
+        assert "2014-01-01" in document
+
+    def test_digest_is_the_cas_key_of_the_canonical_form(self):
+        value = {"record_id": 1, "species": "Boana albomarginata"}
+        assert canonical_digest(value) == sha256_hex(canonical_json(value))
