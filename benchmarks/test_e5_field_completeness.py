@@ -14,7 +14,7 @@ import pytest
 from repro.curation.enrichment import EnvironmentalEnricher
 from repro.curation.geocoding import Geocoder
 from repro.curation.history import CurationHistory
-from repro.sounds.fields import GROUP_LABELS, field_names
+from repro.sounds.fields import GROUP_LABELS
 
 
 def group_completeness(records):

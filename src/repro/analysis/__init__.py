@@ -1,0 +1,50 @@
+"""Static analysis over workflows, provenance, schemas and vaults.
+
+The rule engine behind ``repro lint``: a :class:`Diagnostic` model, a
+:class:`RuleRegistry` with per-rule enable/disable and suppression
+baselines, and four rule families (workflow ``WF``, provenance ``PR``,
+storage ``ST``, vault ``VA``) that run purely on in-memory objects.
+
+Importing this package registers every built-in rule with the default
+registry.
+"""
+
+from repro.analysis.diagnostics import (
+    SEVERITIES,
+    AnalysisReport,
+    Diagnostic,
+)
+from repro.analysis.registry import (
+    FAMILIES,
+    Baseline,
+    Rule,
+    RuleRegistry,
+    default_registry,
+    rule,
+)
+
+# Importing the rule modules registers their rules with the default
+# registry; the state views are part of the public surface.
+from repro.analysis.workflow_rules import workflow_context
+from repro.analysis.provenance_rules import GraphState
+from repro.analysis.storage_rules import SchemaSet
+from repro.analysis.vault_rules import VaultState
+from repro.analysis.analyzer import Analyzer, sniff_document
+
+__all__ = [
+    "SEVERITIES",
+    "FAMILIES",
+    "Diagnostic",
+    "AnalysisReport",
+    "Rule",
+    "RuleRegistry",
+    "Baseline",
+    "rule",
+    "default_registry",
+    "workflow_context",
+    "GraphState",
+    "SchemaSet",
+    "VaultState",
+    "Analyzer",
+    "sniff_document",
+]

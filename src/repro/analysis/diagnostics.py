@@ -1,0 +1,218 @@
+"""Diagnostics: the unit of static-analysis output.
+
+A :class:`Diagnostic` is one finding of one rule — machine-readable
+(rule id, severity, location) and human-readable (message, suggested
+fix).  An :class:`AnalysisReport` aggregates the findings of one or
+more analyzer passes and knows how to render itself as text or plain
+data, and what process exit code it implies.
+
+Severities form a strict hierarchy:
+
+* ``error`` — the object will misbehave or fail when used (cycle,
+  dangling reference, broken foreign key).  Errors make ``repro lint``
+  exit nonzero.
+* ``warning`` — the object works but carries a latent defect (dead-end
+  output, unindexed foreign key, at-risk format).
+* ``info`` — advisory: quality metadata that the paper's assessment
+  loop would want and that is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import AnalysisError
+from repro.hashing import sha256_hex
+
+__all__ = ["SEVERITIES", "Diagnostic", "AnalysisReport"]
+
+#: Recognised severities, most severe first.
+SEVERITIES: tuple[str, ...] = ("error", "warning", "info")
+
+_SEVERITY_RANK = {severity: rank for rank, severity in enumerate(SEVERITIES)}
+
+
+class Diagnostic:
+    """One static-analysis finding.
+
+    Parameters
+    ----------
+    rule_id:
+        Identifier of the rule that fired (e.g. ``"WF001"``).
+    severity:
+        One of :data:`SEVERITIES`.
+    message:
+        What is wrong, phrased about the analyzed object.
+    location:
+        Where, as a stable path-like string
+        (``workflow:demo/processor:reader``).
+    suggestion:
+        Optional suggested fix.
+    family:
+        Analyzer family (``workflow`` / ``provenance`` / ``storage`` /
+        ``vault``).
+    source:
+        Optional origin document (a file path, set by the CLI).
+    """
+
+    __slots__ = ("rule_id", "severity", "message", "location",
+                 "suggestion", "family", "source")
+
+    def __init__(self, rule_id: str, severity: str, message: str,
+                 location: str, suggestion: str = "",
+                 family: str = "", source: str = "") -> None:
+        if severity not in _SEVERITY_RANK:
+            raise AnalysisError(
+                f"unknown severity {severity!r} (rule {rule_id})"
+            )
+        self.rule_id = rule_id
+        self.severity = severity
+        self.message = message
+        self.location = location
+        self.suggestion = suggestion
+        self.family = family
+        self.source = source
+
+    def __repr__(self) -> str:
+        return (
+            f"Diagnostic({self.rule_id} {self.severity} "
+            f"{self.location}: {self.message!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Diagnostic):
+            return NotImplemented
+        return self.sort_key() == other.sort_key()
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by suppression baselines.
+
+        Deliberately excludes ``source`` so a baseline survives moving
+        a document between files."""
+        return sha256_hex(
+            f"{self.rule_id}|{self.location}|{self.message}"
+        )[:16]
+
+    def sort_key(self) -> tuple[int, str, str, str, str]:
+        return (_SEVERITY_RANK[self.severity], self.rule_id,
+                self.source, self.location, self.message)
+
+    def format(self) -> str:
+        prefix = f"{self.source}: " if self.source else ""
+        line = (f"{self.severity:<7} {self.rule_id:<6} "
+                f"{prefix}{self.location}: {self.message}")
+        if self.suggestion:
+            line += f"\n        fix: {self.suggestion}"
+        return line
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "family": self.family,
+            "location": self.location,
+            "message": self.message,
+            "suggestion": self.suggestion,
+            "source": self.source,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
+        return cls(
+            data["rule"], data["severity"], data["message"],
+            data["location"], suggestion=data.get("suggestion", ""),
+            family=data.get("family", ""), source=data.get("source", ""),
+        )
+
+
+class AnalysisReport:
+    """The findings of one or more analyzer passes."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self.diagnostics: list[Diagnostic] = list(diagnostics)
+        self.suppressed = 0
+        self.families_run: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __iter__(self):
+        return iter(self.sorted())
+
+    def __repr__(self) -> str:
+        counts = self.counts()
+        return (
+            f"AnalysisReport({counts['error']} errors, "
+            f"{counts['warning']} warnings, {counts['info']} info)"
+        )
+
+    # -- accumulation --------------------------------------------------
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed += other.suppressed
+        for family in other.families_run:
+            if family not in self.families_run:
+                self.families_run.append(family)
+        return self
+
+    # -- queries -------------------------------------------------------
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
+    def by_severity(self, severity: str) -> list[Diagnostic]:
+        return [d for d in self.sorted() if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity("error")
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    def rule_ids(self) -> list[str]:
+        return sorted({d.rule_id for d in self.diagnostics})
+
+    def counts(self) -> dict[str, int]:
+        result = {severity: 0 for severity in SEVERITIES}
+        for diagnostic in self.diagnostics:
+            result[diagnostic.severity] += 1
+        return result
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.has_errors else 0
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self) -> str:
+        lines = [d.format() for d in self.sorted()]
+        counts = self.counts()
+        summary = (
+            f"{counts['error']} error(s), {counts['warning']} "
+            f"warning(s), {counts['info']} info"
+        )
+        if self.suppressed:
+            summary += f", {self.suppressed} suppressed by baseline"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        counts = self.counts()
+        return {
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+            "summary": {
+                **counts,
+                "total": len(self.diagnostics),
+                "suppressed": self.suppressed,
+            },
+            "families_run": list(self.families_run),
+            "exit_code": self.exit_code,
+        }

@@ -1,0 +1,221 @@
+"""The rule engine: rule descriptors, the registry, and baselines.
+
+A :class:`Rule` bundles an identifier, a family, a default severity and
+a check function.  Check functions are generators::
+
+    @rule("WF001", "workflow", "warning", "unreachable processor")
+    def _unreachable(rule, workflow, context):
+        ...
+        yield rule.emit(location, message, suggestion="...")
+
+Registering happens at import time into the shared default registry
+(:func:`default_registry`); analyzers take a :meth:`RuleRegistry.copy`
+so per-run enable/disable never leaks across callers.
+
+A :class:`Baseline` is the suppression file: a JSON list of diagnostic
+fingerprints accepted as known debt.  ``repro lint --write-baseline``
+creates one, ``--baseline`` applies it; suppressed findings are counted
+but neither printed nor allowed to fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.analysis.diagnostics import SEVERITIES, Diagnostic
+from repro.errors import AnalysisError
+
+__all__ = ["Rule", "RuleRegistry", "Baseline", "rule", "default_registry"]
+
+#: Analyzer families a rule may belong to.
+FAMILIES: tuple[str, ...] = ("workflow", "provenance", "storage", "vault")
+
+CheckFunction = Callable[["Rule", Any, dict], Iterator[Diagnostic]]
+
+
+class Rule:
+    """One static-analysis rule: identity, metadata and check logic."""
+
+    __slots__ = ("id", "family", "severity", "summary", "check")
+
+    def __init__(self, rule_id: str, family: str, severity: str,
+                 summary: str, check: CheckFunction) -> None:
+        if family not in FAMILIES:
+            raise AnalysisError(
+                f"rule {rule_id}: unknown family {family!r}"
+            )
+        if severity not in SEVERITIES:
+            raise AnalysisError(
+                f"rule {rule_id}: unknown severity {severity!r}"
+            )
+        self.id = rule_id
+        self.family = family
+        self.severity = severity
+        self.summary = summary
+        self.check = check
+
+    def __repr__(self) -> str:
+        return f"Rule({self.id}, {self.family}, {self.severity})"
+
+    def emit(self, location: str, message: str, suggestion: str = "",
+             severity: str | None = None) -> Diagnostic:
+        """Build a diagnostic attributed to this rule.
+
+        ``severity`` overrides the rule default for findings whose
+        gravity depends on the evidence (e.g. duplicate links are a
+        warning, conflicting fan-in an error)."""
+        return Diagnostic(
+            self.id, severity or self.severity, message, location,
+            suggestion=suggestion, family=self.family,
+        )
+
+    def run(self, subject: Any, context: dict) -> Iterator[Diagnostic]:
+        yield from self.check(self, subject, context)
+
+    def to_dict(self) -> dict[str, str]:
+        return {
+            "id": self.id,
+            "family": self.family,
+            "severity": self.severity,
+            "summary": self.summary,
+        }
+
+
+class RuleRegistry:
+    """Every known rule, with per-registry enable/disable state."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._disabled: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        for rule_id in sorted(self._rules):
+            yield self._rules[rule_id]
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def register(self, new_rule: Rule) -> Rule:
+        if new_rule.id in self._rules:
+            raise AnalysisError(f"duplicate rule id {new_rule.id!r}")
+        self._rules[new_rule.id] = new_rule
+        return new_rule
+
+    def rule(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise AnalysisError(f"unknown rule {rule_id!r}") from None
+
+    # -- enablement ----------------------------------------------------
+
+    def disable(self, rule_id: str) -> None:
+        self.rule(rule_id)  # raises on unknown ids
+        self._disabled.add(rule_id)
+
+    def enable(self, rule_id: str) -> None:
+        self.rule(rule_id)
+        self._disabled.discard(rule_id)
+
+    def is_enabled(self, rule_id: str) -> bool:
+        return rule_id in self._rules and rule_id not in self._disabled
+
+    def enabled_rules(self, family: str | None = None) -> list[Rule]:
+        return [
+            r for r in self
+            if r.id not in self._disabled
+            and (family is None or r.family == family)
+        ]
+
+    def catalog(self) -> list[dict[str, str]]:
+        """Plain-data rule listing (``repro lint --rules``)."""
+        return [
+            {**r.to_dict(), "enabled": str(self.is_enabled(r.id)).lower()}
+            for r in self
+        ]
+
+    def copy(self) -> "RuleRegistry":
+        clone = RuleRegistry()
+        clone._rules = dict(self._rules)
+        clone._disabled = set(self._disabled)
+        return clone
+
+
+#: The shared registry that ``@rule`` populates at import time.
+_DEFAULT = RuleRegistry()
+
+
+def default_registry() -> RuleRegistry:
+    """The shared registry holding every built-in rule.
+
+    Analyzers copy it, so mutating a copy's enablement never affects
+    other callers."""
+    return _DEFAULT
+
+
+def rule(rule_id: str, family: str, severity: str,
+         summary: str) -> Callable[[CheckFunction], CheckFunction]:
+    """Decorator: register a check function as a built-in rule."""
+
+    def decorate(check: CheckFunction) -> CheckFunction:
+        _DEFAULT.register(Rule(rule_id, family, severity, summary, check))
+        return check
+
+    return decorate
+
+
+class Baseline:
+    """A suppression file: fingerprints of accepted findings."""
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self.fingerprints: set[str] = set(fingerprints)
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __repr__(self) -> str:
+        return f"Baseline({len(self.fingerprints)} suppressions)"
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        return diagnostic.fingerprint in self.fingerprints
+
+    @classmethod
+    def from_diagnostics(cls,
+                         diagnostics: Iterable[Diagnostic]) -> "Baseline":
+        return cls(d.fingerprint for d in diagnostics)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise AnalysisError(f"baseline file {path} does not exist") \
+                from None
+        except json.JSONDecodeError as error:
+            raise AnalysisError(
+                f"baseline file {path} is not valid JSON: {error}"
+            ) from None
+        suppressions = data.get("suppressions")
+        if not isinstance(suppressions, list):
+            raise AnalysisError(
+                f"baseline file {path} has no 'suppressions' list"
+            )
+        return cls(str(item) for item in suppressions)
+
+    def save(self, path: str | Path) -> None:
+        document = {
+            "version": self.VERSION,
+            "suppressions": sorted(self.fingerprints),
+        }
+        Path(path).write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )

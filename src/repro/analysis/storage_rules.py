@@ -1,0 +1,256 @@
+"""Storage rules (ST0xx): defects in table schemas and index layouts.
+
+Rules run on a :class:`SchemaSet` — a read-only snapshot of every
+table's schema, secondary indexes and (when available) the cardinality
+statistics of :meth:`~repro.storage.table.Table.stats`.  Snapshots are
+built from a live :class:`~repro.storage.database.Database` or from a
+lint-bundle document; the latter is lenient, so a schema the engine
+would reject still yields a diagnostic instead of a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, rule
+from repro.errors import StorageError
+from repro.storage.schema import TableSchema
+
+__all__ = ["SchemaSet"]
+
+
+class SchemaSet:
+    """A read-only schema/index snapshot for the storage rules.
+
+    Parameters
+    ----------
+    name:
+        Database identity (used in diagnostic locations).
+    tables:
+        ``{table name: TableSchema}``.
+    indexes:
+        ``{table name: {column: index kind}}`` — the *effective* index
+        per column (the engine keeps at most one).
+    stats:
+        ``{table name: Table.stats() dict}`` (may be empty).
+    duplicate_indexes:
+        ``{table name: [column, ...]}`` — columns a document declared
+        an index on more than once (later declarations shadow earlier
+        ones).
+    invalid:
+        ``[(table name, reason)]`` — schemas the engine would reject.
+    """
+
+    def __init__(self, name: str,
+                 tables: Mapping[str, TableSchema],
+                 indexes: Mapping[str, Mapping[str, str]],
+                 stats: Mapping[str, Mapping[str, Any]] | None = None,
+                 duplicate_indexes: Mapping[str, list] | None = None,
+                 invalid: list | None = None) -> None:
+        self.name = name
+        self.tables = dict(tables)
+        self.indexes = {table: dict(cols)
+                        for table, cols in indexes.items()}
+        self.stats = {table: dict(data)
+                      for table, data in (stats or {}).items()}
+        self.duplicate_indexes = {
+            table: list(cols)
+            for table, cols in (duplicate_indexes or {}).items()
+        }
+        self.invalid = list(invalid or [])
+
+    def __repr__(self) -> str:
+        return f"SchemaSet({self.name}, {len(self.tables)} tables)"
+
+    @classmethod
+    def from_database(cls, database: Any) -> "SchemaSet":
+        tables: dict[str, TableSchema] = {}
+        indexes: dict[str, dict[str, str]] = {}
+        stats: dict[str, dict[str, Any]] = {}
+        for table_name in database.table_names():
+            table = database.table(table_name)
+            tables[table_name] = table.schema
+            indexes[table_name] = {
+                column: index.kind
+                for column, index in table.indexes().items()
+            }
+            stats[table_name] = table.stats()
+        return cls(getattr(database, "name", "db"), tables, indexes, stats)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchemaSet":
+        """Load from a lint-bundle ``tables`` document::
+
+            {"name": "catalog", "tables": [
+                {"schema": {...TableSchema.to_dict()...},
+                 "indexes": [{"column": "c", "kind": "hash"}, ...],
+                 "stats": {...Table.stats()...}},
+            ]}
+        """
+        tables: dict[str, TableSchema] = {}
+        indexes: dict[str, dict[str, str]] = {}
+        stats: dict[str, dict[str, Any]] = {}
+        duplicates: dict[str, list] = {}
+        invalid: list[tuple[str, str]] = []
+        for entry in data.get("tables", ()):
+            schema_doc = entry.get("schema") or {}
+            table_name = str(schema_doc.get("name", "?"))
+            try:
+                schema = TableSchema.from_dict(schema_doc)
+            except (StorageError, KeyError, TypeError) as error:
+                invalid.append((table_name, str(error)))
+                continue
+            tables[table_name] = schema
+            declared: dict[str, str] = {}
+            for index_doc in entry.get("indexes", ()):
+                column = str(index_doc.get("column", ""))
+                if column in declared:
+                    duplicates.setdefault(table_name, []).append(column)
+                declared[column] = str(index_doc.get("kind", "hash"))
+            # UNIQUE columns get an implicit hash index from the engine
+            for column in schema.columns:
+                if column.unique:
+                    declared.setdefault(column.name, "hash")
+            indexes[table_name] = declared
+            if entry.get("stats"):
+                stats[table_name] = dict(entry["stats"])
+        return cls(str(data.get("name", "db")), tables, indexes, stats,
+                   duplicates, invalid)
+
+    def indexed_columns(self, table: str) -> set[str]:
+        return set(self.indexes.get(table, ()))
+
+
+def _loc(schemas: SchemaSet, *parts: str) -> str:
+    return "/".join((f"database:{schemas.name}",) + parts)
+
+
+@rule("ST001", "storage", "error",
+      "foreign key references a table that does not exist")
+def _fk_missing_table(self: Rule, schemas: SchemaSet,
+                      context: dict) -> Iterator[Diagnostic]:
+    for table_name in sorted(schemas.tables):
+        schema = schemas.tables[table_name]
+        for fk in schema.foreign_keys:
+            if fk.parent_table not in schemas.tables:
+                yield self.emit(
+                    _loc(schemas, f"table:{table_name}",
+                         f"fk:{fk.column}"),
+                    f"foreign key {table_name}.{fk.column} references "
+                    f"missing table {fk.parent_table!r}",
+                    suggestion="create the parent table or drop the "
+                    "constraint",
+                )
+
+
+@rule("ST002", "storage", "error",
+      "foreign key references a column its parent table lacks")
+def _fk_missing_column(self: Rule, schemas: SchemaSet,
+                       context: dict) -> Iterator[Diagnostic]:
+    for table_name in sorted(schemas.tables):
+        schema = schemas.tables[table_name]
+        for fk in schema.foreign_keys:
+            parent = schemas.tables.get(fk.parent_table)
+            if parent is None:
+                continue  # ST001 already reported the missing table
+            if not parent.has_column(fk.parent_column):
+                yield self.emit(
+                    _loc(schemas, f"table:{table_name}",
+                         f"fk:{fk.column}"),
+                    f"foreign key {table_name}.{fk.column} references "
+                    f"missing column {fk.parent_table}."
+                    f"{fk.parent_column}",
+                    suggestion="point the constraint at an existing "
+                    "column",
+                )
+
+
+@rule("ST003", "storage", "warning",
+      "foreign-key column has no supporting index")
+def _fk_unindexed(self: Rule, schemas: SchemaSet,
+                  context: dict) -> Iterator[Diagnostic]:
+    for table_name in sorted(schemas.tables):
+        schema = schemas.tables[table_name]
+        indexed = schemas.indexed_columns(table_name)
+        for fk in schema.foreign_keys:
+            if fk.column not in indexed:
+                yield self.emit(
+                    _loc(schemas, f"table:{table_name}",
+                         f"fk:{fk.column}"),
+                    f"foreign-key column {table_name}.{fk.column} is "
+                    "unindexed; referential checks and joins fall back "
+                    "to full scans",
+                    suggestion=f"create_index({table_name!r}, "
+                    f"{fk.column!r}, 'hash')",
+                )
+
+
+@rule("ST004", "storage", "warning",
+      "index is redundant or shadowed")
+def _redundant_index(self: Rule, schemas: SchemaSet,
+                     context: dict) -> Iterator[Diagnostic]:
+    for table_name in sorted(schemas.duplicate_indexes):
+        for column in schemas.duplicate_indexes[table_name]:
+            yield self.emit(
+                _loc(schemas, f"table:{table_name}", f"index:{column}"),
+                f"index on {table_name}.{column} is declared more than "
+                "once; the engine keeps one per column, later "
+                "declarations shadow earlier ones",
+                suggestion="drop the duplicate declaration",
+            )
+    for table_name in sorted(schemas.stats):
+        stats = schemas.stats[table_name]
+        rows = int(stats.get("rows", 0))
+        if rows < 2:
+            continue  # too small to judge selectivity
+        for column, index_stats in sorted(
+                (stats.get("indexes") or {}).items()):
+            cardinality = int(index_stats.get("cardinality", 0))
+            entries = int(index_stats.get("entries", 0))
+            if entries and cardinality <= 1:
+                yield self.emit(
+                    _loc(schemas, f"table:{table_name}",
+                         f"index:{column}"),
+                    f"index on {table_name}.{column} has cardinality "
+                    f"{cardinality} over {rows} rows — every lookup "
+                    "returns (nearly) the whole table",
+                    suggestion="drop the index; a full scan costs the "
+                    "same without the write amplification",
+                )
+
+
+@rule("ST005", "storage", "error",
+      "table schema would be rejected by the storage engine")
+def _invalid_schema(self: Rule, schemas: SchemaSet,
+                    context: dict) -> Iterator[Diagnostic]:
+    for table_name, reason in schemas.invalid:
+        yield self.emit(
+            _loc(schemas, f"table:{table_name}"),
+            f"schema for table {table_name!r} is invalid: {reason}",
+            suggestion="fix the schema document",
+        )
+
+
+@rule("ST006", "storage", "warning",
+      "foreign key targets a non-unique parent column")
+def _fk_target_not_unique(self: Rule, schemas: SchemaSet,
+                          context: dict) -> Iterator[Diagnostic]:
+    for table_name in sorted(schemas.tables):
+        schema = schemas.tables[table_name]
+        for fk in schema.foreign_keys:
+            parent = schemas.tables.get(fk.parent_table)
+            if parent is None or not parent.has_column(fk.parent_column):
+                continue  # ST001/ST002 territory
+            column = parent.column(fk.parent_column)
+            if not column.unique and parent.primary_key != fk.parent_column:
+                yield self.emit(
+                    _loc(schemas, f"table:{table_name}",
+                         f"fk:{fk.column}"),
+                    f"foreign key {table_name}.{fk.column} targets "
+                    f"non-unique column {fk.parent_table}."
+                    f"{fk.parent_column}; a child row may match many "
+                    "parents",
+                    suggestion="reference a primary-key or UNIQUE "
+                    "column",
+                )

@@ -1,0 +1,192 @@
+"""Vault rules (VA0xx): defects in preservation-vault state.
+
+Rules run on a :class:`VaultState` — a read-only snapshot of replica
+health, quorum configuration and the object manifest, taken either
+from a live :class:`~repro.archive.vault.PreservationVault` or from a
+lint-bundle document.  This is the static half of the fixity story:
+``repro vault audit`` finds damage by re-hashing every byte, the
+linter finds the *structural* failures (quorum unreachable, manifest
+pointing at nothing, an at-risk format nobody has migrated) without
+touching a payload.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, rule
+from repro.sounds.formats import SOUND_FORMATS
+
+__all__ = ["VaultState"]
+
+#: Default planning horizon, matching ``FormatMigrationPlanner.plan``.
+DEFAULT_HORIZON_YEAR = 2014
+
+
+class VaultState:
+    """A read-only vault snapshot for the vault rules.
+
+    Parameters
+    ----------
+    name:
+        Vault identity.
+    replicas:
+        Configured member-store count.
+    quorum:
+        Verified copies a read needs.
+    copies:
+        ``{digest: intact replica count}`` for every known object.
+    manifest:
+        Manifest rows (dicts with ``object_id``, ``digest``, ``kind``,
+        ``format``, ``source_digest``, ``superseded``).
+    horizon_year:
+        Planning horizon for the at-risk format rule.
+    """
+
+    def __init__(self, name: str, replicas: int, quorum: int,
+                 copies: Mapping[str, int],
+                 manifest: list,
+                 horizon_year: int = DEFAULT_HORIZON_YEAR) -> None:
+        self.name = name
+        self.replicas = int(replicas)
+        self.quorum = int(quorum)
+        self.copies = dict(copies)
+        self.manifest = [dict(row) for row in manifest]
+        self.horizon_year = int(horizon_year)
+
+    def __repr__(self) -> str:
+        return (
+            f"VaultState({self.name}, {self.replicas} replicas, "
+            f"{len(self.copies)} objects)"
+        )
+
+    @classmethod
+    def from_vault(cls, vault: Any,
+                   horizon_year: int = DEFAULT_HORIZON_YEAR) -> "VaultState":
+        copies = {
+            digest: len(vault.group.replica_status(digest).healthy_stores)
+            for digest in vault.group.digests()
+        }
+        return cls(
+            vault.name,
+            len(vault.group.stores),
+            vault.group.quorum,
+            copies,
+            vault.manifest(include_superseded=True),
+            horizon_year=horizon_year,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VaultState":
+        """Load from a lint-bundle ``vault`` document::
+
+            {"name": "vault", "replicas": 3, "quorum": 2,
+             "objects": [{"digest": "...", "copies": 3}, ...],
+             "manifest": [...manifest rows...],
+             "horizon_year": 2014}
+        """
+        copies = {
+            str(entry.get("digest", "")): int(entry.get("copies", 0))
+            for entry in data.get("objects", ())
+        }
+        return cls(
+            str(data.get("name", "vault")),
+            int(data.get("replicas", 1)),
+            int(data.get("quorum", 1)),
+            copies,
+            list(data.get("manifest", ())),
+            horizon_year=int(data.get("horizon_year",
+                                      DEFAULT_HORIZON_YEAR)),
+        )
+
+    # -- helpers used by the rules -------------------------------------
+
+    def at_risk_formats(self) -> set[str]:
+        return {era.name for era in SOUND_FORMATS
+                if era.last_year < self.horizon_year}
+
+    def migrated_sources(self) -> set[str]:
+        """Digests some manifest row claims to be derived from."""
+        return {
+            str(row["source_digest"]) for row in self.manifest
+            if row.get("source_digest")
+        }
+
+    def current_records(self) -> list[dict[str, Any]]:
+        return [row for row in self.manifest
+                if row.get("kind") == "record"
+                and not row.get("superseded")]
+
+
+def _loc(state: VaultState, *parts: str) -> str:
+    return "/".join((f"vault:{state.name}",) + parts)
+
+
+def _short(digest: str) -> str:
+    return digest[:12] + "…" if len(digest) > 12 else digest
+
+
+@rule("VA001", "vault", "error",
+      "object has fewer intact replicas than the read quorum")
+def _below_quorum(self: Rule, state: VaultState,
+                  context: dict) -> Iterator[Diagnostic]:
+    for digest in sorted(state.copies):
+        copies = state.copies[digest]
+        if copies < state.quorum:
+            yield self.emit(
+                _loc(state, f"object:{_short(digest)}"),
+                f"object {_short(digest)} has {copies} intact "
+                f"replica(s); quorum is {state.quorum}",
+                suggestion="run `repro vault audit` to repair from "
+                "the surviving copies before another replica fails",
+            )
+
+
+@rule("VA002", "vault", "warning",
+      "object in an at-risk format has no migration lineage")
+def _at_risk_unmigrated(self: Rule, state: VaultState,
+                        context: dict) -> Iterator[Diagnostic]:
+    risky = state.at_risk_formats()
+    sources = state.migrated_sources()
+    for row in state.current_records():
+        fmt = row.get("format")
+        if fmt in risky and str(row.get("digest")) not in sources:
+            yield self.emit(
+                _loc(state, f"manifest:{row.get('object_id')}"),
+                f"record {row.get('object_id')!r} is stored as {fmt} "
+                f"(era closed before {state.horizon_year}) and no "
+                "derivative references it",
+                suggestion="run `repro vault migrate` to re-encode it "
+                "with wasDerivedFrom lineage",
+            )
+
+
+@rule("VA003", "vault", "error",
+      "manifest row references an object absent from every store")
+def _manifest_drift(self: Rule, state: VaultState,
+                    context: dict) -> Iterator[Diagnostic]:
+    for row in state.manifest:
+        digest = str(row.get("digest", ""))
+        if digest and digest not in state.copies:
+            yield self.emit(
+                _loc(state, f"manifest:{row.get('object_id')}"),
+                f"manifest row {row.get('object_id')!r} points at "
+                f"{_short(digest)}, which no replica holds",
+                suggestion="restore the object or retire the manifest "
+                "row",
+            )
+
+
+@rule("VA004", "vault", "error",
+      "quorum configuration can never be satisfied")
+def _quorum_misconfigured(self: Rule, state: VaultState,
+                          context: dict) -> Iterator[Diagnostic]:
+    if state.quorum < 1 or state.quorum > state.replicas:
+        yield self.emit(
+            _loc(state),
+            f"quorum {state.quorum} is outside [1, {state.replicas}] "
+            f"for a {state.replicas}-replica group",
+            suggestion="use a majority quorum "
+            f"({state.replicas // 2 + 1} for {state.replicas} replicas)",
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
-from repro.errors import ArchiveError, ObjectMissingError, QuorumError
+from repro.errors import ArchiveError, QuorumError
 from repro.archive.cas import ContentAddressedStore
 
 __all__ = ["ReplicaGroup", "ReplicaStatus", "RepairAction"]

@@ -413,6 +413,21 @@ class PreservationVault:
             self.telemetry.metrics.gauge("vault_replica_lag",
                                          store=store_name).set(lag)
 
+    def lint(self, horizon_year: int = 2014) -> Any:
+        """Run the static vault rules and return the analysis report.
+
+        Complements :meth:`verify`: the fixity sweep re-hashes payloads,
+        this pass flags structural trouble (sub-quorum objects, manifest
+        drift, at-risk formats without migration lineage) plus schema
+        defects in the manifest catalog, without reading a byte.
+        """
+        from repro.analysis import Analyzer
+
+        analyzer = Analyzer(telemetry=self.telemetry)
+        report = analyzer.analyze_vault(self, horizon_year=horizon_year)
+        report.merge(analyzer.analyze_storage(self.catalog))
+        return report
+
     def status(self) -> dict[str, Any]:
         """One structured view of the vault's health."""
         manifest = self.manifest()

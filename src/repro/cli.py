@@ -120,6 +120,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the raw snapshot as JSON instead of "
                        "the rendered panel")
 
+    lint = commands.add_parser(
+        "lint", help="static analysis: lint workflow/provenance/schema/"
+        "vault documents and report diagnostics")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="JSON documents to lint (workflow, OPM graph "
+                      "or composite bundle)")
+    lint.add_argument("--demo", action="store_true",
+                      help="lint a live synthetic world (workflow + "
+                      "provenance + storage + vault) instead of files")
+    lint.add_argument("--format", choices=("text", "json"),
+                      default="text", dest="output_format")
+    lint.add_argument("--baseline", type=str, default=None,
+                      help="suppression baseline file to apply")
+    lint.add_argument("--write-baseline", type=str, default=None,
+                      help="write current findings to this baseline "
+                      "file and exit 0")
+    lint.add_argument("--disable", action="append", default=[],
+                      metavar="RULE", help="disable a rule id "
+                      "(repeatable)")
+    lint.add_argument("--rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     vault = commands.add_parser(
         "vault", help="preservation vault: content-addressed, "
         "replicated, fixity-audited archive with format migration")
@@ -414,6 +436,90 @@ def _command_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        Analyzer,
+        AnalysisReport,
+        Baseline,
+        default_registry,
+    )
+    from repro.errors import AnalysisError
+
+    registry = default_registry().copy()
+    if args.rules:
+        for entry in registry.catalog():
+            print(f"{entry['id']:<7}{entry['family']:<12}"
+                  f"{entry['severity']:<9}{entry['summary']}")
+        return 0
+    for rule_id in args.disable:
+        registry.disable(rule_id)
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    analyzer = Analyzer(registry=registry, baseline=baseline)
+
+    report = AnalysisReport()
+    if args.demo:
+        report.merge(_lint_demo(analyzer, args.seed))
+    elif not args.paths:
+        print("nothing to lint: pass PATH arguments or --demo",
+              file=sys.stderr)
+        return 2
+    for path in args.paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read {path}: {error}", file=sys.stderr)
+            return 2
+        try:
+            report.merge(analyzer.analyze_document(document, source=path))
+        except AnalysisError as error:
+            print(f"error: {path}: {error}", file=sys.stderr)
+            return 2
+
+    if args.write_baseline:
+        Baseline.from_diagnostics(
+            report.diagnostics).save(args.write_baseline)
+        print(f"baseline with {len(report.diagnostics)} suppression(s) "
+              f"written to {args.write_baseline}")
+        return 0
+    if args.output_format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code
+
+
+def _lint_demo(analyzer, seed: int):
+    """Lint a live synthetic world: workflow, provenance, db, vault."""
+    from repro.archive import PreservationVault
+    from repro.core.preservation import PreservationLevel
+    from repro.curation.species_check import (
+        SpeciesNameChecker,
+        build_species_check_workflow,
+    )
+    from repro.provenance.manager import ProvenanceManager
+    from repro.taxonomy.service import CatalogueService
+
+    catalogue, collection, __ = _small_world(seed, 200, 50, 5)
+    service = CatalogueService(catalogue, availability=0.95, seed=seed)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, service,
+                                 provenance=provenance)
+    checker.run()
+    vault = PreservationVault(provenance=provenance.repository)
+    vault.ingest(collection, PreservationLevel.ANALYSIS_LEVEL)
+
+    report = analyzer.analyze_workflow(
+        build_species_check_workflow(),
+        processor_registry=checker.engine.registry)
+    for run_id in provenance.repository.run_ids():
+        report.merge(analyzer.analyze_graph(
+            provenance.repository.graph_for(run_id)))
+    report.merge(analyzer.analyze_storage(collection.database))
+    report.merge(analyzer.analyze_vault(vault))
+    return report
+
+
 def _command_vault(args: argparse.Namespace) -> int:
     from repro.archive import PreservationVault
     from repro.core.preservation import PreservationLevel, PreservationPolicy
@@ -493,6 +599,7 @@ _COMMANDS = {
     "crossref": _command_crossref,
     "experiments": _command_experiments,
     "explain": _command_explain,
+    "lint": _command_lint,
     "publish": _command_publish,
     "stats": _command_stats,
     "vault": _command_vault,

@@ -18,9 +18,6 @@ from typing import TYPE_CHECKING, Any, Iterator, Mapping
 from repro.errors import QualityError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.provenance.repository import ProvenanceRepository
-    from repro.sounds.collection import SoundCollection
-    from repro.taxonomy.catalogue import CatalogueOfLife
     from repro.workflow.trace import WorkflowTrace
 
 __all__ = ["QualityValue", "AssessmentContext", "AssessmentReport"]

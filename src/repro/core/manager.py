@@ -25,7 +25,6 @@ from repro.core.assessment import (
 )
 from repro.core.dimensions import DimensionRegistry, standard_registry
 from repro.core.metrics import (
-    MetricResult,
     QualityMetric,
     annotated_metric,
     completeness_metric,

@@ -23,9 +23,7 @@ from typing import TYPE_CHECKING, Any
 from repro.errors import QualityError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.provenance.repository import ProvenanceRepository
     from repro.sounds.collection import SoundCollection
-    from repro.workflow.repository import WorkflowRepository
 
 __all__ = ["PreservationLevel", "PreservationPolicy",
            "PreservationPackage", "archive_collection", "CAPABILITIES"]

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from repro.curation.history import CurationHistory
 from repro.taxonomy.catalogue import CatalogueOfLife
+from repro.errors import InvalidNameError
 from repro.taxonomy.nomenclature import normalize_name
+from repro.telemetry import get_telemetry
 
 __all__ = ["NameRepairReport", "NameRepairer"]
 
@@ -64,7 +66,13 @@ class NameRepairer:
                 continue
             try:
                 name = normalize_name(raw)
-            except Exception:
+            except InvalidNameError as error:
+                get_telemetry().events.record("invalid_name_skipped", {
+                    "step": self.STEP,
+                    "record_id": record.record_id,
+                    "raw": raw,
+                    "reason": str(error),
+                })
                 continue
             if name not in verdicts:
                 verdicts[name] = self._suggestion_for(name)

@@ -22,12 +22,14 @@ from typing import Any, Mapping
 
 from repro.core.adapter import WorkflowAdapter
 from repro.curation.history import CurationHistory
+from repro.errors import InvalidNameError
 from repro.provenance.manager import ProvenanceManager
 from repro.sounds.collection import RECORDINGS, SoundCollection
 from repro.storage import Column, ForeignKey, TableSchema, col
 from repro.storage import column_types as ct
 from repro.taxonomy.nomenclature import normalize_name
 from repro.taxonomy.service import CatalogueService
+from repro.telemetry import get_telemetry
 from repro.workflow.engine import WorkflowEngine
 from repro.workflow.model import Processor, Workflow
 from repro.workflow.trace import WorkflowTrace
@@ -236,7 +238,14 @@ class SpeciesNameChecker:
                     continue
                 try:
                     name = normalize_name(raw)
-                except Exception:
+                except InvalidNameError as error:
+                    get_telemetry().events.record(
+                        "invalid_name_kept_raw", {
+                            "step": "species_check.reader",
+                            "record_id": row["record_id"],
+                            "raw": raw,
+                            "reason": str(error),
+                        })
                     name = raw
                 name_records.setdefault(name, []).append(row["record_id"])
             return {

@@ -11,6 +11,7 @@ callers can catch one base class.  Each subsystem has its own branch:
 * :class:`CurationError` — curation pipelines.
 * :class:`ArchiveError` — the preservation vault (CAS, replicas,
   fixity, migration).
+* :class:`AnalysisError` — the static-analysis rule engine.
 """
 
 from __future__ import annotations
@@ -75,6 +76,10 @@ class WorkflowError(ReproError):
 
 class WorkflowValidationError(WorkflowError):
     """A workflow definition is structurally invalid (cycle, dangling link)."""
+
+
+class MissingDefaultError(WorkflowValidationError):
+    """A required input port's default was read, but it declares none."""
 
 
 class UnknownProcessorError(WorkflowError):
@@ -188,3 +193,12 @@ class QuorumError(ArchiveError):
 
 class MigrationError(ArchiveError):
     """A format migration could not be planned or executed."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+class AnalysisError(ReproError):
+    """Misuse of the rule engine (duplicate rule id, unknown rule,
+    malformed baseline or lint document)."""

@@ -10,7 +10,6 @@ statistics.
 
 from __future__ import annotations
 
-import datetime as _dt
 from typing import Any, Iterator
 
 from repro.errors import ReproError

@@ -15,7 +15,6 @@ coordinates) represent the unpublished remainder of the 51.
 
 from __future__ import annotations
 
-import datetime as _dt
 import re
 from typing import Any, Callable
 

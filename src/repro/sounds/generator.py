@@ -35,7 +35,7 @@ import random
 from typing import Any
 
 from repro.geo.climate import ClimateArchive
-from repro.geo.gazetteer import Gazetteer, Place
+from repro.geo.gazetteer import Gazetteer
 from repro.sounds.collection import SoundCollection
 from repro.sounds.fields import (
     ATMOSPHERIC_CONDITIONS,
@@ -50,7 +50,6 @@ from repro.sounds.formats import (
 )
 from repro.sounds.record import SoundRecord
 from repro.taxonomy.catalogue import CatalogueOfLife
-from repro.taxonomy.model import Rank
 
 __all__ = ["CollectionConfig", "GroundTruth", "generate_collection"]
 

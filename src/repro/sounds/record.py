@@ -11,7 +11,7 @@ from __future__ import annotations
 import datetime as _dt
 from typing import Any, Iterator, Mapping
 
-from repro.sounds.fields import FIELDS, field_names, field_spec
+from repro.sounds.fields import FIELDS, field_names
 
 __all__ = ["SoundRecord"]
 

@@ -15,7 +15,6 @@ from typing import Any
 
 from repro.errors import StorageError
 from repro.storage.database import Database
-from repro.storage.schema import TableSchema
 
 __all__ = ["export_csv", "import_csv"]
 

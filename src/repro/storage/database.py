@@ -20,7 +20,7 @@ from repro.errors import (
 from repro.storage.journal import Journal, encode_row
 from repro.storage.predicate import Predicate
 from repro.storage.query import Query
-from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.schema import TableSchema
 from repro.storage.table import Table
 from repro.storage.transactions import Transaction
 

@@ -28,7 +28,7 @@ CLI) can see exactly which path was chosen and why.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.storage.index import SortedIndex
 from repro.storage.predicate import Predicate

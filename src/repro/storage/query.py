@@ -21,9 +21,9 @@ Example::
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
-from repro.errors import StorageError, UnknownColumnError
+from repro.errors import StorageError
 from repro.storage.index import SortedIndex
 from repro.storage.predicate import Predicate, TruePredicate
 from repro.storage.table import Row, Table

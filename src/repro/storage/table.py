@@ -21,7 +21,6 @@ from typing import Any, Callable, Iterable, Iterator, Mapping
 from repro.errors import (
     ConstraintViolation,
     RowNotFoundError,
-    SchemaError,
     UnknownColumnError,
 )
 from repro.storage.index import HashIndex, Index, SortedIndex, build_index

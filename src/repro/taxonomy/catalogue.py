@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.errors import InvalidNameError
 from repro.taxonomy.backbone import TaxonomicBackbone, build_backbone
 from repro.taxonomy.nomenclature import closest_names, normalize_name
 from repro.taxonomy.synonyms import NameChange, SynonymRegistry, generate_changes
@@ -109,7 +110,14 @@ class CatalogueOfLife:
         :attr:`as_of_year`."""
         try:
             queried = normalize_name(name)
-        except Exception:
+        except InvalidNameError as error:
+            from repro.telemetry import get_telemetry
+
+            get_telemetry().events.record("invalid_name_not_found", {
+                "step": "catalogue.resolve",
+                "raw": name,
+                "reason": str(error),
+            })
             return NameResolution(name, "not_found")
         current, chain = self.registry.current_name(
             queried, as_of_year=self.as_of_year

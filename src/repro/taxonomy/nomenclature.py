@@ -156,7 +156,12 @@ def levenshtein(left: str, right: str, limit: int | None = None) -> int:
         if limit is not None and best > limit:
             return limit + 1
         previous = current
-    return previous[-1]
+    distance = previous[-1]
+    # the row-minimum band check can pass while the final cell still
+    # exceeds the limit; keep the contract of capping at limit + 1
+    if limit is not None and distance > limit:
+        return limit + 1
+    return distance
 
 
 def closest_names(target: str, candidates: Iterable[str],

@@ -19,7 +19,6 @@ from typing import Iterable, Iterator
 
 from repro.errors import TaxonomyError
 from repro.taxonomy.backbone import TaxonomicBackbone
-from repro.taxonomy.model import Rank
 
 __all__ = ["NameChange", "SynonymRegistry", "generate_changes",
            "CHANGE_REASONS"]

@@ -116,6 +116,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("preservation vault")
         lines.append("-" * 64)
         lines.extend(vault_lines)
+
+    analysis_lines = _analysis_panel(metrics)
+    if analysis_lines:
+        lines.append("")
+        lines.append("static analysis")
+        lines.append("-" * 64)
+        lines.extend(analysis_lines)
     return "\n".join(lines)
 
 
@@ -154,6 +161,36 @@ def _vault_panel(metrics: Mapping[str, Any]) -> list[str]:
     if lags:
         lines.append(f"  replica lag max {_fmt(max(lags))} object(s)")
     return lines
+
+
+def _analysis_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """The lint activity summary for :func:`render_report` (empty when
+    no ``analysis_*`` series have been recorded)."""
+    if not any(series.split("{", 1)[0].startswith("analysis_")
+               for series in metrics):
+        return []
+    by_severity: dict[str, float] = {}
+    for series, data in metrics.items():
+        if (series.split("{", 1)[0] == "analysis_diagnostics_total"
+                and data.get("type") == "counter"):
+            label = series.split("{", 1)[1].rstrip("}")
+            labels = dict(part.split("=", 1) for part in label.split(","))
+            severity = labels.get("severity", "unknown")
+            by_severity[severity] = (
+                by_severity.get(severity, 0) + data["value"]
+            )
+    severities = ", ".join(
+        f"{_fmt(by_severity[severity])} {severity}"
+        for severity in ("error", "warning", "info")
+        if severity in by_severity
+    ) or "none"
+    return [
+        f"  rule passes {_fmt(_family_total(metrics, 'analysis_runs_total'))},"
+        f" diagnostics {_fmt(_family_total(metrics, 'analysis_diagnostics_total'))}"
+        f" ({severities})",
+        f"  baseline-suppressed "
+        f"{_fmt(_family_total(metrics, 'analysis_suppressed_total'))}",
+    ]
 
 
 def quality_signals(snapshot: Mapping[str, Any]) -> dict[str, Any]:

@@ -24,7 +24,7 @@ act on — the same review-queue pattern the metadata side uses.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from repro.errors import WorkflowError
 from repro.workflow.builtins import FUNCTION_TABLE

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import WorkflowValidationError
+from repro.errors import MissingDefaultError, WorkflowValidationError
 
 __all__ = ["InputPort", "OutputPort"]
 
@@ -48,8 +48,10 @@ class InputPort:
     @property
     def default(self) -> Any:
         if self.required:
-            raise WorkflowValidationError(
-                f"port {self.name!r} has no default"
+            raise MissingDefaultError(
+                f"input port {self.name!r} is required and declares "
+                "no default; link a value to it or construct the port "
+                "with default=..."
             )
         return self._default
 

@@ -25,6 +25,8 @@ class WorkflowRepository:
 
     def __init__(self, database: Database | None = None) -> None:
         self.database = database or Database("workflow_repository")
+        #: report from the most recent ``save(..., lint=True)``
+        self.last_lint: Any = None
         if not self.database.has_table(_TABLE):
             self.database.create_table(TableSchema(_TABLE, [
                 Column("id", ct.INTEGER),
@@ -35,9 +37,19 @@ class WorkflowRepository:
             ], primary_key="id"))
             self.database.create_index(_TABLE, "name", "hash")
 
-    def save(self, workflow: Workflow) -> int:
-        """Store ``workflow`` as a new version; returns the version."""
+    def save(self, workflow: Workflow, lint: bool = False) -> int:
+        """Store ``workflow`` as a new version; returns the version.
+
+        With ``lint=True`` the workflow rule family also runs and its
+        report lands on :attr:`last_lint` — warnings never block the
+        save (``validate`` already rejected anything fatal), they
+        surface what a curator may still want to tidy.
+        """
         workflow.validate()
+        if lint:
+            from repro.analysis import Analyzer
+
+            self.last_lint = Analyzer().analyze_workflow(workflow)
         version = self.latest_version(workflow.name) + 1
         next_id = self.database.count(_TABLE) + 1
         # ids may have gaps after deletes; probe forward

@@ -28,7 +28,6 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import xml.etree.ElementTree as ET
-from typing import Any
 
 from repro.errors import SerializationError
 from repro.workflow.annotations import AnnotationAssertion

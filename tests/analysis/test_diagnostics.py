@@ -1,0 +1,87 @@
+"""Diagnostic and AnalysisReport behaviour."""
+
+import pytest
+
+from repro.analysis import AnalysisReport, Diagnostic
+from repro.errors import AnalysisError
+
+
+def _diag(rule="WF001", severity="warning", message="m",
+          location="workflow:w/processor:p", **kwargs):
+    return Diagnostic(rule, severity, message, location, **kwargs)
+
+
+class TestDiagnostic:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(AnalysisError):
+            _diag(severity="fatal")
+
+    def test_fingerprint_stable_and_excludes_source(self):
+        a = _diag(source="a.json")
+        b = _diag(source="b.json")
+        assert a.fingerprint == b.fingerprint
+        assert len(a.fingerprint) == 16
+
+    def test_fingerprint_differs_by_rule_location_message(self):
+        base = _diag()
+        assert _diag(rule="WF002").fingerprint != base.fingerprint
+        assert _diag(location="x").fingerprint != base.fingerprint
+        assert _diag(message="other").fingerprint != base.fingerprint
+
+    def test_format_includes_suggestion_and_source(self):
+        text = _diag(suggestion="do the thing", source="wf.json").format()
+        assert "WF001" in text
+        assert "wf.json: " in text
+        assert "fix: do the thing" in text
+
+    def test_roundtrip(self):
+        original = _diag(suggestion="s", family="workflow", source="f.json")
+        copy = Diagnostic.from_dict(original.to_dict())
+        assert copy == original
+        assert copy.suggestion == "s"
+        assert copy.family == "workflow"
+
+
+class TestAnalysisReport:
+    def test_sorted_by_severity_then_rule(self):
+        report = AnalysisReport([
+            _diag(rule="WF005", severity="info"),
+            _diag(rule="WF006", severity="error"),
+            _diag(rule="WF002", severity="warning"),
+        ])
+        assert [d.severity for d in report.sorted()] == \
+            ["error", "warning", "info"]
+
+    def test_exit_code_follows_errors(self):
+        assert AnalysisReport([_diag()]).exit_code == 0
+        assert AnalysisReport([_diag(severity="error")]).exit_code == 1
+        assert AnalysisReport().exit_code == 0
+
+    def test_merge_accumulates(self):
+        left = AnalysisReport([_diag()])
+        left.families_run.append("workflow")
+        right = AnalysisReport([_diag(rule="PR001", severity="error")])
+        right.suppressed = 2
+        right.families_run.extend(["provenance", "workflow"])
+        left.merge(right)
+        assert len(left) == 2
+        assert left.suppressed == 2
+        assert left.families_run == ["workflow", "provenance"]
+
+    def test_counts_and_render(self):
+        report = AnalysisReport([
+            _diag(severity="error"), _diag(severity="warning"),
+            _diag(severity="warning"),
+        ])
+        report.suppressed = 1
+        assert report.counts() == {"error": 1, "warning": 2, "info": 0}
+        rendered = report.render()
+        assert "1 error(s), 2 warning(s), 0 info" in rendered
+        assert "1 suppressed by baseline" in rendered
+
+    def test_to_dict_shape(self):
+        payload = AnalysisReport([_diag(severity="error")]).to_dict()
+        assert payload["exit_code"] == 1
+        assert payload["summary"]["total"] == 1
+        assert payload["diagnostics"][0]["rule"] == "WF001"
+        assert "fingerprint" in payload["diagnostics"][0]

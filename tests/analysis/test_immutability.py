@@ -1,0 +1,166 @@
+"""Analyzers are observers: they never mutate what they analyze.
+
+A linter that silently repairs (or damages) the object under analysis
+would corrupt the provenance record it is meant to protect, so the
+no-mutation property is pinned both on hand-built subjects and, via
+Hypothesis, across randomly generated lint bundles.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Analyzer, GraphState, VaultState
+from repro.workflow.model import Workflow
+
+_NAMES = st.text(
+    alphabet="abcdefghij_", min_size=1, max_size=8
+).filter(lambda s: s.strip("_"))
+
+
+@st.composite
+def workflow_documents(draw):
+    processors = draw(st.lists(
+        st.fixed_dictionaries({
+            "name": _NAMES,
+            "kind": st.sampled_from(
+                ["identity", "length", "distinct", "teleport"]),
+            "inputs": st.lists(
+                st.fixed_dictionaries({"name": _NAMES,
+                                       "required": st.booleans()}),
+                max_size=2, unique_by=lambda p: p["name"]),
+            "outputs": st.lists(
+                st.fixed_dictionaries({"name": _NAMES}),
+                max_size=2, unique_by=lambda p: p["name"]),
+        }),
+        min_size=1, max_size=4, unique_by=lambda p: p["name"]))
+    names = [p["name"] for p in processors] + [Workflow.IO]
+    links = draw(st.lists(
+        st.fixed_dictionaries({
+            "source": st.sampled_from(names),
+            "source_port": _NAMES,
+            "sink": st.sampled_from(names),
+            "sink_port": _NAMES,
+        }),
+        max_size=5))
+    return {"name": draw(_NAMES), "processors": processors,
+            "links": links}
+
+
+@st.composite
+def graph_documents(draw):
+    node_ids = draw(st.lists(_NAMES, min_size=1, max_size=5,
+                             unique=True))
+    nodes = [
+        {"id": node_id,
+         "kind": draw(st.sampled_from(["artifact", "process", "agent"])),
+         "annotations": draw(st.dictionaries(
+             _NAMES, st.integers(0, 9), max_size=2))}
+        for node_id in node_ids
+    ]
+    endpoint = st.sampled_from(node_ids + ["missing_node"])
+    edges = draw(st.lists(
+        st.fixed_dictionaries({
+            "kind": st.sampled_from(
+                ["used", "wasGeneratedBy", "wasDerivedFrom", "bogus"]),
+            "effect": endpoint,
+            "cause": endpoint,
+        }),
+        max_size=6))
+    return {"id": draw(_NAMES), "nodes": nodes, "edges": edges}
+
+
+@st.composite
+def vault_documents(draw):
+    digests = draw(st.lists(_NAMES, min_size=1, max_size=4, unique=True))
+    return {
+        "name": draw(_NAMES),
+        "replicas": draw(st.integers(0, 4)),
+        "quorum": draw(st.integers(0, 5)),
+        "objects": [{"digest": digest,
+                     "copies": draw(st.integers(0, 4))}
+                    for digest in digests],
+        "manifest": draw(st.lists(
+            st.fixed_dictionaries({
+                "object_id": _NAMES,
+                "digest": st.sampled_from(digests + ["gone"]),
+                "kind": st.sampled_from(["record", "package"]),
+                "format": st.sampled_from(["WAV", "ATRAC",
+                                           "magnetic tape"]),
+                "source_digest": st.sampled_from(digests + [""]),
+                "superseded": st.booleans(),
+            }),
+            max_size=4)),
+    }
+
+
+def _snapshot_workflow(workflow):
+    return json.dumps(workflow.to_dict(), sort_keys=True, default=str)
+
+
+class TestNoMutation:
+    @settings(max_examples=40, deadline=None)
+    @given(workflow_documents())
+    def test_workflow_analysis_never_mutates(self, document):
+        workflow = Workflow.from_dict(document)
+        before = _snapshot_workflow(workflow)
+        Analyzer().analyze_workflow(workflow)
+        assert _snapshot_workflow(workflow) == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_documents())
+    def test_graph_analysis_never_mutates(self, document):
+        before = json.dumps(document, sort_keys=True)
+        Analyzer().analyze_graph(GraphState.from_dict(document))
+        assert json.dumps(document, sort_keys=True) == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(vault_documents())
+    def test_vault_analysis_never_mutates(self, document):
+        before = json.dumps(document, sort_keys=True)
+        Analyzer().analyze_vault(VaultState.from_dict(document))
+        assert json.dumps(document, sort_keys=True) == before
+
+    def test_storage_analysis_never_mutates_live_database(self):
+        from repro.storage import Column, Database, ForeignKey, TableSchema
+        from repro.storage import column_types as ct
+
+        database = Database("frozen")
+        database.create_table(TableSchema("parents", [
+            Column("parent_id", ct.INTEGER),
+        ], primary_key="parent_id"))
+        database.create_table(TableSchema("children", [
+            Column("child_id", ct.INTEGER),
+            Column("parent_id", ct.INTEGER),
+        ], primary_key="child_id",
+            foreign_keys=[ForeignKey("parent_id", "parents",
+                                     "parent_id")]))
+        database.insert("parents", {"parent_id": 1})
+        database.insert("children", {"child_id": 1, "parent_id": 1})
+        before = {
+            name: (database.table(name).schema.to_dict(),
+                   database.table(name).stats(),
+                   database.query(name).all())
+            for name in database.table_names()
+        }
+        Analyzer().analyze_storage(database)
+        after = {
+            name: (database.table(name).schema.to_dict(),
+                   database.table(name).stats(),
+                   database.query(name).all())
+            for name in database.table_names()
+        }
+        assert after == before
+
+    def test_live_graph_analysis_never_mutates(self):
+        from repro.provenance.opm import OPMGraph
+        from repro.provenance.serialization import graph_to_json
+
+        graph = OPMGraph("g")
+        graph.add_artifact("a:x")
+        graph.add_process("p:y", annotations={"to_format": "WAV"})
+        graph.was_generated_by("a:x", "p:y")
+        before = graph_to_json(graph)
+        Analyzer().analyze_graph(graph)
+        assert graph_to_json(graph) == before

@@ -1,0 +1,149 @@
+"""Cross-subsystem wiring: repository lint, vault lint, telemetry, and
+the narrowed exception handlers that now report what they swallow."""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.errors import MissingDefaultError, WorkflowValidationError
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.ports import InputPort
+
+
+def _quality_workflow():
+    wf = Workflow("stored")
+    wf.add_processor(Processor(
+        "reader", "select_field", inputs=["records"], outputs=["values"],
+        annotations=[AnnotationAssertion("Q(reliability): 0.9;")]))
+    wf.map_input("records", "reader", "records")
+    wf.map_output("values", "reader", "values")
+    return wf
+
+
+class TestMissingDefault:
+    def test_required_port_raises_dedicated_error(self):
+        port = InputPort("records")
+        with pytest.raises(MissingDefaultError) as excinfo:
+            port.default
+        assert "required" in str(excinfo.value)
+        assert "records" in str(excinfo.value)
+
+    def test_subclasses_validation_error(self):
+        with pytest.raises(WorkflowValidationError):
+            InputPort("records").default
+
+    def test_optional_port_unaffected(self):
+        assert InputPort("records", default=[]).default == []
+
+
+class TestRepositoryLint:
+    def test_save_without_lint_by_default(self):
+        from repro.workflow.repository import WorkflowRepository
+
+        repository = WorkflowRepository()
+        repository.save(_quality_workflow())
+        assert repository.last_lint is None
+
+    def test_save_with_lint_surfaces_report(self):
+        from repro.workflow.repository import WorkflowRepository
+
+        repository = WorkflowRepository()
+        wf = _quality_workflow()
+        wf.add_processor(Processor(
+            "bare", "identity", inputs=["value"], outputs=["value"]))
+        wf.link("reader", "values", "bare", "value")
+        wf.map_output("raw", "bare", "value")
+        version = repository.save(wf, lint=True)
+        assert version == 1
+        assert repository.last_lint is not None
+        assert "WF005" in repository.last_lint.rule_ids()
+        # warnings never block the save
+        assert repository.load("stored").name == "stored"
+
+
+class TestVaultLint:
+    def test_vault_lint_covers_vault_and_catalog(self, isolated_telemetry):
+        from repro.archive import PreservationVault
+
+        vault = PreservationVault(replicas=3)
+        report = vault.lint()
+        assert set(report.families_run) == {"vault", "storage"}
+        assert "VA004" not in report.rule_ids()
+        metrics = isolated_telemetry.snapshot()["metrics"]
+        assert "analysis_runs_total{family=vault}" in metrics
+
+
+class TestTelemetryWiring:
+    def test_counters_recorded(self, isolated_telemetry):
+        wf = _quality_workflow()
+        wf.processors["reader"].kind = "ghost_kind"
+        Analyzer().analyze_workflow(wf)
+        metrics = isolated_telemetry.snapshot()["metrics"]
+        assert metrics["analysis_runs_total{family=workflow}"][
+            "value"] == 1
+        assert metrics[
+            "analysis_diagnostics_total{rule=WF006,severity=error}"
+        ]["value"] == 1
+
+    def test_report_panel_renders(self, isolated_telemetry):
+        wf = _quality_workflow()
+        wf.processors["reader"].kind = "ghost_kind"
+        Analyzer().analyze_workflow(wf)
+        rendered = isolated_telemetry.render_report()
+        assert "static analysis" in rendered
+        assert "rule passes" in rendered
+
+    def test_suppressed_counter(self, isolated_telemetry):
+        from repro.analysis import Baseline
+
+        wf = _quality_workflow()
+        wf.processors["reader"].kind = "ghost_kind"
+        first = Analyzer().analyze_workflow(wf)
+        baseline = Baseline.from_diagnostics(first.diagnostics)
+        second = Analyzer(baseline=baseline).analyze_workflow(wf)
+        assert second.diagnostics == []
+        assert second.suppressed == len(first.diagnostics)
+        metrics = isolated_telemetry.snapshot()["metrics"]
+        assert metrics["analysis_suppressed_total"]["value"] == \
+            second.suppressed
+
+
+class TestNarrowedHandlers:
+    def _events(self, telemetry, name):
+        return [e for e in telemetry.snapshot()["events"]["events"]
+                if e["event"] == name]
+
+    def test_catalogue_resolve_reports_invalid_name(
+            self, small_catalogue, isolated_telemetry):
+        resolution = small_catalogue.resolve("   ")
+        assert resolution.status == "not_found"
+        events = self._events(isolated_telemetry,
+                              "invalid_name_not_found")
+        assert events and events[0]["step"] == "catalogue.resolve"
+
+    def test_name_repair_reports_invalid_name(
+            self, small_collection, small_catalogue, isolated_telemetry):
+        from repro.curation.history import CurationHistory
+        from repro.curation.name_repair import NameRepairer
+
+        # plant one unparseable species value in the live table
+        database = small_collection.database
+        rowid = database.rowid_for("recordings", 1)
+        database.update("recordings", rowid, {"species": "   "})
+        history = CurationHistory(small_collection)
+        NameRepairer(history, small_catalogue).run()
+        events = self._events(isolated_telemetry, "invalid_name_skipped")
+        assert events and events[0]["record_id"] == 1
+
+    def test_species_check_reader_reports_invalid_name(
+            self, small_collection, reliable_service, isolated_telemetry):
+        from repro.curation.species_check import SpeciesNameChecker
+
+        database = small_collection.database
+        rowid = database.rowid_for("recordings", 1)
+        database.update("recordings", rowid, {"species": "   "})
+        checker = SpeciesNameChecker(small_collection, reliable_service)
+        checker.run()
+        events = self._events(isolated_telemetry,
+                              "invalid_name_kept_raw")
+        assert events and events[0]["record_id"] == 1

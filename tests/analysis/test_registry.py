@@ -1,0 +1,107 @@
+"""Rule registry, enablement and suppression baselines."""
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Diagnostic,
+    Rule,
+    RuleRegistry,
+    default_registry,
+)
+from repro.errors import AnalysisError
+
+
+def _noop_check(rule, subject, context):
+    return iter(())
+
+
+def _rule(rule_id="XX001", family="workflow", severity="warning"):
+    return Rule(rule_id, family, severity, "test rule", _noop_check)
+
+
+class TestRule:
+    def test_rejects_unknown_family_and_severity(self):
+        with pytest.raises(AnalysisError):
+            Rule("X1", "nope", "warning", "s", _noop_check)
+        with pytest.raises(AnalysisError):
+            Rule("X1", "workflow", "nope", "s", _noop_check)
+
+    def test_emit_uses_default_and_override_severity(self):
+        rule = _rule()
+        assert rule.emit("loc", "msg").severity == "warning"
+        assert rule.emit("loc", "msg", severity="error").severity == "error"
+        assert rule.emit("loc", "msg").family == "workflow"
+
+
+class TestRuleRegistry:
+    def test_duplicate_registration_raises(self):
+        registry = RuleRegistry()
+        registry.register(_rule())
+        with pytest.raises(AnalysisError):
+            registry.register(_rule())
+
+    def test_disable_unknown_rule_raises(self):
+        registry = RuleRegistry()
+        with pytest.raises(AnalysisError):
+            registry.disable("GHOST")
+
+    def test_disable_enable_cycle(self):
+        registry = RuleRegistry()
+        registry.register(_rule())
+        assert registry.is_enabled("XX001")
+        registry.disable("XX001")
+        assert not registry.is_enabled("XX001")
+        assert registry.enabled_rules("workflow") == []
+        registry.enable("XX001")
+        assert registry.is_enabled("XX001")
+
+    def test_copy_isolates_enablement(self):
+        registry = RuleRegistry()
+        registry.register(_rule())
+        clone = registry.copy()
+        clone.disable("XX001")
+        assert registry.is_enabled("XX001")
+        assert not clone.is_enabled("XX001")
+
+    def test_default_registry_has_all_families(self):
+        registry = default_registry()
+        families = {rule.family for rule in registry}
+        assert families == {"workflow", "provenance", "storage", "vault"}
+        assert len(registry) >= 20
+
+    def test_catalog_is_plain_data(self):
+        entry = default_registry().catalog()[0]
+        assert set(entry) == {"id", "family", "severity", "summary",
+                              "enabled"}
+
+
+class TestBaseline:
+    def _diagnostic(self, message="msg"):
+        return Diagnostic("WF001", "warning", message, "workflow:w")
+
+    def test_suppresses_by_fingerprint(self):
+        diagnostic = self._diagnostic()
+        baseline = Baseline.from_diagnostics([diagnostic])
+        assert baseline.suppresses(diagnostic)
+        assert not baseline.suppresses(self._diagnostic("other"))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_diagnostics([self._diagnostic()]).save(path)
+        loaded = Baseline.load(path)
+        assert loaded.suppresses(self._diagnostic())
+        assert len(loaded) == 1
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            Baseline.load(tmp_path / "absent.json")
+
+    def test_load_malformed_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(bad)
+        bad.write_text("{}", encoding="utf-8")
+        with pytest.raises(AnalysisError):
+            Baseline.load(bad)

@@ -1,0 +1,137 @@
+"""Storage rule family (ST0xx)."""
+
+import pytest
+
+from repro.analysis import Analyzer, SchemaSet
+from repro.storage import Column, Database, ForeignKey, TableSchema
+from repro.storage import column_types as ct
+
+
+@pytest.fixture
+def analyzer():
+    return Analyzer()
+
+
+def _column(name, type_name="INTEGER", **kwargs):
+    return {"name": name, "type": type_name, "nullable": True,
+            "unique": False, "default": None, **kwargs}
+
+
+def _clean_doc():
+    """A schema document no rule should fire on."""
+    return {
+        "name": "catalog",
+        "tables": [
+            {"schema": {"name": "species",
+                        "columns": [_column("species_id",
+                                            nullable=False)],
+                        "primary_key": "species_id",
+                        "foreign_keys": []},
+             "indexes": []},
+            {"schema": {"name": "recordings",
+                        "columns": [_column("record_id", nullable=False),
+                                    _column("species_id")],
+                        "primary_key": "record_id",
+                        "foreign_keys": [
+                            {"column": "species_id",
+                             "parent_table": "species",
+                             "parent_column": "species_id"}]},
+             "indexes": [{"column": "species_id", "kind": "hash"}]},
+        ],
+    }
+
+
+def _fired(analyzer, doc):
+    return set(analyzer.analyze_storage(
+        SchemaSet.from_dict(doc)).rule_ids())
+
+
+class TestCleanSchemas:
+    def test_no_diagnostics(self, analyzer):
+        assert _fired(analyzer, _clean_doc()) == set()
+
+
+class TestStorageRules:
+    def test_st001_missing_parent_table(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"].pop(0)  # drop species
+        fired = _fired(analyzer, doc)
+        assert "ST001" in fired
+        assert "ST002" not in fired  # not double-reported
+
+    def test_st002_missing_parent_column(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][1]["schema"]["foreign_keys"][0]["parent_column"] = \
+            "ghost_id"
+        fired = _fired(analyzer, doc)
+        assert "ST002" in fired
+        assert "ST001" not in fired
+
+    def test_st003_unindexed_fk(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][1]["indexes"] = []
+        report = analyzer.analyze_storage(SchemaSet.from_dict(doc))
+        fired = [d for d in report.diagnostics if d.rule_id == "ST003"]
+        assert len(fired) == 1
+        assert "create_index" in fired[0].suggestion
+
+    def test_st004_duplicate_declaration(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][1]["indexes"].append(
+            {"column": "species_id", "kind": "btree"})
+        assert "ST004" in _fired(analyzer, doc)
+
+    def test_st004_useless_cardinality(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][1]["stats"] = {
+            "rows": 50,
+            "indexes": {"species_id": {"kind": "hash", "entries": 50,
+                                       "cardinality": 1}},
+        }
+        fired = [d for d in analyzer.analyze_storage(
+            SchemaSet.from_dict(doc)).diagnostics
+            if d.rule_id == "ST004"]
+        assert len(fired) == 1
+        assert "cardinality" in fired[0].message
+
+    def test_st005_invalid_schema(self, analyzer):
+        doc = _clean_doc()
+        # FK on a column the child table doesn't have: the engine would
+        # reject this schema at construction
+        doc["tables"][1]["schema"]["foreign_keys"][0]["column"] = "ghost"
+        fired = _fired(analyzer, doc)
+        assert "ST005" in fired
+
+    def test_st006_fk_target_not_unique(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][0]["schema"]["columns"].append(_column("region"))
+        doc["tables"][1]["schema"]["foreign_keys"][0]["parent_column"] = \
+            "region"
+        assert "ST006" in _fired(analyzer, doc)
+
+    def test_unique_parent_column_is_accepted(self, analyzer):
+        doc = _clean_doc()
+        doc["tables"][0]["schema"]["columns"].append(
+            _column("code", "TEXT", unique=True))
+        doc["tables"][1]["schema"]["foreign_keys"][0]["parent_column"] = \
+            "code"
+        assert "ST006" not in _fired(analyzer, doc)
+
+
+class TestFromDatabase:
+    def test_live_database_snapshot(self, analyzer):
+        database = Database("live")
+        database.create_table(TableSchema("parents", [
+            Column("parent_id", ct.INTEGER),
+        ], primary_key="parent_id"))
+        database.create_table(TableSchema("children", [
+            Column("child_id", ct.INTEGER),
+            Column("parent_id", ct.INTEGER),
+        ], primary_key="child_id",
+            foreign_keys=[ForeignKey("parent_id", "parents",
+                                     "parent_id")]))
+        report = analyzer.analyze_storage(database)
+        # the FK column has no index -> ST003, and nothing else
+        assert report.rule_ids() == ["ST003"]
+        database.create_index("children", "parent_id", "hash")
+        assert analyzer.analyze_storage(database).rule_ids() == []

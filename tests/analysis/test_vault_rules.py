@@ -1,0 +1,106 @@
+"""Vault rule family (VA0xx)."""
+
+import pytest
+
+from repro.analysis import Analyzer, VaultState
+
+
+@pytest.fixture
+def analyzer():
+    return Analyzer()
+
+
+def _clean_doc():
+    return {
+        "name": "vault",
+        "replicas": 3,
+        "quorum": 2,
+        "horizon_year": 2014,
+        "objects": [
+            {"digest": "aaa1", "copies": 3},
+            {"digest": "bbb2", "copies": 3},
+        ],
+        "manifest": [
+            {"object_id": "record/1", "digest": "aaa1", "kind": "record",
+             "format": "WAV", "source_digest": "", "superseded": False},
+            {"object_id": "record/2", "digest": "bbb2", "kind": "record",
+             "format": "AIFF", "source_digest": "", "superseded": False},
+        ],
+    }
+
+
+def _fired(analyzer, doc):
+    return set(analyzer.analyze_vault(
+        VaultState.from_dict(doc)).rule_ids())
+
+
+class TestCleanVault:
+    def test_no_diagnostics(self, analyzer):
+        assert _fired(analyzer, _clean_doc()) == set()
+
+
+class TestVaultRules:
+    def test_va001_below_quorum(self, analyzer):
+        doc = _clean_doc()
+        doc["objects"][0]["copies"] = 1
+        report = analyzer.analyze_vault(VaultState.from_dict(doc))
+        fired = [d for d in report.diagnostics if d.rule_id == "VA001"]
+        assert len(fired) == 1
+        assert fired[0].severity == "error"
+
+    def test_va002_at_risk_unmigrated(self, analyzer):
+        doc = _clean_doc()
+        doc["manifest"][0]["format"] = "ATRAC"  # era ended 2013
+        fired = [d for d in analyzer.analyze_vault(
+            VaultState.from_dict(doc)).diagnostics
+            if d.rule_id == "VA002"]
+        assert len(fired) == 1
+        assert "ATRAC" in fired[0].message
+
+    def test_va002_migrated_object_is_accepted(self, analyzer):
+        doc = _clean_doc()
+        doc["manifest"][0]["format"] = "ATRAC"
+        doc["objects"].append({"digest": "ccc3", "copies": 3})
+        doc["manifest"].append(
+            {"object_id": "record/1/wav", "digest": "ccc3",
+             "kind": "record", "format": "WAV",
+             "source_digest": "aaa1", "superseded": False})
+        assert "VA002" not in _fired(analyzer, doc)
+
+    def test_va002_horizon_is_respected(self, analyzer):
+        doc = _clean_doc()
+        doc["manifest"][0]["format"] = "ATRAC"
+        doc["horizon_year"] = 2010  # ATRAC era still open then
+        assert "VA002" not in _fired(analyzer, doc)
+
+    def test_va003_manifest_drift(self, analyzer):
+        doc = _clean_doc()
+        doc["manifest"].append(
+            {"object_id": "record/ghost", "digest": "dddd",
+             "kind": "record", "format": "WAV", "source_digest": "",
+             "superseded": False})
+        fired = [d for d in analyzer.analyze_vault(
+            VaultState.from_dict(doc)).diagnostics
+            if d.rule_id == "VA003"]
+        assert len(fired) == 1
+        assert "record/ghost" in fired[0].location
+
+    def test_va004_quorum_misconfigured(self, analyzer):
+        doc = _clean_doc()
+        doc["quorum"] = 4  # > replicas
+        assert "VA004" in _fired(analyzer, doc)
+        doc["quorum"] = 0
+        assert "VA004" in _fired(analyzer, doc)
+
+
+class TestFromVault:
+    def test_live_vault_snapshot(self, analyzer):
+        from repro.archive import PreservationVault
+
+        vault = PreservationVault(replicas=3)
+        state = VaultState.from_vault(vault)
+        assert state.replicas == 3
+        assert state.quorum == vault.group.quorum
+        report = analyzer.analyze_vault(vault)
+        assert "VA001" not in report.rule_ids()
+        assert "VA004" not in report.rule_ids()

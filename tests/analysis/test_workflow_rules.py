@@ -1,0 +1,153 @@
+"""Workflow rule family (WF0xx)."""
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.workflow.annotations import AnnotationAssertion
+from repro.workflow.model import Processor, Workflow
+
+
+@pytest.fixture
+def analyzer():
+    return Analyzer()
+
+
+def _annotated(name, kind, inputs, outputs, q="Q(reliability): 0.9;"):
+    return Processor(name, kind, inputs=inputs, outputs=outputs,
+                     annotations=[AnnotationAssertion(q)])
+
+
+def _clean_workflow():
+    """A workflow no rule should fire on."""
+    wf = Workflow("clean")
+    wf.add_processor(_annotated("reader", "select_field",
+                                ["records"], ["values"]))
+    wf.add_processor(_annotated("counter", "length",
+                                ["values"], ["count"]))
+    wf.map_input("records", "reader", "records")
+    wf.link("reader", "values", "counter", "values")
+    wf.map_output("count", "counter", "count")
+    return wf
+
+
+def _rules_fired(analyzer, workflow):
+    return set(analyzer.analyze_workflow(workflow).rule_ids())
+
+
+class TestCleanWorkflow:
+    def test_no_diagnostics(self, analyzer):
+        assert _rules_fired(analyzer, _clean_workflow()) == set()
+
+
+class TestWorkflowRules:
+    def test_wf001_unreachable_processor(self, analyzer):
+        wf = _clean_workflow()
+        # fed only by a processor that doesn't exist in any source path:
+        # an island fed by another island member (mutually reachable
+        # only from each other, no source or IO feed)
+        wf.add_processor(_annotated("island_a", "identity",
+                                    ["value"], ["value"]))
+        wf.add_processor(_annotated("island_b", "identity",
+                                    ["value"], ["value"]))
+        wf.link("island_a", "value", "island_b", "value")
+        wf.link("island_b", "value", "island_a", "value")
+        fired = _rules_fired(analyzer, wf)
+        assert "WF001" in fired
+
+    def test_wf002_dead_end_output(self, analyzer):
+        wf = _clean_workflow()
+        from repro.workflow.ports import OutputPort
+        wf.processors["reader"].output_ports["extra"] = OutputPort("extra")
+        report = analyzer.analyze_workflow(wf)
+        locations = [d.location for d in report.diagnostics
+                     if d.rule_id == "WF002"]
+        assert locations == ["workflow:clean/processor:reader/output:extra"]
+
+    def test_wf003_unused_workflow_input(self, analyzer):
+        wf = _clean_workflow()
+        wf.add_processor(_annotated("sink_only", "length",
+                                    ["values"], ["count"]))
+        wf.map_input("dangling", "sink_only", "values")
+        # sink_only's output feeds nothing, so input "dangling" never
+        # influences a workflow output
+        fired = _rules_fired(analyzer, wf)
+        assert "WF003" in fired
+
+    def test_wf004_duplicate_and_conflicting_fan_in(self, analyzer):
+        wf = _clean_workflow()
+        wf.links.append(wf.links[1])  # duplicate reader->counter link
+        report = analyzer.analyze_workflow(wf)
+        duplicates = [d for d in report.diagnostics if d.rule_id == "WF004"]
+        assert len(duplicates) == 1
+        assert duplicates[0].severity == "warning"
+
+        wf2 = _clean_workflow()
+        wf2.add_processor(_annotated("rival", "select_field",
+                                     ["records"], ["values"]))
+        wf2.map_input("records", "rival", "records")
+        wf2.link("rival", "values", "counter", "values")
+        conflict = [d for d in analyzer.analyze_workflow(wf2).diagnostics
+                    if d.rule_id == "WF004"]
+        assert conflict and conflict[0].severity == "error"
+
+    def test_wf005_missing_quality_annotation(self, analyzer):
+        wf = _clean_workflow()
+        wf.add_processor(Processor("bare", "identity",
+                                   inputs=["value"], outputs=["value"]))
+        wf.link("reader", "values", "bare", "value")
+        wf.map_output("raw", "bare", "value")
+        report = analyzer.analyze_workflow(wf)
+        fired = [d for d in report.diagnostics if d.rule_id == "WF005"]
+        assert [d.severity for d in fired] == ["info"]
+        assert "bare" in fired[0].location
+
+    def test_wf006_unknown_kind(self, analyzer):
+        wf = _clean_workflow()
+        wf.processors["reader"].kind = "teleporter"
+        fired = _rules_fired(analyzer, wf)
+        assert "WF006" in fired
+
+    def test_wf006_respects_custom_registry(self):
+        from repro.workflow.builtins import builtin_registry
+
+        registry = builtin_registry().copy()
+        registry.register_function("teleporter", lambda inputs: {})
+        wf = _clean_workflow()
+        wf.processors["reader"].kind = "teleporter"
+        report = Analyzer().analyze_workflow(
+            wf, processor_registry=registry)
+        assert "WF006" not in report.rule_ids()
+
+    def test_wf007_unknown_quality_dimension(self, analyzer):
+        wf = _clean_workflow()
+        wf.processors["reader"].annotate(
+            AnnotationAssertion("Q(coolness): 1;"))
+        fired = _rules_fired(analyzer, wf)
+        assert "WF007" in fired
+
+    def test_wf008_dangling_link(self, analyzer):
+        wf = _clean_workflow()
+        from repro.workflow.model import DataLink
+        wf.links.append(DataLink("ghost", "out", "counter", "values"))
+        fired = _rules_fired(analyzer, wf)
+        assert "WF008" in fired
+
+    def test_wf009_unknown_port(self, analyzer):
+        wf = _clean_workflow()
+        from repro.workflow.model import DataLink
+        wf.links.append(DataLink("reader", "nope", "counter", "values"))
+        wf.links.append(DataLink("reader", "values", "counter", "missing"))
+        report = analyzer.analyze_workflow(wf)
+        assert len([d for d in report.diagnostics
+                    if d.rule_id == "WF009"]) == 2
+
+    def test_wf010_cycle(self, analyzer):
+        wf = _clean_workflow()
+        wf.add_processor(_annotated("loop_a", "identity",
+                                    ["value"], ["value"]))
+        wf.add_processor(_annotated("loop_b", "identity",
+                                    ["value"], ["value"]))
+        wf.link("loop_a", "value", "loop_b", "value")
+        wf.link("loop_b", "value", "loop_a", "value")
+        fired = _rules_fired(analyzer, wf)
+        assert "WF010" in fired

@@ -5,7 +5,6 @@ here the cheap experiments run for real and the expensive ones are
 checked through their shared plumbing.
 """
 
-import pytest
 
 from repro.casestudy.experiments import (
     EXPERIMENTS,

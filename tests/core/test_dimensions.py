@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.dimensions import (
-    DimensionRegistry,
     QualityDimension,
     standard_registry,
 )

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.media import (
-    MEDIA_TYPES,
     MediaType,
     media_available,
     migration_plan,

@@ -2,7 +2,6 @@
 
 import datetime as dt
 
-import pytest
 
 from repro.curation.cleaning import MetadataCleaner
 from repro.curation.history import CurationHistory

@@ -1,6 +1,5 @@
 """Stage 2 — the spatial audit."""
 
-import pytest
 
 from repro.curation.history import CurationHistory
 from repro.curation.spatial_audit import SpatialAuditor

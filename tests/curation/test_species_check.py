@@ -6,7 +6,6 @@ from repro.curation.cleaning import MetadataCleaner
 from repro.curation.history import CurationHistory
 from repro.curation.species_check import (
     CATALOGUE,
-    UPDATES_TABLE,
     SpeciesNameChecker,
     build_species_check_workflow,
 )

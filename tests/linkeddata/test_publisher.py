@@ -13,7 +13,7 @@ from repro.linkeddata.publisher import (
     species_iri,
 )
 from repro.linkeddata.triples import Literal, TripleStore
-from repro.linkeddata.vocab import DWC, PROV, RDF, REPRO
+from repro.linkeddata.vocab import DWC, PROV, REPRO
 from repro.sounds.collection import SoundCollection
 from repro.sounds.record import SoundRecord
 

@@ -6,7 +6,7 @@ from repro.core.manager import DataQualityManager
 from repro.curation.species_check import SpeciesNameChecker
 from repro.errors import ReproError
 from repro.linkeddata.research_object import ResearchObject
-from repro.linkeddata.vocab import DC, PROV, RDF, REPRO
+from repro.linkeddata.vocab import DC, PROV, REPRO
 from repro.provenance.manager import ProvenanceManager
 
 

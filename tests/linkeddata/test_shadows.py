@@ -8,7 +8,7 @@ from repro.linkeddata.shadows import (
     Shadow,
     generate_publications,
 )
-from repro.linkeddata.triples import Literal, TripleStore
+from repro.linkeddata.triples import Literal
 from repro.linkeddata.vocab import DC, REPRO
 
 

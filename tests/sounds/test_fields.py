@@ -1,8 +1,6 @@
 """Table II field specs and groups."""
 
-import datetime as dt
 
-import pytest
 
 from repro.sounds.fields import (
     FIELD_GROUPS,

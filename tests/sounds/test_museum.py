@@ -10,7 +10,6 @@ from repro.sounds.museum import (
     generate_museum_collection,
     museum_observation,
 )
-from repro.storage import col
 
 
 @pytest.fixture(scope="module")

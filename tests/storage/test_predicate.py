@@ -1,6 +1,5 @@
 """Predicate algebra semantics (SQL-style NULL handling included)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.storage.predicate import TruePredicate, col

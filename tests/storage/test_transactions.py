@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TransactionError
-from repro.storage import Column, Database, TableSchema, col
+from repro.storage import Column, Database, TableSchema
 from repro.storage import column_types as ct
 
 

@@ -1,6 +1,5 @@
 """The Catalogue of Life: resolution, time travel, browsing."""
 
-import pytest
 
 from repro.taxonomy.catalogue import CatalogueOfLife
 

@@ -6,7 +6,6 @@ from repro.workflow.builtins import builtin_registry, register_function
 from repro.workflow.decay import (
     DEAD_SERVICE_THRESHOLD,
     DecayCause,
-    DecayReport,
     DecayScanner,
 )
 from repro.workflow.model import Processor, ProcessorRegistry, Workflow
