@@ -27,6 +27,7 @@ from repro.sounds.generator import (
 )
 from repro.taxonomy.catalogue import CatalogueOfLife
 from repro.taxonomy.service import CatalogueService
+from repro.workflow.cache import ResultCache
 from repro.workflow.engine import WorkflowEngine
 
 __all__ = ["PAPER_FIGURES", "CaseStudyResults", "FNJVCaseStudy"]
@@ -83,12 +84,18 @@ class FNJVCaseStudy:
         Collection generation parameters (paper scale by default).
     availability / reputation:
         The Catalogue service profile (Listing 1's values by default).
+    max_workers / result_cache:
+        Engine knobs: wave-parallel execution width and an optional
+        content-keyed result cache.  Traces and results are identical
+        for every ``max_workers`` — only wall-clock time changes.
     """
 
     def __init__(self, seed: int = 2013,
                  config: CollectionConfig | None = None,
                  availability: float = 0.9,
-                 reputation: float = 1.0) -> None:
+                 reputation: float = 1.0,
+                 max_workers: int = 1,
+                 result_cache: ResultCache | None = None) -> None:
         self.seed = seed
         self.config = config or CollectionConfig(seed=seed)
         self.catalogue = CatalogueOfLife()
@@ -101,7 +108,8 @@ class FNJVCaseStudy:
             self.catalogue, availability=availability,
             reputation=reputation, seed=seed,
         )
-        self.engine = WorkflowEngine()
+        self.engine = WorkflowEngine(max_workers=max_workers,
+                                     cache=result_cache)
         self.provenance = ProvenanceManager()
         self.pipeline = CurationPipeline(
             self.collection, self.service,

@@ -30,6 +30,7 @@ from repro.provenance.manager import ProvenanceManager
 from repro.sounds.collection import SoundCollection
 from repro.taxonomy.service import CatalogueService
 from repro.telemetry import Telemetry, get_telemetry
+from repro.workflow.cache import ResultCache
 from repro.workflow.engine import WorkflowEngine
 
 __all__ = ["PipelineReport", "CurationPipeline"]
@@ -75,7 +76,13 @@ class PipelineReport:
 
 
 class CurationPipeline:
-    """Stage orchestration for one collection."""
+    """Stage orchestration for one collection.
+
+    ``max_workers`` / ``result_cache`` configure the engine created when
+    ``engine`` is omitted: wave-parallel processor execution and
+    content-keyed memoization of repeat invocations (periodic
+    re-curation re-runs the same workflows over mostly unchanged data).
+    """
 
     def __init__(self, collection: SoundCollection,
                  service: CatalogueService,
@@ -83,12 +90,15 @@ class CurationPipeline:
                  climate: ClimateArchive | None = None,
                  engine: WorkflowEngine | None = None,
                  provenance: ProvenanceManager | None = None,
-                 telemetry: Telemetry | None = None) -> None:
+                 telemetry: Telemetry | None = None,
+                 max_workers: int = 1,
+                 result_cache: ResultCache | None = None) -> None:
         self.collection = collection
         self.service = service
         self.gazetteer = gazetteer or Gazetteer()
         self.climate = climate or ClimateArchive()
-        self.engine = engine or WorkflowEngine()
+        self.engine = engine or WorkflowEngine(max_workers=max_workers,
+                                               cache=result_cache)
         self.provenance = provenance or ProvenanceManager()
         self.telemetry = telemetry or get_telemetry()
         self.history = CurationHistory(collection)

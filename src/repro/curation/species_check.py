@@ -30,6 +30,7 @@ from repro.storage import column_types as ct
 from repro.taxonomy.nomenclature import normalize_name
 from repro.taxonomy.service import CatalogueService
 from repro.telemetry import get_telemetry
+from repro.workflow.cache import ResultCache
 from repro.workflow.engine import WorkflowEngine
 from repro.workflow.model import Processor, Workflow
 from repro.workflow.trace import WorkflowTrace
@@ -63,11 +64,17 @@ def build_species_check_workflow() -> Workflow:
         CATALOGUE, "catalogue_lookup",
         inputs=["names"],
         outputs=["resolutions", "service_stats"],
+        # never memoize: the answer depends on the catalogue's knowledge
+        # horizon and the (simulated) service's behaviour, neither of
+        # which is part of the input digest
+        config={"cacheable": False},
     ))
     workflow.add_processor(Processor(
         PERSISTER, "update_persister",
         inputs=["resolutions", "name_records", "records_processed"],
         outputs=["summary"],
+        # never memoize: inserts rows into the species_updates table
+        config={"cacheable": False},
     ))
     workflow.map_input("metadata", READER, "records")
     workflow.link(READER, "names", CATALOGUE, "names")
@@ -160,6 +167,10 @@ class SpeciesNameChecker:
     adapter:
         Used for step 1 — annotating the Catalogue processor with the
         service's declared reputation/availability.
+    max_workers / result_cache:
+        Forwarded to the engine created when ``engine`` is omitted:
+        wave-parallel execution width and an optional shared
+        :class:`~repro.workflow.cache.ResultCache`.
     """
 
     def __init__(self, collection: SoundCollection,
@@ -168,13 +179,16 @@ class SpeciesNameChecker:
                  provenance: ProvenanceManager | None = None,
                  history: CurationHistory | None = None,
                  adapter: WorkflowAdapter | None = None,
-                 max_attempts: int = 3) -> None:
+                 max_attempts: int = 3,
+                 max_workers: int = 1,
+                 result_cache: ResultCache | None = None) -> None:
         self.collection = collection
         self.service = service
         self.history = history
         self.adapter = adapter or WorkflowAdapter()
         self.max_attempts = max_attempts
-        self.engine = engine or WorkflowEngine()
+        self.engine = engine or WorkflowEngine(max_workers=max_workers,
+                                               cache=result_cache)
         self.provenance = provenance or ProvenanceManager()
         self.provenance.attach(self.engine)
         self._ensure_updates_table()

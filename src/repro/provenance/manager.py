@@ -108,6 +108,12 @@ class ProvenanceManager:
                 "started": run.started.isoformat(),
                 "finished": run.finished.isoformat(),
             }
+            if getattr(run, "cached_from", None):
+                # the engine replayed this invocation from its result
+                # cache; the annotation names the execution that really
+                # produced the outputs, so the graph never claims a
+                # re-execution that did not happen
+                annotations["wasCachedFrom"] = run.cached_from
             if workflow is not None and run.processor in workflow.processors:
                 processor = workflow.processor(run.processor)
                 quality = processor.quality

@@ -19,6 +19,8 @@ statuses:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from typing import Iterator
 
 from repro.errors import InvalidNameError
@@ -73,6 +75,9 @@ class NameResolution:
 class CatalogueOfLife:
     """Authoritative species-name resolution as of a given year."""
 
+    #: bounded LRU size for memoized resolutions
+    MEMO_MAX = 4096
+
     def __init__(self, backbone: TaxonomicBackbone | None = None,
                  registry: SynonymRegistry | None = None,
                  as_of_year: int = 2013) -> None:
@@ -81,6 +86,11 @@ class CatalogueOfLife:
             registry = generate_changes(self.backbone)
         self.registry = registry
         self.as_of_year = as_of_year
+        # memoized resolve() answers; the key includes the knowledge
+        # horizon and the registry size, so time travel and newly
+        # published changes never serve stale answers
+        self._memo: "OrderedDict[tuple, NameResolution]" = OrderedDict()
+        self._memo_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return (
@@ -107,7 +117,14 @@ class CatalogueOfLife:
     def resolve(self, name: str, fuzzy: bool = True,
                 max_distance: int = 2) -> NameResolution:
         """Resolve ``name`` against the catalogue as of
-        :attr:`as_of_year`."""
+        :attr:`as_of_year`.
+
+        Answers are memoized (bounded LRU): the species-check inner
+        loop re-resolves the same names record after record, run after
+        run.  Returned resolutions are shared — treat them as
+        immutable.  Malformed names bypass the memo so their telemetry
+        event fires on every occurrence.
+        """
         try:
             queried = normalize_name(name)
         except InvalidNameError as error:
@@ -119,6 +136,28 @@ class CatalogueOfLife:
                 "reason": str(error),
             })
             return NameResolution(name, "not_found")
+        memo_key = (queried, fuzzy, max_distance, self.as_of_year,
+                    len(self.registry))
+        with self._memo_lock:
+            cached = self._memo.get(memo_key)
+            if cached is not None:
+                self._memo.move_to_end(memo_key)
+        if cached is not None:
+            from repro.telemetry import get_telemetry
+
+            get_telemetry().metrics.counter(
+                "taxonomy_cache_hits_total", cache="catalogue_resolve",
+            ).inc()
+            return cached
+        resolution = self._resolve_uncached(queried, fuzzy, max_distance)
+        with self._memo_lock:
+            self._memo[memo_key] = resolution
+            while len(self._memo) > self.MEMO_MAX:
+                self._memo.popitem(last=False)
+        return resolution
+
+    def _resolve_uncached(self, queried: str, fuzzy: bool,
+                          max_distance: int) -> NameResolution:
         current, chain = self.registry.current_name(
             queried, as_of_year=self.as_of_year
         )

@@ -12,6 +12,7 @@ kind of run-level record as a first-class preservation artifact).
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Any, Mapping
 
@@ -33,6 +34,9 @@ class EventLog:
         self._events: deque[dict[str, Any]] = deque(maxlen=max_events)
         self._sequence = 0
         self._dropped = 0
+        # events arrive from engine worker threads too; the sequence
+        # number must stay gap-free and strictly increasing
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._events)
@@ -44,18 +48,20 @@ class EventLog:
     def record(self, event: str, payload: Mapping[str, Any] | None = None,
                at: Any = None) -> dict[str, Any]:
         """Append one event; returns the stored entry."""
-        if len(self._events) == self.max_events:
-            self._dropped += 1
-        self._sequence += 1
-        entry: dict[str, Any] = {
-            "seq": self._sequence,
-            "event": event,
-            **dict(payload or {}),
-        }
-        if at is not None:
-            entry["at"] = at.isoformat() if hasattr(at, "isoformat") else at
-        self._events.append(entry)
-        return entry
+        with self._lock:
+            if len(self._events) == self.max_events:
+                self._dropped += 1
+            self._sequence += 1
+            entry: dict[str, Any] = {
+                "seq": self._sequence,
+                "event": event,
+                **dict(payload or {}),
+            }
+            if at is not None:
+                entry["at"] = (at.isoformat()
+                               if hasattr(at, "isoformat") else at)
+            self._events.append(entry)
+            return entry
 
     # ------------------------------------------------------------------
     # engine integration
@@ -126,6 +132,7 @@ class EventLog:
         }
 
     def reset(self) -> None:
-        self._events.clear()
-        self._sequence = 0
-        self._dropped = 0
+        with self._lock:
+            self._events.clear()
+            self._sequence = 0
+            self._dropped = 0

@@ -21,6 +21,7 @@ never discards series).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator, Mapping, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
@@ -47,13 +48,19 @@ def format_series(name: str, labels: Labels) -> str:
 
 
 class _Instrument:
-    """Shared identity bits for one series of one family."""
+    """Shared identity bits for one series of one family.
 
-    __slots__ = ("name", "labels")
+    Each instrument carries its own lock: the workflow engine updates
+    metrics from worker threads under ``max_workers > 1``, and a lost
+    increment would silently corrupt totals.
+    """
+
+    __slots__ = ("name", "labels", "_lock")
 
     def __init__(self, name: str, labels: Labels) -> None:
         self.name = name
         self.labels = labels
+        self._lock = threading.Lock()
 
     @property
     def series(self) -> str:
@@ -81,11 +88,13 @@ class Counter(_Instrument):
             raise ValueError(
                 f"counter {self.series} cannot decrease (inc {amount})"
             )
-        self._value += amount
-        return self._value
+        with self._lock:
+            self._value += amount
+            return self._value
 
     def _reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "counter", "value": self._value}
@@ -105,19 +114,23 @@ class Gauge(_Instrument):
         return self._value
 
     def set(self, value: float) -> float:
-        self._value = float(value)
-        return self._value
+        with self._lock:
+            self._value = float(value)
+            return self._value
 
     def inc(self, amount: float = 1.0) -> float:
-        self._value += amount
-        return self._value
+        with self._lock:
+            self._value += amount
+            return self._value
 
     def dec(self, amount: float = 1.0) -> float:
-        self._value -= amount
-        return self._value
+        with self._lock:
+            self._value -= amount
+            return self._value
 
     def _reset(self) -> None:
-        self._value = 0.0
+        with self._lock:
+            self._value = 0.0
 
     def to_dict(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self._value}
@@ -143,13 +156,14 @@ class Histogram(_Instrument):
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self._count += 1
-        self._sum += value
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
-        for position, bound in enumerate(self.buckets):
-            if value <= bound:
-                self._bucket_counts[position] += 1
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = value if self._min is None else min(self._min, value)
+            self._max = value if self._max is None else max(self._max, value)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[position] += 1
 
     @property
     def count(self) -> int:
@@ -174,11 +188,12 @@ class Histogram(_Instrument):
         return self._max
 
     def _reset(self) -> None:
-        self._bucket_counts = [0] * len(self.buckets)
-        self._count = 0
-        self._sum = 0.0
-        self._min = None
-        self._max = None
+        with self._lock:
+            self._bucket_counts = [0] * len(self.buckets)
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -206,6 +221,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._families: dict[str, type] = {}
         self._series: dict[tuple[str, Labels], _Instrument] = {}
+        # guards series/family creation; instrument updates take the
+        # per-instrument lock instead, so hot-path contention stays low
+        self._lock = threading.Lock()
 
     # -- instrument accessors ----------------------------------------------
 
@@ -219,27 +237,29 @@ class MetricsRegistry:
                   buckets: Sequence[float] | None = None,
                   **labels: Any) -> Histogram:
         key_labels = _normalize_labels(labels)
-        existing = self._series.get((name, key_labels))
-        if existing is not None:
-            self._check_family(Histogram, name)
-            return existing  # type: ignore[return-value]
-        self._check_family(Histogram, name, bind=True)
-        instrument = Histogram(name, key_labels,
-                               buckets=buckets or DEFAULT_BUCKETS)
-        self._series[(name, key_labels)] = instrument
-        return instrument
+        with self._lock:
+            existing = self._series.get((name, key_labels))
+            if existing is not None:
+                self._check_family(Histogram, name)
+                return existing  # type: ignore[return-value]
+            self._check_family(Histogram, name, bind=True)
+            instrument = Histogram(name, key_labels,
+                                   buckets=buckets or DEFAULT_BUCKETS)
+            self._series[(name, key_labels)] = instrument
+            return instrument
 
     def _get_or_create(self, cls: type, name: str,
                        labels: Mapping[str, Any]):
         key_labels = _normalize_labels(labels)
-        existing = self._series.get((name, key_labels))
-        if existing is not None:
-            self._check_family(cls, name)
-            return existing
-        self._check_family(cls, name, bind=True)
-        instrument = cls(name, key_labels)
-        self._series[(name, key_labels)] = instrument
-        return instrument
+        with self._lock:
+            existing = self._series.get((name, key_labels))
+            if existing is not None:
+                self._check_family(cls, name)
+                return existing
+            self._check_family(cls, name, bind=True)
+            instrument = cls(name, key_labels)
+            self._series[(name, key_labels)] = instrument
+            return instrument
 
     def _check_family(self, cls: type, name: str, bind: bool = False) -> None:
         bound = self._families.get(name)

@@ -110,6 +110,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
                 f"processor(s)"
             )
 
+    engine_lines = _engine_panel(metrics)
+    if engine_lines:
+        lines.append("")
+        lines.append("engine scheduling & caches")
+        lines.append("-" * 64)
+        lines.extend(engine_lines)
+
     vault_lines = _vault_panel(metrics)
     if vault_lines:
         lines.append("")
@@ -134,6 +141,35 @@ def _family_total(metrics: Mapping[str, Any], family: str) -> float:
                 and data.get("type") == "counter":
             total += data["value"]
     return total
+
+
+def _engine_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Wave-scheduler and cache activity for :func:`render_report`
+    (empty when no ``engine_*``/``taxonomy_cache_*`` series exist)."""
+    if not any(series.split("{", 1)[0].startswith(("engine_",
+                                                   "taxonomy_cache_"))
+               for series in metrics):
+        return []
+    lines = [
+        f"  waves scheduled {_fmt(_family_total(metrics, 'engine_waves_total'))},"
+        f" parallel dispatches "
+        f"{_fmt(_family_total(metrics, 'engine_parallel_dispatch_total'))}",
+    ]
+    hits = _family_total(metrics, "engine_cache_hits_total")
+    misses = _family_total(metrics, "engine_cache_misses_total")
+    lookups = hits + misses
+    if lookups:
+        lines.append(
+            f"  result cache: {_fmt(hits)} hits / {_fmt(misses)} misses"
+            f" (hit rate {hits / lookups:.1%})"
+        )
+    taxonomy_hits = _family_total(metrics, "taxonomy_cache_hits_total")
+    if taxonomy_hits:
+        lines.append(f"  taxonomy memo hits {_fmt(taxonomy_hits)}")
+    listener_errors = _family_total(metrics, "engine_listener_errors_total")
+    if listener_errors:
+        lines.append(f"  listener errors {_fmt(listener_errors)}")
+    return lines
 
 
 def _vault_panel(metrics: Mapping[str, Any]) -> list[str]:

@@ -17,6 +17,7 @@ span via :meth:`Tracer.record_span`.
 from __future__ import annotations
 
 import datetime as _dt
+import threading
 from typing import Any, Callable, Iterator, Mapping
 
 __all__ = ["Span", "Tracer"]
@@ -122,6 +123,9 @@ class Tracer:
         self._stack: list[tuple[Span, Any]] = []  # (span, its clock)
         self._counter = 0
         self._dropped = 0
+        # reentrant: leaf spans are recorded from engine worker threads
+        # while the scheduler holds spans open on the calling thread
+        self._lock = threading.RLock()
 
     # -- creation -----------------------------------------------------------
 
@@ -138,11 +142,13 @@ class Tracer:
         recorded inside an engine-driven span lands on the engine's
         simulated timeline without having to thread the clock around.
         """
-        clock = clock or self._active_clock()
-        parent = self._stack[-1][0].span_id if self._stack else None
-        span = Span(self._next_id(), parent, name, clock.now(), attributes)
-        self._stack.append((span, clock))
-        return _SpanHandle(self, span, clock)
+        with self._lock:
+            clock = clock or self._active_clock()
+            parent = self._stack[-1][0].span_id if self._stack else None
+            span = Span(self._next_id(), parent, name, clock.now(),
+                        attributes)
+            self._stack.append((span, clock))
+            return _SpanHandle(self, span, clock)
 
     def record_span(self, name: str, duration_seconds: float,
                     clock: Any | None = None,
@@ -153,34 +159,37 @@ class Tracer:
         took but do not drive the clock themselves, e.g. one catalogue
         web-service call inside a processor span.
         """
-        clock = clock or self._active_clock()
-        parent = self._stack[-1][0].span_id if self._stack else None
-        finished = clock.now()
-        started = finished - _dt.timedelta(seconds=max(duration_seconds, 0.0))
-        span = Span(self._next_id(), parent, name, started, attributes)
-        span.finished = finished
-        span.status = "ok"
-        self._store(span)
-        return span
+        with self._lock:
+            clock = clock or self._active_clock()
+            parent = self._stack[-1][0].span_id if self._stack else None
+            finished = clock.now()
+            started = finished - _dt.timedelta(
+                seconds=max(duration_seconds, 0.0))
+            span = Span(self._next_id(), parent, name, started, attributes)
+            span.finished = finished
+            span.status = "ok"
+            self._store(span)
+            return span
 
     def _active_clock(self) -> Any:
         return self._stack[-1][1] if self._stack else self.clock
 
     def _end_span(self, span: Span, clock: Any,
                   exc: BaseException | None) -> None:
-        if self._stack and self._stack[-1][0] is span:
-            self._stack.pop()
-        else:  # out-of-order exit; drop it from wherever it is
-            self._stack = [
-                entry for entry in self._stack if entry[0] is not span
-            ]
-        span.finished = clock.now()
-        if exc is None:
-            span.status = "ok"
-        else:
-            span.status = "failed"
-            span.error = f"{type(exc).__name__}: {exc}"
-        self._store(span)
+        with self._lock:
+            if self._stack and self._stack[-1][0] is span:
+                self._stack.pop()
+            else:  # out-of-order exit; drop it from wherever it is
+                self._stack = [
+                    entry for entry in self._stack if entry[0] is not span
+                ]
+            span.finished = clock.now()
+            if exc is None:
+                span.status = "ok"
+            else:
+                span.status = "failed"
+                span.error = f"{type(exc).__name__}: {exc}"
+            self._store(span)
 
     def _store(self, span: Span) -> None:
         self._finished.append(span)
@@ -213,10 +222,11 @@ class Tracer:
         }
 
     def reset(self) -> None:
-        self._finished = []
-        self._stack = []
-        self._counter = 0
-        self._dropped = 0
+        with self._lock:
+            self._finished = []
+            self._stack = []
+            self._counter = 0
+            self._dropped = 0
 
 
 # A tracer-compatible callable clock adapter, used by tests and callers

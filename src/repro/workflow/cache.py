@@ -1,0 +1,165 @@
+"""Content-keyed memoization of processor invocations.
+
+The provenance insight (Missier's lifecycle work; the RO-Crate run
+profile): once a run's inputs are digested, a byte-identical invocation
+can be *reused* instead of re-executed, and the trace can say so
+honestly.  :func:`invocation_key` derives a deterministic digest from
+(processor name, kind, implementation version, config, bound input
+values) via :mod:`repro.hashing`; :class:`ResultCache` is a bounded,
+thread-safe LRU from those digests to recorded outputs.
+
+Safety rules, enforced here and by the engine:
+
+* only JSON-plain input values are keyable — anything carrying live
+  objects yields no key and is simply re-executed;
+* only *successful* invocations are stored (failures always re-run);
+* processors may opt out with ``config["cacheable"] = False`` (the
+  species-check persister does: it writes to the database);
+* entries are deep-copied on both store and fetch, so a downstream
+  processor mutating a replayed value can never corrupt the cache.
+
+A hit is spliced into the trace with a ``wasCachedFrom`` marker naming
+the run/processor that actually computed the value, so the exported OPM
+provenance never claims a re-execution that did not happen.
+"""
+
+from __future__ import annotations
+
+import copy
+import datetime as _dt
+import threading
+from collections import OrderedDict
+from typing import Any, Mapping
+
+from repro.hashing import canonical_digest
+
+__all__ = ["CachedResult", "ResultCache", "invocation_key"]
+
+#: scalars whose canonical JSON form is a pure function of their value
+#: (dates/datetimes serialize via ``default=str``, which is stable)
+_PLAIN_SCALARS = (bool, int, float, str, _dt.date, _dt.datetime)
+
+
+def _json_plain(value: Any) -> bool:
+    """True when ``value`` digests stably across processes and runs —
+    plain JSON data plus date/datetime scalars."""
+    if value is None or isinstance(value, _PLAIN_SCALARS):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_plain(item) for item in value)
+    if isinstance(value, Mapping):
+        return all(
+            isinstance(key, str) and _json_plain(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+def invocation_key(processor: Any, implementation: Any,
+                   bound: Mapping[str, Any]) -> str | None:
+    """The content key of one invocation, or ``None`` when unkeyable.
+
+    The implementation version comes from
+    ``config["implementation_version"]`` when declared, else from a
+    ``cache_version`` attribute on the resolved implementation, else
+    ``"1"`` — bump either to invalidate stale entries after changing a
+    processor's behaviour.
+    """
+    if not _json_plain(processor.config) or not _json_plain(bound):
+        return None
+    version = str(processor.config.get(
+        "implementation_version",
+        getattr(implementation, "cache_version", "1"),
+    ))
+    return canonical_digest({
+        "processor": processor.name,
+        "kind": processor.kind,
+        "version": version,
+        "config": processor.config,
+        "inputs": dict(bound),
+    })
+
+
+class CachedResult:
+    """One memoized invocation: its output ports and where they came
+    from (``run_id/processor`` of the execution that computed them)."""
+
+    __slots__ = ("outputs", "source")
+
+    def __init__(self, outputs: dict[str, Any], source: str) -> None:
+        self.outputs = outputs
+        self.source = source
+
+    def __repr__(self) -> str:
+        return f"CachedResult(from {self.source})"
+
+
+class ResultCache:
+    """A bounded, thread-safe LRU of :class:`CachedResult` entries.
+
+    Share one instance across engines (or runs of one engine) to make
+    warm re-runs skip identical work; ``hits``/``misses`` feed the
+    ``engine_cache_*`` telemetry counters and ``repro stats`` panel.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        if max_entries < 1:
+            raise ValueError("ResultCache needs max_entries >= 1")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CachedResult] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self._entries)}/{self.max_entries} entries, "
+            f"{self.hits} hits, {self.misses} misses)"
+        )
+
+    def get(self, key: str) -> CachedResult | None:
+        """Fetch a hit (deep copy) or ``None``; updates hit/miss stats."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return CachedResult(copy.deepcopy(entry.outputs), entry.source)
+
+    def put(self, key: str, outputs: Mapping[str, Any],
+            source: str) -> None:
+        """Store one successful invocation; silently skips values that
+        cannot be deep-copied (they would not replay safely)."""
+        try:
+            stored = copy.deepcopy(dict(outputs))
+        except Exception:
+            return
+        with self._lock:
+            self._entries[key] = CachedResult(stored, source)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()

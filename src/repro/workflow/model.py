@@ -363,6 +363,46 @@ class Workflow:
             )
         return order
 
+    def waves(self) -> list[list[str]]:
+        """Topological *waves*: level-order Kahn decomposition.
+
+        Each wave lists processors (alphabetically) whose inputs are all
+        fed by earlier waves, so members of one wave are mutually
+        independent and may execute concurrently.  Concatenated, the
+        waves form a valid topological order — the engine's canonical
+        execution order for every ``max_workers`` setting.
+        """
+        indegree: dict[str, int] = {name: 0 for name in self.processors}
+        dependents: dict[str, set[str]] = {
+            name: set() for name in self.processors
+        }
+        for link in self.links:
+            if link.source == self.IO or link.sink == self.IO:
+                continue
+            if link.sink not in dependents.get(link.source, set()):
+                dependents[link.source].add(link.sink)
+                indegree[link.sink] += 1
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        waves: list[list[str]] = []
+        placed = 0
+        while ready:
+            waves.append(ready)
+            placed += len(ready)
+            unblocked: list[str] = []
+            for name in ready:
+                for dependent in dependents[name]:
+                    indegree[dependent] -= 1
+                    if indegree[dependent] == 0:
+                        unblocked.append(dependent)
+            ready = sorted(unblocked)
+        if placed != len(self.processors):
+            scheduled = {name for wave in waves for name in wave}
+            cyclic = sorted(set(self.processors) - scheduled)
+            raise WorkflowValidationError(
+                f"workflow {self.name!r} has a cycle involving {cyclic}"
+            )
+        return waves
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------

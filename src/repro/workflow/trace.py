@@ -58,17 +58,26 @@ class DataBinding:
 
 
 class ProcessorRun:
-    """One processor invocation inside a run."""
+    """One processor invocation inside a run.
+
+    ``cached_from`` is set when the engine served the invocation from
+    its result cache instead of executing it; it names the
+    ``run_id/processor`` whose execution originally produced the
+    outputs, so provenance consumers (OPM export: ``wasCachedFrom``)
+    never mistake a replay for a re-execution.
+    """
 
     def __init__(self, processor: str, kind: str,
                  started: _dt.datetime, finished: _dt.datetime,
-                 status: str = "completed", error: str | None = None) -> None:
+                 status: str = "completed", error: str | None = None,
+                 cached_from: str | None = None) -> None:
         self.processor = processor
         self.kind = kind
         self.started = started
         self.finished = finished
         self.status = status  # "completed" | "failed" | "skipped"
         self.error = error
+        self.cached_from = cached_from
 
     @property
     def duration(self) -> _dt.timedelta:
@@ -78,7 +87,7 @@ class ProcessorRun:
         return f"ProcessorRun({self.processor}, {self.status})"
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "processor": self.processor,
             "kind": self.kind,
             "started": self.started.isoformat(),
@@ -86,6 +95,9 @@ class ProcessorRun:
             "status": self.status,
             "error": self.error,
         }
+        if self.cached_from is not None:
+            data["cached_from"] = self.cached_from
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ProcessorRun":
@@ -96,6 +108,7 @@ class ProcessorRun:
             _dt.datetime.fromisoformat(data["finished"]),
             status=data.get("status", "completed"),
             error=data.get("error"),
+            cached_from=data.get("cached_from"),
         )
 
 

@@ -1,0 +1,205 @@
+"""Differential equivalence: parallel and cached runs change nothing.
+
+For every fixture workflow stored in a :class:`WorkflowRepository`, a
+fresh ``max_workers=1`` engine, a fresh ``max_workers=8`` engine, and a
+warm-cache re-run must produce identical outputs, identical traces, and
+identical OPM graphs — the warm-cache comparison modulo timestamps and
+the ``wasCachedFrom`` annotation, which are the *only* places a cached
+run is allowed to differ.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.provenance.manager import ProvenanceManager
+from repro.workflow.builtins import register_function
+from repro.workflow.cache import ResultCache
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+from repro.workflow.repository import WorkflowRepository
+
+PARALLEL_WORKERS = 8
+
+
+def _double(values):
+    return [v * 2 for v in values]
+
+
+def _total(values):
+    return {"result": sum(values)}
+
+
+def _flaky(values):
+    raise RuntimeError("service down")
+
+
+def _square(item):
+    return item * item
+
+
+register_function("diff_double", _double)
+register_function("diff_total", _total)
+register_function("diff_flaky", _flaky)
+register_function("diff_square", _square)
+
+
+def _linear() -> Workflow:
+    wf = Workflow("fixture_linear")
+    wf.add_processor(Processor("double", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "diff_double"}))
+    wf.add_processor(Processor("total", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "diff_total"}))
+    wf.map_input("values", "double", "values")
+    wf.link("double", "result", "total", "values")
+    wf.map_output("sum", "total", "result")
+    return wf
+
+
+def _diamond() -> Workflow:
+    wf = Workflow("fixture_diamond")
+    wf.add_processor(Processor("source", "identity", inputs=["values"],
+                               outputs=["values"]))
+    wf.add_processor(Processor("left", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "diff_double"}))
+    wf.add_processor(Processor("right", "distinct", inputs=["values"],
+                               outputs=["values"]))
+    wf.add_processor(Processor("join", "merge_dicts",
+                               inputs=["a", "b"], outputs=["merged"]))
+    wf.map_input("values", "source", "values")
+    wf.link("source", "values", "left", "values")
+    wf.link("source", "values", "right", "values")
+    wf.link("left", "result", "join", "a")
+    wf.link("right", "values", "join", "b")
+    wf.map_output("out", "join", "merged")
+    return wf
+
+
+def _fan_out() -> Workflow:
+    wf = Workflow("fixture_fanout")
+    for i in range(6):
+        name = f"branch{i}"
+        wf.add_processor(Processor(name, "python", inputs=["values"],
+                                   outputs=["result"],
+                                   config={"function": "diff_double"}))
+        wf.map_input("values", name, "values")
+        wf.map_output(f"out{i}", name, "result")
+    return wf
+
+
+def _iterating() -> Workflow:
+    wf = Workflow("fixture_iteration")
+    wf.add_processor(Processor(
+        "squares", "python", inputs=["item"], outputs=["result"],
+        config={"function": "diff_square", "iterate_over": "item"}))
+    wf.map_input("items", "squares", "item")
+    wf.map_output("out", "squares", "result")
+    return wf
+
+
+def _degraded() -> Workflow:
+    wf = Workflow("fixture_degraded")
+    wf.add_processor(Processor(
+        "flaky", "python", inputs=["values"], outputs=["result"],
+        config={"function": "diff_flaky", "allow_failure": True}))
+    wf.add_processor(Processor("steady", "python", inputs=["values"],
+                               outputs=["result"],
+                               config={"function": "diff_double"}))
+    wf.map_input("values", "flaky", "values")
+    wf.map_input("values", "steady", "values")
+    wf.map_output("broken", "flaky", "result")
+    wf.map_output("fine", "steady", "result")
+    return wf
+
+
+FIXTURE_INPUTS = {
+    "fixture_linear": {"values": [1, 2, 3]},
+    "fixture_diamond": {"values": [3, 1, 3, 2]},
+    "fixture_fanout": {"values": [5, 7]},
+    "fixture_iteration": {"items": [1, 2, 3, 4]},
+    "fixture_degraded": {"values": [4, 5]},
+}
+
+
+@pytest.fixture(scope="module")
+def repository() -> WorkflowRepository:
+    repo = WorkflowRepository()
+    for build in (_linear, _diamond, _fan_out, _iterating, _degraded):
+        repo.save(build())
+    return repo
+
+
+def _graph_dict(result, workflow):
+    return ProvenanceManager().build_graph(result.trace, workflow).to_dict()
+
+
+def _normalized(graph: dict, run_id: str) -> str:
+    """Serialize a graph with run ids neutralized and the annotations a
+    cached run may legitimately change (timestamps, wasCachedFrom)
+    removed."""
+    text = json.dumps(graph, sort_keys=True, default=str)
+    data = json.loads(text.replace(run_id, "RUN"))
+    for node in data.get("nodes", []):
+        annotations = node.get("annotations") or {}
+        for key in ("started", "finished", "wasCachedFrom"):
+            annotations.pop(key, None)
+    return json.dumps(data, sort_keys=True)
+
+
+def _fixture_names(repo):
+    return repo.names()
+
+
+def test_repository_holds_all_fixtures(repository):
+    assert repository.names() == sorted(FIXTURE_INPUTS)
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE_INPUTS))
+def test_sequential_and_parallel_runs_are_identical(repository, name):
+    """Fresh N=1 vs fresh N=8 engines: byte-identical trace and OPM."""
+    workflow = repository.load(name)
+    inputs = FIXTURE_INPUTS[name]
+
+    sequential = WorkflowEngine(max_workers=1).run(workflow, inputs)
+    parallel = WorkflowEngine(max_workers=PARALLEL_WORKERS).run(
+        workflow, inputs)
+
+    assert sequential.outputs == parallel.outputs
+    assert sequential.status == parallel.status
+    # fresh engines share the epoch and run counter, so the whole trace
+    # — artifact ids, bindings, timestamps, statuses — must match
+    assert sequential.trace.to_dict() == parallel.trace.to_dict()
+    assert _graph_dict(sequential, workflow) == _graph_dict(
+        parallel, workflow)
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURE_INPUTS))
+def test_warm_cache_run_is_identical_modulo_cached_from(repository, name):
+    """Cold vs warm run on one cached engine: same outputs, same
+    processor sequence, same OPM shape; only timestamps and
+    ``wasCachedFrom`` may differ."""
+    workflow = repository.load(name)
+    inputs = FIXTURE_INPUTS[name]
+
+    engine = WorkflowEngine(max_workers=PARALLEL_WORKERS,
+                            cache=ResultCache())
+    cold = engine.run(workflow, inputs)
+    warm = engine.run(workflow, inputs)
+
+    assert warm.outputs == cold.outputs
+    assert warm.status == cold.status
+    assert ([r.processor for r in warm.trace.processor_runs]
+            == [r.processor for r in cold.trace.processor_runs])
+    assert ([r.status for r in warm.trace.processor_runs]
+            == [r.status for r in cold.trace.processor_runs])
+    # failures must never be replayed from the cache
+    for run in warm.trace.processor_runs:
+        if run.status == "failed":
+            assert run.cached_from is None
+    assert _normalized(_graph_dict(cold, workflow), cold.run_id) == \
+        _normalized(_graph_dict(warm, workflow), warm.run_id)
