@@ -124,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also exercise the preservation vault "
                        "(ingest, corrupt, audit, repair) so its "
                        "counters appear in the report")
+    stats.add_argument("--service", action="store_true",
+                       help="also run a multi-threaded tenant burst "
+                       "through the repro.service façade (snapshot "
+                       "queries, transactional ingest, admission "
+                       "control) so the service panel appears")
+    stats.add_argument("--tenants", type=int, default=4,
+                       help="concurrent tenants in the --service burst")
     stats.add_argument("--json", action="store_true",
                        help="emit the raw snapshot as JSON instead of "
                        "the rendered panel")
@@ -430,6 +437,7 @@ def _command_stats(args: argparse.Namespace) -> int:
         # out of the result cache and show up in the report's hit rate
         result = checker.run()
     flagged = checker.updates(status="flagged")  # exercises the query path
+    vault = None
     if args.vault:
         from repro.archive import PreservationVault
         from repro.core.preservation import PreservationLevel
@@ -439,6 +447,9 @@ def _command_stats(args: argparse.Namespace) -> int:
         vault.ingest(collection, PreservationLevel.ANALYSIS_LEVEL)
         vault.inject_corruption()
         vault.repair(vault.verify())
+    if args.service:
+        _stats_service_burst(collection.database, vault, telemetry,
+                             tenants=max(1, args.tenants))
     if args.json:
         print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True,
                          default=str))
@@ -453,6 +464,48 @@ def _command_stats(args: argparse.Namespace) -> int:
     manager = DataQualityManager(provenance=provenance.repository)
     print(manager.assess_operations(telemetry.snapshot()).render())
     return 0
+
+
+def _stats_service_burst(database, vault, telemetry, tenants: int) -> None:
+    """Drive a concurrent mixed-traffic burst through the service façade
+    so the ``service_*`` panel has live numbers: each tenant thread
+    interleaves snapshot queries, transactional ingests and (when a
+    vault is attached) status probes."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.service import PreservationService, ServiceConfig
+    from repro.storage import Column, TableSchema
+    from repro.storage import types as column_types
+
+    database.create_table(TableSchema(
+        "tenant_annotations", [
+            Column("id", column_types.INTEGER),
+            Column("tenant", column_types.TEXT, nullable=False),
+            Column("note", column_types.TEXT),
+        ], primary_key="id"))
+    service = PreservationService(
+        database, vault=vault,
+        config=ServiceConfig(max_in_flight=max(2, tenants // 2),
+                             max_queue_depth=tenants * 2,
+                             simulated_io_seconds=0.001),
+        telemetry=telemetry)
+
+    def tenant_traffic(index: int) -> None:
+        tenant = f"tenant-{index}"
+        for turn in range(6):
+            if turn % 3 == 2:
+                service.ingest(tenant, "tenant_annotations", rows=[{
+                    "id": index * 100 + turn,
+                    "tenant": tenant,
+                    "note": f"turn {turn}",
+                }])
+            elif vault is not None and turn % 3 == 1:
+                service.vault_status(tenant)
+            else:
+                service.query(tenant, "recordings", limit=25)
+
+    with ThreadPoolExecutor(max_workers=tenants) as pool:
+        list(pool.map(tenant_traffic, range(tenants)))
 
 
 def _command_lint(args: argparse.Namespace) -> int:

@@ -12,6 +12,8 @@ callers can catch one base class.  Each subsystem has its own branch:
 * :class:`ArchiveError` — the preservation vault (CAS, replicas,
   fixity, migration).
 * :class:`AnalysisError` — the static-analysis rule engine.
+* :class:`ServiceError` — the multi-tenant request façade (admission
+  control, per-tenant quotas).
 """
 
 from __future__ import annotations
@@ -60,6 +62,16 @@ class RowNotFoundError(StorageError):
 
 class TransactionError(StorageError):
     """Misuse of the transaction API (nested begin, commit w/o begin...)."""
+
+
+class TransactionConflictError(TransactionError):
+    """Two transactions raced on the same row version.
+
+    The engine is first-writer-wins: the transaction that touches a row
+    version second fails immediately (either the row carries an
+    uncommitted write from another live transaction, or it was committed
+    after this transaction began).  Callers retry the whole transaction.
+    """
 
 
 class JournalError(StorageError):
@@ -202,3 +214,20 @@ class MigrationError(ArchiveError):
 class AnalysisError(ReproError):
     """Misuse of the rule engine (duplicate rule id, unknown rule,
     malformed baseline or lint document)."""
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenant service façade
+# ---------------------------------------------------------------------------
+
+class ServiceError(ReproError):
+    """Base class for errors raised by :mod:`repro.service`."""
+
+
+class AdmissionRejectedError(ServiceError):
+    """The admission controller refused a request (in-flight limit hit
+    and the wait queue is full, or the queue wait timed out)."""
+
+
+class QuotaExceededError(ServiceError):
+    """A tenant exhausted its request or row budget for the window."""

@@ -1,0 +1,33 @@
+"""Multi-tenant service façade over storage, vault and provenance.
+
+The paper's preservation model assumes many curators concurrently
+querying and amending a collection; this package is the request-level
+door they come through.  It composes three pieces:
+
+* :class:`~repro.service.facade.PreservationService` — the façade:
+  query (MVCC snapshot reads), ingest (transactions with conflict
+  retry), audit (vault fixity sweep + repair) and vault status;
+* :class:`~repro.service.admission.AdmissionController` — bounded
+  in-flight requests with a bounded, timed wait queue (load shedding);
+* :class:`~repro.service.quotas.QuotaRegistry` /
+  :class:`~repro.service.quotas.TenantQuota` — fixed-window per-tenant
+  request budgets and per-request row caps.
+
+Everything is instrumented with ``service_*`` metrics rendered by the
+``repro stats --service`` panel.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.facade import PreservationService, ServiceConfig
+from repro.service.quotas import QuotaRegistry, TenantQuota
+from repro.service.requests import ServiceRequest, ServiceResponse
+
+__all__ = [
+    "AdmissionController",
+    "PreservationService",
+    "QuotaRegistry",
+    "ServiceConfig",
+    "ServiceRequest",
+    "ServiceResponse",
+    "TenantQuota",
+]

@@ -1,0 +1,117 @@
+"""Admission control: bounded in-flight requests with a bounded queue.
+
+The controller enforces two limits:
+
+* ``max_in_flight`` — requests executing at once; excess arrivals wait;
+* ``max_queue_depth`` — waiters allowed; beyond that (or when a waiter's
+  ``queue_timeout_seconds`` expires) the request is rejected with
+  :class:`~repro.errors.AdmissionRejectedError` instead of piling up.
+
+This is the classic "fail fast at the door" shape: under overload the
+service sheds load deterministically rather than letting latency grow
+without bound.  The gauges ``service_in_flight`` and
+``service_queue_depth`` expose the live state; rejections count under
+``service_admission_rejected_total`` labeled by reason.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import AdmissionRejectedError
+from repro.telemetry import Telemetry, get_telemetry
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting semaphore with a bounded, timed wait queue."""
+
+    def __init__(self, max_in_flight: int = 8, max_queue_depth: int = 16,
+                 queue_timeout_seconds: float = 5.0,
+                 telemetry: Telemetry | None = None) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_seconds = queue_timeout_seconds
+        self._telemetry = telemetry or get_telemetry()
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"AdmissionController(in_flight={self._in_flight}/"
+            f"{self.max_in_flight}, queued={self._waiting}/"
+            f"{self.max_queue_depth})"
+        )
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._waiting
+
+    def _gauges(self) -> None:
+        metrics = self._telemetry.metrics
+        metrics.gauge("service_in_flight").set(self._in_flight)
+        metrics.gauge("service_queue_depth").set(self._waiting)
+
+    def _reject(self, reason: str) -> AdmissionRejectedError:
+        self._telemetry.metrics.counter(
+            "service_admission_rejected_total", reason=reason).inc()
+        return AdmissionRejectedError(
+            f"admission rejected ({reason}): {self._in_flight} in flight, "
+            f"{self._waiting} queued"
+        )
+
+    def acquire(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if the
+        service is saturated; raises :class:`AdmissionRejectedError`
+        when the queue is full or the wait times out."""
+        deadline = time.monotonic() + self.queue_timeout_seconds
+        with self._cond:
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                self._gauges()
+                return
+            if self._waiting >= self.max_queue_depth:
+                raise self._reject("queue_full")
+            self._waiting += 1
+            self._gauges()
+            try:
+                while self._in_flight >= self.max_in_flight:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise self._reject("queue_timeout")
+                    self._cond.wait(remaining)
+                self._in_flight += 1
+            finally:
+                self._waiting -= 1
+                self._gauges()
+
+    def release(self) -> None:
+        """Return an execution slot and wake one waiter."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without matching acquire()")
+            self._in_flight -= 1
+            self._gauges()
+            self._cond.notify()
+
+    @contextmanager
+    def slot(self) -> Iterator[None]:
+        """``with controller.slot():`` — acquire/release as a scope."""
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()

@@ -1,0 +1,118 @@
+"""Per-tenant quotas: fixed-window request budgets and row caps.
+
+A :class:`TenantQuota` bounds how many requests a tenant may submit per
+fixed window and how many rows one request may touch.  The
+:class:`QuotaRegistry` charges requests against the calling tenant's
+quota (falling back to an optional default quota) and raises
+:class:`~repro.errors.QuotaExceededError` when a budget is exhausted;
+rejections count under ``service_quota_rejected_total`` labeled by
+tenant and reason.
+
+The clock is injectable (defaults to :func:`time.monotonic`) so tests
+and the deterministic benchmark can drive window rollover explicitly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import QuotaExceededError
+from repro.telemetry import Telemetry, get_telemetry
+
+__all__ = ["TenantQuota", "QuotaRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Budget for one tenant.
+
+    ``requests_per_window`` of ``None`` means unlimited requests;
+    ``max_rows_per_request`` of ``None`` means no row cap.
+    """
+
+    requests_per_window: int | None = None
+    window_seconds: float = 60.0
+    max_rows_per_request: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests_per_window is not None \
+                and self.requests_per_window < 1:
+            raise ValueError("requests_per_window must be >= 1 or None")
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.max_rows_per_request is not None \
+                and self.max_rows_per_request < 1:
+            raise ValueError("max_rows_per_request must be >= 1 or None")
+
+
+class QuotaRegistry:
+    """Tracks per-tenant fixed windows and charges requests."""
+
+    def __init__(self, default: TenantQuota | None = None,
+                 clock: Callable[[], float] | None = None,
+                 telemetry: Telemetry | None = None) -> None:
+        self._default = default
+        self._clock = clock or time.monotonic
+        self._telemetry = telemetry or get_telemetry()
+        self._quotas: dict[str, TenantQuota] = {}
+        #: tenant -> (window start, requests charged in window)
+        self._windows: dict[str, tuple[float, int]] = {}
+        self._lock = threading.Lock()
+
+    def set_quota(self, tenant: str, quota: TenantQuota | None) -> None:
+        with self._lock:
+            if quota is None:
+                self._quotas.pop(tenant, None)
+            else:
+                self._quotas[tenant] = quota
+            self._windows.pop(tenant, None)
+
+    def quota_for(self, tenant: str) -> TenantQuota | None:
+        return self._quotas.get(tenant, self._default)
+
+    def _reject(self, tenant: str, reason: str,
+                detail: str) -> QuotaExceededError:
+        self._telemetry.metrics.counter(
+            "service_quota_rejected_total", tenant=tenant,
+            reason=reason).inc()
+        return QuotaExceededError(f"tenant {tenant!r}: {detail}")
+
+    def charge(self, tenant: str) -> None:
+        """Charge one request; raises once the window budget is spent."""
+        quota = self.quota_for(tenant)
+        if quota is None or quota.requests_per_window is None:
+            return
+        now = self._clock()
+        with self._lock:
+            start, used = self._windows.get(tenant, (now, 0))
+            if now - start >= quota.window_seconds:
+                start, used = now, 0
+            if used >= quota.requests_per_window:
+                raise self._reject(
+                    tenant, "requests",
+                    f"request budget of {quota.requests_per_window} per "
+                    f"{quota.window_seconds:g}s window exhausted",
+                )
+            self._windows[tenant] = (start, used + 1)
+
+    def check_rows(self, tenant: str, rows: int) -> None:
+        """Enforce the per-request row cap (touched or returned rows)."""
+        quota = self.quota_for(tenant)
+        if quota is None or quota.max_rows_per_request is None:
+            return
+        if rows > quota.max_rows_per_request:
+            raise self._reject(
+                tenant, "rows",
+                f"request touches {rows} rows, cap is "
+                f"{quota.max_rows_per_request}",
+            )
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                tenant: {"window_start": start, "used": used}
+                for tenant, (start, used) in sorted(self._windows.items())
+            }

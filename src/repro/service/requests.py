@@ -1,0 +1,83 @@
+"""Request/response envelopes for the multi-tenant service façade.
+
+Every operation a tenant submits — query, ingest, audit, vault status —
+travels as a :class:`ServiceRequest` and comes back as a
+:class:`ServiceResponse`.  The façade never raises for per-request
+failures: rejection (admission/quota), write conflicts and handler
+errors are all reported through ``ServiceResponse.status`` so a load
+generator or server loop can keep draining traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ServiceRequest", "ServiceResponse", "OPERATIONS"]
+
+#: Operations the façade accepts.
+OPERATIONS = ("query", "ingest", "audit", "vault_status")
+
+
+@dataclass
+class ServiceRequest:
+    """One tenant operation.
+
+    ``payload`` is operation-specific:
+
+    * ``query`` — ``table`` (required), optional ``predicate``
+      (a :class:`~repro.storage.predicate.Predicate` or callable),
+      ``order_by``, ``descending``, ``limit``, ``columns``.
+    * ``ingest`` — ``table`` (required), ``rows`` (list of mappings to
+      insert) and/or ``updates`` (list of ``{"key": pk, "changes": {}}``).
+    * ``audit`` — optional ``repair`` (bool, default True).
+    * ``vault_status`` — no payload.
+    """
+
+    tenant: str
+    op: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ValueError(
+                f"unknown operation {self.op!r}; expected one of "
+                f"{', '.join(OPERATIONS)}"
+            )
+
+
+@dataclass
+class ServiceResponse:
+    """Outcome of one request.
+
+    ``status`` is one of:
+
+    * ``ok`` — handler succeeded, ``result`` holds its value;
+    * ``rejected`` — refused before execution (admission control or
+      tenant quota), ``error`` says why;
+    * ``conflict`` — an ingest lost the first-writer-wins race on every
+      retry (``retries`` counts the attempts made);
+    * ``error`` — the handler raised, ``error`` holds the message.
+    """
+
+    tenant: str
+    op: str
+    status: str
+    result: Any = None
+    error: str | None = None
+    elapsed_seconds: float = 0.0
+    retries: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "op": self.op,
+            "status": self.status,
+            "error": self.error,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "retries": self.retries,
+        }

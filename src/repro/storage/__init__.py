@@ -36,7 +36,9 @@ from repro.storage.planner import QueryPlan, plan_query
 from repro.storage.predicate import Predicate, col
 from repro.storage.query import Query
 from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.snapshot import Snapshot, SnapshotTable
 from repro.storage.table import Table
+from repro.storage.transactions import Transaction
 from repro.storage.types import ColumnType
 
 __all__ = [
@@ -49,10 +51,13 @@ __all__ = [
     "Predicate",
     "Query",
     "QueryPlan",
+    "Snapshot",
+    "SnapshotTable",
     "SortedIndex",
     "plan_query",
     "Table",
     "TableSchema",
+    "Transaction",
     "col",
     "column_types",
     "export_csv",

@@ -4,16 +4,42 @@ This is the "DBMS" of the paper's architecture — the access layer shared
 by the data repository, the workflow repository and the provenance
 repository.  A :class:`Database` can be purely in-memory (default) or
 durable when constructed with a journal path.
+
+Concurrency model (multi-tenant storage)
+----------------------------------------
+
+* **Statements are serialized, transactions interleave.**  Every
+  mutation takes the database write lock for its own duration, so any
+  number of threads can run transactions concurrently; their statements
+  interleave at row granularity.
+* **First-writer-wins conflicts.**  A transaction's first write to a row
+  *claims* it.  A second transaction (or an autocommit statement)
+  touching a claimed row fails immediately with
+  :class:`~repro.errors.TransactionConflictError`; so does a write to a
+  row that was committed after the transaction began.  Conflicts are
+  deterministic and eager — callers retry the whole transaction.
+* **MVCC snapshot reads.**  :meth:`Database.snapshot` pins the current
+  commit sequence and returns a read view whose queries run against the
+  committed state as of that point: versioned row images
+  (:meth:`~repro.storage.table.Table.note_committed`) keep pre-images
+  alive while writers churn, so readers never block writers and never
+  see uncommitted or later-committed data.
+* **Commit serialization through the journal.**  Each transaction
+  buffers its journal entries; the commit appends them atomically under
+  the write lock, so the write-ahead journal records one serial history
+  equivalent to the interleaved execution.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 from typing import Any, Iterable, Mapping
 
 from repro.errors import (
     DuplicateTableError,
     RowNotFoundError,
+    TransactionConflictError,
     TransactionError,
     UnknownTableError,
 )
@@ -21,10 +47,14 @@ from repro.storage.journal import Journal, encode_row
 from repro.storage.predicate import Predicate
 from repro.storage.query import Query
 from repro.storage.schema import TableSchema
+from repro.storage.snapshot import Snapshot
 from repro.storage.table import Table
 from repro.storage.transactions import Transaction
 
 __all__ = ["Database"]
+
+#: Commits between version-history pruning sweeps.
+PRUNE_INTERVAL = 64
 
 
 class Database:
@@ -43,9 +73,23 @@ class Database:
                  journal_path: str | Path | None = None) -> None:
         self.name = name
         self._tables: dict[str, Table] = {}
-        self._transaction: Transaction | None = None
         self._journal = Journal(journal_path) if journal_path else None
-        self._journal_buffer: list[dict[str, Any]] = []
+        # -- concurrency state ------------------------------------------
+        # One re-entrant lock serializes mutations, commits and
+        # rollbacks; snapshot readers only take it briefly to collect a
+        # consistent rowid set.
+        self._lock = threading.RLock()
+        #: monotonically increasing commit sequence (MVCC timestamps)
+        self._commit_seq = 0
+        self._last_prune_seq = 0
+        self._tx_counter = 0
+        #: open transaction per thread ident (one per thread, any number
+        #: of threads)
+        self._active_tx: dict[int, Transaction] = {}
+        #: write claims: ``(table, rowid) -> owning transaction``
+        self._row_writers: dict[tuple[str, int], Transaction] = {}
+        #: pinned snapshot seqs -> refcount (pruning floor)
+        self._snapshots: dict[int, int] = {}
 
     def __repr__(self) -> str:
         return f"Database({self.name}, tables={sorted(self._tables)})"
@@ -56,27 +100,32 @@ class Database:
 
     def create_table(self, schema: TableSchema, *, _journal: bool = True) -> Table:
         """Create a table from ``schema``; returns it."""
-        if schema.name in self._tables:
-            raise DuplicateTableError(f"table {schema.name!r} already exists")
-        for fk in schema.foreign_keys:
-            if fk.parent_table not in self._tables and fk.parent_table != schema.name:
-                raise UnknownTableError(
-                    f"foreign key references missing table {fk.parent_table!r}"
+        with self._lock:
+            if schema.name in self._tables:
+                raise DuplicateTableError(
+                    f"table {schema.name!r} already exists")
+            for fk in schema.foreign_keys:
+                if fk.parent_table not in self._tables \
+                        and fk.parent_table != schema.name:
+                    raise UnknownTableError(
+                        f"foreign key references missing table "
+                        f"{fk.parent_table!r}"
+                    )
+            table = Table(schema)
+            self._tables[schema.name] = table
+            if _journal:
+                self._journal_write(
+                    {"op": "create_table", "schema": schema.to_dict()}
                 )
-        table = Table(schema)
-        self._tables[schema.name] = table
-        if _journal:
-            self._journal_write(
-                {"op": "create_table", "schema": schema.to_dict()}
-            )
-        return table
+            return table
 
     def drop_table(self, name: str, *, _journal: bool = True) -> None:
-        if name not in self._tables:
-            raise UnknownTableError(f"no table {name!r}")
-        del self._tables[name]
-        if _journal:
-            self._journal_write({"op": "drop_table", "table": name})
+        with self._lock:
+            if name not in self._tables:
+                raise UnknownTableError(f"no table {name!r}")
+            del self._tables[name]
+            if _journal:
+                self._journal_write({"op": "drop_table", "table": name})
 
     def table(self, name: str) -> Table:
         try:
@@ -92,11 +141,12 @@ class Database:
 
     def create_index(self, table: str, column: str, kind: str = "hash") -> None:
         """Create a secondary index; journaled so recovery keeps it."""
-        self.table(table).create_index(column, kind)
-        self._journal_write(
-            {"op": "create_index", "table": table, "column": column,
-             "kind": kind}
-        )
+        with self._lock:
+            self.table(table).create_index(column, kind)
+            self._journal_write(
+                {"op": "create_index", "table": table, "column": column,
+                 "kind": kind}
+            )
 
     # ------------------------------------------------------------------
     # row operations
@@ -106,20 +156,22 @@ class Database:
         """Insert one row; returns its row id."""
         from repro.errors import ConstraintViolation
 
-        table = self.table(table_name)
-        rowid = table.insert(values)
-        row = table.row_by_id(rowid)
-        try:
-            self._check_foreign_keys(table, row)
-        except ConstraintViolation:
-            table.restore_delete(rowid)
-            raise
-        self._record_mutation(table_name, "insert", rowid, None, row)
-        self._journal_write({
-            "op": "insert", "table": table_name, "rowid": rowid,
-            "row": encode_row(table.schema, row),
-        })
-        return rowid
+        with self._lock:
+            table = self.table(table_name)
+            rowid = table.insert(values)
+            row = table.row_by_id(rowid)
+            try:
+                self._check_foreign_keys(table, row)
+                self._claim_row(table, rowid, before=None)
+            except ConstraintViolation:
+                table.restore_delete(rowid)
+                raise
+            self._record_mutation(table_name, "insert", rowid, None, row)
+            self._journal_write({
+                "op": "insert", "table": table_name, "rowid": rowid,
+                "row": encode_row(table.schema, row),
+            })
+            return rowid
 
     def insert_many(self, table_name: str,
                     rows: Iterable[Mapping[str, Any]]) -> list[int]:
@@ -139,79 +191,104 @@ class Database:
         """
         from repro.errors import ConstraintViolation
 
-        table = self.table(table_name)
-        prepared = table.prepare_rows(rows)
-        rowids = table.apply_prepared(prepared)
-        try:
-            for row in prepared:
-                self._check_foreign_keys(table, row)
-        except ConstraintViolation:
-            for rowid in reversed(rowids):
-                table.restore_delete(rowid)
-            raise
-        encoded = []
-        for rowid, row in zip(rowids, prepared):
-            self._record_mutation(table_name, "insert", rowid, None,
-                                  dict(row))
-            encoded.append(
-                {"rowid": rowid, "row": encode_row(table.schema, row)}
-            )
-        if encoded:
-            self._journal_write({
-                "op": "bulk_insert", "table": table_name, "rows": encoded,
-            })
-        return rowids
+        with self._lock:
+            table = self.table(table_name)
+            prepared = table.prepare_rows(rows)
+            rowids = table.apply_prepared(prepared)
+            try:
+                for row in prepared:
+                    self._check_foreign_keys(table, row)
+            except ConstraintViolation:
+                for rowid in reversed(rowids):
+                    table.restore_delete(rowid)
+                raise
+            transaction = self._current_transaction()
+            encoded = []
+            if transaction is None and rowids:
+                # one commit sequence for the whole batch: the batch is
+                # atomic and becomes visible to snapshots as one unit
+                seq = self._advance_seq()
+                watched = bool(self._snapshots) or bool(self._active_tx)
+                for rowid, row in zip(rowids, prepared):
+                    if watched or rowid in table._history:
+                        table.note_committed(rowid, None, dict(row), seq)
+            for rowid, row in zip(rowids, prepared):
+                if transaction is not None:
+                    self._claim_row(table, rowid, before=None)
+                    transaction.record(table_name, "insert", rowid, None,
+                                       dict(row))
+                encoded.append(
+                    {"rowid": rowid, "row": encode_row(table.schema, row)}
+                )
+            if encoded:
+                self._journal_write({
+                    "op": "bulk_insert", "table": table_name,
+                    "rows": encoded,
+                })
+            self._maybe_prune()
+            return rowids
 
     def update(self, table_name: str, rowid: int,
                changes: Mapping[str, Any]) -> dict[str, Any]:
         """Update one row by id; returns the new row."""
         from repro.errors import ConstraintViolation
 
-        table = self.table(table_name)
-        before = table.row_by_id(rowid)
-        after = table.update_row(rowid, changes)
-        try:
-            self._check_foreign_keys(table, after)
-        except ConstraintViolation:
-            table.restore_update(rowid, before)
-            raise
-        self._record_mutation(table_name, "update", rowid, before, after)
-        self._journal_write({
-            "op": "update", "table": table_name, "rowid": rowid,
-            "row": encode_row(table.schema, after),
-        })
-        return after
+        with self._lock:
+            table = self.table(table_name)
+            before = table.row_by_id(rowid)
+            # conflict detection happens *before* the physical mutation,
+            # so a conflicting statement leaves the table untouched
+            self._claim_row(table, rowid, before)
+            after = table.update_row(rowid, changes)
+            try:
+                self._check_foreign_keys(table, after)
+            except ConstraintViolation:
+                table.restore_update(rowid, before)
+                raise
+            self._record_mutation(table_name, "update", rowid, before, after)
+            self._journal_write({
+                "op": "update", "table": table_name, "rowid": rowid,
+                "row": encode_row(table.schema, after),
+            })
+            return after
 
     def delete(self, table_name: str, rowid: int) -> dict[str, Any]:
         """Delete one row by id; returns the deleted row."""
-        table = self.table(table_name)
-        row = table.delete_row(rowid)
-        self._record_mutation(table_name, "delete", rowid, row, None)
-        self._journal_write(
-            {"op": "delete", "table": table_name, "rowid": rowid}
-        )
-        return row
+        with self._lock:
+            table = self.table(table_name)
+            before = table.row_by_id(rowid)
+            self._claim_row(table, rowid, before)
+            row = table.delete_row(rowid)
+            self._record_mutation(table_name, "delete", rowid, row, None)
+            self._journal_write(
+                {"op": "delete", "table": table_name, "rowid": rowid}
+            )
+            return row
 
     def update_where(self, table_name: str, predicate: Predicate,
                      changes: Mapping[str, Any]) -> int:
         """Update every matching row; returns the number updated."""
-        table = self.table(table_name)
-        matching = [
-            rowid for rowid, row in table.rows_with_ids() if predicate(row)
-        ]
-        for rowid in matching:
-            self.update(table_name, rowid, changes)
-        return len(matching)
+        with self._lock:
+            table = self.table(table_name)
+            matching = [
+                rowid for rowid, row in table.rows_with_ids()
+                if predicate(row)
+            ]
+            for rowid in matching:
+                self.update(table_name, rowid, changes)
+            return len(matching)
 
     def delete_where(self, table_name: str, predicate: Predicate) -> int:
         """Delete every matching row; returns the number deleted."""
-        table = self.table(table_name)
-        matching = [
-            rowid for rowid, row in table.rows_with_ids() if predicate(row)
-        ]
-        for rowid in matching:
-            self.delete(table_name, rowid)
-        return len(matching)
+        with self._lock:
+            table = self.table(table_name)
+            matching = [
+                rowid for rowid, row in table.rows_with_ids()
+                if predicate(row)
+            ]
+            for rowid in matching:
+                self.delete(table_name, rowid)
+            return len(matching)
 
     def get(self, table_name: str, key: Any) -> dict[str, Any]:
         """Fetch one row by primary-key value."""
@@ -271,47 +348,234 @@ class Database:
     # ------------------------------------------------------------------
 
     def query(self, table_name: str) -> Query:
-        """Start a fluent :class:`~repro.storage.query.Query`."""
+        """Start a fluent :class:`~repro.storage.query.Query`.
+
+        Reads the *latest* physical state, including this thread's own
+        uncommitted writes (and, under concurrency, other sessions'
+        uncommitted writes).  Use :meth:`snapshot` for isolated reads.
+        """
         return Query(self.table(table_name), resolve_table=self.table)
 
     def count(self, table_name: str) -> int:
         return len(self.table(table_name))
 
     # ------------------------------------------------------------------
+    # snapshots (MVCC read views)
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Pin the current committed state and return a read view.
+
+        Queries through the snapshot see exactly the rows committed
+        before this call — never uncommitted writes, never later
+        commits — and never block writers.  Release the snapshot (it is
+        a context manager) so version history can be pruned.
+        """
+        with self._lock:
+            seq = self._commit_seq
+            self._snapshots[seq] = self._snapshots.get(seq, 0) + 1
+            self._storage_counter("storage_snapshots_total").inc()
+            return Snapshot(self, seq)
+
+    def _release_snapshot(self, seq: int) -> None:
+        with self._lock:
+            count = self._snapshots.get(seq, 0) - 1
+            if count > 0:
+                self._snapshots[seq] = count
+            else:
+                self._snapshots.pop(seq, None)
+
+    def _storage_counter(self, name: str, **labels: str):
+        from repro.telemetry import get_telemetry
+
+        return get_telemetry().metrics.counter(name, database=self.name,
+                                               **labels)
+
+    # ------------------------------------------------------------------
     # transactions
     # ------------------------------------------------------------------
 
     def transaction(self) -> Transaction:
-        """Open a transaction (usable as a context manager)."""
-        if self._transaction is not None:
-            raise TransactionError("a transaction is already open")
-        self._transaction = Transaction(self)
-        return self._transaction
+        """Open a transaction for the calling thread (usable as a
+        context manager).
+
+        Each thread may hold one open transaction; opening a second one
+        from the same thread raises :class:`TransactionError` (undo
+        records must never interleave within a session).  Different
+        threads run transactions concurrently under first-writer-wins
+        conflict detection.
+        """
+        with self._lock:
+            ident = threading.get_ident()
+            existing = self._active_tx.get(ident)
+            if existing is not None:
+                raise TransactionError(
+                    "a transaction is already open in this thread "
+                    f"(tid={existing.tid}); commit or roll it back before "
+                    "opening another"
+                )
+            self._tx_counter += 1
+            transaction = Transaction(self, self._tx_counter,
+                                      start_seq=self._commit_seq)
+            self._active_tx[ident] = transaction
+            return transaction
 
     def in_transaction(self) -> bool:
-        return self._transaction is not None
+        """Whether the *calling thread* has an open transaction."""
+        return self._current_transaction() is not None
 
-    def _record_mutation(self, table: str, op: str, rowid: int,
+    def active_transactions(self) -> int:
+        """Number of open transactions across all threads."""
+        return len(self._active_tx)
+
+    def _current_transaction(self) -> Transaction | None:
+        return self._active_tx.get(threading.get_ident())
+
+    def _claim_row(self, table: Table, rowid: int,
+                   before: dict[str, Any] | None) -> None:
+        """First-writer-wins conflict detection for one row write.
+
+        Raises :class:`TransactionConflictError` when the row carries an
+        uncommitted write from another transaction, or (inside a
+        transaction) was committed after the transaction began.  On the
+        first claim by a transaction the committed pre-image is pinned in
+        the version history so snapshot readers keep seeing it.
+        """
+        transaction = self._current_transaction()
+        key = (table.name, rowid)
+        owner = self._row_writers.get(key)
+        if owner is not None and owner is not transaction:
+            self._storage_counter("storage_transaction_conflicts_total",
+                                  table=table.name, kind="write_write").inc()
+            raise TransactionConflictError(
+                f"row {table.name}#{rowid} has an uncommitted write from "
+                f"transaction tid={owner.tid} (first writer wins)"
+            )
+        if transaction is None:
+            return
+        if key not in transaction.claims:
+            last_seq = table.last_committed_seq(rowid)
+            if last_seq > transaction.start_seq:
+                self._storage_counter(
+                    "storage_transaction_conflicts_total",
+                    table=table.name, kind="stale_write").inc()
+                raise TransactionConflictError(
+                    f"row {table.name}#{rowid} was committed at seq "
+                    f"{last_seq}, after transaction tid={transaction.tid} "
+                    f"began at seq {transaction.start_seq} (first "
+                    "committer wins)"
+                )
+            transaction.claims.add(key)
+            self._row_writers[key] = transaction
+            table.ensure_baseline(rowid, before)
+
+    def _record_mutation(self, table_name: str, op: str, rowid: int,
                          before: dict[str, Any] | None,
                          after: dict[str, Any] | None) -> None:
-        if self._transaction is not None:
-            self._transaction.record(table, op, rowid, before, after)
+        transaction = self._current_transaction()
+        if transaction is not None:
+            transaction.record(table_name, op, rowid, before, after)
+        else:
+            self._note_autocommit(self._tables[table_name], rowid,
+                                  before, after)
 
-    def _finish_transaction(self, transaction: Transaction) -> None:
-        if self._transaction is not transaction:
-            raise TransactionError("finishing a transaction that is not open")
-        self._transaction = None
-        if transaction.state == "committed":
-            if self._journal is not None and self._journal_buffer:
-                self._journal.append_many(self._journal_buffer)
-        self._journal_buffer = []
+    def _advance_seq(self) -> int:
+        self._commit_seq += 1
+        return self._commit_seq
+
+    def _note_autocommit(self, table: Table, rowid: int,
+                         before: dict[str, Any] | None,
+                         after: dict[str, Any] | None) -> None:
+        """Publish an autocommitted statement to the version history.
+
+        When nobody can observe old versions (no snapshots, no open
+        transactions) and the row has no history, recording is skipped —
+        the physical row is the committed truth and the single-writer
+        hot path stays copy-free.
+        """
+        seq = self._advance_seq()
+        if self._snapshots or self._active_tx or rowid in table._history:
+            table.note_committed(rowid, before, after, seq)
+        self._maybe_prune()
+
+    def _commit_transaction(self, transaction: Transaction) -> None:
+        with self._lock:
+            if self._active_tx.get(transaction.thread_ident) \
+                    is not transaction:
+                raise TransactionError(
+                    "finishing a transaction that is not open")
+            seq = self._advance_seq()
+            for (table_name, rowid), (before, after) \
+                    in transaction.final_images().items():
+                table = self._tables.get(table_name)
+                if table is not None:
+                    table.note_committed(rowid, before, after, seq)
+            if self._journal is not None and transaction.journal_buffer:
+                self._journal.append_many(transaction.journal_buffer)
+            transaction.journal_buffer = []
+            self._release_transaction(transaction)
+            self._maybe_prune()
+
+    def _rollback_transaction(self, transaction: Transaction) -> None:
+        with self._lock:
+            if self._active_tx.get(transaction.thread_ident) \
+                    is not transaction:
+                raise TransactionError(
+                    "finishing a transaction that is not open")
+            for record in reversed(transaction.undo_records()):
+                table = self.table(record.table)
+                if record.op == "insert":
+                    table.restore_delete(record.rowid)
+                elif record.op == "delete":
+                    assert record.before is not None
+                    table.restore_insert(record.rowid, record.before)
+                else:  # update
+                    assert record.before is not None
+                    table.restore_update(record.rowid, record.before)
+            transaction.journal_buffer = []
+            self._release_transaction(transaction)
+
+    def _abandon_transaction(self, transaction: Transaction) -> None:
+        """Detach a transaction whose rollback failed mid-replay: drop
+        its buffered journal entries and release its claims so other
+        sessions are not wedged; the transaction object itself is dead
+        (state ``failed``) and every further use raises."""
+        with self._lock:
+            self._storage_counter("storage_failed_rollbacks_total").inc()
+            transaction.journal_buffer = []
+            self._release_transaction(transaction)
+
+    def _release_transaction(self, transaction: Transaction) -> None:
+        for key in transaction.claims:
+            if self._row_writers.get(key) is transaction:
+                del self._row_writers[key]
+        transaction.claims = set()
+        if self._active_tx.get(transaction.thread_ident) is transaction:
+            del self._active_tx[transaction.thread_ident]
+
+    def _maybe_prune(self) -> None:
+        """Drop version history nobody can observe any more (runs every
+        :data:`PRUNE_INTERVAL` commits)."""
+        if self._commit_seq - self._last_prune_seq < PRUNE_INTERVAL:
+            return
+        self._last_prune_seq = self._commit_seq
+        floors = [self._commit_seq]
+        floors.extend(self._snapshots)
+        floors.extend(tx.start_seq for tx in self._active_tx.values())
+        floor = min(floors)
+        claimed: dict[str, set[int]] = {}
+        for table_name, rowid in self._row_writers:
+            claimed.setdefault(table_name, set()).add(rowid)
+        for name, table in self._tables.items():
+            table.prune_versions(floor, keep=claimed.get(name, ()))
 
     def _journal_write(self, entry: dict[str, Any]) -> None:
         if self._journal is None:
             return
-        if self._transaction is not None:
+        transaction = self._current_transaction()
+        if transaction is not None:
             # Buffer until commit: rolled-back work must never hit disk.
-            self._journal_buffer.append(entry)
+            transaction.journal_buffer.append(entry)
         else:
             self._journal.append(entry)
 
@@ -324,10 +588,21 @@ class Database:
         return self._journal
 
     def checkpoint(self) -> Path | None:
-        """Write a snapshot and truncate the journal (no-op in memory)."""
+        """Write a snapshot and truncate the journal (no-op in memory).
+
+        Refuses to run while any transaction is open: the snapshot file
+        would capture uncommitted physical rows, and a later rollback
+        could not be replayed out of it.
+        """
         if self._journal is None:
             return None
-        return self._journal.write_snapshot(self)
+        with self._lock:
+            if self._active_tx:
+                raise TransactionError(
+                    f"cannot checkpoint with {len(self._active_tx)} open "
+                    "transaction(s)"
+                )
+            return self._journal.write_snapshot(self)
 
     @classmethod
     def recover(cls, name: str, journal_path: str | Path) -> "Database":

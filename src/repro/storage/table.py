@@ -47,6 +47,13 @@ class Table:
         self._next_rowid = 1
         self._indexes: dict[str, Index] = {}
         self._undo_hook: UndoCallback | None = None
+        # MVCC: committed row images keyed by rowid.  Each entry is an
+        # append-only list of ``(commit_seq, image-or-None)`` pairs
+        # (``None`` = deleted/not yet inserted at that point).  Absent
+        # rowids are "clean": the physical row *is* the committed image.
+        # The database layer appends at commit time and prunes versions
+        # no live snapshot or transaction can still observe.
+        self._history: dict[int, list[tuple[int, Row | None]]] = {}
         # UNIQUE columns (incl. the primary key) get a hash index up front
         # so uniqueness checks stay O(1).
         for column in schema.columns:
@@ -315,6 +322,84 @@ class Table:
                 index.remove(rowid, old)
                 index.add(rowid, new)
         self._rows[rowid] = dict(row)
+
+    # ------------------------------------------------------------------
+    # MVCC version history (driven by the database layer)
+    # ------------------------------------------------------------------
+
+    def last_committed_seq(self, rowid: int) -> int:
+        """Commit sequence of the last committed write to ``rowid``
+        (0 when the row has no tracked history)."""
+        entries = self._history.get(rowid)
+        return entries[-1][0] if entries else 0
+
+    def ensure_baseline(self, rowid: int, before: Row | None) -> None:
+        """Pin the pre-image of ``rowid`` before an uncommitted write
+        touches the physical row, so snapshot readers keep seeing the
+        committed state while the writing transaction is in flight."""
+        if rowid not in self._history:
+            self._history[rowid] = [
+                (0, dict(before) if before is not None else None)
+            ]
+
+    def note_committed(self, rowid: int, before: Row | None,
+                       after: Row | None, seq: int) -> None:
+        """Append the committed image of ``rowid`` at commit ``seq``."""
+        entries = self._history.get(rowid)
+        if entries is None:
+            entries = [(0, dict(before) if before is not None else None)]
+            self._history[rowid] = entries
+        entries.append((seq, dict(after) if after is not None else None))
+
+    def version_at(self, rowid: int, seq: int) -> Row | None:
+        """The committed image of ``rowid`` as of commit ``seq`` (a
+        copy), or ``None`` when the row was not visible then."""
+        entries = self._history.get(rowid)
+        if entries is None:
+            # clean row: the physical image is the committed image
+            row = self._rows.get(rowid)
+            return dict(row) if row is not None else None
+        for version_seq, image in reversed(entries):
+            if version_seq <= seq:
+                return dict(image) if image is not None else None
+        return None
+
+    def tracked_rowids(self) -> set[int]:
+        """Every rowid a snapshot reader must consider: physically
+        present rows plus rows with version history (covers rows deleted
+        after a snapshot was taken)."""
+        return set(self._rows) | set(self._history)
+
+    def prune_versions(self, floor: int,
+                       keep: Iterable[int] = ()) -> int:
+        """Drop version history no reader at or after commit ``floor``
+        can observe; rowids in ``keep`` (uncommitted writes) are pinned.
+        Returns the number of discarded version entries."""
+        pinned = set(keep)
+        dropped = 0
+        for rowid in list(self._history):
+            if rowid in pinned:
+                continue
+            entries = self._history[rowid]
+            # index of the last entry at or before the floor: everything
+            # older is unobservable and the entry itself becomes the new
+            # baseline
+            base = None
+            for position in range(len(entries) - 1, -1, -1):
+                if entries[position][0] <= floor:
+                    base = position
+                    break
+            if base is None:
+                continue
+            if base == len(entries) - 1:
+                # single live version: the physical row carries it, so
+                # the whole chain can go (a clean row has no history)
+                dropped += len(entries)
+                del self._history[rowid]
+            elif base > 0:
+                dropped += base
+                self._history[rowid] = entries[base:]
+        return dropped
 
     # ------------------------------------------------------------------
     # indexes

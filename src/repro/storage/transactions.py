@@ -1,18 +1,28 @@
-"""Transactions with rollback.
+"""Concurrent transactions with undo logs and conflict detection.
 
-The engine supports one open transaction at a time per database (the
-paper's workloads are single-writer).  While a transaction is open, every
-table mutation appends an undo record; :meth:`Transaction.rollback`
-replays them in reverse.  Databases expose the ergonomic form::
+The engine supports one open transaction *per thread* and any number of
+threads: every session gets its own undo log and write-ahead journal
+buffer, rows touched by an uncommitted transaction are claimed under
+first-writer-wins conflict rules (see
+:meth:`repro.storage.database.Database._claim_row`), and commits are
+serialized through the database's write lock so the journal records one
+consistent history.  Databases expose the ergonomic form::
 
     with db.transaction():
         db.insert("species_updates", {...})
         db.update("recordings", rid, {...})
     # committed; an exception inside the block rolls everything back
+
+Transaction states: ``open`` -> ``committed`` | ``rolled_back`` |
+``failed``.  ``failed`` means a rollback blew up mid-replay (a
+``restore_*`` call raised): the transaction is abandoned, its row claims
+are released, and every further use raises :class:`TransactionError` —
+the database refuses to reuse it.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import TransactionError
@@ -44,10 +54,24 @@ class UndoRecord:
 class Transaction:
     """An open transaction; create via ``Database.transaction()``."""
 
-    def __init__(self, database: "Database") -> None:
+    def __init__(self, database: "Database", tid: int,
+                 start_seq: int) -> None:
         self._database = database
+        self.tid = tid
+        #: database commit sequence when this transaction began; writes
+        #: to rows committed after this point conflict (first committer
+        #: wins)
+        self.start_seq = start_seq
+        #: thread that opened the transaction — terminal operations must
+        #: come from the same thread
+        self.thread_ident = threading.get_ident()
         self._undo: list[UndoRecord] = []
         self._state = "open"
+        #: journal entries buffered until commit (rolled-back work must
+        #: never hit disk)
+        self.journal_buffer: list[dict[str, Any]] = []
+        #: ``(table, rowid)`` pairs this transaction holds write claims on
+        self.claims: set[tuple[str, int]] = set()
 
     # -- recording ------------------------------------------------------
 
@@ -66,31 +90,56 @@ class Transaction:
     def pending_operations(self) -> int:
         return len(self._undo)
 
+    def final_images(self) -> dict[tuple[str, int],
+                                   tuple[dict[str, Any] | None,
+                                         dict[str, Any] | None]]:
+        """Per touched row: (first before-image, last after-image).
+
+        This is what the commit publishes to the MVCC version history —
+        intermediate images within the transaction were never visible to
+        anyone else and need no version entries.
+        """
+        images: dict[tuple[str, int],
+                     tuple[dict[str, Any] | None,
+                           dict[str, Any] | None]] = {}
+        for record in self._undo:
+            key = (record.table, record.rowid)
+            if key in images:
+                images[key] = (images[key][0], record.after)
+            else:
+                images[key] = (record.before, record.after)
+        return images
+
+    def undo_records(self) -> list[UndoRecord]:
+        return list(self._undo)
+
     # -- terminal operations ---------------------------------------------
 
     def commit(self) -> None:
         if self._state != "open":
             raise TransactionError(f"cannot commit a {self._state} transaction")
+        self._database._commit_transaction(self)
         self._state = "committed"
-        self._database._finish_transaction(self)
 
     def rollback(self) -> None:
         if self._state != "open":
             raise TransactionError(
                 f"cannot roll back a {self._state} transaction"
             )
-        for record in reversed(self._undo):
-            table = self._database.table(record.table)
-            if record.op == "insert":
-                table.restore_delete(record.rowid)
-            elif record.op == "delete":
-                assert record.before is not None
-                table.restore_insert(record.rowid, record.before)
-            else:  # update
-                assert record.before is not None
-                table.restore_update(record.rowid, record.before)
+        try:
+            self._database._rollback_transaction(self)
+        except Exception as exc:
+            # A restore_* call raised mid-replay: the database may hold a
+            # half-undone state for the rows this transaction touched.
+            # Mark the transaction failed (every further use raises) and
+            # release its claims so other sessions are not wedged.
+            self._state = "failed"
+            self._database._abandon_transaction(self)
+            raise TransactionError(
+                "rollback failed mid-replay; transaction abandoned in "
+                f"state 'failed': {exc}"
+            ) from exc
         self._state = "rolled_back"
-        self._database._finish_transaction(self)
 
     # -- context manager ---------------------------------------------------
 
@@ -105,3 +154,7 @@ class Transaction:
         else:
             self.rollback()
         return False
+
+    def __repr__(self) -> str:
+        return (f"Transaction(tid={self.tid}, state={self._state}, "
+                f"{len(self._undo)} undo records)")

@@ -130,6 +130,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("static analysis")
         lines.append("-" * 64)
         lines.extend(analysis_lines)
+
+    service_lines = _service_panel(metrics)
+    if service_lines:
+        lines.append("")
+        lines.append("multi-tenant service")
+        lines.append("-" * 64)
+        lines.extend(service_lines)
     return "\n".join(lines)
 
 
@@ -227,6 +234,73 @@ def _analysis_panel(metrics: Mapping[str, Any]) -> list[str]:
         f"  baseline-suppressed "
         f"{_fmt(_family_total(metrics, 'analysis_suppressed_total'))}",
     ]
+
+
+def _service_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Request-façade activity for :func:`render_report` (empty until a
+    ``service_requests_total`` series exists — note the taxonomy
+    ``service_measured_availability`` gauge shares the prefix but does
+    not come from the façade)."""
+    if not any(series.split("{", 1)[0] == "service_requests_total"
+               for series in metrics):
+        return []
+    by_outcome: dict[str, float] = {}
+    for series, data in metrics.items():
+        if (series.split("{", 1)[0] == "service_requests_total"
+                and data.get("type") == "counter"):
+            label = series.split("{", 1)[1].rstrip("}")
+            labels = dict(part.split("=", 1) for part in label.split(","))
+            outcome = labels.get("outcome", "unknown")
+            by_outcome[outcome] = by_outcome.get(outcome, 0) + data["value"]
+    total = sum(by_outcome.values())
+    outcomes = ", ".join(
+        f"{_fmt(by_outcome[outcome])} {outcome}"
+        for outcome in ("ok", "rejected", "conflict", "error")
+        if outcome in by_outcome
+    ) or "none"
+    lines = [f"  requests {_fmt(total)} ({outcomes})"]
+    count = 0
+    weighted_sum = 0.0
+    latency_max: float | None = None
+    for series, data in metrics.items():
+        if (series.split("{", 1)[0] == "service_request_seconds"
+                and data.get("count")):
+            count += data["count"]
+            weighted_sum += data["sum"]
+            if latency_max is None or data["max"] > latency_max:
+                latency_max = data["max"]
+    if count:
+        lines.append(
+            f"  latency mean {_fmt(weighted_sum / count)}s,"
+            f" max {_fmt(latency_max)}s over {_fmt(count)} request(s)"
+        )
+    rejected = _family_total(metrics, "service_admission_rejected_total")
+    quota = _family_total(metrics, "service_quota_rejected_total")
+    if rejected or quota:
+        lines.append(
+            f"  shed load: admission {_fmt(rejected)},"
+            f" quota {_fmt(quota)}"
+        )
+    retries = _family_total(metrics, "service_conflict_retries_total")
+    conflicts = _family_total(metrics, "storage_transaction_conflicts_total")
+    if retries or conflicts:
+        lines.append(
+            f"  write conflicts {_fmt(conflicts)}"
+            f" (ingest retries {_fmt(retries)})"
+        )
+    snapshots = _family_total(metrics, "storage_snapshots_total")
+    if snapshots:
+        lines.append(f"  MVCC snapshots taken {_fmt(snapshots)}")
+    for name in ("service_in_flight", "service_queue_depth"):
+        for series, data in metrics.items():
+            if series.split("{", 1)[0] == name \
+                    and data.get("type") == "gauge":
+                lines.append(
+                    f"  {name.removeprefix('service_')} now "
+                    f"{_fmt(data['value'])}"
+                )
+                break
+    return lines
 
 
 def quality_signals(snapshot: Mapping[str, Any]) -> dict[str, Any]:

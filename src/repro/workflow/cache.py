@@ -133,11 +133,22 @@ class ResultCache:
 
     def put(self, key: str, outputs: Mapping[str, Any],
             source: str) -> None:
-        """Store one successful invocation; silently skips values that
-        cannot be deep-copied (they would not replay safely)."""
+        """Store one successful invocation.
+
+        Values that cannot be deep-copied (they would not replay safely)
+        are skipped and counted under ``cache_store_skipped_total``; only
+        the failures deep-copy itself signals — ``TypeError``,
+        ``copy.Error``, ``RecursionError`` — are treated as "not
+        copyable".  Anything else (say a ``KeyboardInterrupt`` or a bug
+        in a value's ``__deepcopy__``) propagates.
+        """
         try:
             stored = copy.deepcopy(dict(outputs))
-        except Exception:
+        except (TypeError, copy.Error, RecursionError):
+            from repro.telemetry import get_telemetry
+
+            get_telemetry().metrics.counter(
+                "cache_store_skipped_total", source=source).inc()
             return
         with self._lock:
             self._entries[key] = CachedResult(stored, source)

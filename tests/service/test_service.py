@@ -1,0 +1,263 @@
+"""The multi-tenant service façade: operations, admission control,
+quotas, conflict retries and telemetry."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.errors import AdmissionRejectedError, QuotaExceededError
+from repro.service import (
+    AdmissionController,
+    PreservationService,
+    QuotaRegistry,
+    ServiceConfig,
+    ServiceRequest,
+    TenantQuota,
+)
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture()
+def telemetry():
+    return Telemetry()
+
+
+@pytest.fixture()
+def db():
+    database = Database("svc")
+    database.create_table(TableSchema("specimens", [
+        Column("id", ct.INTEGER),
+        Column("species", ct.TEXT),
+        Column("grade", ct.INTEGER),
+    ], primary_key="id"))
+    database.insert("specimens", {"id": 1, "species": "Hyla", "grade": 3})
+    database.insert("specimens", {"id": 2, "species": "Rana", "grade": 5})
+    return database
+
+
+@pytest.fixture()
+def service(db, telemetry):
+    return PreservationService(db, telemetry=telemetry)
+
+
+class TestOperations:
+    def test_query_returns_rows(self, service):
+        response = service.query("alice", "specimens",
+                                 predicate=col("grade") > 4)
+        assert response.ok
+        assert [row["species"] for row in response.result] == ["Rana"]
+
+    def test_query_runs_on_snapshot(self, db, service):
+        """A query admitted while another session holds uncommitted
+        writes must not see them."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def dirty_writer():
+            with db.transaction():
+                db.insert("specimens", {"id": 3, "species": "Bufo",
+                                        "grade": 1})
+                started.set()
+                assert release.wait(timeout=10)
+
+        thread = threading.Thread(target=dirty_writer)
+        thread.start()
+        assert started.wait(timeout=10)
+        try:
+            response = service.query("alice", "specimens")
+            assert response.ok
+            assert len(response.result) == 2
+        finally:
+            release.set()
+            thread.join(timeout=10)
+
+    def test_ingest_inserts_and_updates(self, db, service):
+        response = service.ingest(
+            "alice", "specimens",
+            rows=[{"id": 10, "species": "Scinax", "grade": 2}],
+            updates=[{"key": 1, "changes": {"grade": 4}}],
+        )
+        assert response.ok
+        assert response.result["inserted"] == 1
+        assert response.result["updated"] == 1
+        assert db.get("specimens", 1)["grade"] == 4
+
+    def test_handler_error_becomes_error_status(self, service):
+        response = service.query("alice", "no_such_table")
+        assert response.status == "error"
+        assert "no_such_table" in (response.error or "")
+
+    def test_unknown_op_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown operation"):
+            ServiceRequest("alice", "drop_everything")
+
+    def test_vault_ops_without_vault_are_errors(self, service):
+        response = service.audit("alice")
+        assert response.status == "error"
+        assert "vault" in (response.error or "")
+
+    def test_submit_never_raises_and_counts_outcomes(self, service,
+                                                     telemetry):
+        service.query("alice", "specimens")
+        service.query("alice", "missing")
+        snapshot = telemetry.metrics.snapshot()
+        outcomes = {
+            series: data["value"]
+            for series, data in snapshot.items()
+            if series.split("{", 1)[0] == "service_requests_total"
+        }
+        assert sum(outcomes.values()) == 2
+        assert any("outcome=ok" in series for series in outcomes)
+        assert any("outcome=error" in series for series in outcomes)
+
+
+class TestConflictHandling:
+    def test_ingest_conflict_reported_after_retries(self, db, telemetry):
+        service = PreservationService(
+            db, config=ServiceConfig(conflict_retries=2),
+            telemetry=telemetry)
+        rowid = db.rowid_for("specimens", 1)
+        claimed = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with db.transaction():
+                db.update("specimens", rowid, {"grade": 9})
+                claimed.set()
+                assert release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert claimed.wait(timeout=10)
+        try:
+            response = service.ingest(
+                "alice", "specimens",
+                updates=[{"key": 1, "changes": {"grade": 0}}])
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        assert response.status == "conflict"
+        snapshot = telemetry.metrics.snapshot()
+        retries = sum(
+            data["value"] for series, data in snapshot.items()
+            if series.split("{", 1)[0] == "service_conflict_retries_total"
+        )
+        assert retries == 2
+
+    def test_concurrent_ingests_converge(self, db, telemetry):
+        service = PreservationService(
+            db, config=ServiceConfig(conflict_retries=50),
+            telemetry=telemetry)
+
+        def bump(index: int):
+            return service.ingest(
+                "t%d" % index, "specimens",
+                updates=[{"key": 1, "changes": {"grade": index}}])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(bump, range(8)))
+        assert all(response.ok for response in responses)
+        assert db.get("specimens", 1)["grade"] in range(8)
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects(self, telemetry):
+        controller = AdmissionController(
+            max_in_flight=1, max_queue_depth=0, telemetry=telemetry)
+        controller.acquire()
+        with pytest.raises(AdmissionRejectedError, match="queue_full"):
+            controller.acquire()
+        controller.release()
+        controller.acquire()  # slot free again
+        controller.release()
+
+    def test_queue_timeout_rejects(self, telemetry):
+        controller = AdmissionController(
+            max_in_flight=1, max_queue_depth=4,
+            queue_timeout_seconds=0.05, telemetry=telemetry)
+        controller.acquire()
+        with pytest.raises(AdmissionRejectedError, match="queue_timeout"):
+            controller.acquire()
+        controller.release()
+
+    def test_waiter_admitted_when_slot_frees(self, telemetry):
+        controller = AdmissionController(
+            max_in_flight=1, max_queue_depth=4,
+            queue_timeout_seconds=5.0, telemetry=telemetry)
+        controller.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            with controller.slot():
+                admitted.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not admitted.wait(timeout=0.05)
+        controller.release()
+        assert admitted.wait(timeout=5)
+        thread.join(timeout=5)
+
+    def test_facade_sheds_load_as_rejected(self, db, telemetry):
+        service = PreservationService(
+            db,
+            config=ServiceConfig(max_in_flight=1, max_queue_depth=0,
+                                 simulated_io_seconds=0.2),
+            telemetry=telemetry)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            responses = list(pool.map(
+                lambda _: service.query("t", "specimens"), range(4)))
+        statuses = sorted(response.status for response in responses)
+        assert "ok" in statuses
+        assert "rejected" in statuses
+        assert all(status in ("ok", "rejected") for status in statuses)
+
+
+class TestQuotas:
+    def test_request_window_budget(self, telemetry):
+        clock = {"now": 0.0}
+        quotas = QuotaRegistry(
+            default=TenantQuota(requests_per_window=2, window_seconds=60),
+            clock=lambda: clock["now"], telemetry=telemetry)
+        quotas.charge("alice")
+        quotas.charge("alice")
+        with pytest.raises(QuotaExceededError, match="budget"):
+            quotas.charge("alice")
+        quotas.charge("bob")  # budgets are per tenant
+        clock["now"] = 61.0
+        quotas.charge("alice")  # window rolled over
+
+    def test_row_cap(self, telemetry):
+        quotas = QuotaRegistry(telemetry=telemetry)
+        quotas.set_quota("alice", TenantQuota(max_rows_per_request=5))
+        quotas.check_rows("alice", 5)
+        with pytest.raises(QuotaExceededError, match="cap"):
+            quotas.check_rows("alice", 6)
+        quotas.check_rows("bob", 1000)  # no quota, no cap
+
+    def test_facade_rejects_over_quota_tenant(self, db, telemetry):
+        service = PreservationService(
+            db,
+            config=ServiceConfig(
+                default_quota=TenantQuota(requests_per_window=1,
+                                          window_seconds=3600)),
+            telemetry=telemetry)
+        assert service.query("alice", "specimens").ok
+        rejected = service.query("alice", "specimens")
+        assert rejected.status == "rejected"
+        assert "budget" in (rejected.error or "")
+        snapshot = telemetry.metrics.snapshot()
+        assert any(
+            series.split("{", 1)[0] == "service_quota_rejected_total"
+            for series in snapshot)
+
+    def test_facade_row_cap_rejects_large_query(self, db, telemetry):
+        service = PreservationService(db, telemetry=telemetry)
+        service.quotas.set_quota(
+            "alice", TenantQuota(max_rows_per_request=1))
+        response = service.query("alice", "specimens")
+        assert response.status == "rejected"
+        assert "cap" in (response.error or "")

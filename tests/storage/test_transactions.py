@@ -137,3 +137,115 @@ class TestJournalInteraction:
             db.insert("t", {"id": 2})
         recovered = Database.recover("tx", path)
         assert recovered.count("t") == 2
+
+
+class TestFailedRollback:
+    """Regression (satellite bugfix): a ``restore_*`` crash mid-replay
+    used to leave the transaction in state ``open`` with only part of
+    the undo log applied — it could then be committed or rolled back
+    again on top of the corrupt state."""
+
+    def _crashing_rollback(self, db, monkeypatch):
+        from repro.storage.table import Table
+
+        tx = db.transaction()
+        db.insert("t", {"id": 2, "v": "x"})
+
+        def boom(self, rowid):
+            raise RuntimeError("simulated index corruption")
+
+        monkeypatch.setattr(Table, "restore_delete", boom)
+        with pytest.raises(TransactionError, match="mid-replay"):
+            tx.rollback()
+        monkeypatch.undo()
+        return tx
+
+    def test_failed_rollback_marks_transaction_failed(self, db, monkeypatch):
+        tx = self._crashing_rollback(db, monkeypatch)
+        assert tx.state == "failed"
+
+    def test_failed_transaction_refuses_reuse(self, db, monkeypatch):
+        tx = self._crashing_rollback(db, monkeypatch)
+        with pytest.raises(TransactionError, match="failed"):
+            tx.commit()
+        with pytest.raises(TransactionError, match="failed"):
+            tx.rollback()
+        with pytest.raises(TransactionError, match="failed"):
+            tx.record("t", "insert", 1, None, {})
+
+    def test_failure_wraps_original_exception(self, db, monkeypatch):
+        from repro.storage.table import Table
+
+        tx = db.transaction()
+        db.insert("t", {"id": 2, "v": "x"})
+
+        def boom(self, rowid):
+            raise RuntimeError("simulated index corruption")
+
+        monkeypatch.setattr(Table, "restore_delete", boom)
+        with pytest.raises(TransactionError) as excinfo:
+            tx.rollback()
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_database_recovers_after_failed_rollback(self, db, monkeypatch):
+        self._crashing_rollback(db, monkeypatch)
+        # the wedged transaction was abandoned: a new session can open a
+        # transaction and touch the same table
+        with db.transaction():
+            db.insert("t", {"id": 3, "v": "fresh"})
+        assert db.get("t", 3)["v"] == "fresh"
+
+    def test_context_manager_propagates_failed_rollback(self, db,
+                                                        monkeypatch):
+        from repro.storage.table import Table
+
+        def boom(self, rowid):
+            raise RuntimeError("simulated index corruption")
+
+        with pytest.raises(TransactionError, match="mid-replay"):
+            with db.transaction():
+                db.insert("t", {"id": 2, "v": "x"})
+                monkeypatch.setattr(Table, "restore_delete", boom)
+                raise ValueError("application error")
+
+
+class TestSecondTransactionGuard:
+    """Regression (satellite bugfix): opening a second transaction in
+    the same session must raise — before the guard, the second begin
+    silently interleaved undo records with the first."""
+
+    def test_second_begin_same_thread_raises_clearly(self, db):
+        with db.transaction():
+            with pytest.raises(TransactionError, match="already open"):
+                db.transaction()
+
+    def test_first_transaction_unharmed_by_rejected_begin(self, db):
+        tx = db.transaction()
+        db.insert("t", {"id": 2, "v": "x"})
+        with pytest.raises(TransactionError):
+            db.transaction()
+        # the pre-fix corruption scenario: the rejected begin must not
+        # have disturbed the open transaction's undo log
+        assert tx.pending_operations == 1
+        tx.rollback()
+        assert db.count("t") == 1
+
+    def test_other_threads_may_run_their_own_transaction(self, db):
+        import threading
+
+        tx = db.transaction()
+        errors = []
+
+        def other():
+            try:
+                with db.transaction():
+                    db.insert("t", {"id": 9, "v": "peer"})
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join(timeout=10)
+        assert not errors
+        tx.commit()
+        assert db.get("t", 9)["v"] == "peer"
