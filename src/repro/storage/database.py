@@ -158,6 +158,11 @@ class Database:
 
         with self._lock:
             table = self.table(table_name)
+            if self._snapshots or self._active_tx:
+                # pin the "row absent" baseline before the physical row
+                # lands: lock-free snapshot readers must resolve the new
+                # rowid to "not visible yet", never to the fresh row
+                table.pin_insert_baselines()
             rowid = table.insert(values)
             row = table.row_by_id(rowid)
             try:
@@ -194,6 +199,8 @@ class Database:
         with self._lock:
             table = self.table(table_name)
             prepared = table.prepare_rows(rows)
+            if self._snapshots or self._active_tx:
+                table.pin_insert_baselines(len(prepared))
             rowids = table.apply_prepared(prepared)
             try:
                 for row in prepared:
@@ -267,27 +274,47 @@ class Database:
 
     def update_where(self, table_name: str, predicate: Predicate,
                      changes: Mapping[str, Any]) -> int:
-        """Update every matching row; returns the number updated."""
+        """Update every matching row; returns the number updated.
+
+        The statement is atomic: outside an explicit transaction the
+        loop runs in an implicit one, so a conflict or constraint
+        violation on any matching row rolls back the rows already
+        touched instead of leaving a partially applied statement.
+        """
         with self._lock:
             table = self.table(table_name)
             matching = [
                 rowid for rowid, row in table.rows_with_ids()
                 if predicate(row)
             ]
-            for rowid in matching:
-                self.update(table_name, rowid, changes)
+            if matching and self._current_transaction() is None:
+                with self.transaction():
+                    for rowid in matching:
+                        self.update(table_name, rowid, changes)
+            else:
+                for rowid in matching:
+                    self.update(table_name, rowid, changes)
             return len(matching)
 
     def delete_where(self, table_name: str, predicate: Predicate) -> int:
-        """Delete every matching row; returns the number deleted."""
+        """Delete every matching row; returns the number deleted.
+
+        Atomic like :meth:`update_where`: a mid-statement conflict
+        rolls back the deletes already applied.
+        """
         with self._lock:
             table = self.table(table_name)
             matching = [
                 rowid for rowid, row in table.rows_with_ids()
                 if predicate(row)
             ]
-            for rowid in matching:
-                self.delete(table_name, rowid)
+            if matching and self._current_transaction() is None:
+                with self.transaction():
+                    for rowid in matching:
+                        self.delete(table_name, rowid)
+            else:
+                for rowid in matching:
+                    self.delete(table_name, rowid)
             return len(matching)
 
     def get(self, table_name: str, key: Any) -> dict[str, Any]:
@@ -406,6 +433,8 @@ class Database:
         conflict detection.
         """
         with self._lock:
+            if self._active_tx:
+                self._reap_abandoned()
             ident = threading.get_ident()
             existing = self._active_tx.get(ident)
             if existing is not None:
@@ -429,7 +458,16 @@ class Database:
         return len(self._active_tx)
 
     def _current_transaction(self) -> Transaction | None:
-        return self._active_tx.get(threading.get_ident())
+        transaction = self._active_tx.get(threading.get_ident())
+        if transaction is not None and not transaction.thread_alive():
+            # OS thread idents are recycled: a previous pool worker died
+            # with this transaction open and *we* inherited its ident.
+            # Reap it — this thread's work must never be recorded into
+            # the dead transaction's undo log.
+            with self._lock:
+                self._reap_abandoned()
+            return self._active_tx.get(threading.get_ident())
+        return transaction
 
     def _claim_row(self, table: Table, rowid: int,
                    before: dict[str, Any] | None) -> None:
@@ -444,6 +482,12 @@ class Database:
         transaction = self._current_transaction()
         key = (table.name, rowid)
         owner = self._row_writers.get(key)
+        if owner is not None and owner is not transaction \
+                and not owner.thread_alive():
+            # the claim belongs to a transaction whose thread died with
+            # it open: reap instead of conflicting against a ghost
+            self._reap_abandoned()
+            owner = self._row_writers.get(key)
         if owner is not None and owner is not transaction:
             self._storage_counter("storage_transaction_conflicts_total",
                                   table=table.name, kind="write_write").inc()
@@ -452,6 +496,13 @@ class Database:
                 f"transaction tid={owner.tid} (first writer wins)"
             )
         if transaction is None:
+            if self._snapshots or self._active_tx:
+                # autocommit statement with observers around: pin the
+                # committed pre-image *before* the physical mutation so
+                # lock-free snapshot readers never fall back to the
+                # mutated physical row (the transactional path gets the
+                # same pin below, at claim time)
+                table.ensure_baseline(rowid, before)
             return
         if key not in transaction.claims:
             last_seq = table.last_committed_seq(rowid)
@@ -504,15 +555,19 @@ class Database:
                     is not transaction:
                 raise TransactionError(
                     "finishing a transaction that is not open")
+            # durability before visibility: the journal entries must be
+            # on disk before any committed image becomes observable.  A
+            # failed append leaves the transaction open with its claims
+            # held and no versions published, so rollback() stays clean.
+            if self._journal is not None and transaction.journal_buffer:
+                self._journal.append_many(transaction.journal_buffer)
+            transaction.journal_buffer = []
             seq = self._advance_seq()
             for (table_name, rowid), (before, after) \
                     in transaction.final_images().items():
                 table = self._tables.get(table_name)
                 if table is not None:
                     table.note_committed(rowid, before, after, seq)
-            if self._journal is not None and transaction.journal_buffer:
-                self._journal.append_many(transaction.journal_buffer)
-            transaction.journal_buffer = []
             self._release_transaction(transaction)
             self._maybe_prune()
 
@@ -545,6 +600,42 @@ class Database:
             transaction.journal_buffer = []
             self._release_transaction(transaction)
 
+    def _reap_abandoned(self) -> None:
+        """Roll back and release transactions whose owning thread died.
+
+        A pool worker can exit with a transaction still open.  Left
+        alone, its entry in ``_active_tx`` and its row claims would leak
+        forever — wedging those rows, blocking :meth:`checkpoint` and
+        pinning the prune floor — and, because OS thread idents are
+        recycled, an unrelated new thread with the same ident would be
+        captured by the dead transaction.  The owner can never commit,
+        so an abandoned transaction is replayed backwards like a
+        rollback, marked ``failed`` and released.  Callers hold the
+        database lock.
+        """
+        for transaction in list(self._active_tx.values()):
+            if transaction.thread_alive():
+                continue
+            self._storage_counter(
+                "storage_abandoned_transactions_total").inc()
+            try:
+                for record in reversed(transaction.undo_records()):
+                    table = self._tables.get(record.table)
+                    if table is None:
+                        continue
+                    if record.op == "insert":
+                        table.restore_delete(record.rowid)
+                    elif record.op == "delete":
+                        assert record.before is not None
+                        table.restore_insert(record.rowid, record.before)
+                    else:  # update
+                        assert record.before is not None
+                        table.restore_update(record.rowid, record.before)
+            finally:
+                transaction.journal_buffer = []
+                transaction.mark_abandoned()
+                self._release_transaction(transaction)
+
     def _release_transaction(self, transaction: Transaction) -> None:
         for key in transaction.claims:
             if self._row_writers.get(key) is transaction:
@@ -559,6 +650,9 @@ class Database:
         if self._commit_seq - self._last_prune_seq < PRUNE_INTERVAL:
             return
         self._last_prune_seq = self._commit_seq
+        if self._active_tx:
+            # a dead thread's open transaction must not pin the floor
+            self._reap_abandoned()
         floors = [self._commit_seq]
         floors.extend(self._snapshots)
         floors.extend(tx.start_seq for tx in self._active_tx.values())
@@ -597,6 +691,8 @@ class Database:
         if self._journal is None:
             return None
         with self._lock:
+            if self._active_tx:
+                self._reap_abandoned()
             if self._active_tx:
                 raise TransactionError(
                     f"cannot checkpoint with {len(self._active_tx)} open "

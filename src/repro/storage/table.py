@@ -342,6 +342,17 @@ class Table:
                 (0, dict(before) if before is not None else None)
             ]
 
+    def pin_insert_baselines(self, count: int = 1) -> None:
+        """Pin "row absent" baselines for the next ``count`` rowids an
+        insert will allocate, *before* the physical rows land: lock-free
+        snapshot readers must resolve a brand-new rowid to "not visible
+        yet" rather than fall back to the freshly inserted physical row.
+        Harmless if the insert then fails validation — a ``(0, None)``
+        baseline describes a row that does not exist, and pruning drops
+        it."""
+        for offset in range(count):
+            self.ensure_baseline(self._next_rowid + offset, None)
+
     def note_committed(self, rowid: int, before: Row | None,
                        after: Row | None, seq: int) -> None:
         """Append the committed image of ``rowid`` at commit ``seq``."""
@@ -353,12 +364,23 @@ class Table:
 
     def version_at(self, rowid: int, seq: int) -> Row | None:
         """The committed image of ``rowid`` as of commit ``seq`` (a
-        copy), or ``None`` when the row was not visible then."""
+        copy), or ``None`` when the row was not visible then.
+
+        Safe to call without the database lock.  Writers always pin a
+        baseline into ``_history`` *before* mutating the physical row,
+        so the clean-row fallback re-checks the history after reading
+        the physical image (seqlock-style): if no pin has appeared by
+        then, the physical read happened before any mutation and is the
+        committed image; if one has, the row is resolved through the
+        version chain instead.
+        """
         entries = self._history.get(rowid)
         if entries is None:
             # clean row: the physical image is the committed image
             row = self._rows.get(rowid)
-            return dict(row) if row is not None else None
+            entries = self._history.get(rowid)
+            if entries is None:
+                return dict(row) if row is not None else None
         for version_seq, image in reversed(entries):
             if version_seq <= seq:
                 return dict(image) if image is not None else None

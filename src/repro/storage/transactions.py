@@ -14,15 +14,19 @@ consistent history.  Databases expose the ergonomic form::
     # committed; an exception inside the block rolls everything back
 
 Transaction states: ``open`` -> ``committed`` | ``rolled_back`` |
-``failed``.  ``failed`` means a rollback blew up mid-replay (a
-``restore_*`` call raised): the transaction is abandoned, its row claims
-are released, and every further use raises :class:`TransactionError` —
-the database refuses to reuse it.
+``failed``.  ``failed`` means the transaction was abandoned: either a
+rollback blew up mid-replay (a ``restore_*`` call raised) or the owning
+thread exited with the transaction still open (detected through a weak
+reference to the thread and reaped by the database, since OS thread
+idents are recycled).  Either way its row claims are released and every
+further use raises :class:`TransactionError` — the database refuses to
+reuse it.
 """
 
 from __future__ import annotations
 
 import threading
+import weakref
 from typing import TYPE_CHECKING, Any
 
 from repro.errors import TransactionError
@@ -65,6 +69,10 @@ class Transaction:
         #: thread that opened the transaction — terminal operations must
         #: come from the same thread
         self.thread_ident = threading.get_ident()
+        # weakly referenced so a finished worker thread can be detected
+        # (and the Thread object collected) — OS idents are recycled, so
+        # the ident alone cannot tell a dead owner from a new thread
+        self._thread = weakref.ref(threading.current_thread())
         self._undo: list[UndoRecord] = []
         self._state = "open"
         #: journal entries buffered until commit (rolled-back work must
@@ -85,6 +93,21 @@ class Transaction:
     @property
     def state(self) -> str:
         return self._state
+
+    def thread_alive(self) -> bool:
+        """Whether the thread that opened this transaction still runs.
+
+        A dead owner means the transaction is abandoned: it can never
+        commit, and the database reaps it (rolls the undo log back,
+        marks it ``failed``, releases its claims) on the next access.
+        """
+        thread = self._thread()
+        return thread is not None and thread.is_alive()
+
+    def mark_abandoned(self) -> None:
+        """Called by the database when the owning thread died with the
+        transaction open; every further use raises."""
+        self._state = "failed"
 
     @property
     def pending_operations(self) -> int:

@@ -13,6 +13,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.errors import (
+    ConstraintViolation,
     RowNotFoundError,
     StorageError,
     TransactionConflictError,
@@ -20,6 +21,7 @@ from repro.errors import (
 )
 from repro.storage import Column, Database, TableSchema, col
 from repro.storage import column_types as ct
+from repro.storage.table import Table
 
 WORKERS = 8
 
@@ -407,6 +409,277 @@ class TestSerialConcurrentDifferential:
             "concurrent", tmp_path / "concurrent.journal")
         assert _final_state(recovered_serial) == expected
         assert _final_state(recovered_concurrent) == expected
+
+
+class TestAutocommitSnapshotRace:
+    """Lock-free snapshot readers vs in-flight autocommit statements.
+
+    The pre-image must be pinned in the version history *before* the
+    physical row mutates; otherwise a reader hitting the clean-row
+    fallback in ``Table.version_at`` mid-statement sees post-snapshot
+    data (or watches a deleted row vanish).
+    """
+
+    def test_preimage_pinned_before_physical_update(self, db, monkeypatch):
+        rowid = db.rowid_for("t", 1)
+        snap = db.snapshot()
+        seen = {}
+        original = Table.update_row
+
+        def spying_update_row(table, rid, changes):
+            seen["pinned"] = rid in table._history
+            return original(table, rid, changes)
+
+        monkeypatch.setattr(Table, "update_row", spying_update_row)
+        db.update("t", rowid, {"v": "post"})
+        assert seen["pinned"] is True
+        assert snap.table("t").row_by_id(rowid)["v"] == "one"
+        snap.release()
+
+    def test_preimage_pinned_before_physical_delete(self, db, monkeypatch):
+        rowid = db.rowid_for("t", 2)
+        snap = db.snapshot()
+        seen = {}
+        original = Table.delete_row
+
+        def spying_delete_row(table, rid):
+            seen["pinned"] = rid in table._history
+            return original(table, rid)
+
+        monkeypatch.setattr(Table, "delete_row", spying_delete_row)
+        db.delete("t", rowid)
+        assert seen["pinned"] is True
+        assert snap.table("t").row_by_id(rowid)["v"] == "two"
+        snap.release()
+
+    def test_absent_baseline_pinned_before_physical_insert(
+            self, db, monkeypatch):
+        snap = db.snapshot()
+        seen = {}
+        original = Table.insert
+
+        def spying_insert(table, values):
+            seen["pinned"] = table._next_rowid in table._history
+            return original(table, values)
+
+        monkeypatch.setattr(Table, "insert", spying_insert)
+        rowid = db.insert("t", {"id": 3, "v": "three", "n": 30})
+        assert seen["pinned"] is True
+        with pytest.raises(RowNotFoundError):
+            snap.table("t").row_by_id(rowid)
+        snap.release()
+
+    def test_snapshot_stable_under_autocommit_churn(self, db):
+        """Readers hammer clean rows while a writer autocommits the
+        first-ever write to each one — the exact window the race lived
+        in.  Every read must resolve to the pinned pre-state."""
+        rowids = [
+            db.insert("t", {"id": 100 + i, "v": "orig", "n": i})
+            for i in range(200)
+        ]
+        bad: list = []
+        stop = threading.Event()
+        with db.snapshot() as snap:
+            view = snap.table("t")
+
+            def reader():
+                while not stop.is_set():
+                    for rowid in rowids:
+                        try:
+                            value = view.row_by_id(rowid)["v"]
+                        except RowNotFoundError:
+                            bad.append((rowid, "missing"))
+                            return
+                        if value != "orig":
+                            bad.append((rowid, value))
+                            return
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            half = len(rowids) // 2
+            for rowid in rowids[:half]:
+                db.update("t", rowid, {"v": "post"})
+            for rowid in rowids[half:]:
+                db.delete("t", rowid)
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive(), "reader thread hung"
+        assert bad == []
+
+
+class TestMultiRowStatementAtomicity:
+    """update_where/delete_where must be all-or-nothing in autocommit
+    mode: a conflict or constraint violation on a later row rolls back
+    the rows already touched."""
+
+    def test_update_where_rolls_back_on_mid_statement_conflict(self, db):
+        rid2 = db.rowid_for("t", 2)
+        claimed = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with db.transaction():
+                db.update("t", rid2, {"n": 999})
+                claimed.set()
+                assert release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert claimed.wait(timeout=10)
+        try:
+            with pytest.raises(TransactionConflictError):
+                db.update_where("t", col("n") >= 0, {"v": "swept"})
+            # row 1 matched first; it must not keep the write after
+            # row 2 conflicted
+            assert db.get("t", 1)["v"] == "one"
+        finally:
+            release.set()
+            thread.join(timeout=10)
+        assert db.get("t", 2)["n"] == 999
+
+    def test_delete_where_rolls_back_on_mid_statement_conflict(self, db):
+        rid2 = db.rowid_for("t", 2)
+        claimed = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with db.transaction():
+                db.update("t", rid2, {"n": 999})
+                claimed.set()
+                assert release.wait(timeout=10)
+
+        thread = threading.Thread(target=holder)
+        thread.start()
+        assert claimed.wait(timeout=10)
+        try:
+            with pytest.raises(TransactionConflictError):
+                db.delete_where("t", col("n") >= 0)
+            assert db.count("t") == 2
+            assert db.get("t", 1)["v"] == "one"
+        finally:
+            release.set()
+            thread.join(timeout=10)
+
+    def test_update_where_atomic_on_constraint_violation(self, db):
+        # both rows move to the same unique primary key: the second one
+        # violates UNIQUE, so the first must roll back too
+        with pytest.raises(ConstraintViolation):
+            db.update_where("t", col("n") >= 0, {"id": 7})
+        assert {row["id"] for row in db.query("t").all()} == {1, 2}
+
+    def test_update_where_inside_transaction_rolls_back_with_it(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                assert db.update_where("t", col("n") >= 0,
+                                       {"v": "swept"}) == 2
+                raise RuntimeError("abort")
+        assert {row["v"] for row in db.query("t").all()} == {"one", "two"}
+
+
+class TestCommitDurabilityOrdering:
+    """Journal append happens before committed images become visible:
+    a failed append must leave no phantom committed versions and keep
+    the transaction cleanly rollback-able."""
+
+    def test_failed_journal_append_leaves_no_phantom_versions(
+            self, tmp_path, monkeypatch):
+        database = _ops_db(tmp_path, "dur")
+        database.insert("ops", {"id": 1, "worker": 0, "step": 0})
+        rowid = database.rowid_for("ops", 1)
+
+        tx = database.transaction()
+        database.update("ops", rowid, {"step": 99})
+
+        def boom(entries):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(database.journal, "append_many", boom)
+        with pytest.raises(OSError):
+            tx.commit()
+        # the transaction is still open with nothing published: a fresh
+        # snapshot must see the pre-image, not a phantom commit
+        assert tx.state == "open"
+        assert database.active_transactions() == 1
+        with database.snapshot() as snap:
+            assert snap.table("ops").row_by_id(rowid)["step"] == 0
+        monkeypatch.undo()
+        tx.rollback()
+        assert database.get("ops", 1)["step"] == 0
+        assert database.active_transactions() == 0
+        # nothing of the failed commit hit the journal
+        recovered = Database.recover("dur2", tmp_path / "dur.journal")
+        assert recovered.get("ops", 1)["step"] == 0
+
+
+class TestDeadThreadTransactions:
+    """A thread exiting with an open transaction must not leak it: the
+    claims would wedge those rows forever, block checkpoints, and (since
+    OS thread idents are recycled) capture an unrelated new thread."""
+
+    def test_dead_thread_transaction_is_reaped(self, db):
+        rowid = db.rowid_for("t", 1)
+
+        def open_and_die():
+            db.transaction()
+            db.update("t", rowid, {"v": "orphan"})
+
+        thread = threading.Thread(target=open_and_die)
+        thread.start()
+        thread.join(timeout=10)
+        # a new transaction reaps the orphan: its uncommitted write is
+        # rolled back and the row claim released
+        with db.transaction():
+            db.update("t", rowid, {"v": "alive"})
+        assert db.get("t", 1)["v"] == "alive"
+        assert db.active_transactions() == 0
+
+    def test_autocommit_write_not_blocked_by_dead_claim(self, db):
+        rowid = db.rowid_for("t", 1)
+
+        def open_and_die():
+            db.transaction()
+            db.update("t", rowid, {"v": "orphan"})
+
+        thread = threading.Thread(target=open_and_die)
+        thread.start()
+        thread.join(timeout=10)
+        db.update("t", rowid, {"v": "bare"})  # no conflict with a ghost
+        assert db.get("t", 1)["v"] == "bare"
+
+    def test_recycled_ident_does_not_capture_new_thread(self, db):
+        rowid = db.rowid_for("t", 1)
+
+        def open_and_die():
+            transaction = db.transaction()
+            db.update("t", rowid, {"v": "orphan"})
+            return transaction
+
+        dead_tx = run_in_thread(open_and_die)
+        # simulate the OS handing the dead thread's ident to this thread
+        with db._lock:
+            db._active_tx.pop(dead_tx.thread_ident, None)
+            dead_tx.thread_ident = threading.get_ident()
+            db._active_tx[dead_tx.thread_ident] = dead_tx
+        assert db.in_transaction() is False  # dead owner, not ours
+        assert dead_tx.state == "failed"
+        db.insert("t", {"id": 60, "v": "fresh", "n": 0})  # autocommit
+        assert db.get("t", 1)["v"] == "one"  # orphan rolled back
+        assert db.count("t") == 3
+
+    def test_checkpoint_proceeds_after_owner_thread_dies(self, tmp_path):
+        database = _ops_db(tmp_path, "reap")
+
+        def open_and_die():
+            database.transaction()
+            database.insert("ops", {"id": 1, "worker": 0, "step": 0})
+
+        thread = threading.Thread(target=open_and_die)
+        thread.start()
+        thread.join(timeout=10)
+        assert database.checkpoint() is not None
+        assert database.count("ops") == 0  # uncommitted insert reaped
 
 
 class TestCheckpointGuard:
