@@ -42,18 +42,24 @@ class VaultState:
         ``format``, ``source_digest``, ``superseded``).
     horizon_year:
         Planning horizon for the at-risk format rule.
+    federation:
+        Optional federation snapshot (``sites`` + ``objects`` with
+        their placements) for the placement rules; ``None`` when the
+        vault has no federated tier.
     """
 
     def __init__(self, name: str, replicas: int, quorum: int,
                  copies: Mapping[str, int],
                  manifest: list,
-                 horizon_year: int = DEFAULT_HORIZON_YEAR) -> None:
+                 horizon_year: int = DEFAULT_HORIZON_YEAR,
+                 federation: Mapping[str, Any] | None = None) -> None:
         self.name = name
         self.replicas = int(replicas)
         self.quorum = int(quorum)
         self.copies = dict(copies)
         self.manifest = [dict(row) for row in manifest]
         self.horizon_year = int(horizon_year)
+        self.federation = dict(federation) if federation else None
 
     def __repr__(self) -> str:
         return (
@@ -68,6 +74,7 @@ class VaultState:
             digest: len(vault.group.replica_status(digest).healthy_stores)
             for digest in vault.group.digests()
         }
+        federation = getattr(vault, "federation", None)
         return cls(
             vault.name,
             len(vault.group.stores),
@@ -75,7 +82,37 @@ class VaultState:
             copies,
             vault.manifest(include_superseded=True),
             horizon_year=horizon_year,
+            federation=(None if federation is None
+                        else cls.federation_snapshot(federation)),
         )
+
+    @staticmethod
+    def federation_snapshot(federation: Any) -> dict[str, Any]:
+        """A rule-friendly snapshot of a
+        :class:`~repro.archive.federation.FederatedVault` (duck-typed,
+        so the analysis layer never imports the archive)."""
+        topology = federation.topology
+        return {
+            "sites": {
+                site.name: {"region": site.region,
+                            "available": site.available}
+                for site in topology.sites()
+            },
+            "regions": topology.regions(),
+            "objects": [
+                {
+                    "digest": record.digest,
+                    "kind": record.scheme.kind,
+                    "fragments_needed": record.scheme.fragments,
+                    "read_fragments": record.scheme.read_fragments,
+                    "placements": [
+                        {"site": p.site, "role": p.role}
+                        for p in record.placements
+                    ],
+                }
+                for record in federation.objects()
+            ],
+        }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "VaultState":
@@ -98,6 +135,7 @@ class VaultState:
             list(data.get("manifest", ())),
             horizon_year=int(data.get("horizon_year",
                                       DEFAULT_HORIZON_YEAR)),
+            federation=data.get("federation"),
         )
 
     # -- helpers used by the rules -------------------------------------
@@ -117,6 +155,25 @@ class VaultState:
         return [row for row in self.manifest
                 if row.get("kind") == "record"
                 and not row.get("superseded")]
+
+    def federation_objects(self) -> list[dict[str, Any]]:
+        if not self.federation:
+            return []
+        return list(self.federation.get("objects", ()))
+
+    def federation_sites(self) -> dict[str, dict[str, Any]]:
+        if not self.federation:
+            return {}
+        return dict(self.federation.get("sites", {}))
+
+    def available_placements(self,
+                             entry: Mapping[str, Any]) -> list[dict]:
+        """An object's placements whose sites are currently up."""
+        sites = self.federation_sites()
+        return [
+            dict(p) for p in entry.get("placements", ())
+            if sites.get(str(p.get("site")), {}).get("available", False)
+        ]
 
 
 def _loc(state: VaultState, *parts: str) -> str:
@@ -190,3 +247,76 @@ def _quorum_misconfigured(self: Rule, state: VaultState,
             suggestion="use a majority quorum "
             f"({state.replicas // 2 + 1} for {state.replicas} replicas)",
         )
+
+
+@rule("VA005", "vault", "error",
+      "federated object is unreadable: fewer available fragments "
+      "than a read needs")
+def _federation_unreadable(self: Rule, state: VaultState,
+                           context: dict) -> Iterator[Diagnostic]:
+    for entry in state.federation_objects():
+        needed = int(entry.get("read_fragments", 1))
+        up = len(state.available_placements(entry))
+        if up < needed:
+            digest = str(entry.get("digest", ""))
+            yield self.emit(
+                _loc(state, f"federation:{_short(digest)}"),
+                f"object {_short(digest)} ({entry.get('kind')}) has "
+                f"{up} fragment(s) on available sites; a read needs "
+                f"{needed}",
+                suggestion="recover the down sites, or run "
+                "`repro vault rebuild <site>` while enough fragments "
+                "survive",
+            )
+
+
+@rule("VA006", "vault", "warning",
+      "federated object is under-placed: lost redundancy has not "
+      "been rebuilt")
+def _federation_under_placed(self: Rule, state: VaultState,
+                             context: dict) -> Iterator[Diagnostic]:
+    for entry in state.federation_objects():
+        wanted = int(entry.get("fragments_needed", 1))
+        up = len(state.available_placements(entry))
+        needed = int(entry.get("read_fragments", 1))
+        if needed <= up < wanted:
+            digest = str(entry.get("digest", ""))
+            yield self.emit(
+                _loc(state, f"federation:{_short(digest)}"),
+                f"object {_short(digest)} ({entry.get('kind')}) has "
+                f"{up} of {wanted} fragments on available sites — "
+                "still readable, but its durability budget is spent",
+                suggestion="run `repro vault rebuild <site>` to "
+                "re-materialize the lost fragments on healthy sites",
+            )
+
+
+@rule("VA007", "vault", "warning",
+      "federated object's fragments are not spread across regions")
+def _federation_region_concentrated(self: Rule, state: VaultState,
+                                    context: dict) -> Iterator[Diagnostic]:
+    if not state.federation:
+        return
+    regions_available = len(state.federation.get("regions", ()))
+    if regions_available < 2:
+        return
+    sites = state.federation_sites()
+    for entry in state.federation_objects():
+        placements = list(entry.get("placements", ()))
+        if len(placements) < 2:
+            continue
+        spanned = {
+            str(sites.get(str(p.get("site")), {}).get("region", ""))
+            for p in placements
+        }
+        if len(spanned) < 2:
+            digest = str(entry.get("digest", ""))
+            region = next(iter(spanned), "?")
+            yield self.emit(
+                _loc(state, f"federation:{_short(digest)}"),
+                f"all {len(placements)} fragments of {_short(digest)} "
+                f"sit in region {region!r}; one regional outage loses "
+                "every copy at once",
+                suggestion="re-place with a region-spreading policy "
+                "(PlacementPolicy(spread_regions=True))",
+            )

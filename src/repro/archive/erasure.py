@@ -1,0 +1,266 @@
+"""k-of-n erasure coding over GF(256).
+
+Full replication keeps durability simple — *r* copies survive any
+``r - 1`` losses — but pays ``r``× the bytes.  A Reed–Solomon-style
+erasure code stores a payload as ``n`` shards of which **any** ``k``
+reconstruct it, for ``n / k``× the bytes: at ``k=4, n=8`` the vault
+tolerates four site losses for 2× storage where 3-way replication
+tolerates two losses for 3×.
+
+The code is systematic and pure python:
+
+* the payload (padded to a multiple of ``k``) is cut into ``k``
+  contiguous data blocks — shards ``0 .. k-1`` *are* the payload;
+* for every byte offset, the ``k`` data bytes define the unique
+  polynomial of degree ``< k`` over GF(256) passing through points
+  ``(0, d_0) .. (k-1, d_{k-1})``; parity shard ``j`` (``k <= j < n``)
+  stores the polynomial evaluated at ``x = j``;
+* reconstruction Lagrange-interpolates the data points back from any
+  ``k`` distinct shards.
+
+Safety over speed: every shard carries a SHA-256 of its own bytes and
+of the original payload, so :func:`reconstruct` (a) drops shards whose
+bytes no longer match their checksum, (b) refuses to run with fewer
+than ``k`` intact shards, and (c) re-hashes the reconstructed payload
+against the declared digest before returning — it raises rather than
+ever returning wrong bytes.  The property suite in
+``tests/archive/test_erasure_properties.py`` pins all three behaviours.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ErasureError
+from repro.hashing import sha256_hex
+
+__all__ = ["Shard", "encode", "reconstruct", "shard_size", "overhead"]
+
+#: GF(256) modulus: the AES polynomial x^8 + x^4 + x^3 + x + 1
+_POLY = 0x11B
+
+# exp/log tables over the multiplicative group (generator 3 = x + 1)
+_EXP = [0] * 512
+_LOG = [0] * 256
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    # multiply by 3 (= x + 1) in GF(256)
+    _doubled = _value << 1
+    if _doubled & 0x100:
+        _doubled ^= _POLY
+    _value = (_doubled ^ _value) & 0xFF
+for _power in range(255, 512):
+    _EXP[_power] = _EXP[_power - 255]
+
+
+def _gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        raise ErasureError("0 has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def _lagrange_coefficients(xs: Sequence[int], x: int) -> list[int]:
+    """Weights ``w_i`` with ``p(x) = Σ w_i · p(xs[i])`` for any
+    polynomial ``p`` of degree < ``len(xs)`` (all arithmetic GF(256),
+    where addition is XOR so sign vanishes)."""
+    weights: list[int] = []
+    for i, xi in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for j, xj in enumerate(xs):
+            if i == j:
+                continue
+            numerator = _gf_mul(numerator, x ^ xj)
+            denominator = _gf_mul(denominator, xi ^ xj)
+        weights.append(_gf_mul(numerator, _gf_inv(denominator)))
+    return weights
+
+
+def shard_size(payload_length: int, k: int) -> int:
+    """Bytes per shard: ``ceil(payload_length / k)`` (0 for an empty
+    payload) — the declared overhead formula, pinned by the property
+    suite."""
+    if payload_length <= 0:
+        return 0
+    return -(-payload_length // k)
+
+
+def overhead(payload_length: int, k: int, n: int) -> int:
+    """Total stored bytes across all ``n`` shards:
+    ``n * shard_size(payload_length, k)``."""
+    return n * shard_size(payload_length, k)
+
+
+class Shard:
+    """One erasure-coded fragment of a payload."""
+
+    __slots__ = ("index", "k", "n", "payload_length", "payload_digest",
+                 "data", "checksum")
+
+    def __init__(self, index: int, k: int, n: int, payload_length: int,
+                 payload_digest: str, data: bytes,
+                 checksum: str | None = None) -> None:
+        self.index = index
+        self.k = k
+        self.n = n
+        self.payload_length = payload_length
+        self.payload_digest = payload_digest
+        self.data = bytes(data)
+        self.checksum = checksum or sha256_hex(self.data)
+
+    @property
+    def is_data(self) -> bool:
+        return self.index < self.k
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def intact(self) -> bool:
+        """Do the shard's bytes still hash to its checksum?"""
+        return sha256_hex(self.data) == self.checksum
+
+    def __repr__(self) -> str:
+        kind = "data" if self.is_data else "parity"
+        return (
+            f"Shard({self.index}/{self.n}, k={self.k}, {kind}, "
+            f"{self.size} B)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "k": self.k,
+            "n": self.n,
+            "payload_length": self.payload_length,
+            "payload_digest": self.payload_digest,
+            "checksum": self.checksum,
+            "data": self.data.hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "Shard":
+        return cls(
+            int(document["index"]), int(document["k"]),
+            int(document["n"]), int(document["payload_length"]),
+            str(document["payload_digest"]),
+            bytes.fromhex(document["data"]),
+            checksum=str(document["checksum"]),
+        )
+
+
+def encode(payload: bytes | str, k: int, n: int) -> list[Shard]:
+    """Cut ``payload`` into ``n`` shards, any ``k`` of which
+    reconstruct it."""
+    if isinstance(payload, str):
+        payload = payload.encode("utf-8")
+    if not 1 <= k <= n:
+        raise ErasureError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if n > 255:
+        raise ErasureError(
+            f"n={n} exceeds the GF(256) evaluation-point budget (255)")
+    digest = sha256_hex(payload)
+    length = len(payload)
+    size = shard_size(length, k)
+    padded = payload + b"\x00" * (k * size - length)
+    blocks = [padded[i * size:(i + 1) * size] for i in range(k)]
+
+    shards = [
+        Shard(i, k, n, length, digest, blocks[i]) for i in range(k)
+    ]
+    data_points = list(range(k))
+    for x in range(k, n):
+        weights = _lagrange_coefficients(data_points, x)
+        parity = bytearray(size)
+        for offset in range(size):
+            acc = 0
+            for i in range(k):
+                acc ^= _gf_mul(weights[i], blocks[i][offset])
+            parity[offset] = acc
+        shards.append(Shard(x, k, n, length, digest, bytes(parity)))
+    return shards
+
+
+def _consistent_header(shards: Sequence[Shard]) -> tuple[int, int, int, str]:
+    headers = {
+        (shard.k, shard.n, shard.payload_length, shard.payload_digest)
+        for shard in shards
+    }
+    if len(headers) != 1:
+        raise ErasureError(
+            f"shards disagree on their coding header ({len(headers)} "
+            "distinct k/n/length/digest combinations) — refusing to mix"
+        )
+    return next(iter(headers))
+
+
+def reconstruct(shards: Iterable[Shard]) -> bytes:
+    """The original payload from any ``k`` intact shards.
+
+    Shards whose bytes fail their own checksum are discarded; if fewer
+    than ``k`` intact shards remain, or the reconstructed bytes do not
+    hash to the declared payload digest, an :class:`ErasureError` is
+    raised — wrong bytes are never returned.
+    """
+    candidates = list(shards)
+    if not candidates:
+        raise ErasureError("no shards to reconstruct from")
+    k, n, length, digest = _consistent_header(candidates)
+
+    intact: dict[int, Shard] = {}
+    corrupt = 0
+    for shard in candidates:
+        if not 0 <= shard.index < n:
+            raise ErasureError(
+                f"shard index {shard.index} outside [0, {n})")
+        if not shard.intact():
+            corrupt += 1
+            continue
+        intact.setdefault(shard.index, shard)
+    if len(intact) < k:
+        raise ErasureError(
+            f"unrecoverable: {len(intact)} intact shard(s) of the {k} "
+            f"required (k={k}, n={n}, {corrupt} failed their checksum)"
+        )
+
+    size = shard_size(length, k)
+    blocks: list[bytes | None] = [None] * k
+    for index in range(k):
+        if index in intact:
+            blocks[index] = intact[index].data
+
+    missing = [index for index in range(k) if blocks[index] is None]
+    if missing:
+        # interpolate from the k lexically-smallest intact shards
+        basis = sorted(intact)[:k]
+        basis_blocks = [intact[index].data for index in basis]
+        for target in missing:
+            weights = _lagrange_coefficients(basis, target)
+            block = bytearray(size)
+            for offset in range(size):
+                acc = 0
+                for i in range(k):
+                    acc ^= _gf_mul(weights[i], basis_blocks[i][offset])
+                block[offset] = acc
+            blocks[target] = bytes(block)
+
+    for index, block in enumerate(blocks):
+        if block is not None and len(block) != size:
+            raise ErasureError(
+                f"shard {index} is {len(block)} B, expected {size} B")
+    payload = b"".join(blocks)[:length]  # type: ignore[arg-type]
+    if sha256_hex(payload) != digest:
+        raise ErasureError(
+            "reconstructed payload fails its fixity check "
+            f"(got {sha256_hex(payload)[:12]}…, "
+            f"declared {digest[:12]}…)"
+        )
+    return payload

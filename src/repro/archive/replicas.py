@@ -179,20 +179,36 @@ class ReplicaGroup:
 
     def read(self, digest: str) -> str:
         """Quorum read: the payload, provided at least ``quorum``
-        replicas hold bytes that verify against ``digest``."""
-        payload: str | None = None
-        verified = 0
-        for member in self.stores:
-            if member.verify(digest):
-                verified += 1
-                if payload is None:
-                    payload = member.get(digest)
-        if payload is None or verified < self.quorum:
+        replicas hold bytes that verify against ``digest``.
+
+        A failed read raises a :class:`~repro.errors.QuorumError`
+        carrying the *cause breakdown* — which member stores are
+        missing the object vs. holding rotten bytes.  The two need
+        different responses (a missing replica means a lost store or a
+        partial write; a corrupt one means bit rot on live media), so
+        conflating them — as this method once did by counting
+        ``verify()`` failures — hid the true cause from operators and
+        from repair provenance.
+        """
+        status = self.replica_status(digest)
+        healthy = status.healthy_stores
+        if len(healthy) < self.quorum:
+            breakdown = []
+            if status.missing_stores:
+                breakdown.append(
+                    f"missing on {', '.join(status.missing_stores)}")
+            if status.corrupt_stores:
+                breakdown.append(
+                    f"corrupt on {', '.join(status.corrupt_stores)}")
             raise QuorumError(
-                f"object {digest[:12]}…: {verified} verified replicas, "
-                f"quorum is {self.quorum}"
+                f"object {digest[:12]}…: {len(healthy)} verified "
+                f"replica(s), quorum is {self.quorum}"
+                + (f" ({'; '.join(breakdown)})" if breakdown else ""),
+                missing=tuple(status.missing_stores),
+                corrupt=tuple(status.corrupt_stores),
+                verified=len(healthy),
             )
-        return payload
+        return self.store(healthy[0]).get(digest)
 
     def digests(self) -> list[str]:
         """Union of object digests across all member stores."""
@@ -235,7 +251,12 @@ class ReplicaGroup:
             return []
         if not status.healthy_stores:
             raise QuorumError(
-                f"object {digest[:12]}…: no healthy replica to repair from"
+                f"object {digest[:12]}…: no healthy replica to repair "
+                f"from ({len(status.missing_stores)} missing, "
+                f"{len(status.corrupt_stores)} corrupt)",
+                missing=tuple(status.missing_stores),
+                corrupt=tuple(status.corrupt_stores),
+                verified=0,
             )
         source = self.store(status.healthy_stores[0])
         payload = source.get_verified(digest)

@@ -132,6 +132,13 @@ class PreservationVault:
     catalog_database:
         Backing database for the manifest (in-memory by default; pass a
         journaled one for durability).
+    federation:
+        Optional :class:`~repro.archive.federation.FederatedVault`.
+        When attached, every ingested payload is *also* placed across
+        the federated site topology under its level's redundancy
+        scheme (erasure for bulk levels, full replicas for the
+        analysis levels), so off-site durability rides along with the
+        local replica group.
     """
 
     def __init__(self, name: str = "vault", replicas: int = 3,
@@ -139,7 +146,8 @@ class PreservationVault:
                  provenance: ProvenanceRepository | None = None,
                  telemetry: Telemetry | None = None,
                  catalog_database: Database | None = None,
-                 clock: Any | None = None) -> None:
+                 clock: Any | None = None,
+                 federation: Any | None = None) -> None:
         if replicas < 1:
             raise ArchiveError("a vault needs at least one replica")
         self.name = name
@@ -156,6 +164,7 @@ class PreservationVault:
                                      clock=self.clock)
         self.planner = FormatMigrationPlanner(self.group, self.provenance,
                                               clock=self.clock)
+        self.federation = federation
         self.catalog = catalog_database or Database(f"{name}-catalog")
         if not self.catalog.has_table(_MANIFEST):
             self.catalog.create_table(TableSchema(_MANIFEST, [
@@ -261,6 +270,8 @@ class PreservationVault:
                     "source_digest": None,
                     "superseded": 0,
                 })
+                if self.federation is not None:
+                    self.federation.store(payload, level=int(level))
                 return digest
 
             package_digest = _store(
@@ -455,6 +466,8 @@ class PreservationVault:
             "last_audit": None if self._last_audit is None
             else self._last_audit.to_dict(),
             "provenance_runs": runs_by_workflow,
+            "federation": (None if self.federation is None
+                           else self.federation.status()),
             "counters": {
                 "corruptions_found":
                     metrics.total("vault_corruptions_found_total"),

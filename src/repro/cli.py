@@ -194,6 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
         "audit, repair, migrate) and print vault status + telemetry")
     _vault_common(v_status)
 
+    v_sites = vault_commands.add_parser(
+        "sites", help="place a collection across the federated "
+        "multi-site topology and print placements + the "
+        "cost/durability trade per level")
+    _vault_common(v_sites)
+
+    v_sync = vault_commands.add_parser(
+        "sync", help="inject silent bit rot on federated fragments, "
+        "run a sampling scrub, then Merkle-sync and repair every site")
+    _vault_common(v_sync)
+    v_sync.add_argument("--corrupt", type=int, default=2,
+                        help="fragments to silently rot before the scrub")
+
+    v_rebuild = vault_commands.add_parser(
+        "rebuild", help="lose one federated site and rebuild every "
+        "fragment it held onto the survivors")
+    _vault_common(v_rebuild)
+    v_rebuild.add_argument("--site", type=str, default="sp-1",
+                           help="site to fail (see `vault sites`)")
+
     return parser
 
 
@@ -592,8 +612,25 @@ def _lint_demo(analyzer, seed: int):
     return report
 
 
+def _demo_topology():
+    """The CLI's stock federation: eight sites, four regions, realistic
+    latency spread (the paper's FNJV collection lives in São Paulo)."""
+    from repro.archive import Site, SiteTopology
+
+    return SiteTopology([
+        Site("sp-1", "southamerica", latency_ms=5),
+        Site("sp-2", "southamerica", latency_ms=8),
+        Site("rj-1", "southamerica-east", latency_ms=12),
+        Site("rj-2", "southamerica-east", latency_ms=14),
+        Site("us-1", "northamerica", latency_ms=60),
+        Site("us-2", "northamerica", latency_ms=65),
+        Site("eu-1", "europe", latency_ms=90),
+        Site("eu-2", "europe", latency_ms=95),
+    ])
+
+
 def _command_vault(args: argparse.Namespace) -> int:
-    from repro.archive import PreservationVault
+    from repro.archive import FederatedVault, PreservationVault
     from repro.core.preservation import PreservationLevel, PreservationPolicy
     from repro.telemetry import get_telemetry
 
@@ -603,16 +640,100 @@ def _command_vault(args: argparse.Namespace) -> int:
     species = min(max(5, args.records // 5), args.records)
     __, collection, __truth = _small_world(
         args.seed, args.records, species, min(5, species))
-    vault = PreservationVault(replicas=args.replicas, telemetry=telemetry)
+    command = args.vault_command
+    federated = command in ("sites", "sync", "rebuild")
+    federation = (FederatedVault(_demo_topology(), telemetry=telemetry)
+                  if federated else None)
+    vault = PreservationVault(replicas=args.replicas, telemetry=telemetry,
+                              federation=federation)
 
     ingest = vault.ingest(collection, level)
     print(f"ingested {ingest.records:,} records at level {int(level)} "
           f"({level.use_case}): {ingest.new_objects:,} objects, "
           f"{ingest.logical_bytes:,} bytes x{args.replicas} replicas, "
           f"package {ingest.package_digest[:12]}…")
-    command = args.vault_command
 
     if command == "ingest":
+        return 0
+
+    if command == "sites":
+        print(f"\nfederation: {len(federation.topology)} sites across "
+              f"{len(federation.topology.regions())} regions, "
+              f"{len(federation)} objects placed")
+        for site in federation.topology.sites():
+            print(f"  {site.name:<6} {site.region:<18} "
+                  f"{site.latency_ms:>5g} ms  "
+                  f"{len(site.store):>5,} fragments  "
+                  f"root {site.manifest_root()[:12]}…")
+        report = federation.durability_report()
+        print(f"\ncost/durability at site-loss "
+              f"p={report['site_loss_probability']}:")
+        for lvl, entry in sorted(report["levels"].items()):
+            scheme = entry["scheme"]
+            label = (f"{scheme['copies']}x replicas"
+                     if scheme["kind"] == "full_replica"
+                     else f"erasure {scheme['k']}-of-{scheme['n']}")
+            print(f"  level {lvl}: {label:<18} "
+                  f"overhead x{entry['overhead_factor']:g}, "
+                  f"durability {entry['durability']:.8f} "
+                  f"(~{entry['equivalent_replica_copies']} replicas)")
+        for kind, bucket in sorted(report["storage_cost"].items()):
+            print(f"  {kind}: {bucket['logical_bytes']:,} logical bytes "
+                  f"-> {bucket['stored_bytes']:,} fragment bytes "
+                  f"(x{bucket['overhead_factor']:g})")
+        return 0
+
+    if command == "sync":
+        victims = 0
+        for record in federation.objects():
+            if victims >= args.corrupt:
+                break
+            placement = record.placements[victims % len(record.placements)]
+            federation.topology.site(placement.site).corrupt(
+                placement.stored)
+            victims += 1
+        print(f"\nsilently rotted {victims} fragment(s)")
+        audit = federation.audit_sample(sample_fraction=1.0)
+        print(f"scrub {audit.run_id}: {audit.objects_scrubbed:,} "
+              f"fragments re-hashed, {len(audit.findings)} rotten")
+        sync = federation.sync()
+        print(f"sync {sync.run_id}: {sync.nodes_compared} Merkle nodes "
+              f"compared across {len(sync.sites_synced)} sites; "
+              f"{len(sync.repaired)} fragment(s) repaired, "
+              f"{len(sync.unrecoverable)} unrecoverable")
+        verdict = federation.sync()
+        print(f"re-sync {verdict.run_id}: "
+              f"{'healthy' if verdict.healthy else 'STILL DIVERGED'}")
+        print(f"provenance runs recorded: "
+              f"{', '.join(federation.provenance.run_ids()) or 'none'}")
+        print()
+        print(telemetry.render_report())
+        return 0
+
+    if command == "rebuild":
+        lost = args.site
+        before = sum(
+            len(record.placements_on(lost))
+            for record in federation.objects())
+        federation.topology.fail_site(lost)
+        report = federation.rebuild_site(lost)
+        print(f"\nlost site {lost} ({before} fragment(s) held); "
+              f"rebuild {report.run_id}: {len(report.rebuilt)} rebuilt, "
+              f"{len(report.unrecoverable)} unrecoverable")
+        moved: dict[str, int] = {}
+        for entry in report.rebuilt:
+            moved[entry["to"]] = moved.get(entry["to"], 0) + 1
+        for target in sorted(moved):
+            print(f"  -> {target}: {moved[target]} fragment(s)")
+        sample = federation.objects()[:3]
+        for record in sample:
+            federation.fetch(record.digest)
+        print(f"spot-checked {len(sample)} object(s): all fetchable "
+              f"without {lost}")
+        print(f"provenance runs recorded: "
+              f"{', '.join(federation.provenance.run_ids()) or 'none'}")
+        print()
+        print(telemetry.render_report())
         return 0
 
     if command in ("audit", "status"):

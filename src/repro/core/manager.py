@@ -227,6 +227,64 @@ class DataQualityManager:
             report.note("telemetry snapshot carried no quality signals")
         return report
 
+    def assess_preservation(self, federation,
+                            site_loss_probability: float = 0.05
+                            ) -> AssessmentReport:
+        """Quality information from the federated vault (a *computed*
+        source): the cost/durability trade each preservation level
+        bought.
+
+        ``federation`` is a
+        :class:`~repro.archive.federation.FederatedVault` (anything
+        with its ``durability_report``).  Per configured level the
+        report carries the modeled **durability** (P(object survives)
+        under independent site loss) and a **storage efficiency** score
+        — the replica overhead that would buy the same durability,
+        relative to what the level's scheme actually spends (1.0 means
+        the scheme is at least as cheap as plain replication; the
+        erasure levels typically clamp there, which is the point).
+        """
+        document = federation.durability_report(site_loss_probability)
+        report = AssessmentReport(subject="preservation (federation)")
+        for level, entry in sorted(document["levels"].items()):
+            scheme = entry["scheme"]
+            kind = scheme["kind"]
+            label = (f"{scheme.get('copies')} replicas"
+                     if kind == "full_replica"
+                     else f"erasure {scheme.get('k')}-of-{scheme.get('n')}")
+            report.add(QualityValue(
+                f"durability (level {level})", entry["durability"],
+                "computed",
+                method=f"{label} under independent site loss "
+                       f"p={document['site_loss_probability']}",
+                details={"scheme": dict(scheme),
+                         "overhead_factor": entry["overhead_factor"]},
+            ))
+            overhead = entry["overhead_factor"]
+            efficiency = (min(1.0, entry["equivalent_replica_overhead"]
+                              / overhead) if overhead else 0.0)
+            report.add(QualityValue(
+                f"storage_efficiency (level {level})", efficiency,
+                "computed",
+                method="equivalent replica overhead / actual overhead "
+                       "(clamped to 1)",
+                details={
+                    "overhead_factor": overhead,
+                    "equivalent_replica_copies":
+                        entry["equivalent_replica_copies"],
+                },
+            ))
+        for kind, bucket in sorted(document["storage_cost"].items()):
+            report.note(
+                f"{kind}: {bucket['objects']} object(s), "
+                f"{bucket['logical_bytes']} logical bytes stored as "
+                f"{bucket['stored_bytes']} fragment bytes "
+                f"(x{bucket['overhead_factor']})"
+            )
+        if not document["storage_cost"]:
+            report.note("the federation holds no objects yet")
+        return report
+
     def assess_collection(self, collection, catalogue=None,
                           extras: Mapping | None = None) -> AssessmentReport:
         """Direct (no-run) assessment of a collection: accuracy against

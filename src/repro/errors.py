@@ -200,11 +200,37 @@ class FixityError(ArchiveError):
 
 
 class QuorumError(ArchiveError):
-    """Fewer verified replicas than the replica group's read quorum."""
+    """Fewer verified replicas than the replica group's read quorum.
+
+    Carries the cause breakdown so callers (and repair provenance) can
+    distinguish replicas that are *gone* from replicas whose bytes
+    rotted in place: ``missing`` / ``corrupt`` list the offending store
+    names, ``verified`` counts the healthy ones.
+    """
+
+    def __init__(self, message: str, missing: tuple[str, ...] = (),
+                 corrupt: tuple[str, ...] = (), verified: int = 0) -> None:
+        super().__init__(message)
+        self.missing = tuple(missing)
+        self.corrupt = tuple(corrupt)
+        self.verified = verified
 
 
 class MigrationError(ArchiveError):
     """A format migration could not be planned or executed."""
+
+
+class ErasureError(ArchiveError):
+    """Erasure coding failed: bad k/n parameters, too few intact
+    shards to reconstruct, or the reconstructed bytes fail fixity."""
+
+
+class SiteUnavailableError(ArchiveError):
+    """A federated site is down (simulated outage) and refused I/O."""
+
+
+class PlacementError(ArchiveError):
+    """A placement policy cannot be satisfied by the site topology."""
 
 
 # ---------------------------------------------------------------------------

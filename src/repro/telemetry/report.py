@@ -124,6 +124,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("-" * 64)
         lines.extend(vault_lines)
 
+    federation_lines = _federation_panel(metrics)
+    if federation_lines:
+        lines.append("")
+        lines.append("federated vault")
+        lines.append("-" * 64)
+        lines.extend(federation_lines)
+
     analysis_lines = _analysis_panel(metrics)
     if analysis_lines:
         lines.append("")
@@ -203,6 +210,37 @@ def _vault_panel(metrics: Mapping[str, Any]) -> list[str]:
     ]
     if lags:
         lines.append(f"  replica lag max {_fmt(max(lags))} object(s)")
+    return lines
+
+
+def _federation_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Multi-site federation activity for :func:`render_report` (empty
+    when no ``federation_*`` series have been recorded)."""
+    if not any(series.split("{", 1)[0].startswith("federation_")
+               for series in metrics):
+        return []
+    lines = [
+        f"  objects placed {_fmt(_family_total(metrics, 'federation_objects_stored_total'))}"
+        f" as {_fmt(_family_total(metrics, 'federation_fragments_stored_total'))} fragments"
+        f" ({_fmt(_family_total(metrics, 'federation_bytes_stored_total'))} bytes)",
+        f"  syncs {_fmt(_family_total(metrics, 'federation_sync_runs_total'))}:"
+        f" {_fmt(_family_total(metrics, 'federation_sync_repairs_total'))} fragment(s) repaired,"
+        f" {_fmt(_family_total(metrics, 'federation_sync_unrecoverable_total'))} unrecoverable",
+        f"  sampling scrubs {_fmt(_family_total(metrics, 'federation_audit_scrubs_total'))}:"
+        f" {_fmt(_family_total(metrics, 'federation_objects_scrubbed_total'))} objects,"
+        f" {_fmt(_family_total(metrics, 'federation_corruptions_found_total'))} rotten",
+        f"  fragments rebuilt after site loss "
+        f"{_fmt(_family_total(metrics, 'federation_rebuilt_fragments_total'))}",
+    ]
+    for name in ("federation_sites_available", "federation_sites"):
+        for series, data in metrics.items():
+            if series.split("{", 1)[0] == name \
+                    and data.get("type") == "gauge":
+                lines.append(
+                    f"  {name.removeprefix('federation_').replace('_', ' ')}"
+                    f" now {_fmt(data['value'])}"
+                )
+                break
     return lines
 
 

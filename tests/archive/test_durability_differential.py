@@ -1,0 +1,189 @@
+"""Differential testing of the durability model.
+
+Three independent oracles must agree, object-for-object, for BOTH
+redundancy strategies:
+
+1. the **closed form** shipped in ``repro.archive.placement``
+   (``1 - p^r`` for replicas, the binomial tail for k-of-n erasure);
+2. a **brute-force oracle** that enumerates every up/down combination
+   of the sites an object is actually placed on and sums exact
+   probabilities — no binomial identity, no shortcuts;
+3. a **Monte-Carlo simulation** that kills sites at random and asks
+   the survival predicate (enough fragments on live sites to read).
+
+On top of the math, the *implementation* is differentially tested: for
+sampled outage patterns, ``FederatedVault.fetch`` must succeed exactly
+when the predicate says the object is readable.
+"""
+
+import itertools
+import random
+from math import sqrt
+
+import pytest
+
+from repro.archive.federation import FederatedVault
+from repro.archive.placement import (
+    RedundancyScheme,
+    erasure_durability,
+    replica_durability,
+)
+from repro.archive.sites import Site, SiteTopology
+from repro.errors import ArchiveError
+from repro.hashing import stable_seed
+
+
+def brute_force_survival(num_sites: int, threshold: int,
+                         p: float) -> float:
+    """P(at least ``threshold`` of ``num_sites`` sites survive), by
+    exhaustive enumeration of all 2^num_sites outcomes."""
+    total = 0.0
+    for outcome in itertools.product((True, False), repeat=num_sites):
+        alive = sum(outcome)
+        if alive >= threshold:
+            probability = 1.0
+            for up in outcome:
+                probability *= (1.0 - p) if up else p
+            total += probability
+    return total
+
+
+def make_topology():
+    return SiteTopology([
+        Site("a1", "r1", latency_ms=5), Site("a2", "r1", latency_ms=6),
+        Site("b1", "r2", latency_ms=7), Site("b2", "r2", latency_ms=8),
+        Site("c1", "r3", latency_ms=9), Site("c2", "r3", latency_ms=10),
+        Site("d1", "r4", latency_ms=11), Site("d2", "r4", latency_ms=12),
+    ])
+
+
+def make_federation():
+    """Three replica objects and three erasure objects, placed for
+    real through the policy."""
+    federation = FederatedVault(make_topology())
+    digests = []
+    for i in range(3):
+        digests.append(
+            (federation.store(f'{{"replica object": {i}}}', level=3),
+             "replica"))
+    for i in range(3):
+        digests.append(
+            (federation.store(f'{{"erasure object": {i}, '
+                              f'"pad": "{"x" * 60}"}}', level=1),
+             "erasure"))
+    return federation, digests
+
+
+def _threshold(record) -> int:
+    """Fragments a read needs: 1 replica, or k shards."""
+    return record.scheme.read_fragments
+
+
+class TestClosedFormAgainstOracle:
+    @pytest.mark.parametrize("p", [0.01, 0.05, 0.3])
+    @pytest.mark.parametrize("copies", [1, 2, 3, 4])
+    def test_replica_formula(self, p, copies):
+        assert replica_durability(p, copies) == pytest.approx(
+            brute_force_survival(copies, 1, p), abs=1e-12)
+
+    @pytest.mark.parametrize("p", [0.01, 0.05, 0.3])
+    @pytest.mark.parametrize("k,n", [(1, 1), (2, 4), (4, 8), (3, 5)])
+    def test_erasure_formula(self, p, k, n):
+        assert erasure_durability(p, k, n) == pytest.approx(
+            brute_force_survival(n, k, p), abs=1e-12)
+
+
+class TestMonteCarloDifferential:
+    """Simulation, closed form and brute force agree per object."""
+
+    P = 0.3            # site-loss probability: high enough to measure
+    TRIALS = 4000
+
+    def test_simulation_matches_both_oracles_object_for_object(self):
+        federation, digests = make_federation()
+        site_names = [s.name for s in federation.topology.sites()]
+        rng = random.Random(stable_seed("durability-differential", 1))
+
+        survived = {digest: 0 for digest, __ in digests}
+        for __ in range(self.TRIALS):
+            dead = {name for name in site_names
+                    if rng.random() < self.P}
+            for digest, __kind in digests:
+                record = federation.object(digest)
+                alive = sum(1 for placement in record.placements
+                            if placement.site not in dead)
+                if alive >= _threshold(record):
+                    survived[digest] += 1
+
+        for digest, kind in digests:
+            record = federation.object(digest)
+            threshold = _threshold(record)
+            exact = brute_force_survival(
+                len(record.placements), threshold, self.P)
+            closed = record.scheme.durability(self.P)
+            # the two analytic oracles agree to machine precision
+            assert closed == pytest.approx(exact, abs=1e-12), kind
+            estimate = survived[digest] / self.TRIALS
+            # the simulation agrees within 4 standard errors
+            sigma = sqrt(exact * (1.0 - exact) / self.TRIALS)
+            assert abs(estimate - exact) < 4 * sigma + 1e-9, (
+                f"{kind} object {digest[:12]}: simulated {estimate} vs "
+                f"exact {exact} (sigma {sigma})"
+            )
+
+    def test_erasure_beats_replication_at_this_p(self):
+        """The trade the vault banks on: 4-of-8 erasure is both cheaper
+        (2x vs 3x bytes) and more durable than 3 replicas."""
+        erasure = RedundancyScheme("erasure", k=4, n=8)
+        replica = RedundancyScheme("full_replica", copies=3)
+        for p in (0.01, 0.05, 0.1):
+            assert erasure.durability(p) > replica.durability(p)
+            assert erasure.overhead_factor < replica.overhead_factor
+
+
+class TestImplementationDifferential:
+    """``fetch`` succeeds exactly when the predicate says it should."""
+
+    P = 0.35
+    TRIALS = 60
+
+    def test_fetch_agrees_with_survival_predicate(self):
+        federation, digests = make_federation()
+        topology = federation.topology
+        site_names = [s.name for s in topology.sites()]
+        rng = random.Random(stable_seed("fetch-differential", 2))
+
+        outcomes = {"readable": 0, "unreadable": 0}
+        for __ in range(self.TRIALS):
+            dead = [name for name in site_names
+                    if rng.random() < self.P]
+            for name in dead:
+                topology.fail_site(name)
+            try:
+                for digest, kind in digests:
+                    record = federation.object(digest)
+                    alive = sum(1 for placement in record.placements
+                                if placement.site not in dead)
+                    should_read = alive >= _threshold(record)
+                    try:
+                        payload = federation.fetch(digest)
+                    except ArchiveError:
+                        assert not should_read, (
+                            f"{kind} object with {alive} live "
+                            f"fragment(s) should have been readable"
+                        )
+                        outcomes["unreadable"] += 1
+                    else:
+                        assert should_read, (
+                            f"{kind} object read with only {alive} "
+                            f"live fragment(s)"
+                        )
+                        assert payload  # verified, non-empty
+                        outcomes["readable"] += 1
+            finally:
+                for name in dead:
+                    topology.recover_site(name)
+
+        # the sampled outage patterns exercised both outcomes
+        assert outcomes["readable"] > 0
+        assert outcomes["unreadable"] > 0

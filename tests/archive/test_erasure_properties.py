@@ -1,0 +1,160 @@
+"""Property-based suite for the GF(256) erasure coder.
+
+Three families of properties, as promised by ``repro.archive.erasure``'s
+module docstring:
+
+* **round-trip** — any ``k`` of the ``n`` shards reconstruct the exact
+  payload, whichever subset survives;
+* **safety** — with fewer than ``k`` intact shards reconstruction
+  raises; a tampered shard (even one whose checksum was fixed up to
+  hide the tampering) never causes wrong bytes to be returned;
+* **accounting** — shard sizes match the declared overhead formula
+  ``n * ceil(L / k)`` exactly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.archive.erasure import (
+    Shard,
+    encode,
+    overhead,
+    reconstruct,
+    shard_size,
+)
+from repro.errors import ErasureError
+
+#: generous deadline: pure-python GF(256) is slow on CI machines
+_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@st.composite
+def coded_payloads(draw, min_payload=0, max_payload=240):
+    payload = draw(st.binary(min_size=min_payload, max_size=max_payload))
+    k = draw(st.integers(min_value=1, max_value=6))
+    n = draw(st.integers(min_value=k, max_value=min(k + 6, 10)))
+    return payload, k, n
+
+
+def _tamper(shard: Shard, fix_checksum: bool = False) -> Shard:
+    """A copy of ``shard`` with its bytes flipped; optionally with the
+    checksum recomputed so the tampering is self-consistent."""
+    if shard.size:
+        data = bytes([shard.data[0] ^ 0xFF]) + shard.data[1:]
+    else:
+        data = b"\xff"
+    return Shard(shard.index, shard.k, shard.n, shard.payload_length,
+                 shard.payload_digest, data,
+                 checksum=None if fix_checksum else shard.checksum)
+
+
+class TestRoundTrip:
+    @_SETTINGS
+    @given(coded=coded_payloads(), data=st.data())
+    def test_any_k_of_n_subset_reconstructs(self, coded, data):
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        subset_size = data.draw(st.integers(min_value=k, max_value=n))
+        subset = data.draw(st.permutations(range(n)))[:subset_size]
+        chosen = [shards[i] for i in subset]
+        assert reconstruct(chosen) == payload
+
+    @_SETTINGS
+    @given(coded=coded_payloads())
+    def test_serialized_shards_round_trip(self, coded):
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        revived = [Shard.from_dict(s.to_dict()) for s in shards[-k:]]
+        assert reconstruct(revived) == payload
+
+    def test_empty_payload(self):
+        shards = encode(b"", 3, 5)
+        assert all(s.size == 0 for s in shards)
+        assert reconstruct(shards[2:]) == b""
+
+
+class TestSafety:
+    @_SETTINGS
+    @given(coded=coded_payloads(min_payload=1), data=st.data())
+    def test_fewer_than_k_intact_raises(self, coded, data):
+        """Corrupting more than ``n - k`` shards (leaving < k intact)
+        must raise — never silently return something."""
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        to_corrupt = data.draw(
+            st.integers(min_value=n - k + 1, max_value=n))
+        victims = data.draw(st.permutations(range(n)))[:to_corrupt]
+        damaged = [
+            _tamper(s) if s.index in victims else s for s in shards
+        ]
+        with pytest.raises(ErasureError):
+            reconstruct(damaged)
+
+    @_SETTINGS
+    @given(coded=coded_payloads(min_payload=1), data=st.data())
+    def test_k_minus_one_shards_raise(self, coded, data):
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        subset = data.draw(st.permutations(range(n)))[:k - 1]
+        with pytest.raises(ErasureError):
+            reconstruct([shards[i] for i in subset])
+
+    @_SETTINGS
+    @given(coded=coded_payloads(min_payload=1), data=st.data())
+    def test_hidden_tampering_never_yields_wrong_bytes(self, coded, data):
+        """A shard whose bytes AND checksum were both rewritten looks
+        intact; the payload-digest check must still prevent wrong bytes
+        from ever being returned."""
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        victims = data.draw(st.permutations(range(n)))[
+            :data.draw(st.integers(min_value=1, max_value=n))]
+        damaged = [
+            _tamper(s, fix_checksum=True) if s.index in victims else s
+            for s in shards
+        ]
+        try:
+            result = reconstruct(damaged)
+        except ErasureError:
+            return  # refusing is always acceptable
+        assert result == payload  # returning demands the right bytes
+
+    def test_mixed_headers_are_refused(self):
+        a = encode(b"payload one", 2, 4)
+        b = encode(b"payload two", 2, 4)
+        with pytest.raises(ErasureError, match="refusing to mix"):
+            reconstruct([a[0], b[1]])
+
+    def test_no_shards_raises(self):
+        with pytest.raises(ErasureError):
+            reconstruct([])
+
+
+class TestOverheadAccounting:
+    @_SETTINGS
+    @given(coded=coded_payloads())
+    def test_shard_sizes_match_formula(self, coded):
+        payload, k, n = coded
+        shards = encode(payload, k, n)
+        expected = shard_size(len(payload), k)
+        assert len(shards) == n
+        assert all(s.size == expected for s in shards)
+        assert sum(s.size for s in shards) == overhead(len(payload), k, n)
+
+    @_SETTINGS
+    @given(length=st.integers(min_value=0, max_value=10_000),
+           k=st.integers(min_value=1, max_value=12))
+    def test_formula_is_ceil_division(self, length, k):
+        size = shard_size(length, k)
+        if length == 0:
+            assert size == 0
+        else:
+            assert (size - 1) * k < length <= size * k
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ErasureError):
+            encode(b"x", 0, 3)
+        with pytest.raises(ErasureError):
+            encode(b"x", 4, 3)
+        with pytest.raises(ErasureError):
+            encode(b"x", 2, 256)

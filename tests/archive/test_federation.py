@@ -1,0 +1,482 @@
+"""The federated vault, proven by fault injection.
+
+The tentpole narrative, end to end: flip one byte on one site → the
+sampling scrub makes the rot visible to the site's Merkle manifest →
+cross-site sync localizes the exact diverging bucket without re-hashing
+the site → the fragment is repaired from surviving redundancy → the
+whole episode lands in provenance as an OPM run with the true cause.
+
+Plus the building blocks (manifests, sites, placement), rebuild after
+site loss, the vault/DQM/rule-engine integrations, and telemetry.
+"""
+
+import pytest
+
+from repro.analysis.analyzer import Analyzer
+from repro.analysis.vault_rules import VaultState
+from repro.archive.federation import (
+    AUDIT_WORKFLOW,
+    REBUILD_WORKFLOW,
+    SYNC_WORKFLOW,
+    FederatedVault,
+)
+from repro.archive.merkle import MerkleManifest
+from repro.archive.placement import (
+    ERASURE,
+    FULL_REPLICA,
+    PlacementPolicy,
+)
+from repro.archive.sites import Site, SiteTopology
+from repro.archive.vault import PreservationVault
+from repro.core.manager import DataQualityManager
+from repro.core.preservation import PreservationLevel
+from repro.errors import ArchiveError, ObjectMissingError, PlacementError
+from repro.hashing import sha256_hex
+from repro.telemetry import Telemetry
+
+from tests.archive.conftest import build_tiny_collection
+
+
+def eight_sites() -> SiteTopology:
+    return SiteTopology([
+        Site("sp-1", "southamerica", latency_ms=5),
+        Site("sp-2", "southamerica", latency_ms=8),
+        Site("rj-1", "southamerica-east", latency_ms=12),
+        Site("rj-2", "southamerica-east", latency_ms=14),
+        Site("us-1", "northamerica", latency_ms=60),
+        Site("us-2", "northamerica", latency_ms=65),
+        Site("eu-1", "europe", latency_ms=90),
+        Site("eu-2", "europe", latency_ms=95),
+    ])
+
+
+@pytest.fixture()
+def topology():
+    return eight_sites()
+
+
+@pytest.fixture()
+def federation(topology):
+    return FederatedVault(topology, telemetry=Telemetry())
+
+
+class TestMerkleManifest:
+    def test_equal_state_equal_root(self):
+        a = MerkleManifest()
+        b = MerkleManifest()
+        for i in range(50):
+            digest = sha256_hex(f"object {i}")
+            a.set(digest, digest)
+            b.set(digest, digest)
+        assert a.root == b.root
+        diff = a.diff(b)
+        assert not diff
+        # agreeing manifests cost ONE hash comparison, full stop
+        assert diff.nodes_compared == 1
+
+    def test_diff_localizes_the_changed_bucket(self):
+        a = MerkleManifest()
+        b = MerkleManifest()
+        digests = [sha256_hex(f"object {i}") for i in range(200)]
+        for digest in digests:
+            a.set(digest, digest)
+            b.set(digest, digest)
+        victim = digests[77]
+        b.set(victim, sha256_hex("rotten bytes"))
+        diff = a.diff(b)
+        assert diff.digests == [victim]
+        assert diff.prefixes == [victim[:a.depth]]
+        # the walk descends one root-to-bucket path: 1 root + 16
+        # children per level — nowhere near the 4369-node full tree
+        assert diff.nodes_compared <= 1 + 16 * a.depth
+
+    def test_mutation_invalidates_and_restores_root(self):
+        manifest = MerkleManifest()
+        digest = sha256_hex("an object")
+        empty_root = manifest.root
+        manifest.set(digest, digest)
+        assert manifest.root != empty_root
+        manifest.remove(digest)
+        assert manifest.root == empty_root
+
+    def test_depth_mismatch_refused(self):
+        with pytest.raises(ArchiveError, match="depth"):
+            MerkleManifest(depth=2).diff(MerkleManifest(depth=3))
+
+    def test_serialization_round_trip(self):
+        manifest = MerkleManifest()
+        for i in range(10):
+            digest = sha256_hex(f"object {i}")
+            manifest.set(digest, digest)
+        revived = MerkleManifest.from_dict(manifest.to_dict())
+        assert revived.root == manifest.root
+        assert revived.entries() == manifest.entries()
+
+
+class TestSiteScrub:
+    def test_silent_rot_is_invisible_until_scrubbed(self):
+        site = Site("s1", "r1")
+        digest = site.put('{"payload": 1}')
+        root_before = site.manifest_root()
+        site.corrupt(digest)
+        # silent: the manifest still claims health
+        assert site.manifest_root() == root_before
+        findings = site.scrub()
+        assert [(f.digest, f.state) for f in findings] == [
+            (digest, "corrupt")]
+        # ... and now the damage is visible to any manifest comparison
+        assert site.manifest_root() != root_before
+        assert site.manifest().state(digest) != digest
+
+    def test_sampling_scrub_is_deterministic(self):
+        site = Site("s1", "r1")
+        for i in range(40):
+            site.put(f'{{"payload": {i}}}')
+        scrubbed = [site.scrub(sample_fraction=0.25, seed=7)
+                    for __ in range(2)]
+        assert scrubbed[0] == scrubbed[1] == []
+
+    def test_down_site_refuses_io(self):
+        site = Site("s1", "r1")
+        digest = site.put('{"payload": 1}')
+        site.fail()
+        from repro.errors import SiteUnavailableError
+        with pytest.raises(SiteUnavailableError):
+            site.get(digest)
+        site.recover()
+        assert site.get(digest)
+
+
+class TestPlacementPolicy:
+    def test_fragments_spread_across_regions_first(self, topology):
+        policy = PlacementPolicy()
+        chosen = policy.choose_sites(topology, 4)
+        assert len({site.region for site in chosen}) == 4
+        chosen = policy.choose_sites(topology, 8)
+        assert len(chosen) == len({s.name for s in chosen}) == 8
+
+    def test_exclude_and_prefer(self, topology):
+        policy = PlacementPolicy()
+        chosen = policy.choose_sites(topology, 4, exclude=["sp-1"],
+                                     prefer=["eu-2"])
+        assert chosen[0].name == "eu-2"
+        assert "sp-1" not in {s.name for s in chosen}
+
+    def test_impossible_placement_raises(self, topology):
+        with pytest.raises(PlacementError):
+            PlacementPolicy().choose_sites(topology, 9)
+
+    def test_read_order_is_latency_sorted_and_skips_down_sites(
+            self, topology):
+        policy = PlacementPolicy()
+        topology.fail_site("sp-1")
+        ordered = policy.read_order(topology.sites())
+        assert [s.name for s in ordered][:3] == ["sp-2", "rj-1", "rj-2"]
+        assert "sp-1" not in {s.name for s in ordered}
+
+    def test_default_level_schemes(self):
+        policy = PlacementPolicy()
+        assert policy.scheme_for_level(1).kind == ERASURE
+        assert policy.scheme_for_level(2).kind == ERASURE
+        assert policy.scheme_for_level(3).kind == FULL_REPLICA
+        assert policy.scheme_for_level(4).kind == FULL_REPLICA
+
+
+class TestStoreAndFetch:
+    def test_replica_round_trip_and_dedup(self, federation):
+        digest = federation.store('{"x": 1}', level=3)
+        assert federation.store('{"x": 1}', level=3) == digest
+        record = federation.object(digest)
+        assert record.scheme.kind == FULL_REPLICA
+        assert len(record.placements) == 3
+        assert len({p.site for p in record.placements}) == 3
+        assert federation.fetch(digest) == '{"x": 1}'
+
+    def test_erasure_round_trip(self, federation):
+        payload = '{"bulk": "' + "y" * 400 + '"}'
+        digest = federation.store(payload, level=1)
+        record = federation.object(digest)
+        assert record.scheme.kind == ERASURE
+        assert len(record.placements) == 8
+        assert sorted(p.shard_index for p in record.placements) == \
+            list(range(8))
+        assert federation.fetch(digest) == payload
+
+    def test_erasure_survives_any_nk_site_outage(self, federation,
+                                                 topology):
+        payload = '{"bulk": "' + "z" * 200 + '"}'
+        digest = federation.store(payload, level=1)
+        downed = [s.name for s in topology.sites()[:4]]
+        for name in downed:
+            topology.fail_site(name)
+        assert federation.fetch(digest) == payload
+
+    def test_unknown_digest_raises(self, federation):
+        with pytest.raises(ObjectMissingError):
+            federation.fetch(sha256_hex("never stored"))
+
+
+class TestFaultInjectionSync:
+    """The tentpole narrative: flip a byte → scrub → Merkle-localize
+    → repair → provenance."""
+
+    def test_corrupt_shard_localized_repaired_and_recorded(
+            self, federation, topology):
+        payload = '{"bulk": "' + "w" * 300 + '"}'
+        digest = federation.store(payload, level=1)
+        victim = federation.object(digest).placements[5]
+        site = topology.site(victim.site)
+
+        # flip the stored bytes silently: manifests still agree, so a
+        # sync right now walks ONE node per site and repairs nothing
+        site.corrupt(victim.stored)
+        report = federation.sync()
+        assert report.healthy
+        assert report.nodes_compared == len(topology)
+
+        # the sampling scrub makes the rot visible to the manifest
+        audit = federation.audit_sample(sample_fraction=1.0)
+        assert [(f.site, f.digest) for f in audit.findings] == [
+            (site.name, victim.stored)]
+        assert not audit.healthy
+
+        # now the Merkle diff localizes the exact bucket ...
+        report = federation.sync()
+        assert [d["stored"] for d in report.diverged] == [victim.stored]
+        assert report.diverged[0]["reason"] == "corrupt"
+        assert report.diverged[0]["prefixes"] == [victim.stored[:3]]
+        # ... and the sync never re-hashed the healthy sites: their
+        # roots agreed at the first comparison
+        assert report.nodes_compared < len(topology) + 16 * 3 + 1
+
+        # ... and the fragment is whole again
+        assert [r for r in report.repaired] == [{
+            "site": site.name, "role": victim.role,
+            "digest": digest, "reason": "corrupt",
+        }]
+        assert site.store.verify(victim.stored)
+        assert federation.fetch(digest) == payload
+        assert federation.sync().healthy
+
+        # the episode is queryable provenance: one audit + three syncs
+        runs = federation.provenance
+        assert runs.run_ids(AUDIT_WORKFLOW) == ["federation/audit-0001"]
+        assert runs.run_ids(SYNC_WORKFLOW) == [
+            "federation/sync-0001", "federation/sync-0002",
+            "federation/sync-0003"]
+        graph = runs.graph_for("federation/sync-0002")
+        fragment_id = f"fragment:{site.name}/{victim.role}/{digest}"
+        assert graph.has_node(fragment_id)
+        assert graph.node(fragment_id).annotations["was"] == "corrupt"
+
+    def test_dropped_replica_repaired_as_missing(self, federation,
+                                                 topology):
+        digest = federation.store('{"x": 2}', level=4)
+        victim = federation.object(digest).placements[0]
+        topology.site(victim.site).drop(victim.stored)
+        # a drop updates the site manifest, so no scrub is needed
+        report = federation.sync()
+        assert report.diverged[0]["reason"] == "missing"
+        assert report.repaired[0]["reason"] == "missing"
+        assert topology.site(victim.site).store.verify(digest)
+
+    def test_unrecoverable_when_no_redundancy_survives(self):
+        topology = SiteTopology([
+            Site("a", "r1"), Site("b", "r2"), Site("c", "r3")])
+        federation = FederatedVault(topology, telemetry=Telemetry())
+        digest = federation.store('{"x": 3}', level=3)
+        for site in topology.sites():
+            site.corrupt(digest)
+            site.scrub()
+        report = federation.sync()
+        assert not report.repaired
+        assert len(report.unrecoverable) == 3
+        assert not report.healthy
+
+    def test_sync_telemetry(self, topology):
+        telemetry = Telemetry()
+        federation = FederatedVault(topology, telemetry=telemetry)
+        digest = federation.store('{"x": 4}', level=3)
+        victim = federation.object(digest).placements[0]
+        topology.site(victim.site).corrupt(victim.stored)
+        federation.audit_sample(sample_fraction=1.0)
+        federation.sync()
+        metrics = telemetry.metrics
+        assert metrics.counter("federation_sync_repairs_total",
+                               reason="corrupt").value == 1
+        assert metrics.counter("federation_corruptions_found_total",
+                               state="corrupt").value == 1
+        assert metrics.counter("federation_objects_stored_total",
+                               scheme="full_replica").value == 1
+
+
+class TestRebuildOnSiteLoss:
+    def test_rebuild_moves_fragments_and_keeps_objects_readable(
+            self, federation, topology):
+        payloads = {
+            federation.store(f'{{"bulk": "{i}", "pad": "' + "p" * 120
+                             + '"}', level=1): "erasure"
+            for i in range(3)
+        }
+        payloads.update({
+            federation.store(f'{{"meta": {i}}}', level=3): "replica"
+            for i in range(3)
+        })
+        lost = "sp-1"
+        lost_fragments = sum(
+            len(record.placements_on(lost))
+            for record in federation.objects())
+        assert lost_fragments > 0
+
+        with pytest.raises(ArchiveError, match="still available"):
+            federation.rebuild_site(lost)
+        topology.fail_site(lost)
+        report = federation.rebuild_site(lost)
+
+        assert len(report.rebuilt) == lost_fragments
+        assert not report.unrecoverable
+        for record in federation.objects():
+            assert not record.placements_on(lost)
+            assert federation.fetch(record.digest)
+        # rebuilt fragments really exist where the catalog now says
+        for entry in report.rebuilt:
+            assert entry["from"] == lost
+            record = federation.object(entry["digest"])
+            target = topology.site(entry["to"])
+            for placement in record.placements_on(entry["to"]):
+                assert target.store.verify(placement.stored)
+        assert federation.provenance.run_ids(REBUILD_WORKFLOW) == [
+            "federation/rebuild-0001"]
+
+    def test_rebuild_is_unrecoverable_when_replicas_cannot_relocate(
+            self):
+        topology = SiteTopology([
+            Site("a", "r1"), Site("b", "r2"), Site("c", "r3")])
+        federation = FederatedVault(topology, telemetry=Telemetry())
+        digest = federation.store('{"x": 5}', level=3)
+        topology.fail_site("a")
+        report = federation.rebuild_site("a")
+        # every other site already holds a replica; doubling up adds
+        # no redundancy, so the rebuild reports honestly instead
+        assert not report.rebuilt
+        assert [e["role"] for e in report.unrecoverable] == ["replica"]
+        assert federation.object(digest).placements_on("a")
+
+    def test_recovered_site_strays_are_dropped_not_repaired(
+            self, federation, topology):
+        digest = federation.store('{"x": 6}', level=3)
+        # rebuild_site relocates the placement in place, so keep the
+        # lost site's name rather than reading it back afterwards
+        lost = federation.object(digest).placements[0].site
+        topology.fail_site(lost)
+        federation.rebuild_site(lost)
+        topology.recover_site(lost)
+        # the site comes back holding a fragment the catalog moved away
+        report = federation.sync()
+        strays = [r for r in report.repaired if r["role"] == "stray"]
+        assert [s["digest"] for s in strays] == [digest]
+        assert not topology.site(strays[0]["site"]).store.exists(digest)
+        assert federation.sync().healthy
+
+
+class TestVaultIntegration:
+    def test_ingest_also_places_across_the_federation(self, topology):
+        federation = FederatedVault(topology, telemetry=Telemetry())
+        vault = PreservationVault("fed", telemetry=Telemetry(),
+                                  federation=federation)
+        report = vault.ingest(build_tiny_collection(),
+                              PreservationLevel.ANALYSIS_LEVEL)
+        assert report.new_objects == 7
+        assert len(federation) == 7
+        # level 3 → full replicas, per the policy
+        for record in federation.objects():
+            assert record.scheme.kind == FULL_REPLICA
+        status = vault.status()
+        assert status["federation"]["objects"] == 7
+
+    def test_vault_without_federation_reports_none(self):
+        vault = PreservationVault("solo", telemetry=Telemetry())
+        assert vault.status()["federation"] is None
+
+
+class TestAnalysisRules:
+    def analyze(self, federation, **kwargs):
+        state = VaultState(
+            "fed", 3, 2, {}, [],
+            federation=VaultState.federation_snapshot(federation),
+            **kwargs)
+        return Analyzer(telemetry=Telemetry()).analyze_vault(state)
+
+    def test_healthy_federation_raises_no_placement_findings(
+            self, federation):
+        federation.store('{"x": 7}', level=3)
+        report = self.analyze(federation)
+        assert not [d for d in report.diagnostics
+                    if d.rule_id in ("VA005", "VA006", "VA007")]
+
+    def test_va006_flags_unrebuilt_redundancy_loss(self, federation,
+                                                   topology):
+        federation.store('{"x": 8}', level=3)
+        victim = federation.objects()[0].placements[0]
+        topology.fail_site(victim.site)
+        findings = [d for d in self.analyze(federation).diagnostics
+                    if d.rule_id == "VA006"]
+        assert len(findings) == 1
+        assert "2 of 3 fragments" in findings[0].message
+
+    def test_va005_flags_unreadable_objects(self, federation, topology):
+        digest = federation.store('{"x": 9}', level=1)
+        for placement in federation.object(digest).placements[:5]:
+            topology.fail_site(placement.site)
+        findings = [d for d in self.analyze(federation).diagnostics
+                    if d.rule_id == "VA005"]
+        assert len(findings) == 1
+        assert findings[0].severity == "error"
+
+    def test_va007_flags_region_concentration(self):
+        topology = SiteTopology([
+            Site("a1", "r1", latency_ms=1), Site("a2", "r1", latency_ms=2),
+            Site("a3", "r1", latency_ms=3), Site("b1", "r2", latency_ms=99),
+        ])
+        # a policy that chases latency without spreading piles every
+        # replica into the cheap region
+        policy = PlacementPolicy(spread_regions=False)
+        federation = FederatedVault(topology, policy=policy,
+                                    telemetry=Telemetry())
+        federation.store('{"x": 10}', level=3)
+        findings = [d for d in self.analyze(federation).diagnostics
+                    if d.rule_id == "VA007"]
+        assert len(findings) == 1
+        assert "r1" in findings[0].message
+
+
+class TestDurabilityAndDQM:
+    def test_durability_report_shows_the_trade(self, federation):
+        federation.store('{"bulk": "' + "q" * 100 + '"}', level=1)
+        federation.store('{"meta": 11}', level=3)
+        document = federation.durability_report(0.05)
+        erasure_entry = document["levels"]["1"]
+        replica_entry = document["levels"]["3"]
+        assert erasure_entry["durability"] > replica_entry["durability"]
+        assert erasure_entry["overhead_factor"] < \
+            replica_entry["overhead_factor"]
+        # 3 replicas are NOT enough to match 4-of-8 erasure at p=0.05
+        assert erasure_entry["equivalent_replica_copies"] > 3
+        cost = document["storage_cost"]
+        assert cost["erasure"]["overhead_factor"] <= 2.1
+        assert cost["full_replica"]["overhead_factor"] == 3.0
+
+    def test_dqm_preservation_assessment(self, federation):
+        federation.store('{"bulk": "' + "r" * 100 + '"}', level=1)
+        manager = DataQualityManager()
+        report = manager.assess_preservation(federation)
+        dimensions = {value.dimension: value for value in report}
+        for level in (1, 2, 3, 4):
+            durability = dimensions[f"durability (level {level})"]
+            efficiency = dimensions[f"storage_efficiency (level {level})"]
+            assert 0.99 < durability.value <= 1.0
+            assert durability.source == "computed"
+            assert 0.0 < efficiency.value <= 1.0
+        # erasure buys replica-grade durability at sub-replica cost,
+        # so its efficiency clamps at 1.0
+        assert dimensions["storage_efficiency (level 1)"].value == 1.0

@@ -156,3 +156,91 @@ class TestRetryBackoff:
         group.stores[1].corrupt(digest)
         with pytest.raises(ArchiveError, match="after 3 attempts"):
             group.repair(digest)
+
+
+class TestQuorumCauseBreakdown:
+    """Regression: quorum failures must say *why* each replica failed.
+
+    ``read()`` used to count ``verify()`` misses, which conflates a
+    replica that is gone (store loss, partial write) with one whose
+    bytes rotted in place — two failures that need different operator
+    responses and different repair provenance.
+    """
+
+    def test_read_failure_reports_corrupt_stores(self):
+        group = make_group(3, quorum=3)
+        digest = group.put("precious")
+        group.stores[1].corrupt(digest)
+        with pytest.raises(QuorumError) as excinfo:
+            group.read(digest)
+        error = excinfo.value
+        assert error.corrupt == ("r1",)
+        assert error.missing == ()
+        assert error.verified == 2
+        assert "corrupt on r1" in str(error)
+
+    def test_read_failure_reports_missing_stores(self):
+        group = make_group(3, quorum=3)
+        digest = group.put("precious")
+        group.stores[2].drop(digest)
+        with pytest.raises(QuorumError) as excinfo:
+            group.read(digest)
+        error = excinfo.value
+        assert error.missing == ("r2",)
+        assert error.corrupt == ()
+        assert error.verified == 2
+        assert "missing on r2" in str(error)
+
+    def test_read_failure_reports_mixed_causes(self):
+        group = make_group(3)  # majority quorum = 2
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        group.stores[1].drop(digest)
+        with pytest.raises(QuorumError) as excinfo:
+            group.read(digest)
+        error = excinfo.value
+        assert error.corrupt == ("r0",)
+        assert error.missing == ("r1",)
+        assert error.verified == 1
+
+    def test_read_at_quorum_still_serves(self):
+        group = make_group(3)  # quorum 2
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        assert group.read(digest) == "precious"
+
+    def test_repair_exhaustion_carries_breakdown(self):
+        group = make_group(2)
+        digest = group.put("doomed")
+        group.stores[0].corrupt(digest)
+        group.stores[1].drop(digest)
+        with pytest.raises(QuorumError) as excinfo:
+            group.repair(digest)
+        error = excinfo.value
+        assert error.corrupt == ("r0",)
+        assert error.missing == ("r1",)
+        assert error.verified == 0
+
+    def test_repair_provenance_records_true_cause(self):
+        """The OPM repair run must annotate each rebuilt replica with
+        what it actually was: corrupt vs missing."""
+        from repro.archive.fixity import FixityAuditor
+        from repro.provenance.repository import ProvenanceRepository
+
+        group = make_group(3)
+        repository = ProvenanceRepository()
+        auditor = FixityAuditor(group, repository)
+        digest = group.put("precious")
+        group.stores[0].corrupt(digest)
+        group.stores[1].drop(digest)
+        actions = group.repair(digest)
+        run_id = auditor.record_repair(actions)
+        graph = repository.graph_for(run_id)
+        annotations = {
+            node.id: node.annotations
+            for node in graph.nodes(kind="artifact")
+            if node.id.startswith("replica:")
+        }
+        assert annotations[f"replica:r0/{digest}"]["was"] == "corrupt"
+        assert annotations[f"replica:r1/{digest}"]["was"] == "missing"
+        assert group.replica_status(digest).intact
