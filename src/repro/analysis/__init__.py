@@ -2,8 +2,9 @@
 
 The rule engine behind ``repro lint``: a :class:`Diagnostic` model, a
 :class:`RuleRegistry` with per-rule enable/disable and suppression
-baselines, and four rule families (workflow ``WF``, provenance ``PR``,
-storage ``ST``, vault ``VA``) that run purely on in-memory objects.
+baselines, and five rule families (workflow ``WF``, provenance
+``PR001``-``PR005``, provenance-store ``PR006``-``PR008``, storage
+``ST``, vault ``VA``) that run purely on in-memory objects.
 
 Importing this package registers every built-in rule with the default
 registry.
@@ -27,6 +28,7 @@ from repro.analysis.registry import (
 # registry; the state views are part of the public surface.
 from repro.analysis.workflow_rules import workflow_context
 from repro.analysis.provenance_rules import GraphState
+from repro.analysis.store_rules import StoreState
 from repro.analysis.storage_rules import SchemaSet
 from repro.analysis.vault_rules import VaultState
 from repro.analysis.analyzer import Analyzer, sniff_document
@@ -44,6 +46,7 @@ __all__ = [
     "workflow_context",
     "GraphState",
     "SchemaSet",
+    "StoreState",
     "VaultState",
     "Analyzer",
     "sniff_document",

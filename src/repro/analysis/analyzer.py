@@ -24,6 +24,7 @@ from repro.analysis.diagnostics import AnalysisReport
 from repro.analysis.provenance_rules import GraphState
 from repro.analysis.registry import Baseline, RuleRegistry, default_registry
 from repro.analysis.storage_rules import SchemaSet
+from repro.analysis.store_rules import StoreState
 from repro.analysis.vault_rules import DEFAULT_HORIZON_YEAR, VaultState
 from repro.analysis.workflow_rules import workflow_context
 from repro.errors import AnalysisError
@@ -42,7 +43,7 @@ def sniff_document(document: Mapping[str, Any]) -> str:
     document has ``nodes``/``edges``.
     """
     bundle_keys = {"workflow", "workflows", "graph", "graphs",
-                   "tables", "vault"}
+                   "tables", "vault", "provstore"}
     if bundle_keys & set(document):
         return "bundle"
     if "processors" in document or "links" in document:
@@ -130,6 +131,14 @@ class Analyzer:
                    else SchemaSet.from_database(database))
         return self._run_family("storage", schemas, {})
 
+    def analyze_store(self,
+                      store: Any | StoreState) -> AnalysisReport:
+        """Run the provenance-store rules on an archival store (or
+        state snapshot)."""
+        state = (store if isinstance(store, StoreState)
+                 else StoreState.from_store(store))
+        return self._run_family("provstore", state, {})
+
     def analyze_vault(self, vault: Any | VaultState,
                       horizon_year: int = DEFAULT_HORIZON_YEAR
                       ) -> AnalysisReport:
@@ -164,7 +173,8 @@ class Analyzer:
 
         Recognised keys: ``workflow`` (one document) / ``workflows``
         (list), ``graph``/``graphs``, ``tables`` (a SchemaSet
-        document), ``vault`` (a VaultState document).
+        document), ``vault`` (a VaultState document), ``provstore``
+        (a StoreState document).
         """
         report = AnalysisReport()
         workflows = list(bundle.get("workflows", ()))
@@ -182,4 +192,7 @@ class Analyzer:
         if bundle.get("vault") is not None:
             report.merge(self.analyze_vault(
                 VaultState.from_dict(bundle["vault"])))
+        if bundle.get("provstore") is not None:
+            report.merge(self.analyze_store(
+                StoreState.from_dict(bundle["provstore"])))
         return report

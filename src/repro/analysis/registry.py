@@ -30,7 +30,8 @@ from repro.errors import AnalysisError
 __all__ = ["Rule", "RuleRegistry", "Baseline", "rule", "default_registry"]
 
 #: Analyzer families a rule may belong to.
-FAMILIES: tuple[str, ...] = ("workflow", "provenance", "storage", "vault")
+FAMILIES: tuple[str, ...] = ("workflow", "provenance", "provstore",
+                             "storage", "vault")
 
 CheckFunction = Callable[["Rule", Any, dict], Iterator[Diagnostic]]
 

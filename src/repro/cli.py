@@ -9,6 +9,9 @@ Installed as the ``repro`` console script::
     repro crossref --publications 60
     repro stats --records 1000      # run a workflow, print telemetry
     repro vault status --records 300 --level 3   # archive lifecycle
+    repro provenance export --runs 3             # Workflow-Run RO-Crate
+    repro provenance lineage --direction ancestors
+    repro provenance stats --runs 5 --json
 
 Every command is seeded and offline.
 """
@@ -104,6 +107,58 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--table-stats", action="store_true",
                          help="include the table's index cardinality "
                          "statistics")
+
+    provenance = commands.add_parser(
+        "provenance", help="archival provenance store: export a "
+        "Workflow-Run RO-Crate, run bounded lineage queries, or print "
+        "store statistics")
+    prov_commands = provenance.add_subparsers(dest="provenance_command",
+                                              required=True)
+
+    def _prov_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--records", type=int, default=200)
+        sub.add_argument("--species", type=int, default=50)
+        sub.add_argument("--runs", type=int, default=3,
+                         help="workflow executions to archive; a shared "
+                         "result cache makes later runs replay earlier "
+                         "ones, so wasCachedFrom chains appear")
+
+    p_export = prov_commands.add_parser(
+        "export", help="export one run as a Workflow-Run RO-Crate "
+        "(ro-crate-metadata.json)")
+    _prov_common(p_export)
+    p_export.add_argument("--run", type=str, default=None,
+                          help="run id to export (default: latest)")
+    p_export.add_argument("--output", type=str, default=None,
+                          help="write the crate here instead of stdout")
+    p_export.add_argument("--validate", action="store_true",
+                          help="lint the crate structure and exit 1 on "
+                          "problems")
+
+    p_lineage = prov_commands.add_parser(
+        "lineage", help="bounded-memory lineage query over the "
+        "archival store")
+    _prov_common(p_lineage)
+    p_lineage.add_argument("--node", type=str, default=None,
+                           help="artifact/process id (default: an "
+                           "output artifact of the latest run)")
+    p_lineage.add_argument("--direction",
+                           choices=("ancestors", "descendants"),
+                           default="ancestors")
+    p_lineage.add_argument("--chain", action="store_true",
+                           help="resolve the wasCachedFrom chain of a "
+                           "process instead of a lineage closure")
+    p_lineage.add_argument("--max-nodes", type=int, default=None,
+                           help="traversal node budget")
+    p_lineage.add_argument("--max-depth", type=int, default=None,
+                           help="traversal depth budget")
+
+    p_stats = prov_commands.add_parser(
+        "stats", help="segment manifest, interning and memory "
+        "statistics of the archival store")
+    _prov_common(p_stats)
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit raw JSON instead of text")
 
     stats = commands.add_parser(
         "stats", help="run the detection workflow with telemetry "
@@ -428,6 +483,109 @@ def _command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _provenance_world(args: argparse.Namespace):
+    """An archived synthetic world for the ``provenance`` command:
+    ``--runs`` executions of the species check sharing one result
+    cache, so replays land as ``wasCachedFrom`` chains in the store."""
+    from repro.curation.species_check import SpeciesNameChecker
+    from repro.provenance.manager import ProvenanceManager
+    from repro.taxonomy.service import CatalogueService
+    from repro.workflow.cache import ResultCache
+
+    catalogue, collection, __ = _small_world(
+        args.seed, args.records, args.species,
+        max(5, args.records // 40))
+    service = CatalogueService(catalogue, availability=0.95,
+                               seed=args.seed)
+    provenance = ProvenanceManager()
+    checker = SpeciesNameChecker(collection, service,
+                                 provenance=provenance,
+                                 result_cache=ResultCache())
+    for __ in range(max(1, args.runs)):
+        checker.run()
+    return provenance.repository
+
+
+def _command_provenance(args: argparse.Namespace) -> int:
+    repository = _provenance_world(args)
+    store = repository.store
+    run_ids = repository.run_ids()
+    latest = run_ids[-1]
+
+    if args.provenance_command == "export":
+        from repro.linkeddata.rocrate import (
+            build_run_crate,
+            crate_to_json,
+            validate_crate,
+        )
+
+        run_id = args.run or latest
+        crate = build_run_crate(repository, run_id)
+        if args.validate:
+            problems = validate_crate(crate)
+            for problem in problems:
+                print(f"invalid: {problem}", file=sys.stderr)
+            if problems:
+                return 1
+        rendered = crate_to_json(crate)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered + "\n")
+            print(f"crate for {run_id} written to {args.output} "
+                  f"({len(crate['@graph'])} entities)")
+        else:
+            print(rendered)
+        return 0
+
+    if args.provenance_command == "lineage":
+        from repro.provenance.store import TraversalBudget
+
+        budget = TraversalBudget(
+            max_nodes=args.max_nodes
+            if args.max_nodes is not None else 100_000,
+            max_depth=args.max_depth,
+        )
+        if args.chain:
+            # the metadata reader is the one cacheable processor of the
+            # species check, so its chain is the interesting default
+            node = args.node or f"{latest}/FNJV_metadata_reader"
+            result = store.cached_from_chain(node, budget=budget)
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        node = args.node
+        if node is None:
+            graph = repository.graph_for(latest)
+            node = [n.id for n in graph.nodes("artifact")][-1]
+        query = (store.ancestors if args.direction == "ancestors"
+                 else store.descendants)
+        result = query(node, budget=budget)
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    # stats
+    statistics = store.stats()
+    if args.json:
+        print(json.dumps(statistics, indent=2, sort_keys=True))
+        return 0
+    counts = store.manifest_counts()
+    print(f"archival provenance store ({len(run_ids)} repository runs)")
+    print("-" * 64)
+    print(f"  runs archived {counts.get('runs_total', 0)} "
+          f"({counts.get('runs_sealed', 0)} sealed, "
+          f"{counts.get('runs_tail', 0)} in the active tail)")
+    print(f"  sealed segments {counts.get('segments_sealed', 0)}, "
+          f"interned strings {counts.get('pool_size', 0)}")
+    print(f"  nodes {counts.get('nodes_total', 0)}, "
+          f"edges {counts.get('edges_total', 0)}")
+    print(f"  resident segment bytes {store.memory_bytes():,}")
+    for segment in statistics["segments"]:
+        state = "sealed" if segment["sealed"] else "tail"
+        print(f"    {segment['segment_id']:<12}{state:<8}"
+              f"{segment['runs']:>6} runs {segment['nodes']:>8} nodes "
+              f"{segment['edges']:>8} edges")
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.core.manager import DataQualityManager
     from repro.curation.species_check import SpeciesNameChecker
@@ -478,6 +636,13 @@ def _command_stats(args: argparse.Namespace) -> int:
           f"{result.records_processed:,} records, "
           f"{result.outdated_names} outdated names, "
           f"{len(flagged)} updates flagged for review")
+    # archive size comes from the store manifest — O(1), no run scan
+    counts = provenance.repository.store.manifest_counts()
+    print(f"provenance archive: {counts.get('runs_total', 0)} run(s), "
+          f"{counts.get('segments_sealed', 0)} sealed segment(s) + "
+          f"{counts.get('runs_tail', 0)} tail run(s), "
+          f"{counts.get('nodes_total', 0)} nodes / "
+          f"{counts.get('edges_total', 0)} edges")
     print()
     print(telemetry.render_report())
     print()
@@ -609,6 +774,7 @@ def _lint_demo(analyzer, seed: int):
             provenance.repository.graph_for(run_id)))
     report.merge(analyzer.analyze_storage(collection.database))
     report.merge(analyzer.analyze_vault(vault))
+    report.merge(analyzer.analyze_store(provenance.repository.store))
     return report
 
 
@@ -793,6 +959,7 @@ _COMMANDS = {
     "experiments": _command_experiments,
     "explain": _command_explain,
     "lint": _command_lint,
+    "provenance": _command_provenance,
     "publish": _command_publish,
     "stats": _command_stats,
     "vault": _command_vault,

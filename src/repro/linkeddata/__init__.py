@@ -24,6 +24,12 @@ from repro.linkeddata.publisher import (
     publish_provenance,
 )
 from repro.linkeddata.research_object import ResearchObject
+from repro.linkeddata.rocrate import (
+    build_run_crate,
+    cached_actions,
+    crate_to_json,
+    validate_crate,
+)
 from repro.linkeddata.shadows import CrossReferencer, Publication, Shadow
 from repro.linkeddata.triples import IRI, Literal, Triple, TripleStore
 from repro.linkeddata.vocab import DC, DWC, PROV, RDF, RDFS, REPRO
@@ -43,7 +49,11 @@ __all__ = [
     "Shadow",
     "Triple",
     "TripleStore",
+    "build_run_crate",
+    "cached_actions",
+    "crate_to_json",
     "publish_collection",
     "publish_curation_history",
     "publish_provenance",
+    "validate_crate",
 ]

@@ -65,7 +65,8 @@ class ResearchObject:
 
     def aggregate_run(self, provenance: ProvenanceRepository,
                       run_id: str) -> None:
-        if run_id not in provenance.run_ids():
+        # keyed membership probe, not a materialized full run listing
+        if not provenance.has_run(run_id):
             raise ReproError(f"run {run_id!r} is not in the repository")
         self.provenance = provenance
         if run_id not in self.run_ids:

@@ -34,15 +34,23 @@ from repro.provenance.opm import (
 )
 from repro.provenance.repository import ProvenanceRepository
 from repro.provenance.serialization import graph_from_json, graph_to_json
+from repro.provenance.store import (
+    LineageResult,
+    ProvenanceStore,
+    TraversalBudget,
+)
 
 __all__ = [
     "Agent",
     "Artifact",
     "Edge",
+    "LineageResult",
     "OPMGraph",
     "Process",
     "ProvenanceManager",
     "ProvenanceRepository",
+    "ProvenanceStore",
+    "TraversalBudget",
     "ancestors",
     "derivation_sources",
     "descendants",

@@ -9,16 +9,25 @@ Persists, per workflow run:
 on the storage engine, and offers the queries the Data Quality Manager
 needs: the graph for a run, the runs of a workflow, and the quality
 annotations of the processes involved in producing an output.
+
+Every stored run is also ingested — transparently, on the same
+database — into the archival
+:class:`~repro.provenance.store.ProvenanceStore`, so cross-run lineage
+(``ancestors``/``descendants`` of an artifact, cache-replay chains,
+"which vault objects derive from run X") is answered by interned
+columnar indexes instead of re-parsing every graph.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Iterator
 
 from repro.errors import ProvenanceError
 from repro.provenance.opm import OPMGraph
 from repro.provenance.serialization import graph_from_json, graph_to_json
+from repro.provenance.store import ProvenanceStore
 from repro.storage import Column, Database, TableSchema, col
 from repro.storage import column_types as ct
 from repro.workflow.model import Workflow
@@ -31,9 +40,21 @@ _RUNS = "provenance_runs"
 
 
 class ProvenanceRepository:
-    """Run-indexed provenance storage on a :class:`~repro.storage.Database`."""
+    """Run-indexed provenance storage on a :class:`~repro.storage.Database`.
 
-    def __init__(self, database: Database | None = None) -> None:
+    Parameters
+    ----------
+    database:
+        Storage engine; a fresh in-memory one when omitted.
+    store:
+        The attached archival store.  ``None`` (default) creates one
+        on the same database; pass an existing
+        :class:`~repro.provenance.store.ProvenanceStore` to share, or
+        ``False`` to run store-less (legacy scans only).
+    """
+
+    def __init__(self, database: Database | None = None,
+                 store: ProvenanceStore | bool | None = None) -> None:
         self.database = database or Database("provenance_repository")
         if not self.database.has_table(_RUNS):
             self.database.create_table(TableSchema(_RUNS, [
@@ -47,6 +68,29 @@ class ProvenanceRepository:
                 Column("workflow", ct.TEXT),
             ], primary_key="run_id"))
             self.database.create_index(_RUNS, "workflow_name", "hash")
+        if store is False:
+            self.store: ProvenanceStore | None = None
+        elif store is None or store is True:
+            self.store = ProvenanceStore(self.database)
+        else:
+            self.store = store
+        if self.store is not None:
+            self._sync_store()
+
+    def _sync_store(self) -> None:
+        """Re-index runs persisted here but absent from the store —
+        the rebuild path after reattaching to a recovered database
+        (tail runs are not persisted as segments; their graphs are)."""
+        assert self.store is not None
+        if self.store.run_count() >= self.database.count(_RUNS):
+            return
+        missing = (
+            (row["run_id"], graph_from_json(row["graph"]))
+            for row in self.database.query(_RUNS).select(
+                "run_id", "graph").order_by("run_id").all()
+            if not self.store.has_run(row["run_id"])
+        )
+        self.store.ingest_repository_rows(missing)
 
     # ------------------------------------------------------------------
     # writes
@@ -76,6 +120,10 @@ class ProvenanceRepository:
         else:
             rowid = self.database.rowid_for(_RUNS, trace.run_id)
             self.database.update(_RUNS, rowid, row)
+        if self.store is not None:
+            # append-only archive: a re-capture keeps the first
+            # archived skeleton (ingest_graph counts the skip)
+            self.store.ingest_graph(trace.run_id, graph)
 
     # ------------------------------------------------------------------
     # reads
@@ -86,6 +134,47 @@ class ProvenanceRepository:
         if workflow_name is not None:
             query = query.where(col("workflow_name") == workflow_name)
         return sorted(query.values("run_id"))
+
+    def has_run(self, run_id: str) -> bool:
+        """Primary-key membership probe (no run-list materialization)."""
+        return self.database.query(_RUNS).where(
+            col("run_id") == run_id
+        ).first() is not None
+
+    def run_count(self) -> int:
+        """How many runs are archived — read from the store manifest
+        when one is attached, so no table scan is ever needed."""
+        if self.store is not None:
+            counts = self.store.manifest_counts()
+            if "runs_total" in counts:
+                return int(counts["runs_total"])
+        return self.database.count(_RUNS)
+
+    def runs_for_artifact(self, artifact_id: str, *,
+                          scan: bool = False) -> list[str]:
+        """Every run whose OPM graph mentions ``artifact_id``.
+
+        Served by the store's backward (artifact -> runs) index.  The
+        pre-store behaviour — deserialize every graph and probe it —
+        survives as the ``scan=True`` / store-less path, deprecated
+        and counted (``provstore_legacy_artifact_scans_total``) so
+        dashboards surface callers still paying O(n-runs).
+        """
+        if self.store is not None and not scan:
+            return self.store.runs_for_artifact(artifact_id)
+        from repro.telemetry import get_telemetry
+        get_telemetry().metrics.counter(
+            "provstore_legacy_artifact_scans_total").inc()
+        warnings.warn(
+            "linear run scan for an artifact id is deprecated; attach "
+            "a ProvenanceStore and use its backward index",
+            DeprecationWarning, stacklevel=2)
+        matches = []
+        for row in self.database.query(_RUNS).select(
+                "run_id", "graph").order_by("run_id").all():
+            if graph_from_json(row["graph"]).has_node(artifact_id):
+                matches.append(row["run_id"])
+        return matches
 
     def latest_run_id(self, workflow_name: str) -> str | None:
         ids = self.run_ids(workflow_name)

@@ -1,0 +1,94 @@
+"""String interning: dictionary-encoding ids to dense ints.
+
+Every identifier the archival store touches — artifact ids, process
+ids, agent ids, run ids, account names, edge roles — is interned once
+into a :class:`StringPool` and referred to everywhere else by its dense
+integer *sid*.  A million-run store repeats the same processor names,
+agent ids and content digests over and over; paying for each string
+once and shipping 8-byte ints through the columnar segments is the
+single biggest memory lever the store has.
+
+The pool is append-only (sids are stable forever, which is what lets
+sealed segments stay immutable) and segment payloads persist it as
+*deltas*: each sealed segment carries only the strings interned since
+the previous seal, so reloading segments in order reconstructs the
+exact pool.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import ProvenanceError
+
+__all__ = ["StringPool"]
+
+
+class StringPool:
+    """An append-only bidirectional string <-> dense-int dictionary."""
+
+    __slots__ = ("_strings", "_sids")
+
+    def __init__(self, strings: Iterable[str] = ()) -> None:
+        self._strings: list[str] = []
+        self._sids: dict[str, int] = {}
+        for text in strings:
+            self.intern(text)
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._sids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._strings)
+
+    def __repr__(self) -> str:
+        return f"StringPool({len(self._strings)} strings)"
+
+    def intern(self, text: str) -> int:
+        """The sid of ``text``, allocating one on first sight."""
+        sid = self._sids.get(text)
+        if sid is None:
+            sid = len(self._strings)
+            self._strings.append(text)
+            self._sids[text] = sid
+        return sid
+
+    def get(self, text: str) -> int | None:
+        """The sid of ``text`` if already interned, else ``None``
+        (lookups must never grow the dictionary)."""
+        return self._sids.get(text)
+
+    def lookup(self, sid: int) -> str:
+        """The string behind ``sid``."""
+        try:
+            return self._strings[sid]
+        except IndexError:
+            raise ProvenanceError(
+                f"sid {sid} is not in the string pool "
+                f"({len(self._strings)} entries)"
+            ) from None
+
+    def slice_from(self, start: int) -> list[str]:
+        """The strings interned at or after sid ``start`` — the delta a
+        sealed segment persists."""
+        if start < 0 or start > len(self._strings):
+            raise ProvenanceError(
+                f"invalid pool delta start {start} "
+                f"(pool has {len(self._strings)} entries)"
+            )
+        return self._strings[start:]
+
+    def extend(self, strings: Iterable[str]) -> None:
+        """Re-append a persisted delta (reload path).  Deltas must be
+        replayed in seal order; an out-of-order replay shows up as a
+        string that is already interned."""
+        for text in strings:
+            if text in self._sids:
+                raise ProvenanceError(
+                    f"pool delta replayed out of order: {text!r} is "
+                    "already interned"
+                )
+            self.intern(text)

@@ -1,0 +1,438 @@
+"""The archival provenance store.
+
+:class:`ProvenanceStore` replaces "keep a million OPM object graphs in
+memory" with a compact, queryable archive:
+
+* every string interned once (:mod:`~repro.provenance.store.interning`),
+* graphs appended to an **active tail** segment and periodically
+  **sealed** into immutable columnar segments with CSR adjacency
+  (:mod:`~repro.provenance.store.columnar`),
+* sealed segments persisted through the existing storage engine — one
+  row per segment in ``provstore_segments``, counts in the
+  ``provstore_manifest`` table so "how many runs are archived" never
+  requires a scan,
+* lineage answered by bounded frontier walks
+  (:mod:`~repro.provenance.store.queries`).
+
+The store is an *index*, not the system of record: the
+:class:`~repro.provenance.repository.ProvenanceRepository` keeps the
+full per-run graphs (labels, values, annotations), and the store keeps
+the cross-run skeleton (ids + typed edges) that lineage queries touch.
+Losing the store therefore loses nothing — it is rebuilt from the
+repository's rows, which is exactly what the attach path does for runs
+that never made it into a sealed segment.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ProvenanceError
+from repro.provenance.opm import OPMGraph
+from repro.provenance.store.columnar import (
+    KIND_CODES,
+    KIND_NAMES,
+    SealedSegment,
+    SegmentBuilder,
+)
+from repro.provenance.store.interning import StringPool
+from repro.provenance.store.queries import (
+    LineageResult,
+    TraversalBudget,
+    cached_chain,
+    frontier_walk,
+    resolve_edge_codes,
+)
+from repro.storage import Column, Database, TableSchema, col
+from repro.storage import column_types as ct
+
+__all__ = ["ProvenanceStore", "DEFAULT_RUNS_PER_SEGMENT"]
+
+#: runs accumulated in the active tail before it is sealed
+DEFAULT_RUNS_PER_SEGMENT = 256
+
+_SEGMENTS = "provstore_segments"
+_MANIFEST = "provstore_manifest"
+
+_ARTIFACT = KIND_CODES["artifact"]
+_VAULT_PREFIX = "cas:"
+
+
+class ProvenanceStore:
+    """Interned, columnar, segment-persisted provenance archive.
+
+    Parameters
+    ----------
+    database:
+        Storage engine holding the segment and manifest tables; a
+        fresh in-memory database when omitted.  Pre-existing sealed
+        segments are loaded (in seal order) on attach.
+    runs_per_segment:
+        Tail size that triggers an automatic :meth:`seal`.
+    telemetry:
+        Metrics sink; the process-wide default when omitted.
+    """
+
+    def __init__(self, database: Database | None = None,
+                 runs_per_segment: int = DEFAULT_RUNS_PER_SEGMENT,
+                 telemetry: Any | None = None) -> None:
+        if runs_per_segment < 1:
+            raise ProvenanceError("runs_per_segment must be >= 1")
+        self.database = database or Database("provenance_store")
+        self.runs_per_segment = runs_per_segment
+        if telemetry is None:
+            from repro.telemetry import get_telemetry
+            telemetry = get_telemetry()
+        self.telemetry = telemetry
+        self.pool = StringPool()
+        self.segments: list[SealedSegment] = []
+        #: node kind per sid (-1 = the sid is not a node id)
+        self._kinds = array("b")
+        self._run_sids: set[int] = set()
+        self._runs_sealed = 0
+        self._nodes_total = 0
+        self._edges_total = 0
+        self._ensure_tables()
+        self._load_segments()
+        self.tail = SegmentBuilder(self._next_segment_id(), self.pool)
+        self._write_manifest()
+
+    # ------------------------------------------------------------------
+    # persistence plumbing
+    # ------------------------------------------------------------------
+
+    def _ensure_tables(self) -> None:
+        if not self.database.has_table(_SEGMENTS):
+            self.database.create_table(TableSchema(_SEGMENTS, [
+                Column("seq", ct.INTEGER),
+                Column("segment_id", ct.TEXT, nullable=False),
+                Column("runs", ct.INTEGER, nullable=False),
+                Column("nodes", ct.INTEGER, nullable=False),
+                Column("edges", ct.INTEGER, nullable=False),
+                Column("payload", ct.JSON, nullable=False),
+            ], primary_key="seq"))
+        if not self.database.has_table(_MANIFEST):
+            self.database.create_table(TableSchema(_MANIFEST, [
+                Column("key", ct.TEXT),
+                Column("value", ct.INTEGER, nullable=False),
+            ], primary_key="key"))
+
+    def _load_segments(self) -> None:
+        rows = self.database.query(_SEGMENTS).order_by("seq").all()
+        for row in rows:
+            payload = row["payload"]
+            if isinstance(payload, str):  # compact text persistence
+                payload = json.loads(payload)
+            segment = SealedSegment.from_payload(payload, self.pool)
+            self._index_segment(segment)
+            self.segments.append(segment)
+            self._runs_sealed += segment.n_runs
+            self._nodes_total += segment.n_nodes
+            self._edges_total += segment.n_edges
+
+    def _index_segment(self, segment: SealedSegment) -> None:
+        self._grow_kinds()
+        for sid, kind in zip(segment.node_sids, segment.node_kinds):
+            self._kinds[sid] = kind
+        self._run_sids.update(segment.run_sids)
+
+    def _grow_kinds(self) -> None:
+        missing = len(self.pool) - len(self._kinds)
+        if missing > 0:
+            self._kinds.extend(array("b", [-1]) * missing)
+
+    def _next_segment_id(self) -> str:
+        return f"seg-{len(self.segments) + 1:05d}"
+
+    def _manifest_set(self, key: str, value: int) -> None:
+        existing = self.database.query(_MANIFEST).where(
+            col("key") == key).first()
+        if existing is None:
+            self.database.insert(_MANIFEST, {"key": key,
+                                             "value": int(value)})
+        elif existing["value"] != int(value):
+            rowid = self.database.rowid_for(_MANIFEST, key)
+            self.database.update(_MANIFEST, rowid,
+                                 {"key": key, "value": int(value)})
+
+    def _write_manifest(self) -> None:
+        counts = {
+            "runs_total": len(self._run_sids),
+            "runs_sealed": self._runs_sealed,
+            "runs_tail": self.tail.n_runs if hasattr(self, "tail") else 0,
+            "segments_sealed": len(self.segments),
+            "nodes_total": self._nodes_total,
+            "edges_total": self._edges_total,
+            "pool_size": len(self.pool),
+        }
+        for key, value in counts.items():
+            self._manifest_set(key, value)
+        metrics = self.telemetry.metrics
+        metrics.gauge("provstore_pool_strings").set(len(self.pool))
+        metrics.gauge("provstore_tail_runs").set(counts["runs_tail"])
+        metrics.gauge("provstore_sealed_segments").set(
+            counts["segments_sealed"])
+
+    def manifest_counts(self) -> dict[str, int]:
+        """The persisted counters — the O(1) answer to "how big is the
+        archive" that replaces scanning the runs table."""
+        return {row["key"]: row["value"]
+                for row in self.database.query(_MANIFEST).all()}
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+
+    def has_run(self, run_id: str) -> bool:
+        sid = self.pool.get(run_id)
+        return sid is not None and sid in self._run_sids
+
+    def run_count(self) -> int:
+        return len(self._run_sids)
+
+    def ingest_graph(self, run_id: str, graph: OPMGraph) -> bool:
+        """Append one run's graph to the active tail.
+
+        Returns ``False`` (and counts a skip) when the run is already
+        archived: segments are append-only, so a re-captured run keeps
+        its first archived skeleton — the repository row still carries
+        the latest full graph.
+        """
+        metrics = self.telemetry.metrics
+        if self.has_run(run_id):
+            metrics.counter("provstore_reingest_skipped_total").inc()
+            return False
+        nodes, edges = self.tail.add_graph(run_id, graph)
+        self._grow_kinds()
+        for node in graph.nodes():
+            sid = self.pool.get(node.id)
+            if sid is not None:
+                self._kinds[sid] = KIND_CODES[node.kind]
+        self._run_sids.add(self.pool.intern(run_id))
+        self._nodes_total += nodes
+        self._edges_total += edges
+        metrics.counter("provstore_runs_ingested_total").inc()
+        metrics.counter("provstore_nodes_ingested_total").inc(nodes)
+        metrics.counter("provstore_edges_ingested_total").inc(edges)
+        if self.tail.n_runs >= self.runs_per_segment:
+            self.seal()
+        else:
+            self._write_manifest()
+        return True
+
+    def ingest_repository_rows(self, rows: Iterable[tuple[str, OPMGraph]]
+                               ) -> int:
+        """Bulk (re-)ingest ``(run_id, graph)`` pairs — the rebuild
+        path for runs persisted in the repository but absent here
+        (e.g. tail runs lost with the process)."""
+        ingested = 0
+        for run_id, graph in rows:
+            if self.ingest_graph(run_id, graph):
+                ingested += 1
+        return ingested
+
+    def seal(self) -> str | None:
+        """Seal the active tail into an immutable persisted segment.
+        Returns the new segment id, or ``None`` for an empty tail."""
+        if self.tail.n_runs == 0:
+            return None
+        segment = self.tail.seal()
+        # persisted as one compact JSON string: a text blob is ~8x
+        # lighter in-process than the equivalent dict of int lists
+        payload = json.dumps(segment.to_payload(self.pool),
+                             separators=(",", ":"))
+        self.database.insert(_SEGMENTS, {
+            "seq": len(self.segments) + 1,
+            "segment_id": segment.segment_id,
+            "runs": segment.n_runs,
+            "nodes": segment.n_nodes,
+            "edges": segment.n_edges,
+            "payload": payload,
+        })
+        self.segments.append(segment)
+        self._runs_sealed += segment.n_runs
+        self.tail = SegmentBuilder(self._next_segment_id(), self.pool)
+        self.telemetry.metrics.counter(
+            "provstore_segments_sealed_total").inc()
+        self._write_manifest()
+        return segment.segment_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _query_segments(self) -> list:
+        segments: list = list(self.segments)
+        if self.tail.n_runs:
+            segments.append(self.tail)
+        return segments
+
+    def _count_query(self, kind: str) -> None:
+        self.telemetry.metrics.counter("provstore_queries_total",
+                                       kind=kind).inc()
+
+    def _lineage(self, node_id: str, *, forward: bool, direction: str,
+                 kinds: Iterable[str] | None,
+                 budget: TraversalBudget | None) -> LineageResult:
+        self._count_query(direction)
+        budget = budget or TraversalBudget()
+        sid = self.pool.get(node_id)
+        if sid is None or sid >= len(self._kinds) \
+                or self._kinds[sid] < 0:
+            return LineageResult(node_id, direction, [], False, 0, 0)
+        seen, truncated, visited, depth = frontier_walk(
+            self._query_segments(), (sid,),
+            codes=resolve_edge_codes(kinds),
+            forward=forward, budget=budget)
+        if truncated:
+            self.telemetry.metrics.counter(
+                "provstore_truncations_total").inc()
+        return LineageResult(
+            node_id, direction,
+            sorted(self.pool.lookup(s) for s in seen),
+            truncated, visited, depth)
+
+    def ancestors(self, node_id: str,
+                  kinds: Iterable[str] | None = None,
+                  budget: TraversalBudget | None = None
+                  ) -> LineageResult:
+        """Everything that (transitively) caused ``node_id``, walking
+        effect -> cause within the budget."""
+        return self._lineage(node_id, forward=True,
+                             direction="ancestors", kinds=kinds,
+                             budget=budget)
+
+    def descendants(self, node_id: str,
+                    kinds: Iterable[str] | None = None,
+                    budget: TraversalBudget | None = None
+                    ) -> LineageResult:
+        """Everything (transitively) caused *by* ``node_id``."""
+        return self._lineage(node_id, forward=False,
+                             direction="descendants", kinds=kinds,
+                             budget=budget)
+
+    def cached_from_chain(self, process_id: str,
+                          budget: TraversalBudget | None = None
+                          ) -> dict[str, Any]:
+        """Resolve a cache-replay chain to the execution that really
+        produced the outputs.
+
+        Returns ``{"chain": [process ids, replay first], "origin":
+        the process that actually executed, "truncated": bool}``; a
+        process that was never replayed yields a single-element chain.
+        """
+        self._count_query("cached_chain")
+        budget = budget or TraversalBudget()
+        sid = self.pool.get(process_id)
+        if sid is None:
+            return {"chain": [process_id], "origin": process_id,
+                    "truncated": False}
+        chain, truncated = cached_chain(self._query_segments(), sid,
+                                        budget=budget)
+        if truncated:
+            self.telemetry.metrics.counter(
+                "provstore_truncations_total").inc()
+        ids = [self.pool.lookup(s) for s in chain]
+        return {"chain": ids, "origin": ids[-1], "truncated": truncated}
+
+    def runs_for_artifact(self, artifact_id: str) -> list[str]:
+        """Every archived run whose graph mentions ``artifact_id`` —
+        the backward index that replaces the O(n-runs) repository
+        scan."""
+        self._count_query("artifact_runs")
+        sid = self.pool.get(artifact_id)
+        if sid is None:
+            return []
+        run_sids: set[int] = set()
+        for segment in self._query_segments():
+            run_sids.update(segment.runs_of(sid))
+        return sorted(self.pool.lookup(s) for s in run_sids)
+
+    def derived_objects(self, run_id: str,
+                        budget: TraversalBudget | None = None
+                        ) -> dict[str, Any]:
+        """Which preserved vault objects derive from run ``run_id``.
+
+        Walks cause -> effect from every artifact the run touched and
+        keeps reachable artifacts addressed in the vault's content
+        namespace (``cas:`` digests) — including the run's own
+        artifacts when they are vault objects themselves.
+        """
+        self._count_query("derived_objects")
+        budget = budget or TraversalBudget()
+        run_sid = self.pool.get(run_id)
+        if run_sid is None or run_sid not in self._run_sids:
+            raise ProvenanceError(f"run {run_id!r} is not archived")
+        start_sids = sorted({
+            sid
+            for segment in self._query_segments()
+            for sid in segment.nodes_of_run(run_sid)
+            if self._kinds[sid] == _ARTIFACT
+        })
+        seen, truncated, __, __depth = frontier_walk(
+            self._query_segments(), start_sids,
+            codes=resolve_edge_codes(None), forward=False,
+            budget=budget)
+        if truncated:
+            self.telemetry.metrics.counter(
+                "provstore_truncations_total").inc()
+        objects = sorted(
+            self.pool.lookup(sid)
+            for sid in set(start_sids) | seen
+            if self._kinds[sid] == _ARTIFACT
+            and self.pool.lookup(sid).startswith(_VAULT_PREFIX)
+        )
+        return {"run_id": run_id, "objects": objects,
+                "truncated": truncated}
+
+    def node_kind(self, node_id: str) -> str | None:
+        """The OPM kind of ``node_id`` (``None`` when unknown)."""
+        sid = self.pool.get(node_id)
+        if sid is None or sid >= len(self._kinds):
+            return None
+        code = self._kinds[sid]
+        return KIND_NAMES.get(code)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def run_ids(self) -> list[str]:
+        return sorted(self.pool.lookup(sid) for sid in self._run_sids)
+
+    def iter_segments(self) -> Iterator[Any]:
+        """Sealed segments then the (possibly empty) active tail."""
+        yield from self.segments
+        yield self.tail
+
+    def memory_bytes(self) -> int:
+        """Approximate resident bytes of sealed columns + indexes
+        (the tail's dict-based share is excluded — it is bounded by
+        ``runs_per_segment``)."""
+        return sum(segment.nbytes for segment in self.segments)
+
+    def stats(self) -> dict[str, Any]:
+        counts = self.manifest_counts()
+        counts.update({
+            "runs_per_segment": self.runs_per_segment,
+            "sealed_bytes": self.memory_bytes(),
+            "segments": [
+                {"segment_id": segment.segment_id,
+                 "sealed": segment.sealed,
+                 "runs": segment.n_runs,
+                 "nodes": segment.n_nodes,
+                 "edges": segment.n_edges}
+                for segment in self.iter_segments()
+            ],
+        })
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._run_sids)
+
+    def __repr__(self) -> str:
+        return (f"ProvenanceStore({len(self._run_sids)} runs, "
+                f"{len(self.segments)} sealed segments, "
+                f"{self.tail.n_runs} in tail)")

@@ -131,6 +131,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("-" * 64)
         lines.extend(federation_lines)
 
+    provstore_lines = _provstore_panel(metrics)
+    if provstore_lines:
+        lines.append("")
+        lines.append("provenance store")
+        lines.append("-" * 64)
+        lines.extend(provstore_lines)
+
     analysis_lines = _analysis_panel(metrics)
     if analysis_lines:
         lines.append("")
@@ -241,6 +248,39 @@ def _federation_panel(metrics: Mapping[str, Any]) -> list[str]:
                     f" now {_fmt(data['value'])}"
                 )
                 break
+    return lines
+
+
+def _provstore_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Archival provenance-store activity for :func:`render_report`
+    (empty when no ``provstore_*`` series have been recorded)."""
+    if not any(series.split("{", 1)[0].startswith("provstore_")
+               for series in metrics):
+        return []
+    lines = [
+        f"  runs ingested {_fmt(_family_total(metrics, 'provstore_runs_ingested_total'))}"
+        f" ({_fmt(_family_total(metrics, 'provstore_nodes_ingested_total'))} nodes,"
+        f" {_fmt(_family_total(metrics, 'provstore_edges_ingested_total'))} edges,"
+        f" {_fmt(_family_total(metrics, 'provstore_reingest_skipped_total'))} re-ingests skipped)",
+    ]
+    for name, label in (("provstore_sealed_segments", "sealed segments"),
+                        ("provstore_tail_runs", "tail runs"),
+                        ("provstore_pool_strings", "interned strings")):
+        for series, data in metrics.items():
+            if series.split("{", 1)[0] == name \
+                    and data.get("type") == "gauge":
+                lines.append(f"  {label} now {_fmt(data['value'])}")
+                break
+    queries = _family_total(metrics, "provstore_queries_total")
+    if queries:
+        truncated = _family_total(metrics, "provstore_truncations_total")
+        lines.append(
+            f"  lineage queries {_fmt(queries)}"
+            f" ({_fmt(truncated)} budget-truncated)"
+        )
+    legacy = _family_total(metrics, "provstore_legacy_artifact_scans_total")
+    if legacy:
+        lines.append(f"  deprecated O(n-runs) artifact scans {_fmt(legacy)}")
     return lines
 
 

@@ -67,7 +67,8 @@ class TestRuleRegistry:
     def test_default_registry_has_all_families(self):
         registry = default_registry()
         families = {rule.family for rule in registry}
-        assert families == {"workflow", "provenance", "storage", "vault"}
+        assert families == {"workflow", "provenance", "provstore",
+                            "storage", "vault"}
         assert len(registry) >= 20
 
     def test_catalog_is_plain_data(self):

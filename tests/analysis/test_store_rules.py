@@ -1,0 +1,183 @@
+"""Provenance-store rules PR006-PR008."""
+
+import pytest
+
+from repro.analysis import Analyzer, StoreState
+from repro.provenance.manager import ProvenanceManager
+from repro.provenance.store import ProvenanceStore
+from repro.workflow.cache import ResultCache
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+
+def _run_workflow(manager, engine, n=1):
+    for _ in range(n):
+        wf = Workflow("lint_demo")
+        wf.add_processor(Processor("d", "distinct", inputs=["values"],
+                                   outputs=["values"]))
+        wf.map_input("v", "d", "values")
+        wf.map_output("o", "d", "values")
+        engine.run(wf, {"v": [1, 1, 2]})
+
+
+def _ids(report):
+    return sorted({d.rule_id for d in report.diagnostics})
+
+
+class TestFromStore:
+    def test_healthy_store_is_clean(self):
+        manager = ProvenanceManager()
+        engine = WorkflowEngine(cache=ResultCache())
+        manager.attach(engine)
+        _run_workflow(manager, engine, n=3)
+        report = Analyzer().analyze_store(manager.repository.store)
+        assert report.diagnostics == []
+        assert report.families_run == ["provstore"]
+
+    def test_snapshot_covers_sealed_and_tail(self):
+        manager = ProvenanceManager()
+        engine = WorkflowEngine(cache=ResultCache())
+        manager.attach(engine)
+        _run_workflow(manager, engine, n=2)
+        store = manager.repository.store
+        store.seal()
+        _run_workflow(manager, engine, n=1)
+        state = StoreState.from_store(store)
+        assert len(state.segments) == 2
+        assert [s.sealed for s in state.segments] == [True, False]
+
+    def test_cached_replays_stay_inside_store(self):
+        # shared cache across runs -> wasCachedFrom edges whose causes
+        # are archived; PR007 must stay quiet
+        manager = ProvenanceManager()
+        engine = WorkflowEngine(cache=ResultCache())
+        manager.attach(engine)
+        _run_workflow(manager, engine, n=3)
+        state = StoreState.from_store(manager.repository.store)
+        cached = [e for s in state.segments for e in s.edges
+                  if e[0] == "wasCachedFrom"]
+        assert cached  # the scenario actually exercises replays
+        assert _ids(Analyzer().analyze_store(state)) == []
+
+
+class TestFromDict:
+    def _base(self, **overrides):
+        doc = {
+            "runs_per_segment": 4,
+            "tail_runs": 0,
+            "segments": [{
+                "segment_id": "seg-00001",
+                "sealed": True,
+                "runs": 1,
+                "nodes": [
+                    {"sid": 1, "kind": "artifact", "name": "r1/a1"},
+                    {"sid": 2, "kind": "process", "name": "r1/p"},
+                ],
+                "edges": [
+                    {"kind": "used", "effect": 2, "cause": 1},
+                ],
+            }],
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_clean_document(self):
+        report = Analyzer().analyze_store(
+            StoreState.from_dict(self._base()))
+        assert report.diagnostics == []
+
+    def test_pr006_dangling_endpoint(self):
+        doc = self._base()
+        doc["segments"][0]["edges"].append(
+            {"kind": "wasGeneratedBy", "effect": 99, "cause": 2})
+        report = Analyzer().analyze_store(StoreState.from_dict(doc))
+        assert _ids(report) == ["PR006"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.severity == "error"
+        assert "sid:99" in diagnostic.message
+
+    def test_pr006_skips_cached_from_cause(self):
+        # an exiting cachedFrom cause is PR007, not PR006
+        doc = self._base()
+        doc["segments"][0]["edges"].append(
+            {"kind": "wasCachedFrom", "effect": 2, "cause": 77})
+        report = Analyzer().analyze_store(StoreState.from_dict(doc))
+        assert _ids(report) == ["PR007"]
+
+    def test_pr007_chain_exits_store(self):
+        doc = self._base()
+        doc["segments"][0]["edges"].append(
+            {"kind": "wasCachedFrom", "effect": 2, "cause": 42})
+        report = Analyzer().analyze_store(StoreState.from_dict(doc))
+        [diagnostic] = report.diagnostics
+        assert diagnostic.rule_id == "PR007"
+        assert diagnostic.severity == "warning"
+        assert "never" in diagnostic.message
+
+    def test_pr007_quiet_when_origin_archived(self):
+        doc = self._base()
+        doc["segments"][0]["nodes"].append(
+            {"sid": 3, "kind": "process", "name": "r0/p"})
+        doc["segments"][0]["edges"].append(
+            {"kind": "wasCachedFrom", "effect": 2, "cause": 3})
+        assert _ids(Analyzer().analyze_store(
+            StoreState.from_dict(doc))) == []
+
+    def test_pr008_seal_overdue(self):
+        doc = self._base(tail_runs=4)
+        report = Analyzer().analyze_store(StoreState.from_dict(doc))
+        assert _ids(report) == ["PR008"]
+        assert "tail" in report.diagnostics[0].location
+
+    def test_pr008_quiet_below_threshold(self):
+        doc = self._base(tail_runs=3)
+        assert _ids(Analyzer().analyze_store(
+            StoreState.from_dict(doc))) == []
+
+
+class TestBundle:
+    def test_provstore_bundle_key(self):
+        from repro.analysis import sniff_document
+        doc = {"provstore": {"runs_per_segment": 2, "tail_runs": 5,
+                             "segments": []}}
+        assert sniff_document(doc) == "bundle"
+        report = Analyzer().analyze_document(doc)
+        assert _ids(report) == ["PR008"]
+
+
+class TestRegistration:
+    def test_rules_registered_in_provstore_family(self):
+        from repro.analysis import default_registry
+        ids = {rule.id for rule in default_registry()
+               if rule.family == "provstore"}
+        assert ids == {"PR006", "PR007", "PR008"}
+
+    def test_state_views_never_mutate(self):
+        manager = ProvenanceManager()
+        engine = WorkflowEngine(cache=ResultCache())
+        manager.attach(engine)
+        _run_workflow(manager, engine, n=1)
+        store = manager.repository.store
+        before = store.stats()
+        Analyzer().analyze_store(store)
+        assert store.stats() == before
+
+
+def test_empty_store_is_clean():
+    report = Analyzer().analyze_store(ProvenanceStore())
+    assert report.diagnostics == []
+
+
+def test_from_dict_tolerates_garbage():
+    state = StoreState.from_dict({"segments": [{"nodes": [{}],
+                                                "edges": [{}]}]})
+    report = Analyzer().analyze_store(state)
+    # the single fully-defaulted edge dangles on both ends
+    assert {d.rule_id for d in report.diagnostics} == {"PR006"}
+
+
+@pytest.mark.parametrize("runs_per_segment", [0, -1])
+def test_pr008_ignores_nonpositive_threshold(runs_per_segment):
+    state = StoreState.from_dict({"runs_per_segment": runs_per_segment,
+                                  "tail_runs": 10, "segments": []})
+    assert _ids(Analyzer().analyze_store(state)) == []

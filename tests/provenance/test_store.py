@@ -1,0 +1,327 @@
+"""The archival provenance store: interning, segments, queries,
+persistence and the repository wiring."""
+
+import warnings
+
+import pytest
+
+from repro.errors import ProvenanceError
+from repro.provenance.manager import ProvenanceManager
+from repro.provenance.opm import OPMGraph
+from repro.provenance.repository import ProvenanceRepository
+from repro.provenance.store import (
+    CSRIndex,
+    ProvenanceStore,
+    SealedSegment,
+    SegmentBuilder,
+    StringPool,
+    TraversalBudget,
+)
+from repro.storage import Database
+from repro.workflow.cache import ResultCache
+from repro.workflow.engine import WorkflowEngine
+from repro.workflow.model import Processor, Workflow
+
+
+def _graph(run_id: str, n_artifacts: int = 2,
+           cached_from: str | None = None) -> OPMGraph:
+    """run/p uses a1, generates a2..an, controlled by one agent."""
+    graph = OPMGraph(run_id)
+    process = f"{run_id}/p"
+    annotations = {}
+    if cached_from is not None:
+        annotations["wasCachedFrom"] = cached_from
+    graph.add_process(process, annotations=annotations)
+    graph.add_agent("agent/engine")
+    graph.was_controlled_by(process, "agent/engine")
+    ids = [f"{run_id}/a{i}" for i in range(1, n_artifacts + 1)]
+    for artifact in ids:
+        graph.add_artifact(artifact)
+    graph.used(process, ids[0])
+    for artifact in ids[1:]:
+        graph.was_generated_by(artifact, process)
+        graph.was_derived_from(artifact, ids[0])
+    return graph
+
+
+class TestStringPool:
+    def test_intern_is_idempotent_and_dense(self):
+        pool = StringPool()
+        a = pool.intern("x")
+        b = pool.intern("y")
+        assert (a, b) == (0, 1)
+        assert pool.intern("x") == 0
+        assert len(pool) == 2
+
+    def test_lookup_and_get(self):
+        pool = StringPool()
+        sid = pool.intern("node")
+        assert pool.lookup(sid) == "node"
+        assert pool.get("node") == sid
+        assert pool.get("absent") is None
+        with pytest.raises(ProvenanceError):
+            pool.lookup(99)
+
+    def test_delta_replay(self):
+        pool = StringPool()
+        pool.intern("a")
+        base = len(pool)
+        pool.intern("b")
+        pool.intern("c")
+        replica = StringPool()
+        replica.intern("a")
+        replica.extend(pool.slice_from(base))
+        assert replica.get("c") == pool.get("c")
+
+    def test_extend_rejects_out_of_order_replay(self):
+        pool = StringPool()
+        pool.intern("a")
+        with pytest.raises(ProvenanceError):
+            pool.extend(["a"])
+
+
+class TestCSRIndex:
+    def test_neighbors(self):
+        index = CSRIndex.build([(5, 1), (2, 9), (5, 3), (2, 9)])
+        assert sorted(index.neighbors(5)) == [1, 3]
+        assert list(index.neighbors(2)) == [9, 9]
+        assert list(index.neighbors(7)) == []
+        assert 5 in index and 7 not in index
+
+
+class TestSegments:
+    def test_builder_and_sealed_agree(self):
+        pool = StringPool()
+        builder = SegmentBuilder("seg-t", pool)
+        builder.add_graph("r1", _graph("r1", 3))
+        sealed = builder.seal()
+        sid = pool.get("r1/p")
+        for segment in (builder, sealed):
+            assert segment.has_node(sid)
+            assert segment.n_runs == 1
+            assert sorted(segment.neighbors(0, sid)) \
+                == sorted(builder.neighbors(0, sid))
+        assert sealed.nbytes > 0
+
+    def test_seal_empty_raises(self):
+        with pytest.raises(ProvenanceError):
+            SegmentBuilder("seg-e", StringPool()).seal()
+
+    def test_payload_round_trip(self):
+        pool = StringPool()
+        builder = SegmentBuilder("seg-p", pool)
+        builder.add_graph("r1", _graph("r1"))
+        sealed = builder.seal()
+        payload = sealed.to_payload(pool)
+        replica_pool = StringPool()
+        replica = SealedSegment.from_payload(payload, replica_pool)
+        assert replica.n_nodes == sealed.n_nodes
+        assert replica.n_edges == sealed.n_edges
+        assert replica_pool.get("r1/p") == pool.get("r1/p")
+
+    def test_from_payload_rejects_unknown_format(self):
+        pool = StringPool()
+        builder = SegmentBuilder("seg-f", pool)
+        builder.add_graph("r1", _graph("r1"))
+        payload = builder.seal().to_payload(pool)
+        payload["format"] = 99
+        with pytest.raises(ProvenanceError):
+            SealedSegment.from_payload(payload, StringPool())
+
+
+class TestProvenanceStore:
+    def test_ingest_and_counts(self):
+        store = ProvenanceStore()
+        assert store.ingest_graph("r1", _graph("r1"))
+        assert store.has_run("r1")
+        assert not store.has_run("r2")
+        counts = store.manifest_counts()
+        assert counts["runs_total"] == 1
+        assert counts["runs_tail"] == 1
+
+    def test_reingest_is_skipped(self):
+        store = ProvenanceStore()
+        assert store.ingest_graph("r1", _graph("r1"))
+        assert not store.ingest_graph("r1", _graph("r1", 4))
+        assert store.manifest_counts()["runs_total"] == 1
+
+    def test_auto_seal(self):
+        store = ProvenanceStore(runs_per_segment=2)
+        for i in range(5):
+            store.ingest_graph(f"r{i}", _graph(f"r{i}"))
+        counts = store.manifest_counts()
+        assert counts["segments_sealed"] == 2
+        assert counts["runs_tail"] == 1
+        assert store.run_count() == 5
+
+    def test_ancestors_and_descendants(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1", 3))
+        up = store.ancestors("r1/a2")
+        assert "r1/p" in up.node_ids and "r1/a1" in up.node_ids
+        down = store.descendants("r1/a1")
+        assert {"r1/a2", "r1/a3", "r1/p"} <= set(down.node_ids)
+        assert not up.truncated
+
+    def test_edge_kind_filter(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1", 3))
+        only_derived = store.ancestors("r1/a2",
+                                       kinds=["wasDerivedFrom"])
+        assert only_derived.node_ids == ["r1/a1"]
+
+    def test_unknown_node_is_empty(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1"))
+        assert store.ancestors("nowhere").node_ids == []
+        assert store.runs_for_artifact("nowhere") == []
+        assert store.node_kind("nowhere") is None
+
+    def test_node_budget_bounds_result(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1", 6))
+        result = store.descendants(
+            "r1/a1", budget=TraversalBudget(max_nodes=2))
+        assert result.truncated
+        assert len(result.node_ids) <= 2
+
+    def test_depth_budget(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1", 3))
+        shallow = store.ancestors(
+            "r1/a2", budget=TraversalBudget(max_depth=1))
+        assert shallow.depth_reached <= 1
+        assert shallow.truncated  # a1 is two hops away via p
+
+    def test_cached_from_chain(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1"))
+        store.ingest_graph("r2", _graph("r2", cached_from="r1/p"))
+        store.ingest_graph("r3", _graph("r3", cached_from="r2/p"))
+        resolved = store.cached_from_chain("r3/p")
+        assert resolved["chain"] == ["r3/p", "r2/p", "r1/p"]
+        assert resolved["origin"] == "r1/p"
+        assert not resolved["truncated"]
+        assert store.cached_from_chain("r1/p")["chain"] == ["r1/p"]
+
+    def test_cached_edges_stay_out_of_default_lineage(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1"))
+        store.ingest_graph("r2", _graph("r2", cached_from="r1/p"))
+        assert "r1/p" not in store.ancestors("r2/a2").node_ids
+
+    def test_runs_for_artifact_spans_segments(self):
+        store = ProvenanceStore(runs_per_segment=1)
+        shared = OPMGraph("g1")
+        shared.add_artifact("cas:shared")
+        shared.add_process("r1/p")
+        shared.used("r1/p", "cas:shared")
+        store.ingest_graph("r1", shared)
+        shared2 = OPMGraph("g2")
+        shared2.add_artifact("cas:shared")
+        shared2.add_process("r2/p")
+        shared2.used("r2/p", "cas:shared")
+        store.ingest_graph("r2", shared2)
+        assert store.runs_for_artifact("cas:shared") == ["r1", "r2"]
+
+    def test_derived_objects(self):
+        store = ProvenanceStore()
+        graph = OPMGraph("g")
+        graph.add_process("r1/p")
+        for node in ("r1/a1", "cas:aaa", "cas:bbb"):
+            graph.add_artifact(node)
+        graph.used("r1/p", "r1/a1")
+        graph.was_generated_by("cas:aaa", "r1/p")
+        graph.was_derived_from("cas:bbb", "cas:aaa")
+        store.ingest_graph("r1", graph)
+        result = store.derived_objects("r1")
+        assert result["objects"] == ["cas:aaa", "cas:bbb"]
+        with pytest.raises(ProvenanceError):
+            store.derived_objects("r9")
+
+    def test_persistence_reload(self):
+        database = Database("prov_reload")
+        store = ProvenanceStore(database, runs_per_segment=2)
+        for i in range(3):
+            store.ingest_graph(f"r{i}", _graph(f"r{i}", 3))
+        sealed_answer = store.ancestors("r1/a2").node_ids
+        reloaded = ProvenanceStore(database, runs_per_segment=2)
+        # sealed segments come back; the tail run does not (that is
+        # the repository's re-sync job)
+        assert reloaded.manifest_counts()["segments_sealed"] == 1
+        assert reloaded.ancestors("r1/a2").node_ids == sealed_answer
+        assert not reloaded.has_run("r2")
+
+    def test_stats_shape(self):
+        store = ProvenanceStore()
+        store.ingest_graph("r1", _graph("r1"))
+        stats = store.stats()
+        assert stats["runs_total"] == 1
+        assert stats["segments"][0]["segment_id"] == "seg-00001"
+
+    def test_rejects_bad_segment_size(self):
+        with pytest.raises(ProvenanceError):
+            ProvenanceStore(runs_per_segment=0)
+
+
+class TestRepositoryIntegration:
+    def _engine_world(self, runs=3):
+        manager = ProvenanceManager()
+        engine = WorkflowEngine(cache=ResultCache())
+        manager.attach(engine)
+        for _ in range(runs):
+            wf = Workflow("w")
+            wf.add_processor(Processor("d", "distinct",
+                                       inputs=["values"],
+                                       outputs=["values"]))
+            wf.map_input("v", "d", "values")
+            wf.map_output("o", "d", "values")
+            engine.run(wf, {"v": [3, 3, 1]})
+        return manager.repository
+
+    def test_engine_runs_flow_into_store(self):
+        repository = self._engine_world()
+        assert repository.store.run_count() == 3
+        assert repository.run_count() == 3
+
+    def test_runs_for_artifact_uses_backward_index(self):
+        repository = self._engine_world(runs=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # store path must not warn
+            assert repository.runs_for_artifact("run-0001/a1") \
+                == ["run-0001"]
+
+    def test_legacy_scan_warns_and_counts(self):
+        repository = self._engine_world(runs=1)
+        from repro.telemetry import get_telemetry
+        before = get_telemetry().metrics.counter(
+            "provstore_legacy_artifact_scans_total").value
+        with pytest.deprecated_call():
+            rows = repository.runs_for_artifact("run-0001/a1",
+                                                scan=True)
+        assert rows == ["run-0001"]
+        after = get_telemetry().metrics.counter(
+            "provstore_legacy_artifact_scans_total").value
+        assert after == before + 1
+
+    def test_storeless_repository_still_scans(self):
+        repository = ProvenanceRepository(store=False)
+        assert repository.store is None
+        assert repository.run_count() == 0
+
+    def test_reattach_resyncs_tail_runs(self):
+        repository = self._engine_world(runs=3)
+        database = repository.database
+        # a fresh attach on the same database rebuilds the tail runs
+        # (persisted as repository rows, not as sealed segments)
+        fresh = ProvenanceRepository(database, store=True)
+        assert fresh.store.run_count() == 3
+        assert fresh.store.runs_for_artifact("run-0001/a1") \
+            == ["run-0001"]
+
+    def test_research_object_uses_keyed_probe(self):
+        repository = self._engine_world(runs=1)
+        from repro.linkeddata import ResearchObject
+        ro = ResearchObject("ro-1", "t", "c")
+        ro.aggregate_run(repository, "run-0001")
+        assert ro.run_ids == ["run-0001"]
