@@ -2,9 +2,11 @@
 
 The rule engine behind ``repro lint``: a :class:`Diagnostic` model, a
 :class:`RuleRegistry` with per-rule enable/disable and suppression
-baselines, and five rule families (workflow ``WF``, provenance
-``PR001``-``PR005``, provenance-store ``PR006``-``PR008``, storage
-``ST``, vault ``VA``) that run purely on in-memory objects.
+baselines, and six rule families: five over in-memory *data* objects
+(workflow ``WF``, provenance ``PR001``-``PR005``, provenance-store
+``PR006``-``PR008``, storage ``ST``, vault ``VA``) plus the
+source-code family (determinism ``DET``, lock-discipline ``LK``,
+hygiene ``HY``) in :mod:`repro.analysis.code`.
 
 Importing this package registers every built-in rule with the default
 registry.
@@ -31,6 +33,7 @@ from repro.analysis.provenance_rules import GraphState
 from repro.analysis.store_rules import StoreState
 from repro.analysis.storage_rules import SchemaSet
 from repro.analysis.vault_rules import VaultState
+from repro.analysis.code import CodebaseState, ModuleLoader
 from repro.analysis.analyzer import Analyzer, sniff_document
 
 __all__ = [
@@ -48,6 +51,8 @@ __all__ = [
     "SchemaSet",
     "StoreState",
     "VaultState",
+    "CodebaseState",
+    "ModuleLoader",
     "Analyzer",
     "sniff_document",
 ]

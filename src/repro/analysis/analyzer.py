@@ -18,6 +18,7 @@ findings land in ``analysis_suppressed_total``.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.analysis.diagnostics import AnalysisReport
@@ -147,6 +148,35 @@ class Analyzer:
                  else VaultState.from_vault(vault,
                                             horizon_year=horizon_year))
         return self._run_family("vault", state, {})
+
+    def analyze_code(self, subject: Any,
+                     display_root: str | None = None) -> AnalysisReport:
+        """Run the source-code rules (DET/LK/HY families).
+
+        ``subject`` is either a prepared
+        :class:`~repro.analysis.code.CodebaseState` or an iterable of
+        paths (files and/or directories) to load.  Unreadable paths
+        raise :class:`~repro.errors.AnalysisError` — the CLI maps that
+        to exit code 2.
+        """
+        from repro.analysis.code import CodebaseState
+        if isinstance(subject, CodebaseState):
+            state = subject
+        else:
+            paths = ([subject] if isinstance(subject, (str, Path))
+                     else list(subject))
+            state = CodebaseState.from_paths(paths,
+                                             display_root=display_root)
+        metrics = self.telemetry.metrics
+        metrics.counter("analysis_code_runs_total").inc()
+        metrics.counter("analysis_code_files_total").inc(len(state.files))
+        metrics.counter("analysis_code_functions_total").inc(
+            len(state.functions))
+        report = self._run_family("code", state, {})
+        for diagnostic in report.diagnostics:
+            metrics.counter("analysis_code_findings_total",
+                            severity=diagnostic.severity).inc()
+        return report
 
     # ------------------------------------------------------------------
     # composite documents

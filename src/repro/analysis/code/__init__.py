@@ -1,0 +1,27 @@
+"""Source-level static analysis: the ``code`` rule family.
+
+Where the other analyzers lint *data* (workflow documents, OPM graphs,
+schemas, vault manifests), this subpackage lints the *source code*
+that produces them — the determinism of cacheable processor
+implementations (DET), the lock discipline of the threaded modules
+(LK), and error-handling/telemetry hygiene (HY).  It is pure standard
+library: ``ast`` + ``tokenize``, no new dependencies.
+
+Importing this package registers the DET/LK/HY rules with the shared
+default registry, exactly like the data-shape rule modules.
+"""
+
+from repro.analysis.code.loader import ModuleLoader, SourceFile, default_loader
+from repro.analysis.code.model import CodebaseState
+
+# Importing the rule modules registers their rules.
+from repro.analysis.code import det_rules  # noqa: F401 - import registers rules
+from repro.analysis.code import lock_rules  # noqa: F401 - import registers rules
+from repro.analysis.code import hygiene_rules  # noqa: F401 - import registers rules
+
+__all__ = [
+    "ModuleLoader",
+    "SourceFile",
+    "default_loader",
+    "CodebaseState",
+]

@@ -1,0 +1,170 @@
+"""Source loading for the code analyzers: files -> parsed modules.
+
+The loader is the only component of ``repro.analysis.code`` that
+touches the filesystem, and it only ever *reads*.  Parsed ASTs are
+cached per ``(path, mtime_ns, size)`` so repeated analyses of an
+unchanged tree (watch loops, the benchmark's warm pass, repeated CLI
+invocations inside one process) skip re-parsing entirely.
+
+Module names are derived structurally — walk up while the parent
+directory holds an ``__init__.py`` — so a diagnostic's location
+(``code:repro.storage.database/Database.insert``) is stable across
+machines and invocation directories, which is what lets suppression
+baselines be committed to the repository.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import AnalysisError
+
+__all__ = ["SourceFile", "ModuleLoader", "default_loader"]
+
+
+class SourceFile:
+    """One parsed Python source file."""
+
+    __slots__ = ("path", "display", "module", "text", "lines", "tree")
+
+    def __init__(self, path: Path, display: str, module: str,
+                 text: str, tree: ast.Module) -> None:
+        self.path = path
+        self.display = display
+        self.module = module
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = tree
+
+    def __repr__(self) -> str:
+        return f"SourceFile({self.module}, {self.display})"
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line (empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+def _module_name(path: Path) -> str:
+    """Dotted module name from package structure (stem when bare)."""
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").is_file():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) or path.stem
+
+
+class ModuleLoader:
+    """Loads and caches parsed source files.
+
+    The cache key is ``(resolved path, mtime_ns, size)``: an edited
+    file re-parses, an unchanged one is returned as the *same*
+    :class:`SourceFile` object — which is also what the no-mutation
+    property tests lean on to catch an analyzer scribbling on a tree.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[Path, tuple[int, int, SourceFile]] = {}
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def load_file(self, path: str | Path,
+                  display_root: str | Path | None = None) -> SourceFile:
+        """Parse one ``.py`` file (or return its cached parse)."""
+        path = Path(path)
+        if path.suffix != ".py":
+            raise AnalysisError(
+                f"cannot analyze {path}: not a Python source file"
+            )
+        try:
+            resolved = path.resolve()
+            stat = resolved.stat()
+        except OSError as error:
+            raise AnalysisError(
+                f"cannot analyze {path}: {error}"
+            ) from None
+        cached = self._cache.get(resolved)
+        if cached is not None and cached[0] == stat.st_mtime_ns \
+                and cached[1] == stat.st_size:
+            return cached[2]
+        try:
+            text = resolved.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            raise AnalysisError(
+                f"cannot analyze {path}: {error}"
+            ) from None
+        try:
+            tree = ast.parse(text, filename=str(path))
+        except SyntaxError as error:
+            raise AnalysisError(
+                f"cannot analyze {path}: {error.msg} "
+                f"(line {error.lineno})"
+            ) from None
+        source = SourceFile(resolved, _display(resolved, display_root),
+                            _module_name(resolved), text, tree)
+        self._cache[resolved] = (stat.st_mtime_ns, stat.st_size, source)
+        return source
+
+    def load_paths(self, paths: Iterable[str | Path],
+                   display_root: str | Path | None = None
+                   ) -> list[SourceFile]:
+        """Load files and directories (recursively), sorted by path.
+
+        Raises :class:`AnalysisError` for a missing path, a non-Python
+        file argument, or an unparseable source file — the CLI maps
+        that to exit code 2 ("unreadable input"), matching the JSON
+        lint contract.
+        """
+        files: list[Path] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                found = sorted(
+                    p for p in entry.rglob("*.py")
+                    if "__pycache__" not in p.parts
+                )
+                if not found:
+                    raise AnalysisError(
+                        f"cannot analyze {entry}: directory holds no "
+                        "Python source files"
+                    )
+                files.extend(found)
+            elif entry.is_file():
+                files.append(entry)
+            else:
+                raise AnalysisError(f"cannot analyze {entry}: no such file")
+        seen: set[Path] = set()
+        sources: list[SourceFile] = []
+        for path in files:
+            source = self.load_file(path, display_root=display_root)
+            if source.path in seen:
+                continue
+            seen.add(source.path)
+            sources.append(source)
+        sources.sort(key=lambda s: s.display)
+        return sources
+
+
+def _display(path: Path, root: str | Path | None) -> str:
+    """A human-facing path: relative to ``root`` (default cwd) when
+    possible, else absolute — only used for rendering, never for
+    fingerprints."""
+    base = Path(root) if root is not None else Path(os.getcwd())
+    try:
+        return path.relative_to(base.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+_DEFAULT_LOADER = ModuleLoader()
+
+
+def default_loader() -> ModuleLoader:
+    """The shared process-wide loader (and its AST cache)."""
+    return _DEFAULT_LOADER

@@ -1,0 +1,543 @@
+"""Lock-discipline rules (LK001-LK004) over the threaded modules.
+
+The MVCC storage engine, the workflow engine's worker pool and the
+service facade all rely on ``with self._lock`` discipline that nothing
+verified until now.  From each class owning ``threading`` lock
+attributes (see :class:`ClassInfo.locks`) these rules build:
+
+* per-node *held-lock sets* from ``with self._lock:`` regions,
+* a *lock-order graph* whose edges are "acquired B while holding A",
+  including acquisitions reached transitively through resolved calls,
+* per-function ``.acquire()`` / ``.release()`` inventories.
+
+Lock identity is ``(class qualname, attribute)``: every instance of a
+class shares the discipline even though instances have distinct lock
+objects — a cycle between two *classes'* locks is exactly the ABBA
+deadlock shape worth reporting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.code.model import (
+    ClassInfo,
+    CodebaseState,
+    FunctionInfo,
+    iter_own_nodes,
+)
+from repro.analysis.registry import rule
+
+__all__: list[str] = []
+
+#: Calls that block (or take unbounded time) and should never run
+#: while a lock is held.
+_BLOCKING_CALLS = {"time.sleep", "open", "input"}
+_BLOCKING_ROOTS = {"socket", "urllib", "requests", "http", "subprocess"}
+_BLOCKING_BASENAMES = {"read_text", "read_bytes", "write_text",
+                       "write_bytes", "urlopen"}
+
+#: Methods where unguarded writes are fine: the instance is not yet
+#: (or no longer) shared when they run.
+_CONSTRUCTION_METHODS = {"__init__", "__new__", "__del__",
+                         "__post_init__"}
+
+
+def _with_lock_attr(item: ast.withitem, lock_attrs) -> str | None:
+    """The lock attribute a ``with self.X:`` item acquires, if any."""
+    expr = item.context_expr
+    if isinstance(expr, ast.Attribute) and expr.attr in lock_attrs \
+            and isinstance(expr.value, ast.Name) \
+            and expr.value.id == "self":
+        return expr.attr
+    return None
+
+
+class _MethodRegions:
+    """Held-lock annotations for one method of a lock-owning class."""
+
+    __slots__ = ("info", "klass", "nodes", "acquisitions")
+
+    def __init__(self, info: FunctionInfo, klass: ClassInfo) -> None:
+        self.info = info
+        self.klass = klass
+        #: every non-nested node paired with the locks held around it
+        self.nodes: list[tuple[ast.AST, frozenset[str]]] = []
+        #: (attr, with-node, locks held just before acquiring)
+        self.acquisitions: list[tuple[str, ast.AST, frozenset[str]]] = []
+        for statement in info.node.body:
+            self._visit(statement, frozenset())
+
+    def _visit(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        self.nodes.append((node, held))
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: list[str] = []
+            for item in node.items:
+                self._visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, held)
+                attr = _with_lock_attr(item, self.klass.locks)
+                if attr is not None:
+                    acquired.append(attr)
+            for attr in acquired:
+                self.acquisitions.append((attr, node, held))
+                held = held | {attr}
+            for statement in node.body:
+                self._visit(statement, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+class _LockModel:
+    """Whole-tree lock analysis shared by the LK rules."""
+
+    def __init__(self, state: CodebaseState) -> None:
+        self.state = state
+        #: classes that own at least one lock attribute
+        self.lock_classes = {
+            qualname: klass for qualname, klass in state.classes.items()
+            if klass.locks
+        }
+        #: method qualname -> its held-region annotations
+        self.regions: dict[str, _MethodRegions] = {}
+        #: function qualname -> directly acquired lock ids
+        self.direct: dict[str, set[tuple[str, str]]] = {}
+        self._closure_cache: dict[str, frozenset[tuple[str, str]]] = {}
+        for klass in self.lock_classes.values():
+            for method_qualname in klass.methods.values():
+                info = state.functions.get(method_qualname)
+                if info is None:
+                    continue
+                regions = _MethodRegions(info, klass)
+                self.regions[method_qualname] = regions
+                acquired = {(klass.qualname, attr)
+                            for attr, _, _ in regions.acquisitions}
+                for site in info.calls:
+                    attr = self._acquire_attr(site, klass)
+                    if attr is not None:
+                        acquired.add((klass.qualname, attr))
+                if acquired:
+                    self.direct[method_qualname] = acquired
+        #: call-node id -> CallSite, for held-region lookups
+        self.sites: dict[int, object] = {}
+        for regions in self.regions.values():
+            for site in regions.info.calls:
+                self.sites[id(site.node)] = site
+
+    @staticmethod
+    def _acquire_attr(site, klass: ClassInfo) -> str | None:
+        if site.name != "acquire" or not site.dotted:
+            return None
+        parts = site.dotted.split(".")
+        if len(parts) == 3 and parts[0] == "self" \
+                and parts[1] in klass.locks:
+            return parts[1]
+        return None
+
+    def lock_type(self, lock: tuple[str, str]) -> str:
+        klass = self.state.classes.get(lock[0])
+        if klass is None:
+            return "plain"
+        return klass.locks.get(lock[1], "plain")
+
+    def all_locks(self, qualname: str) -> frozenset[tuple[str, str]]:
+        """Locks acquired by ``qualname`` or anything it (transitively)
+        calls, over the resolved static call graph."""
+        cached = self._closure_cache.get(qualname)
+        if cached is not None:
+            return cached
+        seen: set[str] = set()
+        locks: set[tuple[str, str]] = set()
+        frontier = [qualname]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            locks.update(self.direct.get(current, ()))
+            info = self.state.functions.get(current)
+            if info is None:
+                continue
+            frontier.extend(info.nested)
+            for site in info.calls:
+                frontier.extend(site.targets)
+        result = frozenset(locks)
+        for visited in seen:
+            self._closure_cache.setdefault(visited, result)
+        self._closure_cache[qualname] = result
+        return result
+
+    def sorted_regions(self) -> Iterator[_MethodRegions]:
+        for qualname in sorted(self.regions):
+            yield self.regions[qualname]
+
+
+def _lock_model(state: CodebaseState, context: dict) -> _LockModel:
+    cache = context.setdefault("_lock_models", {})
+    model = cache.get(id(state))
+    if model is None:
+        model = _LockModel(state)
+        cache[id(state)] = model
+    return model
+
+
+def _lock_label(lock: tuple[str, str]) -> str:
+    class_qualname, attr = lock
+    return f"{class_qualname.rsplit('/', 1)[-1].split('.')[-1]}.{attr}"
+
+
+@rule("LK001", "code", "error",
+      "lock-order cycle or non-reentrant re-acquisition")
+def _lk001_lock_order(rule_obj, state: CodebaseState,
+                      context) -> Iterator:
+    model = _lock_model(state, context)
+    # edge (held, acquired) -> first evidence (function, lineno)
+    edges: dict[tuple[tuple[str, str], tuple[str, str]],
+                tuple[FunctionInfo, int]] = {}
+
+    def add_edge(held_lock, acquired_lock, info, lineno):
+        if held_lock == acquired_lock:
+            return
+        edges.setdefault((held_lock, acquired_lock), (info, lineno))
+
+    for regions in model.sorted_regions():
+        info = regions.info
+        owner = regions.klass.qualname
+        # nested `with` acquisitions inside this method
+        for attr, node, held_before in regions.acquisitions:
+            acquired_lock = (owner, attr)
+            if attr in held_before \
+                    and model.lock_type(acquired_lock) == "plain":
+                yield rule_obj.emit(
+                    state.location(info),
+                    f"{info.name!r} re-acquires non-reentrant lock "
+                    f"{_lock_label(acquired_lock)} it already holds — "
+                    "this self-deadlocks every time the path runs",
+                    suggestion="use threading.RLock, or split the "
+                               "locked region so the inner path is "
+                               "called with the lock already held",
+                    source=info.file.display,
+                    line=node.lineno,
+                )
+            for held_attr in held_before:
+                add_edge((owner, held_attr), acquired_lock, info,
+                         node.lineno)
+        # acquisitions reached through calls made while holding a lock
+        for node, held in regions.nodes:
+            if not held or not isinstance(node, ast.Call):
+                continue
+            site = model.sites.get(id(node))
+            if site is None:
+                continue
+            for target in site.targets:
+                for acquired_lock in sorted(model.all_locks(target)):
+                    for held_attr in sorted(held):
+                        held_lock = (owner, held_attr)
+                        if acquired_lock == held_lock:
+                            if model.lock_type(held_lock) == "plain":
+                                yield rule_obj.emit(
+                                    state.location(info),
+                                    f"{info.name!r} holds non-reentrant "
+                                    f"lock {_lock_label(held_lock)} "
+                                    f"while calling "
+                                    f"{target.rsplit('/', 1)[-1]!r}, "
+                                    "which acquires it again — "
+                                    "guaranteed self-deadlock",
+                                    suggestion="use threading.RLock or "
+                                               "an unlocked _locked "
+                                               "variant of the callee",
+                                    source=info.file.display,
+                                    line=site.lineno,
+                                )
+                            continue
+                        add_edge(held_lock, acquired_lock, info,
+                                 site.lineno)
+    # cycles: strongly connected components of the order graph
+    graph: dict[tuple[str, str], set[tuple[str, str]]] = {}
+    for (held_lock, acquired_lock) in edges:
+        graph.setdefault(held_lock, set()).add(acquired_lock)
+        graph.setdefault(acquired_lock, set())
+    for component in _cyclic_components(graph):
+        labels = " <-> ".join(_lock_label(lock)
+                              for lock in sorted(component))
+        evidence = sorted(
+            ((info, lineno)
+             for (held_lock, acquired_lock), (info, lineno)
+             in edges.items()
+             if held_lock in component and acquired_lock in component),
+            key=lambda pair: (pair[0].qualname, pair[1]))
+        info, lineno = evidence[0]
+        yield rule_obj.emit(
+            f"code:{min(lock[0] for lock in component)}",
+            f"lock-order cycle between {labels}: two threads taking "
+            "these locks in opposite orders deadlock",
+            suggestion="impose a global acquisition order (document "
+                       "it) or collapse the locks into one",
+            source=info.file.display,
+            line=lineno,
+        )
+
+
+def _cyclic_components(graph: dict) -> list[frozenset]:
+    """Tarjan SCC, returning only components that contain a cycle."""
+    index: dict = {}
+    low: dict = {}
+    on_stack: set = set()
+    stack: list = []
+    counter = [0]
+    components: list[frozenset] = []
+
+    def strongconnect(node):
+        # iterative Tarjan: (node, child iterator) frames
+        frames = [(node, iter(sorted(graph.get(node, ()))))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while frames:
+            current, children = frames[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    frames.append((child, iter(sorted(graph.get(child,
+                                                                ())))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[current] = min(low[current], index[child])
+            if advanced:
+                continue
+            frames.pop()
+            if frames:
+                parent = frames[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == current:
+                        break
+                if len(component) > 1:
+                    components.append(frozenset(component))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+@rule("LK002", "code", "warning",
+      "unguarded write to a lock-guarded attribute")
+def _lk002_unguarded_writes(rule_obj, state: CodebaseState,
+                            context) -> Iterator:
+    model = _lock_model(state, context)
+    # pass 1: which attributes does each class ever write under a lock?
+    guarded: dict[str, set[str]] = {}
+    for regions in model.sorted_regions():
+        owner = regions.klass.qualname
+        for node, held in regions.nodes:
+            if not held:
+                continue
+            for attr in _self_attr_writes(node):
+                if attr not in regions.klass.locks:
+                    guarded.setdefault(owner, set()).add(attr)
+    # pass 2: writes to those attributes outside any lock region
+    for regions in model.sorted_regions():
+        info = regions.info
+        owner = regions.klass.qualname
+        guarded_attrs = guarded.get(owner, set())
+        if not guarded_attrs or info.name in _CONSTRUCTION_METHODS \
+                or info.name.endswith("_locked"):
+            continue
+        seen: set[tuple[str, int]] = set()
+        for node, held in regions.nodes:
+            if held:
+                continue
+            for attr in _self_attr_writes(node):
+                if attr not in guarded_attrs:
+                    continue
+                key = (attr, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield rule_obj.emit(
+                    state.location(info),
+                    f"{info.name!r} writes self.{attr} without holding "
+                    "a lock, but other methods guard that attribute "
+                    "with one — concurrent readers can observe torn "
+                    "state",
+                    suggestion="wrap the write in the same `with "
+                               "self.<lock>:` region, or rename the "
+                               "method with a _locked suffix if "
+                               "callers always hold the lock",
+                    source=info.file.display,
+                    line=node.lineno,
+                )
+
+
+def _self_attr_writes(node: ast.AST) -> list[str]:
+    """Attribute names written as ``self.X = ...`` (or aug/ann-assign)
+    by exactly this node."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    attrs: list[str] = []
+    for target in targets:
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            attrs.append(target.attr)
+    return attrs
+
+
+@rule("LK003", "code", "error",
+      "lock acquired but not (always) released")
+def _lk003_release_paths(rule_obj, state: CodebaseState,
+                         context) -> Iterator:
+    for info in state.sorted_functions():
+        acquires: dict[str, int] = {}
+        releases: set[str] = set()
+        for site in info.calls:
+            base = _lock_call_base(site, "acquire")
+            if base is not None:
+                acquires.setdefault(base, site.lineno)
+            base = _lock_call_base(site, "release")
+            if base is not None:
+                releases.add(base)
+        if not acquires:
+            continue
+        finally_released = _finally_released(info.node)
+        class_released = _class_release_bases(state, info)
+        for base, lineno in sorted(acquires.items()):
+            if base in releases:
+                if base in finally_released or info.name == "__enter__":
+                    continue
+                yield rule_obj.emit(
+                    state.location(info),
+                    f"{info.name!r} releases {base} on only some "
+                    "paths: an exception between acquire() and "
+                    "release() leaks the lock permanently",
+                    suggestion="use `with` or move release() into a "
+                               "try/finally",
+                    severity="warning",
+                    source=info.file.display,
+                    line=lineno,
+                )
+            elif base in class_released or info.name == "__enter__":
+                # cross-method protocol (e.g. an admission controller
+                # releasing in a paired method) — cannot verify
+                # statically, so stay quiet
+                continue
+            else:
+                yield rule_obj.emit(
+                    state.location(info),
+                    f"{info.name!r} acquires {base} but never releases "
+                    "it — every call permanently consumes the lock",
+                    suggestion="release in a finally block, or use "
+                               "`with`",
+                    source=info.file.display,
+                    line=lineno,
+                )
+
+
+def _lock_call_base(site, verb: str) -> str | None:
+    if site.name != verb or not site.dotted:
+        return None
+    base = site.dotted[: -(len(verb) + 1)]
+    if base.startswith("self.") or "." not in base:
+        return base
+    return None
+
+
+def _finally_released(func_node: ast.AST) -> set[str]:
+    released: set[str] = set()
+    for node in iter_own_nodes(func_node):
+        if not isinstance(node, ast.Try):
+            continue
+        for statement in node.finalbody:
+            for sub in ast.walk(statement):
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Attribute) \
+                        and sub.func.attr == "release":
+                    chain: list[str] = []
+                    current: ast.expr = sub.func.value
+                    while isinstance(current, ast.Attribute):
+                        chain.insert(0, current.attr)
+                        current = current.value
+                    if isinstance(current, ast.Name):
+                        chain.insert(0, current.id)
+                        released.add(".".join(chain))
+    return released
+
+
+def _class_release_bases(state: CodebaseState,
+                         info: FunctionInfo) -> set[str]:
+    """Bases released by *other* methods of the same class."""
+    if not info.class_qualname:
+        return set()
+    klass = state.classes.get(info.class_qualname)
+    if klass is None:
+        return set()
+    released: set[str] = set()
+    for method_qualname in klass.methods.values():
+        if method_qualname == info.qualname:
+            continue
+        other = state.functions.get(method_qualname)
+        if other is None:
+            continue
+        for site in other.calls:
+            base = _lock_call_base(site, "release")
+            if base is not None:
+                released.add(base)
+    return released
+
+
+@rule("LK004", "code", "warning",
+      "blocking call while holding a lock")
+def _lk004_blocking_under_lock(rule_obj, state: CodebaseState,
+                               context) -> Iterator:
+    model = _lock_model(state, context)
+    for regions in model.sorted_regions():
+        info = regions.info
+        for node, held in regions.nodes:
+            if not held or not isinstance(node, ast.Call):
+                continue
+            site = model.sites.get(id(node))
+            if site is None:
+                continue
+            dotted = site.dotted
+            blocking = ""
+            if dotted in _BLOCKING_CALLS:
+                blocking = dotted
+            elif dotted and dotted.split(".", 1)[0] in _BLOCKING_ROOTS:
+                blocking = dotted
+            elif site.name in _BLOCKING_BASENAMES:
+                blocking = dotted or site.name
+            if not blocking:
+                continue
+            held_labels = ", ".join(
+                _lock_label((regions.klass.qualname, attr))
+                for attr in sorted(held))
+            yield rule_obj.emit(
+                state.location(info),
+                f"{info.name!r} calls {blocking}() while holding "
+                f"{held_labels} — every other thread needing the lock "
+                "stalls for the full I/O duration",
+                suggestion="copy the needed state under the lock, then "
+                           "perform the blocking call outside it",
+                source=info.file.display,
+                line=site.lineno,
+            )

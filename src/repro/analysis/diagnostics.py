@@ -53,14 +53,20 @@ class Diagnostic:
         ``vault``).
     source:
         Optional origin document (a file path, set by the CLI).
+    line:
+        Optional 1-based source line (set by the source-code analyzers;
+        0 means "no line").  Deliberately excluded from the
+        :attr:`fingerprint` so a baseline survives unrelated edits that
+        only shift code up or down.
     """
 
     __slots__ = ("rule_id", "severity", "message", "location",
-                 "suggestion", "family", "source")
+                 "suggestion", "family", "source", "line")
 
     def __init__(self, rule_id: str, severity: str, message: str,
                  location: str, suggestion: str = "",
-                 family: str = "", source: str = "") -> None:
+                 family: str = "", source: str = "",
+                 line: int = 0) -> None:
         if severity not in _SEVERITY_RANK:
             raise AnalysisError(
                 f"unknown severity {severity!r} (rule {rule_id})"
@@ -72,6 +78,7 @@ class Diagnostic:
         self.suggestion = suggestion
         self.family = family
         self.source = source
+        self.line = line
 
     def __repr__(self) -> str:
         return (
@@ -94,12 +101,17 @@ class Diagnostic:
             f"{self.rule_id}|{self.location}|{self.message}"
         )[:16]
 
-    def sort_key(self) -> tuple[int, str, str, str, str]:
+    def sort_key(self) -> tuple[int, str, str, str, int, str]:
         return (_SEVERITY_RANK[self.severity], self.rule_id,
-                self.source, self.location, self.message)
+                self.source, self.location, self.line, self.message)
 
     def format(self) -> str:
-        prefix = f"{self.source}: " if self.source else ""
+        prefix = ""
+        if self.source:
+            prefix = (f"{self.source}:{self.line}: " if self.line
+                      else f"{self.source}: ")
+        elif self.line:
+            prefix = f"line {self.line}: "
         line = (f"{self.severity:<7} {self.rule_id:<6} "
                 f"{prefix}{self.location}: {self.message}")
         if self.suggestion:
@@ -107,7 +119,7 @@ class Diagnostic:
         return line
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "rule": self.rule_id,
             "severity": self.severity,
             "family": self.family,
@@ -117,6 +129,9 @@ class Diagnostic:
             "source": self.source,
             "fingerprint": self.fingerprint,
         }
+        if self.line:
+            data["line"] = self.line
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Diagnostic":
@@ -124,6 +139,7 @@ class Diagnostic:
             data["rule"], data["severity"], data["message"],
             data["location"], suggestion=data.get("suggestion", ""),
             family=data.get("family", ""), source=data.get("source", ""),
+            line=int(data.get("line", 0)),
         )
 
 

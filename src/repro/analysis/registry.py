@@ -31,7 +31,7 @@ __all__ = ["Rule", "RuleRegistry", "Baseline", "rule", "default_registry"]
 
 #: Analyzer families a rule may belong to.
 FAMILIES: tuple[str, ...] = ("workflow", "provenance", "provstore",
-                             "storage", "vault")
+                             "storage", "vault", "code")
 
 CheckFunction = Callable[["Rule", Any, dict], Iterator[Diagnostic]]
 
@@ -61,15 +61,19 @@ class Rule:
         return f"Rule({self.id}, {self.family}, {self.severity})"
 
     def emit(self, location: str, message: str, suggestion: str = "",
-             severity: str | None = None) -> Diagnostic:
+             severity: str | None = None, source: str = "",
+             line: int = 0) -> Diagnostic:
         """Build a diagnostic attributed to this rule.
 
         ``severity`` overrides the rule default for findings whose
         gravity depends on the evidence (e.g. duplicate links are a
-        warning, conflicting fan-in an error)."""
+        warning, conflicting fan-in an error).  The source-code rules
+        pass ``source`` (the analyzed file) and ``line`` directly; for
+        the data-shape rules the CLI stamps ``source`` afterwards."""
         return Diagnostic(
             self.id, severity or self.severity, message, location,
-            suggestion=suggestion, family=self.family,
+            suggestion=suggestion, family=self.family, source=source,
+            line=line,
         )
 
     def run(self, subject: Any, context: dict) -> Iterator[Diagnostic]:

@@ -256,7 +256,7 @@ def reconstruct(shards: Iterable[Shard]) -> bytes:
         if block is not None and len(block) != size:
             raise ErasureError(
                 f"shard {index} is {len(block)} B, expected {size} B")
-    payload = b"".join(blocks)[:length]  # type: ignore[arg-type]
+    payload = b"".join(blocks)[:length]  # type: ignore[arg-type] - Nones reconstructed above
     if sha256_hex(payload) != digest:
         raise ErasureError(
             "reconstructed payload fails its fixity check "

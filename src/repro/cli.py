@@ -199,6 +199,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--demo", action="store_true",
                       help="lint a live synthetic world (workflow + "
                       "provenance + storage + vault) instead of files")
+    lint.add_argument("--code", action="store_true",
+                      help="treat PATHs as Python source files/"
+                      "directories and run the source-code rules "
+                      "(determinism, lock discipline, hygiene)")
     lint.add_argument("--format", choices=("text", "json"),
                       default="text", dest="output_format")
     lint.add_argument("--baseline", type=str, default=None,
@@ -714,24 +718,41 @@ def _command_lint(args: argparse.Namespace) -> int:
     analyzer = Analyzer(registry=registry, baseline=baseline)
 
     report = AnalysisReport()
-    if args.demo:
+    if args.code:
+        if args.demo:
+            print("error: --code and --demo are mutually exclusive",
+                  file=sys.stderr)
+            return 2
+        if not args.paths:
+            print("nothing to lint: pass Python source PATHs with "
+                  "--code", file=sys.stderr)
+            return 2
+        try:
+            report.merge(analyzer.analyze_code(args.paths))
+        except AnalysisError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.demo:
         report.merge(_lint_demo(analyzer, args.seed))
     elif not args.paths:
         print("nothing to lint: pass PATH arguments or --demo",
               file=sys.stderr)
         return 2
-    for path in args.paths:
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, json.JSONDecodeError) as error:
-            print(f"error: cannot read {path}: {error}", file=sys.stderr)
-            return 2
-        try:
-            report.merge(analyzer.analyze_document(document, source=path))
-        except AnalysisError as error:
-            print(f"error: {path}: {error}", file=sys.stderr)
-            return 2
+    if not args.code:
+        for path in args.paths:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+            except (OSError, json.JSONDecodeError) as error:
+                print(f"error: cannot read {path}: {error}",
+                      file=sys.stderr)
+                return 2
+            try:
+                report.merge(
+                    analyzer.analyze_document(document, source=path))
+            except AnalysisError as error:
+                print(f"error: {path}: {error}", file=sys.stderr)
+                return 2
 
     if args.write_baseline:
         Baseline.from_diagnostics(

@@ -224,13 +224,13 @@ class OPMGraph:
                 yield node
 
     def artifacts(self) -> Iterator[Artifact]:
-        return (n for n in self.nodes("artifact"))  # type: ignore[return-value]
+        return (n for n in self.nodes("artifact"))  # type: ignore[return-value] - node iter
 
     def processes(self) -> Iterator[Process]:
-        return (n for n in self.nodes("process"))  # type: ignore[return-value]
+        return (n for n in self.nodes("process"))  # type: ignore[return-value] - node iter
 
     def agents(self) -> Iterator[Agent]:
-        return (n for n in self.nodes("agent"))  # type: ignore[return-value]
+        return (n for n in self.nodes("agent"))  # type: ignore[return-value] - node iter
 
     # -- edges ----------------------------------------------------------
 

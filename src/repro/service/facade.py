@@ -36,6 +36,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.errors import (
     AdmissionRejectedError,
     QuotaExceededError,
+    ReproError,
     ServiceError,
     TransactionConflictError,
 )
@@ -120,8 +121,17 @@ class PreservationService:
         except TransactionConflictError as exc:
             return self._finish(request, "conflict", None, str(exc),
                                 started, retries)
-        except Exception as exc:
+        except ReproError as exc:
+            # domain failure: the response contract reports it in the
+            # body instead of raising at the caller
             metrics.counter("service_errors_total", op=request.op).inc()
+            return self._finish(request, "error", None,
+                                f"{type(exc).__name__}: {exc}",
+                                started, retries)
+        except Exception as exc:  # noqa: BLE001 - front door must never raise at a tenant
+            metrics.counter("service_errors_total", op=request.op).inc()
+            metrics.counter("service_unexpected_errors_total",
+                            op=request.op).inc()
             return self._finish(request, "error", None,
                                 f"{type(exc).__name__}: {exc}",
                                 started, retries)
@@ -202,7 +212,7 @@ class PreservationService:
                                 table=table).inc()
                 if attempt + 1 >= attempts:
                     raise
-        raise AssertionError("unreachable")  # pragma: no cover
+        raise AssertionError("unreachable")  # pragma: no cover - loop always returns or raises
 
     def _op_audit(self, request: ServiceRequest) -> tuple[Any, int]:
         vault = self._require_vault()

@@ -329,10 +329,10 @@ class ColumnRef:
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def __eq__(self, value: Any) -> Comparison:  # type: ignore[override]
+    def __eq__(self, value: Any) -> Comparison:  # type: ignore[override] - builds predicates
         return Comparison(self.name, "=", value)
 
-    def __ne__(self, value: Any) -> Comparison:  # type: ignore[override]
+    def __ne__(self, value: Any) -> Comparison:  # type: ignore[override] - builds predicates
         return Comparison(self.name, "!=", value)
 
     def __lt__(self, value: Any) -> Comparison:

@@ -298,9 +298,9 @@ class Query:
                 key = partner.get(right_column)
                 if key is not None:
                     partners.setdefault(key, []).append(partner)
-            lookup = lambda key: partners.get(key, ())  # noqa: E731
+            lookup = lambda key: partners.get(key, ())  # noqa: E731 - tiny local closure
         else:
-            lookup = lambda key: [  # noqa: E731
+            lookup = lambda key: [  # noqa: E731 - tiny local closure
                 other.row_by_id(rowid) for rowid in sorted(index.lookup(key))
             ]
         for row in rows:

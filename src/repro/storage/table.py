@@ -465,7 +465,7 @@ class Table:
             "indexes": {
                 column: {
                     "kind": index.kind,
-                    "entries": len(index),  # type: ignore[arg-type]
+                    "entries": len(index),  # type: ignore[arg-type] - every index is sized
                     "cardinality": index.cardinality(),
                 }
                 for column, index in sorted(self._indexes.items())

@@ -151,13 +151,15 @@ class Transaction:
             )
         try:
             self._database._rollback_transaction(self)
-        except Exception as exc:
+        except Exception as exc:  # noqa: BLE001 - any mid-replay fault must abandon, see below
             # A restore_* call raised mid-replay: the database may hold a
             # half-undone state for the rows this transaction touched.
             # Mark the transaction failed (every further use raises) and
             # release its claims so other sessions are not wedged.
             self._state = "failed"
             self._database._abandon_transaction(self)
+            self._database._storage_counter(
+                "storage_rollback_failures_total").inc()
             raise TransactionError(
                 "rollback failed mid-replay; transaction abandoned in "
                 f"state 'failed': {exc}"

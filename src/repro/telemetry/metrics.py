@@ -241,7 +241,7 @@ class MetricsRegistry:
             existing = self._series.get((name, key_labels))
             if existing is not None:
                 self._check_family(Histogram, name)
-                return existing  # type: ignore[return-value]
+                return existing  # type: ignore[return-value] - family checked just above
             self._check_family(Histogram, name, bind=True)
             instrument = Histogram(name, key_labels,
                                    buckets=buckets or DEFAULT_BUCKETS)

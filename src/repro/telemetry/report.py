@@ -117,6 +117,20 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("-" * 64)
         lines.extend(engine_lines)
 
+    curation_lines = _curation_panel(metrics)
+    if curation_lines:
+        lines.append("")
+        lines.append("curation pipeline")
+        lines.append("-" * 64)
+        lines.extend(curation_lines)
+
+    planner_lines = _planner_panel(metrics)
+    if planner_lines:
+        lines.append("")
+        lines.append("storage query planner")
+        lines.append("-" * 64)
+        lines.extend(planner_lines)
+
     vault_lines = _vault_panel(metrics)
     if vault_lines:
         lines.append("")
@@ -176,21 +190,68 @@ def _engine_panel(metrics: Mapping[str, Any]) -> list[str]:
         f" parallel dispatches "
         f"{_fmt(_family_total(metrics, 'engine_parallel_dispatch_total'))}",
     ]
+    processor_runs = _family_total(metrics,
+                                   "workflow_processor_runs_total")
+    if processor_runs:
+        failures = _family_total(metrics,
+                                 "workflow_processor_failures_total")
+        items = _family_total(metrics, "workflow_iteration_items_total")
+        lines.append(
+            f"  processors run {_fmt(processor_runs)}"
+            f" ({_fmt(failures)} failed),"
+            f" iteration items {_fmt(items)}"
+        )
     hits = _family_total(metrics, "engine_cache_hits_total")
     misses = _family_total(metrics, "engine_cache_misses_total")
     lookups = hits + misses
     if lookups:
+        skipped = _family_total(metrics, "cache_store_skipped_total")
         lines.append(
             f"  result cache: {_fmt(hits)} hits / {_fmt(misses)} misses"
-            f" (hit rate {hits / lookups:.1%})"
+            f" (hit rate {hits / lookups:.1%},"
+            f" {_fmt(skipped)} stores skipped)"
         )
     taxonomy_hits = _family_total(metrics, "taxonomy_cache_hits_total")
     if taxonomy_hits:
         lines.append(f"  taxonomy memo hits {_fmt(taxonomy_hits)}")
+    catalogue_calls = _family_total(metrics, "service_calls_total")
+    if catalogue_calls:
+        retries = _family_total(metrics, "service_retries_total")
+        lines.append(
+            f"  catalogue service calls {_fmt(catalogue_calls)}"
+            f" ({_fmt(retries)} retried)"
+        )
     listener_errors = _family_total(metrics, "engine_listener_errors_total")
     if listener_errors:
         lines.append(f"  listener errors {_fmt(listener_errors)}")
     return lines
+
+
+def _curation_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Curation-pipeline throughput for :func:`render_report` (empty
+    when no stage has run)."""
+    runs = _family_total(metrics, "curation_stage_runs_total")
+    if not runs:
+        return []
+    records = _family_total(metrics, "curation_stage_records_total")
+    return [
+        f"  stage runs {_fmt(runs)},"
+        f" records processed {_fmt(records)}",
+    ]
+
+
+def _planner_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Query-planner activity for :func:`render_report` (empty when the
+    planner has made no decisions)."""
+    decisions = _family_total(metrics, "storage_planner_decisions_total")
+    if not decisions:
+        return []
+    return [
+        f"  planner decisions {_fmt(decisions)}:"
+        f" index hits {_fmt(_family_total(metrics, 'storage_index_hits_total'))},"
+        f" full scans {_fmt(_family_total(metrics, 'storage_full_scans_total'))}",
+        f"  rows scanned {_fmt(_family_total(metrics, 'storage_rows_scanned_total'))}",
+    ]
 
 
 def _vault_panel(metrics: Mapping[str, Any]) -> list[str]:
@@ -239,6 +300,9 @@ def _federation_panel(metrics: Mapping[str, Any]) -> list[str]:
         f"  fragments rebuilt after site loss "
         f"{_fmt(_family_total(metrics, 'federation_rebuilt_fragments_total'))}",
     ]
+    reads = _family_total(metrics, "federation_reads_total")
+    if reads:
+        lines.append(f"  objects read back {_fmt(reads)}")
     for name in ("federation_sites_available", "federation_sites"):
         for series, data in metrics.items():
             if series.split("{", 1)[0] == name \
@@ -271,6 +335,9 @@ def _provstore_panel(metrics: Mapping[str, Any]) -> list[str]:
                     and data.get("type") == "gauge":
                 lines.append(f"  {label} now {_fmt(data['value'])}")
                 break
+    seals = _family_total(metrics, "provstore_segments_sealed_total")
+    if seals:
+        lines.append(f"  segment seal operations {_fmt(seals)}")
     queries = _family_total(metrics, "provstore_queries_total")
     if queries:
         truncated = _family_total(metrics, "provstore_truncations_total")
@@ -305,13 +372,22 @@ def _analysis_panel(metrics: Mapping[str, Any]) -> list[str]:
         for severity in ("error", "warning", "info")
         if severity in by_severity
     ) or "none"
-    return [
+    lines = [
         f"  rule passes {_fmt(_family_total(metrics, 'analysis_runs_total'))},"
         f" diagnostics {_fmt(_family_total(metrics, 'analysis_diagnostics_total'))}"
         f" ({severities})",
         f"  baseline-suppressed "
         f"{_fmt(_family_total(metrics, 'analysis_suppressed_total'))}",
     ]
+    code_runs = _family_total(metrics, "analysis_code_runs_total")
+    if code_runs:
+        lines.append(
+            f"  source analyzer: {_fmt(code_runs)} run(s) over"
+            f" {_fmt(_family_total(metrics, 'analysis_code_files_total'))} file(s) /"
+            f" {_fmt(_family_total(metrics, 'analysis_code_functions_total'))} function(s),"
+            f" findings {_fmt(_family_total(metrics, 'analysis_code_findings_total'))}"
+        )
+    return lines
 
 
 def _service_panel(metrics: Mapping[str, Any]) -> list[str]:
@@ -359,6 +435,13 @@ def _service_panel(metrics: Mapping[str, Any]) -> list[str]:
             f"  shed load: admission {_fmt(rejected)},"
             f" quota {_fmt(quota)}"
         )
+    errors = _family_total(metrics, "service_errors_total")
+    unexpected = _family_total(metrics, "service_unexpected_errors_total")
+    if errors or unexpected:
+        lines.append(
+            f"  operation errors {_fmt(errors)}"
+            f" ({_fmt(unexpected)} unexpected)"
+        )
     retries = _family_total(metrics, "service_conflict_retries_total")
     conflicts = _family_total(metrics, "storage_transaction_conflicts_total")
     if retries or conflicts:
@@ -369,6 +452,11 @@ def _service_panel(metrics: Mapping[str, Any]) -> list[str]:
     snapshots = _family_total(metrics, "storage_snapshots_total")
     if snapshots:
         lines.append(f"  MVCC snapshots taken {_fmt(snapshots)}")
+    abandoned = _family_total(metrics, "storage_rollback_failures_total")
+    if abandoned:
+        lines.append(
+            f"  rollback failures (transactions abandoned) {_fmt(abandoned)}"
+        )
     for name in ("service_in_flight", "service_queue_depth"):
         for series, data in metrics.items():
             if series.split("{", 1)[0] == name \

@@ -129,7 +129,8 @@ class Tracer:
 
     # -- creation -----------------------------------------------------------
 
-    def _next_id(self) -> str:
+    def _next_id_locked(self) -> str:
+        # caller holds self._lock (enforced by the LK002 naming rule)
         self._counter += 1
         return f"s{self._counter}"
 
@@ -145,7 +146,7 @@ class Tracer:
         with self._lock:
             clock = clock or self._active_clock()
             parent = self._stack[-1][0].span_id if self._stack else None
-            span = Span(self._next_id(), parent, name, clock.now(),
+            span = Span(self._next_id_locked(), parent, name, clock.now(),
                         attributes)
             self._stack.append((span, clock))
             return _SpanHandle(self, span, clock)
@@ -165,10 +166,10 @@ class Tracer:
             finished = clock.now()
             started = finished - _dt.timedelta(
                 seconds=max(duration_seconds, 0.0))
-            span = Span(self._next_id(), parent, name, started, attributes)
+            span = Span(self._next_id_locked(), parent, name, started, attributes)
             span.finished = finished
             span.status = "ok"
-            self._store(span)
+            self._store_locked(span)
             return span
 
     def _active_clock(self) -> Any:
@@ -189,9 +190,10 @@ class Tracer:
             else:
                 span.status = "failed"
                 span.error = f"{type(exc).__name__}: {exc}"
-            self._store(span)
+            self._store_locked(span)
 
-    def _store(self, span: Span) -> None:
+    def _store_locked(self, span: Span) -> None:
+        # caller holds self._lock (enforced by the LK002 naming rule)
         self._finished.append(span)
         if len(self._finished) > self.max_spans:
             overflow = len(self._finished) - self.max_spans

@@ -1,0 +1,75 @@
+"""Seeded-defect fixture for the source-code analyzer.
+
+This module is NEVER imported or executed: the test suite feeds this
+file to ``repro lint --code`` and asserts the resulting diagnostics
+byte-for-byte against ``tests/analysis/golden/seeded_defects.lint.json``.
+Every construct below plants one specific finding; the golden file is
+the catalogue.
+"""
+
+import random
+import threading
+import time
+
+
+def checksum_with_clock(payload):
+    stamp = time.time()                  # DET001: ambient clock
+    jitter = random.random()             # DET002: unseeded randomness
+    names = open("names.txt").read()     # DET003: ambient file I/O
+    return {"stamp": stamp, "jitter": jitter, "names": names}
+
+
+_SEEN = {}
+
+
+def tally(payload):
+    _SEEN["last"] = payload              # DET004: module-global mutation
+    for item in {"b", "a"}:              # DET005: unordered set iteration
+        payload = payload + item
+    return payload
+
+
+register_function("checksum", checksum_with_clock)
+register_function("tally", tally)
+
+
+class Ledger:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._audit_lock = threading.Lock()
+        self._entries = []
+        self._total = 0
+
+    def add(self, amount):
+        with self._lock:
+            with self._audit_lock:       # LK001: _lock -> _audit_lock
+                self._entries.append(amount)
+                self._total += amount
+
+    def audit(self):
+        with self._audit_lock:
+            with self._lock:             # LK001: _audit_lock -> _lock
+                return list(self._entries)
+
+    def reset(self):
+        self._total = 0                  # LK002: unguarded write
+
+    def drain(self):
+        self._lock.acquire()             # LK003: never released
+        entries = list(self._entries)
+        return entries
+
+    def publish(self):
+        with self._lock:
+            time.sleep(0.1)              # LK004: blocking under lock
+            return self._total
+
+
+def swallow(payload):
+    lookup = lambda key: key  # noqa: E731
+    try:
+        return int(lookup(payload))
+    # HY001: silent blanket except on the line below
+    except Exception:
+        pass
+    return None

@@ -1,0 +1,159 @@
+"""``repro lint --code``: the golden-file contract, CLI exit codes,
+baseline round-trips and telemetry.
+
+To regenerate the golden document after an intentional output change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest \
+        tests/analysis/test_code_lint.py
+
+then review the diff of ``tests/analysis/golden/`` like any other code
+change.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures" / "code"
+GOLDEN = Path(__file__).parent / "golden"
+SEEDED = FIXTURES / "seeded_defects.py"
+GOLDEN_LINT = GOLDEN / "seeded_defects.lint.json"
+REPO = Path(__file__).parent.parent.parent
+SRC = REPO / "src" / "repro"
+BASELINE = REPO / "lint_code_baseline.json"
+
+
+def _analyze_seeded():
+    # display_root keeps the rendered source a bare relative name so
+    # the golden file is independent of the checkout location
+    return Analyzer().analyze_code([SEEDED],
+                                   display_root=str(SEEDED.parent))
+
+
+class TestGolden:
+    def test_lint_json_matches_golden(self):
+        payload = _analyze_seeded().to_dict()
+        rendered = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        if os.environ.get("REPRO_REGEN_GOLDEN"):
+            GOLDEN_LINT.write_text(rendered, encoding="utf-8")
+            pytest.skip("golden file regenerated")
+        assert rendered == GOLDEN_LINT.read_text(encoding="utf-8")
+
+    def test_every_code_rule_fires_once(self):
+        report = _analyze_seeded()
+        assert report.rule_ids() == [
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "HY001", "HY003",
+            "LK001", "LK002", "LK003", "LK004",
+        ]
+        assert report.counts() == {"error": 4, "warning": 6, "info": 1}
+        assert report.exit_code == 1
+
+    def test_fingerprints_survive_line_shifts(self, tmp_path):
+        """Baselines must not churn when code above a finding moves."""
+        shifted = tmp_path / "seeded_defects.py"
+        shifted.write_text(
+            "# an extra leading comment shifts every line\n"
+            + SEEDED.read_text(encoding="utf-8"),
+            encoding="utf-8")
+        original = {d.fingerprint
+                    for d in _analyze_seeded().diagnostics}
+        moved = {
+            d.fingerprint
+            for d in Analyzer().analyze_code(
+                [shifted], display_root=str(tmp_path)).diagnostics
+        }
+        assert moved == original
+
+
+class TestCliCodeLint:
+    def test_seeded_fixture_exits_nonzero(self, capsys):
+        assert main(["lint", "--code", str(SEEDED)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "LK001" in out
+        assert "4 error(s)" in out
+
+    def test_json_format_carries_lines(self, capsys):
+        exit_code = main(["lint", "--code", "--format", "json",
+                          str(SEEDED)])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["exit_code"] == 1
+        assert payload["summary"]["error"] == 4
+        by_rule = {d["rule"]: d for d in payload["diagnostics"]}
+        assert by_rule["DET001"]["line"] == 16
+        assert by_rule["LK003"]["line"] == 58
+        assert by_rule["DET001"]["location"].startswith("code:")
+
+    def test_src_tree_clean_with_committed_baseline(self, capsys):
+        assert main(["lint", "--code", "--baseline", str(BASELINE),
+                     str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info" in out
+        assert "suppressed by baseline" in out
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", "--code", "--write-baseline",
+                     str(baseline), str(SEEDED)]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--code", "--baseline", str(baseline),
+                     str(SEEDED)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info" in out
+        assert "11 suppressed by baseline" in out
+
+    def test_rules_catalog_lists_code_rules(self, capsys):
+        assert main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "LK001", "HY001"):
+            assert rule_id in out
+
+    def test_disable_rule(self, capsys):
+        main(["lint", "--code", "--format", "json", "--disable",
+              "DET001", str(SEEDED)])
+        payload = json.loads(capsys.readouterr().out)
+        assert "DET001" not in {d["rule"]
+                                for d in payload["diagnostics"]}
+
+    def test_missing_path_exits_two(self, capsys):
+        assert main(["lint", "--code", "no_such_module.py"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n", encoding="utf-8")
+        assert main(["lint", "--code", str(broken)]) == 2
+        assert "line 1" in capsys.readouterr().err
+
+    def test_no_paths_exits_two(self, capsys):
+        assert main(["lint", "--code"]) == 2
+        assert "nothing to lint" in capsys.readouterr().err
+
+    def test_code_and_demo_conflict(self, capsys):
+        assert main(["lint", "--code", "--demo"]) == 2
+        assert "--code" in capsys.readouterr().err
+
+
+class TestTelemetry:
+    def test_analyze_code_counts(self):
+        from repro.telemetry import Telemetry
+        telemetry = Telemetry()
+        analyzer = Analyzer(telemetry=telemetry)
+        report = analyzer.analyze_code([SEEDED])
+        metrics = telemetry.metrics
+        assert metrics.counter("analysis_code_runs_total").value == 1
+        assert metrics.counter("analysis_code_files_total").value == 1
+        assert metrics.counter(
+            "analysis_code_functions_total").value > 0
+        by_severity = sum(
+            metrics.counter("analysis_code_findings_total",
+                            severity=severity).value
+            for severity in ("error", "warning", "info"))
+        assert by_severity == len(report.diagnostics)

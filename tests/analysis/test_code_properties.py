@@ -1,0 +1,90 @@
+"""Property tests for the source-code analyzer.
+
+Two invariants, pinned across generated modules:
+
+* **No mutation** — analysis never rewrites the file under analysis
+  (neither the bytes on disk nor the parsed AST the loader caches).
+  A linter that "helpfully" repaired source would invalidate the very
+  provenance record it protects.
+* **Determinism** — two runs over the same tree produce identical
+  reports (the analyzer's own output must satisfy the byte-stability
+  bar it imposes on processors).
+
+Generated modules are composed from a pool of valid statement
+templates rather than raw text: random strings are almost never valid
+Python, so template composition is what actually exercises the rules.
+"""
+
+import ast
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Analyzer
+from repro.analysis.code import CodebaseState, ModuleLoader, default_loader
+
+_SNIPPETS = [
+    "import time\n",
+    "import random\n",
+    "import threading\n",
+    "X = 1\n",
+    "_CACHE = {}\n",
+    "def plain(x):\n    return x + 1\n",
+    "def clocky(x):\n    import time\n    return time.time()\n",
+    "def muddy(x):\n    _CACHE['k'] = x\n    return x\n",
+    "def setty(x):\n    return {v for v in x}\n",
+    "register_function('plain', plain)\n",
+    "register_function('clocky', clocky)\n",
+    "register_function('muddy', muddy)\n",
+    "register_function('setty', setty)\n",
+    ("class Box:\n"
+     "    def __init__(self):\n"
+     "        self._lock = threading.Lock()\n"
+     "        self.value = 0\n"
+     "    def get(self):\n"
+     "        with self._lock:\n"
+     "            return self.value\n"
+     "    def poke(self):\n"
+     "        self.value += 1\n"),
+    ("def guard(fn):\n"
+     "    try:\n"
+     "        return fn()\n"
+     "    except Exception:\n"
+     "        return None\n"),
+    "# noqa\n",
+]
+
+_MODULES = st.lists(
+    st.sampled_from(_SNIPPETS), min_size=1, max_size=8, unique=True,
+).map("".join)
+
+
+@settings(max_examples=30, deadline=None)
+@given(module=_MODULES)
+def test_analysis_never_mutates_the_source(tmp_path_factory, module):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    path = tmp_path / "mod.py"
+    path.write_text(module, encoding="utf-8")
+    before_bytes = path.read_bytes()
+    # the shared loader cache hands the *same* tree object to the
+    # rules, so a mutated AST would show up in this dump
+    source = default_loader().load_file(path)
+    before_dump = ast.dump(source.tree, include_attributes=True)
+    Analyzer().analyze_code([path])
+    assert path.read_bytes() == before_bytes
+    assert ast.dump(source.tree,
+                    include_attributes=True) == before_dump
+
+
+@settings(max_examples=30, deadline=None)
+@given(module=_MODULES)
+def test_analysis_is_deterministic(tmp_path_factory, module):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    path = tmp_path / "mod.py"
+    path.write_text(module, encoding="utf-8")
+    first = Analyzer().analyze_code([path]).to_dict()
+    second = Analyzer().analyze_code([path]).to_dict()
+    assert first == second
+    # and a cold loader (fresh ASTs, empty cache) agrees byte-for-byte
+    cold = CodebaseState.from_paths([path], loader=ModuleLoader())
+    assert Analyzer().analyze_code(cold).to_dict() == first

@@ -68,7 +68,7 @@ class TestRuleRegistry:
         registry = default_registry()
         families = {rule.family for rule in registry}
         assert families == {"workflow", "provenance", "provstore",
-                            "storage", "vault"}
+                            "storage", "vault", "code"}
         assert len(registry) >= 20
 
     def test_catalog_is_plain_data(self):

@@ -261,3 +261,49 @@ class TestQuotas:
         response = service.query("alice", "specimens")
         assert response.status == "rejected"
         assert "cap" in (response.error or "")
+
+
+class TestErrorContainment:
+    """Regression (satellite bugfix): ``submit`` used to catch every
+    exception in one blanket handler, so programming errors inside an
+    operation handler were indistinguishable from domain failures and
+    no telemetry recorded that anything unexpected happened."""
+
+    def test_domain_error_reports_in_body(self, service, telemetry):
+        request = ServiceRequest(tenant="alice", op="query", payload={})
+        response = service.submit(request)
+        assert response.status == "error"
+        assert "ServiceError" in (response.error or "")
+        metrics = telemetry.metrics
+        assert metrics.counter("service_errors_total",
+                               op="query").value == 1
+        assert metrics.counter("service_unexpected_errors_total",
+                               op="query").value == 0
+
+    def test_unexpected_error_still_contained_but_counted(
+            self, service, telemetry, monkeypatch):
+        def boom(request):
+            raise RuntimeError("handler bug")
+
+        monkeypatch.setattr(service, "_op_query", boom)
+        request = ServiceRequest(tenant="alice", op="query",
+                                 payload={"table": "specimens"})
+        response = service.submit(request)
+        assert response.status == "error"
+        assert "RuntimeError: handler bug" in (response.error or "")
+        metrics = telemetry.metrics
+        assert metrics.counter("service_errors_total",
+                               op="query").value == 1
+        assert metrics.counter("service_unexpected_errors_total",
+                               op="query").value == 1
+
+    def test_unexpected_error_releases_admission_slot(
+            self, service, monkeypatch):
+        def boom(request):
+            raise RuntimeError("handler bug")
+
+        monkeypatch.setattr(service, "_op_query", boom)
+        service.submit(ServiceRequest(tenant="alice", op="query"))
+        monkeypatch.undo()
+        # a follow-up request is admitted normally: the slot came back
+        assert service.query("alice", "specimens").ok

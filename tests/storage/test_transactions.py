@@ -249,3 +249,48 @@ class TestSecondTransactionGuard:
         assert not errors
         tx.commit()
         assert db.get("t", 9)["v"] == "peer"
+
+
+class TestRollbackFailureTelemetry:
+    """Regression (satellite bugfix): the mid-replay abandon path was a
+    bare ``except Exception`` with no observable trace — operators had
+    no signal that a database was left with a half-undone transaction."""
+
+    def test_failed_rollback_increments_counter(self, db, monkeypatch):
+        from repro.storage.table import Table
+        from repro.telemetry import (Telemetry, get_telemetry,
+                                     set_telemetry)
+
+        previous = get_telemetry()
+        set_telemetry(Telemetry())
+        try:
+            tx = db.transaction()
+            db.insert("t", {"id": 2, "v": "x"})
+
+            def boom(self, rowid):
+                raise RuntimeError("simulated index corruption")
+
+            monkeypatch.setattr(Table, "restore_delete", boom)
+            with pytest.raises(TransactionError, match="mid-replay"):
+                tx.rollback()
+            counter = get_telemetry().metrics.counter(
+                "storage_rollback_failures_total", database="tx")
+            assert counter.value == 1
+        finally:
+            set_telemetry(previous)
+
+    def test_clean_rollback_does_not_count(self, db):
+        from repro.telemetry import (Telemetry, get_telemetry,
+                                     set_telemetry)
+
+        previous = get_telemetry()
+        set_telemetry(Telemetry())
+        try:
+            with db.transaction() as tx:
+                db.insert("t", {"id": 2, "v": "x"})
+                tx.rollback()
+            counter = get_telemetry().metrics.counter(
+                "storage_rollback_failures_total", database="tx")
+            assert counter.value == 0
+        finally:
+            set_telemetry(previous)
