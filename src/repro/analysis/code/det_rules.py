@@ -1,4 +1,4 @@
-"""Determinism rules (DET001-DET005): nondeterminism on cacheable and
+"""Determinism rules (DET001-DET006): nondeterminism on cacheable and
 worker-executed paths.
 
 The engine's result cache keys on ``(kind, config, input digests)`` and
@@ -7,7 +7,9 @@ implementation must be a pure function of those keys.  These rules walk
 the functions statically reachable from processor-implementation roots
 (see :class:`repro.analysis.code.model.CodebaseState`) and flag the
 classic nondeterminism sources: ambient clocks, randomness, ambient
-I/O, shared-state mutation, and unordered-set iteration.
+I/O, shared-state mutation, unordered-set iteration, and (DET006)
+unsynchronized writes to lock-owning shared state — the shape the
+streaming layer's buffer/curator classes make easy to get wrong.
 
 Severity policy: clock/randomness reads on a *cacheable* path are
 errors (the cached bytes are already wrong); ambient I/O and shared
@@ -313,3 +315,64 @@ def _det005_set_iteration(rule_obj, state: CodebaseState,
                         source=info.file.display,
                         line=sub.lineno,
                     )
+
+
+@rule("DET006", "code", "warning",
+      "cacheable code writes lock-owning shared state without the lock")
+def _det006_unlocked_shared_writes(rule_obj, state: CodebaseState,
+                                   context) -> Iterator:
+    """A method of a lock-owning class (a stream buffer, a curator, a
+    cache) that is reachable from a cacheable processor implementation
+    and writes ``self.<attr>`` with no lock held: concurrent flushers
+    interleave the writes, so the bytes the cache memoizes depend on
+    thread timing.  LK002 catches the subset where the attribute is
+    *also* guarded elsewhere; this rule holds the stricter streaming
+    invariant that every shared-state write on a cacheable path goes
+    through the owning lock."""
+    from repro.analysis.code.lock_rules import (
+        _lock_model,
+        _self_attr_writes,
+    )
+    model = _lock_model(state, context)
+    for regions in model.sorted_regions():
+        info = regions.info
+        if info.qualname not in state.cacheable_reachable:
+            continue
+        if info.name in _CONSTRUCTION_METHODS \
+                or info.name.endswith("_locked"):
+            continue
+        lock_attrs = regions.klass.locks
+        lock_labels = ", ".join(
+            f"self.{attr}" for attr in sorted(lock_attrs))
+        seen: set[tuple[str, int]] = set()
+        for node, held in regions.nodes:
+            if held:
+                continue
+            written = list(_self_attr_writes(node))
+            if isinstance(node, ast.Call):
+                site = model.sites.get(id(node))
+                if site is not None \
+                        and site.name in _MUTATOR_BASENAMES \
+                        and site.dotted.startswith("self.") \
+                        and site.dotted.count(".") == 2:
+                    written.append(site.dotted.split(".")[1])
+            for attr in written:
+                if attr in lock_attrs:
+                    continue
+                key = (attr, node.lineno)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield rule_obj.emit(
+                    state.location(info),
+                    f"{_context_phrase(state, info)} writes "
+                    f"self.{attr} without holding {lock_labels} — "
+                    "concurrent invocations interleave the writes, so "
+                    "the cached bytes depend on thread timing",
+                    suggestion="wrap the write in `with self.<lock>:` "
+                               "(or a *_locked helper called under "
+                               "it), or keep cacheable paths free of "
+                               "shared-state writes",
+                    source=info.file.display,
+                    line=node.lineno,
+                )

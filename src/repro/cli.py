@@ -186,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "control) so the service panel appears")
     stats.add_argument("--tenants", type=int, default=4,
                        help="concurrent tenants in the --service burst")
+    stats.add_argument("--stream", action="store_true",
+                       help="also run a streaming-curation burst "
+                       "(backpressured ingest + incremental dirty-shard "
+                       "re-assessment) so the streaming panel appears")
     stats.add_argument("--json", action="store_true",
                        help="emit the raw snapshot as JSON instead of "
                        "the rendered panel")
@@ -215,6 +219,51 @@ def build_parser() -> argparse.ArgumentParser:
                       "(repeatable)")
     lint.add_argument("--rules", action="store_true",
                       help="print the rule catalog and exit")
+
+    stream = commands.add_parser(
+        "stream", help="streaming curation: backpressured ingest and "
+        "dirty-set-proportional incremental re-assessment")
+    stream_commands = stream.add_subparsers(dest="stream_command",
+                                            required=True)
+
+    def _stream_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--records", type=int, default=600,
+                         help="records in the base collection")
+        sub.add_argument("--species", type=int, default=120)
+        sub.add_argument("--outdated", type=int, default=12)
+        sub.add_argument("--shard-size", type=int, default=64,
+                         help="records per assessment shard (the "
+                         "dirty-set granularity)")
+
+    s_ingest = stream_commands.add_parser(
+        "ingest", help="stream a batch of new records through the "
+        "backpressured buffer into the collection, then re-assess "
+        "incrementally (only the dirty shards re-run)")
+    _stream_common(s_ingest)
+    s_ingest.add_argument("--arrivals", type=int, default=64,
+                          help="new records to stream in")
+    s_ingest.add_argument("--capacity", type=int, default=128,
+                          help="stream buffer capacity")
+    s_ingest.add_argument("--batch-size", type=int, default=32,
+                          help="records per micro-batch flush")
+    s_ingest.add_argument("--policy", choices=("block", "reject"),
+                          default="block",
+                          help="backpressure policy on a full buffer")
+
+    s_status = stream_commands.add_parser(
+        "status", help="assess a collection once, mutate a small "
+        "fraction, re-assess, and print the dirty-set economics")
+    _stream_common(s_status)
+    s_status.add_argument("--churn", type=int, default=6,
+                          help="records to mutate between sweeps")
+
+    s_recheck = stream_commands.add_parser(
+        "recheck", help="advance the catalogue (resource bump), drop "
+        "only the tagged verdict cache entries, and show the recheck "
+        "scheduler folding staleness/decay into a work queue")
+    _stream_common(s_recheck)
+    s_recheck.add_argument("--to-year", type=int, default=2015,
+                           help="advance the catalogue to this year")
 
     vault = commands.add_parser(
         "vault", help="preservation vault: content-addressed, "
@@ -632,6 +681,9 @@ def _command_stats(args: argparse.Namespace) -> int:
     if args.service:
         _stats_service_burst(collection.database, vault, telemetry,
                              tenants=max(1, args.tenants))
+    if args.stream:
+        _stats_stream_burst(catalogue, collection, telemetry,
+                            seed=args.seed)
     if args.json:
         print(json.dumps(telemetry.snapshot(), indent=2, sort_keys=True,
                          default=str))
@@ -695,6 +747,134 @@ def _stats_service_burst(database, vault, telemetry, tenants: int) -> None:
 
     with ThreadPoolExecutor(max_workers=tenants) as pool:
         list(pool.map(tenant_traffic, range(tenants)))
+
+
+def _stats_stream_burst(catalogue, collection, telemetry,
+                        seed: int) -> None:
+    """Drive a small streaming-curation burst so the ``streaming_*``
+    panel has live numbers: full sweep, a streamed arrival batch
+    (dirty shards only), and a catalogue bump (assessor stages only)."""
+    import random
+
+    from repro.curation.pipeline import CollectionSink
+    from repro.streaming import IncrementalCurator, ObservationStream
+    from repro.streaming.incremental import catalogue_resolver
+
+    curator = IncrementalCurator(
+        collection.database, catalogue_resolver(catalogue),
+        shard_size=64, resource_versions={"catalogue": 2013},
+        telemetry=telemetry)
+    curator.assess()
+    sink = CollectionSink(collection)
+    stream = ObservationStream(
+        sink, capacity=64, batch_size=16, telemetry=telemetry,
+        source=collection.name,
+        on_batch=lambda batch: curator.mark_dirty(sink.last_ids))
+    rng = random.Random(seed)
+    rows = list(collection.rows())
+    arrivals = []
+    for __ in range(32):
+        row = dict(rng.choice(rows))
+        row["record_id"] = None
+        arrivals.append(row)
+    stream.ingest(arrivals)
+    curator.assess()
+    catalogue.advance_to(2015)
+    curator.bump_resource("catalogue", 2015)
+    curator.assess()
+
+
+def _command_stream(args: argparse.Namespace) -> int:
+    from repro.curation.pipeline import CollectionSink
+    from repro.streaming import (IncrementalCurator, ObservationStream,
+                                 RecheckScheduler)
+    from repro.streaming.incremental import catalogue_resolver
+    from repro.telemetry import get_telemetry
+
+    telemetry = get_telemetry()
+    telemetry.reset()
+    catalogue, collection, __ = _small_world(
+        args.seed, args.records, args.species, args.outdated)
+    curator = IncrementalCurator(
+        collection.database, catalogue_resolver(catalogue),
+        shard_size=args.shard_size,
+        resource_versions={"catalogue": 2013}, telemetry=telemetry)
+
+    cold = curator.assess()
+    print(f"cold sweep: {cold.quality['records']:,} records in "
+          f"{cold.quality['shards']} shard(s) — accuracy "
+          f"{cold.quality['accuracy']:.3f}, "
+          f"{len(cold.review)} review row(s)")
+
+    if args.stream_command == "ingest":
+        import random
+
+        rng = random.Random(args.seed)
+        rows = list(collection.rows())
+        arrivals = []
+        for __ in range(args.arrivals):
+            row = dict(rng.choice(rows))
+            row["record_id"] = None
+            arrivals.append(row)
+        sink = CollectionSink(collection)
+        stream = ObservationStream(
+            sink, capacity=args.capacity, batch_size=args.batch_size,
+            policy=args.policy, telemetry=telemetry,
+            source=collection.name,
+            on_batch=lambda batch: curator.mark_dirty(sink.last_ids))
+        landed = stream.ingest(arrivals)
+        print(f"streamed {landed} arrival(s) in "
+              f"{stream.stats()['batches']} micro-batch(es) "
+              f"(policy={args.policy})")
+        warm = curator.assess()
+        print(f"incremental sweep: {warm.shards_recomputed} shard(s) "
+              f"recomputed, {warm.shards_reused} reused — accuracy "
+              f"{warm.quality['accuracy']:.3f}, "
+              f"{len(warm.review)} review row(s)")
+    elif args.stream_command == "status":
+        from repro.storage import col
+
+        rows = list(collection.rows())
+        churn = rows[:: max(1, len(rows) // max(1, args.churn))][
+            :args.churn]
+        for row in churn:
+            collection.database.update_where(
+                "recordings", col("record_id") == row["record_id"],
+                {"species": row["species"] + " (redet.)"})
+        curator.mark_dirty([row["record_id"] for row in churn])
+        warm = curator.assess()
+        dirty_fraction = (warm.shards_recomputed
+                          / max(1, warm.quality["shards"]))
+        print(f"churned {len(churn)} record(s): "
+              f"{warm.shards_recomputed}/{warm.quality['shards']} "
+              f"shard(s) recomputed ({dirty_fraction:.0%}), "
+              f"{warm.shards_reused} reused from the last sweep")
+        print(f"curator: {curator.stats()['cache']}")
+    else:  # recheck
+        scheduler = RecheckScheduler(clock=curator.engine.clock,
+                                     interval_seconds=7 * 24 * 3600,
+                                     telemetry=telemetry)
+        for shard in curator.index.subjects():
+            scheduler.note_assessed(shard)
+        catalogue.advance_to(args.to_year)
+        dropped = curator.bump_resource("catalogue", args.to_year)
+        warm = curator.assess()
+        for shard in curator.index.subjects():
+            scheduler.note_assessed(shard)
+        curator.engine.clock.advance(8 * 24 * 3600)
+        due = scheduler.due()
+        print(f"catalogue 2013 -> {args.to_year}: dropped {dropped} "
+              f"tagged verdict entr{'y' if dropped == 1 else 'ies'}, "
+              f"re-resolved {warm.shards_recomputed} shard(s) "
+              f"(reader stages replayed from cache)")
+        print(f"accuracy now {warm.quality['accuracy']:.3f} "
+              f"({warm.quality['outdated_records']} outdated, "
+              f"{warm.quality['unresolved_records']} unresolved)")
+        print(f"scheduler: {len(due)} subject(s) due after a quiet "
+              f"week — e.g. {next(iter(due.items())) if due else '—'}")
+    print()
+    print(telemetry.render_report())
+    return 0
 
 
 def _command_lint(args: argparse.Namespace) -> int:
@@ -983,6 +1163,7 @@ _COMMANDS = {
     "provenance": _command_provenance,
     "publish": _command_publish,
     "stats": _command_stats,
+    "stream": _command_stream,
     "vault": _command_vault,
 }
 

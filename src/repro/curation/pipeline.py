@@ -33,9 +33,48 @@ from repro.telemetry import Telemetry, get_telemetry
 from repro.workflow.cache import ResultCache
 from repro.workflow.engine import WorkflowEngine
 
-__all__ = ["PipelineReport", "CurationPipeline"]
+__all__ = ["PipelineReport", "CurationPipeline", "CollectionSink",
+           "CATALOGUE_RESOURCE"]
 
 _T = TypeVar("_T")
+
+#: resource name under which catalogue-dependent cache entries are
+#: tagged (see :meth:`CurationPipeline.recheck_names`)
+CATALOGUE_RESOURCE = "catalogue_of_life"
+
+
+class CollectionSink:
+    """Adapts a :class:`SoundCollection` to the streaming ``add_all``
+    protocol (see :class:`~repro.streaming.stream.ObservationStream`).
+
+    Record ids are assigned *before* the batch lands so ``on_batch``
+    hooks can map the flushed records to a dirty set;
+    :attr:`last_ids` holds the ids of the most recent batch.
+    """
+
+    def __init__(self, collection: SoundCollection) -> None:
+        self.collection = collection
+        self.last_ids: list[int] = []
+        self.total = 0
+
+    def add_all(self, batch: list[Any]) -> int:
+        from repro.sounds.collection import RECORDINGS
+        rows: list[dict[str, Any]] = []
+        ids: list[int] = []
+        next_id = len(self.collection) + 1
+        for item in batch:
+            row = item.to_row() if hasattr(item, "to_row") else dict(item)
+            if row.get("record_id") is None:
+                row["record_id"] = next_id
+            next_id = max(next_id, row["record_id"]) + 1
+            ids.append(row["record_id"])
+            rows.append(row)
+        # same batched write path add_many uses: one validation pass,
+        # deferred index maintenance, one journal entry
+        self.collection.database.bulk_load(RECORDINGS, rows)
+        self.last_ids = ids
+        self.total += len(rows)
+        return len(rows)
 
 
 class PipelineReport:
@@ -174,11 +213,34 @@ class CurationPipeline:
         return report
 
     # ------------------------------------------------------------------
-    # periodic re-curation
+    # continuous curation
     # ------------------------------------------------------------------
+
+    def stream(self, capacity: int = 256, batch_size: int = 64,
+               policy: str = "block",
+               on_batch: Callable[[list], None] | None = None) -> Any:
+        """A backpressured ingest stream into this pipeline's
+        collection, flushing micro-batches through the storage engine's
+        bulk write path.  Wire ``on_batch`` to an
+        :class:`~repro.streaming.incremental.IncrementalCurator` hook
+        to keep assessment dirty-set-proportional as records arrive."""
+        from repro.streaming.stream import ObservationStream
+        return ObservationStream(
+            CollectionSink(self.collection), capacity=capacity,
+            batch_size=batch_size, policy=policy, on_batch=on_batch,
+            telemetry=self.telemetry, source=self.collection.name)
 
     def recheck_names(self, as_of_year: int) -> SpeciesCheckResult:
         """Re-run only the name check against the catalogue as known in
-        ``as_of_year`` (the 2011 -> 2013 re-initiation of stage 1)."""
+        ``as_of_year`` (the 2011 -> 2013 re-initiation of stage 1).
+
+        Cache entries tagged with the catalogue resource are dropped
+        first: any incremental curator sharing this engine's result
+        cache will re-resolve names instead of replaying verdicts from
+        the superseded catalogue."""
         self.service.catalogue.advance_to(as_of_year)
+        if self.engine.cache is not None:
+            from repro.streaming.deps import DependencyIndex
+            self.engine.cache.invalidate_tags(
+                DependencyIndex.resource_key(CATALOGUE_RESOURCE))
         return self.checker.run()

@@ -65,15 +65,8 @@ class ObservationStore:
     # writes
     # ------------------------------------------------------------------
 
-    def add(self, observation: Observation) -> str:
-        """Store one observation with its measurements."""
-        for context_id in observation.context:
-            if not self.database.query(_OBS).where(
-                    col("obs_id") == context_id).exists():
-                raise ReproError(
-                    f"context observation {context_id!r} is not stored"
-                )
-        self.database.insert(_OBS, {
+    def _observation_row(self, observation: Observation) -> dict[str, Any]:
+        return {
             "obs_id": observation.obs_id,
             "entity_kind": observation.entity.kind,
             "entity_name": observation.entity.name,
@@ -83,30 +76,80 @@ class ObservationStore:
             "observer": observation.observer,
             "source": observation.source,
             "context": list(observation.context),
-        })
+        }
+
+    def _measurement_row(self, observation: Observation,
+                         measurement: Measurement,
+                         measurement_id: int) -> dict[str, Any]:
+        numeric = measurement.value if measurement.is_numeric else None
+        text = None if measurement.is_numeric else (
+            None if measurement.value is None
+            else str(measurement.value))
+        return {
+            "measurement_id": measurement_id,
+            "obs_id": observation.obs_id,
+            "characteristic": measurement.characteristic,
+            "value_num": numeric,
+            "value_text": text,
+            "unit": measurement.unit,
+            "precision": measurement.precision,
+        }
+
+    def add(self, observation: Observation) -> str:
+        """Store one observation with its measurements."""
+        for context_id in observation.context:
+            if not self.database.query(_OBS).where(
+                    col("obs_id") == context_id).exists():
+                raise ReproError(
+                    f"context observation {context_id!r} is not stored"
+                )
+        self.database.insert(_OBS, self._observation_row(observation))
         for measurement in observation.measurements:
-            numeric = measurement.value if measurement.is_numeric else None
-            text = None if measurement.is_numeric else (
-                None if measurement.value is None
-                else str(measurement.value))
-            self.database.insert(_MEAS, {
-                "measurement_id": self._next_measurement_id,
-                "obs_id": observation.obs_id,
-                "characteristic": measurement.characteristic,
-                "value_num": numeric,
-                "value_text": text,
-                "unit": measurement.unit,
-                "precision": measurement.precision,
-            })
+            self.database.insert(_MEAS, self._measurement_row(
+                observation, measurement, self._next_measurement_id))
             self._next_measurement_id += 1
         return observation.obs_id
 
     def add_all(self, observations: Iterator[Observation]) -> int:
-        count = 0
-        for observation in observations:
-            self.add(observation)
-            count += 1
-        return count
+        """Bulk-store a batch through :meth:`Database.bulk_load`.
+
+        One context-validation pre-pass replaces the per-row point
+        queries of repeated :meth:`add` calls: a reference is satisfied
+        by an *earlier observation in the same batch* or by the store,
+        and each distinct stored id is probed at most once.  Unlike the
+        old loop, a failing reference leaves the store untouched (the
+        batch validates before anything lands), and both tables get one
+        journal entry / deferred index rebuild instead of one per row.
+        """
+        batch = list(observations)
+        if not batch:
+            return 0
+        satisfied: set[str] = set()
+        obs_rows: list[dict[str, Any]] = []
+        meas_rows: list[dict[str, Any]] = []
+        next_id = self._next_measurement_id
+        for observation in batch:
+            for context_id in observation.context:
+                if context_id in satisfied:
+                    continue
+                if self.database.query(_OBS).where(
+                        col("obs_id") == context_id).exists():
+                    satisfied.add(context_id)
+                    continue
+                raise ReproError(
+                    f"context observation {context_id!r} is not stored"
+                )
+            satisfied.add(observation.obs_id)
+            obs_rows.append(self._observation_row(observation))
+            for measurement in observation.measurements:
+                meas_rows.append(self._measurement_row(
+                    observation, measurement, next_id))
+                next_id += 1
+        self.database.bulk_load(_OBS, obs_rows)
+        if meas_rows:
+            self.database.bulk_load(_MEAS, meas_rows)
+        self._next_measurement_id = next_id
+        return len(batch)
 
     # ------------------------------------------------------------------
     # reads

@@ -1,0 +1,93 @@
+"""The dependency index: what consumed which inputs.
+
+The result cache (:mod:`repro.workflow.cache`) answers "is this exact
+invocation memoized?"; it cannot answer the reverse question continuous
+curation needs — "record 1042 changed / the catalogue advanced: which
+cached work is now stale?".  :class:`DependencyIndex` holds that
+reverse edge: each *subject* (an assessment shard, an invocation key, a
+workflow) registers the dependency keys it read — ``record:<id>`` for
+collection rows, ``resource:<name>`` for external resources (taxonomy
+registry, gazetteer, function table).  A churn event maps back to the
+dirty subject set in one lookup, and the same strings double as the
+cache tags :meth:`ResultCache.invalidate_tags` sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["DependencyIndex"]
+
+
+class DependencyIndex:
+    """Bidirectional map between subjects and their dependency keys."""
+
+    def __init__(self) -> None:
+        self._subject_deps: dict[str, frozenset[str]] = {}
+        self._dep_subjects: dict[str, set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # key helpers — one vocabulary shared with the cache tags
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def record_key(record_id: Any) -> str:
+        return f"record:{record_id}"
+
+    @staticmethod
+    def resource_key(name: str) -> str:
+        return f"resource:{name}"
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+
+    def register(self, subject: str, deps: Iterable[str]) -> None:
+        """Declare that ``subject`` consumed ``deps`` (replacing any
+        previous declaration for the same subject)."""
+        self.forget(subject)
+        dep_set = frozenset(str(dep) for dep in deps)
+        self._subject_deps[subject] = dep_set
+        for dep in dep_set:
+            self._dep_subjects.setdefault(dep, set()).add(subject)
+
+    def forget(self, subject: str) -> None:
+        """Drop a subject and its edges (no-op when unknown)."""
+        for dep in self._subject_deps.pop(subject, ()):
+            subjects = self._dep_subjects.get(dep)
+            if subjects is not None:
+                subjects.discard(subject)
+                if not subjects:
+                    del self._dep_subjects[dep]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def subjects_of(self, *deps: str) -> list[str]:
+        """Every subject that consumed any of ``deps`` — the dirty set
+        for a churn event — sorted for deterministic sweeps."""
+        dirty: set[str] = set()
+        for dep in deps:
+            dirty.update(self._dep_subjects.get(dep, ()))
+        return sorted(dirty)
+
+    def deps_of(self, subject: str) -> frozenset[str]:
+        return self._subject_deps.get(subject, frozenset())
+
+    def subjects(self) -> list[str]:
+        return sorted(self._subject_deps)
+
+    def __len__(self) -> int:
+        return len(self._subject_deps)
+
+    def __contains__(self, subject: object) -> bool:
+        return subject in self._subject_deps
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "subjects": len(self._subject_deps),
+            "dependencies": len(self._dep_subjects),
+            "edges": sum(len(deps)
+                         for deps in self._subject_deps.values()),
+        }

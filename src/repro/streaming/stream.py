@@ -1,0 +1,214 @@
+"""The backpressured ingest source.
+
+:class:`ObservationStream` sits between producers (field recorders,
+sequencing runs, simulation output) and a sink exposing the bulk
+``add_all(batch)`` write path (:class:`~repro.observations.store.ObservationStore`,
+a :class:`~repro.sounds.collection.SoundCollection` adapter, ...).  It
+holds a bounded buffer and flushes **micro-batches**, so the sink pays
+one batched validation/journal/index pass per flush instead of one per
+record.
+
+Backpressure is explicit, not accidental: when the buffer is full,
+``policy="block"`` makes :meth:`offer` wait (bounded by a timeout) for
+a consumer to flush, and ``policy="reject"`` refuses the record
+immediately — the producer decides between latency and loss, the
+buffer never grows without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+from repro.telemetry import Telemetry, get_telemetry
+
+__all__ = ["ObservationStream", "StreamBackpressure"]
+
+_POLICIES = ("block", "reject")
+
+
+class StreamBackpressure(ReproError):
+    """Raised when a blocking ``offer`` times out on a full buffer."""
+
+
+class ObservationStream:
+    """A bounded, micro-batching, backpressured buffer over a sink.
+
+    Parameters
+    ----------
+    sink:
+        Any object with ``add_all(batch) -> int`` — the storage engine's
+        bulk write path does the heavy lifting.
+    capacity:
+        Maximum records buffered before backpressure applies.
+    batch_size:
+        Records flushed per micro-batch (one ``add_all`` call each).
+    policy:
+        ``"block"`` — a full-buffer ``offer`` waits up to
+        ``block_timeout`` seconds for space, then raises
+        :class:`StreamBackpressure`; ``"reject"`` — it returns ``False``
+        immediately.
+    on_batch:
+        Optional callback ``(batch) -> None`` invoked after each flush
+        lands — the hook the incremental curator uses to mark the new
+        records dirty.
+    """
+
+    def __init__(self, sink: Any, capacity: int = 256,
+                 batch_size: int = 64, policy: str = "block",
+                 block_timeout: float = 1.0,
+                 on_batch: Callable[[list], None] | None = None,
+                 telemetry: Telemetry | None = None,
+                 source: str = "stream") -> None:
+        if capacity < 1:
+            raise ValueError("ObservationStream needs capacity >= 1")
+        if batch_size < 1:
+            raise ValueError("ObservationStream needs batch_size >= 1")
+        if policy not in _POLICIES:
+            raise ValueError(
+                f"unknown backpressure policy {policy!r} "
+                f"(expected one of {_POLICIES})")
+        self.sink = sink
+        self.capacity = capacity
+        self.batch_size = min(batch_size, capacity)
+        self.policy = policy
+        self.block_timeout = block_timeout
+        self.on_batch = on_batch
+        self.source = source
+        self.telemetry = telemetry or get_telemetry()
+        #: Condition doubles as the buffer lock; flush() notifies
+        #: blocked producers after making space.
+        self._lock = threading.Condition()
+        self._buffer: deque[Any] = deque()
+        self._offered = 0
+        self._ingested = 0
+        self._rejected = 0
+        self._batches = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    def __repr__(self) -> str:
+        return (
+            f"ObservationStream({len(self)}/{self.capacity} buffered, "
+            f"policy={self.policy!r}, batch_size={self.batch_size})"
+        )
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def offer(self, item: Any, timeout: float | None = None) -> bool:
+        """Enqueue one record, honouring the backpressure policy.
+
+        Returns ``True`` when buffered.  Under ``policy="reject"`` a
+        full buffer returns ``False`` (and counts the loss); under
+        ``policy="block"`` a full buffer waits up to ``timeout``
+        (default :attr:`block_timeout`) seconds for a flush to make
+        space, then raises :class:`StreamBackpressure`.
+        """
+        metrics = self.telemetry.metrics
+        with self._lock:
+            self._offered += 1
+            if len(self._buffer) >= self.capacity:
+                if self.policy == "reject":
+                    self._rejected += 1
+                    metrics.counter("streaming_rejected_total",
+                                    source=self.source).inc()
+                    return False
+                remaining = (self.block_timeout if timeout is None
+                             else timeout)
+                if not self._lock.wait_for(
+                        lambda: len(self._buffer) < self.capacity,
+                        timeout=remaining):
+                    self._rejected += 1
+                    metrics.counter("streaming_rejected_total",
+                                    source=self.source).inc()
+                    raise StreamBackpressure(
+                        f"stream buffer full ({self.capacity} records) "
+                        f"for {remaining}s — no consumer flushed")
+            self._buffer.append(item)
+            depth = len(self._buffer)
+        metrics.gauge("streaming_buffer_depth",
+                      source=self.source).set(depth)
+        return True
+
+    def ingest(self, items: Iterable[Any]) -> int:
+        """Single-threaded convenience: offer every item, flushing a
+        micro-batch whenever the buffer fills, then drain the rest.
+        Returns the number of records that reached the sink."""
+        landed = 0
+        for item in items:
+            with self._lock:
+                full = len(self._buffer) >= self.capacity
+            if full:
+                landed += self.flush()
+            self.offer(item)
+        return landed + self.drain()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Hand at most one micro-batch to the sink's bulk write path.
+
+        The batch is popped and written under the buffer lock — batches
+        reach the sink in arrival order even with concurrent flushers —
+        and blocked producers are notified of the freed space.  Returns
+        the number of records flushed (0 on an empty buffer).  If the
+        sink rejects the batch the records are already out of the
+        buffer; the exception propagates to the flusher.
+        """
+        metrics = self.telemetry.metrics
+        with self._lock:
+            if not self._buffer:
+                return 0
+            batch = [self._buffer.popleft()
+                     for _ in range(min(self.batch_size,
+                                        len(self._buffer)))]
+            self.sink.add_all(batch)
+            self._ingested += len(batch)
+            self._batches += 1
+            depth = len(self._buffer)
+            self._lock.notify_all()
+        metrics.counter("streaming_ingested_total",
+                        source=self.source).inc(len(batch))
+        metrics.counter("streaming_batches_total",
+                        source=self.source).inc()
+        metrics.gauge("streaming_buffer_depth",
+                      source=self.source).set(depth)
+        metrics.window("streaming_window_batch_records",
+                       source=self.source).observe(len(batch))
+        if self.on_batch is not None:
+            self.on_batch(batch)
+        return len(batch)
+
+    def drain(self) -> int:
+        """Flush micro-batches until the buffer is empty."""
+        total = 0
+        while True:
+            flushed = self.flush()
+            if not flushed:
+                return total
+            total += flushed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "buffered": len(self._buffer),
+                "capacity": self.capacity,
+                "batch_size": self.batch_size,
+                "policy": self.policy,
+                "offered": self._offered,
+                "ingested": self._ingested,
+                "rejected": self._rejected,
+                "batches": self._batches,
+            }

@@ -32,12 +32,13 @@ from repro.telemetry.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    Window,
 )
 from repro.telemetry.report import quality_signals, render_report
 from repro.telemetry.spans import CallableClock, Span, Tracer
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "Window",
     "Span", "Tracer", "CallableClock", "EventLog",
     "Telemetry", "get_telemetry", "set_telemetry",
     "render_report", "quality_signals", "snapshot",

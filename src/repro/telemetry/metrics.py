@@ -1,6 +1,6 @@
 """Metric instruments and their registry.
 
-Three instrument families, modelled on the OpenMetrics data model but
+Four instrument families, modelled on the OpenMetrics data model but
 dependency-free and deterministic:
 
 * :class:`Counter` — monotonically increasing totals (rows inserted,
@@ -8,7 +8,10 @@ dependency-free and deterministic:
 * :class:`Gauge` — point-in-time values that move both ways (measured
   availability, index selectivity of the last planned query);
 * :class:`Histogram` — distributions (processor durations, iteration
-  fan-out), recorded as count/sum/min/max plus cumulative buckets.
+  fan-out), recorded as count/sum/min/max plus cumulative buckets;
+* :class:`Window` — a sliding window over the last N observations
+  (streaming quality signals: "accuracy over the last 32 sweeps"),
+  where old samples age out instead of accumulating forever.
 
 Every instrument belongs to a *family* (its name) and a *series* within
 the family (its sorted label set), so ``counter("service_calls_total",
@@ -22,15 +25,19 @@ never discards series).
 from __future__ import annotations
 
 import threading
+from collections import deque
 from typing import Any, Iterator, Mapping, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "DEFAULT_BUCKETS", "format_series"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "Window",
+           "DEFAULT_BUCKETS", "DEFAULT_WINDOW_SIZE", "format_series"]
 
 #: Default histogram bucket upper bounds, tuned for simulated seconds.
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
 )
+
+#: Default sliding-window capacity (samples retained by a Window).
+DEFAULT_WINDOW_SIZE = 32
 
 Labels = tuple[tuple[str, str], ...]
 
@@ -210,6 +217,90 @@ class Histogram(_Instrument):
         }
 
 
+class Window(_Instrument):
+    """A sliding window over the last ``size`` observations.
+
+    Counters answer "how much ever"; a continuous curation loop needs
+    "how good *lately*" — the mean assessment accuracy over the last N
+    sweeps, the recent ingest batch sizes.  Old samples age out of the
+    fixed-capacity deque, so a long-running stream's quality signal
+    tracks the present instead of being flattened by history.
+    """
+
+    __slots__ = ("size", "_samples", "_observed")
+
+    def __init__(self, name: str, labels: Labels,
+                 size: int = DEFAULT_WINDOW_SIZE) -> None:
+        super().__init__(name, labels)
+        if size < 1:
+            raise ValueError("window needs size >= 1")
+        self.size = size
+        self._samples: deque[float] = deque(maxlen=size)
+        self._observed = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self._observed += 1
+
+    @property
+    def count(self) -> int:
+        """Samples currently *in* the window (<= size)."""
+        return len(self._samples)
+
+    @property
+    def observed(self) -> int:
+        """Samples ever observed, including those aged out."""
+        return self._observed
+
+    @property
+    def last(self) -> float | None:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    @property
+    def mean(self) -> float | None:
+        with self._lock:
+            if not self._samples:
+                return None
+            return sum(self._samples) / len(self._samples)
+
+    @property
+    def min(self) -> float | None:
+        with self._lock:
+            return min(self._samples) if self._samples else None
+
+    @property
+    def max(self) -> float | None:
+        with self._lock:
+            return max(self._samples) if self._samples else None
+
+    def values(self) -> tuple[float, ...]:
+        """The windowed samples, oldest first."""
+        with self._lock:
+            return tuple(self._samples)
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self._observed = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            samples = tuple(self._samples)
+        count = len(samples)
+        return {
+            "type": "window",
+            "size": self.size,
+            "count": count,
+            "observed": self._observed,
+            "last": samples[-1] if samples else None,
+            "mean": (sum(samples) / count) if samples else None,
+            "min": min(samples) if samples else None,
+            "max": max(samples) if samples else None,
+        }
+
+
 class MetricsRegistry:
     """Get-or-create home for every instrument series.
 
@@ -245,6 +336,20 @@ class MetricsRegistry:
             self._check_family(Histogram, name, bind=True)
             instrument = Histogram(name, key_labels,
                                    buckets=buckets or DEFAULT_BUCKETS)
+            self._series[(name, key_labels)] = instrument
+            return instrument
+
+    def window(self, name: str, size: int | None = None,
+               **labels: Any) -> Window:
+        key_labels = _normalize_labels(labels)
+        with self._lock:
+            existing = self._series.get((name, key_labels))
+            if existing is not None:
+                self._check_family(Window, name)
+                return existing  # type: ignore[return-value] - family checked just above
+            self._check_family(Window, name, bind=True)
+            instrument = Window(name, key_labels,
+                                size=size or DEFAULT_WINDOW_SIZE)
             self._series[(name, key_labels)] = instrument
             return instrument
 
@@ -307,8 +412,10 @@ class MetricsRegistry:
         for instrument in self.series(name):
             if isinstance(instrument, (Counter, Gauge)):
                 result += instrument.value
-            else:
+            elif isinstance(instrument, Histogram):
                 result += instrument.sum
+            # Window families carry quality signals, not quantities;
+            # they contribute nothing to a family total.
         return result
 
     def snapshot(self) -> dict[str, dict[str, Any]]:

@@ -41,6 +41,10 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         series: data for series, data in metrics.items()
         if data.get("type") == "histogram" and data.get("count")
     }
+    windows = {
+        series: data for series, data in metrics.items()
+        if data.get("type") == "window" and data.get("count")
+    }
 
     if histograms:
         lines.append("")
@@ -67,6 +71,16 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         for series in sorted(gauges):
             lines.append(
                 f"  {series:<54} {_fmt(gauges[series]['value']):>8}"
+            )
+    if windows:
+        lines.append("")
+        lines.append("sliding windows (in-window / mean / last)")
+        lines.append("-" * 64)
+        for series in sorted(windows):
+            data = windows[series]
+            lines.append(
+                f"  {series:<44} {_fmt(data['count']):>4}/{data['size']}"
+                f" {_fmt(data['mean']):>9} {_fmt(data['last']):>9}"
             )
 
     spans = snapshot.get("spans", {})
@@ -165,6 +179,13 @@ def render_report(snapshot: Mapping[str, Any]) -> str:
         lines.append("multi-tenant service")
         lines.append("-" * 64)
         lines.extend(service_lines)
+
+    streaming_lines = _streaming_panel(metrics)
+    if streaming_lines:
+        lines.append("")
+        lines.append("streaming curation")
+        lines.append("-" * 64)
+        lines.extend(streaming_lines)
     return "\n".join(lines)
 
 
@@ -210,6 +231,12 @@ def _engine_panel(metrics: Mapping[str, Any]) -> list[str]:
             f"  result cache: {_fmt(hits)} hits / {_fmt(misses)} misses"
             f" (hit rate {hits / lookups:.1%},"
             f" {_fmt(skipped)} stores skipped)"
+        )
+    invalidated = _family_total(metrics, "cache_tag_invalidations_total")
+    if invalidated:
+        lines.append(
+            f"  tag invalidations dropped {_fmt(invalidated)} "
+            f"cached entr{'y' if invalidated == 1 else 'ies'}"
         )
     taxonomy_hits = _family_total(metrics, "taxonomy_cache_hits_total")
     if taxonomy_hits:
@@ -466,6 +493,79 @@ def _service_panel(metrics: Mapping[str, Any]) -> list[str]:
                     f"{_fmt(data['value'])}"
                 )
                 break
+    return lines
+
+
+def _streaming_panel(metrics: Mapping[str, Any]) -> list[str]:
+    """Continuous-ingest and incremental-curation activity for
+    :func:`render_report` (empty until a ``streaming_*`` series
+    exists)."""
+    if not any(series.split("{", 1)[0].startswith("streaming_")
+               for series in metrics):
+        return []
+    lines: list[str] = []
+    ingested = _family_total(metrics, "streaming_ingested_total")
+    rejected = _family_total(metrics, "streaming_rejected_total")
+    batches = _family_total(metrics, "streaming_batches_total")
+    if ingested or rejected:
+        depth = None
+        for series, data in metrics.items():
+            if series.split("{", 1)[0] == "streaming_buffer_depth" \
+                    and data.get("type") == "gauge":
+                depth = data["value"]
+                break
+        lines.append(
+            f"  ingested {_fmt(ingested)} record(s) in "
+            f"{_fmt(batches)} micro-batch(es), "
+            f"{_fmt(rejected)} rejected by backpressure"
+            + (f", buffer depth now {_fmt(depth)}"
+               if depth is not None else "")
+        )
+    sweeps = _family_total(metrics, "streaming_sweeps_total")
+    if sweeps:
+        recomputed = _family_total(
+            metrics, "streaming_shards_recomputed_total")
+        reused = _family_total(metrics, "streaming_shards_reused_total")
+        total_shards = recomputed + reused
+        lines.append(
+            f"  {_fmt(sweeps)} assessment sweep(s): "
+            f"{_fmt(recomputed)} shard(s) recomputed, "
+            f"{_fmt(reused)} reused"
+            + (f" (dirty fraction {recomputed / total_shards:.1%})"
+               if total_shards else "")
+        )
+    dirty = _family_total(metrics, "streaming_dirty_records_total")
+    if dirty:
+        lines.append(f"  dirty records observed {_fmt(dirty)}")
+    rechecks = _family_total(metrics, "streaming_rechecks_total")
+    if rechecks:
+        by_reason: dict[str, float] = {}
+        for series, data in metrics.items():
+            if (series.split("{", 1)[0] == "streaming_rechecks_total"
+                    and data.get("type") == "counter" and "{" in series):
+                label = series.split("{", 1)[1].rstrip("}")
+                labels = dict(
+                    part.split("=", 1) for part in label.split(","))
+                reason = labels.get("reason", "unknown")
+                by_reason[reason] = by_reason.get(reason, 0) + data["value"]
+        detail = ", ".join(
+            f"{_fmt(by_reason[reason])} {reason}"
+            for reason in sorted(by_reason)
+        )
+        lines.append(
+            f"  rechecks enqueued {_fmt(rechecks)}"
+            + (f" ({detail})" if detail else "")
+        )
+    for series in sorted(metrics):
+        family = series.split("{", 1)[0]
+        data = metrics[series]
+        if family.startswith("streaming_window_") \
+                and data.get("type") == "window" and data.get("count"):
+            lines.append(
+                f"  {family.removeprefix('streaming_window_')} lately: "
+                f"mean {_fmt(data['mean'])}, last {_fmt(data['last'])} "
+                f"over {_fmt(data['count'])} sample(s)"
+            )
     return lines
 
 

@@ -21,6 +21,13 @@ Safety rules, enforced here and by the engine:
 A hit is spliced into the trace with a ``wasCachedFrom`` marker naming
 the run/processor that actually computed the value, so the exported OPM
 provenance never claims a re-execution that did not happen.
+
+Entries may carry **tags** — opaque strings such as ``record:1042`` or
+``resource:catalogue`` naming the upstream dependencies an invocation
+read.  :meth:`ResultCache.invalidate_tags` drops every entry carrying
+any of the given tags in one sweep, which is how the streaming layer
+(:mod:`repro.streaming`) turns "record X changed" or "the catalogue
+advanced" into a dirty set without re-digesting the whole collection.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ import copy
 import datetime as _dt
 import threading
 from collections import OrderedDict
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.hashing import canonical_digest
 
@@ -110,6 +117,11 @@ class ResultCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.invalidations = 0
+        #: tag -> keys carrying it / key -> its tags, kept in lockstep
+        #: with ``_entries`` (eviction and clear() detach both sides)
+        self._tag_keys: dict[str, set[str]] = {}
+        self._key_tags: dict[str, tuple[str, ...]] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -132,7 +144,7 @@ class ResultCache:
             return CachedResult(copy.deepcopy(entry.outputs), entry.source)
 
     def put(self, key: str, outputs: Mapping[str, Any],
-            source: str) -> None:
+            source: str, tags: Iterable[str] = ()) -> None:
         """Store one successful invocation.
 
         Values that cannot be deep-copied (they would not replay safely)
@@ -141,6 +153,9 @@ class ResultCache:
         ``copy.Error``, ``RecursionError`` — are treated as "not
         copyable".  Anything else (say a ``KeyboardInterrupt`` or a bug
         in a value's ``__deepcopy__``) propagates.
+
+        ``tags`` name the entry's upstream dependencies;
+        :meth:`invalidate_tags` later drops every entry sharing one.
         """
         try:
             stored = copy.deepcopy(dict(outputs))
@@ -150,11 +165,58 @@ class ResultCache:
             get_telemetry().metrics.counter(
                 "cache_store_skipped_total", source=source).inc()
             return
+        tagged = tuple(sorted({str(tag) for tag in tags}))
         with self._lock:
+            self._detach_locked(key)
             self._entries[key] = CachedResult(stored, source)
             self._entries.move_to_end(key)
+            if tagged:
+                self._key_tags[key] = tagged
+                for tag in tagged:
+                    self._tag_keys.setdefault(tag, set()).add(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self._detach_locked(evicted)
+
+    def _detach_locked(self, key: str) -> None:
+        """Drop ``key``'s tag bookkeeping (caller holds ``_lock``)."""
+        for tag in self._key_tags.pop(key, ()):
+            keys = self._tag_keys.get(tag)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._tag_keys[tag]
+
+    def invalidate_tags(self, *tags: str) -> int:
+        """Drop every entry carrying any of ``tags``; returns the number
+        of entries removed.  Unknown tags are a no-op, so callers can
+        invalidate speculatively (``record:<id>`` for a record that was
+        never cached simply removes nothing)."""
+        with self._lock:
+            doomed: set[str] = set()
+            for tag in tags:
+                doomed.update(self._tag_keys.get(tag, ()))
+            for key in doomed:
+                self._entries.pop(key, None)
+                self._detach_locked(key)
+            removed = len(doomed)
+            self.invalidations += removed
+        if removed:
+            from repro.telemetry import get_telemetry
+
+            get_telemetry().metrics.counter(
+                "cache_tag_invalidations_total").inc(removed)
+        return removed
+
+    def tags_of(self, key: str) -> tuple[str, ...]:
+        """The tags stored with ``key`` (empty when untagged/absent)."""
+        with self._lock:
+            return self._key_tags.get(key, ())
+
+    def keys_for_tag(self, tag: str) -> tuple[str, ...]:
+        """The invocation keys currently carrying ``tag``, sorted."""
+        with self._lock:
+            return tuple(sorted(self._tag_keys.get(tag, ())))
 
     @property
     def hit_rate(self) -> float:
@@ -169,8 +231,12 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
+            "tags": len(self._tag_keys),
+            "invalidations": self.invalidations,
         }
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._tag_keys.clear()
+            self._key_tags.clear()

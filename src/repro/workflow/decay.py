@@ -37,6 +37,24 @@ __all__ = ["DecayCause", "DecayReport", "DecayScanner"]
 DEAD_SERVICE_THRESHOLD = 0.2
 
 
+class _ScanMemo:
+    """One memoized repository scan: the spec digest and environment
+    facts it was computed under, plus the report they produced."""
+
+    __slots__ = ("digest", "kinds", "functions", "availability", "report")
+
+    def __init__(self, digest: str, kinds: tuple, functions: tuple,
+                 availability: tuple, report: "DecayReport") -> None:
+        self.digest = digest
+        self.kinds = kinds
+        self.functions = functions
+        #: (kind, availability-at-scan-time) for each kind the workflow
+        #: references — re-probed on every memo check so an availability
+        #: collapse still invalidates without a spec change
+        self.availability = availability
+        self.report = report
+
+
 class DecayCause:
     """One detected decay cause in one workflow."""
 
@@ -129,6 +147,8 @@ class DecayScanner:
             lambda kind: None)
         self.function_table = (FUNCTION_TABLE if function_table is None
                                else function_table)
+        #: workflow name -> memoized scan; see :meth:`scan_repository`
+        self._memo: dict[str, _ScanMemo] = {}
 
     def scan(self, workflow: Workflow) -> DecayReport:
         report = DecayReport(workflow.name)
@@ -160,11 +180,47 @@ class DecayScanner:
         return report
 
     def scan_repository(self, repository: WorkflowRepository) -> dict[str, DecayReport]:
-        """Latest version of every stored workflow."""
-        return {
-            name: self.scan(repository.load(name))
-            for name in repository.names()
-        }
+        """Latest version of every stored workflow, memoized.
+
+        A scan's verdict depends on the stored specification and on the
+        execution environment — registered kinds, the python function
+        table, and the availability answer for each kind the workflow
+        references.  Per workflow we memoize the report keyed on the
+        repository's :meth:`~WorkflowRepository.spec_digest` plus those
+        environment facts; an unchanged workflow in an unchanged
+        environment is answered from the memo without calling
+        ``repository.load`` (no JSON parse, no re-scan), which is what
+        makes scheduled re-checks over a large repository cheap.
+        """
+        kinds_token = tuple(sorted(self.registry.kinds()))
+        functions_token = tuple(sorted(self.function_table))
+        reports: dict[str, DecayReport] = {}
+        for name in repository.names():
+            digest = repository.spec_digest(name)
+            memo = self._memo.get(name)
+            if (memo is not None and digest is not None
+                    and memo.digest == digest
+                    and memo.kinds == kinds_token
+                    and memo.functions == functions_token
+                    and all(self._service_availability(kind) == seen
+                            for kind, seen in memo.availability)):
+                reports[name] = memo.report
+                continue
+            workflow = repository.load(name)
+            report = self.scan(workflow)
+            referenced = sorted({
+                processor.kind
+                for processor in workflow.processors.values()
+            })
+            if digest is not None:
+                self._memo[name] = _ScanMemo(
+                    digest, kinds_token, functions_token,
+                    tuple((kind, self._service_availability(kind))
+                          for kind in referenced),
+                    report,
+                )
+            reports[name] = report
+        return reports
 
     def decayed_workflows(self, repository: WorkflowRepository) -> list[str]:
         return sorted(

@@ -401,8 +401,13 @@ class WorkflowEngine:
             invocation.outputs, invocation.duration = \
                 self._normalize_outputs(processor.name, raw)
             if key is not None:
+                # config["cache_tags"] names the invocation's upstream
+                # dependencies (record:<id>, resource:<name>, ...) so
+                # the streaming layer can invalidate by dirty set
                 self.cache.put(key, invocation.outputs,
-                               source=f"{run_id}/{processor.name}")
+                               source=f"{run_id}/{processor.name}",
+                               tags=processor.config.get("cache_tags")
+                               or ())
         except Exception as exc:  # noqa: BLE001 - boundary by design
             invocation.status = "failed"
             invocation.error = f"{type(exc).__name__}: {exc}"

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import WorkflowError
+from repro.hashing import sha256_hex
 from repro.storage import Column, Database, TableSchema, col
 from repro.storage import column_types as ct
 from repro.workflow.model import Workflow
@@ -82,6 +83,23 @@ class WorkflowRepository:
                 + " is not in the repository"
             )
         return workflow_from_json(row["document"])
+
+    def spec_digest(self, name: str) -> str | None:
+        """Content digest of the latest stored document for ``name``
+        (``None`` when absent).
+
+        This is the cheap change-detection probe: it hashes the raw
+        JSON document without parsing it into a :class:`Workflow`, so
+        callers (the decay scanner's memo, scheduled re-checks) can tell
+        "unchanged since last scan" apart from "new version / edited /
+        deleted-and-resaved" without paying for :meth:`load`.
+        """
+        row = self.database.query(_TABLE).where(
+            col("name") == name
+        ).order_by("version", descending=True).first()
+        if row is None:
+            return None
+        return sha256_hex(row["document"].encode("utf-8"))
 
     def latest_version(self, name: str) -> int:
         rows = self.database.query(_TABLE).where(

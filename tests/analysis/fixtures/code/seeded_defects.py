@@ -73,3 +73,25 @@ def swallow(payload):
     except Exception:
         pass
     return None
+
+
+class StreamBuffer:
+    def __init__(self, samples):
+        self._buffer_lock = threading.Lock()
+        self._pending = []
+        for sample in samples:
+            self.push(sample)
+
+    def push(self, sample):
+        # DET006 (and DET004): cacheable-path write to lock-owning
+        # shared state without holding the buffer lock
+        self._pending.append(sample)
+        return len(self._pending)
+
+
+def windowed_mean(payload):
+    buffer = StreamBuffer(payload)
+    return buffer.push(0)
+
+
+register_function("windowed_mean", windowed_mean)

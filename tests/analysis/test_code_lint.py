@@ -47,11 +47,11 @@ class TestGolden:
     def test_every_code_rule_fires_once(self):
         report = _analyze_seeded()
         assert report.rule_ids() == [
-            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
             "HY001", "HY003",
             "LK001", "LK002", "LK003", "LK004",
         ]
-        assert report.counts() == {"error": 4, "warning": 6, "info": 1}
+        assert report.counts() == {"error": 4, "warning": 8, "info": 1}
         assert report.exit_code == 1
 
     def test_fingerprints_survive_line_shifts(self, tmp_path):
@@ -107,7 +107,7 @@ class TestCliCodeLint:
                      str(SEEDED)]) == 0
         out = capsys.readouterr().out
         assert "0 error(s), 0 warning(s), 0 info" in out
-        assert "11 suppressed by baseline" in out
+        assert "13 suppressed by baseline" in out
 
     def test_rules_catalog_lists_code_rules(self, capsys):
         assert main(["lint", "--rules"]) == 0

@@ -110,6 +110,66 @@ class TestDeterminism:
         assert "DET005" in rules
 
 
+_STREAM_CLASS = (
+    "import threading\n"
+    "class Buffer:\n"
+    "    def __init__(self, items):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._pending = []\n"
+    "        for item in items:\n"
+    "            self.push(item)\n"
+    "{push}\n"
+    "def worker(payload):\n"
+    "    return Buffer(payload)\n"
+    + REGISTERED
+)
+
+
+class TestDet006UnlockedSharedWrites:
+    def test_flags_unguarded_cacheable_write(self, tmp_path):
+        report, rules = _rules_for(tmp_path, _STREAM_CLASS.format(push=(
+            "    def push(self, item):\n"
+            "        self._pending.append(item)\n"
+        )))
+        assert "DET006" in rules
+
+    def test_silent_when_write_holds_the_lock(self, tmp_path):
+        report, rules = _rules_for(tmp_path, _STREAM_CLASS.format(push=(
+            "    def push(self, item):\n"
+            "        with self._lock:\n"
+            "            self._pending.append(item)\n"
+        )))
+        assert "DET006" not in rules
+
+    def test_silent_for_locked_suffix_methods(self, tmp_path):
+        report, rules = _rules_for(tmp_path, _STREAM_CLASS.format(push=(
+            "    def push(self, item):\n"
+            "        self._push_locked(item)\n"
+            "    def _push_locked(self, item):\n"
+            "        self._pending.append(item)\n"
+        )))
+        assert "DET006" not in rules
+
+    def test_silent_off_the_cacheable_path(self, tmp_path):
+        report, rules = _rules_for(tmp_path, (
+            "import threading\n"
+            "class Buffer:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._pending = []\n"
+            "    def push(self, item):\n"
+            "        self._pending.append(item)\n"
+        ))
+        assert "DET006" not in rules
+
+    def test_flags_plain_attribute_assignment(self, tmp_path):
+        report, rules = _rules_for(tmp_path, _STREAM_CLASS.format(push=(
+            "    def push(self, item):\n"
+            "        self.latest = item\n"
+        )))
+        assert "DET006" in rules
+
+
 LOCKED_CLASS_HEADER = (
     "import threading\n"
     "class Box:\n"

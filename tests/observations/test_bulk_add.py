@@ -1,0 +1,107 @@
+"""Bulk ingestion semantics of ``ObservationStore.add_all``.
+
+The bulk path must be behaviourally identical to a sequential
+``add`` loop — same rows, same measurement ids, same context
+validation — while validating the whole batch *before* anything
+lands."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.observations.model import Entity, Measurement, Observation
+from repro.observations.store import ObservationStore
+
+
+@pytest.fixture()
+def store():
+    return ObservationStore()
+
+
+def obs(obs_id, species="Hyla alba", temps=(), context=()):
+    return Observation(
+        obs_id, Entity("taxon", species),
+        measurements=[Measurement("air_temperature", t, "degC")
+                      for t in temps],
+        source="sounds", context=context)
+
+
+class TestBatchContexts:
+    def test_reference_satisfied_by_earlier_batch_member(self, store):
+        count = store.add_all([
+            obs("weather"),
+            obs("site", context=["weather"]),
+            obs("call", context=["site", "weather"]),
+        ])
+        assert count == 3
+        assert store.context_chain("call") == ["site", "weather"]
+
+    def test_reference_satisfied_by_prior_store_content(self, store):
+        store.add(obs("weather"))
+        assert store.add_all([obs("site", context=["weather"])]) == 1
+
+    def test_forward_reference_within_batch_fails(self, store):
+        with pytest.raises(ReproError):
+            store.add_all([
+                obs("site", context=["weather"]),
+                obs("weather"),
+            ])
+
+    def test_missing_reference_leaves_store_untouched(self, store):
+        store.add(obs("seed", temps=[10.0]))
+        with pytest.raises(ReproError):
+            store.add_all([
+                obs("ok", temps=[20.0]),
+                obs("bad", context=["ghost"]),
+            ])
+        # atomic: nothing from the failed batch landed
+        assert len(store) == 1
+        with pytest.raises(ReproError):
+            store.get("ok")
+
+
+class TestMeasurementIds:
+    def test_ids_contiguous_across_batch(self, store):
+        store.add_all([
+            obs("o1", temps=[1.0, 2.0]),
+            obs("o2", temps=[3.0]),
+        ])
+        rows = store.database.query("measurements").order_by(
+            "measurement_id").all()
+        ids = [row["measurement_id"] for row in rows]
+        assert ids == list(range(ids[0], ids[0] + 3))
+
+    def test_ids_continue_after_bulk_batch(self, store):
+        store.add_all([obs("o1", temps=[1.0])])
+        store.add(obs("o2", temps=[2.0]))
+        rows = store.database.query("measurements").order_by(
+            "measurement_id").all()
+        ids = [row["measurement_id"] for row in rows]
+        assert ids[1] == ids[0] + 1
+
+
+class TestParity:
+    def test_bulk_matches_sequential_adds(self):
+        def batch():
+            return [
+                obs("w"),
+                obs("o1", temps=[21.5], context=["w"]),
+                obs("o2", species="Hyla beta", temps=[18.0, 19.0]),
+            ]
+
+        bulk, sequential = ObservationStore(), ObservationStore()
+        bulk.add_all(batch())
+        for observation in batch():
+            sequential.add(observation)
+        def fields(observation):
+            return [(m.characteristic, m.value, m.unit, m.precision)
+                    for m in observation.measurements]
+
+        for obs_id in ("w", "o1", "o2"):
+            left, right = bulk.get(obs_id), sequential.get(obs_id)
+            assert left.entity == right.entity
+            assert fields(left) == fields(right)
+            assert left.context == right.context
+
+    def test_empty_iterator_returns_zero(self, store):
+        assert store.add_all(iter([])) == 0
+        assert len(store) == 0

@@ -1,0 +1,63 @@
+"""DependencyIndex: the reverse edge from inputs to subjects."""
+
+from repro.streaming import DependencyIndex
+
+
+class TestKeys:
+    def test_record_key(self):
+        assert DependencyIndex.record_key(42) == "record:42"
+
+    def test_resource_key(self):
+        assert DependencyIndex.resource_key("catalogue") == \
+            "resource:catalogue"
+
+
+class TestRegistration:
+    def test_register_and_query(self):
+        index = DependencyIndex()
+        index.register("shard:0", ["record:1", "record:2",
+                                   "resource:catalogue"])
+        index.register("shard:1", ["record:3", "resource:catalogue"])
+        assert index.subjects_of("record:1") == ["shard:0"]
+        assert index.subjects_of("resource:catalogue") == [
+            "shard:0", "shard:1"]
+        assert index.subjects_of("record:1", "record:3") == [
+            "shard:0", "shard:1"]
+
+    def test_unknown_dep_is_empty(self):
+        assert DependencyIndex().subjects_of("record:404") == []
+
+    def test_reregistration_replaces_edges(self):
+        index = DependencyIndex()
+        index.register("shard:0", ["record:1", "record:2"])
+        index.register("shard:0", ["record:2", "record:3"])
+        assert index.subjects_of("record:1") == []
+        assert index.subjects_of("record:3") == ["shard:0"]
+        assert index.deps_of("shard:0") == frozenset(
+            {"record:2", "record:3"})
+
+    def test_forget_removes_both_directions(self):
+        index = DependencyIndex()
+        index.register("shard:0", ["record:1"])
+        index.forget("shard:0")
+        assert len(index) == 0
+        assert index.subjects_of("record:1") == []
+        assert index.stats() == {"subjects": 0, "dependencies": 0,
+                                 "edges": 0}
+
+    def test_forget_unknown_is_noop(self):
+        DependencyIndex().forget("never-registered")
+
+    def test_contains_and_subjects(self):
+        index = DependencyIndex()
+        index.register("b", ["record:1"])
+        index.register("a", ["record:1"])
+        assert "a" in index and "c" not in index
+        assert index.subjects() == ["a", "b"]
+
+    def test_stats_count_edges(self):
+        index = DependencyIndex()
+        index.register("shard:0", ["record:1", "record:2"])
+        index.register("shard:1", ["record:2"])
+        assert index.stats() == {"subjects": 2, "dependencies": 2,
+                                 "edges": 3}

@@ -1,0 +1,152 @@
+"""Differential equivalence: incremental assessment must produce
+byte-identical results to a cold full re-curation, whatever the churn
+layout.  ``AssessmentResult.digest`` canonicalizes quality values, the
+review queue, and the per-shard output digests (the OPM artifact
+payloads), so digest equality is output equality."""
+
+import random
+
+import pytest
+
+from repro.storage import col
+from repro.streaming import IncrementalCurator, ObservationStream
+from repro.workflow.cache import ResultCache
+
+from tests.streaming.test_incremental import (
+    fake_resolver,
+    make_curator,
+    make_database,
+)
+
+
+def cold_assessment(database, **kwargs):
+    """A brand-new curator over the same table: no memo, no cache, no
+    dependency index — the ground truth a warm curator must match."""
+    kwargs.setdefault("shard_size", 16)
+    kwargs.setdefault("resource_versions", {"catalogue": 1})
+    fresh = IncrementalCurator(database, kwargs.pop("resolver",
+                                                    fake_resolver),
+                               **kwargs)
+    return fresh.assess()
+
+
+def mutate(database, record_id, name):
+    database.update_where("recordings", col("record_id") == record_id,
+                          {"species": name, "genus": name.split()[0]})
+
+
+class TestRecordChurn:
+    @pytest.mark.parametrize("k", [1, 5, 17])
+    def test_k_random_mutations_match_cold_full(self, k):
+        database = make_database(120)
+        curator = make_curator(database)
+        curator.assess()
+        rng = random.Random(k)
+        touched = rng.sample(range(1, 121), k)
+        for record_id in touched:
+            mutate(database, record_id, f"Bogus mutatus{record_id}")
+        curator.mark_dirty(touched)
+        warm = curator.assess()
+        cold = cold_assessment(database)
+        assert warm.digest == cold.digest
+        assert warm.quality == cold.quality
+        assert warm.review == cold.review
+        assert warm.shard_digests == cold.shard_digests
+        # and the sweep really was incremental: exactly the shards
+        # owning touched records re-ran
+        assert warm.shards_recomputed == len(
+            {(record_id - 1) // 16 for record_id in touched})
+
+    def test_repeated_churn_rounds_stay_equivalent(self):
+        database = make_database(80)
+        curator = make_curator(database)
+        curator.assess()
+        for round_no in range(4):
+            record_id = 7 + 16 * round_no
+            mutate(database, record_id, f"Oldus roundus{round_no}")
+            curator.mark_dirty([record_id])
+            warm = curator.assess()
+            assert warm.digest == cold_assessment(database).digest
+
+
+class TestResourceChurn:
+    def test_resource_bump_matches_cold_under_new_versions(self):
+        state = {"strict": True}
+
+        def resolver(name):
+            if not state["strict"]:
+                return {"status": "accepted", "accepted_name": name,
+                        "suggestion": None}
+            return fake_resolver(name)
+
+        database = make_database(96)
+        curator = IncrementalCurator(database, resolver, shard_size=16,
+                                     resource_versions={"catalogue": 1})
+        curator.assess()
+        state["strict"] = False
+        curator.bump_resource("catalogue")
+        warm = curator.assess()
+        cold = cold_assessment(database, resolver=resolver,
+                               resource_versions={"catalogue": 2})
+        assert warm.digest == cold.digest
+        assert warm.quality["outdated_records"] == 0
+
+
+class TestCacheEviction:
+    def test_tiny_cache_forces_evictions_but_not_divergence(self):
+        database = make_database(128)
+        # 4 entries for 8 shards x 2 stages: constant eviction pressure
+        curator = make_curator(database,
+                               cache=ResultCache(max_entries=4))
+        curator.assess()
+        for record_id in (3, 60, 100):
+            mutate(database, record_id, f"Bogus evictus{record_id}")
+        curator.mark_dirty([3, 60, 100])
+        warm = curator.assess()
+        cold = cold_assessment(database)
+        assert warm.digest == cold.digest
+        assert curator.cache.stats()["entries"] <= 4
+
+
+class TestMixedChurn:
+    def test_appends_edits_and_resource_bump_together(self):
+        state = {"year": 1}
+
+        def resolver(name):
+            if state["year"] >= 2 and name.startswith("Goodus species1"):
+                return {"status": "outdated",
+                        "accepted_name": name.replace("Goodus", "Novus"),
+                        "suggestion": None}
+            return fake_resolver(name)
+
+        database = make_database(100)
+        curator = IncrementalCurator(database, resolver, shard_size=16,
+                                     resource_versions={"catalogue": 1})
+        curator.assess()
+
+        class TableSink:
+            def add_all(self, batch):
+                database.bulk_load("recordings", list(batch))
+                curator.mark_dirty(
+                    [row["record_id"] for row in batch])
+                return len(batch)
+
+        stream = ObservationStream(TableSink(), capacity=8,
+                                   batch_size=4)
+        stream.ingest([
+            {"record_id": 100 + i, "species": f"Oldus arrivus{i}",
+             "genus": "Oldus", "country": "Brasil", "state": "SP",
+             "collect_date": "2024-01-01"}
+            for i in range(1, 11)
+        ])
+        mutate(database, 50, "Bogus editus")
+        curator.mark_dirty([50])
+        state["year"] = 2
+        curator.bump_resource("catalogue")
+        warm = curator.assess()
+        cold = cold_assessment(database, resolver=resolver,
+                               resource_versions={"catalogue": 2})
+        assert warm.quality["records"] == 110
+        assert warm.digest == cold.digest
+        assert warm.review == cold.review
+        assert warm.shard_digests == cold.shard_digests

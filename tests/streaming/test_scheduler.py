@@ -1,0 +1,124 @@
+"""RecheckScheduler: staleness, availability collapse, workflow decay."""
+
+import pytest
+
+from repro.streaming import RecheckScheduler
+from repro.workflow.decay import DecayScanner
+from repro.workflow.engine import SimulatedClock
+from repro.workflow.model import Processor, ProcessorRegistry, Workflow
+from repro.workflow.repository import WorkflowRepository
+
+
+@pytest.fixture()
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture()
+def scheduler(clock):
+    return RecheckScheduler(clock=clock, interval_seconds=3600)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            RecheckScheduler(interval_seconds=0)
+
+
+class TestStaleness:
+    def test_fresh_subject_not_due(self, scheduler, clock):
+        scheduler.note_assessed("shard:0")
+        clock.advance(1800)
+        assert scheduler.due() == {}
+
+    def test_stale_subject_becomes_due(self, scheduler, clock):
+        scheduler.note_assessed("shard:0")
+        scheduler.note_assessed("shard:1")
+        clock.advance(3600)
+        assert scheduler.due() == {"shard:0": "stale",
+                                   "shard:1": "stale"}
+
+    def test_reassessment_clears_the_queue_entry(self, scheduler, clock):
+        scheduler.note_assessed("shard:0")
+        clock.advance(4000)
+        assert "shard:0" in scheduler.due()
+        scheduler.note_assessed("shard:0")
+        assert scheduler.due() == {}
+
+    def test_pop_due_drains(self, scheduler, clock):
+        scheduler.note_assessed("shard:0")
+        clock.advance(4000)
+        assert scheduler.pop_due() == {"shard:0": "stale"}
+        assert len(scheduler) == 0
+
+
+class TestTriggers:
+    def test_enqueue_keeps_first_reason(self, scheduler):
+        assert scheduler.enqueue("shard:0", "stale") is True
+        assert scheduler.enqueue("shard:0", "availability_collapse") \
+            is False
+        assert scheduler.due()["shard:0"] == "stale"
+
+    def test_availability_collapse_enqueues_tracked(self, scheduler):
+        scheduler.note_assessed("shard:0")
+        scheduler.note_assessed("shard:1")
+        assert scheduler.observe_availability("col", 0.1) == [
+            "shard:0", "shard:1"]
+        assert set(scheduler.due().values()) == {"availability_collapse"}
+
+    def test_healthy_availability_is_quiet(self, scheduler):
+        scheduler.note_assessed("shard:0")
+        assert scheduler.observe_availability("col", 0.95) == []
+        assert scheduler.due() == {}
+
+    def test_recheck_counter_labeled_by_reason(self, clock,
+                                               isolated_telemetry):
+        scheduler = RecheckScheduler(clock=clock, interval_seconds=60,
+                                     telemetry=isolated_telemetry)
+        scheduler.enqueue("a", "stale")
+        scheduler.enqueue("b", "availability_collapse")
+        metrics = isolated_telemetry.metrics
+        assert metrics.counter("streaming_rechecks_total",
+                               reason="stale").value == 1
+        assert metrics.counter("streaming_rechecks_total",
+                               reason="availability_collapse").value == 1
+
+
+class TestWorkflowDecay:
+    def test_decayed_workflow_enqueued(self, scheduler):
+        registry = ProcessorRegistry()
+        registry.register_function("known", lambda bound: {})
+        repository = WorkflowRepository()
+        healthy = Workflow("healthy")
+        healthy.add_processor(Processor("P", "known", inputs=[],
+                                        outputs=["x"]))
+        healthy.map_output("x", "P", "x")
+        repository.save(healthy)
+        rotten = Workflow("rotten")
+        rotten.add_processor(Processor("P", "vanished_kind", inputs=[],
+                                       outputs=["x"]))
+        rotten.map_output("x", "P", "x")
+        repository.save(rotten)
+        scanner = DecayScanner(registry)
+        assert scheduler.scan_workflows(repository, scanner) == [
+            "workflow:rotten"]
+        assert scheduler.due() == {"workflow:rotten": "workflow_decay"}
+        # second scan: memoized AND already queued -> no duplicates
+        assert scheduler.scan_workflows(repository, scanner) == []
+
+
+class TestBookkeeping:
+    def test_forget_drops_tracking_and_queue(self, scheduler, clock):
+        scheduler.note_assessed("shard:0")
+        clock.advance(4000)
+        scheduler.due()
+        scheduler.forget("shard:0")
+        assert scheduler.due() == {}
+        assert scheduler.subjects() == []
+
+    def test_stats(self, scheduler):
+        scheduler.note_assessed("shard:0")
+        scheduler.enqueue("shard:1", "stale")
+        stats = scheduler.stats()
+        assert stats["tracked"] == 1
+        assert stats["queued"] == 1

@@ -1,0 +1,185 @@
+"""ObservationStream: micro-batching, backpressure, ordering."""
+
+import threading
+
+import pytest
+
+from repro.streaming import ObservationStream, StreamBackpressure
+
+
+class ListSink:
+    def __init__(self):
+        self.rows = []
+        self.batches = []
+
+    def add_all(self, batch):
+        self.rows.extend(batch)
+        self.batches.append(list(batch))
+        return len(batch)
+
+
+class FailingSink:
+    def add_all(self, batch):
+        raise RuntimeError("sink down")
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ObservationStream(ListSink(), capacity=0)
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            ObservationStream(ListSink(), batch_size=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ObservationStream(ListSink(), policy="drop-oldest")
+
+    def test_batch_size_clamped_to_capacity(self):
+        stream = ObservationStream(ListSink(), capacity=4, batch_size=64)
+        assert stream.batch_size == 4
+
+
+class TestMicroBatching:
+    def test_ingest_lands_everything_in_order(self):
+        sink = ListSink()
+        stream = ObservationStream(sink, capacity=16, batch_size=8)
+        assert stream.ingest(range(50)) == 50
+        assert sink.rows == list(range(50))
+        assert len(stream) == 0
+
+    def test_batches_bounded_by_batch_size(self):
+        sink = ListSink()
+        stream = ObservationStream(sink, capacity=16, batch_size=8)
+        stream.ingest(range(20))
+        assert all(len(batch) <= 8 for batch in sink.batches)
+        # bulk path actually used: far fewer sink calls than records
+        assert len(sink.batches) == 3
+
+    def test_flush_empty_buffer_is_noop(self):
+        sink = ListSink()
+        stream = ObservationStream(sink)
+        assert stream.flush() == 0
+        assert sink.batches == []
+
+    def test_on_batch_sees_each_flushed_batch(self):
+        seen = []
+        stream = ObservationStream(ListSink(), capacity=8, batch_size=4,
+                                   on_batch=seen.append)
+        stream.ingest(range(10))
+        assert [len(batch) for batch in seen] == [4, 4, 2]
+        assert [item for batch in seen for item in batch] == list(range(10))
+
+    def test_stats_account_for_everything(self):
+        stream = ObservationStream(ListSink(), capacity=8, batch_size=4)
+        stream.ingest(range(9))
+        stats = stream.stats()
+        assert stats["offered"] == 9
+        assert stats["ingested"] == 9
+        assert stats["buffered"] == 0
+        assert stats["rejected"] == 0
+        assert stats["batches"] == 3
+
+
+class TestBackpressure:
+    def test_reject_policy_refuses_when_full(self):
+        stream = ObservationStream(ListSink(), capacity=3, batch_size=3,
+                                   policy="reject")
+        assert [stream.offer(i) for i in range(5)] == [
+            True, True, True, False, False]
+        assert stream.stats()["rejected"] == 2
+
+    def test_reject_policy_recovers_after_flush(self):
+        stream = ObservationStream(ListSink(), capacity=2, batch_size=2,
+                                   policy="reject")
+        stream.offer(1), stream.offer(2)
+        assert stream.offer(3) is False
+        stream.flush()
+        assert stream.offer(3) is True
+
+    def test_block_policy_times_out_with_error(self):
+        stream = ObservationStream(ListSink(), capacity=1, batch_size=1,
+                                   policy="block", block_timeout=0.02)
+        stream.offer(1)
+        with pytest.raises(StreamBackpressure):
+            stream.offer(2)
+        assert stream.stats()["rejected"] == 1
+
+    def test_blocked_producer_released_by_consumer_flush(self):
+        sink = ListSink()
+        stream = ObservationStream(sink, capacity=1, batch_size=1,
+                                   policy="block", block_timeout=5.0)
+        stream.offer("first")
+        landed = []
+
+        def produce():
+            landed.append(stream.offer("second", timeout=5.0))
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            stream.flush()
+            producer.join(timeout=5.0)
+        finally:
+            assert not producer.is_alive()
+        assert landed == [True]
+        stream.drain()
+        assert sink.rows == ["first", "second"]
+
+    def test_failed_sink_propagates_to_flusher(self):
+        stream = ObservationStream(FailingSink(), capacity=4,
+                                   batch_size=4)
+        stream.offer(1)
+        with pytest.raises(RuntimeError, match="sink down"):
+            stream.flush()
+
+
+class TestConcurrency:
+    def test_many_producers_one_consumer_loses_nothing(self):
+        sink = ListSink()
+        stream = ObservationStream(sink, capacity=32, batch_size=8,
+                                   policy="block", block_timeout=10.0)
+        per_producer = 50
+        threads = [
+            threading.Thread(target=lambda base=base: [
+                stream.offer((base, i)) for i in range(per_producer)
+            ])
+            for base in range(4)
+        ]
+        stop = threading.Event()
+
+        def consume():
+            while not stop.is_set() or len(stream):
+                if not stream.flush():
+                    stop.wait(0.001)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        stop.set()
+        consumer.join(timeout=30.0)
+        stream.drain()
+        assert sorted(sink.rows) == sorted(
+            (base, i) for base in range(4) for i in range(per_producer))
+
+
+class TestTelemetry:
+    def test_counters_flow_to_registry(self, isolated_telemetry):
+        stream = ObservationStream(ListSink(), capacity=8, batch_size=4,
+                                   telemetry=isolated_telemetry,
+                                   source="unit")
+        stream.ingest(range(6))
+        metrics = isolated_telemetry.metrics
+        assert metrics.counter("streaming_ingested_total",
+                               source="unit").value == 6
+        assert metrics.counter("streaming_batches_total",
+                               source="unit").value == 2
+        assert metrics.gauge("streaming_buffer_depth",
+                             source="unit").value == 0
+        window = metrics.window("streaming_window_batch_records",
+                                source="unit")
+        assert window.values() == (4, 2)

@@ -146,3 +146,87 @@ def test_instrument_types_exported():
     assert isinstance(registry.counter("c"), Counter)
     assert isinstance(registry.gauge("g"), Gauge)
     assert isinstance(registry.histogram("h"), Histogram)
+
+
+class TestWindow:
+    def test_observe_and_stats(self):
+        registry = MetricsRegistry()
+        window = registry.window("accuracy", size=4)
+        for value in (0.5, 1.0, 0.75):
+            window.observe(value)
+        assert window.count == 3
+        assert window.observed == 3
+        assert window.last == 0.75
+        assert window.mean == pytest.approx(0.75)
+        assert window.min == 0.5
+        assert window.max == 1.0
+        assert window.values() == (0.5, 1.0, 0.75)
+
+    def test_old_samples_age_out(self):
+        registry = MetricsRegistry()
+        window = registry.window("accuracy", size=3)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            window.observe(value)
+        assert window.values() == (3.0, 4.0, 5.0)
+        assert window.count == 3
+        assert window.observed == 5
+        assert window.mean == pytest.approx(4.0)
+
+    def test_empty_window(self):
+        window = MetricsRegistry().window("accuracy")
+        assert window.count == 0
+        assert window.last is None
+        assert window.mean is None
+        assert window.min is None and window.max is None
+        assert window.values() == ()
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().window("w", size=-1)
+
+    def test_default_size(self):
+        from repro.telemetry.metrics import DEFAULT_WINDOW_SIZE
+
+        window = MetricsRegistry().window("w")
+        assert window.size == DEFAULT_WINDOW_SIZE
+
+    def test_reset_clears_samples_and_observed(self):
+        registry = MetricsRegistry()
+        window = registry.window("w", size=2)
+        window.observe(1.0)
+        registry.reset()
+        assert window.values() == ()
+        assert window.observed == 0
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        window = registry.window("w", size=2)
+        window.observe(2.0)
+        window.observe(4.0)
+        snapshot = window.to_dict()
+        assert snapshot["type"] == "window"
+        assert snapshot["size"] == 2
+        assert snapshot["count"] == 2
+        assert snapshot["mean"] == pytest.approx(3.0)
+
+    def test_family_type_is_enforced(self):
+        registry = MetricsRegistry()
+        registry.window("w")
+        with pytest.raises(TypeError):
+            registry.counter("w")
+        with pytest.raises(TypeError):
+            registry.window("c") if registry.counter("c") else None
+
+    def test_windows_do_not_contribute_to_total(self):
+        registry = MetricsRegistry()
+        registry.counter("streaming_ingested_total").inc(7)
+        registry.window("streaming_window_accuracy").observe(0.9)
+        assert registry.total("streaming_window_accuracy") == 0.0
+        assert registry.total("streaming_ingested_total") == 7
+
+    def test_labeled_series_are_distinct(self):
+        registry = MetricsRegistry()
+        one = registry.window("w", source="a")
+        other = registry.window("w", source="b")
+        assert one is not other
+        assert registry.window("w", source="a") is one

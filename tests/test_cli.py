@@ -168,3 +168,55 @@ class TestVault:
         out = capsys.readouterr().out
         assert "preservation vault" in out
         assert "corruptions found 1, repaired 1" in out
+
+
+class TestStream:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["stream", "ingest"])
+        assert args.records == 600
+        assert args.species == 120
+        assert args.shard_size == 64
+        assert args.arrivals == 64
+        assert args.policy == "block"
+
+    def test_stream_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream"])
+
+    def test_ingest_prints_streaming_panel(self, capsys,
+                                           isolated_telemetry):
+        code = main(["--seed", "7", "stream", "ingest", "--records",
+                     "120", "--species", "30", "--arrivals", "16",
+                     "--shard-size", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold sweep: 120 records" in out
+        assert "streamed 16 arrival(s)" in out
+        assert "incremental sweep:" in out
+        assert "streaming" in out  # telemetry panel rendered
+
+    def test_status_reports_dirty_economics(self, capsys,
+                                            isolated_telemetry):
+        code = main(["--seed", "7", "stream", "status", "--records",
+                     "120", "--species", "30", "--churn", "4",
+                     "--shard-size", "32"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "churned 4 record(s)" in out
+        assert "curator:" in out
+
+    def test_recheck_reports_due_subjects(self, capsys,
+                                          isolated_telemetry):
+        code = main(["--seed", "7", "stream", "recheck", "--records",
+                     "120", "--species", "30", "--shard-size", "32",
+                     "--to-year", "2015"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "catalogue 2013 -> 2015" in out
+        assert "subject(s) due" in out
+
+    def test_stats_stream_flag(self, capsys, isolated_telemetry):
+        code = main(["--seed", "7", "stats", "--stream"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming_sweeps_total" in out

@@ -126,3 +126,99 @@ class TestRepositoryScan:
         newer_registry.register_function("python", lambda i: {})
         assert DecayScanner(newer_registry).scan(
             repository.load("w")).decayed
+
+
+class TestScanMemo:
+    """Repeated ``scan_repository`` calls over an unchanged repository
+    must be answered from the spec-digest memo — no document loads."""
+
+    @staticmethod
+    def _counting(repository):
+        calls = {"load": 0}
+        original = repository.load
+
+        def counted(name, version=None):
+            calls["load"] += 1
+            return original(name, version)
+
+        repository.load = counted
+        return calls
+
+    def test_unchanged_rescan_does_no_loads(self, scanner):
+        repository = WorkflowRepository()
+        repository.save(healthy_workflow())
+        calls = self._counting(repository)
+        first = scanner.scan_repository(repository)
+        assert calls["load"] == 1
+        second = scanner.scan_repository(repository)
+        assert calls["load"] == 1
+        assert second["healthy"] is first["healthy"]
+
+    def test_new_version_invalidates_the_memo(self, scanner):
+        repository = WorkflowRepository()
+        repository.save(healthy_workflow())
+        calls = self._counting(repository)
+        scanner.scan_repository(repository)
+        changed = healthy_workflow()
+        changed.description = "edited spec"
+        repository.save(changed)
+        scanner.scan_repository(repository)
+        assert calls["load"] == 2
+
+    def test_registry_change_invalidates_the_memo(self):
+        registry = ProcessorRegistry()
+        registry.register_function("special_service", lambda i: {})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "special_service"))
+        repository = WorkflowRepository()
+        repository.save(wf)
+        scanner = DecayScanner(registry)
+        assert not scanner.scan_repository(repository)["w"].decayed
+        registry.register_function("another_kind", lambda i: {})
+        calls = self._counting(repository)
+        scanner.scan_repository(repository)
+        assert calls["load"] == 1
+
+    def test_function_table_change_invalidates_the_memo(self):
+        table = {"fn": lambda values: values}
+        registry = ProcessorRegistry()
+        registry.register_function("python", lambda i: {})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "python",
+                                   config={"function": "fn"}))
+        repository = WorkflowRepository()
+        repository.save(wf)
+        scanner = DecayScanner(registry, function_table=table)
+        assert not scanner.scan_repository(repository)["w"].decayed
+        del table["fn"]
+        assert scanner.scan_repository(repository)["w"].decayed
+
+    def test_availability_change_invalidates_the_memo(self):
+        health = {"special_service": 0.9}
+        registry = ProcessorRegistry()
+        registry.register_function("special_service", lambda i: {})
+        wf = Workflow("w")
+        wf.add_processor(Processor("s", "special_service"))
+        repository = WorkflowRepository()
+        repository.save(wf)
+        scanner = DecayScanner(registry,
+                               service_availability=health.get)
+        assert not scanner.scan_repository(repository)["w"].decayed
+        health["special_service"] = DEAD_SERVICE_THRESHOLD / 2
+        report = scanner.scan_repository(repository)["w"]
+        assert report.decayed
+
+
+class TestSpecDigest:
+    def test_digest_tracks_latest_version(self):
+        repository = WorkflowRepository()
+        repository.save(healthy_workflow())
+        first = repository.spec_digest("healthy")
+        assert first is not None
+        changed = healthy_workflow()
+        changed.description = "v2"
+        repository.save(changed)
+        assert repository.spec_digest("healthy") != first
+
+    def test_digest_of_unknown_workflow_is_none(self):
+        assert WorkflowRepository().spec_digest("ghost") is None
